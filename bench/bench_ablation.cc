@@ -1,0 +1,106 @@
+// Ablations of the design choices §5.2 calls out (plus two from §4.5):
+//  1. SIMD pixel conversion: the paper reports ~3x video framerate.
+//  2. Buffer-cache bypass for FAT32 range I/O: 2-3x lower load latency.
+//  3. ARMv8 assembly memmove for framebuffer blits.
+//  4. WM dirty-rect composition vs full repaints.
+//  5. Eager fork vs copy-on-write (the production-OS mechanism).
+#include "bench/bench_util.h"
+#include "src/wm/wm.h"
+
+namespace vos {
+namespace {
+
+SystemOptions WithHook(std::function<void(KernelConfig&)> hook, bool media = false) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.config_hook = std::move(hook);
+  if (media) {
+    opt.with_media_assets = true;
+    opt.media_video_w = 320;
+    opt.media_video_h = 240;
+    opt.media_video_frames = 16;
+  }
+  return opt;
+}
+
+double VideoFps(bool simd) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.config_hook = [simd](KernelConfig& kc) {
+    kc.opt_simd_pixel = simd;
+    kc.opt_asm_memcpy = simd;  // §5.2 ships both movement optimizations together
+  };
+  opt.with_media_assets = true;
+  opt.media_video_w = 640;
+  opt.media_video_h = 480;
+  opt.media_video_frames = 16;
+  opt.dram_size = MiB(96);
+  System sys(opt);
+  return MeasureAppFps(sys, "videoplayer",
+                       {"/d/videos/clip480.vmv", "--bench", "--frames", "100000"}, Sec(8),
+                       Sec(3))
+      .fps;
+}
+
+double FatReadKbps(bool bypass) {
+  System sys(WithHook([bypass](KernelConfig& kc) { kc.opt_bcache_bypass = bypass; }));
+  // Large sequential reads, the DOOM-asset/video load path the optimization
+  // targets (16 KB requests -> 32-block ranges vs block-by-block bcache).
+  sys.RunProgram("bench-file", {"/d/abl.dat", "--kb", "512"}, Sec(1200));
+  return ParseMetric(sys.SerialOutput(), "file_read_kbps ").value_or(1);
+}
+
+double MarioFps(bool asm_memcpy) {
+  System sys(WithHook([asm_memcpy](KernelConfig& kc) { kc.opt_asm_memcpy = asm_memcpy; }));
+  return MeasureAppFps(sys, "mario", {"--bench", "--frames", "100000"}).fps;
+}
+
+double WmBlendedPixelsPerFrame(bool dirty) {
+  // sysmon updates a small window 4x/s while the WM composites at 60 Hz:
+  // dirty tracking skips the quiet rounds entirely.
+  System sys(WithHook([dirty](KernelConfig& kc) { kc.opt_wm_dirty_rects = dirty; }));
+  Task* t = sys.Start("sysmon", {"100000"});
+  sys.Run(Sec(4));
+  double total = double(sys.kernel().wm()->stats().pixels_blended);
+  sys.kernel().KillFromHost(t->pid());
+  sys.Run(Ms(200));
+  return total;
+}
+
+double ForkLatencyUs(bool cow) {
+  System sys(WithHook([cow](KernelConfig& kc) { kc.cow_fork = cow; }));
+  sys.RunProgram("bench-fork", {"--n", "60", "--heap-kb", "512"}, Sec(1200));
+  return ParseMetric(sys.SerialOutput(), "fork_ns ").value_or(0) / 1000.0;
+}
+
+void Run() {
+  PrintHeader("Ablations of the paper's design choices (§5.2 and §4.5)");
+
+  double simd_on = VideoFps(true), simd_off = VideoFps(false);
+  std::printf("1. SIMD conv + asm move: %5.2f FPS vs %6.2f FPS scalar  (%.2fx; paper ~3x,\n"
+              "                        \"from under 10 FPS to around 30\" for 480p video)\n",
+              simd_on, simd_off, simd_on / simd_off);
+
+  double byp_on = FatReadKbps(true), byp_off = FatReadKbps(false);
+  std::printf("2. bcache range bypass: %6.0f KB/s vs %6.0f KB/s reads      (%.2fx; paper 2-3x)\n",
+              byp_on, byp_off, byp_on / byp_off);
+
+  double asm_on = MarioFps(true), asm_off = MarioFps(false);
+  std::printf("3. asm memmove:         %6.2f FPS vs %6.2f FPS C loop   (%.2fx)\n", asm_on,
+              asm_off, asm_on / asm_off);
+
+  double dirty_on = WmBlendedPixelsPerFrame(true), dirty_off = WmBlendedPixelsPerFrame(false);
+  std::printf("4. WM dirty rects:      %6.2f Mpx vs %6.2f Mpx blended over 4 s (%.0fx)\n",
+              dirty_on / 1e6, dirty_off / 1e6, dirty_off / std::max(dirty_on, 1.0));
+
+  double eager = ForkLatencyUs(false), cow = ForkLatencyUs(true);
+  std::printf("5. fork: eager copy %7.1f us vs COW %7.1f us (%.1fx; why Fig 9's fork row\n"
+              "   favors the production kernels)\n",
+              eager, cow, eager / std::max(cow, 1.0));
+}
+
+}  // namespace
+}  // namespace vos
+
+int main() {
+  vos::Run();
+  return 0;
+}

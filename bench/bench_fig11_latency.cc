@@ -1,0 +1,147 @@
+// Figure 11: latency breakdowns.
+// (a) Rendering latency per frame, attributed to kernel (K) / user app (U) /
+//     user library (L) time — app logic dominates; the kernel is small.
+// (b) Input latency: a USB key event traced from the driver IRQ to the app's
+//     event loop, frame rate capped at 60 FPS; the event indirection of
+//     mario-proc (pipe IPC) and mario-sdl (window manager) shows up.
+#include "bench/bench_util.h"
+#include "src/wm/wm.h"
+
+namespace vos {
+namespace {
+
+struct Breakdown {
+  double k_ms = 0, u_ms = 0, l_ms = 0;
+  double frames = 0;
+};
+
+Breakdown RenderBreakdown(const std::string& app, std::vector<std::string> args,
+                          bool media_assets = false) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  if (media_assets) {
+    opt.with_media_assets = true;
+    opt.media_video_w = 640;
+    opt.media_video_h = 480;
+    opt.media_video_frames = 16;
+    opt.dram_size = MiB(96);
+  }
+  System sys(opt);
+  Task* t = sys.Start(app, args);
+  sys.Run(Sec(2));  // warm-up
+  Cycles k0 = t->time_by_domain[static_cast<int>(TimeDomain::kKernel)];
+  Cycles u0 = t->time_by_domain[static_cast<int>(TimeDomain::kUser)];
+  Cycles l0 = t->time_by_domain[static_cast<int>(TimeDomain::kUserLib)];
+  sys.kernel().trace().Clear();
+  Cycles t0 = sys.board().clock().now();
+  sys.Run(Sec(4));
+  Cycles t1 = sys.board().clock().now();
+  std::uint64_t frames = 0;
+  for (const TraceRecord& r : sys.kernel().trace().DumpEvent(TraceEvent::kUserMark)) {
+    frames += (r.a == 1 && r.ts >= t0 && r.ts <= t1);
+  }
+  Breakdown b;
+  if (frames > 0) {
+    double inv = 1.0 / double(frames);
+    b.k_ms = ToMs(t->time_by_domain[0] - k0) * inv;
+    b.u_ms = ToMs(t->time_by_domain[1] - u0) * inv;
+    b.l_ms = ToMs(t->time_by_domain[2] - l0) * inv;
+    b.frames = double(frames);
+  }
+  sys.kernel().KillFromHost(t->pid());
+  sys.Run(Ms(200));
+  return b;
+}
+
+// Input latency: inject keys while the app runs capped at ~60 FPS; measure
+// driver-push -> app-seen deltas from the trace (kKeyEvent b==0 at driver
+// [time_ms stamp], b==2 when the app consumed it).
+MeanStd InputLatency(const std::string& app, std::vector<std::string> args) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  System sys(opt);
+  Task* t = sys.Start(app, args);
+  sys.Run(Sec(2));
+  std::vector<double> samples;
+  for (int i = 0; i < 25; ++i) {
+    sys.kernel().trace().Clear();
+    std::uint8_t key = (i % 2) ? kHidRight : kHidLeft;
+    sys.KeyDown(key);
+    // The driver stamps the KeyEvent with its kernel timestamp; the app
+    // traces when its loop sees it.
+    sys.Run(Ms(60));
+    sys.KeyUp(key);
+    sys.Run(Ms(40));
+    auto recs = sys.kernel().trace().DumpEvent(TraceEvent::kKeyEvent);
+    // First app-seen record after the injection.
+    std::optional<Cycles> seen;
+    for (const TraceRecord& r : recs) {
+      if (r.b == 2) {
+        seen = r.ts;
+        break;
+      }
+    }
+    // The USB driver's push time: reconstruct from irq trace (first kIrqEnter
+    // with a==kIrqUsb after injection start of this window).
+    std::optional<Cycles> pushed;
+    for (const TraceRecord& r : sys.kernel().trace().DumpEvent(TraceEvent::kIrqEnter)) {
+      if (r.a == kIrqUsb) {
+        pushed = r.ts;
+        break;
+      }
+    }
+    if (seen && pushed && *seen > *pushed) {
+      samples.push_back(ToMs(*seen - *pushed));
+    }
+  }
+  sys.kernel().KillFromHost(t->pid());
+  sys.Run(Ms(200));
+  return Stats(samples);
+}
+
+void Run() {
+  PrintHeader("Figure 11(a): rendering latency breakdown per frame (ms)");
+  struct {
+    const char* name;
+    Breakdown b;
+  } rows[] = {
+      {"DOOM", RenderBreakdown("doomlike", {"--bench", "--frames", "100000"})},
+      {"video (480p)",
+       RenderBreakdown("videoplayer", {"/d/videos/clip480.vmv", "--bench", "--frames",
+                                       "100000"}, /*media=*/true)},
+      {"mario-noinput", RenderBreakdown("mario", {"--bench", "--frames", "100000"})},
+      {"mario-proc", RenderBreakdown("mario-proc", {"--bench", "--frames", "100000"})},
+      {"mario-sdl", RenderBreakdown("mario-sdl", {"--bench", "--frames", "100000"})},
+  };
+  std::printf("%-15s %9s %9s %9s %9s\n", "app", "K (ms)", "U (ms)", "L (ms)", "total");
+  for (const auto& r : rows) {
+    std::printf("%-15s %9.2f %9.2f %9.2f %9.2f\n", r.name, r.b.k_ms, r.b.u_ms, r.b.l_ms,
+                r.b.k_ms + r.b.u_ms + r.b.l_ms);
+  }
+  std::printf("paper shape: app logic (U) dominates; kernel (K) small; mario-sdl's L/U\n"
+              "inflated by the full C library (§6.3).\n");
+
+  PrintHeader("Figure 11(b): input latency, driver IRQ -> app event loop (ms, 60 FPS cap)");
+  struct {
+    const char* name;
+    MeanStd m;
+  } input_rows[] = {
+      {"DOOM (direct poll)", InputLatency("doomlike", {"--frames", "100000"})},
+      {"mario-proc (pipe IPC)", InputLatency("mario-proc", {"--frames", "100000"})},
+      {"mario-sdl (WM route)", InputLatency("mario-sdl", {"--frames", "100000"})},
+  };
+  for (const auto& r : input_rows) {
+    std::printf("%-24s %7.2f +- %5.2f ms\n", r.name, r.m.mean, r.m.stddev);
+  }
+  std::printf(
+      "paper shape: 1-2 game frames (16-33 ms) end to end, dominated by the apps'\n"
+      "polling intervals; the WM route (mario-sdl) carries the largest indirection\n"
+      "cost. Exact ordering between the direct-poll and pipe variants is sensitive\n"
+      "to loop phase relative to the USB 8 ms frame polling.\n");
+}
+
+}  // namespace
+}  // namespace vos
+
+int main() {
+  vos::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 12: measured device power and estimated battery life, broken down
+// into the Pi3 board and the Game HAT (display + amplifier + power IC), for
+// the idle shell prompt and the gaming workloads.
+#include "bench/bench_util.h"
+
+namespace vos {
+namespace {
+
+struct PowerRow {
+  std::string name;
+  double board_w;
+  double hat_w;
+  double total_w;
+  double battery_h;
+};
+
+PowerRow MeasureWorkload(const std::string& name, const std::string& app,
+                         const std::vector<std::string>& args) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  System sys(opt);
+  PowerMeter& pm = sys.board().power();
+  Pid pid = 0;
+  if (!app.empty()) {
+    pid = sys.Start(app, args)->pid();
+    sys.Run(Sec(1));  // reach steady state
+  }
+  pm.Reset();
+  Cycles t0 = sys.board().clock().now();
+  sys.Run(Sec(10));
+  Cycles dur = sys.board().clock().now() - t0;
+  // Fold in SD/audio activity windows the devices tracked themselves.
+  pm.AddActive(PowerComponent::kHatAudio, sys.board().audio().active_time());
+  PowerRow row;
+  row.name = name;
+  double secs = ToSec(dur);
+  row.board_w = pm.BoardEnergyJ() / secs;
+  row.hat_w = pm.HatEnergyJ() / secs;
+  row.total_w = row.board_w + row.hat_w;
+  row.battery_h = PowerMeter::BatteryHours(row.total_w);
+  if (pid != 0) {
+    sys.kernel().KillFromHost(pid);
+    sys.Run(Ms(200));
+  }
+  return row;
+}
+
+void Run() {
+  PrintHeader("Figure 12: device power and estimated battery life (18650, 3000 mAh 3.7 V)");
+  std::vector<PowerRow> rows;
+  rows.push_back(MeasureWorkload("shell prompt (idle)", "", {}));
+  rows.push_back(MeasureWorkload("mario-sdl", "mario-sdl", {"--bench", "--frames", "100000"}));
+  rows.push_back(
+      MeasureWorkload("DOOM", "doomlike", {"--bench", "--frames", "100000"}));
+  rows.push_back(MeasureWorkload("blockchain x4", "blockchain",
+                                 {"--threads", "4", "--difficulty", "64", "--budget",
+                                  "100000000"}));
+
+  std::printf("%-22s %9s %9s %9s %11s\n", "workload", "board W", "HAT W", "total W",
+              "battery h");
+  for (const PowerRow& r : rows) {
+    std::printf("%-22s %9.2f %9.2f %9.2f %11.2f\n", r.name.c_str(), r.board_w, r.hat_w,
+                r.total_w, r.battery_h);
+  }
+  std::printf("\npaper: ~3 W at the shell prompt (~3.7 h); ~4 W under mario-sdl/DOOM (~2.6 h)\n");
+}
+
+}  // namespace
+}  // namespace vos
+
+int main() {
+  vos::Run();
+  return 0;
+}

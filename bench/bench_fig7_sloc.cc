@@ -1,0 +1,162 @@
+// Figure 7: source code analysis — kernel SLoC per prototype broken down by
+// subsystem, and app SLoC per prototype. Computed by scanning this repo and
+// classifying each source file against the Table-1 feature matrix (the stage
+// at which the subsystem first appears).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kconfig.h"
+
+namespace vos {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Counts non-blank, non-pure-comment lines.
+int Sloc(const fs::path& p) {
+  std::ifstream in(p);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) {
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) {
+      continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
+struct Subsystem {
+  const char* name;
+  int stage;  // prototype that introduces it
+  std::vector<const char*> files;  // path substrings, matched against src/
+};
+
+// The kernel-side feature matrix (Table 1 rows mapped to our modules).
+const Subsystem kKernelSubsystems[] = {
+    {"core (boot,irq,timekeeping,debug-msg)", 1,
+     {"hw/clock", "hw/event_queue", "hw/intc", "hw/sys_timer", "kernel/klog",
+      "kernel/kconfig", "kernel/machine", "kernel/spinlock", "kernel/timer"}},
+    {"framebuffer + mailbox", 1, {"hw/framebuffer_hw", "hw/mailbox", "hw/cache_model"}},
+    {"uart", 1, {"hw/uart"}},
+    {"board + memory", 1, {"hw/board", "hw/phys_mem", "hw/power_meter"}},
+    {"multitasking + scheduler", 2, {"kernel/task", "kernel/sched"}},
+    {"page allocator", 2, {"kernel/pmm"}},
+    {"virtual memory + privileges", 3, {"kernel/vm"}},
+    {"syscalls + exec", 3, {"kernel/syscall", "kernel/velf", "kernel/kernel"}},
+    {"file abstraction + vfs", 4, {"fs/vfs", "fs/devfs", "fs/procfs"}},
+    {"xv6fs + ramdisk + bcache + fsck", 4,
+     {"fs/xv6fs", "fs/bcache", "fs/block_dev", "fs/fsimage", "fs/fsck"}},
+    {"kmalloc", 4, {"kernel/kmalloc"}},
+    {"usb stack (hid + mass storage)", 4, {"hw/usb_hw", "hw/usb_msc"}},
+    {"sound (PWM + DMA)", 4, {"hw/audio_pwm", "hw/dma"}},
+    {"gpio (HAT buttons)", 4, {"hw/gpio"}},
+    {"pipes + semaphores", 4, {"kernel/pipe", "kernel/semaphore"}},
+    {"drivers (console,fb,usb,sd,audio)", 4, {"kernel/drivers"}},
+    {"fat32 + sd card", 5, {"fs/fat32", "hw/sd_card"}},
+    {"window manager", 5, {"wm/"}},
+    {"self-hosted debugging", 4, {"kernel/trace", "kernel/debug_monitor", "kernel/unwind"}},
+};
+
+const Subsystem kAppTiers[] = {
+    {"proto1: donut + hello", 1, {"apps/donut", "apps/hello"}},
+    {"proto3: mario engine", 3, {"apps/mario"}},
+    {"proto3: userlib (syscall wrappers, malloc, strings)", 3,
+     {"ulib/usys", "ulib/umalloc", "ulib/ustdio", "ulib/crt"}},
+    {"proto4: shell + utilities", 4, {"apps/shell", "apps/coreutils", "apps/microbench"}},
+    {"proto4: slider + buzzer + musicplayer", 4,
+     {"apps/slider", "apps/buzzer", "apps/musicplayer"}},
+    {"proto4: devfs/procfs wrappers + images", 4,
+     {"ulib/bmp", "ulib/pnglite", "ulib/giflite", "ulib/font8x8", "ulib/console"}},
+    {"proto5: minisdl + pixel kernels", 5, {"ulib/minisdl", "ulib/pixel"}},
+    {"proto5: DOOM + video + blockchain + launcher + sysmon + term", 5,
+     {"apps/doomlike", "apps/videoplayer", "apps/blockchain", "apps/launcher",
+      "apps/sysmon", "apps/term"}},
+    {"proto5: litenes (6502 core + assembler + console)", 5,
+     {"apps/cpu6502", "apps/litenes"}},
+    {"proto5: media codecs (vmv, vog, wav)", 5, {"media/"}},
+};
+
+fs::path FindRepoRoot() {
+  fs::path p = fs::current_path();
+  for (int up = 0; up < 6; ++up) {
+    if (fs::exists(p / "src" / "kernel" / "kernel.cc")) {
+      return p;
+    }
+    p = p.parent_path();
+  }
+  return fs::current_path();
+}
+
+int CountSubsystem(const fs::path& root, const Subsystem& s) {
+  int total = 0;
+  for (auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string rel = fs::relative(entry.path(), root / "src").string();
+    std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") {
+      continue;
+    }
+    for (const char* pat : s.files) {
+      if (rel.rfind(pat, 0) == 0) {
+        total += Sloc(entry.path());
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+void Run() {
+  fs::path root = FindRepoRoot();
+  std::printf("Figure 7 (left): kernel SLoC by prototype and subsystem (repo: %s)\n",
+              root.string().c_str());
+  int cumulative[6] = {};
+  std::printf("%-44s %6s %6s\n", "subsystem", "stage", "SLoC");
+  for (const Subsystem& s : kKernelSubsystems) {
+    int n = CountSubsystem(root, s);
+    std::printf("%-44s %6d %6d\n", s.name, s.stage, n);
+    for (int st = s.stage; st <= 5; ++st) {
+      cumulative[st] += n;
+    }
+  }
+  std::printf("\ncumulative kernel SLoC per prototype:\n");
+  for (int st = 1; st <= 5; ++st) {
+    std::printf("  proto%d: %6d\n", st, cumulative[st]);
+  }
+  std::printf("paper: ~2.5K (proto1) to ~33K (proto5, mostly FAT32+USB); core stays small\n");
+
+  std::printf("\nFigure 7 (right): app + userlib SLoC by prototype tier\n");
+  int app_cumulative[6] = {};
+  for (const Subsystem& s : kAppTiers) {
+    int n = CountSubsystem(root, s);
+    std::printf("%-56s %6d\n", s.name, n);
+    for (int st = s.stage; st <= 5; ++st) {
+      app_cumulative[st] += n;
+    }
+  }
+  std::printf("\ncumulative app SLoC per prototype:\n");
+  for (int st = 1; st <= 5; ++st) {
+    std::printf("  proto%d: %6d\n", st, app_cumulative[st]);
+  }
+  std::printf("paper: ~260 (proto1) to ~76K apps + ~770K userlib (proto5; newlib/SDL bulk —\n"
+              "our from-scratch substitutes are far smaller by design, see DESIGN.md)\n");
+}
+
+}  // namespace
+}  // namespace vos
+
+int main() {
+  vos::Run();
+  return 0;
+}

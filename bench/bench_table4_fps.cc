@@ -1,0 +1,100 @@
+// Table 4: throughput (FPS) of the benchmark apps — DOOM, video playback
+// (480p/720p), and the three mario variants — on the Pi3 profile and the two
+// QEMU profiles, mean +- std over repeated runs. Apps render as fast as
+// possible (no FPS cap); video playback measured in --bench mode like the
+// others, with native-rate numbers noted.
+#include "bench/bench_util.h"
+
+namespace vos {
+namespace {
+
+SystemOptions BaseOptions(Platform platform) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5, platform);
+  return opt;
+}
+
+SystemOptions VideoOptions(Platform platform, std::uint32_t w, std::uint32_t h) {
+  SystemOptions opt = BaseOptions(platform);
+  opt.with_media_assets = true;
+  opt.media_video_w = w;
+  opt.media_video_h = h;
+  opt.media_video_frames = 24;  // decoder loops over the clip via reopen
+  opt.dram_size = MiB(96);
+  return opt;
+}
+
+struct Row {
+  const char* name;
+  const char* paper_pi3;
+  MeanStd per_platform[3];
+};
+
+void Run(int runs) {
+  PrintHeader("Table 4: app throughput in FPS (mean +- std)");
+  const Platform platforms[3] = {Platform::kPi3, Platform::kQemuWsl, Platform::kQemuVm};
+
+  Row rows[] = {
+      {"DOOM", "61.8", {}},
+      {"video (480p)", "26.7", {}},
+      {"video (720p)", "11.6", {}},
+      {"mario-noinput", "108.1", {}},
+      {"mario-proc", "114.7", {}},
+      {"mario-sdl", "72.2", {}},
+  };
+
+  for (int p = 0; p < 3; ++p) {
+    Platform plat = platforms[p];
+    std::fprintf(stderr, "measuring platform %s...\n", PlatformName(plat));
+    rows[0].per_platform[p] = MeasureFpsRuns(BaseOptions(plat), "doomlike",
+                                             {"--bench", "--frames", "100000"}, runs);
+    {
+      std::vector<double> fps;
+      for (int r = 0; r < runs; ++r) {
+        System sys(VideoOptions(plat, 640, 480));
+        fps.push_back(MeasureAppFps(sys, "videoplayer",
+                                    {"/d/videos/clip480.vmv", "--bench", "--frames", "100000"},
+                                    Sec(6), Sec(3))
+                          .fps);
+      }
+      rows[1].per_platform[p] = Stats(fps);
+    }
+    {
+      std::vector<double> fps;
+      for (int r = 0; r < runs; ++r) {
+        System sys(VideoOptions(plat, 1280, 720));
+        fps.push_back(MeasureAppFps(sys, "videoplayer",
+                                    {"/d/videos/clip480.vmv", "--bench", "--frames", "100000"},
+                                    Sec(14), Sec(3))
+                          .fps);
+      }
+      rows[2].per_platform[p] = Stats(fps);
+    }
+    rows[3].per_platform[p] = MeasureFpsRuns(BaseOptions(plat), "mario",
+                                             {"--bench", "--frames", "100000"}, runs);
+    rows[4].per_platform[p] = MeasureFpsRuns(BaseOptions(plat), "mario-proc",
+                                             {"--bench", "--frames", "100000"}, runs);
+    rows[5].per_platform[p] = MeasureFpsRuns(BaseOptions(plat), "mario-sdl",
+                                             {"--bench", "--frames", "100000"}, runs);
+  }
+
+  std::printf("%-16s %8s | %14s %14s %14s\n", "app", "paper", "pi3", "qemu-wsl", "qemu-vm");
+  for (const Row& r : rows) {
+    std::printf("%-16s %8s |", r.name, r.paper_pi3);
+    for (int p = 0; p < 3; ++p) {
+      std::printf(" %7.2f+-%5.2f", r.per_platform[p].mean, r.per_platform[p].stddev);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nnote: video rows measure decode+render throughput of the synthetic clip at the\n"
+      "named geometry (the paper's MPEG-1 content is proprietary; see DESIGN.md).\n");
+}
+
+}  // namespace
+}  // namespace vos
+
+int main(int argc, char** argv) {
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+  vos::Run(runs);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Shared helpers for the per-table/figure benchmark binaries: statistics,
+// table formatting, serial-output metric parsing, and the FPS measurement
+// harness (warm-up then measure, counting the apps' frame marks — the
+// methodology of §6.3).
+#ifndef VOS_BENCH_BENCH_UTIL_H_
+#define VOS_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+
+struct MeanStd {
+  double mean = 0;
+  double stddev = 0;
+};
+
+inline MeanStd Stats(const std::vector<double>& xs) {
+  MeanStd out;
+  if (xs.empty()) {
+    return out;
+  }
+  out.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / double(xs.size());
+  double var = 0;
+  for (double x : xs) {
+    var += (x - out.mean) * (x - out.mean);
+  }
+  out.stddev = xs.size() > 1 ? std::sqrt(var / double(xs.size() - 1)) : 0.0;
+  return out;
+}
+
+// Parses "key value" lines from the serial console (what the in-OS
+// microbenchmark programs print). Returns the LAST occurrence.
+inline std::optional<double> ParseMetric(const std::string& serial, const std::string& key) {
+  std::optional<double> found;
+  std::size_t pos = 0;
+  while ((pos = serial.find(key, pos)) != std::string::npos) {
+    std::size_t vstart = pos + key.size();
+    found = std::atof(serial.c_str() + vstart);
+    pos = vstart;
+  }
+  return found;
+}
+
+// Runs one app to completion (bench mode), measuring FPS from its frame
+// marks after a warm-up window — the paper measures "after a 20-second
+// warm-up"; we scale the horizon down since virtual time is deterministic.
+struct FpsResult {
+  double fps = 0;
+  std::uint64_t frames = 0;
+};
+
+inline FpsResult MeasureAppFps(System& sys, const std::string& app,
+                               std::vector<std::string> args, Cycles warmup = Sec(2),
+                               Cycles measure = Sec(4)) {
+  sys.kernel().trace().Clear();
+  Task* t = sys.Start(app, args);
+  Pid pid = t->pid();
+  sys.Run(warmup);
+  Cycles t0 = sys.board().clock().now();
+  sys.kernel().trace().Clear();  // drop warm-up frames
+  sys.Run(measure);
+  Cycles t1 = sys.board().clock().now();
+  std::uint64_t frames = 0;
+  for (const TraceRecord& r : sys.kernel().trace().DumpEvent(TraceEvent::kUserMark)) {
+    frames += (r.a == 1 && r.ts >= t0 && r.ts <= t1);
+  }
+  // Stop the app and reap it so the next run starts clean.
+  sys.kernel().KillFromHost(pid);
+  sys.Run(Ms(300));
+  if (Task* cur = sys.kernel().FindTask(pid)) {
+    if (cur->state == TaskState::kZombie) {
+      sys.kernel().ReapZombie(pid);
+    }
+  }
+  FpsResult out;
+  out.frames = frames;
+  out.fps = ToSec(t1 - t0) > 0 ? double(frames) / ToSec(t1 - t0) : 0;
+  return out;
+}
+
+// Mean +- std over `runs` fresh systems.
+inline MeanStd MeasureFpsRuns(const SystemOptions& opt, const std::string& app,
+                              const std::vector<std::string>& args, int runs = 3,
+                              Cycles warmup = Sec(2), Cycles measure = Sec(4)) {
+  std::vector<double> fps;
+  for (int i = 0; i < runs; ++i) {
+    System sys(opt);
+    fps.push_back(MeasureAppFps(sys, app, args, warmup, measure).fps);
+  }
+  return Stats(fps);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace vos
+
+#endif  // VOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,25 @@
+// Quickstart: boot the full Prototype-5 system, run a shell command, and
+// save a screenshot. See README.md.
+#include <cstdio>
+#include <fstream>
+
+#include "src/ulib/bmp.h"
+#include "src/vos/system.h"
+
+int main() {
+  vos::System sys;  // default: Prototype 5 on a simulated Pi3
+  const auto& br = sys.boot_report();
+  std::printf("booted in %.2f s of virtual time (firmware %.2f s, usb %.2f s)\n",
+              vos::ToSec(br.total), vos::ToSec(br.firmware), vos::ToSec(br.usb));
+  std::int64_t rc = sys.RunProgram("sh", {"/etc/rc"});
+  std::printf("rc script exit code: %lld\n", static_cast<long long>(rc));
+  rc = sys.RunProgram("hello", {"from", "quickstart"});
+  std::printf("hello exit code: %lld\n", static_cast<long long>(rc));
+  std::printf("serial console:\n%s\n", sys.SerialOutput().c_str());
+  vos::Image shot = sys.Screenshot();
+  std::vector<std::uint8_t> bmp = vos::BmpEncode(shot);
+  std::ofstream("quickstart.bmp", std::ios::binary)
+      .write(reinterpret_cast<const char*>(bmp.data()), static_cast<long>(bmp.size()));
+  std::printf("wrote quickstart.bmp (%ux%u)\n", shot.width, shot.height);
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "src/apps/app_registry.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+AppRegistry& AppRegistry::Instance() {
+  static AppRegistry* instance = new AppRegistry();
+  return *instance;
+}
+
+void AppRegistry::Register(const std::string& name, AppMain main, std::uint32_t code_size,
+                           std::uint64_t heap_reserve) {
+  VOS_CHECK_MSG(apps_.find(name) == apps_.end(), "duplicate app registration");
+  apps_[name] = Entry{std::move(main), code_size, heap_reserve};
+}
+
+std::uint64_t AppRegistry::HeapReserve(const std::string& name) const {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? 0 : it->second.heap_reserve;
+}
+
+const AppMain* AppRegistry::Find(const std::string& name) const {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : &it->second.main;
+}
+
+std::uint32_t AppRegistry::CodeSize(const std::string& name) const {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? 0 : it->second.code_size;
+}
+
+std::vector<std::string> AppRegistry::Names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : apps_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace vos

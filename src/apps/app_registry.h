@@ -1,0 +1,61 @@
+// The application registry: maps VELF entry symbols to app entry points.
+//
+// In the real VOS, exec() jumps to the ELF entry address of independently
+// compiled user code. In the simulator apps are compiled into the library;
+// the registry is the "symbol table" the loader resolves against after
+// parsing the VELF headers, so the loading machinery (segments, stacks,
+// argv) stays real while execution is native.
+#ifndef VOS_SRC_APPS_APP_REGISTRY_H_
+#define VOS_SRC_APPS_APP_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vos {
+
+class Kernel;
+class Task;
+
+// Execution environment handed to an app's main: the "process context".
+struct AppEnv {
+  Kernel* kernel = nullptr;
+  Task* task = nullptr;
+  std::vector<std::string> argv;
+};
+
+using AppMain = std::function<int(AppEnv&)>;
+
+class AppRegistry {
+ public:
+  static AppRegistry& Instance();
+
+  void Register(const std::string& name, AppMain main, std::uint32_t code_size,
+                std::uint64_t heap_reserve);
+  const AppMain* Find(const std::string& name) const;
+  std::uint32_t CodeSize(const std::string& name) const;
+  std::uint64_t HeapReserve(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    AppMain main;
+    std::uint32_t code_size;     // pseudo-text size packed into the VELF
+    std::uint64_t heap_reserve;  // heap arena the VELF header requests
+  };
+  std::map<std::string, Entry> apps_;
+};
+
+// Static registrar used by each app translation unit.
+class AppRegistrar {
+ public:
+  AppRegistrar(const std::string& name, AppMain main, std::uint32_t code_size = 16384,
+               std::uint64_t heap_reserve = 4ull << 20) {
+    AppRegistry::Instance().Register(name, std::move(main), code_size, heap_reserve);
+  }
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_APPS_APP_REGISTRY_H_

@@ -1,0 +1,39 @@
+// buzzer (Prototype 4): the first sound app — plays a short square-wave tone
+// through /dev/sb, exercising the app -> driver ring -> DMA -> PWM pipeline
+// end to end before the full music player arrives.
+#include <vector>
+
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+int BuzzerMain(AppEnv& env) {
+  int freq = env.argv.size() > 1 ? std::atoi(env.argv[1].c_str()) : 440;
+  int ms = env.argv.size() > 2 ? std::atoi(env.argv[2].c_str()) : 250;
+  std::int64_t fd = uopen(env, "/dev/sb", kOWronly);
+  if (fd < 0) {
+    uprintf(env, "buzzer: no sound device\n");
+    return 1;
+  }
+  constexpr std::uint32_t kRate = 44100;
+  std::uint32_t frames = kRate * static_cast<std::uint32_t>(ms) / 1000;
+  std::vector<std::int16_t> buf(std::size_t(frames) * 2);
+  std::uint32_t half_period = freq > 0 ? kRate / (2 * static_cast<std::uint32_t>(freq)) : 1;
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    std::int16_t s = ((i / half_period) & 1) ? 12000 : -12000;
+    buf[std::size_t(i) * 2] = s;
+    buf[std::size_t(i) * 2 + 1] = s;
+  }
+  UBurn(env, frames * 3.0);  // waveform synthesis
+  std::int64_t w = uwrite(env, static_cast<int>(fd), buf.data(),
+                          static_cast<std::uint32_t>(buf.size() * 2));
+  uclose(env, static_cast<int>(fd));
+  return w >= 0 ? 0 : 1;
+}
+
+AppRegistrar buzzer_app("buzzer", BuzzerMain, 900, 256 << 10);
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,946 @@
+#include "src/apps/cpu6502.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+std::uint8_t Bus6502::Read(std::uint16_t addr) const {
+  if (read_hook_) {
+    if (auto v = read_hook_(addr)) {
+      return *v;
+    }
+  }
+  return ram_[addr];
+}
+
+void Bus6502::Write(std::uint16_t addr, std::uint8_t v) {
+  if (write_hook_ && write_hook_(addr, v)) {
+    return;
+  }
+  ram_[addr] = v;
+}
+
+void Bus6502::Load(std::uint16_t addr, const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    ram_[(addr + i) & 0xffff] = bytes[i];
+  }
+}
+
+namespace {
+
+enum class Mode {
+  kImp,  // implied / accumulator
+  kImm,
+  kZp,
+  kZpX,
+  kZpY,
+  kAbs,
+  kAbsX,
+  kAbsY,
+  kIzx,  // (zp,X)
+  kIzy,  // (zp),Y
+  kRel,
+  kInd,  // JMP only
+};
+
+enum class Op {
+  kAdc, kAnd, kAsl, kBcc, kBcs, kBeq, kBit, kBmi, kBne, kBpl, kBrk, kBvc, kBvs,
+  kClc, kCld, kCli, kClv, kCmp, kCpx, kCpy, kDec, kDex, kDey, kEor, kInc, kInx,
+  kIny, kJmp, kJsr, kLda, kLdx, kLdy, kLsr, kNop, kOra, kPha, kPhp, kPla, kPlp,
+  kRol, kRor, kRti, kRts, kSbc, kSec, kSed, kSei, kSta, kStx, kSty, kTax, kTay,
+  kTsx, kTxa, kTxs, kTya, kBad,
+};
+
+struct Decoded {
+  Op op = Op::kBad;
+  Mode mode = Mode::kImp;
+  int cycles = 0;
+  bool page_penalty = false;  // +1 cycle when indexing crosses a page
+};
+
+struct OpcodeTable {
+  Decoded t[256];
+  OpcodeTable() {
+    auto set = [this](int code, Op op, Mode m, int cyc, bool pp = false) {
+      t[code] = Decoded{op, m, cyc, pp};
+    };
+    // ALU ops with the standard 8-mode pattern.
+    struct AluRow {
+      Op op;
+      int imm, zp, zpx, abs, abx, aby, izx, izy;
+    };
+    const AluRow alu[] = {
+        {Op::kAdc, 0x69, 0x65, 0x75, 0x6d, 0x7d, 0x79, 0x61, 0x71},
+        {Op::kAnd, 0x29, 0x25, 0x35, 0x2d, 0x3d, 0x39, 0x21, 0x31},
+        {Op::kCmp, 0xc9, 0xc5, 0xd5, 0xcd, 0xdd, 0xd9, 0xc1, 0xd1},
+        {Op::kEor, 0x49, 0x45, 0x55, 0x4d, 0x5d, 0x59, 0x41, 0x51},
+        {Op::kLda, 0xa9, 0xa5, 0xb5, 0xad, 0xbd, 0xb9, 0xa1, 0xb1},
+        {Op::kOra, 0x09, 0x05, 0x15, 0x0d, 0x1d, 0x19, 0x01, 0x11},
+        {Op::kSbc, 0xe9, 0xe5, 0xf5, 0xed, 0xfd, 0xf9, 0xe1, 0xf1},
+    };
+    for (const AluRow& r : alu) {
+      set(r.imm, r.op, Mode::kImm, 2);
+      set(r.zp, r.op, Mode::kZp, 3);
+      set(r.zpx, r.op, Mode::kZpX, 4);
+      set(r.abs, r.op, Mode::kAbs, 4);
+      set(r.abx, r.op, Mode::kAbsX, 4, true);
+      set(r.aby, r.op, Mode::kAbsY, 4, true);
+      set(r.izx, r.op, Mode::kIzx, 6);
+      set(r.izy, r.op, Mode::kIzy, 5, true);
+    }
+    // Read-modify-write shifts/rotates + INC/DEC.
+    struct RmwRow {
+      Op op;
+      int acc, zp, zpx, abs, abx;
+    };
+    const RmwRow rmw[] = {
+        {Op::kAsl, 0x0a, 0x06, 0x16, 0x0e, 0x1e},
+        {Op::kLsr, 0x4a, 0x46, 0x56, 0x4e, 0x5e},
+        {Op::kRol, 0x2a, 0x26, 0x36, 0x2e, 0x3e},
+        {Op::kRor, 0x6a, 0x66, 0x76, 0x6e, 0x7e},
+        {Op::kInc, -1, 0xe6, 0xf6, 0xee, 0xfe},
+        {Op::kDec, -1, 0xc6, 0xd6, 0xce, 0xde},
+    };
+    for (const RmwRow& r : rmw) {
+      if (r.acc >= 0) {
+        set(r.acc, r.op, Mode::kImp, 2);
+      }
+      set(r.zp, r.op, Mode::kZp, 5);
+      set(r.zpx, r.op, Mode::kZpX, 6);
+      set(r.abs, r.op, Mode::kAbs, 6);
+      set(r.abx, r.op, Mode::kAbsX, 7);
+    }
+    // Stores.
+    set(0x85, Op::kSta, Mode::kZp, 3);
+    set(0x95, Op::kSta, Mode::kZpX, 4);
+    set(0x8d, Op::kSta, Mode::kAbs, 4);
+    set(0x9d, Op::kSta, Mode::kAbsX, 5);
+    set(0x99, Op::kSta, Mode::kAbsY, 5);
+    set(0x81, Op::kSta, Mode::kIzx, 6);
+    set(0x91, Op::kSta, Mode::kIzy, 6);
+    set(0x86, Op::kStx, Mode::kZp, 3);
+    set(0x96, Op::kStx, Mode::kZpY, 4);
+    set(0x8e, Op::kStx, Mode::kAbs, 4);
+    set(0x84, Op::kSty, Mode::kZp, 3);
+    set(0x94, Op::kSty, Mode::kZpX, 4);
+    set(0x8c, Op::kSty, Mode::kAbs, 4);
+    // Loads LDX/LDY.
+    set(0xa2, Op::kLdx, Mode::kImm, 2);
+    set(0xa6, Op::kLdx, Mode::kZp, 3);
+    set(0xb6, Op::kLdx, Mode::kZpY, 4);
+    set(0xae, Op::kLdx, Mode::kAbs, 4);
+    set(0xbe, Op::kLdx, Mode::kAbsY, 4, true);
+    set(0xa0, Op::kLdy, Mode::kImm, 2);
+    set(0xa4, Op::kLdy, Mode::kZp, 3);
+    set(0xb4, Op::kLdy, Mode::kZpX, 4);
+    set(0xac, Op::kLdy, Mode::kAbs, 4);
+    set(0xbc, Op::kLdy, Mode::kAbsX, 4, true);
+    // Compares CPX/CPY.
+    set(0xe0, Op::kCpx, Mode::kImm, 2);
+    set(0xe4, Op::kCpx, Mode::kZp, 3);
+    set(0xec, Op::kCpx, Mode::kAbs, 4);
+    set(0xc0, Op::kCpy, Mode::kImm, 2);
+    set(0xc4, Op::kCpy, Mode::kZp, 3);
+    set(0xcc, Op::kCpy, Mode::kAbs, 4);
+    // Bit test.
+    set(0x24, Op::kBit, Mode::kZp, 3);
+    set(0x2c, Op::kBit, Mode::kAbs, 4);
+    // Branches.
+    set(0x90, Op::kBcc, Mode::kRel, 2);
+    set(0xb0, Op::kBcs, Mode::kRel, 2);
+    set(0xf0, Op::kBeq, Mode::kRel, 2);
+    set(0x30, Op::kBmi, Mode::kRel, 2);
+    set(0xd0, Op::kBne, Mode::kRel, 2);
+    set(0x10, Op::kBpl, Mode::kRel, 2);
+    set(0x50, Op::kBvc, Mode::kRel, 2);
+    set(0x70, Op::kBvs, Mode::kRel, 2);
+    // Jumps and subroutines.
+    set(0x4c, Op::kJmp, Mode::kAbs, 3);
+    set(0x6c, Op::kJmp, Mode::kInd, 5);
+    set(0x20, Op::kJsr, Mode::kAbs, 6);
+    set(0x60, Op::kRts, Mode::kImp, 6);
+    set(0x40, Op::kRti, Mode::kImp, 6);
+    set(0x00, Op::kBrk, Mode::kImp, 7);
+    // Stack.
+    set(0x48, Op::kPha, Mode::kImp, 3);
+    set(0x08, Op::kPhp, Mode::kImp, 3);
+    set(0x68, Op::kPla, Mode::kImp, 4);
+    set(0x28, Op::kPlp, Mode::kImp, 4);
+    // Flags.
+    set(0x18, Op::kClc, Mode::kImp, 2);
+    set(0xd8, Op::kCld, Mode::kImp, 2);
+    set(0x58, Op::kCli, Mode::kImp, 2);
+    set(0xb8, Op::kClv, Mode::kImp, 2);
+    set(0x38, Op::kSec, Mode::kImp, 2);
+    set(0xf8, Op::kSed, Mode::kImp, 2);
+    set(0x78, Op::kSei, Mode::kImp, 2);
+    // Register transfers & inc/dec.
+    set(0xaa, Op::kTax, Mode::kImp, 2);
+    set(0xa8, Op::kTay, Mode::kImp, 2);
+    set(0xba, Op::kTsx, Mode::kImp, 2);
+    set(0x8a, Op::kTxa, Mode::kImp, 2);
+    set(0x9a, Op::kTxs, Mode::kImp, 2);
+    set(0x98, Op::kTya, Mode::kImp, 2);
+    set(0xca, Op::kDex, Mode::kImp, 2);
+    set(0x88, Op::kDey, Mode::kImp, 2);
+    set(0xe8, Op::kInx, Mode::kImp, 2);
+    set(0xc8, Op::kIny, Mode::kImp, 2);
+    set(0xea, Op::kNop, Mode::kImp, 2);
+  }
+};
+
+const OpcodeTable g_opcodes;
+
+}  // namespace
+
+void Cpu6502::Reset() {
+  a = x = y = 0;
+  sp = 0xfd;
+  p = kFlagU | kFlagI;
+  pc = static_cast<std::uint16_t>(bus_.Read(0xfffc) | (bus_.Read(0xfffd) << 8));
+  halted = false;
+  instructions_retired = 0;
+}
+
+std::uint16_t Cpu6502::Fetch16() {
+  std::uint16_t lo = Fetch();
+  std::uint16_t hi = Fetch();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+void Cpu6502::Push(std::uint8_t v) {
+  bus_.Write(0x0100 | sp, v);
+  --sp;
+}
+
+std::uint8_t Cpu6502::Pop() {
+  ++sp;
+  return bus_.Read(0x0100 | sp);
+}
+
+void Cpu6502::SetZN(std::uint8_t v) {
+  p = static_cast<std::uint8_t>((p & ~(kFlagZ | kFlagN)) | (v == 0 ? kFlagZ : 0) |
+                                (v & 0x80 ? kFlagN : 0));
+}
+
+void Cpu6502::Branch(bool take, std::uint8_t rel, int& cycles) {
+  if (!take) {
+    return;
+  }
+  std::uint16_t target = static_cast<std::uint16_t>(pc + static_cast<std::int8_t>(rel));
+  cycles += 1 + ((target & 0xff00) != (pc & 0xff00) ? 1 : 0);
+  pc = target;
+}
+
+void Cpu6502::Adc(std::uint8_t operand) {
+  // NES 2A03: decimal mode is wired off, so binary arithmetic regardless of D.
+  std::uint16_t sum = static_cast<std::uint16_t>(a) + operand + (p & kFlagC ? 1 : 0);
+  std::uint8_t result = static_cast<std::uint8_t>(sum);
+  p = static_cast<std::uint8_t>((p & ~(kFlagC | kFlagV)) | (sum > 0xff ? kFlagC : 0) |
+                                ((~(a ^ operand) & (a ^ result) & 0x80) ? kFlagV : 0));
+  a = result;
+  SetZN(a);
+}
+
+void Cpu6502::Compare(std::uint8_t reg, std::uint8_t operand) {
+  std::uint16_t diff = static_cast<std::uint16_t>(reg) - operand;
+  p = static_cast<std::uint8_t>((p & ~kFlagC) | (reg >= operand ? kFlagC : 0));
+  SetZN(static_cast<std::uint8_t>(diff));
+}
+
+void Cpu6502::Irq() {
+  if (p & kFlagI) {
+    return;
+  }
+  Push(static_cast<std::uint8_t>(pc >> 8));
+  Push(static_cast<std::uint8_t>(pc));
+  Push(static_cast<std::uint8_t>((p | kFlagU) & ~kFlagB));
+  p |= kFlagI;
+  pc = static_cast<std::uint16_t>(bus_.Read(0xfffe) | (bus_.Read(0xffff) << 8));
+}
+
+void Cpu6502::Nmi() {
+  Push(static_cast<std::uint8_t>(pc >> 8));
+  Push(static_cast<std::uint8_t>(pc));
+  Push(static_cast<std::uint8_t>((p | kFlagU) & ~kFlagB));
+  p |= kFlagI;
+  pc = static_cast<std::uint16_t>(bus_.Read(0xfffa) | (bus_.Read(0xfffb) << 8));
+}
+
+int Cpu6502::Step() {
+  std::uint8_t opcode = Fetch();
+  const Decoded& d = g_opcodes.t[opcode];
+  VOS_CHECK_MSG(d.op != Op::kBad, "undocumented 6502 opcode");
+  int cycles = d.cycles;
+
+  // Effective-address computation.
+  std::uint16_t addr = 0;
+  std::uint8_t rel = 0;
+  bool acc_mode = false;
+  switch (d.mode) {
+    case Mode::kImp:
+      acc_mode = true;
+      break;
+    case Mode::kImm:
+      addr = pc++;
+      break;
+    case Mode::kZp:
+      addr = Fetch();
+      break;
+    case Mode::kZpX:
+      addr = static_cast<std::uint8_t>(Fetch() + x);
+      break;
+    case Mode::kZpY:
+      addr = static_cast<std::uint8_t>(Fetch() + y);
+      break;
+    case Mode::kAbs:
+      addr = Fetch16();
+      break;
+    case Mode::kAbsX: {
+      std::uint16_t base = Fetch16();
+      addr = static_cast<std::uint16_t>(base + x);
+      if (d.page_penalty && (addr & 0xff00) != (base & 0xff00)) {
+        ++cycles;
+      }
+      break;
+    }
+    case Mode::kAbsY: {
+      std::uint16_t base = Fetch16();
+      addr = static_cast<std::uint16_t>(base + y);
+      if (d.page_penalty && (addr & 0xff00) != (base & 0xff00)) {
+        ++cycles;
+      }
+      break;
+    }
+    case Mode::kIzx: {
+      std::uint8_t zp = static_cast<std::uint8_t>(Fetch() + x);
+      addr = static_cast<std::uint16_t>(bus_.Read(zp) |
+                                        (bus_.Read(static_cast<std::uint8_t>(zp + 1)) << 8));
+      break;
+    }
+    case Mode::kIzy: {
+      std::uint8_t zp = Fetch();
+      std::uint16_t base = static_cast<std::uint16_t>(
+          bus_.Read(zp) | (bus_.Read(static_cast<std::uint8_t>(zp + 1)) << 8));
+      addr = static_cast<std::uint16_t>(base + y);
+      if (d.page_penalty && (addr & 0xff00) != (base & 0xff00)) {
+        ++cycles;
+      }
+      break;
+    }
+    case Mode::kRel:
+      rel = Fetch();
+      break;
+    case Mode::kInd: {
+      std::uint16_t ptr = Fetch16();
+      // The famous page-wrap bug: ($xxFF) reads the high byte from $xx00.
+      std::uint16_t hi_ptr = static_cast<std::uint16_t>((ptr & 0xff00) |
+                                                        static_cast<std::uint8_t>(ptr + 1));
+      addr = static_cast<std::uint16_t>(bus_.Read(ptr) | (bus_.Read(hi_ptr) << 8));
+      break;
+    }
+  }
+
+  auto load = [&]() { return bus_.Read(addr); };
+  auto rmw = [&](std::uint8_t (Cpu6502::*)(std::uint8_t)) {};
+  (void)rmw;
+
+  switch (d.op) {
+    case Op::kLda:
+      a = load();
+      SetZN(a);
+      break;
+    case Op::kLdx:
+      x = load();
+      SetZN(x);
+      break;
+    case Op::kLdy:
+      y = load();
+      SetZN(y);
+      break;
+    case Op::kSta:
+      bus_.Write(addr, a);
+      break;
+    case Op::kStx:
+      bus_.Write(addr, x);
+      break;
+    case Op::kSty:
+      bus_.Write(addr, y);
+      break;
+    case Op::kAdc:
+      Adc(load());
+      break;
+    case Op::kSbc:
+      Adc(static_cast<std::uint8_t>(load() ^ 0xff));
+      break;
+    case Op::kAnd:
+      a &= load();
+      SetZN(a);
+      break;
+    case Op::kOra:
+      a |= load();
+      SetZN(a);
+      break;
+    case Op::kEor:
+      a ^= load();
+      SetZN(a);
+      break;
+    case Op::kCmp:
+      Compare(a, load());
+      break;
+    case Op::kCpx:
+      Compare(x, load());
+      break;
+    case Op::kCpy:
+      Compare(y, load());
+      break;
+    case Op::kBit: {
+      std::uint8_t m = load();
+      p = static_cast<std::uint8_t>((p & ~(kFlagZ | kFlagV | kFlagN)) |
+                                    ((a & m) == 0 ? kFlagZ : 0) | (m & kFlagV) | (m & kFlagN));
+      break;
+    }
+    case Op::kAsl:
+    case Op::kLsr:
+    case Op::kRol:
+    case Op::kRor: {
+      std::uint8_t v = acc_mode ? a : load();
+      std::uint8_t carry_in = (p & kFlagC) ? 1 : 0;
+      std::uint8_t carry_out;
+      std::uint8_t r;
+      if (d.op == Op::kAsl) {
+        carry_out = v >> 7;
+        r = static_cast<std::uint8_t>(v << 1);
+      } else if (d.op == Op::kLsr) {
+        carry_out = v & 1;
+        r = v >> 1;
+      } else if (d.op == Op::kRol) {
+        carry_out = v >> 7;
+        r = static_cast<std::uint8_t>((v << 1) | carry_in);
+      } else {
+        carry_out = v & 1;
+        r = static_cast<std::uint8_t>((v >> 1) | (carry_in << 7));
+      }
+      p = static_cast<std::uint8_t>((p & ~kFlagC) | (carry_out ? kFlagC : 0));
+      SetZN(r);
+      if (acc_mode) {
+        a = r;
+      } else {
+        bus_.Write(addr, r);
+      }
+      break;
+    }
+    case Op::kInc: {
+      std::uint8_t r = static_cast<std::uint8_t>(load() + 1);
+      bus_.Write(addr, r);
+      SetZN(r);
+      break;
+    }
+    case Op::kDec: {
+      std::uint8_t r = static_cast<std::uint8_t>(load() - 1);
+      bus_.Write(addr, r);
+      SetZN(r);
+      break;
+    }
+    case Op::kInx:
+      SetZN(++x);
+      break;
+    case Op::kIny:
+      SetZN(++y);
+      break;
+    case Op::kDex:
+      SetZN(--x);
+      break;
+    case Op::kDey:
+      SetZN(--y);
+      break;
+    case Op::kTax:
+      x = a;
+      SetZN(x);
+      break;
+    case Op::kTay:
+      y = a;
+      SetZN(y);
+      break;
+    case Op::kTxa:
+      a = x;
+      SetZN(a);
+      break;
+    case Op::kTya:
+      a = y;
+      SetZN(a);
+      break;
+    case Op::kTsx:
+      x = sp;
+      SetZN(x);
+      break;
+    case Op::kTxs:
+      sp = x;
+      break;
+    case Op::kPha:
+      Push(a);
+      break;
+    case Op::kPhp:
+      Push(static_cast<std::uint8_t>(p | kFlagB | kFlagU));
+      break;
+    case Op::kPla:
+      a = Pop();
+      SetZN(a);
+      break;
+    case Op::kPlp:
+      p = static_cast<std::uint8_t>((Pop() | kFlagU) & ~kFlagB);
+      break;
+    case Op::kClc:
+      p &= ~kFlagC;
+      break;
+    case Op::kSec:
+      p |= kFlagC;
+      break;
+    case Op::kCli:
+      p &= ~kFlagI;
+      break;
+    case Op::kSei:
+      p |= kFlagI;
+      break;
+    case Op::kClv:
+      p &= ~kFlagV;
+      break;
+    case Op::kCld:
+      p &= ~kFlagD;
+      break;
+    case Op::kSed:
+      p |= kFlagD;
+      break;
+    case Op::kJmp:
+      pc = addr;
+      break;
+    case Op::kJsr: {
+      std::uint16_t ret = static_cast<std::uint16_t>(pc - 1);
+      Push(static_cast<std::uint8_t>(ret >> 8));
+      Push(static_cast<std::uint8_t>(ret));
+      pc = addr;
+      break;
+    }
+    case Op::kRts:
+      pc = static_cast<std::uint16_t>((Pop() | (Pop() << 8)) + 1);
+      break;
+    case Op::kRti: {
+      p = static_cast<std::uint8_t>((Pop() | kFlagU) & ~kFlagB);
+      std::uint8_t lo = Pop();
+      pc = static_cast<std::uint16_t>(lo | (Pop() << 8));
+      break;
+    }
+    case Op::kBrk: {
+      ++pc;  // BRK has a padding byte
+      Push(static_cast<std::uint8_t>(pc >> 8));
+      Push(static_cast<std::uint8_t>(pc));
+      Push(static_cast<std::uint8_t>(p | kFlagB | kFlagU));
+      p |= kFlagI;
+      pc = static_cast<std::uint16_t>(bus_.Read(0xfffe) | (bus_.Read(0xffff) << 8));
+      break;
+    }
+    case Op::kBcc:
+      Branch(!(p & kFlagC), rel, cycles);
+      break;
+    case Op::kBcs:
+      Branch(p & kFlagC, rel, cycles);
+      break;
+    case Op::kBeq:
+      Branch(p & kFlagZ, rel, cycles);
+      break;
+    case Op::kBne:
+      Branch(!(p & kFlagZ), rel, cycles);
+      break;
+    case Op::kBmi:
+      Branch(p & kFlagN, rel, cycles);
+      break;
+    case Op::kBpl:
+      Branch(!(p & kFlagN), rel, cycles);
+      break;
+    case Op::kBvs:
+      Branch(p & kFlagV, rel, cycles);
+      break;
+    case Op::kBvc:
+      Branch(!(p & kFlagV), rel, cycles);
+      break;
+    case Op::kNop:
+      break;
+    case Op::kBad:
+      break;
+  }
+  ++instructions_retired;
+  return cycles;
+}
+
+std::uint64_t Cpu6502::Run(std::uint64_t max_instructions, std::uint16_t halt_pc) {
+  std::uint64_t cycles = 0;
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    if (pc == halt_pc) {
+      halted = true;
+      break;
+    }
+    cycles += static_cast<std::uint64_t>(Step());
+  }
+  return cycles;
+}
+
+// --- mini-assembler ----------------------------------------------------------
+
+namespace {
+
+struct Operand {
+  Mode mode = Mode::kImp;
+  std::uint16_t value = 0;
+  std::string label;  // unresolved symbol (abs or rel)
+};
+
+// Mnemonic -> (Op + the opcode for each mode). Built by inverting the table.
+std::map<std::string, std::map<int, int>> BuildMnemonicMap() {
+  static const char* kNames[] = {
+      "ADC", "AND", "ASL", "BCC", "BCS", "BEQ", "BIT", "BMI", "BNE", "BPL", "BRK", "BVC",
+      "BVS", "CLC", "CLD", "CLI", "CLV", "CMP", "CPX", "CPY", "DEC", "DEX", "DEY", "EOR",
+      "INC", "INX", "INY", "JMP", "JSR", "LDA", "LDX", "LDY", "LSR", "NOP", "ORA", "PHA",
+      "PHP", "PLA", "PLP", "ROL", "ROR", "RTI", "RTS", "SBC", "SEC", "SED", "SEI", "STA",
+      "STX", "STY", "TAX", "TAY", "TSX", "TXA", "TXS", "TYA"};
+  std::map<std::string, std::map<int, int>> out;
+  for (int code = 0; code < 256; ++code) {
+    const Decoded& d = g_opcodes.t[code];
+    if (d.op == Op::kBad) {
+      continue;
+    }
+    out[kNames[static_cast<int>(d.op)]][static_cast<int>(d.mode)] = code;
+  }
+  return out;
+}
+
+bool ParseNumber(const std::string& tok, std::uint16_t* out) {
+  if (tok.empty()) {
+    return false;
+  }
+  try {
+    if (tok[0] == '$') {
+      *out = static_cast<std::uint16_t>(std::stoul(tok.substr(1), nullptr, 16));
+    } else if (tok[0] == '%') {
+      *out = static_cast<std::uint16_t>(std::stoul(tok.substr(1), nullptr, 2));
+    } else if (std::isdigit(static_cast<unsigned char>(tok[0]))) {
+      *out = static_cast<std::uint16_t>(std::stoul(tok, nullptr, 10));
+    } else {
+      return false;
+    }
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string Strip(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) {
+    return "";
+  }
+  std::size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+std::optional<Assembled> Assemble6502(const std::string& source, std::string* error) {
+  static const auto mnemonics = BuildMnemonicMap();
+  std::map<std::string, std::uint16_t> labels;
+  struct Line {
+    std::string mnemonic;
+    Operand operand;
+    std::vector<std::uint8_t> raw;  // .byte payload
+    int lineno;
+  };
+  auto fail = [error](int lineno, const std::string& msg) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + msg;
+    }
+    return std::nullopt;
+  };
+
+  // Pass 1: parse lines, record label addresses by simulating sizes.
+  std::vector<Line> lines;
+  std::uint16_t origin = 0x8000;
+  std::uint16_t addr = origin;
+  bool any_code = false;  // a .org before any emission relocates the image
+  std::istringstream in(source);
+  std::string raw_line;
+  int lineno = 0;
+  while (std::getline(in, raw_line)) {
+    ++lineno;
+    std::string text = raw_line;
+    std::size_t semi = text.find(';');
+    if (semi != std::string::npos) {
+      text = text.substr(0, semi);
+    }
+    text = Strip(text);
+    if (text.empty()) {
+      continue;
+    }
+    // Label prefix.
+    std::size_t colon = text.find(':');
+    if (colon != std::string::npos && text.find(' ') > colon) {
+      std::string label = Upper(Strip(text.substr(0, colon)));
+      labels[label] = addr;
+      text = Strip(text.substr(colon + 1));
+      if (text.empty()) {
+        continue;
+      }
+    }
+    // Directives.
+    if (text[0] == '.') {
+      std::istringstream ls(text);
+      std::string dir;
+      ls >> dir;
+      dir = Upper(dir);
+      if (dir == ".ORG") {
+        std::string v;
+        ls >> v;
+        std::uint16_t value;
+        if (!ParseNumber(v, &value)) {
+          return fail(lineno, "bad .org operand");
+        }
+        if (!any_code) {
+          origin = value;
+        }
+        addr = value;
+        Line l;
+        l.mnemonic = ".ORG";
+        l.operand.value = value;
+        l.lineno = lineno;
+        lines.push_back(l);
+        continue;
+      }
+      if (dir == ".BYTE") {
+        Line l;
+        l.mnemonic = ".BYTE";
+        l.lineno = lineno;
+        std::string rest;
+        std::getline(ls, rest);
+        std::istringstream vs(rest);
+        std::string tok;
+        while (std::getline(vs, tok, ',')) {
+          std::uint16_t v;
+          if (!ParseNumber(Strip(tok), &v) || v > 0xff) {
+            return fail(lineno, "bad .byte value");
+          }
+          l.raw.push_back(static_cast<std::uint8_t>(v));
+        }
+        addr = static_cast<std::uint16_t>(addr + l.raw.size());
+        any_code = true;
+        lines.push_back(l);
+        continue;
+      }
+      if (dir == ".WORD") {
+        Line l;
+        l.mnemonic = ".BYTE";  // lowered to bytes
+        l.lineno = lineno;
+        std::string rest;
+        std::getline(ls, rest);
+        std::istringstream vs(rest);
+        std::string tok;
+        while (std::getline(vs, tok, ',')) {
+          std::string t = Upper(Strip(tok));
+          std::uint16_t v = 0;
+          if (!ParseNumber(t, &v)) {
+            auto it = labels.find(t);
+            if (it == labels.end()) {
+              return fail(lineno, ".word forward references unsupported");
+            }
+            v = it->second;
+          }
+          l.raw.push_back(static_cast<std::uint8_t>(v));
+          l.raw.push_back(static_cast<std::uint8_t>(v >> 8));
+        }
+        addr = static_cast<std::uint16_t>(addr + l.raw.size());
+        any_code = true;
+        lines.push_back(l);
+        continue;
+      }
+      return fail(lineno, "unknown directive " + dir);
+    }
+    // Instruction.
+    std::istringstream ls(text);
+    std::string mn;
+    ls >> mn;
+    mn = Upper(mn);
+    auto mit = mnemonics.find(mn);
+    if (mit == mnemonics.end()) {
+      return fail(lineno, "unknown mnemonic " + mn);
+    }
+    std::string op_text;
+    std::getline(ls, op_text);
+    op_text = Strip(op_text);
+    Operand operand;
+    const auto& modes = mit->second;
+    auto has = [&modes](Mode m) { return modes.count(static_cast<int>(m)) != 0; };
+    if (op_text.empty()) {
+      operand.mode = Mode::kImp;
+    } else if (op_text == "A" || op_text == "a") {
+      operand.mode = Mode::kImp;
+    } else if (op_text[0] == '#') {
+      operand.mode = Mode::kImm;
+      std::uint16_t v;
+      if (!ParseNumber(op_text.substr(1), &v) || v > 0xff) {
+        return fail(lineno, "bad immediate");
+      }
+      operand.value = v;
+    } else if (op_text[0] == '(') {
+      std::string inner = Upper(Strip(op_text.substr(1)));
+      if (inner.size() > 3 && inner.compare(inner.size() - 3, 3, ",X)") == 0) {
+        operand.mode = Mode::kIzx;
+        inner = Strip(inner.substr(0, inner.size() - 3));
+      } else if (inner.size() > 3 && inner.compare(inner.size() - 3, 3, "),Y") == 0) {
+        operand.mode = Mode::kIzy;
+        inner = Strip(inner.substr(0, inner.size() - 3));
+      } else if (!inner.empty() && inner.back() == ')') {
+        operand.mode = Mode::kInd;
+        inner = Strip(inner.substr(0, inner.size() - 1));
+      } else {
+        return fail(lineno, "bad indirect operand");
+      }
+      if (!ParseNumber(inner, &operand.value)) {
+        operand.label = inner;
+      }
+    } else {
+      std::string t = Upper(op_text);
+      bool idx_x = false, idx_y = false;
+      if (t.size() > 2 && t.compare(t.size() - 2, 2, ",X") == 0) {
+        idx_x = true;
+        t = Strip(t.substr(0, t.size() - 2));
+      } else if (t.size() > 2 && t.compare(t.size() - 2, 2, ",Y") == 0) {
+        idx_y = true;
+        t = Strip(t.substr(0, t.size() - 2));
+      }
+      std::uint16_t v = 0;
+      bool is_num = ParseNumber(t, &v);
+      if (!is_num) {
+        operand.label = t;
+        v = 0xffff;  // force absolute sizing for labels
+      }
+      operand.value = v;
+      if (has(Mode::kRel)) {
+        operand.mode = Mode::kRel;
+      } else if (is_num && v <= 0xff && !idx_y && has(Mode::kZpX) && idx_x) {
+        operand.mode = Mode::kZpX;
+      } else if (is_num && v <= 0xff && idx_y && has(Mode::kZpY)) {
+        operand.mode = Mode::kZpY;
+      } else if (is_num && v <= 0xff && !idx_x && !idx_y && has(Mode::kZp)) {
+        operand.mode = Mode::kZp;
+      } else if (idx_x) {
+        operand.mode = Mode::kAbsX;
+      } else if (idx_y) {
+        operand.mode = Mode::kAbsY;
+      } else {
+        operand.mode = Mode::kAbs;
+      }
+    }
+    if (!has(operand.mode)) {
+      return fail(lineno, mn + " does not support that addressing mode");
+    }
+    Line l;
+    l.mnemonic = mn;
+    l.operand = operand;
+    l.lineno = lineno;
+    any_code = true;
+    lines.push_back(l);
+    int size = 1;
+    switch (operand.mode) {
+      case Mode::kImp:
+        size = 1;
+        break;
+      case Mode::kImm:
+      case Mode::kZp:
+      case Mode::kZpX:
+      case Mode::kZpY:
+      case Mode::kIzx:
+      case Mode::kIzy:
+      case Mode::kRel:
+        size = 2;
+        break;
+      default:
+        size = 3;
+        break;
+    }
+    addr = static_cast<std::uint16_t>(addr + size);
+  }
+
+  // Pass 2: emit.
+  Assembled out;
+  out.origin = origin;
+  addr = origin;
+  for (const Line& l : lines) {
+    if (l.mnemonic == ".ORG") {
+      // Pad forward within the image.
+      if (l.operand.value < addr && !out.bytes.empty()) {
+        return fail(l.lineno, ".org going backwards");
+      }
+      while (addr < l.operand.value) {
+        out.bytes.push_back(0);
+        ++addr;
+      }
+      continue;
+    }
+    if (l.mnemonic == ".BYTE") {
+      out.bytes.insert(out.bytes.end(), l.raw.begin(), l.raw.end());
+      addr = static_cast<std::uint16_t>(addr + l.raw.size());
+      continue;
+    }
+    Operand operand = l.operand;
+    if (!operand.label.empty()) {
+      auto it = labels.find(operand.label);
+      if (it == labels.end()) {
+        return fail(l.lineno, "undefined label " + operand.label);
+      }
+      operand.value = it->second;
+    }
+    int opcode = mnemonics.at(l.mnemonic).at(static_cast<int>(operand.mode));
+    out.bytes.push_back(static_cast<std::uint8_t>(opcode));
+    switch (operand.mode) {
+      case Mode::kImp:
+        addr = static_cast<std::uint16_t>(addr + 1);
+        break;
+      case Mode::kImm:
+      case Mode::kZp:
+      case Mode::kZpX:
+      case Mode::kZpY:
+      case Mode::kIzx:
+      case Mode::kIzy:
+        out.bytes.push_back(static_cast<std::uint8_t>(operand.value));
+        addr = static_cast<std::uint16_t>(addr + 2);
+        break;
+      case Mode::kRel: {
+        std::uint16_t next = static_cast<std::uint16_t>(addr + 2);
+        std::int32_t delta = static_cast<std::int32_t>(operand.value) - next;
+        if (delta < -128 || delta > 127) {
+          return fail(l.lineno, "branch target out of range");
+        }
+        out.bytes.push_back(static_cast<std::uint8_t>(delta));
+        addr = next;
+        break;
+      }
+      default:
+        out.bytes.push_back(static_cast<std::uint8_t>(operand.value));
+        out.bytes.push_back(static_cast<std::uint8_t>(operand.value >> 8));
+        addr = static_cast<std::uint16_t>(addr + 3);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vos

@@ -1,0 +1,145 @@
+#include "src/apps/donut.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/ulib/minisdl.h"
+#include "src/ulib/usys.h"
+#include "src/ulib/ustdio.h"
+
+namespace vos {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+const char* kLuminance = ".,-~:;=!*#$@";
+}  // namespace
+
+template <typename Plot>
+void DonutRenderer::Render(Plot plot) {
+  // a1k0n's donut: torus of radius R1 around R2, rotated by A (x-axis) and
+  // B (z-axis), z-buffered, lit by a fixed light direction.
+  double ca = std::cos(a_), sa = std::sin(a_);
+  double cb = std::cos(b_), sb = std::sin(b_);
+  for (double theta = 0; theta < kTwoPi; theta += 0.07) {
+    double ct = std::cos(theta), st = std::sin(theta);
+    for (double phi = 0; phi < kTwoPi; phi += 0.02) {
+      double cp = std::cos(phi), sp = std::sin(phi);
+      double circle_x = 2.0 + ct;  // R2 + R1*cos(theta)
+      double circle_y = st;
+      double x = circle_x * (cb * cp + sa * sb * sp) - circle_y * ca * sb;
+      double y = circle_x * (sb * cp - sa * cb * sp) + circle_y * ca * cb;
+      double z = 5.0 + ca * circle_x * sp + circle_y * sa;
+      double ooz = 1.0 / z;
+      int xp = static_cast<int>(cols_ / 2.0 + cols_ * 0.75 * ooz * x);
+      int yp = static_cast<int>(rows_ / 2.0 - rows_ * 0.7 * ooz * y);
+      double lum = cp * ct * sb - ca * ct * sp - sa * st + cb * (ca * st - ct * sa * sp);
+      plot(xp, yp, ooz, lum);
+    }
+  }
+  a_ += da_;
+  b_ += db_;
+}
+
+std::vector<std::string> DonutRenderer::RenderTextFrame() {
+  std::vector<std::string> out(rows_, std::string(cols_, ' '));
+  std::vector<double> zbuf(std::size_t(cols_) * rows_, 0.0);
+  Render([&](int xp, int yp, double ooz, double lum) {
+    if (xp < 0 || yp < 0 || xp >= static_cast<int>(cols_) || yp >= static_cast<int>(rows_)) {
+      return;
+    }
+    std::size_t idx = std::size_t(yp) * cols_ + std::size_t(xp);
+    if (ooz > zbuf[idx]) {
+      zbuf[idx] = ooz;
+      int li = static_cast<int>(lum * 8);
+      out[std::size_t(yp)][std::size_t(xp)] = kLuminance[li > 0 ? (li < 11 ? li : 11) : 0];
+    }
+  });
+  return out;
+}
+
+void DonutRenderer::RenderPixelFrame(std::uint32_t* pixels, std::uint32_t w, std::uint32_t h,
+                                     std::uint32_t tint) {
+  std::vector<double> zbuf(std::size_t(w) * h, 0.0);
+  std::uint32_t save_cols = cols_, save_rows = rows_;
+  cols_ = w / 4;
+  rows_ = h / 4;
+  Render([&](int xp, int yp, double ooz, double lum) {
+    int px = xp * 4, py = yp * 4;
+    if (px < 0 || py < 0 || px + 4 > static_cast<int>(w) || py + 4 > static_cast<int>(h)) {
+      return;
+    }
+    std::size_t idx = std::size_t(py) * w + std::size_t(px);
+    if (ooz <= zbuf[idx]) {
+      return;
+    }
+    double l = lum > 0 ? lum : 0;
+    auto shade = static_cast<std::uint8_t>(40 + l * 180);
+    std::uint32_t color = 0xff000000u |
+                          ((shade * ((tint >> 16) & 0xff) / 255) << 16) |
+                          ((shade * ((tint >> 8) & 0xff) / 255) << 8) |
+                          (shade * (tint & 0xff) / 255);
+    for (int dy = 0; dy < 4; ++dy) {
+      for (int dx = 0; dx < 4; ++dx) {
+        std::size_t p = std::size_t(py + dy) * w + std::size_t(px + dx);
+        pixels[p] = color;
+        zbuf[p] = ooz;
+      }
+    }
+  });
+  cols_ = save_cols;
+  rows_ = save_rows;
+}
+
+double DonutRenderer::FrameCost(std::uint32_t cols, std::uint32_t rows) {
+  // ~90 theta x ~315 phi samples, ~60 flops each on the A53's VFP.
+  (void)cols;
+  (void)rows;
+  return 90.0 * 315.0 * 60.0;
+}
+
+namespace {
+
+// The donut app: spins a torus on the framebuffer via mmap, sleeping between
+// frames (timed animation). argv: [fps] [frames] [x] [y] [tint].
+int DonutMain(AppEnv& env) {
+  std::uint32_t* fb = nullptr;
+  std::uint32_t fw = 0, fh = 0;
+  if (ummap_fb(env, &fb, &fw, &fh) < 0) {
+    uprintf(env, "donut: no framebuffer\n");
+    return 1;
+  }
+  int fps = env.argv.size() > 1 ? std::atoi(env.argv[1].c_str()) : 30;
+  int frames = env.argv.size() > 2 ? std::atoi(env.argv[2].c_str()) : 120;
+  int ox = env.argv.size() > 3 ? std::atoi(env.argv[3].c_str()) : 0;
+  int oy = env.argv.size() > 4 ? std::atoi(env.argv[4].c_str()) : 0;
+  std::uint32_t tint = env.argv.size() > 5
+                           ? static_cast<std::uint32_t>(std::strtoul(env.argv[5].c_str(),
+                                                                     nullptr, 16))
+                           : 0xffcc66;
+  std::uint32_t size = 160;
+  std::vector<std::uint32_t> local(std::size_t(size) * size, 0xff000000u);
+  DonutRenderer donut(size, size);
+  for (int f = 0; f < frames; ++f) {
+    std::fill(local.begin(), local.end(), 0xff000000u);
+    donut.RenderPixelFrame(local.data(), size, size, tint);
+    UBurn(env, DonutRenderer::FrameCost(size, size));
+    // Blit into the mmap'd framebuffer and flush the cache (§4.3).
+    for (std::uint32_t y = 0; y < size && oy + y < fh; ++y) {
+      std::memcpy(fb + std::size_t(oy + y) * fw + ox, local.data() + std::size_t(y) * size,
+                  std::min<std::size_t>(size, fw - ox) * 4);
+    }
+    UBurn(env, double(size) * size * 4 * 0.5);
+    std::uint64_t row_bytes = std::uint64_t(fw) * 4;
+    ucacheflush(env, oy * row_bytes, std::uint64_t(size) * row_bytes);
+    if (fps > 0) {
+      usleep_ms(env, static_cast<std::uint64_t>(1000 / fps));
+    }
+  }
+  return 0;
+}
+
+AppRegistrar donut_app("donut", DonutMain, 9200, 1 << 20);
+
+}  // namespace
+
+}  // namespace vos

@@ -1,0 +1,54 @@
+// The spinning 3D torus (§4.1) — Prototype 1's reason to exist. The renderer
+// is exposed standalone because prototypes 1 and 2 run it outside any user
+// process (in the timer IRQ handler, then as kernel tasks), while later
+// prototypes exec it as a normal app.
+#ifndef VOS_SRC_APPS_DONUT_H_
+#define VOS_SRC_APPS_DONUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ulib/pixel.h"
+
+namespace vos {
+
+class DonutRenderer {
+ public:
+  DonutRenderer(std::uint32_t cols, std::uint32_t rows) : cols_(cols), rows_(rows) {}
+
+  // Advances the rotation and renders one frame of luminance characters
+  // (" .,-~:;=!*#$@" ramp). Returns the text rows.
+  std::vector<std::string> RenderTextFrame();
+
+  // Pixel version: renders into an RGB buffer (bigger = brighter).
+  void RenderPixelFrame(std::uint32_t* pixels, std::uint32_t w, std::uint32_t h,
+                        std::uint32_t tint);
+
+  // The two rotation angles; steps per frame configurable so concurrent
+  // donuts can spin at their own pace (§4.2).
+  void SetSpin(double da, double db) {
+    da_ = da;
+    db_ = db;
+  }
+  double a() const { return a_; }
+
+  // Approximate CPU cost of one frame in cycles (the A53 does this math in
+  // floating point; proportional to sampled points).
+  static double FrameCost(std::uint32_t cols, std::uint32_t rows);
+
+ private:
+  template <typename Plot>
+  void Render(Plot plot);
+
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double da_ = 0.07;
+  double db_ = 0.03;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_APPS_DONUT_H_

@@ -1,0 +1,461 @@
+#include "src/apps/doomlike.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/usys.h"
+#include "src/ulib/ustdio.h"
+
+namespace vos {
+
+std::string DoomEngine::BuiltinWad() {
+  return "111111111111111111111111\n"
+         "1......2......3........1\n"
+         "1.1111.2.3333.3.222222.1\n"
+         "1.1..1.2.3..3.3.2....2.1\n"
+         "1.1..1.2.3..3...2.M..2.1\n"
+         "1.1111.2.3333.3.222222.1\n"
+         "1......2......3........1\n"
+         "1.22222222....33333333.1\n"
+         "1.2...M..2....3......3.1\n"
+         "1.2......2....3..M...3.1\n"
+         "1.22222..2....333..333.1\n"
+         "1.....2..2......3..3...1\n"
+         "11111.2..2222...3..3.111\n"
+         "1...1.2.....2...3..3...1\n"
+         "1.M.1.222...2..33..333.1\n"
+         "1...1...2.M.2..3.....3.1\n"
+         "1.111...2...2..3..M..3.1\n"
+         "1.1..4444444444444...3.1\n"
+         "1.1..4..........4..333.1\n"
+         "1.1..4..X....M..4......1\n"
+         "1.1..4..........4.2222.1\n"
+         "1.P..44444444444..2....1\n"
+         "1.................2..M.1\n"
+         "111111111111111111111111\n";
+}
+
+bool DoomEngine::LoadWad(const std::string& wad) {
+  map_.clear();
+  monsters_.clear();
+  std::size_t pos = 0;
+  while (pos < wad.size()) {
+    std::size_t nl = wad.find('\n', pos);
+    std::string row = nl == std::string::npos ? wad.substr(pos) : wad.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? wad.size() : nl + 1;
+    if (!row.empty()) {
+      map_.push_back(row);
+    }
+  }
+  mh_ = static_cast<int>(map_.size());
+  mw_ = 0;
+  for (const std::string& r : map_) {
+    mw_ = std::max(mw_, static_cast<int>(r.size()));
+  }
+  if (mw_ < 8 || mh_ < 8) {
+    return false;
+  }
+  for (int y = 0; y < mh_; ++y) {
+    for (int x = 0; x < static_cast<int>(map_[std::size_t(y)].size()); ++x) {
+      char c = map_[std::size_t(y)][std::size_t(x)];
+      if (c == 'P') {
+        px_ = x + 0.5;
+        py_ = y + 0.5;
+        map_[std::size_t(y)][std::size_t(x)] = '.';
+      } else if (c == 'M') {
+        monsters_.push_back(Monster{x + 0.5, y + 0.5, true});
+        map_[std::size_t(y)][std::size_t(x)] = '.';
+      }
+    }
+  }
+  frames_ = 0;
+  health_ = 100;
+  kills_ = 0;
+  finished_ = false;
+  return true;
+}
+
+char DoomEngine::MapAt(int x, int y) const {
+  if (x < 0 || y < 0 || y >= mh_ || x >= mw_) {
+    return '1';
+  }
+  const std::string& row = map_[std::size_t(y)];
+  return x < static_cast<int>(row.size()) ? row[std::size_t(x)] : '1';
+}
+
+DoomInput DoomEngine::AutoplayInput(std::uint64_t frame) const {
+  // Demo loop: walk forward, steering away from walls, firing in bursts.
+  DoomInput in;
+  in.forward = true;
+  double look_x = px_ + std::cos(angle_) * 0.9;
+  double look_y = py_ + std::sin(angle_) * 0.9;
+  if (Solid(static_cast<int>(look_x), static_cast<int>(look_y))) {
+    in.turn_right = true;
+    in.forward = false;
+  } else if ((frame / 90) % 4 == 3) {
+    in.turn_left = true;
+  }
+  in.fire = (frame % 35) < 2;
+  return in;
+}
+
+void DoomEngine::Step(AppEnv& env, const DoomInput& in) {
+  ++frames_;
+  const double turn = 0.045, speed = 0.07;
+  if (in.turn_left) {
+    angle_ -= turn;
+  }
+  if (in.turn_right) {
+    angle_ += turn;
+  }
+  double dx = 0, dy = 0;
+  if (in.forward) {
+    dx += std::cos(angle_) * speed;
+    dy += std::sin(angle_) * speed;
+  }
+  if (in.back) {
+    dx -= std::cos(angle_) * speed;
+    dy -= std::sin(angle_) * speed;
+  }
+  // Wall sliding.
+  if (!Solid(static_cast<int>(px_ + dx), static_cast<int>(py_))) {
+    px_ += dx;
+  }
+  if (!Solid(static_cast<int>(px_), static_cast<int>(py_ + dy))) {
+    py_ += dy;
+  }
+  if (MapAt(static_cast<int>(px_), static_cast<int>(py_)) == 'X') {
+    finished_ = true;
+  }
+
+  if (fire_cooldown_ > 0) {
+    fire_cooldown_ -= 1;
+  }
+  muzzle_flash_ = std::max(0.0, muzzle_flash_ - 1);
+  if (in.fire && fire_cooldown_ <= 0 && ammo_ > 0) {
+    fire_cooldown_ = 12;
+    muzzle_flash_ = 3;
+    --ammo_;
+    // Hitscan: march along the view ray until a wall or a monster.
+    for (double t = 0.2; t < 20.0; t += 0.1) {
+      double hx = px_ + std::cos(angle_) * t;
+      double hy = py_ + std::sin(angle_) * t;
+      if (Solid(static_cast<int>(hx), static_cast<int>(hy))) {
+        break;
+      }
+      bool hit = false;
+      for (Monster& m : monsters_) {
+        if (m.alive && std::abs(m.x - hx) < 0.4 && std::abs(m.y - hy) < 0.4) {
+          m.alive = false;
+          ++kills_;
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        break;
+      }
+    }
+  }
+
+  // Monster AI: chase the player when in line of sight; melee damage.
+  for (Monster& m : monsters_) {
+    if (!m.alive) {
+      continue;
+    }
+    double mdx = px_ - m.x, mdy = py_ - m.y;
+    double dist = std::sqrt(mdx * mdx + mdy * mdy);
+    if (dist > 0.8 && dist < 8.0) {
+      double step = 0.02;
+      double nx = m.x + mdx / dist * step;
+      double ny = m.y + mdy / dist * step;
+      if (!Solid(static_cast<int>(nx), static_cast<int>(ny))) {
+        m.x = nx;
+        m.y = ny;
+      }
+    } else if (dist <= 0.8 && frames_ % 30 == 0) {
+      health_ = std::max(0, health_ - 5);
+    }
+  }
+
+  // Game-tic cost: thinkers, collision, sound propagation bookkeeping.
+  UBurn(env, 2400000 + monsters_.size() * 42000.0);
+}
+
+std::uint32_t DoomEngine::TexSample(int wall_type, double u, double v, double dist) const {
+  // Procedural 64x64 textures per wall type; distance-shaded.
+  int tu = static_cast<int>(u * 64) & 63;
+  int tv = static_cast<int>(v * 64) & 63;
+  std::uint32_t base;
+  switch (wall_type) {
+    case 1:  // brick
+      base = ((tv % 16) < 2 || ((tu + (tv / 16 % 2) * 8) % 16) < 2) ? 0x5a2a20 : 0xa04030;
+      break;
+    case 2:  // stone blocks
+      base = ((tu % 32) < 2 || (tv % 32) < 2) ? 0x3a3a40 : 0x707078;
+      break;
+    case 3:  // hex metal
+      base = (((tu ^ tv) & 8) != 0) ? 0x3f5a3f : 0x2c402c;
+      break;
+    default:  // tech panel
+      base = ((tv & 7) == 0 || (tu & 15) == 0) ? 0x303050 : 0x5050a0;
+      break;
+  }
+  double shade = 1.0 / (1.0 + dist * 0.18);
+  std::uint32_t r = static_cast<std::uint32_t>(((base >> 16) & 0xff) * shade);
+  std::uint32_t g = static_cast<std::uint32_t>(((base >> 8) & 0xff) * shade);
+  std::uint32_t b = static_cast<std::uint32_t>((base & 0xff) * shade);
+  return 0xff000000u | (r << 16) | (g << 8) | b;
+}
+
+void DoomEngine::Render(AppEnv& env, PixelBuffer out) {
+  const std::uint32_t w = out.width, h = out.height;
+  // Ceiling & floor.
+  for (std::uint32_t y = 0; y < h / 2; ++y) {
+    std::uint32_t shade = 40 + y * 30 / (h / 2);
+    std::fill(out.data + std::size_t(y) * w, out.data + std::size_t(y + 1) * w,
+              Rgb(static_cast<std::uint8_t>(shade / 2), static_cast<std::uint8_t>(shade / 2),
+                  static_cast<std::uint8_t>(shade)));
+  }
+  for (std::uint32_t y = h / 2; y < h; ++y) {
+    std::uint32_t shade = 30 + (y - h / 2) * 50 / (h / 2);
+    std::fill(out.data + std::size_t(y) * w, out.data + std::size_t(y + 1) * w,
+              Rgb(static_cast<std::uint8_t>(shade), static_cast<std::uint8_t>(shade * 3 / 4),
+                  static_cast<std::uint8_t>(shade / 2)));
+  }
+
+  // Walls: one DDA ray per column.
+  std::uint64_t total_steps = 0;
+  std::uint64_t wall_pixels = 0;
+  const double fov = 1.05;  // ~60 degrees
+  for (std::uint32_t x = 0; x < w; ++x) {
+    double ray_a = angle_ + std::atan((double(x) / w - 0.5) * 2 * std::tan(fov / 2));
+    double rdx = std::cos(ray_a), rdy = std::sin(ray_a);
+    int map_x = static_cast<int>(px_), map_y = static_cast<int>(py_);
+    double delta_x = rdx == 0 ? 1e30 : std::abs(1.0 / rdx);
+    double delta_y = rdy == 0 ? 1e30 : std::abs(1.0 / rdy);
+    int step_x = rdx < 0 ? -1 : 1, step_y = rdy < 0 ? -1 : 1;
+    double side_x = rdx < 0 ? (px_ - map_x) * delta_x : (map_x + 1.0 - px_) * delta_x;
+    double side_y = rdy < 0 ? (py_ - map_y) * delta_y : (map_y + 1.0 - py_) * delta_y;
+    int side = 0;
+    char wall = '1';
+    for (int guard = 0; guard < 64; ++guard) {
+      if (side_x < side_y) {
+        side_x += delta_x;
+        map_x += step_x;
+        side = 0;
+      } else {
+        side_y += delta_y;
+        map_y += step_y;
+        side = 1;
+      }
+      ++total_steps;
+      char c = MapAt(map_x, map_y);
+      if (c >= '1' && c <= '4') {
+        wall = c;
+        break;
+      }
+    }
+    double dist = side == 0 ? side_x - delta_x : side_y - delta_y;
+    // Fisheye correction.
+    dist *= std::cos(ray_a - angle_);
+    dist = std::max(dist, 0.05);
+    zbuffer_[x] = dist;
+    int line_h = static_cast<int>(h / dist);
+    int y0 = std::max(0, static_cast<int>(h) / 2 - line_h / 2);
+    int y1 = std::min(static_cast<int>(h) - 1, static_cast<int>(h) / 2 + line_h / 2);
+    double wall_u = side == 0 ? py_ + (side_x - delta_x) * rdy : px_ + (side_y - delta_y) * rdx;
+    wall_u -= std::floor(wall_u);
+    for (int y = y0; y <= y1; ++y) {
+      double wall_v = (double(y) - (h / 2.0 - line_h / 2.0)) / line_h;
+      std::uint32_t color = TexSample(wall - '0', wall_u, wall_v, dist);
+      if (side == 1) {
+        color = (color >> 1) & 0x7f7f7f7f;  // darker NS faces
+      }
+      out.data[std::size_t(y) * w + x] = color;
+      ++wall_pixels;
+    }
+  }
+  last_ray_steps_ = total_steps;
+
+  // Monsters: billboard sprites, back to front, z-tested per column.
+  std::vector<const Monster*> order;
+  for (const Monster& m : monsters_) {
+    if (m.alive) {
+      order.push_back(&m);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](const Monster* a, const Monster* b) {
+    auto d = [this](const Monster* m) {
+      return (m->x - px_) * (m->x - px_) + (m->y - py_) * (m->y - py_);
+    };
+    return d(a) > d(b);
+  });
+  std::uint64_t sprite_pixels = 0;
+  for (const Monster* m : order) {
+    double rel_x = m->x - px_, rel_y = m->y - py_;
+    double dist = std::sqrt(rel_x * rel_x + rel_y * rel_y);
+    double ang = std::atan2(rel_y, rel_x) - angle_;
+    while (ang > 3.14159265) {
+      ang -= 2 * 3.14159265;
+    }
+    while (ang < -3.14159265) {
+      ang += 2 * 3.14159265;
+    }
+    if (std::abs(ang) > fov) {
+      continue;
+    }
+    int sx = static_cast<int>((0.5 + ang / fov) * w);
+    int size = static_cast<int>(h / std::max(dist, 0.3) * 0.7);
+    for (int x = sx - size / 2; x < sx + size / 2; ++x) {
+      if (x < 0 || x >= static_cast<int>(w) || zbuffer_[std::size_t(x)] < dist) {
+        continue;
+      }
+      for (int y = static_cast<int>(h) / 2 - size / 4; y < static_cast<int>(h) / 2 + size * 3 / 4;
+           ++y) {
+        if (y < 0 || y >= static_cast<int>(h)) {
+          continue;
+        }
+        // Blobby demon shape.
+        double u = double(x - (sx - size / 2)) / size;
+        double v = double(y - (static_cast<int>(h) / 2 - size / 4)) / size;
+        double cx = u - 0.5, cy = v - 0.5;
+        if (cx * cx + cy * cy < 0.22) {
+          std::uint32_t body = (cy < -0.2) ? Rgb(200, 40, 40) : Rgb(140, 30, 30);
+          if (cx * cx < 0.004 && cy < -0.25) {
+            body = Rgb(250, 220, 60);  // eyes
+          }
+          out.data[std::size_t(y) * w + std::size_t(x)] = body;
+          ++sprite_pixels;
+        }
+      }
+    }
+  }
+
+  // Weapon + muzzle flash + HUD.
+  FillRect(env, out, static_cast<int>(w) / 2 - 6, static_cast<int>(h) - 34, 12, 34,
+           Rgb(90, 90, 100));
+  if (muzzle_flash_ > 0) {
+    FillRect(env, out, static_cast<int>(w) / 2 - 12, static_cast<int>(h) - 52, 24, 18,
+             Rgb(255, 230, 120));
+  }
+  FillRect(env, out, 0, static_cast<int>(h) - 12, static_cast<int>(w), 12, Rgb(30, 30, 30));
+  char hud[48];
+  std::snprintf(hud, sizeof(hud), "HP %d  AMMO %d  KILLS %d", health_, ammo_, kills_);
+  DrawText(env, out, 4, static_cast<int>(h) - 11, hud, Rgb(240, 60, 60), 1);
+
+  // Renderer cost: DDA stepping, per-pixel texture fetch/shade, sprite work.
+  UBurn(env, 7650000 + double(total_steps) * 420 + double(wall_pixels) * 95 +
+                 double(sprite_pixels) * 70);
+}
+
+namespace {
+
+DoomInput InputFromKeys(const KeyEvent& ev, DoomInput in) {
+  bool down = ev.down != 0;
+  switch (ev.code) {
+    case kKeyUp:
+    case kKeyA + ('w' - 'a'):
+      in.forward = down;
+      break;
+    case kKeyDown:
+    case kKeyA + ('s' - 'a'):
+      in.back = down;
+      break;
+    case kKeyLeft:
+      in.turn_left = down;
+      break;
+    case kKeyRight:
+      in.turn_right = down;
+      break;
+    case kKeySpace:
+    case kKeyBtnA:
+      in.fire = down;
+      break;
+    default:
+      break;
+  }
+  return in;
+}
+
+int DoomMain(AppEnv& env) {
+  DoomEngine game;
+  // WAD from the FAT partition when present (large assets belong on /d).
+  std::string wad = DoomEngine::BuiltinWad();
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i].find(".wad") != std::string::npos) {
+      std::vector<std::uint8_t> raw;
+      if (uread_file(env, env.argv[i], &raw) > 0) {
+        wad.assign(raw.begin(), raw.end());
+      }
+    }
+  }
+  if (!game.LoadWad(wad)) {
+    uprintf(env, "doomlike: bad wad\n");
+    return 1;
+  }
+  std::uint32_t* fb = nullptr;
+  std::uint32_t fw = 0, fh = 0;
+  if (ummap_fb(env, &fb, &fw, &fh) < 0) {
+    return 1;
+  }
+  bool bench = false;
+  bool autoplay = false;
+  int frames = 600;
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i] == "--bench") {
+      bench = true;
+      autoplay = true;
+    } else if (env.argv[i] == "--demo") {
+      autoplay = true;
+    } else if (env.argv[i] == "--frames" && i + 1 < env.argv.size()) {
+      frames = std::atoi(env.argv[i + 1].c_str());
+    }
+  }
+
+  // Key *polling*: DOOM's main loop peeks for events every frame without
+  // blocking (§4.5's non-blocking IO motivation).
+  std::int64_t efd = uopen(env, "/dev/events", kORdonly | kONonblock);
+
+  std::vector<std::uint32_t> back(std::size_t(kDoomW) * kDoomH);
+  PixelBuffer bb{back.data(), kDoomW, kDoomH};
+  PixelBuffer screen{fb, fw, fh};
+  DoomInput input;
+  for (int f = 0; f < frames && !game.finished(); ++f) {
+    if (efd >= 0) {
+      KeyEvent ev;
+      while (uread(env, static_cast<int>(efd), &ev, sizeof(ev)) == sizeof(ev)) {
+        input = InputFromKeys(ev, input);
+        env.kernel->trace().Emit(env.kernel->Now(), env.task->core, TraceEvent::kKeyEvent,
+                                 env.task->pid(), ev.code, 2 /* app saw it */);
+        autoplay = false;
+      }
+      UBurn(env, 6000);  // event poll bookkeeping in the doom event loop
+    }
+    DoomInput effective = autoplay ? game.AutoplayInput(game.frames()) : input;
+    game.Step(env, effective);
+    game.Render(env, bb);
+    // Scale 320x200 -> 640x400 centered, then flush (direct rendering).
+    std::uint32_t off_x = fw > kDoomW * 2 ? (fw - kDoomW * 2) / 2 : 0;
+    std::uint32_t off_y = fh > kDoomH * 2 ? (fh - kDoomH * 2) / 2 : 0;
+    BlitScaled(env, screen, static_cast<int>(off_x), static_cast<int>(off_y), kDoomW * 2,
+               kDoomH * 2, bb);
+    std::uint64_t row_bytes = std::uint64_t(fw) * 4;
+    ucacheflush(env, off_y * row_bytes, std::uint64_t(kDoomH) * 2 * row_bytes);
+    umark_frame(env);
+    if (!bench) {
+      usleep_ms(env, 16);
+    }
+  }
+  if (efd >= 0) {
+    uclose(env, static_cast<int>(efd));
+  }
+  return 0;
+}
+
+AppRegistrar doom_app("doomlike", DoomMain, 45000, 8 << 20);
+
+}  // namespace
+
+}  // namespace vos

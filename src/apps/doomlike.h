@@ -1,0 +1,80 @@
+// doomlike: the DOOM role (see DESIGN.md §2) — a textured raycasting 3D game
+// engine in the doomgeneric mold: WAD-lite level assets loaded from the FAT
+// partition, DDA raycasting with procedural wall textures, billboard enemies
+// with simple chase AI, a weapon + HUD, key-event *polling* in the main loop
+// (the non-blocking IO path §4.5 adds), direct framebuffer rendering with
+// per-frame cache flushes, and an autoplay demo mode for benches.
+#ifndef VOS_SRC_APPS_DOOMLIKE_H_
+#define VOS_SRC_APPS_DOOMLIKE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ulib/pixel.h"
+
+namespace vos {
+
+constexpr std::uint32_t kDoomW = 320;
+constexpr std::uint32_t kDoomH = 200;
+
+struct DoomInput {
+  bool forward = false;
+  bool back = false;
+  bool turn_left = false;
+  bool turn_right = false;
+  bool fire = false;
+};
+
+class DoomEngine {
+ public:
+  // WAD-lite: a text map ('1'-'4' wall types, '.' floor, 'P' player spawn,
+  // 'M' monster, 'X' exit) with one row per line.
+  bool LoadWad(const std::string& wad);
+  static std::string BuiltinWad();
+
+  void Step(AppEnv& env, const DoomInput& in);
+  void Render(AppEnv& env, PixelBuffer out);
+
+  DoomInput AutoplayInput(std::uint64_t frame) const;
+
+  double player_x() const { return px_; }
+  double player_y() const { return py_; }
+  int health() const { return health_; }
+  int kills() const { return kills_; }
+  bool finished() const { return finished_; }
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t last_ray_steps() const { return last_ray_steps_; }
+
+ private:
+  struct Monster {
+    double x, y;
+    bool alive;
+    double hurt_flash = 0;
+  };
+
+  char MapAt(int x, int y) const;
+  bool Solid(int x, int y) const {
+    char c = MapAt(x, y);
+    return c >= '1' && c <= '4';
+  }
+  std::uint32_t TexSample(int wall_type, double u, double v, double dist) const;
+
+  std::vector<std::string> map_;
+  int mw_ = 0, mh_ = 0;
+  double px_ = 2.5, py_ = 2.5, angle_ = 0;
+  int health_ = 100;
+  int ammo_ = 50;
+  int kills_ = 0;
+  bool finished_ = false;
+  double fire_cooldown_ = 0;
+  double muzzle_flash_ = 0;
+  std::vector<Monster> monsters_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t last_ray_steps_ = 0;
+  std::vector<double> zbuffer_ = std::vector<double>(kDoomW, 0.0);
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_APPS_DOOMLIKE_H_

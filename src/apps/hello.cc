@@ -1,0 +1,21 @@
+// helloworld: the first program every prototype runs (Table 1). In Prototype
+// 3 it is also the "infant app" case study — a few dozen lines that survive
+// being linked into the kernel but run at EL0.
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+int HelloMain(AppEnv& env) {
+  uprintf(env, "hello from vos! pid=%d\n", static_cast<int>(ugetpid(env)));
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    uprintf(env, "argv[%zu]=%s\n", i, env.argv[i].c_str());
+  }
+  return 0;
+}
+
+AppRegistrar hello_app("hello", HelloMain, 1100, 64 << 10);
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,105 @@
+// launcher (Table 1): the GUI frontend — an animated-background menu of
+// installed apps; arrow keys move the selection, enter forks+execs the
+// choice. Runs in a WM surface like a desktop shell.
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/minisdl.h"
+#include "src/ulib/pixel.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+struct MenuItem {
+  const char* label;
+  const char* binary;
+  const char* args;
+};
+
+const MenuItem kMenu[] = {
+    {"MARIO", "mario-sdl", ""},        {"DOOM", "doomlike", "--demo"},
+    {"MUSIC", "musicplayer", "/d/music/track1.vog"},
+    {"VIDEO", "videoplayer", "/d/videos/clip480.vmv"},
+    {"SLIDES", "slider", "/slides"},   {"SYSMON", "sysmon", ""},
+    {"MINER", "blockchain", ""},       {"SHELL", "sh", ""},
+};
+constexpr int kMenuLen = static_cast<int>(sizeof(kMenu) / sizeof(kMenu[0]));
+
+int LauncherMain(AppEnv& env) {
+  int frames = 240;
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i] == "--frames" && i + 1 < env.argv.size()) {
+      frames = std::atoi(env.argv[i + 1].c_str());
+    }
+  }
+  MiniSdl sdl(env);
+  constexpr std::uint32_t kW = 360, kH = 300;
+  if (!sdl.InitVideo(kW, kH, MiniSdl::VideoMode::kSurface, "launcher", 255, 8, 8)) {
+    uprintf(env, "launcher: no window manager\n");
+    return 1;
+  }
+  PixelBuffer bb = sdl.backbuffer();
+  int selected = 0;
+  Kernel* kernel = env.kernel;
+  for (int f = 0; f < frames; ++f) {
+    KeyEvent ev;
+    while (sdl.PollEvent(&ev)) {
+      if (!ev.down) {
+        continue;
+      }
+      if (ev.code == kKeyDown) {
+        selected = (selected + 1) % kMenuLen;
+      } else if (ev.code == kKeyUp) {
+        selected = (selected + kMenuLen - 1) % kMenuLen;
+      } else if (ev.code == kKeyEnter || ev.code == kKeyBtnStart) {
+        const MenuItem& item = kMenu[selected];
+        std::vector<std::string> argv = {item.binary};
+        if (item.args[0] != '\0') {
+          argv.push_back(item.args);
+        }
+        ufork(env, [kernel, argv]() -> int {
+          AppEnv child = ChildEnv(kernel);
+          uexec(child, "/bin/" + argv[0], argv);
+          return 127;
+        });
+      }
+    }
+    // Animated plasma-ish background.
+    for (std::uint32_t y = 0; y < kH; y += 4) {
+      for (std::uint32_t x = 0; x < kW; x += 4) {
+        std::uint32_t wave = ((x + std::uint32_t(f) * 3) ^ (y + std::uint32_t(f))) & 63;
+        FillRect(env, bb, static_cast<int>(x), static_cast<int>(y), 4, 4,
+                 Rgb(static_cast<std::uint8_t>(16 + wave / 4),
+                     static_cast<std::uint8_t>(20 + wave / 3),
+                     static_cast<std::uint8_t>(48 + wave)));
+      }
+    }
+    UBurn(env, 500000);  // background animation math
+    DrawText(env, bb, 110, 10, "* VOS *", Rgb(255, 255, 255), 2);
+    for (int i = 0; i < kMenuLen; ++i) {
+      std::uint32_t color = i == selected ? Rgb(255, 230, 90) : Rgb(190, 190, 200);
+      if (i == selected) {
+        FillRect(env, bb, 56, 48 + i * 28 - 3, 248, 22, Rgb(50, 60, 90));
+        DrawText(env, bb, 64, 48 + i * 28, ">", color, 2);
+      }
+      DrawText(env, bb, 88, 48 + i * 28, kMenu[i].label, color, 2);
+    }
+    sdl.Present();
+    sdl.Delay(33);
+    // Reap any finished children without blocking.
+    // (wait() blocks, so only reap when a child exists and has exited —
+    //  launcher polls /proc in a real system; here we skip reaping until exit.)
+  }
+  // Reap whatever we spawned before leaving.
+  int status = 0;
+  while (uwait(env, &status) >= 0) {
+  }
+  return 0;
+}
+
+AppRegistrar launcher_app("launcher", LauncherMain, 6800, 2 << 20);
+
+}  // namespace
+}  // namespace vos

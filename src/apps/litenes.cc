@@ -1,0 +1,274 @@
+// litenes: a LiteNES-style console emulator app — real 6502 machine code
+// driving a memory-mapped display, the genuine article behind the paper's
+// "mario" (the LiteNES engine interprets 6502 ROMs, §3).
+//
+// Machine model (a teaching-sized NES):
+//   $0000-$07FF  RAM (zero page + stack included)
+//   $2000-$2BFF  PPU framebuffer: 64x48 pixels, one palette index per byte
+//   $4014        frame-sync port: writing any value presents the frame
+//   $4016        controller: bit0 right, bit1 left, bit2 up, bit3 down,
+//                bit4 A/fire, bit5 start
+//   $8000-$FFFF  cartridge ROM (with the 6502 vectors at $FFFA-$FFFF)
+//
+// ROMs are 6502 assembly files (.asm) loaded from the filesystem and built
+// with the in-tree mini-assembler; a bouncing-ball demo cartridge is built in.
+#include <array>
+#include <cstring>
+
+#include "src/apps/cpu6502.h"
+#include "src/kernel/kernel.h"
+#include "src/ulib/pixel.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+constexpr std::uint32_t kNesW = 64;
+constexpr std::uint32_t kNesH = 48;
+constexpr std::uint16_t kFbBase = 0x2000;
+constexpr std::uint16_t kFrameSync = 0x4014;
+constexpr std::uint16_t kController = 0x4016;
+
+// NES-ish master palette (16 entries).
+constexpr std::uint32_t kPalette[16] = {
+    0xff000000, 0xff30346d, 0xff5b6ee1, 0xff639bff, 0xffd04648, 0xffd27d2c,
+    0xffdad45e, 0xff6daa2c, 0xff346524, 0xff854c30, 0xffe06f8b, 0xff9badb7,
+    0xffcbdbfc, 0xffffffff, 0xff757161, 0xff140c1c,
+};
+
+const char* kBallDemoRom = R"(
+; bouncing-ball demo cartridge
+; zero page: $00=x $01=y $02=dx $03=dy  ptr at $10/$11 and $12/$13
+.org $8000
+reset:  LDA #10
+        STA $00
+        LDA #8
+        STA $01
+        LDA #1
+        STA $02
+        STA $03
+frame:  JSR clear
+        JSR draw
+        LDA #1
+        STA $4014       ; present
+        JSR move
+        JMP frame
+
+clear:  LDA #$00
+        STA $10
+        LDA #$20
+        STA $11
+        LDX #12         ; 12 pages x 256 = 3072 bytes = 64x48
+        LDY #0
+        LDA #1          ; background palette index
+clrlp:  STA ($10),Y
+        INY
+        BNE clrlp
+        INC $11
+        DEX
+        BNE clrlp
+        RTS
+
+draw:   LDA $01         ; addr = $2000 + y*64 + x
+        STA $12
+        LDA #0
+        STA $13
+        LDX #6
+shft:   ASL $12
+        ROL $13
+        DEX
+        BNE shft
+        LDA $12
+        CLC
+        ADC $00
+        STA $12
+        LDA $13
+        ADC #$20
+        STA $13
+        LDA #4          ; ball color
+        LDY #0
+        STA ($12),Y
+        LDY #1
+        STA ($12),Y
+        LDY #64
+        STA ($12),Y
+        LDY #65
+        STA ($12),Y
+        RTS
+
+move:   LDA $4016       ; controller steers the ball horizontally
+        AND #1
+        BEQ noright
+        LDA #1
+        STA $02
+noright: LDA $4016
+        AND #2
+        BEQ noleft
+        LDA #$FF
+        STA $02
+noleft: LDA $00
+        CLC
+        ADC $02
+        STA $00
+        CMP #62
+        BCC xmin
+        LDA #$FF
+        STA $02
+xmin:   LDA $00
+        CMP #1
+        BCS xdone
+        LDA #1
+        STA $02
+xdone:  LDA $01
+        CLC
+        ADC $03
+        STA $01
+        CMP #46
+        BCC ymin
+        LDA #$FF
+        STA $03
+ymin:   LDA $01
+        CMP #1
+        BCS ydone
+        LDA #1
+        STA $03
+ydone:  RTS
+
+.org $FFFA
+.word reset             ; NMI
+.word reset             ; RESET
+.word reset             ; IRQ/BRK
+)";
+
+int LiteNesMain(AppEnv& env) {
+  // Cartridge: an .asm from the filesystem, or the built-in demo.
+  std::string source = kBallDemoRom;
+  int frames = 300;
+  bool bench = false;
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i] == "--frames" && i + 1 < env.argv.size()) {
+      frames = std::atoi(env.argv[i + 1].c_str());
+    } else if (env.argv[i] == "--bench") {
+      bench = true;
+    } else if (env.argv[i].find(".asm") != std::string::npos) {
+      std::vector<std::uint8_t> raw;
+      if (uread_file(env, env.argv[i], &raw) > 0) {
+        source.assign(raw.begin(), raw.end());
+      }
+    }
+  }
+  std::string error;
+  auto rom = Assemble6502(source, &error);
+  if (!rom) {
+    uprintf(env, "litenes: assembly failed: %s\n", error.c_str());
+    return 1;
+  }
+  UBurn(env, double(source.size()) * 40.0);  // assembler pass
+
+  Bus6502 bus;
+  bus.Load(rom->origin, rom->bytes);
+  bool frame_done = false;
+  std::uint8_t controller = 0;
+  bus.SetWriteHook([&frame_done](std::uint16_t addr, std::uint8_t) {
+    if (addr == kFrameSync) {
+      frame_done = true;
+      return true;
+    }
+    return false;
+  });
+  bus.SetReadHook([&controller](std::uint16_t addr) -> std::optional<std::uint8_t> {
+    if (addr == kController) {
+      return controller;
+    }
+    return std::nullopt;
+  });
+  Cpu6502 cpu(bus);
+
+  std::uint32_t* fb = nullptr;
+  std::uint32_t fw = 0, fh = 0;
+  if (ummap_fb(env, &fb, &fw, &fh) < 0) {
+    return 1;
+  }
+  std::int64_t efd = uopen(env, "/dev/events", kORdonly | kONonblock);
+
+  std::vector<std::uint32_t> frame(kNesW * kNesH);
+  PixelBuffer screen{fb, fw, fh};
+  PixelBuffer small{frame.data(), kNesW, kNesH};
+  std::uint64_t total_cycles = 0;
+  for (int f = 0; f < frames; ++f) {
+    // Poll the controller.
+    if (efd >= 0) {
+      KeyEvent ev;
+      while (uread(env, static_cast<int>(efd), &ev, sizeof(ev)) == sizeof(ev)) {
+        std::uint8_t bit = 0;
+        switch (ev.code) {
+          case kKeyRight:
+            bit = 1;
+            break;
+          case kKeyLeft:
+            bit = 2;
+            break;
+          case kKeyUp:
+            bit = 4;
+            break;
+          case kKeyDown:
+            bit = 8;
+            break;
+          case kKeySpace:
+          case kKeyBtnA:
+            bit = 16;
+            break;
+          case kKeyEnter:
+          case kKeyBtnStart:
+            bit = 32;
+            break;
+          default:
+            break;
+        }
+        if (ev.down) {
+          controller |= bit;
+        } else {
+          controller = static_cast<std::uint8_t>(controller & ~bit);
+        }
+      }
+    }
+    // Emulate until the ROM signals the frame (bounded against runaways).
+    frame_done = false;
+    std::uint64_t frame_cycles = 0;
+    for (int guard = 0; guard < 400000 && !frame_done; ++guard) {
+      frame_cycles += static_cast<std::uint64_t>(cpu.Step());
+    }
+    total_cycles += frame_cycles;
+    // Interpreting one 6502 cycle costs ~45 host(A53) cycles in LiteNES.
+    UBurn(env, double(frame_cycles) * 45.0);
+    // Present: palette-expand, scale up, flush.
+    for (std::uint32_t y = 0; y < kNesH; ++y) {
+      for (std::uint32_t xx = 0; xx < kNesW; ++xx) {
+        std::uint8_t idx = bus.ram()[kFbBase + y * kNesW + xx] & 0x0f;
+        frame[y * kNesW + xx] = kPalette[idx];
+      }
+    }
+    int scale = static_cast<int>(std::min(fw / kNesW, fh / kNesH));
+    int dw = static_cast<int>(kNesW) * scale, dh = static_cast<int>(kNesH) * scale;
+    BlitScaled(env, screen, (static_cast<int>(fw) - dw) / 2,
+               (static_cast<int>(fh) - dh) / 2, dw, dh, small);
+    ucacheflush(env, 0, std::uint64_t(fw) * fh * 4);
+    umark_frame(env);
+    if (!bench) {
+      usleep_ms(env, 16);
+    }
+  }
+  if (efd >= 0) {
+    uclose(env, static_cast<int>(efd));
+  }
+  uprintf(env, "litenes: %d frames, %llu cpu cycles, %llu instructions\n", frames,
+          static_cast<unsigned long long>(total_cycles),
+          static_cast<unsigned long long>(cpu.instructions_retired));
+  return 0;
+}
+
+AppRegistrar litenes_app("litenes", LiteNesMain, 14200, 2 << 20);
+
+}  // namespace
+}  // namespace vos

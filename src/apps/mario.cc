@@ -1,0 +1,552 @@
+#include "src/apps/mario.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/minisdl.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+
+std::string MarioEngine::BuiltinLevel() {
+  return "................................................................\n"
+         "................................................................\n"
+         "................o..o............................F..............\n"
+         ".......................###.....................................\n"
+         "............###..............o.o.o.............................\n"
+         "..........................#######......####....................\n"
+         ".....o.o........................................#..............\n"
+         "....................E..............E............#...o..........\n"
+         "......####.....................................##...............\n"
+         "................................................................\n"
+         "..........E..............###....E..............................\n"
+         "......................................o.........E..............\n"
+         "..P.............................................................\n"
+         "================================================================\n"
+         "================================================================\n";
+}
+
+bool MarioEngine::LoadLevel(const std::string& rom) {
+  rows_.clear();
+  enemies_.clear();
+  std::size_t pos = 0;
+  while (pos < rom.size()) {
+    std::size_t nl = rom.find('\n', pos);
+    std::string row = nl == std::string::npos ? rom.substr(pos) : rom.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? rom.size() : nl + 1;
+    if (!row.empty()) {
+      rows_.push_back(row);
+    }
+  }
+  if (rows_.empty()) {
+    return false;
+  }
+  height_tiles_ = static_cast<int>(rows_.size());
+  width_tiles_ = 0;
+  for (const std::string& r : rows_) {
+    width_tiles_ = std::max(width_tiles_, static_cast<int>(r.size()));
+  }
+  if (width_tiles_ < 16 || height_tiles_ < 10) {
+    return false;
+  }
+  // Spawns.
+  for (int ty = 0; ty < height_tiles_; ++ty) {
+    for (int tx = 0; tx < static_cast<int>(rows_[std::size_t(ty)].size()); ++tx) {
+      char c = rows_[std::size_t(ty)][std::size_t(tx)];
+      if (c == 'P') {
+        px_ = tx * kMarioTile;
+        py_ = ty * kMarioTile;
+        rows_[std::size_t(ty)][std::size_t(tx)] = '.';
+      } else if (c == 'E') {
+        enemies_.push_back(Enemy{double(tx * kMarioTile), double(ty * kMarioTile), -0.5, true});
+        rows_[std::size_t(ty)][std::size_t(tx)] = '.';
+      }
+    }
+  }
+  title_mode_ = true;
+  autoplay_ = false;
+  finished_ = false;
+  frames_ = 0;
+  coins_ = 0;
+  score_ = 0;
+  vx_ = vy_ = 0;
+  return true;
+}
+
+char MarioEngine::TileAt(int tx, int ty) const {
+  if (ty < 0 || ty >= height_tiles_ || tx < 0 || tx >= width_tiles_) {
+    return tx < 0 || tx >= width_tiles_ ? '#' : '.';
+  }
+  const std::string& row = rows_[std::size_t(ty)];
+  return tx < static_cast<int>(row.size()) ? row[std::size_t(tx)] : '.';
+}
+
+MarioInput MarioEngine::AutoplayInput() const {
+  // The scripted demo: run right, hop periodically and whenever blocked.
+  MarioInput in;
+  in.right = true;
+  int tx = static_cast<int>((px_ + kMarioTile) / kMarioTile);
+  int ty = static_cast<int>(py_ / kMarioTile);
+  bool blocked = Solid(TileAt(tx, ty)) || Solid(TileAt(tx, ty + 1));
+  in.jump = blocked || (frames_ % 48) < 4;
+  return in;
+}
+
+void MarioEngine::Step(AppEnv& env, const MarioInput& user_in, bool start) {
+  ++frames_;
+  if (title_mode_) {
+    if (start) {
+      title_mode_ = false;
+      autoplay_ = false;
+    } else if (frames_ >= kTitleFrames) {
+      // No one pressed start: transition into autoplay (§4.3).
+      title_mode_ = false;
+      autoplay_ = true;
+    }
+    UBurn(env, 350000 * logic_scale_);  // title animation logic
+    return;
+  }
+  MarioInput in = autoplay_ ? AutoplayInput() : user_in;
+  if (!autoplay_ && (user_in.left || user_in.right || user_in.jump)) {
+    autoplay_ = false;
+  }
+
+  // Physics: accelerate, gravity, tile collisions (axis separated).
+  const double accel = 0.25, max_vx = 2.2, gravity = 0.35, jump_v = -6.2;
+  if (in.left) {
+    vx_ = std::max(vx_ - accel, -max_vx);
+  } else if (in.right) {
+    vx_ = std::min(vx_ + accel, max_vx);
+  } else {
+    vx_ *= 0.85;
+  }
+  if (in.jump && on_ground_) {
+    vy_ = jump_v;
+    on_ground_ = false;
+  }
+  vy_ = std::min(vy_ + gravity, 7.0);
+
+  // Horizontal move + collide.
+  px_ += vx_;
+  int dir = vx_ > 0 ? 1 : -1;
+  int lead_x = static_cast<int>((px_ + (dir > 0 ? kMarioTile - 1 : 0)) / kMarioTile);
+  for (int dy = 0; dy < 2; ++dy) {
+    int ty = static_cast<int>(py_ / kMarioTile) + dy;
+    if (Solid(TileAt(lead_x, ty))) {
+      px_ = dir > 0 ? lead_x * kMarioTile - kMarioTile : (lead_x + 1) * kMarioTile;
+      vx_ = 0;
+      break;
+    }
+  }
+  // Vertical move + collide.
+  py_ += vy_;
+  on_ground_ = false;
+  if (vy_ >= 0) {
+    int foot_y = static_cast<int>((py_ + kMarioTile) / kMarioTile);
+    for (int dx = 0; dx < 2; ++dx) {
+      int tx = static_cast<int>((px_ + dx * (kMarioTile - 1)) / kMarioTile);
+      if (Solid(TileAt(tx, foot_y))) {
+        py_ = foot_y * kMarioTile - kMarioTile;
+        vy_ = 0;
+        on_ground_ = true;
+        break;
+      }
+    }
+  } else {
+    int head_y = static_cast<int>(py_ / kMarioTile);
+    for (int dx = 0; dx < 2; ++dx) {
+      int tx = static_cast<int>((px_ + dx * (kMarioTile - 1)) / kMarioTile);
+      if (Solid(TileAt(tx, head_y))) {
+        py_ = (head_y + 1) * kMarioTile;
+        vy_ = 0;
+        break;
+      }
+    }
+  }
+
+  // Coins and the flag.
+  int ptx = static_cast<int>((px_ + kMarioTile / 2) / kMarioTile);
+  int pty = static_cast<int>((py_ + kMarioTile / 2) / kMarioTile);
+  char t = TileAt(ptx, pty);
+  if (t == 'o') {
+    rows_[std::size_t(pty)][std::size_t(ptx)] = '.';
+    ++coins_;
+    score_ += 100;
+  } else if (t == 'F') {
+    finished_ = true;
+    score_ += 1000;
+  }
+
+  // Enemies: walk, bounce off solids, stomp detection.
+  for (Enemy& e : enemies_) {
+    if (!e.alive) {
+      continue;
+    }
+    e.x += e.vx;
+    int etx = static_cast<int>((e.x + (e.vx > 0 ? kMarioTile : 0)) / kMarioTile);
+    int ety = static_cast<int>(e.y / kMarioTile);
+    if (Solid(TileAt(etx, ety)) || !Solid(TileAt(etx, ety + 1))) {
+      e.vx = -e.vx;
+      e.x += 2 * e.vx;
+    }
+    // Collision with the player.
+    if (std::abs(e.x - px_) < kMarioTile * 0.8 && std::abs(e.y - py_) < kMarioTile * 0.8) {
+      if (vy_ > 1.0 && py_ < e.y) {
+        e.alive = false;  // stomped
+        vy_ = -3.0;
+        score_ += 200;
+      } else if (!autoplay_) {
+        // Hit: respawn (autoplay ghosts through for demo stability).
+        px_ = 32;
+        py_ = 0;
+        vx_ = vy_ = 0;
+      }
+    }
+  }
+
+  // The game engine's per-frame cost: entity updates + collision sweeps,
+  // scaled by the variant's runtime baggage.
+  UBurn(env, (2600000 + enemies_.size() * 60000.0) * logic_scale_);
+}
+
+void MarioEngine::Render(AppEnv& env, PixelBuffer out) {
+  // Camera follows the player.
+  int cam_x = static_cast<int>(px_) - static_cast<int>(kMarioScreenW) / 2;
+  cam_x = std::max(0, std::min(cam_x, width_tiles_ * kMarioTile - int(kMarioScreenW)));
+
+  // Sky.
+  FillRect(env, out, 0, 0, kMarioScreenW, kMarioScreenH, Rgb(92, 148, 252));
+
+  if (title_mode_) {
+    DrawText(env, out, 40, 70, "SUPER VOS BROS", Rgb(252, 216, 168), 2);
+    DrawText(env, out, 70, 120, "PRESS START", Rgb(255, 255, 255), 1);
+    // The flashing coin on the title screen (§4.3).
+    if ((frames_ / 15) % 2 == 0) {
+      FillRect(env, out, 124, 150, 10, 14, Rgb(252, 188, 60));
+    }
+    UBurn(env, 900000 * logic_scale_);
+    return;
+  }
+
+  // Tiles in view.
+  int first_tx = cam_x / kMarioTile;
+  for (int ty = 0; ty < height_tiles_ && ty * kMarioTile < int(kMarioScreenH); ++ty) {
+    for (int tx = first_tx; tx <= first_tx + int(kMarioScreenW) / kMarioTile; ++tx) {
+      char t = TileAt(tx, ty);
+      int sx = tx * kMarioTile - cam_x;
+      int sy = ty * kMarioTile;
+      switch (t) {
+        case '=':
+          FillRect(env, out, sx, sy, kMarioTile, kMarioTile, Rgb(150, 90, 40));
+          FillRect(env, out, sx, sy, kMarioTile, 3, Rgb(60, 180, 60));
+          break;
+        case '#':
+          FillRect(env, out, sx, sy, kMarioTile, kMarioTile, Rgb(200, 112, 48));
+          FillRect(env, out, sx + 1, sy + 1, kMarioTile - 2, kMarioTile - 2, Rgb(228, 144, 80));
+          break;
+        case 'o':
+          FillRect(env, out, sx + 5, sy + 3, 6, 10, Rgb(252, 188, 60));
+          break;
+        case 'F':
+          FillRect(env, out, sx + 7, sy - 32, 2, kMarioTile + 32, Rgb(220, 220, 220));
+          FillRect(env, out, sx + 9, sy - 32, 10, 8, Rgb(230, 60, 60));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // Enemies.
+  for (const Enemy& e : enemies_) {
+    if (!e.alive) {
+      continue;
+    }
+    int sx = static_cast<int>(e.x) - cam_x;
+    if (sx > -kMarioTile && sx < int(kMarioScreenW)) {
+      FillRect(env, out, sx + 2, static_cast<int>(e.y) + 4, 12, 12, Rgb(140, 80, 40));
+      FillRect(env, out, sx + 4, static_cast<int>(e.y) + 7, 3, 3, Rgb(255, 255, 255));
+      FillRect(env, out, sx + 9, static_cast<int>(e.y) + 7, 3, 3, Rgb(255, 255, 255));
+    }
+  }
+  // Player.
+  int psx = static_cast<int>(px_) - cam_x;
+  FillRect(env, out, psx + 3, static_cast<int>(py_), 10, 6, Rgb(228, 52, 52));   // cap
+  FillRect(env, out, psx + 4, static_cast<int>(py_) + 6, 8, 5, Rgb(252, 188, 148));
+  FillRect(env, out, psx + 3, static_cast<int>(py_) + 11, 10, 5, Rgb(52, 80, 228));
+  // HUD.
+  char hud[32];
+  std::snprintf(hud, sizeof(hud), "COINS %d SCORE %d", coins_, score_);
+  DrawText(env, out, 6, 4, hud, Rgb(255, 255, 255), 1);
+
+  // PPU-equivalent per-frame render cost (background fetch + sprite eval).
+  UBurn(env, 5500000 * logic_scale_);
+}
+
+namespace {
+
+MarioInput InputFromKey(const KeyEvent& ev, MarioInput in, bool* start) {
+  bool down = ev.down != 0;
+  switch (ev.code) {
+    case kKeyLeft:
+      in.left = down;
+      break;
+    case kKeyRight:
+      in.right = down;
+      break;
+    case kKeySpace:
+    case kKeyUp:
+    case kKeyBtnA:
+      in.jump = down;
+      break;
+    case kKeyEnter:
+    case kKeyBtnStart:
+      if (down) {
+        *start = true;
+      }
+      break;
+    default:
+      break;
+  }
+  return in;
+}
+
+std::string LoadRom(AppEnv& env, const std::vector<std::string>& argv) {
+  // ROM as a file (Prototype 4+); falls back to the engine's embedded level
+  // (Prototype 3, where files don't exist yet).
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i].size() > 4 && argv[i].find(".lvl") != std::string::npos) {
+      std::vector<std::uint8_t> raw;
+      if (uread_file(env, argv[i], &raw) > 0) {
+        return std::string(raw.begin(), raw.end());
+      }
+    }
+  }
+  return MarioEngine::BuiltinLevel();
+}
+
+int ParseFrames(const std::vector<std::string>& argv, int def) {
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i] == "--frames" && i + 1 < argv.size()) {
+      return std::atoi(argv[i + 1].c_str());
+    }
+  }
+  return def;
+}
+
+bool HasFlag(const std::vector<std::string>& argv, const char* flag) {
+  for (const std::string& a : argv) {
+    if (a == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- mario (Prototype 3): one task, direct rendering, no input handling ---
+int MarioNoinputMain(AppEnv& env) {
+  MarioEngine game;
+  if (!game.LoadLevel(LoadRom(env, env.argv))) {
+    uprintf(env, "mario: bad ROM\n");
+    return 1;
+  }
+  std::uint32_t* fb = nullptr;
+  std::uint32_t fw = 0, fh = 0;
+  if (ummap_fb(env, &fb, &fw, &fh) < 0) {
+    return 1;
+  }
+  bool bench = HasFlag(env.argv, "--bench");
+  int frames = ParseFrames(env.argv, 300);
+  std::vector<std::uint32_t> back(std::size_t(kMarioScreenW) * kMarioScreenH);
+  PixelBuffer bb{back.data(), kMarioScreenW, kMarioScreenH};
+  std::uint32_t off_x = (fw - kMarioScreenW) / 2, off_y = (fh - kMarioScreenH) / 2;
+  for (int f = 0; f < frames; ++f) {
+    game.Step(env, MarioInput{}, /*start=*/false);
+    game.Render(env, bb);
+    // The Prototype-3 build predates the optimized userlib blit/convert
+    // kernels, so its frame path carries extra overhead (§6.3: mario-proc
+    // outruns mario-noinput).
+    UBurn(env, 550000);
+    for (std::uint32_t y = 0; y < kMarioScreenH; ++y) {
+      std::memcpy(fb + std::size_t(off_y + y) * fw + off_x, back.data() + std::size_t(y) * kMarioScreenW,
+                  kMarioScreenW * 4);
+    }
+    const CostModel& cm = env.kernel->config().cost;
+    UBurn(env, double(kMarioScreenW) * kMarioScreenH * 4 *
+                   (env.kernel->config().opt_asm_memcpy ? cm.memcpy_per_byte
+                                                        : cm.memcpy_naive_per_byte));
+    ucacheflush(env, off_y * std::uint64_t(fw) * 4, std::uint64_t(kMarioScreenH) * fw * 4);
+    umark_frame(env);
+    if (!bench) {
+      usleep_ms(env, 16);
+    }
+  }
+  return 0;
+}
+
+// --- mario-proc (Prototype 4): multi-process event loop over a pipe ---
+//
+// The main loop must multiplex timer ticks and keyboard input without
+// threads or async IO, so it forks two workers: one sleeps periodically, one
+// blocks on /dev/events; both write into a shared pipe the main loop reads
+// (§4.4 "IPC for Mario's event loop").
+#pragma pack(push, 1)
+struct LoopMsg {
+  std::uint8_t kind;  // 'T' tick, 'K' key
+  KeyEvent key;
+};
+#pragma pack(pop)
+
+int MarioProcMain(AppEnv& env) {
+  MarioEngine game;
+  if (!game.LoadLevel(LoadRom(env, env.argv))) {
+    return 1;
+  }
+  std::uint32_t* fb = nullptr;
+  std::uint32_t fw = 0, fh = 0;
+  if (ummap_fb(env, &fb, &fw, &fh) < 0) {
+    return 1;
+  }
+  bool bench = HasFlag(env.argv, "--bench");
+  int frames = ParseFrames(env.argv, 300);
+  int pfd[2];
+  if (upipe(env, pfd) < 0) {
+    return 1;
+  }
+  Kernel* kernel = env.kernel;
+  int wr = pfd[1];
+  int tick_ms = bench ? 0 : 16;
+  // Timer worker.
+  std::int64_t timer_pid = ufork(env, [kernel, wr, tick_ms, frames]() -> int {
+    AppEnv child = ChildEnv(kernel);
+    LoopMsg msg{};
+    msg.kind = 'T';
+    for (int i = 0; i < frames; ++i) {
+      if (tick_ms > 0) {
+        usleep_ms(child, static_cast<std::uint64_t>(tick_ms));
+      }
+      if (uwrite(child, wr, &msg, sizeof(msg)) < 0) {
+        break;
+      }
+    }
+    return 0;
+  });
+  // Input worker: blocking reads from /dev/events forwarded into the pipe.
+  std::int64_t input_pid = ufork(env, [kernel, wr]() -> int {
+    AppEnv child = ChildEnv(kernel);
+    std::int64_t fd = uopen(child, "/dev/events", kORdonly);
+    if (fd < 0) {
+      return 1;
+    }
+    for (;;) {
+      LoopMsg msg{};
+      msg.kind = 'K';
+      std::int64_t n = uread(child, static_cast<int>(fd), &msg.key, sizeof(msg.key));
+      if (n != sizeof(msg.key)) {
+        break;
+      }
+      if (uwrite(child, wr, &msg, sizeof(msg)) < 0) {
+        break;
+      }
+    }
+    return 0;
+  });
+  (void)input_pid;
+
+  std::vector<std::uint32_t> back(std::size_t(kMarioScreenW) * kMarioScreenH);
+  PixelBuffer bb{back.data(), kMarioScreenW, kMarioScreenH};
+  std::uint32_t off_x = (fw - kMarioScreenW) / 2, off_y = (fh - kMarioScreenH) / 2;
+  MarioInput input;
+  bool start = false;
+  int rendered = 0;
+  std::uint16_t pending_key = 0;
+  while (rendered < frames) {
+    LoopMsg msg{};
+    std::int64_t n = uread(env, pfd[0], &msg, sizeof(msg));
+    if (n != sizeof(msg)) {
+      break;
+    }
+    if (msg.kind == 'K') {
+      input = InputFromKey(msg.key, input, &start);
+      if (msg.key.down) {
+        pending_key = msg.key.code;  // consumed by game logic at the next tick
+      }
+      continue;
+    }
+    if (pending_key != 0) {
+      // The input takes effect on this frame: that is the end of the event's
+      // journey (driver -> /dev/events -> worker -> pipe -> game logic).
+      env.kernel->trace().Emit(env.kernel->Now(), env.task->core, TraceEvent::kKeyEvent,
+                               env.task->pid(), pending_key, 2 /* app consumed it */);
+      pending_key = 0;
+    }
+    game.Step(env, input, start);
+    start = false;
+    game.Render(env, bb);
+    for (std::uint32_t y = 0; y < kMarioScreenH; ++y) {
+      std::memcpy(fb + std::size_t(off_y + y) * fw + off_x,
+                  back.data() + std::size_t(y) * kMarioScreenW, kMarioScreenW * 4);
+    }
+    const CostModel& cm = env.kernel->config().cost;
+    UBurn(env, double(kMarioScreenW) * kMarioScreenH * 4 *
+                   (env.kernel->config().opt_asm_memcpy ? cm.memcpy_per_byte
+                                                        : cm.memcpy_naive_per_byte));
+    ucacheflush(env, off_y * std::uint64_t(fw) * 4, std::uint64_t(kMarioScreenH) * fw * 4);
+    umark_frame(env);
+    ++rendered;
+  }
+  // Tear down the workers.
+  ukill(env, static_cast<int>(input_pid));
+  uclose(env, pfd[0]);
+  uclose(env, pfd[1]);
+  int status;
+  uwait(env, &status);
+  uwait(env, &status);
+  (void)timer_pid;
+  return 0;
+}
+
+// --- mario-sdl (Prototype 5): threads + miniSDL + window manager ---
+int MarioSdlMain(AppEnv& env) {
+  MarioEngine game;
+  game.set_logic_scale(1.60);  // newlib + SDL runtime baggage (§6.3)
+  if (!game.LoadLevel(LoadRom(env, env.argv))) {
+    return 1;
+  }
+  bool bench = HasFlag(env.argv, "--bench");
+  int frames = ParseFrames(env.argv, 300);
+  MiniSdl sdl(env);
+  if (!sdl.InitVideo(kMarioScreenW, kMarioScreenH, MiniSdl::VideoMode::kSurface, "mario",
+                     255, 32, 24)) {
+    return 1;
+  }
+  MarioInput input;
+  bool start = false;
+  for (int f = 0; f < frames; ++f) {
+    KeyEvent ev;
+    while (sdl.PollEvent(&ev)) {
+      input = InputFromKey(ev, input, &start);
+      env.kernel->trace().Emit(env.kernel->Now(), env.task->core, TraceEvent::kKeyEvent,
+                               env.task->pid(), ev.code, 2 /* app saw it */);
+    }
+    game.Step(env, input, start);
+    start = false;
+    game.Render(env, sdl.backbuffer());
+    sdl.Present();
+    umark_frame(env);
+    if (!bench) {
+      sdl.Delay(16);
+    }
+  }
+  return 0;
+}
+
+AppRegistrar mario_app("mario", MarioNoinputMain, 11800, 2 << 20);
+AppRegistrar mario_proc_app("mario-proc", MarioProcMain, 12600, 2 << 20);
+AppRegistrar mario_sdl_app("mario-sdl", MarioSdlMain, 13400, 4 << 20);
+
+}  // namespace
+
+}  // namespace vos

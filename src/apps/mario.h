@@ -1,0 +1,83 @@
+// mario: the paper's LiteNES/Mario role (see DESIGN.md §2) — a tile/sprite
+// platformer engine with the same OS footprint as the NES emulator: level
+// "ROM" files loaded through the filesystem, 256x240 rendering to the
+// framebuffer (direct or via the WM), a title screen that animates (flashing
+// coin) and autoplays when no input arrives (§4.3), and input via
+// /dev/events, a pipe-fed event loop, or miniSDL — the paper's three
+// benchmark variants (§6.3).
+#ifndef VOS_SRC_APPS_MARIO_H_
+#define VOS_SRC_APPS_MARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ulib/pixel.h"
+
+namespace vos {
+
+constexpr std::uint32_t kMarioScreenW = 256;
+constexpr std::uint32_t kMarioScreenH = 240;
+constexpr int kMarioTile = 16;
+
+struct MarioInput {
+  bool left = false;
+  bool right = false;
+  bool jump = false;
+};
+
+class MarioEngine {
+ public:
+  // Parses a level "ROM" (text rows; '#'=brick, '='=ground, 'o'=coin,
+  // 'E'=enemy, 'P'=player spawn, 'F'=flag). Returns false on a bad ROM.
+  bool LoadLevel(const std::string& rom);
+  static std::string BuiltinLevel();  // the Prototype-3 embedded ROM
+
+  // `logic_scale` models the app's runtime baggage: the SDL variant links a
+  // full C library and runs measurably slower (§6.3 latency analysis).
+  void set_logic_scale(double s) { logic_scale_ = s; }
+
+  // One 60 Hz simulation step. In title mode the coin flashes and input is
+  // ignored until `start`; after kTitleFrames it transitions to autoplay.
+  void Step(AppEnv& env, const MarioInput& in, bool start);
+  void Render(AppEnv& env, PixelBuffer out);
+
+  bool title_mode() const { return title_mode_; }
+  bool autoplay() const { return autoplay_; }
+  int coins() const { return coins_; }
+  int score() const { return score_; }
+  double player_x() const { return px_; }
+  bool finished() const { return finished_; }
+  std::uint64_t frames() const { return frames_; }
+
+ private:
+  struct Enemy {
+    double x, y;
+    double vx;
+    bool alive;
+  };
+
+  char TileAt(int tx, int ty) const;
+  bool Solid(char t) const { return t == '#' || t == '='; }
+  MarioInput AutoplayInput() const;
+
+  std::vector<std::string> rows_;
+  int width_tiles_ = 0;
+  int height_tiles_ = 0;
+  double px_ = 32, py_ = 0, vx_ = 0, vy_ = 0;
+  bool on_ground_ = false;
+  std::vector<Enemy> enemies_;
+  int coins_ = 0;
+  int score_ = 0;
+  bool title_mode_ = true;
+  bool autoplay_ = false;
+  bool finished_ = false;
+  std::uint64_t frames_ = 0;
+  double logic_scale_ = 1.0;
+
+  static constexpr int kTitleFrames = 90;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_APPS_MARIO_H_

@@ -1,0 +1,283 @@
+// In-OS microbenchmark programs: the guest halves of Fig 8 and Fig 9. Each
+// runs a measured loop inside the OS under test and reports the virtual-time
+// result over stdout, exactly how the paper's benchmarks run on the board.
+#include <cstring>
+#include <vector>
+
+#include "src/base/md5.h"
+#include "src/kernel/kernel.h"
+#include "src/ulib/umalloc.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+std::uint64_t ArgU64(const AppEnv& env, const char* flag, std::uint64_t def) {
+  for (std::size_t i = 1; i + 1 < env.argv.size() + 1 && i < env.argv.size(); ++i) {
+    if (env.argv[i] == flag && i + 1 < env.argv.size()) {
+      return static_cast<std::uint64_t>(std::atoll(env.argv[i + 1].c_str()));
+    }
+  }
+  return def;
+}
+
+// bench-getpid: average getpid() latency over N calls.
+int GetpidBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 5000);
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ugetpid(env);
+  }
+  Cycles dur = env.kernel->Now() - start;
+  uprintf(env, "getpid_ns %llu\n", static_cast<unsigned long long>(dur / n));
+  return 0;
+}
+
+// bench-sbrk: average sbrk(+4K/-4K) pair latency.
+int SbrkBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 2000);
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    usbrk(env, 4096);
+    usbrk(env, -4096);
+  }
+  Cycles dur = env.kernel->Now() - start;
+  uprintf(env, "sbrk_ns %llu\n", static_cast<unsigned long long>(dur / (2 * n)));
+  return 0;
+}
+
+// bench-pipe: one-way IPC latency — a child echoes one byte back over a
+// pipe pair; we time round-trips and halve (Fig 8's methodology).
+int PipeBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 5000);
+  int ping[2], pong[2];
+  if (upipe(env, ping) < 0 || upipe(env, pong) < 0) {
+    return 1;
+  }
+  Kernel* kernel = env.kernel;
+  int ping_r = ping[0], pong_w = pong[1];
+  std::int64_t child = ufork(env, [kernel, ping_r, pong_w, n]() -> int {
+    AppEnv me = ChildEnv(kernel);
+    char c;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (uread(me, ping_r, &c, 1) != 1) {
+        return 1;
+      }
+      if (uwrite(me, pong_w, &c, 1) != 1) {
+        return 1;
+      }
+    }
+    return 0;
+  });
+  if (child < 0) {
+    return 1;
+  }
+  char c = 'x';
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    uwrite(env, ping[1], &c, 1);
+    uread(env, pong[0], &c, 1);
+  }
+  Cycles dur = env.kernel->Now() - start;
+  int status;
+  uwait(env, &status);
+  uprintf(env, "ipc_oneway_ns %llu\n", static_cast<unsigned long long>(dur / (2 * n)));
+  return 0;
+}
+
+// bench-fork: fork+wait latency (the paper's slow path vs COW kernels).
+int ForkBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 200);
+  // Touch some heap so the fork has pages to copy.
+  std::uint64_t heap_kb = ArgU64(env, "--heap-kb", 256);
+  UserHeap heap(env);
+  void* block = heap.Malloc(heap_kb * 1024);
+  std::memset(block, 0xab, heap_kb * 1024);
+  Kernel* kernel = env.kernel;
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t pid = ufork(env, [kernel]() -> int { return 0; });
+    if (pid < 0) {
+      return 1;
+    }
+    int status;
+    uwait(env, &status);
+  }
+  Cycles dur = env.kernel->Now() - start;
+  heap.Free(block);
+  uprintf(env, "fork_ns %llu\n", static_cast<unsigned long long>(dur / n));
+  return 0;
+}
+
+// bench-exec: fork+exec+wait of a trivial binary.
+int ExecBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 50);
+  Kernel* kernel = env.kernel;
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ufork(env, [kernel]() -> int {
+      AppEnv me = ChildEnv(kernel);
+      uexec(me, "/bin/echo", {"echo"});
+      return 127;
+    });
+    int status;
+    uwait(env, &status);
+  }
+  Cycles dur = env.kernel->Now() - start;
+  uprintf(env, "exec_ns %llu\n", static_cast<unsigned long long>(dur / n));
+  return 0;
+}
+
+// bench-ctxsw: context-switch cost via yield ping-pong between two threads.
+int CtxswBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 2000);
+  Kernel* kernel = env.kernel;
+  std::int64_t child = uclone(env, [kernel, n]() -> int {
+    AppEnv me = ChildEnv(kernel);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      uyield(me);
+    }
+    return 0;
+  });
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    uyield(env);
+  }
+  Cycles dur = env.kernel->Now() - start;
+  (void)child;
+  int status;
+  uwait(env, &status);
+  uprintf(env, "ctxsw_ns %llu\n", static_cast<unsigned long long>(dur / n));
+  return 0;
+}
+
+// bench-openclose: open+close of an existing file.
+int OpenCloseBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 1000);
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t fd = uopen(env, "/bin/echo", kORdonly);
+    if (fd < 0) {
+      return 1;
+    }
+    uclose(env, static_cast<int>(fd));
+  }
+  Cycles dur = env.kernel->Now() - start;
+  uprintf(env, "openclose_ns %llu\n", static_cast<unsigned long long>(dur / n));
+  return 0;
+}
+
+// bench-file: sequential file read/write throughput on a given path (root
+// xv6fs or /d FAT32 — Fig 8's filesystem throughput rows).
+int FileBench(AppEnv& env) {
+  std::string path = env.argv.size() > 1 && env.argv[1][0] == '/' ? env.argv[1]
+                                                                  : "/d/bench.dat";
+  std::uint64_t kb = ArgU64(env, "--kb", 512);
+  std::vector<std::uint8_t> buf(16384, 0x5a);
+  // Write phase.
+  std::int64_t fd = uopen(env, path, kOWronly | kOCreate | kOTrunc);
+  if (fd < 0) {
+    uprintf(env, "bench-file: cannot create %s\n", path.c_str());
+    return 1;
+  }
+  Cycles start = env.kernel->Now();
+  std::uint64_t remaining = kb * 1024;
+  while (remaining > 0) {
+    std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(buf.size(),
+                                                                             remaining));
+    if (uwrite(env, static_cast<int>(fd), buf.data(), chunk) != chunk) {
+      return 1;
+    }
+    remaining -= chunk;
+  }
+  Cycles wdur = env.kernel->Now() - start;
+  uclose(env, static_cast<int>(fd));
+  // Read phase.
+  fd = uopen(env, path, kORdonly);
+  start = env.kernel->Now();
+  remaining = kb * 1024;
+  while (remaining > 0) {
+    std::int64_t r = uread(env, static_cast<int>(fd), buf.data(),
+                           static_cast<std::uint32_t>(buf.size()));
+    if (r <= 0) {
+      break;
+    }
+    remaining -= static_cast<std::uint64_t>(r);
+  }
+  Cycles rdur = env.kernel->Now() - start;
+  uclose(env, static_cast<int>(fd));
+  uunlink(env, path);
+  double wkbs = double(kb) / (ToSec(wdur) + 1e-12);
+  double rkbs = double(kb) / (ToSec(rdur) + 1e-12);
+  uprintf(env, "file_write_kbps %d\nfile_read_kbps %d\n", static_cast<int>(wkbs),
+          static_cast<int>(rkbs));
+  return 0;
+}
+
+// bench-md5: compute benchmark (libc quality shows, §6.2).
+int Md5Bench(AppEnv& env) {
+  std::uint64_t kb = ArgU64(env, "--kb", 256);
+  std::vector<std::uint8_t> data(kb * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  Cycles start = env.kernel->Now();
+  Md5Digest d = Md5::Hash(data.data(), data.size());
+  UBurn(env, double(data.size()) * 6.5);
+  Cycles dur = env.kernel->Now() - start;
+  uprintf(env, "md5_us %llu digest %02x\n", static_cast<unsigned long long>(ToUs(dur)),
+          d[0]);
+  return 0;
+}
+
+// bench-qsort: compute benchmark (quicksort of N ints).
+int QsortBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 100000);
+  std::vector<std::uint32_t> v(n);
+  std::uint32_t x = 12345;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    x = x * 1664525 + 1013904223;
+    v[i] = x;
+  }
+  Cycles start = env.kernel->Now();
+  std::sort(v.begin(), v.end());
+  // ~55 cycles per element-log on the A53 through the C library's qsort.
+  UBurn(env, double(n) * 17.0 * 55.0 / 10.0);
+  Cycles dur = env.kernel->Now() - start;
+  bool sorted = std::is_sorted(v.begin(), v.end());
+  uprintf(env, "qsort_us %llu sorted %d\n", static_cast<unsigned long long>(ToUs(dur)),
+          sorted ? 1 : 0);
+  return 0;
+}
+
+// bench-mmap: mmap of the framebuffer.
+int MmapBench(AppEnv& env) {
+  std::uint64_t n = ArgU64(env, "--n", 500);
+  std::uint32_t* fb = nullptr;
+  std::uint32_t w, h;
+  Cycles start = env.kernel->Now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (ummap_fb(env, &fb, &w, &h) < 0) {
+      return 1;
+    }
+  }
+  Cycles dur = env.kernel->Now() - start;
+  uprintf(env, "mmap_ns %llu\n", static_cast<unsigned long long>(dur / n));
+  return 0;
+}
+
+AppRegistrar b1("bench-getpid", GetpidBench, 700, 64 << 10);
+AppRegistrar b2("bench-sbrk", SbrkBench, 700, 8 << 20);
+AppRegistrar b3("bench-pipe", PipeBench, 900, 64 << 10);
+AppRegistrar b4("bench-fork", ForkBench, 900, 8 << 20);
+AppRegistrar b5("bench-exec", ExecBench, 800, 64 << 10);
+AppRegistrar b6("bench-ctxsw", CtxswBench, 800, 64 << 10);
+AppRegistrar b7("bench-open", OpenCloseBench, 800, 64 << 10);
+AppRegistrar b8("bench-file", FileBench, 1100, 1 << 20);
+AppRegistrar b9("bench-md5", Md5Bench, 900, 2 << 20);
+AppRegistrar b10("bench-qsort", QsortBench, 900, 4 << 20);
+AppRegistrar b11("bench-mmap", MmapBench, 700, 64 << 10);
+
+}  // namespace
+}  // namespace vos

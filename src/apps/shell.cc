@@ -1,0 +1,208 @@
+// The shell, ported from xv6 and enhanced with script execution (§3).
+// Supports command lines with arguments, pipes (a | b), redirection (< >),
+// sequencing (;), background jobs (&), the cd/exit builtins, and running
+// script files ("sh /etc/rc").
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+struct Command {
+  std::vector<std::string> argv;
+  std::string in_file;   // < redirect
+  std::string out_file;  // > redirect
+};
+
+// Splits on '|' after tokenizing; handles < and > per segment.
+std::vector<Command> ParsePipeline(const std::vector<std::string>& tokens) {
+  std::vector<Command> cmds(1);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t == "|") {
+      cmds.emplace_back();
+    } else if (t == "<" && i + 1 < tokens.size()) {
+      cmds.back().in_file = tokens[++i];
+    } else if (t == ">" && i + 1 < tokens.size()) {
+      cmds.back().out_file = tokens[++i];
+    } else {
+      cmds.back().argv.push_back(t);
+    }
+  }
+  return cmds;
+}
+
+std::string BinPath(const std::string& cmd) {
+  return cmd.find('/') != std::string::npos ? cmd : "/bin/" + cmd;
+}
+
+// Runs one pipeline, waiting for the foreground children.
+void RunPipeline(AppEnv& env, std::vector<Command> cmds, bool background) {
+  Kernel* kernel = env.kernel;
+  std::vector<std::int64_t> pids;
+  int prev_read = -1;  // read end of the previous pipe, in the shell's table
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    if (cmds[i].argv.empty()) {
+      continue;
+    }
+    int pipe_fds[2] = {-1, -1};
+    bool has_next = i + 1 < cmds.size();
+    if (has_next) {
+      if (upipe(env, pipe_fds) < 0) {
+        uprintf(env, "sh: pipe failed\n");
+        return;
+      }
+    }
+    Command cmd = cmds[i];
+    int in_fd = prev_read;
+    int out_fd = has_next ? pipe_fds[1] : -1;
+    std::int64_t pid = ufork(env, [kernel, cmd, in_fd, out_fd]() -> int {
+      AppEnv child = ChildEnv(kernel);
+      // Wire stdin/stdout: the child shares the forked fd table, so dup the
+      // pipe/file onto 0/1 xv6-style (close then dup).
+      if (in_fd >= 0) {
+        uclose(child, 0);
+        udup(child, in_fd);
+      }
+      if (out_fd >= 0) {
+        uclose(child, 1);
+        udup(child, out_fd);
+      }
+      if (!cmd.in_file.empty()) {
+        uclose(child, 0);
+        if (uopen(child, cmd.in_file, kORdonly) < 0) {
+          ufprintf(child, 2, "sh: cannot open %s\n", cmd.in_file.c_str());
+          return 127;
+        }
+      }
+      if (!cmd.out_file.empty()) {
+        uclose(child, 1);
+        if (uopen(child, cmd.out_file, kOWronly | kOCreate | kOTrunc) < 0) {
+          ufprintf(child, 2, "sh: cannot create %s\n", cmd.out_file.c_str());
+          return 127;
+        }
+      }
+      // Close the shell-side pipe fds the fork duplicated into us.
+      for (int fd = 3; fd < 16; ++fd) {
+        FilePtr f = fd < static_cast<int>(child.task->fds.size())
+                        ? child.task->fds[static_cast<std::size_t>(fd)]
+                        : nullptr;
+        if (f != nullptr && f->kind == FileKind::kPipe) {
+          uclose(child, fd);
+        }
+      }
+      uexec(child, BinPath(cmd.argv[0]), cmd.argv);
+      ufprintf(child, 2, "sh: exec %s failed\n", cmd.argv[0].c_str());
+      return 127;
+    });
+    if (pid < 0) {
+      uprintf(env, "sh: fork failed\n");
+      return;
+    }
+    pids.push_back(pid);
+    // The shell closes its copies of the pipe ends it no longer needs.
+    if (prev_read >= 0) {
+      uclose(env, prev_read);
+    }
+    if (has_next) {
+      uclose(env, pipe_fds[1]);
+      prev_read = pipe_fds[0];
+    } else {
+      prev_read = -1;
+    }
+  }
+  if (prev_read >= 0) {
+    uclose(env, prev_read);
+  }
+  if (!background) {
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      int status = 0;
+      uwait(env, &status);
+    }
+  }
+}
+
+// Executes one command line (handles ';' sequencing and builtins).
+// Returns false when the shell should exit.
+bool RunLine(AppEnv& env, const std::string& line) {
+  // Comments and empties.
+  std::string text = line;
+  std::size_t hash = text.find('#');
+  if (hash != std::string::npos) {
+    text = text.substr(0, hash);
+  }
+  // Split on ';'.
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t semi = text.find(';', start);
+    std::string part =
+        semi == std::string::npos ? text.substr(start) : text.substr(start, semi - start);
+    start = semi == std::string::npos ? text.size() + 1 : semi + 1;
+
+    bool background = false;
+    std::vector<std::string> tokens = usplit(part);
+    if (!tokens.empty() && tokens.back() == "&") {
+      background = true;
+      tokens.pop_back();
+    }
+    if (tokens.empty()) {
+      continue;
+    }
+    if (tokens[0] == "exit") {
+      return false;
+    }
+    if (tokens[0] == "cd") {
+      const std::string& dir = tokens.size() > 1 ? tokens[1] : "/";
+      if (uchdir(env, dir) < 0) {
+        uprintf(env, "cd: cannot cd %s\n", dir.c_str());
+      }
+      continue;
+    }
+    RunPipeline(env, ParsePipeline(tokens), background);
+  }
+  return true;
+}
+
+int ShellMain(AppEnv& env) {
+  // Script mode: sh <file> runs its lines and exits.
+  if (env.argv.size() > 1) {
+    std::vector<std::uint8_t> script;
+    if (uread_file(env, env.argv[1], &script) < 0) {
+      uprintf(env, "sh: cannot open %s\n", env.argv[1].c_str());
+      return 1;
+    }
+    std::string text(script.begin(), script.end());
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t nl = text.find('\n', pos);
+      std::string line =
+          nl == std::string::npos ? text.substr(pos) : text.substr(pos, nl - pos);
+      pos = nl == std::string::npos ? text.size() : nl + 1;
+      if (!RunLine(env, line)) {
+        return 0;
+      }
+    }
+    return 0;
+  }
+  // Interactive mode.
+  for (;;) {
+    uprintf(env, "$ ");
+    std::string line;
+    if (!ugets(env, &line)) {
+      return 0;  // EOF
+    }
+    if (!RunLine(env, line)) {
+      return 0;
+    }
+  }
+}
+
+AppRegistrar shell_app("sh", ShellMain, 7400, 1 << 20);
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,97 @@
+// slider (Table 1): presents slide decks — BMP, PNG and GIF files from a
+// directory — intended for OS builders to present their own designs (§3).
+// Prototype 5 handles high-resolution PNGs from the FAT partition.
+#include <algorithm>
+#include <vector>
+
+#include "src/ulib/bmp.h"
+#include "src/ulib/giflite.h"
+#include "src/ulib/minisdl.h"
+#include "src/ulib/pnglite.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  std::string suf(suffix);
+  return s.size() >= suf.size() && s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+int SliderMain(AppEnv& env) {
+  std::string dir = env.argv.size() > 1 ? env.argv[1] : "/slides";
+  std::uint64_t dwell_ms = 800;
+  int loops = 1;
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i] == "--dwell" && i + 1 < env.argv.size()) {
+      dwell_ms = static_cast<std::uint64_t>(std::atoi(env.argv[i + 1].c_str()));
+    }
+  }
+  std::vector<DirEntryInfo> entries;
+  if (ureaddir(env, dir, &entries) < 0) {
+    uprintf(env, "slider: cannot open %s\n", dir.c_str());
+    return 1;
+  }
+  std::vector<std::string> slides;
+  for (const DirEntryInfo& e : entries) {
+    if (EndsWith(e.name, ".bmp") || EndsWith(e.name, ".png") || EndsWith(e.name, ".gif")) {
+      slides.push_back(dir + "/" + e.name);
+    }
+  }
+  std::sort(slides.begin(), slides.end());
+  if (slides.empty()) {
+    uprintf(env, "slider: no slides in %s\n", dir.c_str());
+    return 1;
+  }
+
+  std::uint32_t* fb = nullptr;
+  std::uint32_t fw = 0, fh = 0;
+  if (ummap_fb(env, &fb, &fw, &fh) < 0) {
+    return 1;
+  }
+  PixelBuffer screen{fb, fw, fh};
+  int shown = 0;
+  for (int loop = 0; loop < loops; ++loop) {
+    for (const std::string& path : slides) {
+      std::vector<std::uint8_t> raw;
+      if (uread_file(env, path, &raw) <= 0) {
+        continue;
+      }
+      if (EndsWith(path, ".gif")) {
+        auto anim = GifDecode(raw.data(), raw.size());
+        if (!anim) {
+          continue;
+        }
+        UBurn(env, double(raw.size()) * 9.0);  // LZW decode
+        for (std::size_t f = 0; f < anim->frames.size(); ++f) {
+          PixelBuffer src{anim->frames[f].pixels.data(), anim->width, anim->height};
+          BlitScaled(env, screen, 0, 0, static_cast<int>(fw), static_cast<int>(fh), src);
+          ucacheflush(env, 0, std::uint64_t(fw) * fh * 4);
+          usleep_ms(env, std::max<std::uint32_t>(anim->delays_ms[f], 30));
+        }
+      } else {
+        std::optional<Image> img = EndsWith(path, ".png")
+                                       ? PngDecode(raw.data(), raw.size())
+                                       : BmpDecode(raw.data(), raw.size());
+        if (!img) {
+          uprintf(env, "slider: cannot decode %s\n", path.c_str());
+          continue;
+        }
+        UBurn(env, double(raw.size()) * (EndsWith(path, ".png") ? 14.0 : 1.2));
+        PixelBuffer src{img->pixels.data(), img->width, img->height};
+        BlitScaled(env, screen, 0, 0, static_cast<int>(fw), static_cast<int>(fh), src);
+        ucacheflush(env, 0, std::uint64_t(fw) * fh * 4);
+        usleep_ms(env, dwell_ms);
+      }
+      ++shown;
+    }
+  }
+  uprintf(env, "slider: showed %d slides\n", shown);
+  return 0;
+}
+
+AppRegistrar slider_app("slider", SliderMain, 9400, 16 << 20);
+
+}  // namespace
+}  // namespace vos

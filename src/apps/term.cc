@@ -1,0 +1,144 @@
+// term: a graphical terminal — the shell running in a window (Figure 1(m)'s
+// desktop look). Wires three Prototype-5 mechanisms together: pipes (the
+// shell's stdio), the window manager (a surface + focused-key routing via
+// /dev/event1), and the TextConsole widget rendered with the 8x8 font.
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/console.h"
+#include "src/ulib/minisdl.h"
+#include "src/ulib/usys.h"
+#include "src/ulib/ustdio.h"
+
+namespace vos {
+namespace {
+
+char KeyToChar(const KeyEvent& ev) {
+  if (ev.code >= kKeyA && ev.code <= kKeyZ) {
+    char c = static_cast<char>('a' + (ev.code - kKeyA));
+    if (ev.modifiers & 0x02) {  // shift
+      c = static_cast<char>(c - 'a' + 'A');
+    }
+    return c;
+  }
+  if (ev.code >= kKey0 && ev.code <= kKey0 + 9) {
+    return static_cast<char>('0' + (ev.code - kKey0));
+  }
+  switch (ev.code) {
+    case kKeySpace:
+      return ' ';
+    case kKeyEnter:
+      return '\n';
+    case kKeyBackspace:
+      return '\b';
+    default:
+      return '\0';
+  }
+}
+
+int TermMain(AppEnv& env) {
+  int frames = 100000;
+  std::string script;
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i] == "--frames" && i + 1 < env.argv.size()) {
+      frames = std::atoi(env.argv[i + 1].c_str());
+    } else if (env.argv[i] == "--type" && i + 1 < env.argv.size()) {
+      script = env.argv[i + 1];  // pre-typed input (tests/demos)
+    }
+  }
+  MiniSdl sdl(env);
+  constexpr std::uint32_t kCols = 48, kRows = 16;
+  if (!sdl.InitVideo(kCols * 8 + 8, kRows * 9 + 8, MiniSdl::VideoMode::kSurface, "term",
+                     255, 120, 140)) {
+    uprintf(env, "term: no window manager\n");
+    return 1;
+  }
+
+  // Shell stdio: stdin pipe (we write keys) and stdout pipe (we render).
+  int in_pipe[2], out_pipe[2];
+  if (upipe(env, in_pipe) < 0 || upipe(env, out_pipe) < 0) {
+    return 1;
+  }
+  Kernel* kernel = env.kernel;
+  std::int64_t shell_pid =
+      ufork(env, [kernel, in_r = in_pipe[0], out_w = out_pipe[1]]() -> int {
+        AppEnv child = ChildEnv(kernel);
+        uclose(child, 0);
+        udup(child, in_r);  // -> fd 0
+        uclose(child, 1);
+        udup(child, out_w);  // -> fd 1
+        // Drop inherited pipe fds above the stdio slots.
+        for (int fd = 3; fd < 16; ++fd) {
+          FilePtr f = fd < static_cast<int>(child.task->fds.size())
+                          ? child.task->fds[static_cast<std::size_t>(fd)]
+                          : nullptr;
+          if (f != nullptr && f->kind == FileKind::kPipe) {
+            uclose(child, fd);
+          }
+        }
+        uexec(child, "/bin/sh", {"sh"});
+        return 127;
+      });
+  if (shell_pid < 0) {
+    return 1;
+  }
+  uclose(env, in_pipe[0]);
+  uclose(env, out_pipe[1]);
+  // Non-blocking stdout drain.
+  env.task->fds[static_cast<std::size_t>(out_pipe[0])]->nonblock = true;
+
+  // Pre-typed input goes in up front (the pipe buffers a line comfortably).
+  if (!script.empty()) {
+    uwrite(env, in_pipe[1], script.data(), static_cast<std::uint32_t>(script.size()));
+  }
+
+  TextConsole console(kCols, kRows);
+  PixelBuffer bb = sdl.backbuffer();
+  bool dirty = true;
+  for (int f = 0; f < frames; ++f) {
+    // Keys (focused-window routing) -> shell stdin.
+    KeyEvent ev;
+    while (sdl.PollEvent(&ev)) {
+      if (!ev.down) {
+        continue;
+      }
+      char c = KeyToChar(ev);
+      if (c != '\0') {
+        uwrite(env, in_pipe[1], &c, 1);
+        if (c != '\n') {
+          console.Put(c);  // local echo
+          dirty = true;
+        }
+      }
+    }
+    // Shell stdout -> console.
+    char buf[256];
+    std::int64_t n;
+    while ((n = uread(env, out_pipe[0], buf, sizeof(buf))) > 0) {
+      console.Write(std::string(buf, static_cast<std::size_t>(n)));
+      dirty = true;
+    }
+    if (n == 0) {
+      break;  // shell exited, stdout closed
+    }
+    if (dirty) {
+      FillRect(env, bb, 0, 0, static_cast<int>(bb.width), static_cast<int>(bb.height),
+               Rgb(16, 18, 24));
+      console.Render(env, bb, 4, 4, 1, Rgb(140, 240, 150), Rgb(16, 18, 24));
+      sdl.Present();
+      dirty = false;
+    }
+    sdl.Delay(16);
+  }
+  // Shut the shell down and reap it.
+  uclose(env, in_pipe[1]);  // EOF on its stdin
+  int status = 0;
+  uwait(env, &status);
+  uclose(env, out_pipe[0]);
+  return 0;
+}
+
+AppRegistrar term_app("term", TermMain, 5200, 2 << 20);
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,16 @@
+#include "src/base/assert.h"
+
+#include <sstream>
+
+namespace vos {
+
+void AssertFail(const char* expr, const char* file, int line, const char* msg) {
+  std::ostringstream os;
+  os << "VOS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (msg != nullptr) {
+    os << " (" << msg << ")";
+  }
+  throw FatalError(os.str());
+}
+
+}  // namespace vos

@@ -1,0 +1,48 @@
+// Assertion macros for the vos library.
+//
+// VOS_CHECK is always on (simulator-level invariants); VOS_DCHECK compiles out
+// in NDEBUG builds. Failures throw FatalError so tests can assert on panics
+// instead of aborting the whole test binary.
+#ifndef VOS_SRC_BASE_ASSERT_H_
+#define VOS_SRC_BASE_ASSERT_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace vos {
+
+// Thrown on fatal library misuse or broken invariants. Carries the failing
+// expression and location.
+class FatalError : public std::runtime_error {
+ public:
+  explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Formats and throws a FatalError. Not inlined to keep call sites small.
+[[noreturn]] void AssertFail(const char* expr, const char* file, int line, const char* msg);
+
+}  // namespace vos
+
+#define VOS_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::vos::AssertFail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                          \
+  } while (0)
+
+#define VOS_CHECK_MSG(expr, msg)                               \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::vos::AssertFail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define VOS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define VOS_DCHECK(expr) VOS_CHECK(expr)
+#endif
+
+#endif  // VOS_SRC_BASE_ASSERT_H_

@@ -1,0 +1,32 @@
+#include "src/base/crc32.h"
+
+namespace vos {
+
+namespace {
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+const Crc32Table g_table;
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = g_table.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t len) { return Crc32Update(0, data, len); }
+
+}  // namespace vos

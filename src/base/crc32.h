@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — used by the PNG decoder
+// and by filesystem image self-checks.
+#ifndef VOS_SRC_BASE_CRC32_H_
+#define VOS_SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vos {
+
+// One-shot CRC of a buffer.
+std::uint32_t Crc32(const void* data, std::size_t len);
+
+// Streaming form: crc starts at 0 and is fed back in.
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data, std::size_t len);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_CRC32_H_

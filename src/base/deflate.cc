@@ -1,0 +1,177 @@
+#include "src/base/deflate.h"
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/base/inflate.h"
+
+namespace vos {
+
+namespace {
+
+class BitWriter {
+ public:
+  void Bits(std::uint32_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      cur_ |= ((v >> i) & 1) << bit_;
+      if (++bit_ == 8) {
+        out_.push_back(cur_);
+        cur_ = 0;
+        bit_ = 0;
+      }
+    }
+  }
+
+  // Huffman codes are written MSB-first.
+  void Code(std::uint32_t code, int n) {
+    for (int i = n - 1; i >= 0; --i) {
+      Bits((code >> i) & 1, 1);
+    }
+  }
+
+  std::vector<std::uint8_t> Finish() {
+    if (bit_ != 0) {
+      out_.push_back(cur_);
+      cur_ = 0;
+      bit_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint8_t cur_ = 0;
+  int bit_ = 0;
+};
+
+// Fixed literal/length code (RFC 1951 §3.2.6).
+void FixedLitCode(int sym, std::uint32_t& code, int& len) {
+  if (sym < 144) {
+    code = 0x30 + static_cast<std::uint32_t>(sym);
+    len = 8;
+  } else if (sym < 256) {
+    code = 0x190 + static_cast<std::uint32_t>(sym - 144);
+    len = 9;
+  } else if (sym < 280) {
+    code = static_cast<std::uint32_t>(sym - 256);
+    len = 7;
+  } else {
+    code = 0xc0 + static_cast<std::uint32_t>(sym - 280);
+    len = 8;
+  }
+}
+
+constexpr int kLenBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+                              31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                               2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+                               33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+                               1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+                                6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int LengthSymbol(int length) {
+  for (int i = 28; i >= 0; --i) {
+    if (length >= kLenBase[i]) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+int DistSymbol(std::size_t dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= static_cast<std::size_t>(kDistBase[i])) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+constexpr std::size_t kWindow = 32768;
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+
+}  // namespace
+
+std::vector<std::uint8_t> Deflate(const std::uint8_t* data, std::size_t len) {
+  BitWriter bw;
+  bw.Bits(1, 1);  // BFINAL
+  bw.Bits(1, 2);  // fixed Huffman
+
+  // Greedy LZ77: hash 3-byte prefixes to recent positions.
+  std::unordered_map<std::uint32_t, std::size_t> head;
+  head.reserve(len / 4 + 16);
+  std::size_t i = 0;
+  auto hash3 = [&](std::size_t p) {
+    return std::uint32_t(data[p]) | (std::uint32_t(data[p + 1]) << 8) |
+           (std::uint32_t(data[p + 2]) << 16);
+  };
+  while (i < len) {
+    int best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= len) {
+      auto it = head.find(hash3(i));
+      if (it != head.end() && i - it->second <= kWindow) {
+        std::size_t cand = it->second;
+        int m = 0;
+        while (m < kMaxMatch && i + static_cast<std::size_t>(m) < len &&
+               data[cand + static_cast<std::size_t>(m)] == data[i + static_cast<std::size_t>(m)]) {
+          ++m;
+        }
+        if (m >= kMinMatch) {
+          best_len = m;
+          best_dist = i - cand;
+        }
+      }
+      head[hash3(i)] = i;
+    }
+    if (best_len >= kMinMatch) {
+      int ls = LengthSymbol(best_len);
+      std::uint32_t code;
+      int nbits;
+      FixedLitCode(257 + ls, code, nbits);
+      bw.Code(code, nbits);
+      bw.Bits(static_cast<std::uint32_t>(best_len - kLenBase[ls]), kLenExtra[ls]);
+      int ds = DistSymbol(best_dist);
+      bw.Code(static_cast<std::uint32_t>(ds), 5);
+      bw.Bits(static_cast<std::uint32_t>(best_dist - static_cast<std::size_t>(kDistBase[ds])),
+              kDistExtra[ds]);
+      // Insert hash entries for the skipped positions so later matches work.
+      std::size_t stop = i + static_cast<std::size_t>(best_len);
+      for (std::size_t p = i + 1; p + kMinMatch <= len && p < stop; ++p) {
+        head[hash3(p)] = p;
+      }
+      i = stop;
+    } else {
+      std::uint32_t code;
+      int nbits;
+      FixedLitCode(data[i], code, nbits);
+      bw.Code(code, nbits);
+      ++i;
+    }
+  }
+  std::uint32_t code;
+  int nbits;
+  FixedLitCode(256, code, nbits);  // end of block
+  bw.Code(code, nbits);
+  return bw.Finish();
+}
+
+std::vector<std::uint8_t> ZlibDeflate(const std::uint8_t* data, std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.push_back(0x78);  // CMF: deflate, 32K window
+  out.push_back(0x9c);  // FLG chosen so (CMF*256+FLG) % 31 == 0
+  std::vector<std::uint8_t> body = Deflate(data, len);
+  out.insert(out.end(), body.begin(), body.end());
+  std::uint32_t adler = Adler32(data, len);
+  out.push_back(static_cast<std::uint8_t>(adler >> 24));
+  out.push_back(static_cast<std::uint8_t>(adler >> 16));
+  out.push_back(static_cast<std::uint8_t>(adler >> 8));
+  out.push_back(static_cast<std::uint8_t>(adler));
+  return out;
+}
+
+}  // namespace vos

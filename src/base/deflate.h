@@ -1,0 +1,20 @@
+// DEFLATE compressor: fixed-Huffman blocks with a greedy LZ77 matcher, plus a
+// stored-block fallback. Exists so the test/bench asset pipeline can generate
+// real PNGs and compressed archives that the in-OS decoders consume.
+#ifndef VOS_SRC_BASE_DEFLATE_H_
+#define VOS_SRC_BASE_DEFLATE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vos {
+
+// Compresses to a raw DEFLATE stream (always decodable by Inflate()).
+std::vector<std::uint8_t> Deflate(const std::uint8_t* data, std::size_t len);
+
+// Wraps Deflate() in a zlib header/trailer (decodable by ZlibInflate()).
+std::vector<std::uint8_t> ZlibDeflate(const std::uint8_t* data, std::size_t len);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_DEFLATE_H_

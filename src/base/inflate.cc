@@ -1,0 +1,338 @@
+#include "src/base/inflate.h"
+
+#include <array>
+#include <cstring>
+
+namespace vos {
+
+namespace {
+
+// Bit reader over a byte buffer, LSB-first as DEFLATE requires.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  // Returns nullopt past end of input.
+  std::optional<std::uint32_t> Bits(int n) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      if (pos_ >= len_) {
+        return std::nullopt;
+      }
+      v |= std::uint32_t((data_[pos_] >> bit_) & 1) << i;
+      if (++bit_ == 8) {
+        bit_ = 0;
+        ++pos_;
+      }
+    }
+    return v;
+  }
+
+  void AlignByte() {
+    if (bit_ != 0) {
+      bit_ = 0;
+      ++pos_;
+    }
+  }
+
+  bool ReadBytes(std::uint8_t* out, std::size_t n) {
+    if (pos_ + n > len_) {
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  int bit_ = 0;
+};
+
+// Canonical Huffman decoder built from code lengths.
+class Huffman {
+ public:
+  // lengths[i] = code length of symbol i (0 = unused). Returns false if the
+  // length set is invalid (oversubscribed).
+  bool Build(const std::uint8_t* lengths, int n) {
+    counts_.fill(0);
+    symbols_.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      ++counts_[lengths[i]];
+    }
+    if (counts_[0] == n) {
+      return false;  // no codes at all
+    }
+    // Check for over-subscription.
+    int left = 1;
+    for (int len = 1; len <= 15; ++len) {
+      left <<= 1;
+      left -= counts_[len];
+      if (left < 0) {
+        return false;
+      }
+    }
+    std::array<int, 16> offsets{};
+    for (int len = 1; len < 15; ++len) {
+      offsets[len + 1] = offsets[len] + counts_[len];
+    }
+    for (int i = 0; i < n; ++i) {
+      if (lengths[i] != 0) {
+        symbols_[static_cast<std::size_t>(offsets[lengths[i]]++)] = static_cast<int>(i);
+      }
+    }
+    return true;
+  }
+
+  // Decodes one symbol; nullopt on error/EOF.
+  std::optional<int> Decode(BitReader& br) const {
+    int code = 0;
+    int first = 0;
+    int index = 0;
+    for (int len = 1; len <= 15; ++len) {
+      auto b = br.Bits(1);
+      if (!b) {
+        return std::nullopt;
+      }
+      code |= static_cast<int>(*b);
+      int count = counts_[len];
+      if (code - first < count) {
+        return symbols_[static_cast<std::size_t>(index + (code - first))];
+      }
+      index += count;
+      first = (first + count) << 1;
+      code <<= 1;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::array<int, 16> counts_{};
+  std::vector<int> symbols_;
+};
+
+constexpr int kLenBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+                              31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                               2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+                               33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+                               1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+                                6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+bool InflateBlockData(BitReader& br, const Huffman& lit, const Huffman& dist,
+                      std::vector<std::uint8_t>& out, std::size_t max_output) {
+  for (;;) {
+    auto sym = lit.Decode(br);
+    if (!sym) {
+      return false;
+    }
+    if (*sym < 256) {
+      if (out.size() >= max_output) {
+        return false;
+      }
+      out.push_back(static_cast<std::uint8_t>(*sym));
+    } else if (*sym == 256) {
+      return true;  // end of block
+    } else {
+      int li = *sym - 257;
+      if (li >= 29) {
+        return false;
+      }
+      auto extra = br.Bits(kLenExtra[li]);
+      if (!extra) {
+        return false;
+      }
+      int length = kLenBase[li] + static_cast<int>(*extra);
+      auto dsym = dist.Decode(br);
+      if (!dsym || *dsym >= 30) {
+        return false;
+      }
+      auto dextra = br.Bits(kDistExtra[*dsym]);
+      if (!dextra) {
+        return false;
+      }
+      std::size_t distance = static_cast<std::size_t>(kDistBase[*dsym]) + *dextra;
+      if (distance > out.size()) {
+        return false;
+      }
+      if (out.size() + static_cast<std::size_t>(length) > max_output) {
+        return false;
+      }
+      std::size_t start = out.size() - distance;
+      for (int i = 0; i < length; ++i) {
+        out.push_back(out[start + static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+}
+
+bool BuildFixedTables(Huffman& lit, Huffman& dist) {
+  std::uint8_t lit_len[288];
+  for (int i = 0; i < 144; ++i) lit_len[i] = 8;
+  for (int i = 144; i < 256; ++i) lit_len[i] = 9;
+  for (int i = 256; i < 280; ++i) lit_len[i] = 7;
+  for (int i = 280; i < 288; ++i) lit_len[i] = 8;
+  std::uint8_t dist_len[30];
+  for (int i = 0; i < 30; ++i) dist_len[i] = 5;
+  return lit.Build(lit_len, 288) && dist.Build(dist_len, 30);
+}
+
+bool ReadDynamicTables(BitReader& br, Huffman& lit, Huffman& dist) {
+  auto hlit = br.Bits(5);
+  auto hdist = br.Bits(5);
+  auto hclen = br.Bits(4);
+  if (!hlit || !hdist || !hclen) {
+    return false;
+  }
+  int nlit = static_cast<int>(*hlit) + 257;
+  int ndist = static_cast<int>(*hdist) + 1;
+  int ncode = static_cast<int>(*hclen) + 4;
+  if (nlit > 286 || ndist > 30) {
+    return false;
+  }
+  static constexpr int kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                     11, 4,  12, 3, 13, 2, 14, 1, 15};
+  std::uint8_t code_len[19] = {};
+  for (int i = 0; i < ncode; ++i) {
+    auto v = br.Bits(3);
+    if (!v) {
+      return false;
+    }
+    code_len[kOrder[i]] = static_cast<std::uint8_t>(*v);
+  }
+  Huffman clen;
+  if (!clen.Build(code_len, 19)) {
+    return false;
+  }
+  std::uint8_t lengths[286 + 30] = {};
+  int n = 0;
+  while (n < nlit + ndist) {
+    auto sym = clen.Decode(br);
+    if (!sym) {
+      return false;
+    }
+    if (*sym < 16) {
+      lengths[n++] = static_cast<std::uint8_t>(*sym);
+    } else if (*sym == 16) {
+      if (n == 0) {
+        return false;
+      }
+      auto rep = br.Bits(2);
+      if (!rep) {
+        return false;
+      }
+      std::uint8_t prev = lengths[n - 1];
+      for (std::uint32_t i = 0; i < *rep + 3 && n < nlit + ndist; ++i) {
+        lengths[n++] = prev;
+      }
+    } else if (*sym == 17) {
+      auto rep = br.Bits(3);
+      if (!rep) {
+        return false;
+      }
+      for (std::uint32_t i = 0; i < *rep + 3 && n < nlit + ndist; ++i) {
+        lengths[n++] = 0;
+      }
+    } else {
+      auto rep = br.Bits(7);
+      if (!rep) {
+        return false;
+      }
+      for (std::uint32_t i = 0; i < *rep + 11 && n < nlit + ndist; ++i) {
+        lengths[n++] = 0;
+      }
+    }
+  }
+  return lit.Build(lengths, nlit) && dist.Build(lengths + nlit, ndist);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> Inflate(const std::uint8_t* data, std::size_t len,
+                                                 std::size_t max_output) {
+  BitReader br(data, len);
+  std::vector<std::uint8_t> out;
+  for (;;) {
+    auto bfinal = br.Bits(1);
+    auto btype = br.Bits(2);
+    if (!bfinal || !btype) {
+      return std::nullopt;
+    }
+    if (*btype == 0) {  // stored
+      br.AlignByte();
+      std::uint8_t hdr[4];
+      if (!br.ReadBytes(hdr, 4)) {
+        return std::nullopt;
+      }
+      std::uint16_t blen = static_cast<std::uint16_t>(hdr[0] | (hdr[1] << 8));
+      std::uint16_t nlen = static_cast<std::uint16_t>(hdr[2] | (hdr[3] << 8));
+      if (static_cast<std::uint16_t>(~blen) != nlen) {
+        return std::nullopt;
+      }
+      if (out.size() + blen > max_output) {
+        return std::nullopt;
+      }
+      std::size_t old = out.size();
+      out.resize(old + blen);
+      if (!br.ReadBytes(out.data() + old, blen)) {
+        return std::nullopt;
+      }
+    } else if (*btype == 1 || *btype == 2) {
+      Huffman lit, dist;
+      bool ok = (*btype == 1) ? BuildFixedTables(lit, dist) : ReadDynamicTables(br, lit, dist);
+      if (!ok || !InflateBlockData(br, lit, dist, out, max_output)) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;  // btype 3 is reserved
+    }
+    if (*bfinal) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint32_t Adler32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t a = 1, b = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    a = (a + data[i]) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+std::optional<std::vector<std::uint8_t>> ZlibInflate(const std::uint8_t* data, std::size_t len,
+                                                     std::size_t max_output) {
+  if (len < 6) {
+    return std::nullopt;
+  }
+  std::uint8_t cmf = data[0];
+  std::uint8_t flg = data[1];
+  if ((cmf & 0x0f) != 8) {
+    return std::nullopt;  // not deflate
+  }
+  if ((std::uint32_t(cmf) * 256 + flg) % 31 != 0) {
+    return std::nullopt;  // bad header check
+  }
+  if (flg & 0x20) {
+    return std::nullopt;  // preset dictionary unsupported
+  }
+  auto out = Inflate(data + 2, len - 6, max_output);
+  if (!out) {
+    return std::nullopt;
+  }
+  const std::uint8_t* tr = data + len - 4;
+  std::uint32_t expect = (std::uint32_t(tr[0]) << 24) | (std::uint32_t(tr[1]) << 16) |
+                         (std::uint32_t(tr[2]) << 8) | tr[3];
+  if (Adler32(out->data(), out->size()) != expect) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace vos

@@ -1,0 +1,28 @@
+// DEFLATE decompressor (RFC 1951) and zlib-wrapped form (RFC 1950), written
+// from scratch. This stands in for the paper's LODE PNG dependency: the
+// png-lite decoder in ulib builds on it.
+#ifndef VOS_SRC_BASE_INFLATE_H_
+#define VOS_SRC_BASE_INFLATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vos {
+
+// Decompresses a raw DEFLATE stream. Returns nullopt on malformed input.
+// `max_output` bounds memory for fuzzed/corrupt inputs.
+std::optional<std::vector<std::uint8_t>> Inflate(const std::uint8_t* data, std::size_t len,
+                                                 std::size_t max_output = 64u << 20);
+
+// Decompresses a zlib stream (2-byte header + deflate + adler32 trailer),
+// verifying the checksum.
+std::optional<std::vector<std::uint8_t>> ZlibInflate(const std::uint8_t* data, std::size_t len,
+                                                     std::size_t max_output = 64u << 20);
+
+// Adler-32 checksum (RFC 1950).
+std::uint32_t Adler32(const std::uint8_t* data, std::size_t len);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_INFLATE_H_

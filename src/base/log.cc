@@ -1,0 +1,93 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+#include "src/base/status.h"
+
+namespace vos {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  std::fprintf(stderr, "[vos %s] %s\n", LevelName(level), msg.c_str());
+}
+
+const char* ErrName(std::int64_t e) {
+  if (e >= 0) {
+    return "OK";
+  }
+  switch (e) {
+    case kErrPerm:
+      return "EPERM";
+    case kErrNoEnt:
+      return "ENOENT";
+    case kErrIo:
+      return "EIO";
+    case kErrBadFd:
+      return "EBADF";
+    case kErrNoMem:
+      return "ENOMEM";
+    case kErrFault:
+      return "EFAULT";
+    case kErrExist:
+      return "EEXIST";
+    case kErrNotDir:
+      return "ENOTDIR";
+    case kErrIsDir:
+      return "EISDIR";
+    case kErrInval:
+      return "EINVAL";
+    case kErrNFile:
+      return "ENFILE";
+    case kErrMFile:
+      return "EMFILE";
+    case kErrFBig:
+      return "EFBIG";
+    case kErrNoSpace:
+      return "ENOSPC";
+    case kErrPipe:
+      return "EPIPE";
+    case kErrNameTooLong:
+      return "ENAMETOOLONG";
+    case kErrNotEmpty:
+      return "ENOTEMPTY";
+    case kErrWouldBlock:
+      return "EWOULDBLOCK";
+    case kErrNoSys:
+      return "ENOSYS";
+    case kErrChild:
+      return "ECHILD";
+    case kErrAgain:
+      return "EAGAIN";
+    case kErrXDev:
+      return "EXDEV";
+    case kErrRange:
+      return "ERANGE";
+    default:
+      return "E?";
+  }
+}
+
+}  // namespace vos

@@ -1,0 +1,40 @@
+// Host-side diagnostic logging for the vos library (distinct from the guest
+// kernel's printk, which goes through the simulated UART).
+#ifndef VOS_SRC_BASE_LOG_H_
+#define VOS_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace vos {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default kWarn so tests
+// and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace vos
+
+#define VOS_LOG(level) ::vos::LogLine(::vos::LogLevel::level)
+
+#endif  // VOS_SRC_BASE_LOG_H_

@@ -1,0 +1,35 @@
+// MD5 (RFC 1321) — used by the md5sum compute microbenchmark in Fig 9 and by
+// the md5sum shell utility.
+#ifndef VOS_SRC_BASE_MD5_H_
+#define VOS_SRC_BASE_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vos {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+  void Update(const void* data, std::size_t len);
+  Md5Digest Final();
+
+  static Md5Digest Hash(const void* data, std::size_t len);
+  static std::string ToHex(const Md5Digest& d);
+
+ private:
+  void ProcessBlock(const std::uint8_t* p);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_MD5_H_

@@ -1,0 +1,38 @@
+#include "src/base/random.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+std::uint64_t Rng::Next() {
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  VOS_CHECK(bound > 0);
+  return Next() % bound;
+}
+
+std::int64_t Rng::NextRange(std::int64_t lo, std::int64_t hi) {
+  VOS_CHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+bool Rng::Chance(double p) {
+  if (p <= 0) {
+    return false;
+  }
+  if (p >= 1) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+}  // namespace vos

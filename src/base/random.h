@@ -1,0 +1,34 @@
+// Deterministic PRNG (xorshift64*) used across the simulator so runs are
+// reproducible from a seed. Never uses wall-clock entropy.
+#ifndef VOS_SRC_BASE_RANDOM_H_
+#define VOS_SRC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+namespace vos {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_RANDOM_H_

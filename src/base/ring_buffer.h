@@ -1,0 +1,97 @@
+// Fixed-capacity ring buffer, the workhorse of the kernel's IO paths: UART RX,
+// keyboard events, audio sample queue, pipes, and the ftrace ring.
+#ifndef VOS_SRC_BASE_RING_BUFFER_H_
+#define VOS_SRC_BASE_RING_BUFFER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) { VOS_CHECK(capacity > 0); }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == buf_.size(); }
+
+  // Returns false (and drops the item) when full.
+  bool Push(const T& v) {
+    if (full()) {
+      return false;
+    }
+    buf_[(head_ + count_) % buf_.size()] = v;
+    ++count_;
+    return true;
+  }
+
+  // Overwrites the oldest element when full (trace-ring semantics). Returns
+  // true if an old element was evicted.
+  bool PushOverwrite(const T& v) {
+    if (!full()) {
+      Push(v);
+      return false;
+    }
+    buf_[head_] = v;
+    head_ = (head_ + 1) % buf_.size();
+    return true;
+  }
+
+  std::optional<T> Pop() {
+    if (empty()) {
+      return std::nullopt;
+    }
+    T v = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    return v;
+  }
+
+  // Peeks the oldest element without consuming it (used by the non-blocking
+  // key polling path, §4.5).
+  const T* Peek() const { return empty() ? nullptr : &buf_[head_]; }
+
+  // Peeks the i-th oldest element (i < size()).
+  const T& At(std::size_t i) const {
+    VOS_CHECK(i < count_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  void Clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  // Bulk copy out up to n elements, consuming them. Returns count copied.
+  std::size_t PopMany(T* out, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n && !empty()) {
+      out[done++] = *Pop();
+    }
+    return done;
+  }
+
+  // Bulk push; returns the number accepted before the ring filled.
+  std::size_t PushMany(const T* in, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n && Push(in[done])) {
+      ++done;
+    }
+    return done;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for the blockchain miner app
+// (double-SHA-256 proof of work) and verified against NIST test vectors.
+#ifndef VOS_SRC_BASE_SHA256_H_
+#define VOS_SRC_BASE_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vos {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, std::size_t len);
+  Sha256Digest Final();
+
+  // Convenience one-shot.
+  static Sha256Digest Hash(const void* data, std::size_t len);
+  // Bitcoin-style double hash.
+  static Sha256Digest DoubleHash(const void* data, std::size_t len);
+  static std::string ToHex(const Sha256Digest& d);
+
+ private:
+  void ProcessBlock(const std::uint8_t* p);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_SHA256_H_

@@ -1,0 +1,42 @@
+// Error codes shared between the kernel and userspace, modeled on the small
+// errno set an xv6-class kernel exposes.
+#ifndef VOS_SRC_BASE_STATUS_H_
+#define VOS_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+
+namespace vos {
+
+// Negative values returned by syscalls on failure (0 or positive on success).
+enum Err : std::int64_t {
+  kErrPerm = -1,       // operation not permitted
+  kErrNoEnt = -2,      // no such file or directory
+  kErrIo = -5,         // I/O error
+  kErrBadFd = -9,      // bad file descriptor
+  kErrNoMem = -12,     // out of memory
+  kErrFault = -14,     // bad address
+  kErrExist = -17,     // file exists
+  kErrNotDir = -20,    // not a directory
+  kErrIsDir = -21,     // is a directory
+  kErrInval = -22,     // invalid argument
+  kErrNFile = -23,     // file table overflow
+  kErrMFile = -24,     // too many open files
+  kErrFBig = -27,      // file too large
+  kErrNoSpace = -28,   // no space left on device
+  kErrPipe = -32,      // broken pipe
+  kErrNameTooLong = -36,
+  kErrNotEmpty = -39,  // directory not empty
+  kErrWouldBlock = -11,
+  kErrNoSys = -38,     // syscall not implemented in this prototype stage
+  kErrChild = -10,     // no child processes
+  kErrAgain = -35,     // resource temporarily unavailable
+  kErrXDev = -18,      // cross-device link
+  kErrRange = -34,
+};
+
+// Human-readable name for an error code; "OK" for non-negative values.
+const char* ErrName(std::int64_t e);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_STATUS_H_

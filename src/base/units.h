@@ -1,0 +1,44 @@
+// Time and size units for the virtual machine.
+//
+// The simulated SoC runs a 1 GHz virtual clock, so 1 cycle == 1 ns. All
+// latencies, throughputs, FPS and power figures reported by benches are
+// derived from this clock.
+#ifndef VOS_SRC_BASE_UNITS_H_
+#define VOS_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace vos {
+
+// Virtual time, in cycles of the 1 GHz core clock (== nanoseconds).
+using Cycles = std::uint64_t;
+
+constexpr Cycles kCyclesPerUs = 1000;
+constexpr Cycles kCyclesPerMs = 1000 * kCyclesPerUs;
+constexpr Cycles kCyclesPerSec = 1000 * kCyclesPerMs;
+
+constexpr Cycles Us(std::uint64_t n) { return n * kCyclesPerUs; }
+constexpr Cycles Ms(std::uint64_t n) { return n * kCyclesPerMs; }
+constexpr Cycles Sec(std::uint64_t n) { return n * kCyclesPerSec; }
+
+constexpr double ToUs(Cycles c) { return static_cast<double>(c) / kCyclesPerUs; }
+constexpr double ToMs(Cycles c) { return static_cast<double>(c) / kCyclesPerMs; }
+constexpr double ToSec(Cycles c) { return static_cast<double>(c) / kCyclesPerSec; }
+
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * 1024; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n * 1024 * 1024; }
+
+// 4 KB pages for user mappings, 1 MB blocks for the kernel linear map, as in
+// the paper (§3 "Memory").
+constexpr std::uint64_t kPageSize = 4096;
+constexpr std::uint64_t kPageShift = 12;
+constexpr std::uint64_t kBlockSize1M = MiB(1);
+
+constexpr std::uint64_t PageRoundUp(std::uint64_t v) {
+  return (v + kPageSize - 1) & ~(kPageSize - 1);
+}
+constexpr std::uint64_t PageRoundDown(std::uint64_t v) { return v & ~(kPageSize - 1); }
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_UNITS_H_

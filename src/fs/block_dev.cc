@@ -1,0 +1,32 @@
+#include "src/fs/block_dev.h"
+
+#include <cstring>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+Cycles RamDisk::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+  VOS_CHECK_MSG((lba + count) * kBlockSize <= data_.size(), "ramdisk read out of range");
+  std::memcpy(out, data_.data() + lba * kBlockSize, std::size_t(count) * kBlockSize);
+  // DRAM-speed "disk": dominated by the memcpy.
+  return Us(2) + Cycles(count) * Us(1);
+}
+
+Cycles RamDisk::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
+  VOS_CHECK_MSG((lba + count) * kBlockSize <= data_.size(), "ramdisk write out of range");
+  std::memcpy(data_.data() + lba * kBlockSize, in, std::size_t(count) * kBlockSize);
+  return Us(2) + Cycles(count) * Us(1);
+}
+
+Cycles SdBlockDevice::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+  VOS_CHECK_MSG(lba + count <= count_, "sd partition read out of range");
+  return card_.ReadBlocks(first_ + lba, count, out, use_dma_);
+}
+
+Cycles SdBlockDevice::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
+  VOS_CHECK_MSG(lba + count <= count_, "sd partition write out of range");
+  return card_.WriteBlocks(first_ + lba, count, in, use_dma_);
+}
+
+}  // namespace vos

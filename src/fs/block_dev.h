@@ -1,0 +1,67 @@
+// Block device abstraction under the filesystems. Two implementations:
+// the ramdisk holding the root xv6fs image (Prototype 4; "all block
+// reads/writes are synchronous ... in syscall contexts"), and the SD card
+// adapter FAT32 mounts (Prototype 5), which supports single-block and
+// block-range transfers (the distinction §5.2's bypass optimization exploits).
+#ifndef VOS_SRC_FS_BLOCK_DEV_H_
+#define VOS_SRC_FS_BLOCK_DEV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/sd_card.h"
+
+namespace vos {
+
+constexpr std::uint32_t kBlockSize = 512;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+  virtual std::uint64_t block_count() const = 0;
+  // Synchronous transfer; returns the virtual duration the caller burns
+  // (polling-driver model: the CPU spins until completion).
+  virtual Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) = 0;
+  virtual Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) = 0;
+};
+
+// DRAM-backed disk holding the root filesystem image.
+class RamDisk : public BlockDevice {
+ public:
+  explicit RamDisk(std::uint64_t bytes) : data_(bytes, 0) {}
+  explicit RamDisk(std::vector<std::uint8_t> image) : data_(std::move(image)) {}
+
+  std::uint64_t block_count() const override { return data_.size() / kBlockSize; }
+  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
+  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
+
+  std::vector<std::uint8_t>& data() { return data_; }
+  const std::vector<std::uint8_t>& data() const { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+// Adapter exposing the SD card (partition-relative) as a BlockDevice.
+class SdBlockDevice : public BlockDevice {
+ public:
+  // `use_dma`: production-OS profiles drive the controller's ADMA engine
+  // instead of polled PIO (Fig 9's file benchmarks).
+  SdBlockDevice(SdCard& card, std::uint64_t first_lba, std::uint64_t lba_count, bool use_dma)
+      : card_(card), first_(first_lba), count_(lba_count), use_dma_(use_dma) {}
+
+  std::uint64_t block_count() const override { return count_; }
+  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
+  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
+
+ private:
+  SdCard& card_;
+  std::uint64_t first_;
+  std::uint64_t count_;
+  bool use_dma_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_FS_BLOCK_DEV_H_

@@ -1,0 +1,59 @@
+#include "src/fs/devfs.h"
+
+#include <cstring>
+
+#include "src/base/status.h"
+
+namespace vos {
+
+void KeyEventDev::Push(const KeyEvent& ev) {
+  if (tap_ && tap_(ev)) {
+    return;  // consumed by the window manager (e.g. ctrl+tab)
+  }
+  if (ring_.PushOverwrite(ev)) {
+    ++dropped_;
+  }
+  sched_.Wakeup(&chan_);
+}
+
+std::int64_t KeyEventDev::Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                               bool nonblock, Cycles* burn) {
+  (void)off;
+  if (n < sizeof(KeyEvent)) {
+    return kErrInval;
+  }
+  while (ring_.empty()) {
+    if (nonblock) {
+      return kErrWouldBlock;  // peeked an empty ring without waiting
+    }
+    if (t == nullptr || t->killed) {
+      return kErrPerm;
+    }
+    sched_.Sleep(t, &chan_);
+  }
+  std::uint32_t max_events = n / sizeof(KeyEvent);
+  std::uint32_t done = 0;
+  while (done < max_events && !ring_.empty()) {
+    KeyEvent ev = *ring_.Pop();
+    std::memcpy(buf + done * sizeof(KeyEvent), &ev, sizeof(ev));
+    ++done;
+  }
+  return static_cast<std::int64_t>(done * sizeof(KeyEvent));
+}
+
+std::int64_t KeyEventDev::Write(Task*, const std::uint8_t* buf, std::uint32_t n, std::uint64_t,
+                                Cycles*) {
+  // Event injection from userspace (used by tests and the launcher to
+  // forward synthetic events).
+  if (n % sizeof(KeyEvent) != 0) {
+    return kErrInval;
+  }
+  for (std::uint32_t i = 0; i < n; i += sizeof(KeyEvent)) {
+    KeyEvent ev;
+    std::memcpy(&ev, buf + i, sizeof(ev));
+    Push(ev);
+  }
+  return n;
+}
+
+}  // namespace vos

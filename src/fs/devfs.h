@@ -1,0 +1,96 @@
+// Generic device-file building blocks. Driver-specific nodes (framebuffer,
+// console, sound) live with their drivers in src/kernel/drivers.h; this file
+// holds the input-event queue device (/dev/events, /dev/event1) that both the
+// USB keyboard driver and the GPIO button driver feed, plus trivial nodes.
+#ifndef VOS_SRC_FS_DEVFS_H_
+#define VOS_SRC_FS_DEVFS_H_
+
+#include <cstdint>
+
+#include "src/base/ring_buffer.h"
+#include "src/fs/vfs.h"
+#include "src/kernel/sched.h"
+
+namespace vos {
+
+// The 8-byte event record apps read from /dev/events (§4.4).
+#pragma pack(push, 1)
+struct KeyEvent {
+  std::uint16_t code = 0;      // KeyCode below
+  std::uint8_t down = 0;       // 1 = press, 0 = release
+  std::uint8_t modifiers = 0;  // HidModifier bits
+  std::uint32_t time_ms = 0;   // kernel timestamp
+};
+#pragma pack(pop)
+static_assert(sizeof(KeyEvent) == 8, "KeyEvent must be 8 bytes");
+
+// OS-level key codes (decoupled from HID usage IDs by the keyboard driver).
+enum KeyCode : std::uint16_t {
+  kKeyNone = 0,
+  kKeyUp = 1,
+  kKeyDown = 2,
+  kKeyLeft = 3,
+  kKeyRight = 4,
+  kKeyA = 10,  // letters are kKeyA + (letter - 'a')
+  kKeyZ = 35,
+  kKey0 = 40,  // digits are kKey0 + digit
+  kKeyEnter = 50,
+  kKeyEsc = 51,
+  kKeySpace = 52,
+  kKeyBackspace = 53,
+  kKeyTab = 54,
+  kKeyBtnA = 60,  // Game HAT buttons
+  kKeyBtnB = 61,
+  kKeyBtnX = 62,
+  kKeyBtnY = 63,
+  kKeyBtnStart = 64,
+  kKeyBtnSelect = 65,
+};
+
+// /dev/events and /dev/event1: a ring of KeyEvents with blocking reads,
+// non-blocking peeks (§4.5 "Non-blocking IO for key-polling games"), and
+// partial-record-free framing (reads return whole events).
+class KeyEventDev : public DevNode {
+ public:
+  explicit KeyEventDev(Sched& sched, std::size_t capacity = 256)
+      : sched_(sched), ring_(capacity) {}
+
+  // Driver side: enqueue an event and wake blocked readers.
+  void Push(const KeyEvent& ev);
+
+  // Optional tap installed by the window manager: sees every event first and
+  // may consume it (focus-switch chords never reach the raw queue).
+  using Tap = std::function<bool(const KeyEvent&)>;
+  void SetTap(Tap tap) { tap_ = std::move(tap); }
+
+  std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool nonblock,
+                    Cycles* burn) override;
+  std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                     Cycles* burn) override;
+
+  std::size_t pending() const { return ring_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Sched& sched_;
+  RingBuffer<KeyEvent> ring_;
+  Tap tap_;
+  char chan_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// /dev/null.
+class NullDev : public DevNode {
+ public:
+  std::int64_t Read(Task*, std::uint8_t*, std::uint32_t, std::uint64_t, bool, Cycles*) override {
+    return 0;
+  }
+  std::int64_t Write(Task*, const std::uint8_t*, std::uint32_t n, std::uint64_t,
+                     Cycles*) override {
+    return n;
+  }
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_FS_DEVFS_H_

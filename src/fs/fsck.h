@@ -1,0 +1,35 @@
+// fsck for xv6fs: the consistency checker every filesystem course wants to
+// run after pulling the power. Validates the superblock, walks every
+// allocated inode, and cross-checks three invariants:
+//   1. block pointers are in the data region and referenced exactly once;
+//   2. the free bitmap agrees with reachability (no leaks, no double-use);
+//   3. directory structure is sound ("."/".." wiring, parent links) and
+//      nlink counts match the number of directory references.
+// (The paper excludes crash *recovery* — journaling — by design (§5.4);
+// checking is the complementary teaching tool.)
+#ifndef VOS_SRC_FS_FSCK_H_
+#define VOS_SRC_FS_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/xv6fs.h"
+
+namespace vos {
+
+struct FsckReport {
+  bool clean = true;
+  std::vector<std::string> errors;
+  std::uint32_t inodes_checked = 0;
+  std::uint32_t blocks_referenced = 0;
+  std::uint32_t leaked_blocks = 0;  // marked used but unreachable
+
+  std::string Summary() const;
+};
+
+// Checks the filesystem behind `fs` (already mounted). Read-only.
+FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_FS_FSCK_H_

@@ -1,0 +1,75 @@
+#include "src/fs/procfs.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vos {
+
+std::string FormatCpuInfo(const std::vector<ProcCpuLine>& cores, std::uint64_t uptime_ms) {
+  std::ostringstream os;
+  os << "uptime_ms: " << uptime_ms << "\n";
+  for (const ProcCpuLine& c : cores) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "cpu%u: util %.1f%% switches %llu\n", c.core,
+                  c.utilization * 100.0, static_cast<unsigned long long>(c.switches));
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string FormatMemInfo(std::uint64_t total_pages, std::uint64_t free_pages,
+                          std::uint64_t kernel_reserved_bytes) {
+  std::ostringstream os;
+  os << "MemTotal: " << total_pages * 4 << " kB\n";
+  os << "MemFree: " << free_pages * 4 << " kB\n";
+  os << "KernelReserved: " << kernel_reserved_bytes / 1024 << " kB\n";
+  return os.str();
+}
+
+std::string FormatUptime(std::uint64_t uptime_ms) {
+  std::ostringstream os;
+  os << uptime_ms / 1000 << "." << (uptime_ms % 1000) / 100 << "\n";
+  return os.str();
+}
+
+std::string FormatTasks(const std::vector<ProcTaskLine>& tasks) {
+  std::ostringstream os;
+  os << "PID\tSTATE\tCPU_MS\tNAME\n";
+  for (const ProcTaskLine& t : tasks) {
+    os << t.pid << "\t" << t.state << "\t" << t.cpu_ms << "\t" << t.name << "\n";
+  }
+  return os.str();
+}
+
+bool ParseCpuUtilization(const std::string& cpuinfo, std::vector<double>* out) {
+  out->clear();
+  std::istringstream is(cpuinfo);
+  std::string line;
+  while (std::getline(is, line)) {
+    unsigned core;
+    double util;
+    if (std::sscanf(line.c_str(), "cpu%u: util %lf%%", &core, &util) == 2) {
+      out->push_back(util / 100.0);
+    }
+  }
+  return !out->empty();
+}
+
+bool ParseMemFree(const std::string& meminfo, std::uint64_t* total_kb, std::uint64_t* free_kb) {
+  std::istringstream is(meminfo);
+  std::string line;
+  bool got_total = false, got_free = false;
+  while (std::getline(is, line)) {
+    unsigned long long v;
+    if (std::sscanf(line.c_str(), "MemTotal: %llu kB", &v) == 1) {
+      *total_kb = v;
+      got_total = true;
+    } else if (std::sscanf(line.c_str(), "MemFree: %llu kB", &v) == 1) {
+      *free_kb = v;
+      got_free = true;
+    }
+  }
+  return got_total && got_free;
+}
+
+}  // namespace vos

@@ -1,0 +1,40 @@
+// /proc text formatting helpers. The kernel registers generators with the
+// VFS (RegisterProc); these functions produce the file bodies sysmon and the
+// shell utilities parse.
+#ifndef VOS_SRC_FS_PROCFS_H_
+#define VOS_SRC_FS_PROCFS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace vos {
+
+struct ProcCpuLine {
+  unsigned core = 0;
+  double utilization = 0;  // [0,1]
+  std::uint64_t switches = 0;
+};
+
+struct ProcTaskLine {
+  int pid = 0;
+  std::string name;
+  std::string state;
+  std::uint64_t cpu_ms = 0;
+};
+
+std::string FormatCpuInfo(const std::vector<ProcCpuLine>& cores, std::uint64_t uptime_ms);
+std::string FormatMemInfo(std::uint64_t total_pages, std::uint64_t free_pages,
+                          std::uint64_t kernel_reserved_bytes);
+std::string FormatUptime(std::uint64_t uptime_ms);
+std::string FormatTasks(const std::vector<ProcTaskLine>& tasks);
+
+// Parsers used by sysmon (the other direction of the same format).
+bool ParseCpuUtilization(const std::string& cpuinfo, std::vector<double>* out);
+bool ParseMemFree(const std::string& meminfo, std::uint64_t* total_kb, std::uint64_t* free_kb);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_FS_PROCFS_H_

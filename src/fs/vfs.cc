@@ -1,0 +1,495 @@
+#include "src/fs/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/assert.h"
+#include "src/base/status.h"
+#include "src/kernel/task.h"
+
+namespace vos {
+
+DevNode* Vfs::Device(const std::string& name) const {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second;
+}
+
+std::string Vfs::Resolve(Task* t, const std::string& path) const {
+  std::string abs;
+  if (!path.empty() && path[0] == '/') {
+    abs = path;
+  } else {
+    std::string cwd = t != nullptr ? t->cwd : "/";
+    abs = cwd == "/" ? "/" + path : cwd + "/" + path;
+  }
+  // Normalize "." and "..".
+  std::vector<std::string> stack;
+  for (const std::string& part : SplitPath(abs)) {
+    if (part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      continue;
+    }
+    stack.push_back(part);
+  }
+  std::string out;
+  for (const std::string& part : stack) {
+    out += "/" + part;
+  }
+  return out.empty() ? "/" : out;
+}
+
+Vfs::Realm Vfs::RealmOf(const std::string& path, std::string* rest) const {
+  auto has_prefix = [&](const char* p) {
+    std::size_t n = std::strlen(p);
+    return path.size() >= n && path.compare(0, n, p) == 0 &&
+           (path.size() == n || path[n] == '/');
+  };
+  if (has_prefix("/d") && fat_ != nullptr) {
+    *rest = path.size() > 2 ? path.substr(2) : "/";
+    return Realm::kFat;
+  }
+  if (has_prefix("/u") && usb_fat_ != nullptr) {
+    *rest = path.size() > 2 ? path.substr(2) : "/";
+    return Realm::kUsbFat;
+  }
+  if (has_prefix("/dev")) {
+    *rest = path.size() > 4 ? path.substr(5) : "";
+    return Realm::kDev;
+  }
+  if (has_prefix("/proc")) {
+    *rest = path.size() > 5 ? path.substr(6) : "";
+    return Realm::kProc;
+  }
+  *rest = path;
+  return Realm::kRoot;
+}
+
+std::int64_t Vfs::Open(Task* t, const std::string& upath, std::uint32_t flags, FilePtr* out,
+                       Cycles* burn) {
+  std::string path = Resolve(t, upath);
+  std::string rest;
+  Realm realm = RealmOf(path, &rest);
+  auto f = std::make_shared<File>();
+  f->path = path;
+  f->readable = (flags & kOWronly) == 0;
+  f->writable = (flags & (kOWronly | kORdwr)) != 0;
+  f->nonblock = (flags & kONonblock) != 0;
+  f->append = (flags & kOAppend) != 0;
+
+  switch (realm) {
+    case Realm::kDev: {
+      DevNode* dev = Device(rest);
+      if (dev == nullptr) {
+        return kErrNoEnt;
+      }
+      f->kind = FileKind::kDevice;
+      f->dev = dev;
+      std::int64_t r = dev->OnOpen(t, *f);
+      if (r < 0) {
+        return r;
+      }
+      break;
+    }
+    case Realm::kProc: {
+      auto it = proc_.find(rest);
+      if (it == proc_.end()) {
+        return kErrNoEnt;
+      }
+      f->kind = FileKind::kProc;
+      f->proc_snapshot = it->second();  // snapshot semantics
+      break;
+    }
+    case Realm::kFat:
+    case Realm::kUsbFat: {
+      FatVolume* vol = realm == Realm::kFat ? fat_ : usb_fat_;
+      auto node = vol->Lookup(rest, burn);
+      if (!node) {
+        if (!(flags & kOCreate)) {
+          return kErrNoEnt;
+        }
+        FatNode created;
+        std::int64_t r = vol->Create(rest, /*is_dir=*/false, &created, burn);
+        if (r < 0) {
+          return r;
+        }
+        node = created;
+      }
+      if (node->is_dir && f->writable) {
+        return kErrIsDir;
+      }
+      if ((flags & kOTrunc) && !node->is_dir) {
+        vol->Truncate(*node, burn);
+      }
+      f->kind = FileKind::kFat;
+      f->fat = *node;
+      f->fat_vol = vol;
+      if (f->append) {
+        f->off = node->size;
+      }
+      break;
+    }
+    case Realm::kRoot: {
+      Xv6InodePtr ip = root_.NameI(rest, burn);
+      if (ip == nullptr) {
+        if (!(flags & kOCreate)) {
+          return kErrNoEnt;
+        }
+        std::int64_t err = 0;
+        ip = root_.Create(rest, kXv6TFile, 0, 0, &err, burn);
+        if (ip == nullptr) {
+          return err;
+        }
+      }
+      if (ip->type == kXv6TDir && f->writable) {
+        return kErrIsDir;
+      }
+      if ((flags & kOTrunc) && ip->type == kXv6TFile) {
+        root_.Truncate(*ip, burn);
+      }
+      if (ip->type == kXv6TDev) {
+        // mknod'd device inode: route through the devfs registry by name
+        // stored at mknod time (minor indexes are not used).
+        f->kind = FileKind::kDevice;
+        f->dev = nullptr;
+        for (const auto& [name, dev] : devices_) {
+          if (static_cast<std::int16_t>(std::hash<std::string>{}(name) & 0x7fff) == ip->major) {
+            f->dev = dev;
+            break;
+          }
+        }
+        if (f->dev == nullptr) {
+          return kErrIo;
+        }
+        std::int64_t r = f->dev->OnOpen(t, *f);
+        if (r < 0) {
+          return r;
+        }
+      } else {
+        f->kind = FileKind::kXv6;
+        f->xv6 = ip;
+        if (f->append) {
+          f->off = ip->size;
+        }
+      }
+      break;
+    }
+  }
+  *out = f;
+  return 0;
+}
+
+void Vfs::Close(Task* t, const FilePtr& f) {
+  (void)t;
+  if (f.use_count() > 1) {
+    return;  // other descriptors still reference this description
+  }
+  switch (f->kind) {
+    case FileKind::kPipe:
+      if (f->pipe_write_end) {
+        f->pipe->CloseWrite();
+      } else {
+        f->pipe->CloseRead();
+      }
+      break;
+    case FileKind::kDevice:
+      if (f->dev != nullptr) {
+        f->dev->OnClose(*f);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+std::int64_t Vfs::Read(Task* t, File& f, std::uint8_t* dst, std::uint32_t n, Cycles* burn) {
+  if (!f.readable) {
+    return kErrBadFd;
+  }
+  switch (f.kind) {
+    case FileKind::kXv6: {
+      std::int64_t r = root_.Readi(*f.xv6, dst, static_cast<std::uint32_t>(f.off), n, burn);
+      if (r > 0) {
+        f.off += static_cast<std::uint64_t>(r);
+      }
+      return r;
+    }
+    case FileKind::kFat: {
+      FatVolume* vol = f.fat_vol != nullptr ? f.fat_vol : fat_;
+      std::int64_t r = vol->Read(f.fat, dst, static_cast<std::uint32_t>(f.off), n, burn);
+      if (r > 0) {
+        f.off += static_cast<std::uint64_t>(r);
+      }
+      return r;
+    }
+    case FileKind::kDevice:
+      return f.dev->Read(t, dst, n, f.off, f.nonblock, burn);
+    case FileKind::kPipe:
+      return f.pipe->Read(t, dst, n, f.nonblock);
+    case FileKind::kProc: {
+      if (f.off >= f.proc_snapshot.size()) {
+        return 0;
+      }
+      std::uint32_t take =
+          std::min<std::uint64_t>(n, f.proc_snapshot.size() - f.off);
+      std::memcpy(dst, f.proc_snapshot.data() + f.off, take);
+      f.off += take;
+      return take;
+    }
+    case FileKind::kNone:
+      break;
+  }
+  return kErrBadFd;
+}
+
+std::int64_t Vfs::Write(Task* t, File& f, const std::uint8_t* src, std::uint32_t n,
+                        Cycles* burn) {
+  if (!f.writable) {
+    return kErrBadFd;
+  }
+  switch (f.kind) {
+    case FileKind::kXv6: {
+      if (f.append) {
+        f.off = f.xv6->size;
+      }
+      std::int64_t r = root_.Writei(*f.xv6, src, static_cast<std::uint32_t>(f.off), n, burn);
+      if (r > 0) {
+        f.off += static_cast<std::uint64_t>(r);
+      }
+      return r;
+    }
+    case FileKind::kFat: {
+      if (f.append) {
+        f.off = f.fat.size;
+      }
+      FatVolume* vol = f.fat_vol != nullptr ? f.fat_vol : fat_;
+      std::int64_t r = vol->Write(f.fat, src, static_cast<std::uint32_t>(f.off), n, burn);
+      if (r > 0) {
+        f.off += static_cast<std::uint64_t>(r);
+      }
+      return r;
+    }
+    case FileKind::kDevice:
+      return f.dev->Write(t, src, n, f.off, burn);
+    case FileKind::kPipe:
+      return f.pipe->Write(t, src, n);
+    case FileKind::kProc:
+      return kErrPerm;
+    case FileKind::kNone:
+      break;
+  }
+  return kErrBadFd;
+}
+
+std::int64_t Vfs::Lseek(File& f, std::int64_t offset, int whence, Cycles* burn) {
+  *burn += cfg_.cost.syscall_body;
+  std::uint64_t size = 0;
+  switch (f.kind) {
+    case FileKind::kXv6:
+      size = f.xv6->size;
+      break;
+    case FileKind::kFat:
+      size = f.fat.size;
+      break;
+    case FileKind::kProc:
+      size = f.proc_snapshot.size();
+      break;
+    case FileKind::kDevice:
+      size = 0;
+      break;
+    default:
+      return kErrPipe;  // pipes are not seekable
+  }
+  std::int64_t base = 0;
+  if (whence == 1) {
+    base = static_cast<std::int64_t>(f.off);
+  } else if (whence == 2) {
+    base = static_cast<std::int64_t>(size);
+  } else if (whence != 0) {
+    return kErrInval;
+  }
+  std::int64_t target = base + offset;
+  if (target < 0) {
+    return kErrInval;
+  }
+  f.off = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+std::int64_t Vfs::FStat(File& f, Stat* st, Cycles* burn) {
+  *burn += cfg_.cost.inode_op;
+  switch (f.kind) {
+    case FileKind::kXv6:
+      st->type = f.xv6->type;
+      st->size = f.xv6->size;
+      st->inum = f.xv6->inum;
+      st->nlink = f.xv6->nlink;
+      return 0;
+    case FileKind::kFat:
+      st->type = f.fat.is_dir ? kXv6TDir : kXv6TFile;
+      st->size = f.fat.size;
+      st->inum = f.fat.first_cluster;  // pseudo-inode number
+      st->nlink = 1;
+      return 0;
+    case FileKind::kDevice:
+      st->type = kXv6TDev;
+      st->size = 0;
+      st->inum = 0;
+      st->nlink = 1;
+      return 0;
+    case FileKind::kProc:
+      st->type = kXv6TFile;
+      st->size = static_cast<std::uint32_t>(f.proc_snapshot.size());
+      st->inum = 0;
+      st->nlink = 1;
+      return 0;
+    default:
+      return kErrBadFd;
+  }
+}
+
+std::int64_t Vfs::Mkdir(Task* t, const std::string& upath, Cycles* burn) {
+  std::string path = Resolve(t, upath);
+  std::string rest;
+  switch (RealmOf(path, &rest)) {
+    case Realm::kRoot: {
+      std::int64_t err = 0;
+      return root_.Create(rest, kXv6TDir, 0, 0, &err, burn) != nullptr ? 0 : err;
+    }
+    case Realm::kFat:
+      return fat_->Create(rest, /*is_dir=*/true, nullptr, burn);
+    case Realm::kUsbFat:
+      return usb_fat_->Create(rest, /*is_dir=*/true, nullptr, burn);
+    default:
+      return kErrPerm;
+  }
+}
+
+std::int64_t Vfs::Unlink(Task* t, const std::string& upath, Cycles* burn) {
+  std::string path = Resolve(t, upath);
+  std::string rest;
+  switch (RealmOf(path, &rest)) {
+    case Realm::kRoot:
+      return root_.Unlink(rest, burn);
+    case Realm::kFat:
+      return fat_->Unlink(rest, burn);
+    case Realm::kUsbFat:
+      return usb_fat_->Unlink(rest, burn);
+    default:
+      return kErrPerm;
+  }
+}
+
+std::int64_t Vfs::Link(Task* t, const std::string& oldp, const std::string& newp, Cycles* burn) {
+  std::string po = Resolve(t, oldp);
+  std::string pn = Resolve(t, newp);
+  std::string ro, rn;
+  Realm a = RealmOf(po, &ro);
+  Realm b = RealmOf(pn, &rn);
+  if (a != Realm::kRoot || b != Realm::kRoot) {
+    return a == b ? kErrPerm : kErrXDev;  // FAT has no hard links
+  }
+  return root_.Link(ro, rn, burn);
+}
+
+std::int64_t Vfs::Mknod(Task* t, const std::string& upath, std::int16_t major, std::int16_t minor,
+                        Cycles* burn) {
+  std::string path = Resolve(t, upath);
+  std::string rest;
+  if (RealmOf(path, &rest) != Realm::kRoot) {
+    return kErrPerm;
+  }
+  std::int64_t err = 0;
+  return root_.Create(rest, kXv6TDev, major, minor, &err, burn) != nullptr ? 0 : err;
+}
+
+std::int64_t Vfs::Chdir(Task* t, const std::string& upath, Cycles* burn) {
+  std::string path = Resolve(t, upath);
+  std::string rest;
+  switch (RealmOf(path, &rest)) {
+    case Realm::kRoot: {
+      Xv6InodePtr ip = root_.NameI(rest, burn);
+      if (ip == nullptr) {
+        return kErrNoEnt;
+      }
+      if (ip->type != kXv6TDir) {
+        return kErrNotDir;
+      }
+      break;
+    }
+    case Realm::kFat:
+    case Realm::kUsbFat: {
+      FatVolume* vol = RealmOf(path, &rest) == Realm::kFat ? fat_ : usb_fat_;
+      auto node = vol->Lookup(rest, burn);
+      if (!node) {
+        return kErrNoEnt;
+      }
+      if (!node->is_dir) {
+        return kErrNotDir;
+      }
+      break;
+    }
+    case Realm::kDev:
+    case Realm::kProc:
+      if (!rest.empty()) {
+        return kErrNotDir;
+      }
+      break;
+  }
+  t->cwd = path;
+  return 0;
+}
+
+std::int64_t Vfs::ReadDir(Task* t, const std::string& upath, std::vector<DirEntryInfo>* out,
+                          Cycles* burn) {
+  std::string path = Resolve(t, upath);
+  std::string rest;
+  out->clear();
+  switch (RealmOf(path, &rest)) {
+    case Realm::kRoot: {
+      Xv6InodePtr ip = root_.NameI(rest, burn);
+      if (ip == nullptr) {
+        return kErrNoEnt;
+      }
+      if (ip->type != kXv6TDir) {
+        return kErrNotDir;
+      }
+      for (const auto& e : root_.ReadDir(*ip, burn)) {
+        out->push_back(DirEntryInfo{e.name, e.type == kXv6TDir, e.size});
+      }
+      return 0;
+    }
+    case Realm::kFat:
+    case Realm::kUsbFat: {
+      FatVolume* vol = RealmOf(path, &rest) == Realm::kFat ? fat_ : usb_fat_;
+      auto node = vol->Lookup(rest, burn);
+      if (!node) {
+        return kErrNoEnt;
+      }
+      if (!node->is_dir) {
+        return kErrNotDir;
+      }
+      for (const auto& e : vol->ReadDir(*node, burn)) {
+        out->push_back(DirEntryInfo{e.name, e.is_dir, e.size});
+      }
+      return 0;
+    }
+    case Realm::kDev:
+      for (const auto& [name, dev] : devices_) {
+        out->push_back(DirEntryInfo{name, false, 0});
+      }
+      return 0;
+    case Realm::kProc:
+      for (const auto& [name, gen] : proc_) {
+        out->push_back(DirEntryInfo{name, false, 0});
+      }
+      return 0;
+  }
+  return kErrNoEnt;
+}
+
+}  // namespace vos

@@ -1,0 +1,571 @@
+#include "src/fs/xv6fs.h"
+
+#include <cstring>
+
+#include "src/base/assert.h"
+#include "src/base/status.h"
+
+namespace vos {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      parts.push_back(path.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+void Xv6Fs::ReadFsBlock(std::uint32_t fsb, std::uint8_t* out, Cycles* burn) {
+  for (std::uint32_t i = 0; i < kDevPerFs; ++i) {
+    Cycles c = 0;
+    Buf* b = bc_.Read(dev_, std::uint64_t(fsb) * kDevPerFs + i, &c);
+    std::memcpy(out + i * kBlockSize, b->data.data(), kBlockSize);
+    bc_.Release(b);
+    *burn += c;
+  }
+}
+
+void Xv6Fs::WriteFsBlock(std::uint32_t fsb, const std::uint8_t* in, Cycles* burn) {
+  for (std::uint32_t i = 0; i < kDevPerFs; ++i) {
+    Cycles c = 0;
+    Buf* b = bc_.Read(dev_, std::uint64_t(fsb) * kDevPerFs + i, &c);
+    std::memcpy(b->data.data(), in + i * kBlockSize, kBlockSize);
+    Cycles w = 0;
+    bc_.Write(b, &w);
+    bc_.Release(b);
+    *burn += c + w;
+  }
+}
+
+std::int64_t Xv6Fs::Mount(Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  ReadFsBlock(1, blk, burn);
+  std::memcpy(&sb_, blk, sizeof(sb_));
+  if (sb_.magic != kXv6Magic) {
+    return kErrIo;
+  }
+  return 0;
+}
+
+Xv6InodePtr Xv6Fs::GetInode(std::uint32_t inum, Cycles* burn) {
+  *burn += cfg_.cost.inode_op;
+  auto it = icache_.find(inum);
+  if (it != icache_.end()) {
+    return it->second;
+  }
+  VOS_CHECK_MSG(inum >= 1 && inum < sb_.ninodes, "inode number out of range");
+  std::uint8_t blk[kFsBlockSize];
+  std::uint32_t fsb = sb_.inodestart + inum / kInodesPerBlock;
+  ReadFsBlock(fsb, blk, burn);
+  Xv6Dinode d;
+  std::memcpy(&d, blk + (inum % kInodesPerBlock) * sizeof(Xv6Dinode), sizeof(d));
+  auto ip = std::make_shared<Xv6Inode>();
+  ip->inum = inum;
+  ip->type = d.type;
+  ip->major = d.major;
+  ip->minor = d.minor;
+  ip->nlink = d.nlink;
+  ip->size = d.size;
+  std::memcpy(ip->addrs, d.addrs, sizeof(d.addrs));
+  icache_[inum] = ip;
+  return ip;
+}
+
+void Xv6Fs::UpdateInode(const Xv6Inode& ip, Cycles* burn) {
+  *burn += cfg_.cost.inode_op;
+  std::uint8_t blk[kFsBlockSize];
+  std::uint32_t fsb = sb_.inodestart + ip.inum / kInodesPerBlock;
+  ReadFsBlock(fsb, blk, burn);
+  Xv6Dinode d;
+  d.type = ip.type;
+  d.major = ip.major;
+  d.minor = ip.minor;
+  d.nlink = ip.nlink;
+  d.size = ip.size;
+  std::memcpy(d.addrs, ip.addrs, sizeof(d.addrs));
+  std::memcpy(blk + (ip.inum % kInodesPerBlock) * sizeof(Xv6Dinode), &d, sizeof(d));
+  WriteFsBlock(fsb, blk, burn);
+}
+
+std::uint32_t Xv6Fs::BAlloc(Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  for (std::uint32_t b = 0; b < sb_.size; b += kFsBlockSize * 8) {
+    std::uint32_t bmb = sb_.bmapstart + b / (kFsBlockSize * 8);
+    ReadFsBlock(bmb, blk, burn);
+    for (std::uint32_t bi = 0; bi < kFsBlockSize * 8 && b + bi < sb_.size; ++bi) {
+      std::uint8_t mask = static_cast<std::uint8_t>(1 << (bi % 8));
+      if ((blk[bi / 8] & mask) == 0) {
+        blk[bi / 8] |= mask;
+        WriteFsBlock(bmb, blk, burn);
+        // Zero the fresh block (bzero in xv6).
+        std::uint8_t zero[kFsBlockSize] = {};
+        WriteFsBlock(b + bi, zero, burn);
+        return b + bi;
+      }
+    }
+  }
+  return 0;
+}
+
+void Xv6Fs::BFree(std::uint32_t b, Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  std::uint32_t bmb = sb_.bmapstart + b / (kFsBlockSize * 8);
+  ReadFsBlock(bmb, blk, burn);
+  std::uint32_t bi = b % (kFsBlockSize * 8);
+  std::uint8_t mask = static_cast<std::uint8_t>(1 << (bi % 8));
+  VOS_CHECK_MSG(blk[bi / 8] & mask, "freeing a free block");
+  blk[bi / 8] &= static_cast<std::uint8_t>(~mask);
+  WriteFsBlock(bmb, blk, burn);
+}
+
+std::uint32_t Xv6Fs::BMap(Xv6Inode& ip, std::uint32_t bn, bool alloc, Cycles* burn) {
+  if (bn < kNDirect) {
+    if (ip.addrs[bn] == 0) {
+      if (!alloc) {
+        return 0;
+      }
+      ip.addrs[bn] = BAlloc(burn);
+      if (ip.addrs[bn] != 0) {
+        UpdateInode(ip, burn);
+      }
+    }
+    return ip.addrs[bn];
+  }
+  bn -= kNDirect;
+  VOS_CHECK_MSG(bn < kNIndirect, "file block index beyond max file size");
+  if (ip.addrs[kNDirect] == 0) {
+    if (!alloc) {
+      return 0;
+    }
+    ip.addrs[kNDirect] = BAlloc(burn);
+    if (ip.addrs[kNDirect] == 0) {
+      return 0;
+    }
+    UpdateInode(ip, burn);
+  }
+  std::uint8_t blk[kFsBlockSize];
+  ReadFsBlock(ip.addrs[kNDirect], blk, burn);
+  auto* entries = reinterpret_cast<std::uint32_t*>(blk);
+  if (entries[bn] == 0) {
+    if (!alloc) {
+      return 0;
+    }
+    entries[bn] = BAlloc(burn);
+    if (entries[bn] == 0) {
+      return 0;
+    }
+    WriteFsBlock(ip.addrs[kNDirect], blk, burn);
+  }
+  return entries[bn];
+}
+
+std::int64_t Xv6Fs::Readi(Xv6Inode& ip, std::uint8_t* dst, std::uint32_t off, std::uint32_t n,
+                          Cycles* burn) {
+  if (off > ip.size) {
+    return kErrInval;
+  }
+  if (off + n > ip.size) {
+    n = ip.size - off;
+  }
+  std::uint32_t done = 0;
+  std::uint8_t blk[kFsBlockSize];
+  while (done < n) {
+    std::uint32_t b = BMap(ip, (off + done) / kFsBlockSize, false, burn);
+    std::uint32_t boff = (off + done) % kFsBlockSize;
+    std::uint32_t take = std::min(n - done, kFsBlockSize - boff);
+    if (b == 0) {
+      std::memset(dst + done, 0, take);  // sparse hole
+    } else {
+      ReadFsBlock(b, blk, burn);
+      std::memcpy(dst + done, blk + boff, take);
+    }
+    done += take;
+  }
+  return done;
+}
+
+std::int64_t Xv6Fs::Writei(Xv6Inode& ip, const std::uint8_t* src, std::uint32_t off,
+                           std::uint32_t n, Cycles* burn) {
+  if (off > ip.size) {
+    return kErrInval;
+  }
+  if (std::uint64_t(off) + n > std::uint64_t(kMaxFileBlocks) * kFsBlockSize) {
+    return kErrFBig;  // the 270 KB cap in action
+  }
+  std::uint32_t done = 0;
+  std::uint8_t blk[kFsBlockSize];
+  while (done < n) {
+    std::uint32_t b = BMap(ip, (off + done) / kFsBlockSize, true, burn);
+    if (b == 0) {
+      break;  // disk full
+    }
+    std::uint32_t boff = (off + done) % kFsBlockSize;
+    std::uint32_t take = std::min(n - done, kFsBlockSize - boff);
+    if (take != kFsBlockSize) {
+      ReadFsBlock(b, blk, burn);  // read-modify-write
+    }
+    std::memcpy(blk + boff, src + done, take);
+    WriteFsBlock(b, blk, burn);
+    done += take;
+  }
+  if (off + done > ip.size) {
+    ip.size = off + done;
+    UpdateInode(ip, burn);
+  }
+  if (done == 0 && n > 0) {
+    return kErrNoSpace;
+  }
+  return done;
+}
+
+std::uint32_t Xv6Fs::IAlloc(std::int16_t type, Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  for (std::uint32_t inum = 1; inum < sb_.ninodes; ++inum) {
+    std::uint32_t fsb = sb_.inodestart + inum / kInodesPerBlock;
+    ReadFsBlock(fsb, blk, burn);
+    auto* d = reinterpret_cast<Xv6Dinode*>(blk + (inum % kInodesPerBlock) * sizeof(Xv6Dinode));
+    if (d->type == 0) {
+      std::memset(d, 0, sizeof(*d));
+      d->type = type;
+      d->nlink = 0;
+      WriteFsBlock(fsb, blk, burn);
+      // Drop any cached copy of the previously-free inode (a full-disk scan
+      // like fsck may have pulled it in); callers must see the fresh one.
+      icache_.erase(inum);
+      return inum;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Xv6Fs::DirLookup(Xv6Inode& dir, const std::string& name, Cycles* burn) {
+  if (dir.type != kXv6TDir) {
+    return kErrNotDir;
+  }
+  if (name.size() > kDirNameLen) {
+    return kErrNameTooLong;
+  }
+  Xv6Dirent de;
+  for (std::uint32_t off = 0; off < dir.size; off += sizeof(de)) {
+    std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+    VOS_CHECK(r == sizeof(de));
+    if (de.inum == 0) {
+      continue;
+    }
+    if (std::strncmp(de.name, name.c_str(), kDirNameLen) == 0) {
+      return de.inum;
+    }
+  }
+  return kErrNoEnt;
+}
+
+std::int64_t Xv6Fs::DirLink(Xv6Inode& dir, const std::string& name, std::uint32_t inum,
+                            Cycles* burn) {
+  if (name.size() > kDirNameLen) {
+    return kErrNameTooLong;
+  }
+  if (DirLookup(dir, name, burn) >= 0) {
+    return kErrExist;
+  }
+  Xv6Dirent de;
+  std::uint32_t off;
+  for (off = 0; off < dir.size; off += sizeof(de)) {
+    std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+    VOS_CHECK(r == sizeof(de));
+    if (de.inum == 0) {
+      break;
+    }
+  }
+  std::memset(&de, 0, sizeof(de));
+  de.inum = static_cast<std::uint16_t>(inum);
+  std::strncpy(de.name, name.c_str(), kDirNameLen);
+  std::int64_t w = Writei(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+  if (w != sizeof(de)) {
+    return kErrNoSpace;
+  }
+  return 0;
+}
+
+Xv6InodePtr Xv6Fs::NameI(const std::string& path, Cycles* burn) {
+  Xv6InodePtr ip = GetInode(kRootInum, burn);
+  for (const std::string& part : SplitPath(path)) {
+    *burn += cfg_.cost.namei_per_component;
+    if (ip->type != kXv6TDir) {
+      return nullptr;
+    }
+    std::int64_t inum = DirLookup(*ip, part, burn);
+    if (inum < 0) {
+      return nullptr;
+    }
+    ip = GetInode(static_cast<std::uint32_t>(inum), burn);
+  }
+  return ip;
+}
+
+Xv6InodePtr Xv6Fs::NameIParent(const std::string& path, std::string* last, Cycles* burn) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return nullptr;
+  }
+  *last = parts.back();
+  Xv6InodePtr ip = GetInode(kRootInum, burn);
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    *burn += cfg_.cost.namei_per_component;
+    if (ip->type != kXv6TDir) {
+      return nullptr;
+    }
+    std::int64_t inum = DirLookup(*ip, parts[i], burn);
+    if (inum < 0) {
+      return nullptr;
+    }
+    ip = GetInode(static_cast<std::uint32_t>(inum), burn);
+  }
+  return ip->type == kXv6TDir ? ip : nullptr;
+}
+
+Xv6InodePtr Xv6Fs::Create(const std::string& path, std::int16_t type, std::int16_t major,
+                          std::int16_t minor, std::int64_t* err, Cycles* burn) {
+  std::string name;
+  Xv6InodePtr dir = NameIParent(path, &name, burn);
+  if (dir == nullptr) {
+    *err = kErrNoEnt;
+    return nullptr;
+  }
+  std::int64_t existing = DirLookup(*dir, name, burn);
+  if (existing >= 0) {
+    Xv6InodePtr ip = GetInode(static_cast<std::uint32_t>(existing), burn);
+    if (type == kXv6TFile && ip->type == kXv6TFile) {
+      return ip;  // open(O_CREATE) on existing file
+    }
+    *err = kErrExist;
+    return nullptr;
+  }
+  std::uint32_t inum = IAlloc(type, burn);
+  if (inum == 0) {
+    *err = kErrNoSpace;
+    return nullptr;
+  }
+  auto ip = GetInode(inum, burn);
+  ip->major = major;
+  ip->minor = minor;
+  // Classic Unix counts: a file starts with its one name; a directory starts
+  // with 2 ("." self-link + the parent's entry naming it).
+  ip->nlink = type == kXv6TDir ? 2 : 1;
+  ip->size = 0;
+  UpdateInode(*ip, burn);
+  if (type == kXv6TDir) {
+    // "." and ".." entries.
+    ++dir->nlink;  // ".." in the child
+    UpdateInode(*dir, burn);
+    if (DirLink(*ip, ".", inum, burn) < 0 || DirLink(*ip, "..", dir->inum, burn) < 0) {
+      *err = kErrNoSpace;
+      return nullptr;
+    }
+  }
+  if (DirLink(*dir, name, inum, burn) < 0) {
+    *err = kErrNoSpace;
+    return nullptr;
+  }
+  return ip;
+}
+
+void Xv6Fs::Truncate(Xv6Inode& ip, Cycles* burn) {
+  for (std::uint32_t i = 0; i < kNDirect; ++i) {
+    if (ip.addrs[i] != 0) {
+      BFree(ip.addrs[i], burn);
+      ip.addrs[i] = 0;
+    }
+  }
+  if (ip.addrs[kNDirect] != 0) {
+    std::uint8_t blk[kFsBlockSize];
+    ReadFsBlock(ip.addrs[kNDirect], blk, burn);
+    auto* entries = reinterpret_cast<std::uint32_t*>(blk);
+    for (std::uint32_t i = 0; i < kNIndirect; ++i) {
+      if (entries[i] != 0) {
+        BFree(entries[i], burn);
+      }
+    }
+    BFree(ip.addrs[kNDirect], burn);
+    ip.addrs[kNDirect] = 0;
+  }
+  ip.size = 0;
+  UpdateInode(ip, burn);
+}
+
+bool Xv6Fs::DirIsEmpty(Xv6Inode& dir, Cycles* burn) {
+  Xv6Dirent de;
+  for (std::uint32_t off = 2 * sizeof(de); off < dir.size; off += sizeof(de)) {
+    std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+    VOS_CHECK(r == sizeof(de));
+    if (de.inum != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t Xv6Fs::Unlink(const std::string& path, Cycles* burn) {
+  std::string name;
+  Xv6InodePtr dir = NameIParent(path, &name, burn);
+  if (dir == nullptr) {
+    return kErrNoEnt;
+  }
+  if (name == "." || name == "..") {
+    return kErrInval;
+  }
+  std::int64_t inum = DirLookup(*dir, name, burn);
+  if (inum < 0) {
+    return kErrNoEnt;
+  }
+  Xv6InodePtr ip = GetInode(static_cast<std::uint32_t>(inum), burn);
+  if (ip->type == kXv6TDir && !DirIsEmpty(*ip, burn)) {
+    return kErrNotEmpty;
+  }
+  // Clear the directory entry.
+  Xv6Dirent de;
+  for (std::uint32_t off = 0; off < dir->size; off += sizeof(de)) {
+    std::int64_t r = Readi(*dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+    VOS_CHECK(r == sizeof(de));
+    if (de.inum == static_cast<std::uint16_t>(inum) &&
+        std::strncmp(de.name, name.c_str(), kDirNameLen) == 0) {
+      std::memset(&de, 0, sizeof(de));
+      Writei(*dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+      break;
+    }
+  }
+  if (ip->type == kXv6TDir) {
+    --dir->nlink;  // the child's ".." no longer references the parent
+    UpdateInode(*dir, burn);
+    ip->nlink = static_cast<std::int16_t>(ip->nlink - 2);  // name + "."
+  } else {
+    --ip->nlink;
+  }
+  if (ip->nlink <= 0) {
+    Truncate(*ip, burn);
+    ip->type = 0;
+    UpdateInode(*ip, burn);
+    icache_.erase(ip->inum);
+  } else {
+    UpdateInode(*ip, burn);
+  }
+  return 0;
+}
+
+std::int64_t Xv6Fs::Link(const std::string& oldp, const std::string& newp, Cycles* burn) {
+  Xv6InodePtr ip = NameI(oldp, burn);
+  if (ip == nullptr) {
+    return kErrNoEnt;
+  }
+  if (ip->type == kXv6TDir) {
+    return kErrIsDir;
+  }
+  std::string name;
+  Xv6InodePtr dir = NameIParent(newp, &name, burn);
+  if (dir == nullptr) {
+    return kErrNoEnt;
+  }
+  std::int64_t r = DirLink(*dir, name, ip->inum, burn);
+  if (r < 0) {
+    return r;
+  }
+  ++ip->nlink;
+  UpdateInode(*ip, burn);
+  return 0;
+}
+
+std::vector<Xv6DirEntryInfo> Xv6Fs::ReadDir(Xv6Inode& dir, Cycles* burn) {
+  std::vector<Xv6DirEntryInfo> out;
+  if (dir.type != kXv6TDir) {
+    return out;
+  }
+  Xv6Dirent de;
+  for (std::uint32_t off = 0; off < dir.size; off += sizeof(de)) {
+    std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
+    VOS_CHECK(r == sizeof(de));
+    if (de.inum == 0) {
+      continue;
+    }
+    char namebuf[kDirNameLen + 1] = {};
+    std::memcpy(namebuf, de.name, kDirNameLen);
+    auto ip = GetInode(de.inum, burn);
+    out.push_back(Xv6DirEntryInfo{namebuf, de.inum, ip->type, ip->size});
+  }
+  return out;
+}
+
+bool Xv6Fs::BlockInUse(std::uint32_t b, Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  ReadFsBlock(sb_.bmapstart + b / (kFsBlockSize * 8), blk, burn);
+  std::uint32_t bi = b % (kFsBlockSize * 8);
+  return (blk[bi / 8] >> (bi % 8)) & 1;
+}
+
+std::uint32_t Xv6Fs::FreeDataBlocks(Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  std::uint32_t free = 0;
+  for (std::uint32_t b = 0; b < sb_.size; b += kFsBlockSize * 8) {
+    ReadFsBlock(sb_.bmapstart + b / (kFsBlockSize * 8), blk, burn);
+    for (std::uint32_t bi = 0; bi < kFsBlockSize * 8 && b + bi < sb_.size; ++bi) {
+      if ((blk[bi / 8] & (1 << (bi % 8))) == 0) {
+        ++free;
+      }
+    }
+  }
+  return free;
+}
+
+std::vector<std::uint8_t> Xv6Fs::Mkfs(std::uint32_t fsblocks, std::uint32_t ninodes) {
+  std::uint32_t ninodeblocks = ninodes / kInodesPerBlock + 1;
+  std::uint32_t nbitmap = fsblocks / (kFsBlockSize * 8) + 1;
+  std::uint32_t nmeta = 2 + ninodeblocks + nbitmap;
+  VOS_CHECK_MSG(nmeta < fsblocks, "filesystem too small for metadata");
+
+  std::vector<std::uint8_t> img(std::size_t(fsblocks) * kFsBlockSize, 0);
+  Xv6Superblock sb{};
+  sb.magic = kXv6Magic;
+  sb.size = fsblocks;
+  sb.nblocks = fsblocks - nmeta;
+  sb.ninodes = ninodes;
+  sb.inodestart = 2;
+  sb.bmapstart = 2 + ninodeblocks;
+  std::memcpy(img.data() + kFsBlockSize, &sb, sizeof(sb));
+
+  // Mark the metadata blocks used in the bitmap.
+  auto set_used = [&](std::uint32_t b) {
+    std::uint8_t* bm = img.data() + std::size_t(sb.bmapstart + b / (kFsBlockSize * 8)) *
+                       kFsBlockSize;
+    bm[(b % (kFsBlockSize * 8)) / 8] |= static_cast<std::uint8_t>(1 << (b % 8));
+  };
+  for (std::uint32_t b = 0; b < nmeta; ++b) {
+    set_used(b);
+  }
+
+  // Root directory: inode 1, with "." and "..", occupying one data block.
+  std::uint32_t root_block = nmeta;
+  set_used(root_block);
+  Xv6Dinode root{};
+  root.type = kXv6TDir;
+  root.nlink = 2;  // "." and parent reference
+  root.size = 2 * sizeof(Xv6Dirent);
+  root.addrs[0] = root_block;
+  std::memcpy(img.data() + std::size_t(sb.inodestart) * kFsBlockSize + sizeof(Xv6Dinode), &root,
+              sizeof(root));
+  auto* des = reinterpret_cast<Xv6Dirent*>(img.data() + std::size_t(root_block) * kFsBlockSize);
+  des[0].inum = kRootInum;
+  std::strncpy(des[0].name, ".", kDirNameLen);
+  des[1].inum = kRootInum;
+  std::strncpy(des[1].name, "..", kDirNameLen);
+  return img;
+}
+
+}  // namespace vos

@@ -1,0 +1,21 @@
+#include "src/hw/audio_pwm.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+Cycles AudioPwm::Consume(PhysMem& mem, PhysAddr src, std::uint32_t len) {
+  VOS_CHECK_MSG(len % 4 == 0, "audio DMA block must be whole 16-bit stereo frames");
+  std::uint32_t frames = len / 4;
+  if (capture_) {
+    std::size_t old = captured_.size();
+    captured_.resize(old + std::size_t(frames) * 2);
+    mem.Read(src, captured_.data() + old, std::uint64_t(frames) * 4);
+  }
+  frames_played_ += frames;
+  Cycles dur = Cycles(frames) * kCyclesPerSec / rate_;
+  active_time_ += dur;
+  return dur;
+}
+
+}  // namespace vos

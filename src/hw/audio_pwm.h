@@ -1,0 +1,50 @@
+// PWM audio output (the Pi3's 3.5 mm jack). Consumes 16-bit stereo samples
+// delivered by DMA at the configured rate; underruns (DMA starved) are
+// counted — they are the audible stutters the paper has students debug in
+// the MusicPlayer producer/consumer pipeline (§4.4).
+#ifndef VOS_SRC_HW_AUDIO_PWM_H_
+#define VOS_SRC_HW_AUDIO_PWM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/dma.h"
+
+namespace vos {
+
+class AudioPwm : public DmaSink {
+ public:
+  explicit AudioPwm(std::uint32_t sample_rate = 44100) : rate_(sample_rate) {}
+
+  void SetSampleRate(std::uint32_t rate) { rate_ = rate; }
+  std::uint32_t sample_rate() const { return rate_; }
+
+  // DmaSink: plays len bytes (16-bit stereo frames) and reports wire time.
+  Cycles Consume(PhysMem& mem, PhysAddr src, std::uint32_t len) override;
+
+  // Called by the DMA layer when a block completed but nothing was queued —
+  // the driver underran. The kernel driver polls this count via the device.
+  void NoteUnderrun() { ++underruns_; }
+  std::uint64_t underruns() const { return underruns_; }
+
+  // Total stereo frames played; host tests compare the captured stream.
+  std::uint64_t frames_played() const { return frames_played_; }
+  const std::vector<std::int16_t>& captured() const { return captured_; }
+  void SetCapture(bool on) { capture_ = on; }
+
+  // Virtual time the amp has been actively driven (for the power model).
+  Cycles active_time() const { return active_time_; }
+
+ private:
+  std::uint32_t rate_;
+  bool capture_ = false;
+  std::vector<std::int16_t> captured_;
+  std::uint64_t frames_played_ = 0;
+  std::uint64_t underruns_ = 0;
+  Cycles active_time_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_AUDIO_PWM_H_

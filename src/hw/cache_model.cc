@@ -1,0 +1,10 @@
+#include "src/hw/cache_model.h"
+
+namespace vos {
+
+Cycles CacheFlushCost(std::uint64_t bytes) {
+  std::uint64_t lines = (bytes + kCacheLineSize - 1) / kCacheLineSize;
+  return lines * 4;
+}
+
+}  // namespace vos

@@ -1,0 +1,27 @@
+// Cache bookkeeping shared by the framebuffer cache model: line size and
+// flush statistics. Kept separate so benches can report flush traffic.
+#ifndef VOS_SRC_HW_CACHE_MODEL_H_
+#define VOS_SRC_HW_CACHE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace vos {
+
+// Cortex-A53 L1D line size.
+constexpr std::uint64_t kCacheLineSize = 64;
+
+struct CacheStats {
+  std::uint64_t flush_calls = 0;
+  std::uint64_t flushed_bytes = 0;
+  std::uint64_t evicted_lines = 0;
+};
+
+// Virtual-time cost of flushing `bytes` by DC CVAC loop: roughly one line per
+// ~4 ns on A53 when lines are dirty.
+Cycles CacheFlushCost(std::uint64_t bytes);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_CACHE_MODEL_H_

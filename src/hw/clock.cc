@@ -1,0 +1,3 @@
+#include "src/hw/clock.h"
+
+// VirtualClock is header-only; this TU anchors the module in the build.

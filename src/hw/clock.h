@@ -1,0 +1,29 @@
+// The global virtual clock of the simulated SoC. Only the machine loop
+// advances it; devices and kernel code read it (possibly plus a core-local
+// offset for the currently running task).
+#ifndef VOS_SRC_HW_CLOCK_H_
+#define VOS_SRC_HW_CLOCK_H_
+
+#include "src/base/assert.h"
+#include "src/base/units.h"
+
+namespace vos {
+
+class VirtualClock {
+ public:
+  Cycles now() const { return now_; }
+
+  void AdvanceTo(Cycles t) {
+    VOS_CHECK_MSG(t >= now_, "virtual time cannot go backwards");
+    now_ = t;
+  }
+
+  void Advance(Cycles delta) { now_ += delta; }
+
+ private:
+  Cycles now_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_CLOCK_H_

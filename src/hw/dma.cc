@@ -1,0 +1,32 @@
+#include "src/hw/dma.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+void DmaChannel::Submit(const DmaControlBlock& cb, Cycles now) {
+  VOS_CHECK_MSG(sink_ != nullptr, "DMA channel has no sink attached");
+  VOS_CHECK(cb.len > 0);
+  queue_.push_back(cb);
+  if (!busy_) {
+    StartNext(now);
+  }
+}
+
+void DmaChannel::StartNext(Cycles now) {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  DmaControlBlock cb = queue_.front();
+  queue_.pop_front();
+  Cycles dur = sink_->Consume(mem_, cb.src, cb.len);
+  eq_.Schedule(now + dur, [this, end = now + dur] {
+    ++completed_;
+    intc_.Raise(irq_);
+    StartNext(end);
+  });
+}
+
+}  // namespace vos

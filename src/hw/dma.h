@@ -1,0 +1,67 @@
+// DMA engine. The audio path (§4.4) is its only in-tree client: the driver
+// builds control blocks pointing at sample buffers in DRAM and the engine
+// streams them to the PWM peripheral, raising an IRQ per completed block —
+// the asynchronous producer/consumer pipeline the paper builds MusicPlayer on.
+#ifndef VOS_SRC_HW_DMA_H_
+#define VOS_SRC_HW_DMA_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "src/base/units.h"
+#include "src/hw/event_queue.h"
+#include "src/hw/intc.h"
+#include "src/hw/phys_mem.h"
+
+namespace vos {
+
+// A peripheral that consumes DMA data at its own pace (the PWM FIFO).
+class DmaSink {
+ public:
+  virtual ~DmaSink() = default;
+  // Accepts `len` bytes from DRAM at `src`; returns the virtual duration the
+  // transfer occupies the sink (its consumption rate).
+  virtual Cycles Consume(PhysMem& mem, PhysAddr src, std::uint32_t len) = 0;
+};
+
+struct DmaControlBlock {
+  PhysAddr src = 0;
+  std::uint32_t len = 0;
+};
+
+class DmaChannel {
+ public:
+  DmaChannel(EventQueue& eq, Intc& intc, PhysMem& mem, unsigned irq)
+      : eq_(eq), intc_(intc), mem_(mem), irq_(irq) {}
+
+  void AttachSink(DmaSink* sink) { sink_ = sink; }
+
+  // Enqueues a control block; the channel starts if idle. Completion of each
+  // block raises the channel IRQ (level; ack with ClearIrq).
+  void Submit(const DmaControlBlock& cb, Cycles now);
+
+  // INT status ack.
+  void ClearIrq() { intc_.Clear(irq_); }
+
+  bool busy() const { return busy_; }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t completed_blocks() const { return completed_; }
+
+ private:
+  void StartNext(Cycles now);
+
+  EventQueue& eq_;
+  Intc& intc_;
+  PhysMem& mem_;
+  unsigned irq_;
+  DmaSink* sink_ = nullptr;
+  std::deque<DmaControlBlock> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_DMA_H_

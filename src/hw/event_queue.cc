@@ -1,0 +1,51 @@
+#include "src/hw/event_queue.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+EventId EventQueue::Schedule(Cycles when, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) { cancelled_.insert(id); }
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+std::optional<Cycles> EventQueue::NextTime() const {
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.top().when;
+}
+
+std::size_t EventQueue::RunDue(Cycles t) {
+  std::size_t n = 0;
+  for (;;) {
+    DropCancelledHead();
+    if (heap_.empty() || heap_.top().when > t) {
+      break;
+    }
+    Entry e = heap_.top();
+    heap_.pop();
+    e.fn();
+    ++n;
+    VOS_CHECK_MSG(n < 1000000, "event storm: handler keeps rescheduling at the same time");
+  }
+  return n;
+}
+
+std::size_t EventQueue::pending() const {
+  DropCancelledHead();
+  return heap_.size();
+}
+
+}  // namespace vos

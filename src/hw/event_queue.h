@@ -1,0 +1,59 @@
+// Discrete-event queue driving all asynchronous hardware behaviour: timer
+// compares, DMA completions, USB frame polling, UART RX, audio consumption.
+#ifndef VOS_SRC_HW_EVENT_QUEUE_H_
+#define VOS_SRC_HW_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace vos {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules fn to run at absolute virtual time `when`. Events at equal time
+  // run in scheduling order (deterministic).
+  EventId Schedule(Cycles when, EventFn fn);
+
+  // Cancels a scheduled event; harmless if it already ran.
+  void Cancel(EventId id);
+
+  // Time of the earliest pending event, if any.
+  std::optional<Cycles> NextTime() const;
+
+  // Runs every event with when <= t, in time order. Handlers may schedule new
+  // events (including at <= t, which also run). Returns events executed.
+  std::size_t RunDue(Cycles t);
+
+  std::size_t pending() const;
+
+ private:
+  struct Entry {
+    Cycles when;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_EVENT_QUEUE_H_

@@ -1,0 +1,50 @@
+#include "src/hw/framebuffer_hw.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/assert.h"
+#include "src/base/random.h"
+
+namespace vos {
+
+void FramebufferHw::Configure(std::uint32_t width, std::uint32_t height) {
+  VOS_CHECK(width > 0 && width <= 4096 && height > 0 && height <= 4096);
+  width_ = width;
+  height_ = height;
+  cache_side_.assign(std::size_t(width) * height, 0xff000000);
+  memory_side_.assign(std::size_t(width) * height, 0xff000000);
+}
+
+std::uint64_t FramebufferHw::FlushRange(std::uint64_t offset, std::uint64_t len) {
+  if (!allocated() || offset >= size_bytes()) {
+    return 0;
+  }
+  len = std::min(len, size_bytes() - offset);
+  // Whole cache lines, as DC CVAC would operate.
+  std::uint64_t start = offset & ~(kCacheLineSize - 1);
+  std::uint64_t end = (offset + len + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+  end = std::min(end, size_bytes());
+  std::memcpy(reinterpret_cast<std::uint8_t*>(memory_side_.data()) + start,
+              reinterpret_cast<const std::uint8_t*>(cache_side_.data()) + start, end - start);
+  ++stats_.flush_calls;
+  stats_.flushed_bytes += end - start;
+  return end - start;
+}
+
+void FramebufferHw::EvictRandomLines(std::uint64_t seed, int lines) {
+  if (!allocated()) {
+    return;
+  }
+  Rng rng(seed);
+  std::uint64_t nlines = size_bytes() / kCacheLineSize;
+  for (int i = 0; i < lines; ++i) {
+    std::uint64_t line = rng.NextBelow(nlines);
+    std::uint64_t off = line * kCacheLineSize;
+    std::memcpy(reinterpret_cast<std::uint8_t*>(memory_side_.data()) + off,
+                reinterpret_cast<const std::uint8_t*>(cache_side_.data()) + off, kCacheLineSize);
+    ++stats_.evicted_lines;
+  }
+}
+
+}  // namespace vos

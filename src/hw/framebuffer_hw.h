@@ -1,0 +1,73 @@
+// The GPU-owned framebuffer, allocated via the mailbox (§4.1 "framebuffer a
+// first-class IO").
+//
+// Cache model (§4.3 "see CPU cache in action"): the CPU writes pixels through
+// a write-back cache, so stores land in the cache-side buffer and are NOT
+// visible to the display until the kernel flushes the range. Scanout (what a
+// screenshot returns) reads the memory-side buffer. An unflushed frame
+// therefore shows stale pixels — exactly the artifact the paper teaches.
+// Additionally, background write-back slowly evicts dirty lines, mimicking
+// "artifacts gradually disappear as cache lines hit the memory".
+#ifndef VOS_SRC_HW_FRAMEBUFFER_HW_H_
+#define VOS_SRC_HW_FRAMEBUFFER_HW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/cache_model.h"
+#include "src/hw/phys_mem.h"
+
+namespace vos {
+
+class FramebufferHw {
+ public:
+  // Geometry is set by the mailbox call; this constructs an unallocated fb.
+  FramebufferHw() = default;
+
+  bool allocated() const { return width_ != 0; }
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return height_; }
+  std::uint32_t pitch() const { return width_ * 4; }  // 32bpp XRGB
+  std::uint64_t size_bytes() const { return std::uint64_t(pitch()) * height_; }
+
+  // Nominal bus address the mailbox response reports. Arbitrary but stable,
+  // mimicking the "GPU framebuffers may be mapped to arbitrary addresses on
+  // real hardware" lesson (§5.1).
+  PhysAddr bus_addr() const { return 0x3c100000; }
+
+  // (Re)allocates the buffers; called by the mailbox property handler.
+  void Configure(std::uint32_t width, std::uint32_t height);
+
+  // CPU-visible side: what an mmap of /dev/fb points at.
+  std::uint32_t* cpu_pixels() { return cache_side_.data(); }
+  const std::uint32_t* cpu_pixels() const { return cache_side_.data(); }
+
+  // Display side: what the panel scans out.
+  const std::uint32_t* scanout_pixels() const { return memory_side_.data(); }
+
+  // Cache maintenance: flush [offset, offset+len) bytes of the fb region from
+  // the cache side to the memory side. Returns bytes actually flushed.
+  std::uint64_t FlushRange(std::uint64_t offset, std::uint64_t len);
+  std::uint64_t FlushAll() { return FlushRange(0, size_bytes()); }
+
+  // Background write-back: evicts a small number of dirty lines, as a cache
+  // under pressure would. Tests call this to watch artifacts fade.
+  void EvictRandomLines(std::uint64_t seed, int lines);
+
+  // True iff cache side and memory side are identical (fully flushed).
+  bool Coherent() const { return cache_side_ == memory_side_; }
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t width_ = 0;
+  std::uint32_t height_ = 0;
+  std::vector<std::uint32_t> cache_side_;
+  std::vector<std::uint32_t> memory_side_;
+  CacheStats stats_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_FRAMEBUFFER_HW_H_

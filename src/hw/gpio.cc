@@ -1,0 +1,37 @@
+#include "src/hw/gpio.h"
+
+namespace vos {
+
+void Gpio::SetLevel(unsigned pin, bool level) {
+  PinState& p = Pin(pin);
+  bool old = p.level;
+  p.level = level;
+  bool falling = old && !level;
+  bool rising = !old && level;
+  bool hit = (p.edge == Edge::kBoth && (falling || rising)) ||
+             (p.edge == Edge::kFalling && falling) || (p.edge == Edge::kRising && rising);
+  if (hit) {
+    p.event = true;
+    if (p.fiq) {
+      intc_.RaiseFiq();
+    }
+  }
+  UpdateIrq();
+}
+
+void Gpio::UpdateIrq() {
+  bool any = false;
+  for (const PinState& p : pins_) {
+    if (p.event && !p.fiq) {
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    intc_.Raise(kIrqGpio);
+  } else {
+    intc_.Clear(kIrqGpio);
+  }
+}
+
+}  // namespace vos

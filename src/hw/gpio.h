@@ -1,0 +1,78 @@
+// GPIO block: pin levels with edge detection. The Game HAT's buttons connect
+// here (§5.5) and emit key events through /dev/events; a dedicated pin is the
+// FIQ panic button (§5.1) which stays unmasked even when the kernel deadlocks.
+#ifndef VOS_SRC_HW_GPIO_H_
+#define VOS_SRC_HW_GPIO_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/assert.h"
+#include "src/hw/intc.h"
+
+namespace vos {
+
+constexpr unsigned kGpioPinCount = 54;
+
+// Game HAT button wiring (matches the real HAT's schematic labels).
+enum GpioButton : unsigned {
+  kBtnUp = 5,
+  kBtnDown = 6,
+  kBtnLeft = 13,
+  kBtnRight = 19,
+  kBtnA = 16,
+  kBtnB = 20,
+  kBtnX = 21,
+  kBtnY = 26,
+  kBtnStart = 12,
+  kBtnSelect = 7,
+  kBtnPanic = 4,  // routed to FIQ
+};
+
+class Gpio {
+ public:
+  explicit Gpio(Intc& intc) : intc_(intc) {}
+
+  // --- Driver-facing ---
+  enum class Edge { kNone, kFalling, kRising, kBoth };
+
+  void SetEdgeDetect(unsigned pin, Edge e) { Pin(pin).edge = e; }
+  bool Level(unsigned pin) const { return pins_[CheckPin(pin)].level; }
+
+  // Event detect status register: which pins latched an edge.
+  bool EventDetected(unsigned pin) const { return pins_[CheckPin(pin)].event; }
+  void ClearEvent(unsigned pin) {
+    Pin(pin).event = false;
+    UpdateIrq();
+  }
+
+  // Marks a pin as the FIQ source (panic button) instead of the normal IRQ.
+  void RouteToFiq(unsigned pin) { Pin(pin).fiq = true; }
+
+  // --- Host/test side ---
+  void SetLevel(unsigned pin, bool level);
+  void PressButton(unsigned pin) { SetLevel(pin, false); }   // active-low buttons
+  void ReleaseButton(unsigned pin) { SetLevel(pin, true); }
+
+ private:
+  struct PinState {
+    bool level = true;  // pulled up
+    Edge edge = Edge::kNone;
+    bool event = false;
+    bool fiq = false;
+  };
+
+  static unsigned CheckPin(unsigned pin) {
+    VOS_CHECK(pin < kGpioPinCount);
+    return pin;
+  }
+  PinState& Pin(unsigned pin) { return pins_[CheckPin(pin)]; }
+  void UpdateIrq();
+
+  Intc& intc_;
+  std::array<PinState, kGpioPinCount> pins_{};
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_GPIO_H_

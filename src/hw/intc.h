@@ -1,0 +1,111 @@
+// Interrupt controller of the simulated SoC, modeled after the Pi3 setup: a
+// shared controller for SoC peripherals whose lines are routed to a core
+// (core 0 for all IO, per the paper §4.5), plus per-core private timer lines,
+// plus an FIQ line routed round-robin for the panic button (§5.1).
+#ifndef VOS_SRC_HW_INTC_H_
+#define VOS_SRC_HW_INTC_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+// IRQ line numbers (SoC-level, loosely following BCM2837 conventions).
+enum Irq : unsigned {
+  kIrqSysTimerC1 = 1,   // system timer compare 1 (virtual timers)
+  kIrqSysTimerC3 = 3,   // system timer compare 3 (free)
+  kIrqUsb = 9,          // USB host controller
+  kIrqDma0 = 16,        // DMA channel 0 (audio)
+  kIrqAux = 29,         // mini UART RX
+  kIrqGpio = 49,        // GPIO edge detect (Game HAT buttons)
+  kIrqSd = 62,          // SD host (unused: our driver polls)
+  // Per-core ARM generic timer private lines.
+  kIrqCoreTimerBase = 64,  // +core index
+  kIrqMax = 96,
+};
+
+constexpr unsigned kMaxCores = 4;
+
+constexpr unsigned CoreTimerIrq(unsigned core) { return kIrqCoreTimerBase + core; }
+
+class Intc {
+ public:
+  explicit Intc(unsigned num_cores) : num_cores_(num_cores) {
+    VOS_CHECK(num_cores >= 1 && num_cores <= kMaxCores);
+    routes_.fill(0);
+    for (unsigned c = 0; c < kMaxCores; ++c) {
+      routes_[CoreTimerIrq(c)] = static_cast<int>(c);
+    }
+  }
+
+  unsigned num_cores() const { return num_cores_; }
+
+  // Device side: level-triggered lines.
+  void Raise(unsigned irq) { Line(irq).pending = true; }
+  void Clear(unsigned irq) { Line(irq).pending = false; }
+  bool IsPending(unsigned irq) const { return lines_[Check(irq)].pending; }
+
+  // Kernel side: masking and routing.
+  void Enable(unsigned irq) { Line(irq).enabled = true; }
+  void Disable(unsigned irq) { Line(irq).enabled = false; }
+  void RouteTo(unsigned irq, unsigned core) {
+    VOS_CHECK(core < num_cores_);
+    routes_[Check(irq)] = static_cast<int>(core);
+  }
+
+  // Lowest-numbered enabled+pending IRQ routed to `core`, if any.
+  std::optional<unsigned> PendingFor(unsigned core) const {
+    for (unsigned i = 0; i < kIrqMax; ++i) {
+      if (lines_[i].pending && lines_[i].enabled && routes_[i] == static_cast<int>(core)) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool AnyPending() const {
+    for (unsigned i = 0; i < kIrqMax; ++i) {
+      if (lines_[i].pending && lines_[i].enabled) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // FIQ: stays unmaskable; delivered round-robin across cores (§5.1 panic
+  // button). ConsumeFiq returns the core that should take it.
+  void RaiseFiq() { fiq_pending_ = true; }
+  bool FiqPending() const { return fiq_pending_; }
+  unsigned ConsumeFiq() {
+    VOS_CHECK(fiq_pending_);
+    fiq_pending_ = false;
+    unsigned core = fiq_rr_;
+    fiq_rr_ = (fiq_rr_ + 1) % num_cores_;
+    return core;
+  }
+
+ private:
+  struct LineState {
+    bool pending = false;
+    bool enabled = false;
+  };
+
+  static unsigned Check(unsigned irq) {
+    VOS_CHECK(irq < kIrqMax);
+    return irq;
+  }
+  LineState& Line(unsigned irq) { return lines_[Check(irq)]; }
+
+  unsigned num_cores_;
+  std::array<LineState, kIrqMax> lines_{};
+  std::array<int, kIrqMax> routes_{};
+  bool fiq_pending_ = false;
+  unsigned fiq_rr_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_INTC_H_

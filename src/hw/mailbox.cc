@@ -1,0 +1,71 @@
+#include "src/hw/mailbox.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+Cycles Mailbox::Call(std::vector<std::uint32_t>& msg) {
+  ++calls_;
+  VOS_CHECK_MSG(msg.size() >= 3, "mailbox message too short");
+  VOS_CHECK_MSG(msg[1] == kMailboxRequest, "mailbox message is not a request");
+  bool ok = true;
+  std::size_t i = 2;
+  while (i < msg.size() && msg[i] != kTagEnd) {
+    std::uint32_t tag = msg[i];
+    VOS_CHECK_MSG(i + 2 < msg.size(), "truncated mailbox tag header");
+    std::uint32_t buf_bytes = msg[i + 1];
+    std::size_t values = i + 3;
+    std::size_t nvals = buf_bytes / 4;
+    VOS_CHECK_MSG(values + nvals <= msg.size(), "mailbox tag value buffer out of range");
+    switch (tag) {
+      case kTagSetPhysicalSize:
+      case kTagSetVirtualSize:
+        VOS_CHECK(nvals >= 2);
+        pending_w_ = msg[values];
+        pending_h_ = msg[values + 1];
+        msg[i + 2] = kMailboxTagResponse | 8;
+        break;
+      case kTagSetDepth:
+        VOS_CHECK(nvals >= 1);
+        pending_depth_ = msg[values];
+        msg[i + 2] = kMailboxTagResponse | 4;
+        break;
+      case kTagAllocateBuffer:
+        if (pending_w_ == 0 || pending_h_ == 0 || pending_depth_ != 32) {
+          ok = false;
+          break;
+        }
+        fb_.Configure(pending_w_, pending_h_);
+        VOS_CHECK(nvals >= 2);
+        msg[values] = static_cast<std::uint32_t>(fb_.bus_addr());
+        msg[values + 1] = static_cast<std::uint32_t>(fb_.size_bytes());
+        msg[i + 2] = kMailboxTagResponse | 8;
+        break;
+      case kTagGetPitch:
+        VOS_CHECK(nvals >= 1);
+        msg[values] = fb_.allocated() ? fb_.pitch() : 0;
+        msg[i + 2] = kMailboxTagResponse | 4;
+        break;
+      case kTagGetArmMemory:
+        VOS_CHECK(nvals >= 2);
+        msg[values] = 0;
+        msg[values + 1] = static_cast<std::uint32_t>(arm_mem_size_);
+        msg[i + 2] = kMailboxTagResponse | 8;
+        break;
+      case kTagGetBoardRevision:
+        VOS_CHECK(nvals >= 1);
+        msg[values] = 0x00a02082;  // Pi 3 Model B
+        msg[i + 2] = kMailboxTagResponse | 4;
+        break;
+      default:
+        // Unknown tags are skipped without a response bit, as firmware does.
+        break;
+    }
+    i = values + nvals;
+  }
+  msg[1] = ok ? kMailboxResponseOk : kMailboxResponseErr;
+  // Firmware round-trip: the CPU polls the mailbox status for the response.
+  return Us(120);
+}
+
+}  // namespace vos

@@ -1,0 +1,56 @@
+// VideoCore property mailbox (channel 8), the Pi3's firmware interface the
+// kernel uses to allocate the framebuffer (§4.1). We implement the property
+// tag protocol over an in-memory message buffer: the driver builds a tag
+// sequence, Call() processes it in place exactly like the firmware does.
+#ifndef VOS_SRC_HW_MAILBOX_H_
+#define VOS_SRC_HW_MAILBOX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/framebuffer_hw.h"
+
+namespace vos {
+
+// Property tags we implement (subset of the firmware's set).
+enum MailboxTag : std::uint32_t {
+  kTagSetPhysicalSize = 0x00048003,
+  kTagSetVirtualSize = 0x00048004,
+  kTagSetDepth = 0x00048005,
+  kTagAllocateBuffer = 0x00040001,
+  kTagGetPitch = 0x00040008,
+  kTagGetArmMemory = 0x00010005,
+  kTagGetBoardRevision = 0x00010002,
+  kTagEnd = 0,
+};
+
+constexpr std::uint32_t kMailboxRequest = 0x00000000;
+constexpr std::uint32_t kMailboxResponseOk = 0x80000000;
+constexpr std::uint32_t kMailboxResponseErr = 0x80000001;
+constexpr std::uint32_t kMailboxTagResponse = 0x80000000;
+
+class Mailbox {
+ public:
+  Mailbox(FramebufferHw& fb, std::uint64_t arm_mem_size)
+      : fb_(fb), arm_mem_size_(arm_mem_size) {}
+
+  // Processes a property message in place: msg[0]=total bytes, msg[1]=req
+  // code, then tags: {id, value_buf_bytes, req/resp code, values...}, kTagEnd.
+  // Returns the firmware latency of the call (the CPU blocks on the mailbox).
+  Cycles Call(std::vector<std::uint32_t>& msg);
+
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  FramebufferHw& fb_;
+  std::uint64_t arm_mem_size_;
+  std::uint64_t calls_ = 0;
+  std::uint32_t pending_w_ = 0;
+  std::uint32_t pending_h_ = 0;
+  std::uint32_t pending_depth_ = 32;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_MAILBOX_H_

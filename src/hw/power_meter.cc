@@ -1,0 +1,24 @@
+#include "src/hw/power_meter.h"
+
+namespace vos {
+
+double PowerMeter::TotalEnergyJ() const {
+  double j = 0;
+  for (int i = 0; i < static_cast<int>(PowerComponent::kCount); ++i) {
+    j += rates_.watts[i] * ToSec(active_[i]);
+  }
+  return j;
+}
+
+double PowerMeter::BoardEnergyJ() const {
+  return EnergyJ(PowerComponent::kSocCoreBusy) + EnergyJ(PowerComponent::kSocCoreIdle) +
+         EnergyJ(PowerComponent::kSocBase) + EnergyJ(PowerComponent::kSdActive) +
+         EnergyJ(PowerComponent::kUsbActive);
+}
+
+double PowerMeter::HatEnergyJ() const {
+  return EnergyJ(PowerComponent::kHatDisplay) + EnergyJ(PowerComponent::kHatAudio) +
+         EnergyJ(PowerComponent::kHatBase);
+}
+
+}  // namespace vos

@@ -1,0 +1,84 @@
+// Activity-based power model for Fig 12: components report busy/idle time and
+// the meter integrates energy over virtual time. Calibrated so the whole
+// device draws ~3 W at an idle shell prompt and ~4 W under gaming load, split
+// between the Pi3 board and the Game HAT (display+amp+power IC).
+#ifndef VOS_SRC_HW_POWER_METER_H_
+#define VOS_SRC_HW_POWER_METER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/base/units.h"
+
+namespace vos {
+
+enum class PowerComponent : int {
+  kSocCoreBusy = 0,  // per-core active execution
+  kSocCoreIdle,      // per-core WFI
+  kSocBase,          // always-on SoC fabric, DRAM refresh, regulators
+  kSdActive,         // SD transfers
+  kUsbActive,        // USB controller powered/enumerated
+  kHatDisplay,       // HAT 3.5" IPS display + backlight
+  kHatAudio,         // HAT amplifier while samples are flowing
+  kHatBase,          // HAT power IC overhead
+  kCount,
+};
+
+struct PowerRates {
+  // Watts drawn while the component is "active" for the accounted duration.
+  double watts[static_cast<int>(PowerComponent::kCount)] = {
+      0.85,  // kSocCoreBusy (per busy core)
+      0.04,  // kSocCoreIdle (per idle core, WFI)
+      1.12,  // kSocBase
+      0.35,  // kSdActive
+      0.45,  // kUsbActive
+      0.95,  // kHatDisplay
+      0.25,  // kHatAudio
+      0.30,  // kHatBase
+  };
+};
+
+class PowerMeter {
+ public:
+  explicit PowerMeter(PowerRates rates = PowerRates{}) : rates_(rates) {}
+
+  // Accounts `dur` of activity for a component.
+  void AddActive(PowerComponent c, Cycles dur) {
+    active_[static_cast<int>(c)] += dur;
+  }
+
+  Cycles active_time(PowerComponent c) const { return active_[static_cast<int>(c)]; }
+
+  // Joules consumed by one component so far.
+  double EnergyJ(PowerComponent c) const {
+    return rates_.watts[static_cast<int>(c)] * ToSec(active_[static_cast<int>(c)]);
+  }
+
+  double TotalEnergyJ() const;
+
+  // Average power over `elapsed` of virtual time.
+  double AverageWatts(Cycles elapsed) const {
+    return elapsed == 0 ? 0.0 : TotalEnergyJ() / ToSec(elapsed);
+  }
+
+  // Split used by Fig 12: Pi3 board vs the HAT extension board.
+  double BoardEnergyJ() const;
+  double HatEnergyJ() const;
+
+  // Battery life in hours for a given average power: one 18650 cell,
+  // 3000 mAh x 3.7 V = 11.1 Wh (paper Fig 12 caption).
+  static double BatteryHours(double avg_watts) {
+    return avg_watts <= 0 ? 0.0 : 11.1 / avg_watts;
+  }
+
+  void Reset() { active_.fill(0); }
+
+ private:
+  PowerRates rates_;
+  std::array<Cycles, static_cast<int>(PowerComponent::kCount)> active_{};
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_POWER_METER_H_

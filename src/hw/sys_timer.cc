@@ -1,0 +1,39 @@
+#include "src/hw/sys_timer.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+void SysTimer::SetCompare(unsigned ch, std::uint64_t compare_us) {
+  VOS_CHECK(ch < 4);
+  if (ch_[ch].ev) {
+    eq_.Cancel(*ch_[ch].ev);
+  }
+  unsigned irq = IrqFor(ch);
+  ch_[ch].ev = eq_.Schedule(compare_us * kCyclesPerUs, [this, ch, irq] {
+    ch_[ch].ev.reset();
+    intc_.Raise(irq);
+  });
+}
+
+void SysTimer::ClearMatch(unsigned ch) {
+  VOS_CHECK(ch < 4);
+  intc_.Clear(IrqFor(ch));
+}
+
+void CoreTimer::Arm(Cycles now, Cycles delta) {
+  Disarm();
+  ev_ = eq_.Schedule(now + delta, [this] {
+    ev_.reset();
+    intc_.Raise(CoreTimerIrq(core_));
+  });
+}
+
+void CoreTimer::Disarm() {
+  if (ev_) {
+    eq_.Cancel(*ev_);
+    ev_.reset();
+  }
+}
+
+}  // namespace vos

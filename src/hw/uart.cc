@@ -1,0 +1,37 @@
+#include "src/hw/uart.h"
+
+namespace vos {
+
+void Uart::TxWrite(std::uint8_t c, Cycles now) {
+  // If the driver raced the busy flag, serialize after the in-flight char:
+  // hardware would overwrite; we model the strict polled discipline.
+  Cycles start = now > tx_busy_until_ ? now : tx_busy_until_;
+  tx_busy_until_ = start + cycles_per_char_;
+  tx_log_.push_back(static_cast<char>(c));
+}
+
+std::uint8_t Uart::RxRead() {
+  auto v = rx_fifo_.Pop();
+  UpdateRxIrq();
+  return v.value_or(0);
+}
+
+void Uart::InjectRx(const std::string& s, Cycles now) {
+  (void)now;
+  for (char c : s) {
+    if (!rx_fifo_.Push(static_cast<std::uint8_t>(c))) {
+      ++rx_overruns_;
+    }
+  }
+  UpdateRxIrq();
+}
+
+void Uart::UpdateRxIrq() {
+  if (rx_irq_enabled_ && !rx_fifo_.empty()) {
+    intc_.Raise(kIrqAux);
+  } else {
+    intc_.Clear(kIrqAux);
+  }
+}
+
+}  // namespace vos

@@ -1,0 +1,174 @@
+#include "src/hw/usb_hw.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+void UsbKeyboard::KeyDown(std::uint8_t hid_code, std::uint8_t modifiers) {
+  report_.modifiers |= modifiers;
+  for (std::uint8_t& k : report_.keys) {
+    if (k == hid_code) {
+      return;  // already down
+    }
+  }
+  for (std::uint8_t& k : report_.keys) {
+    if (k == 0) {
+      k = hid_code;
+      return;
+    }
+  }
+  // More than 6 keys: boot protocol reports rollover; we just drop.
+}
+
+void UsbKeyboard::KeyUp(std::uint8_t hid_code) {
+  for (std::uint8_t& k : report_.keys) {
+    if (k == hid_code) {
+      k = 0;
+    }
+  }
+  // Releasing the last key also clears modifiers if no key held them; we keep
+  // modifiers until explicitly changed by the next KeyDown with modifiers=0.
+  bool any = std::any_of(report_.keys.begin(), report_.keys.end(),
+                         [](std::uint8_t k) { return k != 0; });
+  if (!any) {
+    report_.modifiers = 0;
+  }
+}
+
+namespace {
+
+// Descriptor blobs for a generic HID boot keyboard, byte-exact per USB 2.0
+// §9.6 so the kernel driver can parse them the way USPi would.
+const std::uint8_t kDeviceDescriptor[18] = {
+    18,    kUsbDescDevice,
+    0x00,  0x02,        // bcdUSB 2.00
+    0,     0,    0,     // class/subclass/protocol: per interface
+    8,                  // bMaxPacketSize0
+    0x5e,  0x04,        // idVendor
+    0x1b,  0x07,        // idProduct
+    0x00,  0x01,        // bcdDevice
+    1,     2,    0,     // string indexes
+    1,                  // bNumConfigurations
+};
+
+const std::uint8_t kConfigDescriptor[] = {
+    // Configuration descriptor
+    9, kUsbDescConfiguration, 34, 0,  // wTotalLength = 34
+    1,                                // bNumInterfaces
+    1,                                // bConfigurationValue
+    0,                                // iConfiguration
+    0xa0,                             // attributes: bus powered, remote wakeup
+    50,                               // 100 mA
+    // Interface descriptor: HID, boot subclass, keyboard protocol
+    9, kUsbDescInterface, 0, 0, 1, 3, 1, 1, 0,
+    // HID descriptor
+    9, kUsbDescHid, 0x11, 0x01, 0, 1, 0x22, 63, 0,
+    // Endpoint descriptor: interrupt IN, EP1, 8 bytes, 8 ms
+    7, kUsbDescEndpoint, 0x81, 0x03, 8, 0, 8,
+};
+
+}  // namespace
+
+Cycles UsbHostController::PowerOnPort() {
+  powered_since_ = Cycles(0);
+  return Ms(780);  // VBUS ramp + connect debounce + hub settle
+}
+
+Cycles UsbHostController::ResetPort() {
+  address_ = 0;
+  configured_ = false;
+  return Ms(160);  // reset + recovery + speed negotiation retries
+}
+
+std::optional<std::vector<std::uint8_t>> UsbHostController::ControlIn(
+    std::uint8_t bm_request_type, std::uint8_t b_request, std::uint16_t value,
+    std::uint16_t index, std::uint16_t length, Cycles* duration) {
+  *duration = Ms(9);  // control transfer incl. frame alignment + stack bookkeeping
+  if (kbd_ == nullptr) {
+    return std::nullopt;
+  }
+  if (b_request == kUsbGetDescriptor && (bm_request_type & 0x80) != 0) {
+    std::uint8_t type = static_cast<std::uint8_t>(value >> 8);
+    const std::uint8_t* src = nullptr;
+    std::size_t src_len = 0;
+    if (type == kUsbDescDevice) {
+      src = kDeviceDescriptor;
+      src_len = sizeof(kDeviceDescriptor);
+    } else if (type == kUsbDescConfiguration) {
+      src = kConfigDescriptor;
+      src_len = sizeof(kConfigDescriptor);
+    } else {
+      return std::nullopt;  // stall: unsupported descriptor
+    }
+    std::size_t n = std::min<std::size_t>(length, src_len);
+    return std::vector<std::uint8_t>(src, src + n);
+  }
+  return std::nullopt;
+}
+
+bool UsbHostController::ControlOut(std::uint8_t bm_request_type, std::uint8_t b_request,
+                                   std::uint16_t value, std::uint16_t index, Cycles* duration) {
+  *duration = Ms(1);
+  if (kbd_ == nullptr) {
+    return false;
+  }
+  switch (b_request) {
+    case kUsbSetAddress:
+      address_ = static_cast<std::uint8_t>(value & 0x7f);
+      return true;
+    case kUsbSetConfiguration:
+      configured_ = (value == 1);
+      return configured_;
+    case kUsbHidSetProtocol:
+      kbd_->SetBootProtocol(value == 0);
+      return true;
+    case kUsbHidSetIdle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void UsbHostController::StartInterruptPolling(Cycles now, std::uint32_t interval_ms) {
+  VOS_CHECK_MSG(configured_, "interrupt polling before SET_CONFIGURATION");
+  polling_ = true;
+  last_report_ = kbd_ != nullptr ? kbd_->current_report() : HidReport{};
+  Cycles at = now + Ms(interval_ms);
+  poll_ev_ = eq_.Schedule(at, [this, at, interval_ms] { PollOnce(at, interval_ms); });
+}
+
+void UsbHostController::PollOnce(Cycles scheduled_at, std::uint32_t interval_ms) {
+  if (!polling_) {
+    return;
+  }
+  if (kbd_ != nullptr) {
+    HidReport cur = kbd_->current_report();
+    if (!(cur == last_report_)) {
+      last_report_ = cur;
+      latched_.PushOverwrite(cur);
+      intc_.Raise(kIrqUsb);
+    }
+  }
+  Cycles at = scheduled_at + Ms(interval_ms);
+  poll_ev_ = eq_.Schedule(at, [this, at, interval_ms] { PollOnce(at, interval_ms); });
+}
+
+void UsbHostController::StopInterruptPolling() {
+  polling_ = false;
+  if (poll_ev_) {
+    eq_.Cancel(*poll_ev_);
+    poll_ev_.reset();
+  }
+}
+
+std::optional<HidReport> UsbHostController::ReadLatchedReport() {
+  auto r = latched_.Pop();
+  if (latched_.empty()) {
+    intc_.Clear(kIrqUsb);
+  }
+  return r;
+}
+
+}  // namespace vos

@@ -1,0 +1,141 @@
+// USB host controller with an attached HID boot-protocol keyboard.
+//
+// The paper ports USPi (§4.4) — a ~10 KSLoC bare-metal stack — and accepts its
+// complexity for the payoff of cheap commodity keyboards. We model the layers
+// that stack actually exercises: port power/reset timing, control transfers
+// carrying real descriptor bytes (device, configuration+interface+endpoint),
+// SET_ADDRESS / SET_CONFIGURATION / HID SET_PROTOCOL, then periodic interrupt
+// IN polling that delivers 8-byte boot reports and raises the USB IRQ. The
+// kernel driver in src/kernel parses the descriptor bytes for real.
+#ifndef VOS_SRC_HW_USB_HW_H_
+#define VOS_SRC_HW_USB_HW_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/units.h"
+#include "src/hw/event_queue.h"
+#include "src/hw/intc.h"
+
+namespace vos {
+
+// Boot-protocol keyboard input report.
+struct HidReport {
+  std::uint8_t modifiers = 0;
+  std::uint8_t reserved = 0;
+  std::array<std::uint8_t, 6> keys{};
+
+  bool operator==(const HidReport&) const = default;
+};
+
+// HID usage IDs for keys the apps use (subset of the HID usage table page 7).
+enum HidKey : std::uint8_t {
+  kHidA = 0x04, kHidB = 0x05, kHidC = 0x06, kHidD = 0x07, kHidE = 0x08, kHidF = 0x09,
+  kHidG = 0x0a, kHidH = 0x0b, kHidI = 0x0c, kHidJ = 0x0d, kHidK = 0x0e, kHidL = 0x0f,
+  kHidM = 0x10, kHidN = 0x11, kHidO = 0x12, kHidP = 0x13, kHidQ = 0x14, kHidR = 0x15,
+  kHidS = 0x16, kHidT = 0x17, kHidU = 0x18, kHidV = 0x19, kHidW = 0x1a, kHidX = 0x1b,
+  kHidY = 0x1c, kHidZ = 0x1d,
+  kHid1 = 0x1e, kHid0 = 0x27,
+  kHidEnter = 0x28, kHidEsc = 0x29, kHidBackspace = 0x2a, kHidTab = 0x2b, kHidSpace = 0x2c,
+  kHidMinus = 0x2d,
+  kHidRight = 0x4f, kHidLeft = 0x50, kHidDown = 0x51, kHidUp = 0x52,
+};
+
+enum HidModifier : std::uint8_t {
+  kModLeftCtrl = 0x01,
+  kModLeftShift = 0x02,
+  kModLeftAlt = 0x04,
+};
+
+// The keyboard device on the bus.
+class UsbKeyboard {
+ public:
+  // --- Test/host side: inject key transitions. ---
+  void KeyDown(std::uint8_t hid_code, std::uint8_t modifiers = 0);
+  void KeyUp(std::uint8_t hid_code);
+
+  // --- Bus side ---
+  const HidReport& current_report() const { return report_; }
+  bool boot_protocol() const { return boot_protocol_; }
+  void SetBootProtocol(bool on) { boot_protocol_ = on; }
+
+ private:
+  HidReport report_;
+  bool boot_protocol_ = false;
+};
+
+class UsbHostController {
+ public:
+  UsbHostController(EventQueue& eq, Intc& intc) : eq_(eq), intc_(intc) {}
+
+  void AttachKeyboard(UsbKeyboard* kbd) { kbd_ = kbd; }
+  bool DevicePresent() const { return kbd_ != nullptr; }
+
+  // --- Enumeration steps; each returns its virtual duration. The driver's
+  // init sequence totals ~1.4 s, which dominates boot (Fig 8). ---
+  Cycles PowerOnPort();    // VBUS ramp + debounce
+  Cycles ResetPort();      // bus reset + recovery
+  // Control transfer on endpoint 0. Returns nullopt for requests the device
+  // stalls. `duration` receives the transfer's virtual time.
+  std::optional<std::vector<std::uint8_t>> ControlIn(std::uint8_t bm_request_type,
+                                                     std::uint8_t b_request, std::uint16_t value,
+                                                     std::uint16_t index, std::uint16_t length,
+                                                     Cycles* duration);
+  bool ControlOut(std::uint8_t bm_request_type, std::uint8_t b_request, std::uint16_t value,
+                  std::uint16_t index, Cycles* duration);
+
+  std::uint8_t assigned_address() const { return address_; }
+  bool configured() const { return configured_; }
+
+  // --- Steady state: periodic interrupt IN polling. ---
+  // Starts frame polling of the keyboard's interrupt endpoint every
+  // `interval_ms` (the bInterval from the endpoint descriptor). A changed
+  // report is latched and raises kIrqUsb.
+  void StartInterruptPolling(Cycles now, std::uint32_t interval_ms);
+  void StopInterruptPolling();
+
+  // Driver reads the latched report (IRQ ack).
+  std::optional<HidReport> ReadLatchedReport();
+
+  Cycles powered_time(Cycles now) const {
+    return powered_since_ ? now - *powered_since_ : 0;
+  }
+
+ private:
+  void PollOnce(Cycles scheduled_at, std::uint32_t interval_ms);
+
+  EventQueue& eq_;
+  Intc& intc_;
+  UsbKeyboard* kbd_ = nullptr;
+  std::uint8_t address_ = 0;
+  bool configured_ = false;
+  bool polling_ = false;
+  std::optional<EventId> poll_ev_;
+  HidReport last_report_;
+  RingBuffer<HidReport> latched_{8};
+  std::optional<Cycles> powered_since_;
+};
+
+// USB standard request codes used by the driver.
+enum UsbRequest : std::uint8_t {
+  kUsbGetDescriptor = 6,
+  kUsbSetAddress = 5,
+  kUsbSetConfiguration = 9,
+  kUsbHidSetProtocol = 0x0b,
+  kUsbHidSetIdle = 0x0a,
+};
+
+enum UsbDescriptorType : std::uint8_t {
+  kUsbDescDevice = 1,
+  kUsbDescConfiguration = 2,
+  kUsbDescInterface = 4,
+  kUsbDescEndpoint = 5,
+  kUsbDescHid = 0x21,
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_HW_USB_HW_H_

@@ -1,0 +1,57 @@
+#include "src/kernel/debug_monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vos {
+
+void DebugMonitor::SetBreakpoint(const std::string& checkpoint) {
+  if (std::find(breakpoints_.begin(), breakpoints_.end(), checkpoint) == breakpoints_.end()) {
+    breakpoints_.push_back(checkpoint);
+  }
+}
+
+void DebugMonitor::ClearBreakpoint(const std::string& checkpoint) {
+  breakpoints_.erase(std::remove(breakpoints_.begin(), breakpoints_.end(), checkpoint),
+                     breakpoints_.end());
+}
+
+bool DebugMonitor::Checkpoint(const std::string& name, Task* t, Cycles now) {
+  if (step_budget_ > 0) {
+    --step_budget_;
+    Fire(DebugHit::Kind::kSingleStep, name, t, now);
+    return true;
+  }
+  if (std::find(breakpoints_.begin(), breakpoints_.end(), name) != breakpoints_.end()) {
+    Fire(DebugHit::Kind::kBreakpoint, name, t, now);
+    return true;
+  }
+  return false;
+}
+
+void DebugMonitor::SetWatchpoint(PhysAddr start, std::uint64_t len, bool on_write) {
+  watchpoints_.push_back(Watch{start, len, on_write});
+}
+
+bool DebugMonitor::CheckAccess(PhysAddr pa, std::uint64_t len, bool is_write, Task* t,
+                               Cycles now) {
+  for (const Watch& w : watchpoints_) {
+    bool overlap = pa < w.start + w.len && w.start < pa + len;
+    if (overlap && (is_write || !w.on_write)) {
+      std::ostringstream os;
+      os << (is_write ? "write" : "read") << " @0x" << std::hex << pa << "+" << std::dec << len;
+      Fire(DebugHit::Kind::kWatchpoint, os.str(), t, now);
+      return true;
+    }
+  }
+  return false;
+}
+
+void DebugMonitor::Fire(DebugHit::Kind kind, const std::string& loc, Task* t, Cycles now) {
+  ++hits_;
+  if (on_hit_) {
+    on_hit_(DebugHit{kind, loc, t, now});
+  }
+}
+
+}  // namespace vos

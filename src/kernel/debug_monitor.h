@@ -1,0 +1,75 @@
+// Self-hosted debug monitor (§5.1): breakpoints, watchpoints and single-step,
+// modeled on the ARMv8 debug exceptions (DBGBCR/DBGWCR) the real VOS
+// programs. Code-side breakpoints attach to named checkpoints (the simulated
+// analogue of PC addresses, resolved at build time rather than link time);
+// watchpoints cover physical address ranges and are checked on the kernel's
+// user-memory access paths.
+#ifndef VOS_SRC_KERNEL_DEBUG_MONITOR_H_
+#define VOS_SRC_KERNEL_DEBUG_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/phys_mem.h"
+
+namespace vos {
+
+class Task;
+
+struct DebugHit {
+  enum class Kind { kBreakpoint, kWatchpoint, kSingleStep } kind;
+  std::string location;   // checkpoint name or formatted address
+  Task* task = nullptr;
+  Cycles when = 0;
+};
+
+class DebugMonitor {
+ public:
+  using HitFn = std::function<void(const DebugHit&)>;
+
+  // Installs the hit callback (the "debugger frontend": tests, or the UART
+  // command loop).
+  void SetHitHandler(HitFn fn) { on_hit_ = std::move(fn); }
+
+  // --- Breakpoints (DBGBCR-style, on code checkpoints) ---
+  void SetBreakpoint(const std::string& checkpoint);
+  void ClearBreakpoint(const std::string& checkpoint);
+  // Called by instrumented code (kernel functions and apps call
+  // Checkpoint(name) at interesting points). Returns true if a breakpoint
+  // fired.
+  bool Checkpoint(const std::string& name, Task* t, Cycles now);
+
+  // --- Watchpoints (DBGWCR-style, on physical ranges) ---
+  void SetWatchpoint(PhysAddr start, std::uint64_t len, bool on_write);
+  void ClearWatchpoints() { watchpoints_.clear(); }
+  // Called from copyin/copyout and block I/O paths.
+  bool CheckAccess(PhysAddr pa, std::uint64_t len, bool is_write, Task* t, Cycles now);
+
+  // --- Single step: fire on the next `n` checkpoints regardless of
+  // breakpoints (the monitor's step command). ---
+  void SingleStep(int n) { step_budget_ = n; }
+
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  void Fire(DebugHit::Kind kind, const std::string& loc, Task* t, Cycles now);
+
+  struct Watch {
+    PhysAddr start;
+    std::uint64_t len;
+    bool on_write;
+  };
+
+  HitFn on_hit_;
+  std::vector<std::string> breakpoints_;
+  std::vector<Watch> watchpoints_;
+  int step_budget_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_DEBUG_MONITOR_H_

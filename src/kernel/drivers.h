@@ -1,0 +1,225 @@
+// Kernel device drivers: the software above src/hw's device models and below
+// the device files. Init paths run in the boot task's context (their time is
+// the boot-time breakdown of Fig 8); steady-state IRQ halves run in interrupt
+// context and charge handler time to the interrupted core.
+#ifndef VOS_SRC_KERNEL_DRIVERS_H_
+#define VOS_SRC_KERNEL_DRIVERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/fs/devfs.h"
+#include "src/fs/vfs.h"
+#include "src/hw/board.h"
+#include "src/hw/usb_msc.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/klog.h"
+#include "src/kernel/pmm.h"
+#include "src/kernel/sched.h"
+
+namespace vos {
+
+class Machine;
+
+// --- Framebuffer driver: mailbox allocation + /dev/fb ----------------------
+
+class FbDriver : public DevNode {
+ public:
+  FbDriver(Board& board, const KernelConfig& cfg) : board_(board), cfg_(cfg) {}
+
+  // Allocates the framebuffer through the mailbox property protocol.
+  // Returns the virtual time taken (caller burns it).
+  Cycles Init();
+  bool ready() const { return board_.fb().allocated(); }
+  std::uint32_t width() const { return board_.fb().width(); }
+  std::uint32_t height() const { return board_.fb().height(); }
+  std::uint32_t pitch() const { return board_.fb().pitch(); }
+
+  // CPU-side pixel pointer (what mmap of /dev/fb yields).
+  std::uint32_t* pixels() { return board_.fb().cpu_pixels(); }
+
+  // Cache maintenance for a byte range of the fb (the cacheflush syscall).
+  Cycles Flush(std::uint64_t offset, std::uint64_t len);
+
+  // /dev/fb as a device file: write blits at `off`, read copies out.
+  std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool nonblock,
+                    Cycles* burn) override;
+  std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                     Cycles* burn) override;
+
+ private:
+  Board& board_;
+  const KernelConfig& cfg_;
+};
+
+// --- Console driver: polled-TX UART + IRQ RX, behind /dev/console ----------
+
+class ConsoleDriver : public DevNode {
+ public:
+  ConsoleDriver(Board& board, Sched& sched, Klog& klog)
+      : board_(board), sched_(sched), klog_(klog), rx_(256) {}
+
+  void EnableRxIrq() { board_.uart().EnableRxIrq(true); }
+  // IRQ half: drain the UART FIFO into the line buffer; wake readers.
+  void OnRxIrq();
+
+  std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool nonblock,
+                    Cycles* burn) override;
+  std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                     Cycles* burn) override;
+
+ private:
+  Board& board_;
+  Sched& sched_;
+  Klog& klog_;
+  RingBuffer<std::uint8_t> rx_;
+  char chan_ = 0;
+};
+
+// --- USB keyboard driver (the USPi role, §4.4) ------------------------------
+
+class UsbKbdDriver {
+ public:
+  UsbKbdDriver(Board& board, Machine& machine, KeyEventDev& events)
+      : board_(board), machine_(machine), events_(events) {}
+
+  // Full enumeration: port power/reset, descriptor parsing, SET_ADDRESS,
+  // SET_CONFIGURATION, HID boot protocol, then interrupt polling. Returns the
+  // time taken (~1.4 s — the dominant boot cost) or 0 if no keyboard.
+  Cycles Init(Cycles now);
+  bool ready() const { return ready_; }
+
+  // IRQ half: drain latched reports, diff against the previous state, emit
+  // KeyEvents.
+  void OnIrq(Cycles now);
+
+  std::uint32_t poll_interval_ms() const { return poll_interval_ms_; }
+
+  // HID usage -> OS keycode (exposed for tests).
+  static std::uint16_t MapHidKey(std::uint8_t hid);
+
+ private:
+  Board& board_;
+  Machine& machine_;
+  KeyEventDev& events_;
+  bool ready_ = false;
+  std::uint32_t poll_interval_ms_ = 8;
+  HidReport prev_{};
+};
+
+// --- GPIO button driver (Game HAT) ------------------------------------------
+
+class GpioButtonDriver {
+ public:
+  GpioButtonDriver(Board& board, KeyEventDev& events) : board_(board), events_(events) {}
+
+  void Init();  // edge-detect on all button pins; panic pin -> FIQ
+  void OnIrq(Cycles now);
+
+  static std::uint16_t MapButton(unsigned pin);
+
+ private:
+  Board& board_;
+  KeyEventDev& events_;
+};
+
+// --- Audio driver: /dev/sb -> ring -> DMA -> PWM (§4.4) ---------------------
+
+class AudioDriver : public DevNode {
+ public:
+  AudioDriver(Board& board, Sched& sched, Pmm& pmm, const KernelConfig& cfg)
+      : board_(board), sched_(sched), pmm_(pmm), cfg_(cfg) {}
+
+  // Allocates the DMA period buffers in DRAM and configures the PWM rate.
+  Cycles Init(std::uint32_t sample_rate);
+  bool ready() const { return period_pa_[0] != 0; }
+
+  // /dev/sb: writes block while the sample ring is full — the classic
+  // producer/consumer pipeline (app -> driver ring -> DMA -> PWM).
+  std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool nonblock,
+                    Cycles* burn) override;
+  std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                     Cycles* burn) override;
+
+  // IRQ half: a period finished; submit the next or record an underrun.
+  void OnDmaIrq(Cycles now);
+
+  std::uint64_t underruns() const { return underruns_; }
+  std::size_t buffered_bytes() const { return ring_.size(); }
+
+ private:
+  static constexpr std::uint32_t kPeriodBytes = 4096;  // ~23 ms at 44.1 kHz stereo
+  void PumpLocked(Cycles now);
+
+  Board& board_;
+  Sched& sched_;
+  Pmm& pmm_;
+  const KernelConfig& cfg_;
+  RingBuffer<std::uint8_t> ring_{kPeriodBytes * 4};
+  PhysAddr period_pa_[2] = {0, 0};
+  int next_period_ = 0;
+  bool dma_running_ = false;
+  std::uint64_t underruns_ = 0;
+  char chan_ = 0;
+};
+
+// --- USB mass-storage driver (the paper's §4.4 future-work class) -----------
+//
+// Enumerates the thumb drive's descriptors (interface class 8 / SCSI / BOT),
+// then drives the bulk-only transport: INQUIRY + READ CAPACITY at init, and
+// READ(10)/WRITE(10) for block traffic, exposed as a BlockDevice the VFS
+// mounts at /u.
+
+class UsbStorageDriver : public BlockDevice {
+ public:
+  explicit UsbStorageDriver(UsbMassStorage& dev) : dev_(dev) {}
+
+  // Descriptor walk + INQUIRY + READ CAPACITY. Returns init time, or 0 and
+  // leaves the driver not-ready if the device is not a BOT SCSI disk.
+  Cycles Init();
+  bool ready() const { return ready_; }
+  const std::string& product() const { return product_; }
+
+  // BlockDevice: synchronous bulk transfers.
+  std::uint64_t block_count() const override { return blocks_; }
+  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
+  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
+
+ private:
+  Csw Bot(std::uint8_t opcode, std::uint32_t lba, std::uint16_t blocks, bool to_host,
+          std::vector<std::uint8_t>& data, Cycles* dur);
+
+  UsbMassStorage& dev_;
+  bool ready_ = false;
+  std::uint64_t blocks_ = 0;
+  std::uint32_t next_tag_ = 1;
+  std::string product_;
+};
+
+// --- SD card driver (§4.5: ~600 SLoC, synchronous, polling) -----------------
+
+class SdDriver {
+ public:
+  SdDriver(Board& board, const KernelConfig& cfg) : board_(board), cfg_(cfg) {}
+
+  // Card identification sequence (CMD0/CMD8/ACMD41/CMD2/CMD3/CMD7).
+  Cycles Init();
+  bool ready() const { return board_.sd().ready(); }
+
+  // Parses the MBR; returns the [first_lba, count) of partition `index`.
+  bool ReadPartition(int index, std::uint64_t* first, std::uint64_t* count, Cycles* burn);
+
+  std::unique_ptr<SdBlockDevice> OpenPartition(std::uint64_t first, std::uint64_t count) {
+    return std::make_unique<SdBlockDevice>(board_.sd(), first, count, cfg_.dma_sd);
+  }
+
+ private:
+  Board& board_;
+  const KernelConfig& cfg_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_DRIVERS_H_

@@ -1,0 +1,507 @@
+#include "src/kernel/kernel.h"
+
+#include <cstdarg>
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/base/status.h"
+#include "src/apps/app_registry.h"
+#include "src/fs/procfs.h"
+#include "src/kernel/unwind.h"
+#include "src/wm/wm.h"
+
+namespace vos {
+
+namespace {
+thread_local Task* g_current_task = nullptr;
+
+// Kernel image region: the first 8 MB of DRAM are reserved for the kernel
+// text/data, the (embedded) ramdisk dump, and boot allocations; the page
+// allocator manages the rest.
+constexpr PhysAddr kKernelReservedEnd = MiB(8);
+}  // namespace
+
+Kernel::Kernel(Board& board, KernelConfig cfg)
+    : board_(board),
+      cfg_(cfg),
+      machine_(board, this, cfg.EffectiveCores()),
+      klog_(board.uart()),
+      trace_(cfg.trace_enabled),
+      sched_(cfg_) {
+  VOS_CHECK_MSG(cfg_.EffectiveCores() <= board.config().cores,
+                "kernel configured for more cores than the board has");
+}
+
+Kernel::~Kernel() {
+  shutting_down_ = true;
+  // Mark everything killed so blocking loops bail out during unwind, then
+  // destroy tasks: their fibers unwind (TaskKilledUnwind) while the rest of
+  // the kernel still exists.
+  for (auto& [pid, t] : tasks_) {
+    t->killed = true;
+  }
+  tasks_.clear();
+}
+
+void Kernel::SetRamdiskImage(std::vector<std::uint8_t> image) {
+  ramdisk_image_ = std::move(image);
+}
+
+void Kernel::AddBootBlob(const std::string& name, std::vector<std::uint8_t> velf) {
+  boot_blobs_[name] = std::move(velf);
+}
+
+Task* Kernel::CurrentTask() const { return g_current_task; }
+
+void Kernel::ChargeCurrent(Cycles c) {
+  if (TaskFiber* f = TaskFiber::Current()) {
+    f->Burn(c);
+  }
+  // On the machine thread (boot/irq) callers account time themselves.
+}
+
+void Kernel::Printk(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  Cycles c = klog_.VPrintf(Now(), fmt, ap);
+  va_end(ap);
+  ChargeCurrent(c);
+}
+
+// --- Boot --------------------------------------------------------------------
+
+Kernel::BootReport Kernel::Boot() {
+  VOS_CHECK_MSG(!booted_, "double boot");
+  BootReport r;
+  Cycles now = board_.clock().now();
+
+  // Firmware: the GPU firmware loads bootcode/start.elf and then our kernel
+  // image (kernel + embedded ramdisk) from the SD card — the bulk of the
+  // 6-second power-to-shell time (Fig 8).
+  std::uint64_t image_bytes = MiB(1) + ramdisk_image_.size();
+  r.firmware = Ms(2600) + Cycles(image_bytes) * 250;  // ~4 MB/s SD load
+
+  // Kernel core: vectors, PMM over [8 MB, dram_end), timers, UART.
+  Cycles core = 0;
+  pmm_ = std::make_unique<Pmm>(board_.mem(), kKernelReservedEnd, board_.config().dram_size);
+  if (cfg_.HasKmalloc()) {
+    kmalloc_ = std::make_unique<Kmalloc>(*pmm_);
+  }
+  vtimers_ = std::make_unique<VirtualTimers>(board_.sys_timer());
+  sems_ = std::make_unique<SemTable>(sched_);
+  core += Ms(3);  // vector tables, EL1 setup, MMU enable (1 MB kernel blocks)
+  if (cfg_.HasVm()) {
+    core += Ms(2);  // kernel page tables
+  }
+  // Release secondary cores from their firmware parking loop (§4.5) and arm
+  // every core's generic timer for the scheduler tick.
+  for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+    board_.core_timer(c).Arm(now + r.firmware + core, cfg_.tick_interval);
+    board_.intc().Enable(CoreTimerIrq(c));
+    if (c > 0) {
+      core += Us(300);  // SEV + stack setup per secondary core
+    }
+  }
+  board_.intc().Enable(kIrqSysTimerC1);
+
+  // Framebuffer: first-class IO, present from Prototype 1 (§4.1).
+  fb_driver_ = std::make_unique<FbDriver>(board_, cfg_);
+  r.fb = fb_driver_->Init();
+
+  console_ = std::make_unique<ConsoleDriver>(board_, sched_, klog_);
+  if (cfg_.stage >= Stage::kProto2) {
+    console_->EnableRxIrq();
+    board_.intc().Enable(kIrqAux);
+  }
+
+  // Files (Prototype 4): ramdisk root filesystem + devfs/procfs + input/audio.
+  Cycles fs_time = 0;
+  Cycles usb_time = 0;
+  if (cfg_.HasFiles()) {
+    VOS_CHECK_MSG(!ramdisk_image_.empty(), "proto4+ boot requires a ramdisk image");
+    ramdisk_ = std::make_unique<RamDisk>(ramdisk_image_);
+    bcache_ = std::make_unique<Bcache>(cfg_);
+    ramdisk_dev_ = bcache_->AddDevice(ramdisk_.get());
+    rootfs_ = std::make_unique<Xv6Fs>(*bcache_, ramdisk_dev_, cfg_);
+    std::int64_t mr = rootfs_->Mount(&fs_time);
+    VOS_CHECK_MSG(mr == 0, "root filesystem mount failed");
+    vfs_ = std::make_unique<Vfs>(*rootfs_, cfg_);
+
+    events_ = std::make_unique<KeyEventDev>(sched_);
+    event1_ = std::make_unique<KeyEventDev>(sched_);
+    null_dev_ = std::make_unique<NullDev>();
+    audio_driver_ = std::make_unique<AudioDriver>(board_, sched_, *pmm_, cfg_);
+    vfs_->RegisterDevice("console", console_.get());
+    vfs_->RegisterDevice("fb", fb_driver_.get());
+    vfs_->RegisterDevice("events", events_.get());
+    vfs_->RegisterDevice("event1", event1_.get());
+    vfs_->RegisterDevice("null", null_dev_.get());
+    vfs_->RegisterDevice("sb", audio_driver_.get());
+
+    // procfs generators.
+    vfs_->RegisterProc("cpuinfo", [this] {
+      std::vector<ProcCpuLine> lines;
+      for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+        lines.push_back(ProcCpuLine{c, machine_.Utilization(c), sched_.context_switches()});
+      }
+      return FormatCpuInfo(lines, static_cast<std::uint64_t>(ToMs(Now())));
+    });
+    vfs_->RegisterProc("meminfo", [this] {
+      return FormatMemInfo(pmm_->total_pages(), pmm_->free_pages(), kKernelReservedEnd);
+    });
+    vfs_->RegisterProc("uptime",
+                       [this] { return FormatUptime(static_cast<std::uint64_t>(ToMs(Now()))); });
+    vfs_->RegisterProc("tasks", [this] {
+      std::vector<ProcTaskLine> lines;
+      for (auto& [pid, t] : tasks_) {
+        const char* st = "?";
+        switch (t->state) {
+          case TaskState::kEmbryo:
+            st = "embryo";
+            break;
+          case TaskState::kRunnable:
+            st = "runnable";
+            break;
+          case TaskState::kRunning:
+            st = "running";
+            break;
+          case TaskState::kSleeping:
+            st = "sleeping";
+            break;
+          case TaskState::kZombie:
+            st = "zombie";
+            break;
+        }
+        lines.push_back(
+            ProcTaskLine{pid, t->name(), st, static_cast<std::uint64_t>(ToMs(t->cpu_time))});
+      }
+      return FormatTasks(lines);
+    });
+    vfs_->RegisterProc("fbinfo", [this] {
+      return std::to_string(fb_driver_->width()) + " " + std::to_string(fb_driver_->height()) +
+             " " + std::to_string(fb_driver_->pitch()) + "\n";
+    });
+
+    // USB keyboard (the boot-time hog) and Game HAT buttons.
+    usb_kbd_ = std::make_unique<UsbKbdDriver>(board_, machine_, *events_);
+    if (cfg_.HasUsb() && board_.config().usb_keyboard_present) {
+      usb_time = usb_kbd_->Init(now + r.firmware + core + r.fb + fs_time);
+      board_.intc().Enable(kIrqUsb);
+    }
+    gpio_buttons_ = std::make_unique<GpioButtonDriver>(board_, *events_);
+    if (board_.config().game_hat_present) {
+      gpio_buttons_->Init();
+      board_.intc().Enable(kIrqGpio);
+    }
+    if (cfg_.HasAudio()) {
+      fs_time += audio_driver_->Init(44100);
+      board_.intc().Enable(kIrqDma0);
+    }
+  }
+
+  // Prototype 5: SD card + FAT32 under /d, window manager.
+  if (cfg_.HasSd()) {
+    sd_driver_ = std::make_unique<SdDriver>(board_, cfg_);
+    fs_time += sd_driver_->Init();
+    std::uint64_t first = 0, count = 0;
+    Cycles part_burn = 0;
+    if (sd_driver_->ReadPartition(1, &first, &count, &part_burn)) {
+      fs_time += part_burn;
+      sd_part_ = sd_driver_->OpenPartition(first, count);
+      sd_dev_ = bcache_->AddDevice(sd_part_.get());
+      fat_ = std::make_unique<FatVolume>(*bcache_, sd_dev_, cfg_);
+      Cycles mount_burn = 0;
+      if (fat_->Mount(&mount_burn) == 0) {
+        vfs_->MountFat(fat_.get());
+      }
+      fs_time += mount_burn;
+    }
+  }
+  // USB mass storage (the §4.4 future-work class): enumerate the thumb
+  // drive, mount its FAT volume at /u.
+  if (cfg_.HasFat32() && board_.usb_storage() != nullptr) {
+    usb_storage_driver_ = std::make_unique<UsbStorageDriver>(*board_.usb_storage());
+    Cycles msc_time = usb_storage_driver_->Init();
+    usb_time += msc_time;
+    if (usb_storage_driver_->ready()) {
+      usb_dev_ = bcache_->AddDevice(usb_storage_driver_.get());
+      usb_fat_ = std::make_unique<FatVolume>(*bcache_, usb_dev_, cfg_);
+      Cycles mb = 0;
+      if (usb_fat_->Mount(&mb) == 0) {
+        vfs_->MountUsbFat(usb_fat_.get());
+      }
+      usb_time += mb;
+    }
+  }
+
+  if (cfg_.HasWm()) {
+    wm_ = std::make_unique<WindowManager>(*this);
+    vfs_->RegisterDevice("surface", wm_.get());
+    // With a WM, /dev/event1 dispatches to the focused window (§4.5).
+    vfs_->RegisterDevice("event1", wm_->event_node());
+  }
+
+  r.core = core;
+  r.fs = fs_time;
+  r.usb = usb_time;
+  r.total = r.firmware + r.core + r.fb + r.fs + r.usb;
+  board_.clock().AdvanceTo(now + r.total);
+
+  // The window manager runs as a kernel thread (§4.5).
+  if (wm_ != nullptr) {
+    wm_->StartThread();
+  }
+
+  booted_ = true;
+  return r;
+}
+
+// --- Tasks ---------------------------------------------------------------------
+
+Task* Kernel::NewTask(const std::string& name, bool kernel_task) {
+  Pid pid = next_pid_++;
+  auto t = std::make_unique<Task>(pid, name, kernel_task);
+  Task* raw = t.get();
+  tasks_[pid] = std::move(t);
+  return raw;
+}
+
+Task* Kernel::CreateKernelTask(const std::string& name, std::function<void()> body) {
+  Task* t = NewTask(name, /*kernel_task=*/true);
+  t->AttachFiber(std::make_unique<TaskFiber>([this, t, body = std::move(body)] {
+    g_current_task = t;
+    try {
+      body();
+      DoExit(t, 0);
+    } catch (const TaskExitUnwind&) {
+    } catch (const TaskKilledUnwind&) {
+      if (!shutting_down_) {
+        DoExitNoThrow(t, -1);
+      }
+    }
+  }));
+  sched_.AddNew(t);
+  return t;
+}
+
+void Kernel::AttachUserEntry(Task* t, std::function<int()> body) {
+  t->AttachFiber(std::make_unique<TaskFiber>([this, t, body = std::move(body)] {
+    g_current_task = t;
+    try {
+      int rc = body();
+      DoExit(t, rc);
+    } catch (const TaskExitUnwind&) {
+    } catch (const TaskKilledUnwind&) {
+      if (!shutting_down_) {
+        DoExitNoThrow(t, -1);
+      }
+    }
+  }));
+}
+
+Task* Kernel::StartUserProgram(const std::string& path, const std::vector<std::string>& argv) {
+  VOS_CHECK_MSG(cfg_.HasVm(), "user programs need Prototype 3+");
+  Task* t = NewTask(path, /*kernel_task=*/false);
+  AttachUserEntry(t, [this, path, argv]() -> int {
+    std::int64_t r = SysExec(path, argv);
+    // Exec only returns on failure.
+    Printk("init: exec %s failed (%s)\n", path.c_str(), ErrName(r));
+    return -1;
+  });
+  sched_.AddNew(t);
+  return t;
+}
+
+void Kernel::DoExitNoThrow(Task* cur, int code) {
+  cur->exit_code = code;
+  // Close files.
+  if (vfs_ != nullptr) {
+    for (FilePtr& f : cur->fds) {
+      if (f != nullptr) {
+        vfs_->Close(cur, f);
+      }
+    }
+  }
+  cur->fds.clear();
+  cur->mm.reset();
+  // Reparent children to init (pid 1).
+  Task* init = FindTask(1);
+  for (auto& [pid, t] : tasks_) {
+    if (t->parent == cur) {
+      t->parent = init;
+      if (t->state == TaskState::kZombie && init != nullptr) {
+        sched_.Wakeup(init);
+      }
+    }
+  }
+  cur->state = TaskState::kZombie;
+  if (cur->parent != nullptr) {
+    sched_.Wakeup(cur->parent);
+  }
+  trace_.Emit(Now(), cur->core, TraceEvent::kCtxSwitch, cur->pid(), 0xdead);
+}
+
+void Kernel::DoExit(Task* cur, int code) {
+  DoExitNoThrow(cur, code);
+  throw TaskExitUnwind{};
+}
+
+void Kernel::ReapTask(Pid pid) {
+  auto it = tasks_.find(pid);
+  VOS_CHECK(it != tasks_.end());
+  VOS_CHECK(it->second->state == TaskState::kZombie);
+  tasks_.erase(it);  // destroys the Task and joins its fiber thread
+}
+
+void Kernel::KillFromHost(Pid pid) {
+  Task* t = FindTask(pid);
+  if (t == nullptr || t->state == TaskState::kZombie) {
+    return;
+  }
+  t->killed = true;
+  // Kill the whole family: threads and forked workers die with it.
+  for (auto& [cpid, child] : tasks_) {
+    if (child->parent == t) {
+      child->killed = true;
+      if (child->state == TaskState::kSleeping) {
+        sched_.WakeTask(child.get());
+      }
+    }
+  }
+  if (t->state == TaskState::kSleeping) {
+    sched_.WakeTask(t);
+  }
+}
+
+std::int64_t Kernel::ReapZombie(Pid pid) {
+  Task* t = FindTask(pid);
+  if (t == nullptr || t->state != TaskState::kZombie) {
+    return kErrNoEnt;
+  }
+  int code = t->exit_code;
+  ReapTask(pid);
+  return code;
+}
+
+Task* Kernel::FindTask(Pid pid) {
+  auto it = tasks_.find(pid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Task*> Kernel::AllTasks() {
+  std::vector<Task*> out;
+  out.reserve(tasks_.size());
+  for (auto& [pid, t] : tasks_) {
+    out.push_back(t.get());
+  }
+  return out;
+}
+
+void Kernel::KSleepMs(std::uint64_t ms) {
+  Task* cur = CurrentTask();
+  VOS_CHECK_MSG(cur != nullptr, "KSleepMs outside task context");
+  Cycles wake_at = Now() + Ms(ms);
+  vtimers_->AddAt(wake_at, [this, cur] { sched_.WakeTask(cur); });
+  sched_.Sleep(cur, cur);
+}
+
+std::int64_t Kernel::LoadVelf(const std::string& path, std::vector<std::uint8_t>* out,
+                              Cycles* burn) {
+  // Kernel-bundled blob fallback: Prototype 3's file-less exec, and also the
+  // escape hatch for programs injected after the ramdisk image was built.
+  auto from_blob = [&]() -> std::int64_t {
+    std::vector<std::string> parts = SplitPath(path);
+    std::string base = parts.empty() ? path : parts.back();
+    auto it = boot_blobs_.find(base);
+    if (it == boot_blobs_.end()) {
+      return kErrNoEnt;
+    }
+    *out = it->second;
+    *burn += Cycles(out->size()) / 2;  // copy from the kernel image region
+    return 0;
+  };
+  if (!cfg_.HasFiles()) {
+    return from_blob();
+  }
+  FilePtr f;
+  Task* cur = CurrentTask();
+  std::int64_t r = vfs_->Open(cur, path, kORdonly, &f, burn);
+  if (r < 0) {
+    return from_blob() == 0 ? 0 : r;
+  }
+  Stat st;
+  vfs_->FStat(*f, &st, burn);
+  out->resize(st.size);
+  std::int64_t n = vfs_->Read(cur, *f, out->data(), st.size, burn);
+  vfs_->Close(cur, f);
+  if (n < 0) {
+    return n;
+  }
+  out->resize(static_cast<std::size_t>(n));
+  return 0;
+}
+
+// --- MachineClient ---------------------------------------------------------------
+
+Task* Kernel::PickNext(unsigned core) { return sched_.PickNext(core); }
+
+void Kernel::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
+  sched_.OnTaskStopped(core, t, r);
+}
+
+void Kernel::TickHandler(unsigned core, Cycles now) {
+  board_.core_timer(core).ClearIrq();
+  board_.core_timer(core).Arm(now, cfg_.tick_interval);
+  machine_.ChargeIrq(core, cfg_.cost.irq_entry + cfg_.cost.timer_tick_work);
+  if (core == 0) {
+    timekeeping_.Tick();
+  }
+}
+
+void Kernel::OnIrq(unsigned core, unsigned irq) {
+  trace_.Emit(board_.clock().now(), core, TraceEvent::kIrqEnter, 0, irq);
+  Cycles now = board_.clock().now();
+  if (irq >= kIrqCoreTimerBase && irq < kIrqCoreTimerBase + kMaxCores) {
+    TickHandler(irq - kIrqCoreTimerBase, now);
+  } else {
+    switch (irq) {
+      case kIrqSysTimerC1:
+        machine_.ChargeIrq(core, cfg_.cost.irq_entry);
+        vtimers_->OnIrq(now);
+        break;
+      case kIrqUsb:
+        machine_.ChargeIrq(core, cfg_.cost.irq_entry);
+        usb_kbd_->OnIrq(now);
+        break;
+      case kIrqDma0:
+        machine_.ChargeIrq(core, cfg_.cost.irq_entry);
+        audio_driver_->OnDmaIrq(now);
+        break;
+      case kIrqAux:
+        machine_.ChargeIrq(core, cfg_.cost.irq_entry);
+        console_->OnRxIrq();
+        break;
+      case kIrqGpio:
+        machine_.ChargeIrq(core, cfg_.cost.irq_entry);
+        gpio_buttons_->OnIrq(now);
+        break;
+      default:
+        VOS_CHECK_MSG(false, "unexpected IRQ");
+    }
+  }
+  trace_.Emit(board_.clock().now(), core, TraceEvent::kIrqExit, 0, irq);
+}
+
+void Kernel::OnFiq(unsigned core) {
+  // Panic button (§5.1): dump call stacks and registers from all cores over
+  // the UART, even if the kernel is deadlocked.
+  std::vector<const Task*> running;
+  for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+    running.push_back(machine_.running(c));
+  }
+  last_panic_dump_ = "FIQ panic dump (core " + std::to_string(core) + ")\n" + UnwindAll(running);
+  Cycles burn = klog_.Puts(board_.clock().now(), last_panic_dump_);
+  machine_.ChargeIrq(core, burn);
+}
+
+}  // namespace vos

@@ -1,0 +1,272 @@
+// The VOS kernel: a monolithic kernel in the xv6 mold (§3), assembled per
+// prototype stage. Owns the scheduler, memory management, filesystems,
+// drivers, tracing/debugging, and the 28-syscall interface; implements
+// MachineClient so the machine loop can ask it for scheduling decisions and
+// hand it interrupts.
+#ifndef VOS_SRC_KERNEL_KERNEL_H_
+#define VOS_SRC_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/bcache.h"
+#include "src/fs/devfs.h"
+#include "src/fs/vfs.h"
+#include "src/fs/xv6fs.h"
+#include "src/hw/board.h"
+#include "src/kernel/debug_monitor.h"
+#include "src/kernel/drivers.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/klog.h"
+#include "src/kernel/kmalloc.h"
+#include "src/kernel/machine.h"
+#include "src/kernel/pipe.h"
+#include "src/kernel/pmm.h"
+#include "src/kernel/sched.h"
+#include "src/kernel/semaphore.h"
+#include "src/kernel/spinlock.h"
+#include "src/kernel/task.h"
+#include "src/kernel/timer.h"
+#include "src/kernel/trace.h"
+#include "src/kernel/velf.h"
+#include "src/kernel/vm.h"
+#include "src/kernel/semaphore.h"
+
+namespace vos {
+
+class WindowManager;
+
+// Syscall numbers (28 syscalls across task management, filesystem, and
+// threading/synchronization, §3).
+enum class Sys : int {
+  kFork = 1,
+  kExit = 2,
+  kWait = 3,
+  kPipe = 4,
+  kRead = 5,
+  kKill = 6,
+  kExec = 7,
+  kFstat = 8,
+  kChdir = 9,
+  kDup = 10,
+  kGetPid = 11,
+  kSbrk = 12,
+  kSleep = 13,
+  kUptime = 14,
+  kOpen = 15,
+  kWrite = 16,
+  kMknod = 17,
+  kUnlink = 18,
+  kLink = 19,
+  kMkdir = 20,
+  kClose = 21,
+  kLseek = 22,
+  kMmap = 23,
+  kCacheFlush = 24,
+  kClone = 25,
+  kSemCreate = 26,
+  kSemWait = 27,
+  kSemPost = 28,
+};
+
+class Kernel final : public MachineClient {
+ public:
+  Kernel(Board& board, KernelConfig cfg);
+  ~Kernel() override;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Images provisioned before Boot() ---
+  void SetRamdiskImage(std::vector<std::uint8_t> image);
+  // Prototype 3 "file-less exec": VELF blobs bundled with the kernel image.
+  void AddBootBlob(const std::string& name, std::vector<std::uint8_t> velf);
+
+  // Boot timing per stage (Fig 8's boot breakdown).
+  struct BootReport {
+    Cycles firmware = 0;   // firmware loading the kernel from SD
+    Cycles core = 0;       // vectors, timers, pmm, vm
+    Cycles fb = 0;         // mailbox framebuffer allocation
+    Cycles fs = 0;         // ramdisk root mount (+ FAT32 on SD)
+    Cycles usb = 0;        // USB stack + keyboard enumeration
+    Cycles total = 0;
+  };
+  BootReport Boot();
+  bool booted() const { return booted_; }
+
+  // --- Running the machine ---
+  void Run(Cycles until) { machine_.Run(until); }
+  void RunFor(Cycles dur) { machine_.Run(board_.clock().now() + dur); }
+  Cycles Now() const { return machine_.Now(); }
+  void StopMachine() { machine_.Stop(); }
+
+  // --- Accessors ---
+  const KernelConfig& config() const { return cfg_; }
+  Board& board() { return board_; }
+  Machine& machine() { return machine_; }
+  Sched& sched() { return sched_; }
+  Pmm& pmm() { return *pmm_; }
+  Kmalloc& kmalloc() { return *kmalloc_; }
+  Vfs& vfs() { return *vfs_; }
+  Xv6Fs& rootfs() { return *rootfs_; }
+  Bcache& bcache() { return *bcache_; }
+  TraceRing& trace() { return trace_; }
+  DebugMonitor& debug() { return dbg_; }
+  Klog& klog() { return klog_; }
+  VirtualTimers& vtimers() { return *vtimers_; }
+  SemTable& sems() { return *sems_; }
+  FbDriver& fb_driver() { return *fb_driver_; }
+  AudioDriver& audio_driver() { return *audio_driver_; }
+  KeyEventDev& events_dev() { return *events_; }
+  KeyEventDev& event1_dev() { return *event1_; }
+  WindowManager* wm() { return wm_.get(); }
+  UsbStorageDriver* usb_storage_driver() { return usb_storage_driver_.get(); }
+  Timekeeping& timekeeping() { return timekeeping_; }
+  const std::string& last_panic_dump() const { return last_panic_dump_; }
+
+  // --- Tasks ---
+  Task* CreateKernelTask(const std::string& name, std::function<void()> body);
+  // Creates a user task that execs `path` with `argv` when first scheduled.
+  Task* StartUserProgram(const std::string& path, const std::vector<std::string>& argv);
+  Task* CurrentTask() const;
+  // Host-side reaping of an orphan zombie (tests/benches waiting on programs
+  // they started directly). Returns the exit code, or kErrNoEnt.
+  std::int64_t ReapZombie(Pid pid);
+  // Host-side kill (benches stopping a measured app mid-run).
+  void KillFromHost(Pid pid);
+  std::size_t live_tasks() const { return tasks_.size(); }
+  std::vector<Task*> AllTasks();
+  Task* FindTask(Pid pid);
+
+  // printk, charged to the caller's context.
+  void Printk(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  // --- The syscall interface (implemented in syscall.cc). Typed entry
+  // points; each charges entry/exit cost, checks the prototype stage, and
+  // traces. Called from ulib on the current task's fiber. ---
+  std::int64_t SysFork(std::function<int()> child_body);
+  [[noreturn]] void SysExit(int code);
+  std::int64_t SysWait(int* status);
+  std::int64_t SysKill(Pid pid);
+  std::int64_t SysGetPid();
+  std::int64_t SysSbrk(std::int64_t delta);
+  std::int64_t SysSleep(std::uint64_t ms);
+  std::int64_t SysUptime();
+  std::int64_t SysExec(const std::string& path, const std::vector<std::string>& argv);
+  std::int64_t SysOpen(const std::string& path, std::uint32_t flags);
+  std::int64_t SysClose(int fd);
+  std::int64_t SysRead(int fd, void* buf, std::uint32_t n);
+  std::int64_t SysWrite(int fd, const void* buf, std::uint32_t n);
+  std::int64_t SysLseek(int fd, std::int64_t off, int whence);
+  std::int64_t SysDup(int fd);
+  std::int64_t SysPipe(int fds[2]);
+  std::int64_t SysFstat(int fd, Stat* st);
+  std::int64_t SysChdir(const std::string& path);
+  std::int64_t SysMkdir(const std::string& path);
+  std::int64_t SysUnlink(const std::string& path);
+  std::int64_t SysLink(const std::string& oldp, const std::string& newp);
+  std::int64_t SysMknod(const std::string& path, std::int16_t major, std::int16_t minor);
+  // mmap of /dev/fb (§4.3): identity-maps the framebuffer into the task and
+  // returns the CPU-side pixel pointer and geometry.
+  std::int64_t SysMmapFb(std::uint32_t** pixels, std::uint32_t* w, std::uint32_t* h);
+  std::int64_t SysCacheFlush(std::uint64_t off, std::uint64_t len);
+  std::int64_t SysClone(std::function<int()> thread_body);
+  std::int64_t SysSemCreate(int initial);
+  std::int64_t SysSemWait(int id);
+  std::int64_t SysSemPost(int id);
+  std::int64_t SysYield();
+  // Directory listing helper for the shell (not one of the 28; reads of
+  // directory files also work for xv6fs, as in xv6's ls).
+  std::int64_t SysReadDir(const std::string& path, std::vector<DirEntryInfo>* out);
+
+  // Numeric dispatch used by the microbenchmarks to measure the raw
+  // trap/dispatch path (only no-pointer syscalls are reachable this way).
+  std::int64_t SyscallRaw(Sys num, std::uint64_t a0, std::uint64_t a1);
+
+  // --- In-kernel helpers (no syscall costs; used by kernel tasks & boot) ---
+  void KSleepMs(std::uint64_t ms);       // current (kernel) task sleeps
+  void ChargeCurrent(Cycles c);          // burn on the current context
+  std::int64_t LoadVelf(const std::string& path, std::vector<std::uint8_t>* out, Cycles* burn);
+
+  // --- MachineClient ---
+  Task* PickNext(unsigned core) override;
+  void OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) override;
+  void OnIrq(unsigned core, unsigned irq) override;
+  void OnFiq(unsigned core) override;
+
+ private:
+  friend class WindowManager;
+
+  Task* NewTask(const std::string& name, bool kernel_task);
+  void AttachUserEntry(Task* t, std::function<int()> body);
+  void DoExitNoThrow(Task* cur, int code);
+  [[noreturn]] void DoExit(Task* cur, int code);
+  void ReapTask(Pid pid);
+  std::int64_t InstallFd(Task* cur, FilePtr f);
+  FilePtr GetFd(Task* cur, int fd);
+  // Syscall prologue: returns the current task, charging entry costs; kills
+  // the task if a kill is pending.
+  Task* SyscallEnter(Sys num);
+  std::int64_t SyscallExit(Sys num, std::int64_t ret);
+  void TickHandler(unsigned core, Cycles now);
+  [[noreturn]] void RunExecImage(Task* cur, const VelfImage& img,
+                                 const std::vector<std::string>& argv);
+  std::unique_ptr<AddressSpace> BuildAddressSpace(const VelfImage& img,
+                                                  const std::vector<std::string>& argv,
+                                                  Cycles* cost);
+
+  Board& board_;
+  KernelConfig cfg_;
+  Machine machine_;
+  Klog klog_;
+  TraceRing trace_;
+  DebugMonitor dbg_;
+  Timekeeping timekeeping_;
+  Sched sched_;
+  FrameRefs frame_refs_;
+
+  std::unique_ptr<Pmm> pmm_;
+  std::unique_ptr<Kmalloc> kmalloc_;
+  std::unique_ptr<VirtualTimers> vtimers_;
+  std::unique_ptr<SemTable> sems_;
+
+  // Filesystems.
+  std::unique_ptr<RamDisk> ramdisk_;
+  std::unique_ptr<Bcache> bcache_;
+  std::unique_ptr<Xv6Fs> rootfs_;
+  std::unique_ptr<SdBlockDevice> sd_part_;
+  std::unique_ptr<FatVolume> fat_;
+  std::unique_ptr<Vfs> vfs_;
+  int ramdisk_dev_ = -1;
+  int sd_dev_ = -1;
+
+  // Drivers.
+  std::unique_ptr<FbDriver> fb_driver_;
+  std::unique_ptr<ConsoleDriver> console_;
+  std::unique_ptr<KeyEventDev> events_;
+  std::unique_ptr<KeyEventDev> event1_;
+  std::unique_ptr<UsbKbdDriver> usb_kbd_;
+  std::unique_ptr<GpioButtonDriver> gpio_buttons_;
+  std::unique_ptr<AudioDriver> audio_driver_;
+  std::unique_ptr<SdDriver> sd_driver_;
+  std::unique_ptr<UsbStorageDriver> usb_storage_driver_;
+  std::unique_ptr<FatVolume> usb_fat_;
+  int usb_dev_ = -1;
+  std::unique_ptr<NullDev> null_dev_;
+  std::unique_ptr<WindowManager> wm_;
+
+  std::vector<std::uint8_t> ramdisk_image_;
+  std::map<std::string, std::vector<std::uint8_t>> boot_blobs_;
+
+  std::map<Pid, std::unique_ptr<Task>> tasks_;
+  Pid next_pid_ = 1;
+  bool booted_ = false;
+  bool shutting_down_ = false;
+  std::string last_panic_dump_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_KERNEL_H_

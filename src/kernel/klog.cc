@@ -1,0 +1,42 @@
+#include "src/kernel/klog.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace vos {
+
+Cycles Klog::Puts(Cycles now, const std::string& s) {
+  Cycles t = now;
+  for (char c : s) {
+    // Polled TX: spin until the FIFO frees, then write; wire time advances.
+    while (!uart_.TxReady(t)) {
+      t += 100;  // status register poll loop
+    }
+    uart_.TxWrite(static_cast<std::uint8_t>(c), t);
+    t += uart_.CharTime();
+  }
+  return t - now;
+}
+
+Cycles Klog::VPrintf(Cycles now, const char* fmt, std::va_list ap) {
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+  va_end(ap2);
+  if (n <= 0) {
+    return 0;
+  }
+  std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+  return Puts(now, std::string(buf.data(), static_cast<std::size_t>(n)));
+}
+
+Cycles Klog::Printf(Cycles now, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  Cycles c = VPrintf(now, fmt, ap);
+  va_end(ap);
+  return c;
+}
+
+}  // namespace vos

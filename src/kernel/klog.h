@@ -1,0 +1,32 @@
+// printk: kernel debug messages over the polled UART. Writes are synchronous
+// through all prototypes (§4.1) — each character occupies the wire, so printk
+// has a real virtual-time cost, exactly the property that makes interrupt-
+// driven TX unnecessary complexity in the paper's judgment.
+#ifndef VOS_SRC_KERNEL_KLOG_H_
+#define VOS_SRC_KERNEL_KLOG_H_
+
+#include <cstdarg>
+#include <string>
+
+#include "src/base/units.h"
+#include "src/hw/uart.h"
+
+namespace vos {
+
+class Klog {
+ public:
+  explicit Klog(Uart& uart) : uart_(uart) {}
+
+  // Prints a formatted message. Returns the virtual time the synchronous
+  // UART transmission took; the caller (kernel context) burns it.
+  Cycles Printf(Cycles now, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+  Cycles VPrintf(Cycles now, const char* fmt, std::va_list ap);
+  Cycles Puts(Cycles now, const std::string& s);
+
+ private:
+  Uart& uart_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_KLOG_H_

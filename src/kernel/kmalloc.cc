@@ -1,0 +1,75 @@
+#include "src/kernel/kmalloc.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+int Kmalloc::ClassFor(std::uint64_t size) const {
+  for (int s = kMinShift; s <= kMaxShift; ++s) {
+    if (size <= (1ull << s)) {
+      return s - kMinShift;
+    }
+  }
+  return -1;
+}
+
+void Kmalloc::RefillClass(int cls) {
+  PhysAddr page = pmm_.AllocPage();
+  if (page == 0) {
+    return;
+  }
+  std::uint64_t obj = 1ull << (cls + kMinShift);
+  for (std::uint64_t off = 0; off + obj <= kPageSize; off += obj) {
+    PhysAddr pa = page + off;
+    pmm_.mem().Store<std::uint64_t>(pa, free_heads_[cls]);
+    free_heads_[cls] = pa;
+  }
+}
+
+PhysAddr Kmalloc::Alloc(std::uint64_t size) {
+  VOS_CHECK(size > 0);
+  int cls = ClassFor(size);
+  if (cls < 0) {
+    std::uint64_t npages = (size + kPageSize - 1) / kPageSize;
+    PhysAddr pa = pmm_.AllocRange(npages);
+    if (pa == 0) {
+      return 0;
+    }
+    live_[pa] = Live{-1, npages, size};
+    allocated_bytes_ += size;
+    return pa;
+  }
+  if (free_heads_[cls] == 0) {
+    RefillClass(cls);
+    if (free_heads_[cls] == 0) {
+      return 0;
+    }
+  }
+  PhysAddr pa = free_heads_[cls];
+  free_heads_[cls] = pmm_.mem().Load<std::uint64_t>(pa);
+  live_[pa] = Live{cls, 0, size};
+  allocated_bytes_ += size;
+  return pa;
+}
+
+void Kmalloc::Free(PhysAddr pa) {
+  auto it = live_.find(pa);
+  VOS_CHECK_MSG(it != live_.end(), "kfree of address not allocated (or double free)");
+  allocated_bytes_ -= it->second.size;
+  if (it->second.cls < 0) {
+    pmm_.FreeRange(pa, it->second.npages);
+  } else {
+    int cls = it->second.cls;
+    pmm_.mem().Store<std::uint64_t>(pa, free_heads_[cls]);
+    free_heads_[cls] = pa;
+  }
+  live_.erase(it);
+}
+
+std::uint8_t* Kmalloc::Ptr(PhysAddr pa) {
+  auto it = live_.find(pa);
+  VOS_CHECK_MSG(it != live_.end(), "kmalloc Ptr on non-live allocation");
+  return pmm_.mem().Ptr(pa, it->second.size);
+}
+
+}  // namespace vos

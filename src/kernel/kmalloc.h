@@ -1,0 +1,58 @@
+// kmalloc: small-object kernel allocator layered on the page allocator
+// (Prototype 4+, Table 1 footnote 6). Segregated power-of-two free lists with
+// per-size slabs carved from whole pages; larger requests fall through to
+// contiguous page ranges. All storage lives in simulated physical memory, so
+// buffer-cache blocks, pipe rings and inode tables consume real frames.
+#ifndef VOS_SRC_KERNEL_KMALLOC_H_
+#define VOS_SRC_KERNEL_KMALLOC_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/kernel/pmm.h"
+
+namespace vos {
+
+class Kmalloc {
+ public:
+  explicit Kmalloc(Pmm& pmm) : pmm_(pmm) {}
+
+  // Returns a physical address of at least `size` bytes, or 0 on exhaustion.
+  PhysAddr Alloc(std::uint64_t size);
+  void Free(PhysAddr pa);
+
+  // Host pointer to an allocation (bounds come from the recorded size).
+  std::uint8_t* Ptr(PhysAddr pa);
+
+  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+  std::uint64_t allocation_count() const { return live_.size(); }
+
+ private:
+  static constexpr int kMinShift = 4;    // 16 B
+  static constexpr int kMaxShift = 11;   // 2 KB; beyond that, whole pages
+  static constexpr int kNumClasses = kMaxShift - kMinShift + 1;
+
+  struct FreeNode {
+    PhysAddr next;
+  };
+
+  int ClassFor(std::uint64_t size) const;
+  void RefillClass(int cls);
+
+  Pmm& pmm_;
+  std::array<PhysAddr, kNumClasses> free_heads_{};
+  // Live allocations: pa -> {class or page count}. A real kernel would encode
+  // this in slab headers; we keep it external for strong double-free checks.
+  struct Live {
+    int cls;               // -1 for page-range allocations
+    std::uint64_t npages;  // valid when cls == -1
+    std::uint64_t size;
+  };
+  std::unordered_map<std::uint64_t, Live> live_;
+  std::uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_KMALLOC_H_

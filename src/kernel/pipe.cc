@@ -1,0 +1,56 @@
+#include "src/kernel/pipe.h"
+
+#include "src/base/status.h"
+
+namespace vos {
+
+std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
+  SpinGuard g(lock_);
+  std::size_t done = 0;
+  while (done < n) {
+    if (readers_ == 0 || cur->killed) {
+      break;
+    }
+    if (ring_.full()) {
+      sched_.Wakeup(&read_chan_);
+      sched_.SleepOn(cur, &write_chan_, lock_);
+      continue;
+    }
+    ring_.Push(buf[done++]);
+  }
+  sched_.Wakeup(&read_chan_);
+  if (done == 0 && readers_ == 0) {
+    return kErrPipe;
+  }
+  return static_cast<std::int64_t>(done);
+}
+
+std::int64_t Pipe::Read(Task* cur, std::uint8_t* buf, std::size_t n, bool nonblock) {
+  SpinGuard g(lock_);
+  while (ring_.empty() && writers_ > 0) {
+    if (cur->killed) {
+      return kErrPerm;
+    }
+    if (nonblock) {
+      return kErrWouldBlock;
+    }
+    sched_.SleepOn(cur, &read_chan_, lock_);
+  }
+  std::size_t done = ring_.PopMany(buf, n);
+  sched_.Wakeup(&write_chan_);
+  return static_cast<std::int64_t>(done);
+}
+
+void Pipe::CloseRead() {
+  SpinGuard g(lock_);
+  --readers_;
+  sched_.Wakeup(&write_chan_);
+}
+
+void Pipe::CloseWrite() {
+  SpinGuard g(lock_);
+  --writers_;
+  sched_.Wakeup(&read_chan_);
+}
+
+}  // namespace vos

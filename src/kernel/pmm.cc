@@ -1,0 +1,75 @@
+#include "src/kernel/pmm.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+Pmm::Pmm(PhysMem& mem, PhysAddr start, PhysAddr end) : mem_(mem), start_(start) {
+  VOS_CHECK_MSG(start % kPageSize == 0 && end % kPageSize == 0, "pmm range must be page aligned");
+  VOS_CHECK_MSG(start >= kPageSize, "frame 0 is reserved: physical address 0 is the failure sentinel");
+  VOS_CHECK(end > start && end <= mem.size());
+  nframes_ = (end - start) / kPageSize;
+  used_.assign(nframes_, false);
+  free_count_ = nframes_;
+}
+
+std::uint64_t Pmm::FrameOf(PhysAddr pa) const {
+  VOS_CHECK_MSG(pa >= start_ && pa < end() && pa % kPageSize == 0, "bad frame address");
+  return (pa - start_) / kPageSize;
+}
+
+PhysAddr Pmm::AllocPage() {
+  if (free_count_ == 0) {
+    return 0;
+  }
+  for (std::uint64_t i = 0; i < nframes_; ++i) {
+    std::uint64_t f = (next_hint_ + i) % nframes_;
+    if (!used_[f]) {
+      used_[f] = true;
+      --free_count_;
+      next_hint_ = f + 1;
+      return start_ + f * kPageSize;
+    }
+  }
+  return 0;
+}
+
+void Pmm::FreePage(PhysAddr pa) {
+  std::uint64_t f = FrameOf(pa);
+  VOS_CHECK_MSG(used_[f], "double free of physical page");
+  used_[f] = false;
+  ++free_count_;
+}
+
+PhysAddr Pmm::AllocRange(std::uint64_t npages) {
+  VOS_CHECK(npages > 0);
+  if (npages > free_count_) {
+    return 0;
+  }
+  std::uint64_t run = 0;
+  for (std::uint64_t f = 0; f < nframes_; ++f) {
+    if (used_[f]) {
+      run = 0;
+      continue;
+    }
+    if (++run == npages) {
+      std::uint64_t first = f + 1 - npages;
+      for (std::uint64_t i = first; i <= f; ++i) {
+        used_[i] = true;
+      }
+      free_count_ -= npages;
+      return start_ + first * kPageSize;
+    }
+  }
+  return 0;
+}
+
+void Pmm::FreeRange(PhysAddr pa, std::uint64_t npages) {
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    FreePage(pa + i * kPageSize);
+  }
+}
+
+bool Pmm::IsFree(PhysAddr pa) const { return !used_[FrameOf(pa)]; }
+
+}  // namespace vos

@@ -1,0 +1,55 @@
+// Physical page allocator. Prototypes 2-3 use raw page-based allocation;
+// Prototype 4 layers kmalloc on top (Table 1, footnotes 5/6).
+//
+// Pages are NOT zeroed on allocation — real DRAM hands back whatever was
+// there (§5.1's "uninitialized memory" lesson); callers that need zeroed
+// memory (demand-zero faults) must clear explicitly.
+#ifndef VOS_SRC_KERNEL_PMM_H_
+#define VOS_SRC_KERNEL_PMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/phys_mem.h"
+
+namespace vos {
+
+class Pmm {
+ public:
+  // Manages frames in [start, end) of physical memory; both page-aligned.
+  Pmm(PhysMem& mem, PhysAddr start, PhysAddr end);
+
+  // Single-frame interface. Returns 0 on exhaustion.
+  PhysAddr AllocPage();
+  void FreePage(PhysAddr pa);
+
+  // Contiguous range (first-fit). Used for heap arenas and DMA buffers.
+  // Returns 0 if no run of `npages` is free.
+  PhysAddr AllocRange(std::uint64_t npages);
+  void FreeRange(PhysAddr pa, std::uint64_t npages);
+
+  std::uint64_t total_pages() const { return nframes_; }
+  std::uint64_t free_pages() const { return free_count_; }
+  std::uint64_t used_pages() const { return nframes_ - free_count_; }
+
+  PhysMem& mem() { return mem_; }
+  PhysAddr start() const { return start_; }
+  PhysAddr end() const { return start_ + nframes_ * kPageSize; }
+
+  bool IsFree(PhysAddr pa) const;
+
+ private:
+  std::uint64_t FrameOf(PhysAddr pa) const;
+
+  PhysMem& mem_;
+  PhysAddr start_;
+  std::uint64_t nframes_;
+  std::vector<bool> used_;
+  std::uint64_t free_count_;
+  std::uint64_t next_hint_ = 0;  // rotating scan start for single pages
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_PMM_H_

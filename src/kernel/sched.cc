@@ -1,0 +1,138 @@
+#include "src/kernel/sched.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+void Sched::AddNew(Task* t, int core_hint) {
+  if (core_hint >= 0 && static_cast<unsigned>(core_hint) < ncores_) {
+    t->core = static_cast<unsigned>(core_hint);
+  } else {
+    t->core = next_core_;
+    next_core_ = (next_core_ + 1) % ncores_;
+  }
+  t->state = TaskState::kRunnable;
+  Enqueue(t);
+}
+
+void Sched::Enqueue(Task* t) {
+  VOS_CHECK(t->state == TaskState::kRunnable);
+  VOS_CHECK(t->core < ncores_);
+  runq_[t->core].PushBack(t);
+}
+
+Task* Sched::PickNext(unsigned core) {
+  VOS_CHECK(core < ncores_);
+  Task* t = runq_[core].PopFront();
+  if (t != nullptr) {
+    ++switches_;
+  }
+  return t;
+}
+
+void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
+  switch (r) {
+    case TaskFiber::StopReason::kBudget:
+      // Still wants the CPU. Rotate to the tail when its slice is spent,
+      // otherwise keep it at the head (it was merely interrupted by the
+      // window boundary, not preempted).
+      t->state = TaskState::kRunnable;
+      if (t->slice_used >= SliceLen()) {
+        t->slice_used = 0;
+        runq_[core].PushBack(t);
+      } else {
+        runq_[core].PushFront(t);
+      }
+      break;
+    case TaskFiber::StopReason::kBlocked:
+      // The sleep path already moved it to the sleeping list (or it exited
+      // the queue another way); nothing to do.
+      break;
+    case TaskFiber::StopReason::kExited:
+      // Zombie; the exit path handled bookkeeping.
+      break;
+  }
+}
+
+void Sched::Sleep(Task* cur, void* chan) {
+  VOS_CHECK(chan != nullptr);
+  cur->sleep_chan = chan;
+  cur->state = TaskState::kSleeping;
+  sleeping_.PushBack(cur);
+  try {
+    cur->fiber().BlockAndSwitch();
+  } catch (...) {
+    // Dying fiber: leave the sleeping list consistent before unwinding on.
+    if (cur->run_hook.linked()) {
+      sleeping_.Remove(cur);
+    }
+    cur->sleep_chan = nullptr;
+    throw;
+  }
+  if (cur->state == TaskState::kSleeping) {
+    // BlockAndSwitch returned without parking (kill-unwind in progress):
+    // undo the sleep bookkeeping and let the caller's killed check run.
+    sleeping_.Remove(cur);
+    cur->sleep_chan = nullptr;
+    cur->state = TaskState::kRunning;
+    return;
+  }
+  // Woken (Wakeup cleared the channel and re-enqueued us).
+  VOS_CHECK(cur->state == TaskState::kRunning);
+}
+
+void Sched::SleepOn(Task* cur, void* chan, SpinLock& lk) {
+  lk.Release();
+  struct Reacquire {
+    SpinLock& l;
+    ~Reacquire() { l.Acquire(); }
+  } reacquire{lk};
+  Sleep(cur, chan);
+}
+
+std::size_t Sched::Wakeup(void* chan) {
+  std::size_t n = 0;
+  // Collect first: WakeTask mutates the sleeping list.
+  Task* to_wake[64];
+  for (Task* t : sleeping_) {
+    if (t->sleep_chan == chan) {
+      VOS_CHECK_MSG(n < 64, "too many sleepers on one channel");
+      to_wake[n++] = t;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    WakeTask(to_wake[i]);
+  }
+  return n;
+}
+
+void Sched::WakeTask(Task* t) {
+  if (t->state != TaskState::kSleeping) {
+    return;
+  }
+  sleeping_.Remove(t);
+  t->sleep_chan = nullptr;
+  t->state = TaskState::kRunnable;
+  Enqueue(t);
+}
+
+void Sched::Yield(Task* cur) {
+  // Voluntary yield: burn the rest of the slice accounting-wise and rotate.
+  cur->slice_used = SliceLen();
+  cur->fiber().Burn(cfg_.cost.context_switch);
+  // Force a trip through the machine loop so others run.
+  cur->fiber().YieldToMachine();
+}
+
+bool Sched::HasRunnable() const {
+  for (unsigned c = 0; c < ncores_; ++c) {
+    if (!runq_[c].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Sched::runqueue_len(unsigned core) const { return runq_[core].size(); }
+
+}  // namespace vos

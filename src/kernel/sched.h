@@ -1,0 +1,69 @@
+// The scheduler: per-core round-robin runqueues (a single queue until
+// Prototype 5 brings multicore), xv6-style sleep channels, and WFI idling.
+//
+// Lost wakeups: xv6 needs the sleep-lock dance because another CPU can call
+// wakeup() between releasing the condition lock and sleeping. In the
+// simulator the fiber holds the execution token until BlockAndSwitch(), so
+// the release→sleep window is atomic in virtual time; SleepOn keeps the
+// canonical interface so kernel code reads like the real pattern.
+#ifndef VOS_SRC_KERNEL_SCHED_H_
+#define VOS_SRC_KERNEL_SCHED_H_
+
+#include <cstdint>
+
+#include "src/base/intrusive_list.h"
+#include "src/hw/intc.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/spinlock.h"
+#include "src/kernel/task.h"
+
+namespace vos {
+
+class Sched {
+ public:
+  explicit Sched(const KernelConfig& cfg)
+      : cfg_(cfg), ncores_(cfg.EffectiveCores()), lock_("sched") {}
+
+  unsigned ncores() const { return ncores_; }
+
+  // Places a new or woken task on a runqueue. New tasks round-robin across
+  // cores; woken tasks return to their home core.
+  void Enqueue(Task* t);
+  // Assigns a home core then enqueues: round-robin by default, or a fixed
+  // core when `core_hint` >= 0 (fork keeps children on the parent's core for
+  // cache affinity; clone spreads threads for parallelism).
+  void AddNew(Task* t, int core_hint = -1);
+
+  // Machine-loop side.
+  Task* PickNext(unsigned core);
+  void OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r);
+
+  // Fiber side (current task).
+  void Sleep(Task* cur, void* chan);
+  void SleepOn(Task* cur, void* chan, SpinLock& lk);
+  std::size_t Wakeup(void* chan);
+  void Yield(Task* cur);
+
+  // Pulls a sleeping task out for forced wake (kill path).
+  void WakeTask(Task* t);
+
+  bool HasRunnable() const;
+  std::size_t runqueue_len(unsigned core) const;
+
+  std::uint64_t context_switches() const { return switches_; }
+
+ private:
+  Cycles SliceLen() const { return cfg_.tick_interval * cfg_.slice_ticks; }
+
+  const KernelConfig& cfg_;
+  unsigned ncores_;
+  SpinLock lock_;
+  IntrusiveList<Task, &Task::run_hook> runq_[kMaxCores];
+  IntrusiveList<Task, &Task::run_hook> sleeping_;
+  unsigned next_core_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_SCHED_H_

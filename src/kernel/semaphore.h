@@ -1,0 +1,49 @@
+// Kernel semaphores (Prototype 5): the primitive beneath the user-level
+// mutexes and condition variables ulib builds (§4.5 "Threading for SDL
+// audio"). A small global table, addressed by id, as the syscall interface
+// exposes them.
+#ifndef VOS_SRC_KERNEL_SEMAPHORE_H_
+#define VOS_SRC_KERNEL_SEMAPHORE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/kernel/sched.h"
+#include "src/kernel/spinlock.h"
+
+namespace vos {
+
+constexpr int kMaxSemaphores = 128;
+
+class SemTable {
+ public:
+  explicit SemTable(Sched& sched) : sched_(sched), lock_("semtable") {}
+
+  // Returns a new semaphore id with initial value, or kErrNoSpace.
+  std::int64_t Create(int initial);
+  std::int64_t Destroy(int id);
+
+  // P (wait): decrements, sleeping while zero.
+  std::int64_t Wait(Task* cur, int id);
+  // V (post): increments and wakes one class of waiters.
+  std::int64_t Post(int id);
+
+  std::int64_t Value(int id) const;
+
+ private:
+  struct Sem {
+    bool used = false;
+    int value = 0;
+    char chan = 0;
+  };
+
+  bool ValidId(int id) const { return id >= 0 && id < kMaxSemaphores && sems_[id].used; }
+
+  Sched& sched_;
+  SpinLock lock_;
+  std::array<Sem, kMaxSemaphores> sems_{};
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_SEMAPHORE_H_

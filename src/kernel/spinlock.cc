@@ -1,0 +1,43 @@
+#include "src/kernel/spinlock.h"
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+namespace {
+thread_local int g_irq_off_depth = 0;
+const void* ContextId() {
+  static thread_local char marker;
+  return &marker;
+}
+}  // namespace
+
+void PushOff() { ++g_irq_off_depth; }
+
+void PopOff() {
+  VOS_CHECK_MSG(g_irq_off_depth > 0, "PopOff without matching PushOff");
+  --g_irq_off_depth;
+}
+
+int IrqOffDepth() { return g_irq_off_depth; }
+
+void SpinLock::Acquire() {
+  PushOff();
+  VOS_CHECK_MSG(!(held_ && owner_ == ContextId()), "spinlock double-acquire");
+  // Host execution is token-serialized, so the lock is always free here; a
+  // held lock from another context would be a machine-loop invariant bug.
+  VOS_CHECK_MSG(!held_, "spinlock contended: serialization invariant broken");
+  held_ = true;
+  owner_ = ContextId();
+  ++acquisitions_;
+}
+
+void SpinLock::Release() {
+  VOS_CHECK_MSG(held_, "releasing a spinlock that is not held");
+  VOS_CHECK_MSG(owner_ == ContextId(), "spinlock released by non-owner");
+  held_ = false;
+  owner_ = nullptr;
+  PopOff();
+}
+
+}  // namespace vos

@@ -1,0 +1,109 @@
+#include "src/kernel/task.h"
+
+#include <exception>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+namespace {
+thread_local TaskFiber* g_current_fiber = nullptr;
+}
+
+void Gate::Signal() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    go_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Gate::Wait() {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait(l, [this] { return go_; });
+  go_ = false;
+}
+
+TaskFiber* TaskFiber::Current() { return g_current_fiber; }
+
+TaskFiber::TaskFiber(std::function<void()> entry) {
+  thread_ = std::thread([this, entry = std::move(entry)] {
+    g_current_fiber = this;
+    resume_gate_.Wait();  // park until first schedule
+    if (!kill_requested_) {
+      entry();  // must swallow TaskExitUnwind/TaskKilledUnwind itself
+    }
+    finished_ = true;
+    reason_ = StopReason::kExited;
+    done_gate_.Signal();
+  });
+}
+
+TaskFiber::~TaskFiber() {
+  if (thread_.joinable()) {
+    if (!finished_) {
+      // Force the fiber to unwind. It is parked (machine holds the token).
+      kill_requested_ = true;
+      resume_gate_.Signal();
+      done_gate_.Wait();
+      VOS_CHECK_MSG(finished_, "fiber failed to unwind on kill");
+    }
+    thread_.join();
+  }
+}
+
+TaskFiber::RunResult TaskFiber::Run(Cycles budget, Cycles start) {
+  VOS_CHECK_MSG(!finished_, "running a finished fiber");
+  VOS_CHECK(budget > 0);
+  budget_ = budget;
+  start_time_ = start;
+  consumed_ = 0;
+  started_ = true;
+  resume_gate_.Signal();
+  done_gate_.Wait();
+  return RunResult{reason_, consumed_};
+}
+
+void TaskFiber::SwitchOut(StopReason r) {
+  if (kill_requested_ && std::uncaught_exceptions() > 0) {
+    // The fiber is unwinding for its death: destructors must not park again
+    // (the machine side is already waiting for the thread to finish). Return
+    // immediately; blocking loops bail out via their killed checks.
+    return;
+  }
+  reason_ = r;
+  done_gate_.Signal();
+  resume_gate_.Wait();
+  CheckKilled();
+}
+
+void TaskFiber::CheckKilled() {
+  if (kill_requested_ && std::uncaught_exceptions() == 0) {
+    throw TaskKilledUnwind{};
+  }
+}
+
+void TaskFiber::Burn(Cycles c) {
+  while (c > 0) {
+    CheckKilled();
+    Cycles avail = budget_ > consumed_ ? budget_ - consumed_ : 0;
+    if (avail == 0) {
+      SwitchOut(StopReason::kBudget);
+      continue;
+    }
+    Cycles take = c < avail ? c : avail;
+    consumed_ += take;
+    c -= take;
+  }
+}
+
+void TaskFiber::BlockAndSwitch() { SwitchOut(StopReason::kBlocked); }
+
+void TaskFiber::YieldToMachine() { SwitchOut(StopReason::kBudget); }
+
+Task::Task(Pid pid, std::string name, bool kernel_task)
+    : pid_(pid), name_(std::move(name)), kernel_task_(kernel_task) {}
+
+Task::~Task() = default;
+
+}  // namespace vos

@@ -1,0 +1,180 @@
+// Task control block and its execution context.
+//
+// Execution model (see DESIGN.md §5): each task owns a host thread ("fiber")
+// that is strictly token-serialized with the machine loop — exactly one of
+// {machine loop, some fiber} executes at any host instant, so kernel state
+// needs no host synchronization beyond the handoff gates. Virtual CPU time is
+// charged explicitly via Burn(); the machine loop interleaves fibers on the
+// simulated cores between device events. This replaces the ARMv8 register
+// context switch while keeping the scheduler, runqueues, sleep channels and
+// preemption behaviour real.
+#ifndef VOS_SRC_KERNEL_TASK_H_
+#define VOS_SRC_KERNEL_TASK_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/units.h"
+
+namespace vos {
+
+class AddressSpace;
+class File;
+class Task;
+
+// Thrown to unwind a fiber when its task exits or is killed. Application code
+// must not swallow these (never `catch (...)` without rethrow in apps).
+struct TaskExitUnwind {};
+struct TaskKilledUnwind {};
+
+// One-shot handoff gate between the machine thread and a fiber thread.
+class Gate {
+ public:
+  void Signal();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool go_ = false;
+};
+
+class TaskFiber {
+ public:
+  enum class StopReason { kBudget, kBlocked, kExited };
+  struct RunResult {
+    StopReason reason;
+    Cycles consumed;
+  };
+
+  // `entry` runs on the fiber thread the first time the task is scheduled.
+  // It must handle TaskExitUnwind/TaskKilledUnwind itself (the kernel's
+  // trampoline does) — nothing may escape.
+  explicit TaskFiber(std::function<void()> entry);
+  ~TaskFiber();
+
+  // --- Machine side ---
+  // Resumes the fiber with a fresh budget starting at virtual time `start`.
+  // Blocks until the fiber stops (budget exhausted / blocked / exited).
+  RunResult Run(Cycles budget, Cycles start);
+  // Requests the fiber unwind with TaskKilledUnwind at its next resume or
+  // burn check. Only call while the fiber is parked.
+  void RequestKill() { kill_requested_ = true; }
+  bool finished() const { return finished_; }
+
+  // --- Fiber side ---
+  // Charges `c` cycles of CPU, switching back to the machine (and later
+  // resuming) whenever the activation budget runs out.
+  void Burn(Cycles c);
+  // Parks the fiber as blocked; returns when rescheduled.
+  void BlockAndSwitch();
+  // Voluntary yield: hands the core back as if the budget expired; the
+  // scheduler's rotation policy decides what runs next.
+  void YieldToMachine();
+  // Virtual time as seen by code running on this fiber right now.
+  Cycles Now() const { return start_time_ + consumed_; }
+  bool kill_requested() const { return kill_requested_; }
+
+  // The fiber currently executing on this host thread (nullptr on the
+  // machine thread).
+  static TaskFiber* Current();
+
+ private:
+  void SwitchOut(StopReason r);  // fiber side
+  void CheckKilled();            // fiber side; throws TaskKilledUnwind
+
+  std::thread thread_;
+  Gate resume_gate_;  // machine -> fiber
+  Gate done_gate_;    // fiber -> machine
+  Cycles budget_ = 0;
+  Cycles consumed_ = 0;
+  Cycles start_time_ = 0;
+  StopReason reason_ = StopReason::kExited;
+  bool kill_requested_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+using Pid = int;
+
+enum class TaskState { kEmbryo, kRunnable, kRunning, kSleeping, kZombie };
+
+// Why Fig 11 latency samples attribute to K/U/L: tasks carry an attribution
+// mode that ulib flips around library code.
+enum class TimeDomain : int { kKernel = 0, kUser = 1, kUserLib = 2 };
+
+class Task {
+ public:
+  Task(Pid pid, std::string name, bool kernel_task);
+  ~Task();
+
+  Pid pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  bool kernel_task() const { return kernel_task_; }
+
+  TaskState state = TaskState::kEmbryo;
+  void* sleep_chan = nullptr;
+  bool killed = false;
+  int exit_code = 0;
+  Task* parent = nullptr;
+  unsigned core = 0;            // runqueue the task lives on
+  Cycles slice_used = 0;        // for round-robin rotation
+  Cycles cpu_time = 0;          // total CPU consumed (for /proc and sysmon)
+  Cycles time_by_domain[3] = {0, 0, 0};
+  TimeDomain domain = TimeDomain::kKernel;
+  TimeDomain saved_domain = TimeDomain::kUser;  // domain to restore at syscall exit
+
+  // Address space; shared between CLONE_VM threads.
+  std::shared_ptr<AddressSpace> mm;
+  bool is_thread = false;  // clone(CLONE_VM) child
+
+  // Open files. Shared_ptr because dup/fork share File objects.
+  std::vector<std::shared_ptr<File>> fds;
+  std::string cwd = "/";
+
+  // Self-hosted debugging (§5.1): shadow call stack for the unwinder.
+  std::vector<const char*> call_stack;
+
+  TaskFiber& fiber() { return *fiber_; }
+  void AttachFiber(std::unique_ptr<TaskFiber> f) { fiber_ = std::move(f); }
+  bool has_fiber() const { return fiber_ != nullptr; }
+
+  ListNode run_hook;  // runqueue membership
+
+ private:
+  Pid pid_;
+  std::string name_;
+  bool kernel_task_;
+  std::unique_ptr<TaskFiber> fiber_;
+};
+
+// RAII frame marker feeding Task::call_stack (the stack unwinder's data).
+class StackFrame {
+ public:
+  StackFrame(Task* t, const char* fn) : task_(t) {
+    if (task_ != nullptr) {
+      task_->call_stack.push_back(fn);
+    }
+  }
+  ~StackFrame() {
+    if (task_ != nullptr) {
+      task_->call_stack.pop_back();
+    }
+  }
+  StackFrame(const StackFrame&) = delete;
+  StackFrame& operator=(const StackFrame&) = delete;
+
+ private:
+  Task* task_;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_TASK_H_

@@ -1,0 +1,73 @@
+#include "src/kernel/timer.h"
+
+#include <vector>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+VirtualTimers::TimerId VirtualTimers::AddAt(Cycles when, TimerFn fn) {
+  TimerId id = next_id_++;
+  timers_[id] = Timer{when, 0, std::move(fn)};
+  Rearm();
+  return id;
+}
+
+VirtualTimers::TimerId VirtualTimers::AddPeriodic(Cycles first, Cycles period, TimerFn fn) {
+  VOS_CHECK(period > 0);
+  TimerId id = next_id_++;
+  timers_[id] = Timer{first, period, std::move(fn)};
+  Rearm();
+  return id;
+}
+
+void VirtualTimers::Cancel(TimerId id) {
+  timers_.erase(id);
+  Rearm();
+}
+
+void VirtualTimers::Rearm() {
+  if (timers_.empty()) {
+    return;
+  }
+  Cycles next = ~Cycles(0);
+  for (const auto& [id, t] : timers_) {
+    next = std::min(next, t.when);
+  }
+  // Compare register is in the 1 MHz counter domain; round up so we never
+  // fire early.
+  st_.SetCompare(1, (next + kCyclesPerUs - 1) / kCyclesPerUs);
+}
+
+std::size_t VirtualTimers::OnIrq(Cycles now) {
+  st_.ClearMatch(1);
+  std::size_t fired = 0;
+  for (;;) {
+    // Find one due timer; run outside the map iteration since fn may add or
+    // cancel timers.
+    TimerId due_id = 0;
+    for (const auto& [id, t] : timers_) {
+      if (t.when <= now) {
+        due_id = id;
+        break;
+      }
+    }
+    if (due_id == 0) {
+      break;
+    }
+    auto it = timers_.find(due_id);
+    TimerFn fn = it->second.fn;
+    if (it->second.period > 0) {
+      it->second.when += it->second.period;
+    } else {
+      timers_.erase(it);
+    }
+    fn();
+    ++fired;
+    VOS_CHECK_MSG(fired < 100000, "virtual timer storm");
+  }
+  Rearm();
+  return fired;
+}
+
+}  // namespace vos

@@ -1,0 +1,80 @@
+#include "src/kernel/trace.h"
+
+#include <algorithm>
+
+namespace vos {
+
+TraceRing::TraceRing(bool enabled, std::size_t per_core_capacity) : enabled_(enabled) {
+  for (unsigned i = 0; i < kMaxCores; ++i) {
+    rings_.emplace_back(per_core_capacity);
+  }
+}
+
+void TraceRing::Emit(Cycles ts, unsigned core, TraceEvent ev, std::int32_t pid, std::uint64_t a,
+                     std::uint64_t b) {
+  if (!enabled_ || core >= rings_.size()) {
+    return;
+  }
+  rings_[core].PushOverwrite(TraceRecord{ts, static_cast<std::uint16_t>(core), ev, pid, a, b});
+  ++emitted_;
+}
+
+std::vector<TraceRecord> TraceRing::Dump() const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : rings_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      out.push_back(r.At(i));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) { return a.ts < b.ts; });
+  return out;
+}
+
+std::vector<TraceRecord> TraceRing::DumpEvent(TraceEvent ev) const {
+  std::vector<TraceRecord> all = Dump();
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : all) {
+    if (r.event == ev) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  for (auto& r : rings_) {
+    r.Clear();
+  }
+  emitted_ = 0;
+}
+
+std::string TraceRing::EventName(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kSyscallEnter:
+      return "syscall_enter";
+    case TraceEvent::kSyscallExit:
+      return "syscall_exit";
+    case TraceEvent::kCtxSwitch:
+      return "ctx_switch";
+    case TraceEvent::kIrqEnter:
+      return "irq_enter";
+    case TraceEvent::kIrqExit:
+      return "irq_exit";
+    case TraceEvent::kSleep:
+      return "sleep";
+    case TraceEvent::kWakeup:
+      return "wakeup";
+    case TraceEvent::kUserMark:
+      return "user_mark";
+    case TraceEvent::kKeyEvent:
+      return "key_event";
+    case TraceEvent::kWmComposite:
+      return "wm_composite";
+    case TraceEvent::kPageFault:
+      return "page_fault";
+  }
+  return "?";
+}
+
+}  // namespace vos

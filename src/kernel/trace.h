@@ -1,0 +1,67 @@
+// Event tracing (§5.1): an ftrace-inspired per-core ring of timestamped
+// events with negligible overhead, dumped on demand. Fig 11's latency
+// breakdowns are computed from these records.
+#ifndef VOS_SRC_KERNEL_TRACE_H_
+#define VOS_SRC_KERNEL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/units.h"
+#include "src/hw/intc.h"
+
+namespace vos {
+
+enum class TraceEvent : std::uint16_t {
+  kSyscallEnter = 1,
+  kSyscallExit,
+  kCtxSwitch,
+  kIrqEnter,
+  kIrqExit,
+  kSleep,
+  kWakeup,
+  kUserMark,     // app-defined markers (frame start/end, input seen...)
+  kKeyEvent,     // input pipeline stamps
+  kWmComposite,
+  kPageFault,
+};
+
+struct TraceRecord {
+  Cycles ts = 0;
+  std::uint16_t core = 0;
+  TraceEvent event = TraceEvent::kUserMark;
+  std::int32_t pid = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(bool enabled, std::size_t per_core_capacity = 16384);
+
+  void Emit(Cycles ts, unsigned core, TraceEvent ev, std::int32_t pid, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+  // Merged, time-ordered dump of all cores' rings.
+  std::vector<TraceRecord> Dump() const;
+
+  // Filtered dump.
+  std::vector<TraceRecord> DumpEvent(TraceEvent ev) const;
+
+  void Clear();
+  bool enabled() const { return enabled_; }
+  std::uint64_t total_emitted() const { return emitted_; }
+
+  static std::string EventName(TraceEvent ev);
+
+ private:
+  bool enabled_;
+  std::vector<RingBuffer<TraceRecord>> rings_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_TRACE_H_

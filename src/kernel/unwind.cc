@@ -1,0 +1,33 @@
+#include "src/kernel/unwind.h"
+
+#include <sstream>
+
+namespace vos {
+
+std::string UnwindTask(const Task& t) {
+  std::ostringstream os;
+  os << "pid " << t.pid() << " (" << t.name() << "):\n";
+  if (t.call_stack.empty()) {
+    os << "  <no frames>\n";
+    return os.str();
+  }
+  for (auto it = t.call_stack.rbegin(); it != t.call_stack.rend(); ++it) {
+    os << "  [" << (t.call_stack.rend() - it - 1) << "] " << *it << "\n";
+  }
+  return os.str();
+}
+
+std::string UnwindAll(const std::vector<const Task*>& running) {
+  std::ostringstream os;
+  for (std::size_t core = 0; core < running.size(); ++core) {
+    os << "--- core " << core << " ---\n";
+    if (running[core] == nullptr) {
+      os << "  <idle>\n";
+    } else {
+      os << UnwindTask(*running[core]);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vos

@@ -1,0 +1,26 @@
+// Stack unwinder (§5.1): walks a task's call frames and prints call sites.
+// The real VOS port walks ARMv8 frame records and prints raw addresses for
+// offline symbolization; here each task maintains a shadow call stack of
+// frame markers (pushed by StackFrame RAII guards in kernel code and apps),
+// so dumps are symbolized directly.
+#ifndef VOS_SRC_KERNEL_UNWIND_H_
+#define VOS_SRC_KERNEL_UNWIND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/task.h"
+
+namespace vos {
+
+// Formats one task's stack, innermost frame first, one line per frame, in
+// the style of the kernel's panic dumps.
+std::string UnwindTask(const Task& t);
+
+// Formats "all cores" the way the FIQ panic button does: for each provided
+// task (the per-core running tasks), a header plus its stack.
+std::string UnwindAll(const std::vector<const Task*>& running);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_UNWIND_H_

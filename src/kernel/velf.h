@@ -1,0 +1,73 @@
+// VELF: the ELF-like executable format user programs ship in. The build
+// pipeline packs each app into a VELF image (header + program segments) that
+// mkfs places in the ramdisk; exec() parses the header, maps the segments
+// into a fresh address space, and resolves the entry symbol against the app
+// registry — the simulator's analogue of jumping to e_entry. Prototype 3's
+// "file-less exec" reads the same format from a blob bundled with the kernel
+// image instead of from the filesystem (§4.3).
+#ifndef VOS_SRC_KERNEL_VELF_H_
+#define VOS_SRC_KERNEL_VELF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace vos {
+
+constexpr std::uint32_t kVelfMagic = 0x464c4556;  // "VELF"
+constexpr std::uint32_t kVelfVersion = 1;
+
+enum VelfSegType : std::uint32_t {
+  kVelfSegCode = 1,
+  kVelfSegData = 2,
+};
+
+#pragma pack(push, 1)
+struct VelfHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  char entry[32];                  // app-registry symbol
+  std::uint32_t nsegs;
+  std::uint32_t flags;
+  std::uint64_t heap_reserve;      // bytes of heap arena the app wants
+};
+
+struct VelfSegHeader {
+  std::uint32_t type;
+  std::uint32_t flags;      // 1 = writable
+  std::uint64_t vaddr;
+  std::uint32_t filesz;     // payload bytes following the headers
+  std::uint32_t memsz;      // >= filesz; the rest is zero-filled
+};
+#pragma pack(pop)
+
+struct VelfSegment {
+  std::uint32_t type;
+  std::uint32_t flags;
+  std::uint64_t vaddr;
+  std::uint32_t memsz;
+  std::vector<std::uint8_t> payload;
+};
+
+struct VelfImage {
+  std::string entry;
+  std::uint64_t heap_reserve = 0;
+  std::vector<VelfSegment> segments;
+};
+
+// Builds a VELF image: a deterministic pseudo-code segment of `code_size`
+// bytes (derived from the entry name, standing in for compiled text) plus an
+// optional data segment.
+std::vector<std::uint8_t> BuildVelf(const std::string& entry, std::uint32_t code_size,
+                                    const std::vector<std::uint8_t>& data,
+                                    std::uint64_t heap_reserve);
+
+// Parses an image; nullopt on malformed input.
+std::optional<VelfImage> ParseVelf(const std::uint8_t* bytes, std::size_t len);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_VELF_H_

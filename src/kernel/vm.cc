@@ -1,0 +1,431 @@
+#include "src/kernel/vm.h"
+
+#include <cstring>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+namespace {
+std::uint64_t L1Index(VirtAddr va) { return va >> (kPageShift + 9); }  // 2 MB per L2
+std::uint64_t L2Index(VirtAddr va) { return (va >> kPageShift) & 511; }
+}  // namespace
+
+int FrameRefs::Dec(PhysAddr pa) {
+  auto it = refs_.find(pa);
+  VOS_CHECK_MSG(it != refs_.end() && it->second > 0, "frame refcount underflow");
+  int n = --it->second;
+  if (n == 0) {
+    refs_.erase(it);
+  }
+  return n;
+}
+
+int FrameRefs::Count(PhysAddr pa) const {
+  auto it = refs_.find(pa);
+  return it == refs_.end() ? 0 : it->second;
+}
+
+AddressSpace::AddressSpace(Pmm& pmm, FrameRefs& refs, const KernelConfig& cfg)
+    : pmm_(pmm), refs_(refs), cfg_(cfg) {}
+
+AddressSpace::~AddressSpace() {
+  for (auto& [idx, l2] : l1_) {
+    for (Pte& p : l2->pte) {
+      if (p.valid() && !(p.flags & kPteDevice)) {
+        FreeFrame(p.pa);
+      }
+    }
+    if (l2->table_frame != 0) {
+      pmm_.FreePage(l2->table_frame);
+    }
+  }
+  if (arena_pa_ != 0) {
+    pmm_.FreeRange(arena_pa_, arena_pages_);
+  }
+}
+
+void AddressSpace::FreeFrame(PhysAddr pa) {
+  // Arena-backed heap pages are freed with the arena, not individually.
+  if (arena_pa_ != 0 && pa >= arena_pa_ && pa < arena_pa_ + arena_pages_ * kPageSize) {
+    return;
+  }
+  if (refs_.Count(pa) > 0) {
+    if (refs_.Dec(pa) > 0) {
+      return;  // still shared
+    }
+  }
+  pmm_.FreePage(pa);
+}
+
+AddressSpace::L2Table* AddressSpace::FindL2(VirtAddr va) const {
+  auto it = l1_.find(L1Index(va));
+  return it == l1_.end() ? nullptr : it->second.get();
+}
+
+AddressSpace::L2Table* AddressSpace::EnsureL2(VirtAddr va) {
+  std::uint64_t idx = L1Index(va);
+  auto it = l1_.find(idx);
+  if (it != l1_.end()) {
+    return it->second.get();
+  }
+  auto l2 = std::make_unique<L2Table>();
+  l2->table_frame = pmm_.AllocPage();  // the table itself consumes a frame
+  if (l2->table_frame == 0) {
+    return nullptr;
+  }
+  ++stats_.table_pages;
+  accrued_ += cfg_.cost.page_alloc;
+  L2Table* out = l2.get();
+  l1_[idx] = std::move(l2);
+  return out;
+}
+
+Pte* AddressSpace::LookupMutable(VirtAddr va) {
+  L2Table* l2 = FindL2(va);
+  if (l2 == nullptr) {
+    return nullptr;
+  }
+  Pte* p = &l2->pte[L2Index(va)];
+  return p->valid() ? p : nullptr;
+}
+
+const Pte* AddressSpace::Lookup(VirtAddr va) const {
+  L2Table* l2 = FindL2(va);
+  if (l2 == nullptr) {
+    return nullptr;
+  }
+  const Pte* p = &l2->pte[L2Index(va)];
+  return p->valid() ? p : nullptr;
+}
+
+bool AddressSpace::MapPage(VirtAddr va, PhysAddr pa, std::uint8_t flags) {
+  VOS_CHECK_MSG(va % kPageSize == 0, "unaligned virtual address");
+  L2Table* l2 = EnsureL2(va);
+  if (l2 == nullptr) {
+    return false;
+  }
+  Pte& p = l2->pte[L2Index(va)];
+  VOS_CHECK_MSG(!p.valid(), "remapping an already-mapped page");
+  p.pa = pa;
+  p.flags = static_cast<std::uint8_t>(flags | kPteValid);
+  if (!(flags & kPteDevice)) {
+    ++stats_.user_pages;
+  }
+  accrued_ += cfg_.cost.pte_install;
+  return true;
+}
+
+bool AddressSpace::MapAnon(VirtAddr va, std::uint64_t npages, bool writable) {
+  std::uint8_t flags = static_cast<std::uint8_t>(kPteUser | (writable ? kPteWrite : 0));
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    PhysAddr pa = pmm_.AllocPage();
+    if (pa == 0 || !MapPage(va + i * kPageSize, pa, flags)) {
+      if (pa != 0) {
+        pmm_.FreePage(pa);
+      }
+      for (std::uint64_t j = 0; j < i; ++j) {
+        UnmapPage(va + j * kPageSize);
+      }
+      return false;
+    }
+    accrued_ += cfg_.cost.page_alloc;
+  }
+  return true;
+}
+
+void AddressSpace::UnmapPage(VirtAddr va) {
+  L2Table* l2 = FindL2(va);
+  VOS_CHECK_MSG(l2 != nullptr, "unmapping page with no table");
+  Pte& p = l2->pte[L2Index(va)];
+  VOS_CHECK_MSG(p.valid(), "unmapping an unmapped page");
+  if (!(p.flags & kPteDevice)) {
+    FreeFrame(p.pa);
+    --stats_.user_pages;
+  }
+  p = Pte{};
+  accrued_ += cfg_.cost.page_free;
+}
+
+std::optional<PhysAddr> AddressSpace::Translate(VirtAddr va) const {
+  const Pte* p = Lookup(va & ~(kPageSize - 1));
+  if (p == nullptr) {
+    return std::nullopt;
+  }
+  return p->pa + (va & (kPageSize - 1));
+}
+
+std::optional<PhysAddr> AddressSpace::TranslateWrite(VirtAddr va) {
+  Pte* p = LookupMutable(va & ~(kPageSize - 1));
+  if (p == nullptr || !(p->flags & kPteWrite) || (p->flags & kPteCow)) {
+    return std::nullopt;
+  }
+  return p->pa + (va & (kPageSize - 1));
+}
+
+bool AddressSpace::InStackRange(VirtAddr va) const {
+  return va >= kUserStackTop - kUserStackMax && va < kUserStackTop;
+}
+
+FaultResult AddressSpace::HandleFault(VirtAddr va, bool write) {
+  ++stats_.faults;
+  VirtAddr page = va & ~(kPageSize - 1);
+
+  // Kill policy: repeated faults at the same address mean the handler isn't
+  // making progress (§4.3).
+  if (page == last_fault_va_) {
+    if (++same_fault_count_ >= 3) {
+      return FaultResult::kKilled;
+    }
+  } else {
+    last_fault_va_ = page;
+    same_fault_count_ = 1;
+  }
+
+  Pte* p = LookupMutable(page);
+  if (p != nullptr && write && (p->flags & kPteCow)) {
+    // Break the COW share: copy the frame, take a private writable mapping.
+    PhysAddr fresh = pmm_.AllocPage();
+    if (fresh == 0) {
+      return FaultResult::kBad;
+    }
+    pmm_.mem().Write(fresh, pmm_.mem().Ptr(p->pa, kPageSize), kPageSize);
+    FreeFrame(p->pa);
+    p->pa = fresh;
+    p->flags = static_cast<std::uint8_t>((p->flags & ~kPteCow) | kPteWrite);
+    ++stats_.cow_breaks;
+    accrued_ += cfg_.cost.page_copy + cfg_.cost.pte_install;
+    last_fault_va_ = ~VirtAddr(0);  // made progress
+    return FaultResult::kCowCopied;
+  }
+
+  if (p == nullptr && InStackRange(page)) {
+    // Demand-page the stack: fresh zeroed frame (stacks must be zeroed even
+    // though raw DRAM is junk).
+    PhysAddr pa = pmm_.AllocPage();
+    if (pa == 0) {
+      return FaultResult::kBad;
+    }
+    pmm_.mem().Fill(pa, 0, kPageSize);
+    if (!MapPage(page, pa, kPteUser | kPteWrite)) {
+      pmm_.FreePage(pa);
+      return FaultResult::kBad;
+    }
+    ++stats_.demand_stack_pages;
+    accrued_ += cfg_.cost.page_alloc + cfg_.cost.pte_install;
+    last_fault_va_ = ~VirtAddr(0);
+    return FaultResult::kMappedStack;
+  }
+
+  return FaultResult::kBad;
+}
+
+void AddressSpace::EnsureArena() {
+  if (arena_pa_ != 0) {
+    return;
+  }
+  arena_pa_ = pmm_.AllocRange(heap_reserve_pages);
+  VOS_CHECK_MSG(arena_pa_ != 0, "out of contiguous memory for heap arena");
+  arena_pages_ = heap_reserve_pages;
+}
+
+std::int64_t AddressSpace::Sbrk(std::int64_t delta) {
+  accrued_ += cfg_.cost.sbrk_base;
+  VirtAddr old = brk_;
+  if (delta == 0) {
+    return static_cast<std::int64_t>(old);
+  }
+  if (delta > 0) {
+    EnsureArena();
+    VirtAddr new_brk = brk_ + static_cast<std::uint64_t>(delta);
+    if (new_brk > kUserHeapBase + arena_pages_ * kPageSize) {
+      return -1;  // beyond the reserve
+    }
+    // Map any newly spanned pages to their arena frames.
+    VirtAddr first = PageRoundUp(brk_);
+    for (VirtAddr va = first; va < new_brk; va += kPageSize) {
+      PhysAddr pa = arena_pa_ + (va - kUserHeapBase);
+      if (!MapPage(va, pa, kPteUser | kPteWrite)) {
+        return -1;
+      }
+    }
+    brk_ = new_brk;
+  } else {
+    std::uint64_t dec = static_cast<std::uint64_t>(-delta);
+    if (brk_ - kUserHeapBase < dec) {
+      return -1;
+    }
+    VirtAddr new_brk = brk_ - dec;
+    for (VirtAddr va = PageRoundUp(new_brk); va < PageRoundUp(brk_); va += kPageSize) {
+      UnmapPage(va);
+    }
+    brk_ = new_brk;
+  }
+  return static_cast<std::int64_t>(old);
+}
+
+bool AddressSpace::InHeap(VirtAddr va, std::uint64_t len) const {
+  return va >= kUserHeapBase && va + len <= brk_ && va + len >= va;
+}
+
+std::uint8_t* AddressSpace::HeapPtr(VirtAddr va, std::uint64_t len) {
+  VOS_CHECK_MSG(InHeap(va, len), "heap access out of [heap_base, brk)");
+  return pmm_.mem().Ptr(arena_pa_ + (va - kUserHeapBase), len);
+}
+
+bool AddressSpace::SetupStack() {
+  PhysAddr pa = pmm_.AllocPage();
+  if (pa == 0) {
+    return false;
+  }
+  pmm_.mem().Fill(pa, 0, kPageSize);
+  return MapPage(kUserStackTop - kPageSize, pa, kPteUser | kPteWrite);
+}
+
+bool AddressSpace::MapFramebuffer(std::uint64_t bytes) {
+  accrued_ += cfg_.cost.mmap_base;
+  std::uint64_t npages = (bytes + kPageSize - 1) / kPageSize;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    VirtAddr va = kUserFbBase + i * kPageSize;
+    if (Lookup(va) != nullptr) {
+      continue;  // idempotent re-map
+    }
+    if (!MapPage(va, va /* identity */, kPteUser | kPteWrite | kPteDevice)) {
+      return false;
+    }
+  }
+  fb_mapped_ = true;
+  return true;
+}
+
+bool AddressSpace::CopyIn(void* dst, VirtAddr src, std::uint64_t len) const {
+  auto* out = static_cast<std::uint8_t*>(dst);
+  while (len > 0) {
+    auto pa = Translate(src);
+    if (!pa) {
+      return false;
+    }
+    std::uint64_t in_page = kPageSize - (src & (kPageSize - 1));
+    std::uint64_t take = std::min(len, in_page);
+    pmm_.mem().Read(*pa, out, take);
+    out += take;
+    src += take;
+    len -= take;
+  }
+  return true;
+}
+
+bool AddressSpace::CopyOut(VirtAddr dst, const void* src, std::uint64_t len) {
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  while (len > 0) {
+    auto pa = TranslateWrite(dst);
+    if (!pa) {
+      // Try the fault path (COW break / demand stack), then retry once.
+      FaultResult r = HandleFault(dst, true);
+      if (r == FaultResult::kKilled || r == FaultResult::kBad) {
+        return false;
+      }
+      pa = TranslateWrite(dst);
+      if (!pa) {
+        return false;
+      }
+    }
+    std::uint64_t in_page = kPageSize - (dst & (kPageSize - 1));
+    std::uint64_t take = std::min(len, in_page);
+    pmm_.mem().Write(*pa, in, take);
+    in += take;
+    dst += take;
+    len -= take;
+  }
+  return true;
+}
+
+bool AddressSpace::CopyInStr(std::string& out, VirtAddr src, std::uint64_t max) const {
+  out.clear();
+  for (std::uint64_t i = 0; i < max; ++i) {
+    char c;
+    if (!CopyIn(&c, src + i, 1)) {
+      return false;
+    }
+    if (c == '\0') {
+      return true;
+    }
+    out.push_back(c);
+  }
+  return false;  // unterminated
+}
+
+std::unique_ptr<AddressSpace> AddressSpace::Clone(bool cow) {
+  auto child = std::make_unique<AddressSpace>(pmm_, refs_, cfg_);
+  child->heap_reserve_pages = heap_reserve_pages;
+  accrued_ += cfg_.cost.fork_base;
+
+  // Heap arena: always a private copy (host pointers into a COW-shared arena
+  // cannot fault; see DESIGN.md). The *page-table* pages still COW-share or
+  // copy below, which carries the cost difference fork benchmarks see.
+  if (arena_pa_ != 0) {
+    child->EnsureArena();
+    std::uint64_t used = PageRoundUp(brk_) - kUserHeapBase;
+    if (used > 0 && !cow) {
+      pmm_.mem().Write(child->arena_pa_, pmm_.mem().Ptr(arena_pa_, used), used);
+    }
+  }
+  child->brk_ = brk_;
+
+  for (auto& [idx, l2] : l1_) {
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      Pte& p = l2->pte[i];
+      if (!p.valid()) {
+        continue;
+      }
+      VirtAddr va = (idx << (kPageShift + 9)) | (i << kPageShift);
+      if (p.flags & kPteDevice) {
+        child->MapPage(va, p.pa, p.flags & ~kPteValid);
+        continue;
+      }
+      bool heap_page = arena_pa_ != 0 && p.pa >= arena_pa_ &&
+                       p.pa < arena_pa_ + arena_pages_ * kPageSize;
+      if (heap_page) {
+        // Point at the child's own arena at the same offset.
+        PhysAddr cpa = child->arena_pa_ + (p.pa - arena_pa_);
+        child->MapPage(va, cpa, p.flags & ~kPteValid);
+        if (cow) {
+          accrued_ += cfg_.cost.cow_mark_per_page;
+        } else {
+          accrued_ += cfg_.cost.page_copy;
+        }
+        continue;
+      }
+      if (cow) {
+        // Share the frame read-only in both spaces; the first write in either
+        // breaks the share in HandleFault.
+        if (refs_.Count(p.pa) == 0) {
+          refs_.Inc(p.pa);  // our pre-existing reference
+        }
+        refs_.Inc(p.pa);  // child's reference
+        std::uint8_t shared =
+            static_cast<std::uint8_t>((p.flags | kPteCow) & ~(kPteWrite | kPteValid));
+        p.flags = static_cast<std::uint8_t>(shared | kPteValid);
+        child->MapPage(va, p.pa, shared);
+        accrued_ += cfg_.cost.cow_mark_per_page;
+      } else {
+        PhysAddr fresh = pmm_.AllocPage();
+        VOS_CHECK_MSG(fresh != 0, "out of memory during fork copy");
+        pmm_.mem().Write(fresh, pmm_.mem().Ptr(p.pa, kPageSize), kPageSize);
+        child->MapPage(va, fresh, p.flags & ~kPteValid);
+        accrued_ += cfg_.cost.page_copy + cfg_.cost.page_alloc;
+      }
+    }
+  }
+  child->fb_mapped_ = fb_mapped_;
+  accrued_ += child->TakeCost();  // child's install costs charge the forker
+  return child;
+}
+
+Cycles AddressSpace::TakeCost() {
+  Cycles c = accrued_;
+  accrued_ = 0;
+  return c;
+}
+
+}  // namespace vos

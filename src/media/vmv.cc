@@ -1,0 +1,663 @@
+#include "src/media/vmv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+namespace {
+
+constexpr std::uint32_t kVmvMagic = 0x31564d56;  // "VMV1"
+
+// --- bit I/O (MSB-first) ---
+
+class BitWriter {
+ public:
+  void Bit(int b) {
+    cur_ = static_cast<std::uint8_t>((cur_ << 1) | (b & 1));
+    if (++nbits_ == 8) {
+      out_.push_back(cur_);
+      cur_ = 0;
+      nbits_ = 0;
+    }
+  }
+  void Bits(std::uint32_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) {
+      Bit(static_cast<int>((v >> i) & 1));
+    }
+  }
+  // Unsigned Exp-Golomb.
+  void Ueg(std::uint32_t v) {
+    std::uint32_t vp = v + 1;
+    int bits = 0;
+    for (std::uint32_t t = vp; t > 1; t >>= 1) {
+      ++bits;
+    }
+    for (int i = 0; i < bits; ++i) {
+      Bit(0);
+    }
+    Bits(vp, bits + 1);
+  }
+  // Signed Exp-Golomb (0, 1, -1, 2, -2, ...).
+  void Seg(std::int32_t v) {
+    std::uint32_t m = v > 0 ? std::uint32_t(2 * v - 1) : std::uint32_t(-2 * v);
+    Ueg(m);
+  }
+  std::vector<std::uint8_t> Finish() {
+    while (nbits_ != 0) {
+      Bit(0);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint8_t cur_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* d, std::size_t n) : d_(d), n_(n) {}
+  int Bit() {
+    if (pos_ >= n_) {
+      ok_ = false;
+      return 0;
+    }
+    int b = (d_[pos_] >> (7 - nbits_)) & 1;
+    if (++nbits_ == 8) {
+      nbits_ = 0;
+      ++pos_;
+    }
+    return b;
+  }
+  std::uint32_t Bits(int n) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v = (v << 1) | static_cast<std::uint32_t>(Bit());
+    }
+    return v;
+  }
+  std::uint32_t Ueg() {
+    int zeros = 0;
+    while (ok_ && Bit() == 0) {
+      if (++zeros > 31) {
+        ok_ = false;
+        return 0;
+      }
+    }
+    std::uint32_t v = 1;
+    for (int i = 0; i < zeros; ++i) {
+      v = (v << 1) | static_cast<std::uint32_t>(Bit());
+    }
+    return v - 1;
+  }
+  std::int32_t Seg() {
+    std::uint32_t m = Ueg();
+    return (m & 1) ? static_cast<std::int32_t>((m + 1) / 2)
+                   : -static_cast<std::int32_t>(m / 2);
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  const std::uint8_t* d_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  int nbits_ = 0;
+  bool ok_ = true;
+};
+
+// --- DCT ---
+
+struct DctBasis {
+  double c[8][8];
+  DctBasis() {
+    for (int u = 0; u < 8; ++u) {
+      double cu = u == 0 ? std::sqrt(0.125) : 0.5;
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = cu * std::cos((2 * x + 1) * u * 3.14159265358979323846 / 16.0);
+      }
+    }
+  }
+};
+const DctBasis g_basis;
+
+constexpr int kZigzag[64] = {0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+                             12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+                             35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+                             58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+int QuantOf(int coef, int q) {
+  return coef >= 0 ? (coef + q / 2) / q : -((-coef + q / 2) / q);
+}
+
+std::uint8_t Clamp255(int v) { return static_cast<std::uint8_t>(v < 0 ? 0 : v > 255 ? 255 : v); }
+
+// Extracts/stores 8x8 blocks from a plane with edge clamping.
+void GetBlock(const std::uint8_t* plane, std::uint32_t w, std::uint32_t h, std::uint32_t bx,
+              std::uint32_t by, std::int16_t out[64]) {
+  for (int y = 0; y < 8; ++y) {
+    std::uint32_t sy = std::min<std::uint32_t>(by + std::uint32_t(y), h - 1);
+    for (int x = 0; x < 8; ++x) {
+      std::uint32_t sx = std::min<std::uint32_t>(bx + std::uint32_t(x), w - 1);
+      out[y * 8 + x] = plane[sy * w + sx];
+    }
+  }
+}
+
+void PutBlock(std::uint8_t* plane, std::uint32_t w, std::uint32_t h, std::uint32_t bx,
+              std::uint32_t by, const std::int16_t in[64]) {
+  for (int y = 0; y < 8 && by + std::uint32_t(y) < h; ++y) {
+    for (int x = 0; x < 8 && bx + std::uint32_t(x) < w; ++x) {
+      plane[(by + std::uint32_t(y)) * w + bx + std::uint32_t(x)] = Clamp255(in[y * 8 + x]);
+    }
+  }
+}
+
+// Codes one 8x8 block of samples (or residuals) into the stream, returning
+// the reconstruction the decoder will compute (for the encoder's reference).
+void EncodeBlock(BitWriter& bw, const std::int16_t samples[64], int q,
+                 std::int16_t recon[64]) {
+  std::int32_t coef[64];
+  Dct8x8(samples, coef);
+  std::int32_t quant[64];
+  for (int i = 0; i < 64; ++i) {
+    quant[i] = QuantOf(coef[i], q);
+  }
+  // (run, level) over the zig-zag order; EOB = run 63.
+  int pos = 0;
+  while (pos < 64) {
+    int run = 0;
+    while (pos + run < 64 && quant[kZigzag[pos + run]] == 0) {
+      ++run;
+    }
+    if (pos + run >= 64) {
+      bw.Ueg(63);  // EOB
+      break;
+    }
+    if (run == 63) {
+      // Escape the run==EOB collision (level at the very last position).
+      bw.Ueg(62);
+      bw.Seg(0);
+      pos += 63;
+      continue;
+    }
+    bw.Ueg(static_cast<std::uint32_t>(run));
+    bw.Seg(quant[kZigzag[pos + run]]);
+    pos += run + 1;
+  }
+  // Reconstruct exactly as the decoder will.
+  std::int32_t dequant[64];
+  for (int i = 0; i < 64; ++i) {
+    dequant[i] = quant[i] * q;
+  }
+  Idct8x8(dequant, recon);
+}
+
+bool DecodeBlock(BitReader& br, int q, std::int16_t recon[64]) {
+  std::int32_t quant[64] = {};
+  int pos = 0;
+  while (pos < 64) {
+    std::uint32_t run = br.Ueg();
+    if (!br.ok()) {
+      return false;
+    }
+    if (run == 63) {
+      break;  // EOB
+    }
+    std::int32_t level = br.Seg();
+    pos += static_cast<int>(run);
+    if (pos >= 64) {
+      return false;
+    }
+    quant[kZigzag[pos]] = level;
+    ++pos;
+  }
+  std::int32_t dequant[64];
+  for (int i = 0; i < 64; ++i) {
+    dequant[i] = quant[i] * q;
+  }
+  Idct8x8(dequant, recon);
+  return br.ok();
+}
+
+std::uint32_t Sad16(const std::uint8_t* a, std::uint32_t aw, const std::uint8_t* b,
+                    std::uint32_t bw, std::uint32_t best_so_far) {
+  std::uint32_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      sad += static_cast<std::uint32_t>(
+          std::abs(int(a[y * aw + x]) - int(b[y * bw + x])));
+    }
+    if (sad >= best_so_far) {
+      return sad;  // early exit
+    }
+  }
+  return sad;
+}
+
+}  // namespace
+
+void YuvFrame::Allocate(std::uint32_t w, std::uint32_t h) {
+  width = w;
+  height = h;
+  y.assign(std::size_t(w) * h, 0);
+  u.assign(std::size_t(w / 2) * (h / 2), 128);
+  v.assign(std::size_t(w / 2) * (h / 2), 128);
+}
+
+void Dct8x8(const std::int16_t in[64], std::int32_t out[64]) {
+  double tmp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double s = 0;
+      for (int x = 0; x < 8; ++x) {
+        s += g_basis.c[u][x] * in[y * 8 + x];
+      }
+      tmp[y * 8 + u] = s;
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double s = 0;
+      for (int y = 0; y < 8; ++y) {
+        s += g_basis.c[v][y] * tmp[y * 8 + u];
+      }
+      out[v * 8 + u] = static_cast<std::int32_t>(std::lround(s));
+    }
+  }
+}
+
+void Idct8x8(const std::int32_t in[64], std::int16_t out[64]) {
+  double tmp[64];
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      double s = 0;
+      for (int u = 0; u < 8; ++u) {
+        s += g_basis.c[u][x] * in[v * 8 + u];
+      }
+      tmp[v * 8 + x] = s;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      double s = 0;
+      for (int v = 0; v < 8; ++v) {
+        s += g_basis.c[v][y] * tmp[v * 8 + x];
+      }
+      out[y * 8 + x] = static_cast<std::int16_t>(std::lround(s));
+    }
+  }
+}
+
+VmvEncoder::VmvEncoder(std::uint32_t w, std::uint32_t h, VmvEncodeOptions opt) : opt_(opt) {
+  VOS_CHECK_MSG(w % 16 == 0 && h % 16 == 0, "VMV frames must be multiples of 16");
+  hdr_.width = w;
+  hdr_.height = h;
+  hdr_.fps = opt.fps;
+  ref_.Allocate(w, h);
+}
+
+void VmvEncoder::AddFrame(const YuvFrame& frame) {
+  VOS_CHECK(frame.width == hdr_.width && frame.height == hdr_.height);
+  bool intra = frame_index_ % opt_.gop == 0;
+  BitWriter bw;
+  YuvFrame recon;
+  recon.Allocate(hdr_.width, hdr_.height);
+
+  std::uint32_t w = hdr_.width, h = hdr_.height;
+  std::uint32_t cw = w / 2, ch = h / 2;
+  int q = opt_.quant;
+
+  if (intra) {
+    auto encode_plane = [&](const std::uint8_t* src, std::uint8_t* dst, std::uint32_t pw,
+                            std::uint32_t ph) {
+      std::int16_t block[64], rec[64];
+      for (std::uint32_t by = 0; by < ph; by += 8) {
+        for (std::uint32_t bx = 0; bx < pw; bx += 8) {
+          GetBlock(src, pw, ph, bx, by, block);
+          for (int i = 0; i < 64; ++i) {
+            block[i] = static_cast<std::int16_t>(block[i] - 128);
+          }
+          EncodeBlock(bw, block, q, rec);
+          for (int i = 0; i < 64; ++i) {
+            rec[i] = static_cast<std::int16_t>(rec[i] + 128);
+          }
+          PutBlock(dst, pw, ph, bx, by, rec);
+        }
+      }
+    };
+    encode_plane(frame.y.data(), recon.y.data(), w, h);
+    encode_plane(frame.u.data(), recon.u.data(), cw, ch);
+    encode_plane(frame.v.data(), recon.v.data(), cw, ch);
+  } else {
+    // P-frame: per-macroblock motion compensation with three-step search.
+    std::int16_t block[64], rec[64];
+    for (std::uint32_t my = 0; my < h; my += 16) {
+      for (std::uint32_t mx = 0; mx < w; mx += 16) {
+        const std::uint8_t* cur = frame.y.data() + my * w + mx;
+        // Three-step search around (0,0), clamped to the frame.
+        int best_dx = 0, best_dy = 0;
+        std::uint32_t best = ~0u;
+        for (int step = 4; step >= 1; step /= 2) {
+          int base_dx = best_dx, base_dy = best_dy;
+          for (int dy = -step; dy <= step; dy += step) {
+            for (int dx = -step; dx <= step; dx += step) {
+              int cand_dx = base_dx + dx, cand_dy = base_dy + dy;
+              if (cand_dx < -opt_.search_range || cand_dx > opt_.search_range ||
+                  cand_dy < -opt_.search_range || cand_dy > opt_.search_range) {
+                continue;
+              }
+              std::int64_t rx = std::int64_t(mx) + cand_dx;
+              std::int64_t ry = std::int64_t(my) + cand_dy;
+              if (rx < 0 || ry < 0 || rx + 16 > w || ry + 16 > h) {
+                continue;
+              }
+              std::uint32_t sad = Sad16(cur, w, ref_.y.data() + ry * w + rx, w, best);
+              if (sad < best) {
+                best = sad;
+                best_dx = cand_dx;
+                best_dy = cand_dy;
+              }
+            }
+          }
+        }
+        // Skip decision: near-zero motion-compensated difference.
+        bool skip = best < 16 * 16 * 2 && best_dx == 0 && best_dy == 0;
+        if (skip) {
+          bw.Bit(1);
+          // Copy reference into reconstruction.
+          for (int yy = 0; yy < 16; ++yy) {
+            std::memcpy(recon.y.data() + (my + std::uint32_t(yy)) * w + mx,
+                        ref_.y.data() + (my + std::uint32_t(yy)) * w + mx, 16);
+          }
+          for (int yy = 0; yy < 8; ++yy) {
+            std::memcpy(recon.u.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2,
+                        ref_.u.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2, 8);
+            std::memcpy(recon.v.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2,
+                        ref_.v.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2, 8);
+          }
+          continue;
+        }
+        bw.Bit(0);
+        bw.Seg(best_dx);
+        bw.Seg(best_dy);
+        // Four luma residual blocks.
+        for (int sub = 0; sub < 4; ++sub) {
+          std::uint32_t bx = mx + std::uint32_t(sub % 2) * 8;
+          std::uint32_t by = my + std::uint32_t(sub / 2) * 8;
+          for (int yy = 0; yy < 8; ++yy) {
+            for (int xx = 0; xx < 8; ++xx) {
+              std::int64_t ry = std::int64_t(by) + yy + best_dy;
+              std::int64_t rx = std::int64_t(bx) + xx + best_dx;
+              block[yy * 8 + xx] = static_cast<std::int16_t>(
+                  frame.y[(by + std::uint32_t(yy)) * w + bx + std::uint32_t(xx)] -
+                  ref_.y[std::size_t(ry) * w + std::size_t(rx)]);
+            }
+          }
+          EncodeBlock(bw, block, q, rec);
+          for (int yy = 0; yy < 8; ++yy) {
+            for (int xx = 0; xx < 8; ++xx) {
+              std::int64_t ry = std::int64_t(by) + yy + best_dy;
+              std::int64_t rx = std::int64_t(bx) + xx + best_dx;
+              recon.y[(by + std::uint32_t(yy)) * w + bx + std::uint32_t(xx)] = Clamp255(
+                  rec[yy * 8 + xx] + ref_.y[std::size_t(ry) * w + std::size_t(rx)]);
+            }
+          }
+        }
+        // Chroma residuals with halved motion.
+        int cdx = best_dx / 2, cdy = best_dy / 2;
+        auto chroma = [&](const std::vector<std::uint8_t>& src,
+                          const std::vector<std::uint8_t>& refp,
+                          std::vector<std::uint8_t>& out_plane) {
+          std::uint32_t bx = mx / 2, by = my / 2;
+          for (int yy = 0; yy < 8; ++yy) {
+            for (int xx = 0; xx < 8; ++xx) {
+              std::int64_t ry = std::int64_t(by) + yy + cdy;
+              std::int64_t rx = std::int64_t(bx) + xx + cdx;
+              ry = std::clamp<std::int64_t>(ry, 0, ch - 1);
+              rx = std::clamp<std::int64_t>(rx, 0, cw - 1);
+              block[yy * 8 + xx] = static_cast<std::int16_t>(
+                  src[(by + std::uint32_t(yy)) * cw + bx + std::uint32_t(xx)] -
+                  refp[std::size_t(ry) * cw + std::size_t(rx)]);
+            }
+          }
+          EncodeBlock(bw, block, q, rec);
+          for (int yy = 0; yy < 8; ++yy) {
+            for (int xx = 0; xx < 8; ++xx) {
+              std::int64_t ry = std::int64_t(by) + yy + cdy;
+              std::int64_t rx = std::int64_t(bx) + xx + cdx;
+              ry = std::clamp<std::int64_t>(ry, 0, ch - 1);
+              rx = std::clamp<std::int64_t>(rx, 0, cw - 1);
+              out_plane[(by + std::uint32_t(yy)) * cw + bx + std::uint32_t(xx)] = Clamp255(
+                  rec[yy * 8 + xx] + refp[std::size_t(ry) * cw + std::size_t(rx)]);
+            }
+          }
+        };
+        chroma(frame.u, ref_.u, recon.u);
+        chroma(frame.v, ref_.v, recon.v);
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> bits = bw.Finish();
+  // Frame header: type, quant, byte length.
+  payload_.push_back(intra ? 'I' : 'P');
+  payload_.push_back(static_cast<std::uint8_t>(q));
+  for (int i = 0; i < 4; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(bits.size() >> (8 * i)));
+  }
+  payload_.insert(payload_.end(), bits.begin(), bits.end());
+  ref_ = std::move(recon);
+  ++hdr_.frame_count;
+  ++frame_index_;
+}
+
+std::vector<std::uint8_t> VmvEncoder::Finish() {
+  std::vector<std::uint8_t> out;
+  auto w32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  w32(kVmvMagic);
+  w32(hdr_.width);
+  w32(hdr_.height);
+  w32(hdr_.fps);
+  w32(hdr_.frame_count);
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+bool VmvDecoder::Open(const std::uint8_t* data, std::size_t len) {
+  auto r32 = [data](std::size_t off) {
+    return std::uint32_t(data[off]) | (std::uint32_t(data[off + 1]) << 8) |
+           (std::uint32_t(data[off + 2]) << 16) | (std::uint32_t(data[off + 3]) << 24);
+  };
+  if (len < 20 || r32(0) != kVmvMagic) {
+    return false;
+  }
+  hdr_.width = r32(4);
+  hdr_.height = r32(8);
+  hdr_.fps = r32(12);
+  hdr_.frame_count = r32(16);
+  if (hdr_.width == 0 || hdr_.height == 0 || hdr_.width % 16 || hdr_.height % 16 ||
+      hdr_.width > 4096 || hdr_.height > 4096) {
+    return false;
+  }
+  data_ = data;
+  len_ = len;
+  pos_ = 20;
+  frames_done_ = 0;
+  ref_.Allocate(hdr_.width, hdr_.height);
+  return true;
+}
+
+bool VmvDecoder::DecodeFrame(YuvFrame* out) {
+  if (frames_done_ >= hdr_.frame_count || pos_ + 6 > len_) {
+    return false;
+  }
+  last_frame_blocks_ = 0;
+  char type = static_cast<char>(data_[pos_]);
+  int q = data_[pos_ + 1];
+  std::uint32_t nbytes = std::uint32_t(data_[pos_ + 2]) | (std::uint32_t(data_[pos_ + 3]) << 8) |
+                         (std::uint32_t(data_[pos_ + 4]) << 16) |
+                         (std::uint32_t(data_[pos_ + 5]) << 24);
+  pos_ += 6;
+  if (pos_ + nbytes > len_ || q <= 0) {
+    return false;
+  }
+  BitReader br(data_ + pos_, nbytes);
+  pos_ += nbytes;
+
+  std::uint32_t w = hdr_.width, h = hdr_.height;
+  std::uint32_t cw = w / 2, ch = h / 2;
+  out->Allocate(w, h);
+
+  if (type == 'I') {
+    auto decode_plane = [&](std::uint8_t* dst, std::uint32_t pw, std::uint32_t ph) {
+      std::int16_t rec[64];
+      for (std::uint32_t by = 0; by < ph; by += 8) {
+        for (std::uint32_t bx = 0; bx < pw; bx += 8) {
+          if (!DecodeBlock(br, q, rec)) {
+            return false;
+          }
+          ++last_frame_blocks_;
+          for (int i = 0; i < 64; ++i) {
+            rec[i] = static_cast<std::int16_t>(rec[i] + 128);
+          }
+          PutBlock(dst, pw, ph, bx, by, rec);
+        }
+      }
+      return true;
+    };
+    if (!decode_plane(out->y.data(), w, h) || !decode_plane(out->u.data(), cw, ch) ||
+        !decode_plane(out->v.data(), cw, ch)) {
+      return false;
+    }
+    stats_.mbs_intra += (w / 16) * (h / 16);
+  } else if (type == 'P') {
+    std::int16_t rec[64];
+    for (std::uint32_t my = 0; my < h; my += 16) {
+      for (std::uint32_t mx = 0; mx < w; mx += 16) {
+        int skip = br.Bit();
+        if (!br.ok()) {
+          return false;
+        }
+        if (skip) {
+          ++stats_.mbs_skipped;
+          for (int yy = 0; yy < 16; ++yy) {
+            std::memcpy(out->y.data() + (my + std::uint32_t(yy)) * w + mx,
+                        ref_.y.data() + (my + std::uint32_t(yy)) * w + mx, 16);
+          }
+          for (int yy = 0; yy < 8; ++yy) {
+            std::memcpy(out->u.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2,
+                        ref_.u.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2, 8);
+            std::memcpy(out->v.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2,
+                        ref_.v.data() + (my / 2 + std::uint32_t(yy)) * cw + mx / 2, 8);
+          }
+          continue;
+        }
+        ++stats_.mbs_inter;
+        int dx = br.Seg();
+        int dy = br.Seg();
+        for (int sub = 0; sub < 4; ++sub) {
+          std::uint32_t bx = mx + std::uint32_t(sub % 2) * 8;
+          std::uint32_t by = my + std::uint32_t(sub / 2) * 8;
+          if (!DecodeBlock(br, q, rec)) {
+            return false;
+          }
+          ++last_frame_blocks_;
+          for (int yy = 0; yy < 8; ++yy) {
+            for (int xx = 0; xx < 8; ++xx) {
+              std::int64_t ry = std::clamp<std::int64_t>(std::int64_t(by) + yy + dy, 0, h - 1);
+              std::int64_t rx = std::clamp<std::int64_t>(std::int64_t(bx) + xx + dx, 0, w - 1);
+              out->y[(by + std::uint32_t(yy)) * w + bx + std::uint32_t(xx)] = Clamp255(
+                  rec[yy * 8 + xx] + ref_.y[std::size_t(ry) * w + std::size_t(rx)]);
+            }
+          }
+        }
+        int cdx = dx / 2, cdy = dy / 2;
+        auto chroma = [&](const std::vector<std::uint8_t>& refp,
+                          std::vector<std::uint8_t>& dst) {
+          if (!DecodeBlock(br, q, rec)) {
+            return false;
+          }
+          ++last_frame_blocks_;
+          std::uint32_t bx = mx / 2, by = my / 2;
+          for (int yy = 0; yy < 8; ++yy) {
+            for (int xx = 0; xx < 8; ++xx) {
+              std::int64_t ry = std::clamp<std::int64_t>(std::int64_t(by) + yy + cdy, 0, ch - 1);
+              std::int64_t rx = std::clamp<std::int64_t>(std::int64_t(bx) + xx + cdx, 0, cw - 1);
+              dst[(by + std::uint32_t(yy)) * cw + bx + std::uint32_t(xx)] = Clamp255(
+                  rec[yy * 8 + xx] + refp[std::size_t(ry) * cw + std::size_t(rx)]);
+            }
+          }
+          return true;
+        };
+        if (!chroma(ref_.u, out->u) || !chroma(ref_.v, out->v)) {
+          return false;
+        }
+      }
+    }
+  } else {
+    return false;
+  }
+  stats_.blocks_decoded += last_frame_blocks_;
+  ref_ = *out;
+  ++frames_done_;
+  return true;
+}
+
+std::vector<YuvFrame> SynthesizeScene(std::uint32_t w, std::uint32_t h, int n) {
+  std::vector<YuvFrame> frames;
+  for (int f = 0; f < n; ++f) {
+    YuvFrame fr;
+    fr.Allocate(w, h);
+    // Slowly drifting gradient background.
+    for (std::uint32_t y = 0; y < h; ++y) {
+      for (std::uint32_t x = 0; x < w; ++x) {
+        fr.y[y * w + x] = static_cast<std::uint8_t>((x + y + std::uint32_t(f) * 2) & 0xff);
+      }
+    }
+    for (std::uint32_t y = 0; y < h / 2; ++y) {
+      for (std::uint32_t x = 0; x < w / 2; ++x) {
+        fr.u[y * (w / 2) + x] = static_cast<std::uint8_t>(96 + ((x + std::uint32_t(f)) & 63));
+        fr.v[y * (w / 2) + x] = static_cast<std::uint8_t>(96 + ((y + std::uint32_t(f)) & 63));
+      }
+    }
+    // Bouncing bright box (moving content for P-frames to chase).
+    std::uint32_t bw2 = w / 8, bh2 = h / 8;
+    std::uint32_t bx = (std::uint32_t(f) * 7) % (w - bw2);
+    std::uint32_t by = (std::uint32_t(f) * 5) % (h - bh2);
+    for (std::uint32_t y = by; y < by + bh2; ++y) {
+      for (std::uint32_t x = bx; x < bx + bw2; ++x) {
+        fr.y[y * w + x] = 235;
+      }
+    }
+    frames.push_back(std::move(fr));
+  }
+  return frames;
+}
+
+double PsnrLuma(const YuvFrame& a, const YuvFrame& b) {
+  VOS_CHECK(a.y.size() == b.y.size() && !a.y.empty());
+  double mse = 0;
+  for (std::size_t i = 0; i < a.y.size(); ++i) {
+    double d = double(a.y[i]) - double(b.y[i]);
+    mse += d * d;
+  }
+  mse /= double(a.y.size());
+  if (mse <= 1e-12) {
+    return 99.0;
+  }
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace vos

@@ -1,0 +1,218 @@
+#include "src/media/vog.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+const int kImaIndexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+const int kImaStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,    21,    23,
+    25,    28,    31,    34,    37,    41,    45,    50,    55,    60,    66,    73,    80,
+    88,    97,    107,   118,   130,   143,   157,   173,   190,   209,   230,   253,   279,
+    307,   337,   371,   408,   449,   494,   544,   598,   658,   724,   796,   876,   963,
+    1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,  3024,  3327,
+    3660,  4026,  4428,  4871,  5358,  5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+namespace {
+
+constexpr std::uint32_t kVogMagic = 0x31474f56;  // "VOG1"
+constexpr std::uint32_t kPageDataBytes = 2048;   // nibble payload per page
+
+struct EncState {
+  int predictor = 0;
+  int step_index = 0;
+};
+
+std::uint8_t EncodeSample(EncState& st, int sample) {
+  int step = kImaStepTable[st.step_index];
+  int diff = sample - st.predictor;
+  std::uint8_t nibble = 0;
+  if (diff < 0) {
+    nibble = 8;
+    diff = -diff;
+  }
+  int delta = step >> 3;
+  if (diff >= step) {
+    nibble |= 4;
+    diff -= step;
+    delta += step;
+  }
+  if (diff >= step / 2) {
+    nibble |= 2;
+    diff -= step / 2;
+    delta += step / 2;
+  }
+  if (diff >= step / 4) {
+    nibble |= 1;
+    delta += step / 4;
+  }
+  st.predictor += (nibble & 8) ? -delta : delta;
+  st.predictor = std::clamp(st.predictor, -32768, 32767);
+  st.step_index = std::clamp(st.step_index + kImaIndexTable[nibble & 7], 0, 88);
+  return nibble;
+}
+
+void W16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+void W32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  W16(v, static_cast<std::uint16_t>(x));
+  W16(v, static_cast<std::uint16_t>(x >> 16));
+}
+std::uint16_t R16(const std::uint8_t* p) { return std::uint16_t(p[0] | (p[1] << 8)); }
+std::uint32_t R32(const std::uint8_t* p) {
+  return std::uint32_t(R16(p)) | (std::uint32_t(R16(p + 2)) << 16);
+}
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 2 + 2 + 4 + 4 + 4;
+
+}  // namespace
+
+std::vector<std::uint8_t> VogEncode(const std::int16_t* pcm, std::uint32_t frames,
+                                    std::uint16_t channels, std::uint32_t sample_rate,
+                                    const std::vector<std::uint8_t>& art) {
+  VOS_CHECK(channels == 1 || channels == 2);
+  std::vector<std::uint8_t> out;
+  W32(out, kVogMagic);
+  W32(out, sample_rate);
+  W16(out, channels);
+  W16(out, 0);
+  W32(out, frames);
+  std::size_t art_fixup = out.size();
+  W32(out, 0);  // art offset, patched below
+  W32(out, static_cast<std::uint32_t>(art.size()));
+
+  EncState st[2];
+  std::uint32_t nibbles_total = frames * channels;
+  std::uint32_t nibble = 0;
+  while (nibble < nibbles_total) {
+    // Page header: per-channel predictor snapshot.
+    for (int c = 0; c < channels; ++c) {
+      W16(out, static_cast<std::uint16_t>(st[c].predictor));
+      out.push_back(static_cast<std::uint8_t>(st[c].step_index));
+      out.push_back(0);
+    }
+    std::uint32_t page_nibbles =
+        std::min<std::uint32_t>(kPageDataBytes * 2, nibbles_total - nibble);
+    std::uint8_t staged = 0;
+    bool have_low = false;
+    for (std::uint32_t i = 0; i < page_nibbles; ++i, ++nibble) {
+      int ch = static_cast<int>(nibble % channels);
+      std::uint8_t nb = EncodeSample(st[ch], pcm[nibble]);
+      if (!have_low) {
+        staged = nb;
+        have_low = true;
+      } else {
+        out.push_back(static_cast<std::uint8_t>(staged | (nb << 4)));
+        have_low = false;
+      }
+    }
+    if (have_low) {
+      out.push_back(staged);
+    }
+  }
+  if (!art.empty()) {
+    std::uint32_t off = static_cast<std::uint32_t>(out.size());
+    out.insert(out.end(), art.begin(), art.end());
+    out[art_fixup] = static_cast<std::uint8_t>(off);
+    out[art_fixup + 1] = static_cast<std::uint8_t>(off >> 8);
+    out[art_fixup + 2] = static_cast<std::uint8_t>(off >> 16);
+    out[art_fixup + 3] = static_cast<std::uint8_t>(off >> 24);
+  }
+  return out;
+}
+
+bool VogDecoder::Open(const std::uint8_t* data, std::size_t len) {
+  if (len < kHeaderBytes || R32(data) != kVogMagic) {
+    return false;
+  }
+  info_.sample_rate = R32(data + 4);
+  info_.channels = R16(data + 8);
+  info_.total_frames = R32(data + 12);
+  info_.art_offset = R32(data + 16);
+  info_.art_length = R32(data + 20);
+  if (info_.channels < 1 || info_.channels > 2 || info_.sample_rate == 0) {
+    return false;
+  }
+  data_ = data;
+  len_ = len;
+  pos_ = kHeaderBytes;
+  frames_done_ = 0;
+  have_low_ = false;
+  page_nibbles_left_ = 0;
+  return true;
+}
+
+std::vector<std::uint8_t> VogDecoder::Art() const {
+  if (info_.art_offset == 0 || info_.art_offset + info_.art_length > len_) {
+    return {};
+  }
+  return std::vector<std::uint8_t>(data_ + info_.art_offset,
+                                   data_ + info_.art_offset + info_.art_length);
+}
+
+std::int16_t VogDecoder::DecodeNibble(ChannelState& st, std::uint8_t nibble) {
+  int step = kImaStepTable[st.step_index];
+  int delta = step >> 3;
+  if (nibble & 4) {
+    delta += step;
+  }
+  if (nibble & 2) {
+    delta += step / 2;
+  }
+  if (nibble & 1) {
+    delta += step / 4;
+  }
+  st.predictor += (nibble & 8) ? -delta : delta;
+  st.predictor = std::clamp(st.predictor, -32768, 32767);
+  st.step_index = std::clamp(st.step_index + kImaIndexTable[nibble & 7], 0, 88);
+  return static_cast<std::int16_t>(st.predictor);
+}
+
+std::uint32_t VogDecoder::Decode(std::int16_t* out, std::uint32_t max_frames) {
+  std::uint32_t channels = info_.channels;
+  std::uint32_t produced = 0;
+  while (produced < max_frames && frames_done_ < info_.total_frames) {
+    if (page_nibbles_left_ == 0) {
+      // Enter the next page: read the predictor snapshots.
+      if (pos_ + channels * 4 > len_) {
+        break;
+      }
+      for (std::uint32_t c = 0; c < channels; ++c) {
+        ch_[c].predictor = static_cast<std::int16_t>(R16(data_ + pos_));
+        ch_[c].step_index = std::clamp<int>(data_[pos_ + 2], 0, 88);
+        pos_ += 4;
+      }
+      std::uint32_t remaining = (info_.total_frames - frames_done_) * channels;
+      page_nibbles_left_ = std::min<std::uint32_t>(kPageDataBytes * 2, remaining);
+      have_low_ = false;
+    }
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      std::uint8_t nb;
+      if (!have_low_) {
+        if (pos_ >= len_) {
+          return produced;
+        }
+        staged_ = data_[pos_++];
+        nb = staged_ & 0x0f;
+        have_low_ = true;
+      } else {
+        nb = (staged_ >> 4) & 0x0f;
+        have_low_ = false;
+      }
+      out[produced * channels + c] = DecodeNibble(ch_[c], nb);
+      --page_nibbles_left_;
+    }
+    ++produced;
+    ++frames_done_;
+  }
+  return produced;
+}
+
+}  // namespace vos

@@ -1,0 +1,64 @@
+// VOG: the music player's compressed audio format (the paper's OGG/libvorbis
+// substitute; see DESIGN.md §2). IMA ADPCM at 4 bits/sample in an Ogg-like
+// container: a header page (rate/channels/length + optional embedded album
+// art), then fixed-size pages each carrying predictor state so playback can
+// seek page-aligned. Encoder and decoder both live here.
+#ifndef VOS_SRC_MEDIA_VOG_H_
+#define VOS_SRC_MEDIA_VOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vos {
+
+struct VogInfo {
+  std::uint32_t sample_rate = 44100;
+  std::uint16_t channels = 2;
+  std::uint32_t total_frames = 0;       // samples per channel
+  std::uint32_t art_offset = 0;         // byte offset of embedded cover art (0 = none)
+  std::uint32_t art_length = 0;
+};
+
+// Encodes interleaved S16 PCM; optionally embeds cover art bytes (a PNG/BMP).
+std::vector<std::uint8_t> VogEncode(const std::int16_t* pcm, std::uint32_t frames,
+                                    std::uint16_t channels, std::uint32_t sample_rate,
+                                    const std::vector<std::uint8_t>& art = {});
+
+class VogDecoder {
+ public:
+  bool Open(const std::uint8_t* data, std::size_t len);
+  const VogInfo& info() const { return info_; }
+  // Album art bytes (empty if none).
+  std::vector<std::uint8_t> Art() const;
+
+  // Decodes up to `max_frames` interleaved frames; returns frames produced
+  // (0 at end of stream).
+  std::uint32_t Decode(std::int16_t* out, std::uint32_t max_frames);
+
+ private:
+  struct ChannelState {
+    int predictor = 0;
+    int step_index = 0;
+  };
+  std::int16_t DecodeNibble(ChannelState& st, std::uint8_t nibble);
+
+  VogInfo info_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+  std::size_t pos_ = 0;
+  std::uint32_t frames_done_ = 0;
+  ChannelState ch_[2];
+  // Nibble staging within the current byte stream.
+  bool have_low_ = false;
+  std::uint8_t staged_ = 0;
+  std::uint32_t page_nibbles_left_ = 0;
+};
+
+// IMA ADPCM step tables (exposed for tests against known vectors).
+extern const int kImaStepTable[89];
+extern const int kImaIndexTable[8];
+
+}  // namespace vos
+
+#endif  // VOS_SRC_MEDIA_VOG_H_

@@ -1,0 +1,101 @@
+#include "src/media/wav.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace vos {
+
+namespace {
+std::uint16_t R16(const std::uint8_t* p) { return std::uint16_t(p[0] | (p[1] << 8)); }
+std::uint32_t R32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) | (std::uint32_t(p[2]) << 16) |
+         (std::uint32_t(p[3]) << 24);
+}
+void W16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+void W32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  W16(v, static_cast<std::uint16_t>(x));
+  W16(v, static_cast<std::uint16_t>(x >> 16));
+}
+}  // namespace
+
+std::optional<WavData> WavDecode(const std::uint8_t* data, std::size_t len) {
+  if (len < 44 || std::memcmp(data, "RIFF", 4) != 0 || std::memcmp(data + 8, "WAVE", 4) != 0) {
+    return std::nullopt;
+  }
+  WavData out;
+  std::size_t pos = 12;
+  bool have_fmt = false;
+  while (pos + 8 <= len) {
+    std::uint32_t chunk_len = R32(data + pos + 4);
+    if (std::memcmp(data + pos, "fmt ", 4) == 0 && chunk_len >= 16) {
+      if (R16(data + pos + 8) != 1 || R16(data + pos + 22) != 16) {
+        return std::nullopt;  // PCM16 only
+      }
+      out.channels = R16(data + pos + 10);
+      out.sample_rate = R32(data + pos + 12);
+      have_fmt = true;
+    } else if (std::memcmp(data + pos, "data", 4) == 0) {
+      if (!have_fmt || pos + 8 + chunk_len > len) {
+        return std::nullopt;
+      }
+      out.samples.resize(chunk_len / 2);
+      std::memcpy(out.samples.data(), data + pos + 8, out.samples.size() * 2);
+      return out;
+    }
+    pos += 8 + chunk_len + (chunk_len & 1);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> WavEncode(const WavData& wav) {
+  std::uint32_t data_bytes = static_cast<std::uint32_t>(wav.samples.size() * 2);
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), {'R', 'I', 'F', 'F'});
+  W32(out, 36 + data_bytes);
+  out.insert(out.end(), {'W', 'A', 'V', 'E', 'f', 'm', 't', ' '});
+  W32(out, 16);
+  W16(out, 1);  // PCM
+  W16(out, wav.channels);
+  W32(out, wav.sample_rate);
+  W32(out, wav.sample_rate * wav.channels * 2);
+  W16(out, static_cast<std::uint16_t>(wav.channels * 2));
+  W16(out, 16);
+  out.insert(out.end(), {'d', 'a', 't', 'a'});
+  W32(out, data_bytes);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(wav.samples.data());
+  out.insert(out.end(), p, p + data_bytes);
+  return out;
+}
+
+WavData SynthesizeMelody(std::uint32_t sample_rate, std::uint32_t frames,
+                         std::uint16_t channels) {
+  WavData wav;
+  wav.sample_rate = sample_rate;
+  wav.channels = channels;
+  wav.samples.resize(std::size_t(frames) * channels);
+  // A little arpeggio: A minor, eighth notes.
+  static const double kNotes[] = {220.0, 261.63, 329.63, 440.0, 329.63, 261.63};
+  std::uint32_t note_len = sample_rate / 4;
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    std::uint32_t note = (i / note_len) % (sizeof(kNotes) / sizeof(kNotes[0]));
+    double t = double(i) / sample_rate;
+    double f = kNotes[note];
+    // Sine lead + triangle bass, gentle envelope per note. (Band-limited
+    // voices: ADPCM tolerates them far better than raw square edges.)
+    double lead = 0.30 * std::sin(2.0 * 3.14159265358979 * t * f);
+    double tri_phase = std::fmod(t * f * 0.5, 1.0);
+    double triangle = (tri_phase < 0.5 ? 4 * tri_phase - 1 : 3 - 4 * tri_phase) * 0.22;
+    double env = 1.0 - double(i % note_len) / note_len * 0.35;
+    double s = (lead + triangle) * env;
+    auto sample = static_cast<std::int16_t>(s * 28000);
+    for (std::uint16_t c = 0; c < channels; ++c) {
+      wav.samples[std::size_t(i) * channels + c] = sample;
+    }
+  }
+  return wav;
+}
+
+}  // namespace vos

@@ -1,0 +1,31 @@
+// Minimal PCM WAV reader/writer (16-bit) — the uncompressed interchange
+// format the tests and asset generators use around the VOG codec.
+#ifndef VOS_SRC_MEDIA_WAV_H_
+#define VOS_SRC_MEDIA_WAV_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vos {
+
+struct WavData {
+  std::uint32_t sample_rate = 44100;
+  std::uint16_t channels = 2;
+  std::vector<std::int16_t> samples;  // interleaved
+
+  std::uint32_t frames() const {
+    return channels == 0 ? 0 : static_cast<std::uint32_t>(samples.size() / channels);
+  }
+};
+
+std::optional<WavData> WavDecode(const std::uint8_t* data, std::size_t len);
+std::vector<std::uint8_t> WavEncode(const WavData& wav);
+
+// Synthesizes a little chiptune-ish melody (square + triangle voices) for
+// music-player assets and audio-pipeline tests.
+WavData SynthesizeMelody(std::uint32_t sample_rate, std::uint32_t frames, std::uint16_t channels);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_MEDIA_WAV_H_

@@ -1,0 +1,102 @@
+#include "src/ulib/bmp.h"
+
+#include <cstring>
+
+namespace vos {
+
+namespace {
+std::uint32_t Rd32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) | (std::uint32_t(p[2]) << 16) |
+         (std::uint32_t(p[3]) << 24);
+}
+std::uint16_t Rd16(const std::uint8_t* p) { return std::uint16_t(p[0] | (p[1] << 8)); }
+void Wr32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+  v.push_back(static_cast<std::uint8_t>(x >> 16));
+  v.push_back(static_cast<std::uint8_t>(x >> 24));
+}
+void Wr16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+}  // namespace
+
+std::optional<Image> BmpDecode(const std::uint8_t* data, std::size_t len) {
+  if (len < 54 || data[0] != 'B' || data[1] != 'M') {
+    return std::nullopt;
+  }
+  std::uint32_t pixel_off = Rd32(data + 10);
+  std::uint32_t hdr_size = Rd32(data + 14);
+  if (hdr_size < 40) {
+    return std::nullopt;
+  }
+  std::int32_t w = static_cast<std::int32_t>(Rd32(data + 18));
+  std::int32_t h = static_cast<std::int32_t>(Rd32(data + 22));
+  std::uint16_t bpp = Rd16(data + 28);
+  std::uint32_t compression = Rd32(data + 30);
+  if (w <= 0 || compression != 0 || (bpp != 24 && bpp != 32)) {
+    return std::nullopt;
+  }
+  bool top_down = h < 0;
+  std::uint32_t height = static_cast<std::uint32_t>(top_down ? -h : h);
+  std::uint32_t width = static_cast<std::uint32_t>(w);
+  std::uint32_t bytes_pp = bpp / 8;
+  std::uint32_t stride = (width * bytes_pp + 3) & ~3u;
+  if (pixel_off + std::uint64_t(stride) * height > len) {
+    return std::nullopt;
+  }
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(std::size_t(width) * height);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    std::uint32_t src_row = top_down ? y : height - 1 - y;
+    const std::uint8_t* row = data + pixel_off + std::size_t(src_row) * stride;
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const std::uint8_t* p = row + x * bytes_pp;
+      img.pixels[std::size_t(y) * width + x] =
+          0xff000000u | (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[1]) << 8) | p[0];
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> BmpEncode(const Image& img) {
+  std::uint32_t stride = (img.width * 3 + 3) & ~3u;
+  std::uint32_t data_size = stride * img.height;
+  std::vector<std::uint8_t> out;
+  out.reserve(54 + data_size);
+  out.push_back('B');
+  out.push_back('M');
+  Wr32(out, 54 + data_size);
+  Wr32(out, 0);
+  Wr32(out, 54);
+  Wr32(out, 40);  // BITMAPINFOHEADER
+  Wr32(out, img.width);
+  Wr32(out, img.height);  // bottom-up
+  Wr16(out, 1);
+  Wr16(out, 24);
+  Wr32(out, 0);  // BI_RGB
+  Wr32(out, data_size);
+  Wr32(out, 2835);
+  Wr32(out, 2835);
+  Wr32(out, 0);
+  Wr32(out, 0);
+  for (std::uint32_t y = 0; y < img.height; ++y) {
+    std::uint32_t src_row = img.height - 1 - y;
+    std::size_t row_start = out.size();
+    for (std::uint32_t x = 0; x < img.width; ++x) {
+      std::uint32_t px = img.At(x, src_row);
+      out.push_back(static_cast<std::uint8_t>(px));
+      out.push_back(static_cast<std::uint8_t>(px >> 8));
+      out.push_back(static_cast<std::uint8_t>(px >> 16));
+    }
+    while ((out.size() - row_start) % 4 != 0) {
+      out.push_back(0);
+    }
+  }
+  return out;
+}
+
+}  // namespace vos

@@ -1,0 +1,28 @@
+// BMP (Windows BITMAPINFOHEADER, uncompressed 24/32-bit) decode + encode —
+// the slider app's simplest input format, and the screenshot output format
+// examples use.
+#ifndef VOS_SRC_ULIB_BMP_H_
+#define VOS_SRC_ULIB_BMP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vos {
+
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint32_t> pixels;  // XRGB8888, row-major top-down
+
+  std::uint32_t At(std::uint32_t x, std::uint32_t y) const {
+    return pixels[std::size_t(y) * width + x];
+  }
+};
+
+std::optional<Image> BmpDecode(const std::uint8_t* data, std::size_t len);
+std::vector<std::uint8_t> BmpEncode(const Image& img);  // 24-bit BI_RGB
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_BMP_H_

@@ -1,0 +1,86 @@
+#include "src/ulib/console.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+TextConsole::TextConsole(std::uint32_t cols, std::uint32_t rows) : cols_(cols), rows_(rows) {
+  VOS_CHECK(cols > 0 && rows > 0);
+  cells_.assign(std::size_t(cols) * rows, ' ');
+}
+
+void TextConsole::Newline() {
+  cur_col_ = 0;
+  if (++cur_row_ >= rows_) {
+    // Scroll up one row.
+    std::copy(cells_.begin() + cols_, cells_.end(), cells_.begin());
+    std::fill(cells_.end() - cols_, cells_.end(), ' ');
+    cur_row_ = rows_ - 1;
+  }
+}
+
+void TextConsole::Put(char c) {
+  if (c == '\n') {
+    Newline();
+    return;
+  }
+  if (c == '\r') {
+    cur_col_ = 0;
+    return;
+  }
+  if (c == '\b') {
+    if (cur_col_ > 0) {
+      --cur_col_;
+      cells_[std::size_t(cur_row_) * cols_ + cur_col_] = ' ';
+    }
+    return;
+  }
+  cells_[std::size_t(cur_row_) * cols_ + cur_col_] = c;
+  if (++cur_col_ >= cols_) {
+    Newline();
+  }
+}
+
+void TextConsole::Write(const std::string& s) {
+  for (char c : s) {
+    Put(c);
+  }
+}
+
+void TextConsole::Clear() {
+  std::fill(cells_.begin(), cells_.end(), ' ');
+  cur_col_ = 0;
+  cur_row_ = 0;
+}
+
+char TextConsole::CharAt(std::uint32_t col, std::uint32_t row) const {
+  return cells_[std::size_t(row) * cols_ + col];
+}
+
+std::string TextConsole::RowText(std::uint32_t row) const {
+  std::string s(cells_.begin() + std::size_t(row) * cols_,
+                cells_.begin() + std::size_t(row + 1) * cols_);
+  while (!s.empty() && s.back() == ' ') {
+    s.pop_back();
+  }
+  return s;
+}
+
+void TextConsole::Render(AppEnv& env, PixelBuffer dst, int x, int y, int scale, std::uint32_t fg,
+                         std::uint32_t bg) const {
+  FillRect(env, dst, x, y, static_cast<int>(cols_) * 8 * scale,
+           static_cast<int>(rows_) * 9 * scale, bg);
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    for (std::uint32_t col = 0; col < cols_; ++col) {
+      char c = CharAt(col, row);
+      if (c != ' ') {
+        DrawChar(env, dst, x + static_cast<int>(col) * 8 * scale,
+                 y + static_cast<int>(row) * 9 * scale, c, fg, scale);
+      }
+    }
+  }
+}
+
+}  // namespace vos

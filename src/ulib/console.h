@@ -1,0 +1,45 @@
+// Text console widget: a character grid with scrolling, rendered through the
+// 8x8 font onto any pixel buffer (direct framebuffer or a WM surface). The
+// launcher and the graphical-shell example build on it.
+#ifndef VOS_SRC_ULIB_CONSOLE_H_
+#define VOS_SRC_ULIB_CONSOLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_registry.h"
+#include "src/ulib/pixel.h"
+
+namespace vos {
+
+class TextConsole {
+ public:
+  TextConsole(std::uint32_t cols, std::uint32_t rows);
+
+  void Put(char c);
+  void Write(const std::string& s);
+  void Clear();
+
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t rows() const { return rows_; }
+  char CharAt(std::uint32_t col, std::uint32_t row) const;
+  std::string RowText(std::uint32_t row) const;
+
+  // Renders the grid into dst at (x,y) with the given pixel scale.
+  void Render(AppEnv& env, PixelBuffer dst, int x, int y, int scale, std::uint32_t fg,
+              std::uint32_t bg) const;
+
+ private:
+  void Newline();
+
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+  std::vector<char> cells_;
+  std::uint32_t cur_col_ = 0;
+  std::uint32_t cur_row_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_CONSOLE_H_

@@ -1,0 +1,24 @@
+#include "src/ulib/crt.h"
+
+#include "src/ulib/usys.h"
+
+namespace vos {
+
+int CrtRuntime::RunMain(const std::function<int()>& main_fn) {
+  uensure_stdio(env_);
+  // crti: run constructors in registration order.
+  for (auto& c : ctors_) {
+    c();
+    ++ctors_run_;
+  }
+  LBurn(env_, 500);  // runtime setup
+  int rc = main_fn();
+  // crtn: destructors in reverse.
+  for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+    (*it)();
+    ++dtors_run_;
+  }
+  return rc;
+}
+
+}  // namespace vos

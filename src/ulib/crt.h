@@ -1,0 +1,39 @@
+// C++ application runtime (§5.3): the crt0/crti/crtn analogue. The real VOS
+// implements ARM's BPABI in <100 SLoC: crt0 wraps main, crti/crtn run the
+// .init_array/.fini_array. Here apps register global constructors/destructors
+// with the runtime, and RunApp drives the same lifecycle around main.
+#ifndef VOS_SRC_ULIB_CRT_H_
+#define VOS_SRC_ULIB_CRT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/apps/app_registry.h"
+
+namespace vos {
+
+class CrtRuntime {
+ public:
+  explicit CrtRuntime(AppEnv& env) : env_(env) {}
+
+  // .init_array / .fini_array registration (what crti/crtn walk).
+  void AtInit(std::function<void()> fn) { ctors_.push_back(std::move(fn)); }
+  void AtExit(std::function<void()> fn) { dtors_.push_back(std::move(fn)); }
+
+  // crt0: stdio setup, constructors, main, destructors — returns main's code.
+  int RunMain(const std::function<int()>& main_fn);
+
+  int ctors_run() const { return ctors_run_; }
+  int dtors_run() const { return dtors_run_; }
+
+ private:
+  AppEnv& env_;
+  std::vector<std::function<void()>> ctors_;
+  std::vector<std::function<void()>> dtors_;
+  int ctors_run_ = 0;
+  int dtors_run_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_CRT_H_

@@ -1,0 +1,101 @@
+#include "src/ulib/font8x8.h"
+
+#include <array>
+#include <cctype>
+#include <map>
+
+namespace vos {
+
+namespace {
+
+// 3x5 seed glyphs: 15 bits, row-major top to bottom, MSB = leftmost of row.
+struct Seed {
+  char c;
+  std::uint16_t bits;
+};
+
+constexpr std::uint16_t B(std::uint16_t r0, std::uint16_t r1, std::uint16_t r2, std::uint16_t r3,
+                          std::uint16_t r4) {
+  return static_cast<std::uint16_t>((r0 << 12) | (r1 << 9) | (r2 << 6) | (r3 << 3) | r4);
+}
+
+constexpr Seed kSeeds[] = {
+    {'0', B(0b111, 0b101, 0b101, 0b101, 0b111)}, {'1', B(0b010, 0b110, 0b010, 0b010, 0b111)},
+    {'2', B(0b111, 0b001, 0b111, 0b100, 0b111)}, {'3', B(0b111, 0b001, 0b111, 0b001, 0b111)},
+    {'4', B(0b101, 0b101, 0b111, 0b001, 0b001)}, {'5', B(0b111, 0b100, 0b111, 0b001, 0b111)},
+    {'6', B(0b111, 0b100, 0b111, 0b101, 0b111)}, {'7', B(0b111, 0b001, 0b001, 0b010, 0b010)},
+    {'8', B(0b111, 0b101, 0b111, 0b101, 0b111)}, {'9', B(0b111, 0b101, 0b111, 0b001, 0b111)},
+    {'A', B(0b010, 0b101, 0b111, 0b101, 0b101)}, {'B', B(0b110, 0b101, 0b110, 0b101, 0b110)},
+    {'C', B(0b111, 0b100, 0b100, 0b100, 0b111)}, {'D', B(0b110, 0b101, 0b101, 0b101, 0b110)},
+    {'E', B(0b111, 0b100, 0b111, 0b100, 0b111)}, {'F', B(0b111, 0b100, 0b111, 0b100, 0b100)},
+    {'G', B(0b111, 0b100, 0b101, 0b101, 0b111)}, {'H', B(0b101, 0b101, 0b111, 0b101, 0b101)},
+    {'I', B(0b111, 0b010, 0b010, 0b010, 0b111)}, {'J', B(0b001, 0b001, 0b001, 0b101, 0b111)},
+    {'K', B(0b101, 0b110, 0b100, 0b110, 0b101)}, {'L', B(0b100, 0b100, 0b100, 0b100, 0b111)},
+    {'M', B(0b101, 0b111, 0b111, 0b101, 0b101)}, {'N', B(0b110, 0b101, 0b101, 0b101, 0b101)},
+    {'O', B(0b111, 0b101, 0b101, 0b101, 0b111)}, {'P', B(0b111, 0b101, 0b111, 0b100, 0b100)},
+    {'Q', B(0b111, 0b101, 0b101, 0b111, 0b001)}, {'R', B(0b111, 0b101, 0b110, 0b101, 0b101)},
+    {'S', B(0b111, 0b100, 0b111, 0b001, 0b111)}, {'T', B(0b111, 0b010, 0b010, 0b010, 0b010)},
+    {'U', B(0b101, 0b101, 0b101, 0b101, 0b111)}, {'V', B(0b101, 0b101, 0b101, 0b101, 0b010)},
+    {'W', B(0b101, 0b101, 0b111, 0b111, 0b101)}, {'X', B(0b101, 0b101, 0b010, 0b101, 0b101)},
+    {'Y', B(0b101, 0b101, 0b010, 0b010, 0b010)}, {'Z', B(0b111, 0b001, 0b010, 0b100, 0b111)},
+    {'.', B(0b000, 0b000, 0b000, 0b000, 0b010)}, {',', B(0b000, 0b000, 0b000, 0b010, 0b100)},
+    {':', B(0b000, 0b010, 0b000, 0b010, 0b000)}, {'-', B(0b000, 0b000, 0b111, 0b000, 0b000)},
+    {'+', B(0b000, 0b010, 0b111, 0b010, 0b000)}, {'/', B(0b001, 0b001, 0b010, 0b100, 0b100)},
+    {'!', B(0b010, 0b010, 0b010, 0b000, 0b010)}, {'?', B(0b111, 0b001, 0b011, 0b000, 0b010)},
+    {'(', B(0b001, 0b010, 0b010, 0b010, 0b001)}, {')', B(0b100, 0b010, 0b010, 0b010, 0b100)},
+    {'[', B(0b011, 0b010, 0b010, 0b010, 0b011)}, {']', B(0b110, 0b010, 0b010, 0b010, 0b110)},
+    {'=', B(0b000, 0b111, 0b000, 0b111, 0b000)}, {'%', B(0b101, 0b001, 0b010, 0b100, 0b101)},
+    {'*', B(0b101, 0b010, 0b111, 0b010, 0b101)}, {'_', B(0b000, 0b000, 0b000, 0b000, 0b111)},
+    {'<', B(0b001, 0b010, 0b100, 0b010, 0b001)}, {'>', B(0b100, 0b010, 0b001, 0b010, 0b100)},
+    {'\'', B(0b010, 0b010, 0b000, 0b000, 0b000)}, {'"', B(0b101, 0b101, 0b000, 0b000, 0b000)},
+    {'#', B(0b101, 0b111, 0b101, 0b111, 0b101)}, {'$', B(0b011, 0b110, 0b010, 0b011, 0b110)},
+    {'~', B(0b000, 0b001, 0b111, 0b100, 0b000)}, {'|', B(0b010, 0b010, 0b010, 0b010, 0b010)},
+    {';', B(0b000, 0b010, 0b000, 0b010, 0b100)}, {'@', B(0b111, 0b101, 0b111, 0b100, 0b111)},
+};
+
+// Expands the 3x5 seed into an 8x8 cell: each seed column becomes 2 pixels
+// (6 wide, 1-px margins), rows 0..4 map to rows 1..6 with row 3 doubled.
+std::array<std::uint8_t, 8> Expand(std::uint16_t bits) {
+  std::array<std::uint8_t, 8> out{};
+  auto row3 = [&](int r) {
+    return static_cast<std::uint8_t>((bits >> (12 - 3 * r)) & 0b111);
+  };
+  auto widen = [](std::uint8_t r3) {
+    std::uint8_t w = 0;
+    for (int c = 0; c < 3; ++c) {
+      if (r3 & (0b100 >> c)) {
+        w |= static_cast<std::uint8_t>(0b11 << (1 + 2 * c));
+      }
+    }
+    return w;
+  };
+  // 5 seed rows over 7 output rows: double rows 1 and 3 for weight.
+  const int map[7] = {0, 1, 1, 2, 3, 3, 4};
+  for (int r = 0; r < 7; ++r) {
+    out[static_cast<std::size_t>(r)] = widen(row3(map[r]));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::uint8_t* Font8x8Glyph(char c) {
+  static std::map<char, std::array<std::uint8_t, 8>>* cache = [] {
+    auto* m = new std::map<char, std::array<std::uint8_t, 8>>();
+    for (const Seed& s : kSeeds) {
+      (*m)[s.c] = Expand(s.bits);
+    }
+    (*m)[' '] = std::array<std::uint8_t, 8>{};
+    // Unknown glyph: a hollow box.
+    (*m)['\x7f'] = std::array<std::uint8_t, 8>{0x7e, 0x42, 0x42, 0x42, 0x42, 0x42, 0x7e, 0x00};
+    return m;
+  }();
+  char key = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->find('\x7f');
+  }
+  return it->second.data();
+}
+
+}  // namespace vos

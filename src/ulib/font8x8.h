@@ -1,0 +1,15 @@
+// Bitmap font for on-screen text (launcher, sysmon, slider captions, HUDs).
+// Glyphs are stored as compact 3x5 seeds and expanded to 8x8 cells at first
+// use; lowercase maps to uppercase. Returns 8 rows, LSB = leftmost pixel.
+#ifndef VOS_SRC_ULIB_FONT8X8_H_
+#define VOS_SRC_ULIB_FONT8X8_H_
+
+#include <cstdint>
+
+namespace vos {
+
+const std::uint8_t* Font8x8Glyph(char c);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_FONT8X8_H_

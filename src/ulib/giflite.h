@@ -1,0 +1,34 @@
+// GIF decoder/encoder: GIF89a with a global color table, full LZW
+// codec (variable code width, clear/EOI), and multi-frame support so the
+// slider can play animated backgrounds. The encoder quantizes to a 256-color
+// table and emits real LZW streams our decoder (or any other) accepts.
+#ifndef VOS_SRC_ULIB_GIFLITE_H_
+#define VOS_SRC_ULIB_GIFLITE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/ulib/bmp.h"
+
+namespace vos {
+
+struct GifAnimation {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<Image> frames;
+  std::vector<std::uint32_t> delays_ms;
+};
+
+std::optional<GifAnimation> GifDecode(const std::uint8_t* data, std::size_t len);
+std::vector<std::uint8_t> GifEncode(const std::vector<Image>& frames, std::uint32_t delay_ms);
+
+// Raw LZW (GIF variant), exposed for tests.
+std::optional<std::vector<std::uint8_t>> GifLzwDecode(const std::uint8_t* data, std::size_t len,
+                                                      int min_code_size, std::size_t max_out);
+std::vector<std::uint8_t> GifLzwEncode(const std::uint8_t* indices, std::size_t len,
+                                       int min_code_size);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_GIFLITE_H_

@@ -1,0 +1,83 @@
+// miniSDL: the trimmed-down SDL layer of Prototype 5 (§4.5). Provides
+// video (a backbuffer presented either directly to the mmap'd framebuffer or
+// indirectly through a WM surface), an event queue fed by /dev/events or
+// /dev/event1, an audio callback thread (clone + /dev/sb — the "SDL audio"
+// use case that motivates kernel threads), and timing helpers.
+#ifndef VOS_SRC_ULIB_MINISDL_H_
+#define VOS_SRC_ULIB_MINISDL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/apps/app_registry.h"
+#include "src/fs/devfs.h"
+#include "src/ulib/pixel.h"
+
+namespace vos {
+
+class MiniSdl {
+ public:
+  enum class VideoMode {
+    kDirect,   // mmap /dev/fb, render straight to the screen (DOOM, video)
+    kSurface,  // render to a WM surface (mario-sdl, sysmon, launcher)
+  };
+
+  explicit MiniSdl(AppEnv& env) : env_(env) {}
+  ~MiniSdl();
+  MiniSdl(const MiniSdl&) = delete;
+  MiniSdl& operator=(const MiniSdl&) = delete;
+
+  // --- Video ---
+  bool InitVideo(std::uint32_t w, std::uint32_t h, VideoMode mode,
+                 const char* title = "app", std::uint8_t alpha = 255, int x = 0, int y = 0);
+  PixelBuffer backbuffer() { return PixelBuffer{back_.data(), w_, h_}; }
+  std::uint32_t width() const { return w_; }
+  std::uint32_t height() const { return h_; }
+  // Pushes the backbuffer to the screen: direct mode blits + cacheflushes;
+  // surface mode writes rows to /dev/surface for the WM to composite.
+  void Present();
+  // Presents only rows [y0, y1) — the dirty-row path games use.
+  void PresentRows(std::uint32_t y0, std::uint32_t y1);
+
+  // --- Events ---
+  bool PollEvent(KeyEvent* ev);  // non-blocking
+  bool WaitEvent(KeyEvent* ev);  // blocking
+
+  // --- Audio ---
+  using AudioCallback = std::function<void(std::int16_t* samples, std::uint32_t nframes)>;
+  // Spawns the audio thread: it repeatedly invokes cb to fill a period and
+  // writes it to /dev/sb (blocking when the driver ring is full).
+  bool OpenAudio(std::uint32_t sample_rate, AudioCallback cb);
+  void PauseAudio(bool paused) { audio_paused_->store(paused); }
+  void CloseAudio();
+
+  // --- Timing ---
+  std::uint32_t Ticks();           // ms since boot
+  void Delay(std::uint32_t ms);
+
+  std::uint64_t frames_presented() const { return frames_presented_; }
+
+ private:
+  AppEnv& env_;
+  VideoMode mode_ = VideoMode::kDirect;
+  std::uint32_t w_ = 0, h_ = 0;
+  std::vector<std::uint32_t> back_;
+  // Direct mode.
+  std::uint32_t* fb_ = nullptr;
+  std::uint32_t fb_w_ = 0, fb_h_ = 0;
+  // Surface mode.
+  int surface_fd_ = -1;
+  int event_fd_ = -1;
+  std::uint64_t frames_presented_ = 0;
+  // Audio thread state (shared with the clone'd thread).
+  std::shared_ptr<std::atomic<bool>> audio_stop_ = std::make_shared<std::atomic<bool>>(false);
+  std::shared_ptr<std::atomic<bool>> audio_paused_ = std::make_shared<std::atomic<bool>>(false);
+  int audio_tid_ = -1;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_MINISDL_H_

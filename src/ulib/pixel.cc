@@ -1,0 +1,154 @@
+#include "src/ulib/pixel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/font8x8.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+
+void FillRect(AppEnv& env, PixelBuffer dst, int x, int y, int w, int h, std::uint32_t color) {
+  int x0 = std::max(0, x);
+  int y0 = std::max(0, y);
+  int x1 = std::min<int>(static_cast<int>(dst.width), x + w);
+  int y1 = std::min<int>(static_cast<int>(dst.height), y + h);
+  if (x0 >= x1 || y0 >= y1) {
+    return;  // fully clipped
+  }
+  for (int yy = y0; yy < y1; ++yy) {
+    std::uint32_t* row = dst.data + std::size_t(yy) * dst.width;
+    std::fill(row + x0, row + x1, color);
+  }
+  LBurn(env, double(x1 - x0) * (y1 - y0) * 4 * 0.25);
+}
+
+void Blit(AppEnv& env, PixelBuffer dst, int dx, int dy, const PixelBuffer& src) {
+  int x0 = std::max(0, dx);
+  int y0 = std::max(0, dy);
+  int x1 = std::min<int>(static_cast<int>(dst.width), dx + static_cast<int>(src.width));
+  int y1 = std::min<int>(static_cast<int>(dst.height), dy + static_cast<int>(src.height));
+  if (x1 <= x0 || y1 <= y0) {
+    return;
+  }
+  for (int yy = y0; yy < y1; ++yy) {
+    const std::uint32_t* srow = src.data + std::size_t(yy - dy) * src.width + (x0 - dx);
+    std::uint32_t* drow = dst.data + std::size_t(yy) * dst.width + x0;
+    std::memcpy(drow, srow, std::size_t(x1 - x0) * 4);
+  }
+  const CostModel& c = env.kernel->config().cost;
+  double per_byte = env.kernel->config().opt_asm_memcpy ? c.memcpy_per_byte
+                                                        : c.memcpy_naive_per_byte;
+  LBurn(env, double(x1 - x0) * (y1 - y0) * 4 * per_byte);
+}
+
+void BlitScaled(AppEnv& env, PixelBuffer dst, int dx, int dy, int dw, int dh,
+                const PixelBuffer& src) {
+  if (dw <= 0 || dh <= 0 || src.width == 0 || src.height == 0) {
+    return;
+  }
+  int x0 = std::max(0, dx);
+  int y0 = std::max(0, dy);
+  int x1 = std::min<int>(static_cast<int>(dst.width), dx + dw);
+  int y1 = std::min<int>(static_cast<int>(dst.height), dy + dh);
+  for (int yy = y0; yy < y1; ++yy) {
+    std::uint32_t sy = std::uint32_t(yy - dy) * src.height / dh;
+    const std::uint32_t* srow = src.data + std::size_t(sy) * src.width;
+    std::uint32_t* drow = dst.data + std::size_t(yy) * dst.width;
+    for (int xx = x0; xx < x1; ++xx) {
+      std::uint32_t sx = std::uint32_t(xx - dx) * src.width / dw;
+      drow[xx] = srow[sx];
+    }
+  }
+  if (x1 > x0 && y1 > y0) {
+    LBurn(env, double(x1 - x0) * (y1 - y0) * 4 * 0.8);  // gather-heavy
+  }
+}
+
+namespace {
+inline std::uint8_t Clamp8(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : v > 255 ? 255 : v);
+}
+}  // namespace
+
+void Yuv420ToRgbScalar(std::uint32_t* dst, const std::uint8_t* y, const std::uint8_t* u,
+                       const std::uint8_t* v, std::uint32_t w, std::uint32_t h) {
+  for (std::uint32_t yy = 0; yy < h; ++yy) {
+    for (std::uint32_t xx = 0; xx < w; ++xx) {
+      double Y = y[yy * w + xx];
+      double U = u[(yy / 2) * (w / 2) + xx / 2] - 128.0;
+      double V = v[(yy / 2) * (w / 2) + xx / 2] - 128.0;
+      int r = static_cast<int>(Y + 1.402 * V + 0.5);
+      int g = static_cast<int>(Y - 0.344136 * U - 0.714136 * V + 0.5);
+      int b = static_cast<int>(Y + 1.772 * U + 0.5);
+      dst[yy * w + xx] = Rgb(Clamp8(r), Clamp8(g), Clamp8(b));
+    }
+  }
+}
+
+void Yuv420ToRgbFixed(std::uint32_t* dst, const std::uint8_t* y, const std::uint8_t* u,
+                      const std::uint8_t* v, std::uint32_t w, std::uint32_t h) {
+  // Q8.8 fixed-point coefficients; the NEON kernel processes 8 pixels per
+  // iteration with these exact constants.
+  constexpr int kVr = 359;   // 1.402 * 256
+  constexpr int kUg = -88;   // -0.344 * 256
+  constexpr int kVg = -183;  // -0.714 * 256
+  constexpr int kUb = 454;   // 1.772 * 256
+  for (std::uint32_t yy = 0; yy < h; ++yy) {
+    const std::uint8_t* urow = u + (yy / 2) * (w / 2);
+    const std::uint8_t* vrow = v + (yy / 2) * (w / 2);
+    const std::uint8_t* yrow = y + yy * w;
+    std::uint32_t* drow = dst + yy * w;
+    for (std::uint32_t xx = 0; xx < w; ++xx) {
+      int Y = yrow[xx] << 8;
+      int U = urow[xx / 2] - 128;
+      int V = vrow[xx / 2] - 128;
+      drow[xx] = Rgb(Clamp8((Y + kVr * V) >> 8), Clamp8((Y + kUg * U + kVg * V) >> 8),
+                     Clamp8((Y + kUb * U) >> 8));
+    }
+  }
+}
+
+void Yuv420ToRgb(AppEnv& env, PixelBuffer dst, const std::uint8_t* y, const std::uint8_t* u,
+                 const std::uint8_t* v, std::uint32_t w, std::uint32_t h) {
+  const KernelConfig& cfg = env.kernel->config();
+  double bytes = double(w) * h * 1.5;  // input bytes processed
+  if (cfg.opt_simd_pixel) {
+    Yuv420ToRgbFixed(dst.data, y, u, v, w, h);
+    LBurn(env, bytes * cfg.cost.yuv_simd_per_byte);
+  } else {
+    Yuv420ToRgbScalar(dst.data, y, u, v, w, h);
+    LBurn(env, bytes * cfg.cost.yuv_scalar_per_byte);
+  }
+}
+
+int DrawChar(AppEnv& env, PixelBuffer dst, int x, int y, char c, std::uint32_t color,
+             int scale) {
+  const std::uint8_t* glyph = Font8x8Glyph(c);
+  for (int row = 0; row < 8; ++row) {
+    std::uint8_t bits = glyph[row];
+    for (int col = 0; col < 8; ++col) {
+      if (bits & (1 << col)) {
+        FillRect(env, dst, x + col * scale, y + row * scale, scale, scale, color);
+      }
+    }
+  }
+  return 8 * scale;
+}
+
+int DrawText(AppEnv& env, PixelBuffer dst, int x, int y, const char* text, std::uint32_t color,
+             int scale) {
+  int cx = x;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '\n') {
+      cx = x;
+      y += 9 * scale;
+      continue;
+    }
+    cx += DrawChar(env, dst, cx, y, *p, color, scale);
+  }
+  return cx - x;
+}
+
+}  // namespace vos

@@ -1,0 +1,54 @@
+// Pixel operations: blits, fills, and the YUV420->RGB conversion the video
+// player depends on. Two conversion implementations exist, exactly as in the
+// paper (§5.2): a scalar per-pixel float path and a "SIMD" fixed-point batch
+// path (modeling the NEON kernels) that is ~3x cheaper in virtual time. The
+// config's opt_simd_pixel flag (and bench_ablation) switches between them.
+#ifndef VOS_SRC_ULIB_PIXEL_H_
+#define VOS_SRC_ULIB_PIXEL_H_
+
+#include <cstdint>
+
+#include "src/apps/app_registry.h"
+
+namespace vos {
+
+// XRGB8888 helpers.
+constexpr std::uint32_t Rgb(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  return 0xff000000u | (std::uint32_t(r) << 16) | (std::uint32_t(g) << 8) | b;
+}
+
+struct PixelBuffer {
+  std::uint32_t* data = nullptr;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+};
+
+// Fills a rect (clipped), charging fill cost.
+void FillRect(AppEnv& env, PixelBuffer dst, int x, int y, int w, int h, std::uint32_t color);
+
+// Copies src into dst at (dx,dy), clipped; charges blit cost per byte.
+void Blit(AppEnv& env, PixelBuffer dst, int dx, int dy, const PixelBuffer& src);
+
+// Scaled (nearest-neighbour) blit into a destination rect.
+void BlitScaled(AppEnv& env, PixelBuffer dst, int dx, int dy, int dw, int dh,
+                const PixelBuffer& src);
+
+// YUV420 planar -> XRGB. Picks the scalar or fixed-point path per the kernel
+// config; both are real conversions with different virtual cost.
+void Yuv420ToRgb(AppEnv& env, PixelBuffer dst, const std::uint8_t* y, const std::uint8_t* u,
+                 const std::uint8_t* v, std::uint32_t w, std::uint32_t h);
+
+// The two implementations, exposed for the ablation bench and tests.
+void Yuv420ToRgbScalar(std::uint32_t* dst, const std::uint8_t* y, const std::uint8_t* u,
+                       const std::uint8_t* v, std::uint32_t w, std::uint32_t h);
+void Yuv420ToRgbFixed(std::uint32_t* dst, const std::uint8_t* y, const std::uint8_t* u,
+                      const std::uint8_t* v, std::uint32_t w, std::uint32_t h);
+
+// 8x8 bitmap text. Returns the advance in pixels.
+int DrawChar(AppEnv& env, PixelBuffer dst, int x, int y, char c, std::uint32_t color, int scale);
+int DrawText(AppEnv& env, PixelBuffer dst, int x, int y, const char* text, std::uint32_t color,
+             int scale = 1);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_PIXEL_H_

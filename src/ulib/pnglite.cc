@@ -1,0 +1,183 @@
+#include "src/ulib/pnglite.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/crc32.h"
+#include "src/base/deflate.h"
+#include "src/base/inflate.h"
+
+namespace vos {
+
+namespace {
+
+const std::uint8_t kPngSig[8] = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'};
+
+std::uint32_t RdBe32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) | (std::uint32_t(p[2]) << 8) |
+         p[3];
+}
+
+void WrBe32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x >> 24));
+  v.push_back(static_cast<std::uint8_t>(x >> 16));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+  v.push_back(static_cast<std::uint8_t>(x));
+}
+
+void Chunk(std::vector<std::uint8_t>& out, const char type[4],
+           const std::vector<std::uint8_t>& body) {
+  WrBe32(out, static_cast<std::uint32_t>(body.size()));
+  std::size_t crc_start = out.size();
+  out.insert(out.end(), type, type + 4);
+  out.insert(out.end(), body.begin(), body.end());
+  std::uint32_t crc = Crc32(out.data() + crc_start, out.size() - crc_start);
+  WrBe32(out, crc);
+}
+
+int Paeth(int a, int b, int c) {
+  int p = a + b - c;
+  int pa = std::abs(p - a), pb = std::abs(p - b), pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) {
+    return a;
+  }
+  if (pb <= pc) {
+    return b;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::optional<Image> PngDecode(const std::uint8_t* data, std::size_t len) {
+  if (len < 8 + 25 || std::memcmp(data, kPngSig, 8) != 0) {
+    return std::nullopt;
+  }
+  std::size_t pos = 8;
+  std::uint32_t w = 0, h = 0;
+  std::uint8_t bit_depth = 0, color_type = 0;
+  std::vector<std::uint8_t> idat;
+  bool saw_end = false;
+  while (pos + 12 <= len) {
+    std::uint32_t clen = RdBe32(data + pos);
+    const std::uint8_t* type = data + pos + 4;
+    const std::uint8_t* body = data + pos + 8;
+    if (pos + 12 + clen > len) {
+      return std::nullopt;
+    }
+    if (Crc32(type, 4 + clen) != RdBe32(body + clen)) {
+      return std::nullopt;  // corrupt chunk
+    }
+    if (std::memcmp(type, "IHDR", 4) == 0) {
+      if (clen != 13) {
+        return std::nullopt;
+      }
+      w = RdBe32(body);
+      h = RdBe32(body + 4);
+      bit_depth = body[8];
+      color_type = body[9];
+      if (body[12] != 0) {
+        return std::nullopt;  // interlaced unsupported
+      }
+    } else if (std::memcmp(type, "IDAT", 4) == 0) {
+      idat.insert(idat.end(), body, body + clen);
+    } else if (std::memcmp(type, "IEND", 4) == 0) {
+      saw_end = true;
+      break;
+    }
+    pos += 12 + clen;
+  }
+  if (!saw_end || w == 0 || h == 0 || w > 8192 || h > 8192 || bit_depth != 8 ||
+      (color_type != 2 && color_type != 6)) {
+    return std::nullopt;
+  }
+  std::uint32_t bpp = color_type == 6 ? 4 : 3;
+  auto raw = ZlibInflate(idat.data(), idat.size(), std::size_t(w) * h * bpp + h + 64);
+  if (!raw || raw->size() != (std::size_t(w) * bpp + 1) * h) {
+    return std::nullopt;
+  }
+  // Filter reconstruction.
+  std::uint32_t stride = w * bpp;
+  std::vector<std::uint8_t> recon(std::size_t(stride) * h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    std::uint8_t filter = (*raw)[std::size_t(y) * (stride + 1)];
+    const std::uint8_t* src = raw->data() + std::size_t(y) * (stride + 1) + 1;
+    std::uint8_t* dst = recon.data() + std::size_t(y) * stride;
+    const std::uint8_t* up = y > 0 ? dst - stride : nullptr;
+    for (std::uint32_t x = 0; x < stride; ++x) {
+      int a = x >= bpp ? dst[x - bpp] : 0;
+      int b = up != nullptr ? up[x] : 0;
+      int c = (x >= bpp && up != nullptr) ? up[x - bpp] : 0;
+      int v = src[x];
+      switch (filter) {
+        case 0:
+          break;
+        case 1:
+          v += a;
+          break;
+        case 2:
+          v += b;
+          break;
+        case 3:
+          v += (a + b) / 2;
+          break;
+        case 4:
+          v += Paeth(a, b, c);
+          break;
+        default:
+          return std::nullopt;
+      }
+      dst[x] = static_cast<std::uint8_t>(v);
+    }
+  }
+  Image img;
+  img.width = w;
+  img.height = h;
+  img.pixels.resize(std::size_t(w) * h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const std::uint8_t* p = recon.data() + std::size_t(y) * stride + std::size_t(x) * bpp;
+      img.pixels[std::size_t(y) * w + x] =
+          0xff000000u | (std::uint32_t(p[0]) << 16) | (std::uint32_t(p[1]) << 8) | p[2];
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> PngEncode(const Image& img) {
+  std::vector<std::uint8_t> out(kPngSig, kPngSig + 8);
+  std::vector<std::uint8_t> ihdr;
+  WrBe32(ihdr, img.width);
+  WrBe32(ihdr, img.height);
+  ihdr.push_back(8);  // bit depth
+  ihdr.push_back(6);  // RGBA
+  ihdr.push_back(0);
+  ihdr.push_back(0);
+  ihdr.push_back(0);
+  Chunk(out, "IHDR", ihdr);
+
+  // Sub-filtered scanlines: deltas against the previous pixel turn smooth
+  // content into long runs the LZ layer eats.
+  std::vector<std::uint8_t> raw;
+  raw.reserve((std::size_t(img.width) * 4 + 1) * img.height);
+  for (std::uint32_t y = 0; y < img.height; ++y) {
+    raw.push_back(1);  // filter: Sub
+    std::uint8_t prev[4] = {0, 0, 0, 0};
+    for (std::uint32_t x = 0; x < img.width; ++x) {
+      std::uint32_t px = img.At(x, y);
+      std::uint8_t cur[4] = {static_cast<std::uint8_t>(px >> 16),
+                             static_cast<std::uint8_t>(px >> 8),
+                             static_cast<std::uint8_t>(px),
+                             static_cast<std::uint8_t>(px >> 24)};
+      for (int c = 0; c < 4; ++c) {
+        raw.push_back(static_cast<std::uint8_t>(cur[c] - prev[c]));
+        prev[c] = cur[c];
+      }
+    }
+  }
+  Chunk(out, "IDAT", ZlibDeflate(raw.data(), raw.size()));
+  Chunk(out, "IEND", {});
+  return out;
+}
+
+}  // namespace vos

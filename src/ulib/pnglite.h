@@ -1,0 +1,21 @@
+// PNG decoder/encoder ("LODE"-substitute, §3): 8-bit RGB/RGBA, non-interlaced,
+// full filter reconstruction (None/Sub/Up/Average/Paeth) over our own zlib
+// inflate. The encoder emits filter-0 scanlines through our deflate, so
+// slider assets round-trip entirely through in-tree code.
+#ifndef VOS_SRC_ULIB_PNGLITE_H_
+#define VOS_SRC_ULIB_PNGLITE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/ulib/bmp.h"
+
+namespace vos {
+
+std::optional<Image> PngDecode(const std::uint8_t* data, std::size_t len);
+std::vector<std::uint8_t> PngEncode(const Image& img);  // 8-bit RGBA
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_PNGLITE_H_

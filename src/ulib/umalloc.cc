@@ -1,0 +1,125 @@
+#include "src/ulib/umalloc.h"
+
+#include <cstring>
+
+#include "src/base/assert.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/vm.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+
+UserHeap::Header* UserHeap::Hdr(std::uint64_t va) {
+  AddressSpace* mm = env_.task->mm.get();
+  VOS_CHECK_MSG(mm != nullptr, "user heap without an address space");
+  return reinterpret_cast<Header*>(mm->HeapPtr(va, sizeof(Header)));
+}
+
+std::uint64_t UserHeap::MoreCore(std::uint64_t nbytes) {
+  std::uint64_t grow = nbytes + sizeof(Header);
+  if (grow < 4096) {
+    grow = 4096;  // sbrk in page-ish units, as real mallocs do
+  }
+  std::int64_t old = usbrk(env_, static_cast<std::int64_t>(grow));
+  ++sbrk_calls_;
+  if (old < 0) {
+    return 0;
+  }
+  std::uint64_t va = static_cast<std::uint64_t>(old);
+  Header* h = Hdr(va);
+  h->size = grow - sizeof(Header);
+  h->next = free_list_;
+  h->magic = kMagicFree;
+  free_list_ = va;
+  return va;
+}
+
+void* UserHeap::Malloc(std::uint64_t nbytes) {
+  if (nbytes == 0) {
+    return nullptr;
+  }
+  nbytes = (nbytes + kAlign - 1) & ~(kAlign - 1);
+  LBurn(env_, 120 + nbytes / 64.0);  // allocator walk cost
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::uint64_t prev = 0;
+    std::uint64_t cur = free_list_;
+    while (cur != 0) {
+      Header* h = Hdr(cur);
+      VOS_CHECK_MSG(h->magic == kMagicFree, "user heap corruption: bad free-list magic");
+      if (h->size >= nbytes) {
+        if (h->size >= nbytes + sizeof(Header) + kAlign) {
+          // Split: carve the tail into a new free block.
+          std::uint64_t rest_va = cur + sizeof(Header) + nbytes;
+          Header* rest = Hdr(rest_va);
+          rest->size = h->size - nbytes - sizeof(Header);
+          rest->next = h->next;
+          rest->magic = kMagicFree;
+          h->size = nbytes;
+          h->next = rest_va;
+        }
+        // Unlink.
+        if (prev == 0) {
+          free_list_ = h->next;
+        } else {
+          Hdr(prev)->next = h->next;
+        }
+        h->next = 0;
+        h->magic = kMagicUsed;
+        ++live_blocks_;
+        AddressSpace* mm = env_.task->mm.get();
+        return mm->HeapPtr(cur + sizeof(Header), h->size);
+      }
+      prev = cur;
+      cur = h->next;
+    }
+    if (MoreCore(nbytes) == 0) {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void UserHeap::Free(void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  // Recover the guest VA from the host pointer: both live in the contiguous
+  // arena, so the offset from the heap base is shared.
+  AddressSpace* mm = env_.task->mm.get();
+  std::uint8_t* base = mm->HeapPtr(kUserHeapBase, 1);
+  std::uint64_t va = kUserHeapBase + (static_cast<std::uint8_t*>(p) - base);
+  std::uint64_t hdr_va = va - sizeof(Header);
+  Header* h = Hdr(hdr_va);
+  VOS_CHECK_MSG(h->magic == kMagicUsed, "free of non-allocated pointer (or double free)");
+  h->magic = kMagicFree;
+  h->next = free_list_;
+  free_list_ = hdr_va;
+  --live_blocks_;
+  LBurn(env_, 90);
+}
+
+void* UserHeap::Calloc(std::uint64_t n, std::uint64_t size) {
+  std::uint64_t total = n * size;
+  void* p = Malloc(total);
+  if (p != nullptr) {
+    std::memset(p, 0, total);
+    LBurn(env_, total * 0.3);
+  }
+  return p;
+}
+
+void* UserHeap::Realloc(void* p, std::uint64_t nbytes) {
+  void* q = Malloc(nbytes);
+  if (p != nullptr && q != nullptr) {
+    AddressSpace* mm = env_.task->mm.get();
+    std::uint8_t* base = mm->HeapPtr(kUserHeapBase, 1);
+    std::uint64_t va = kUserHeapBase + (static_cast<std::uint8_t*>(p) - base);
+    Header* h = Hdr(va - sizeof(Header));
+    std::uint64_t copy = h->size < nbytes ? h->size : nbytes;
+    std::memcpy(q, p, copy);
+    Free(p);
+  }
+  return q;
+}
+
+}  // namespace vos

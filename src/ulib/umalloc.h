@@ -1,0 +1,52 @@
+// User-space malloc: the classic K&R first-fit free list over sbrk(), as
+// shipped in xv6's umalloc.c and in newlib's simplest malloc. Blocks carry
+// headers inside the process's (simulated) heap arena, so the allocator's
+// metadata lives in guest memory like the real thing.
+#ifndef VOS_SRC_ULIB_UMALLOC_H_
+#define VOS_SRC_ULIB_UMALLOC_H_
+
+#include <cstdint>
+
+#include "src/apps/app_registry.h"
+
+namespace vos {
+
+class UserHeap {
+ public:
+  explicit UserHeap(AppEnv& env) : env_(env) {}
+  UserHeap(const UserHeap&) = delete;
+  UserHeap& operator=(const UserHeap&) = delete;
+
+  // Returns a host pointer into the task's heap arena (16-byte aligned), or
+  // nullptr when sbrk fails.
+  void* Malloc(std::uint64_t nbytes);
+  void Free(void* p);
+  void* Calloc(std::uint64_t n, std::uint64_t size);
+  void* Realloc(void* p, std::uint64_t nbytes);
+
+  std::uint64_t allocated_blocks() const { return live_blocks_; }
+  std::uint64_t sbrk_calls() const { return sbrk_calls_; }
+
+ private:
+  // Block header, resident in guest heap memory.
+  struct Header {
+    std::uint64_t size;   // payload bytes
+    std::uint64_t next;   // guest VA of next free block's header (0 = end)
+    std::uint64_t magic;  // canary
+  };
+  static constexpr std::uint64_t kMagicFree = 0xfeedfacecafef00dull;
+  static constexpr std::uint64_t kMagicUsed = 0xdeadbeefdeadbeefull;
+  static constexpr std::uint64_t kAlign = 16;
+
+  Header* Hdr(std::uint64_t va);
+  std::uint64_t MoreCore(std::uint64_t nbytes);  // returns VA of new block hdr
+
+  AppEnv& env_;
+  std::uint64_t free_list_ = 0;  // guest VA of first free header
+  std::uint64_t live_blocks_ = 0;
+  std::uint64_t sbrk_calls_ = 0;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_UMALLOC_H_

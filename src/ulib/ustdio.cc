@@ -1,0 +1,88 @@
+#include "src/ulib/ustdio.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/kernel/kernel.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+
+namespace {
+std::string Format(const char* fmt, std::va_list ap) {
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+  va_end(ap2);
+  if (n <= 0) {
+    return "";
+  }
+  std::string s(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(s.data(), s.size() + 1, fmt, ap);
+  return s;
+}
+}  // namespace
+
+void uputs(AppEnv& env, const std::string& s) {
+  LBurn(env, 150 + s.size() * 2.0);  // formatting cost
+  if (env.task->fds.size() > 1 && env.task->fds[1] != nullptr) {
+    uwrite(env, 1, s.data(), static_cast<std::uint32_t>(s.size()));
+  } else {
+    env.kernel->Printk("%s", s.c_str());
+  }
+}
+
+void uprintf(AppEnv& env, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::string s = Format(fmt, ap);
+  va_end(ap);
+  uputs(env, s);
+}
+
+void ufprintf(AppEnv& env, int fd, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::string s = Format(fmt, ap);
+  va_end(ap);
+  LBurn(env, 150 + s.size() * 2.0);
+  uwrite(env, fd, s.data(), static_cast<std::uint32_t>(s.size()));
+}
+
+bool ugets(AppEnv& env, std::string* line) {
+  line->clear();
+  for (;;) {
+    char c;
+    std::int64_t n = uread(env, 0, &c, 1);
+    if (n <= 0) {
+      return !line->empty();
+    }
+    if (c == '\r') {
+      continue;
+    }
+    if (c == '\n') {
+      return true;
+    }
+    line->push_back(c);
+  }
+}
+
+std::vector<std::string> usplit(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+}  // namespace vos

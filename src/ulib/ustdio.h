@@ -1,0 +1,26 @@
+// User stdio: printf/gets over read/write syscalls, plus small string
+// helpers — the slice of libc the console apps need.
+#ifndef VOS_SRC_ULIB_USTDIO_H_
+#define VOS_SRC_ULIB_USTDIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_registry.h"
+
+namespace vos {
+
+// printf to fd 1 (falls back to printk when the task has no stdio).
+void uprintf(AppEnv& env, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void ufprintf(AppEnv& env, int fd, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+void uputs(AppEnv& env, const std::string& s);
+
+// Reads one '\n'-terminated line from fd 0 (blocking); false on EOF.
+bool ugets(AppEnv& env, std::string* line);
+
+// Tokenizes on whitespace.
+std::vector<std::string> usplit(const std::string& s);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_ULIB_USTDIO_H_

@@ -1,0 +1,167 @@
+#include "src/ulib/usys.h"
+
+#include "src/base/status.h"
+
+namespace vos {
+
+// Burns always target the *current* task: clone'd threads share the parent's
+// AppEnv object, but their CPU time is their own.
+void UBurn(AppEnv& env, double cycles) {
+  Task* cur = env.kernel->CurrentTask();
+  cur->fiber().Burn(Cycles(cycles * env.kernel->config().cost.libc_compute_scale));
+}
+
+void LBurn(AppEnv& env, double cycles) {
+  DomainScope scope(env, TimeDomain::kUserLib);
+  env.kernel->CurrentTask()->fiber().Burn(
+      Cycles(cycles * env.kernel->config().cost.libc_compute_scale));
+}
+
+DomainScope::DomainScope(AppEnv& env, TimeDomain d)
+    : task_(env.kernel->CurrentTask()), prev_(task_->domain) {
+  task_->domain = d;
+}
+
+DomainScope::~DomainScope() { task_->domain = prev_; }
+
+void umark_frame(AppEnv& env) {
+  Task* cur = env.kernel->CurrentTask();
+  env.kernel->trace().Emit(env.kernel->Now(), cur->core, TraceEvent::kUserMark, cur->pid(),
+                           /*a=*/1 /* frame-done */);
+}
+
+AppEnv ChildEnv(Kernel* kernel) {
+  AppEnv env;
+  env.kernel = kernel;
+  env.task = kernel->CurrentTask();
+  return env;
+}
+
+std::int64_t ufork(AppEnv& env, std::function<int()> child) {
+  return env.kernel->SysFork(std::move(child));
+}
+void uexit(AppEnv& env, int code) { env.kernel->SysExit(code); }
+std::int64_t uwait(AppEnv& env, int* status) { return env.kernel->SysWait(status); }
+std::int64_t ukill(AppEnv& env, int pid) { return env.kernel->SysKill(pid); }
+std::int64_t ugetpid(AppEnv& env) { return env.kernel->SysGetPid(); }
+std::int64_t usbrk(AppEnv& env, std::int64_t delta) { return env.kernel->SysSbrk(delta); }
+std::int64_t usleep_ms(AppEnv& env, std::uint64_t ms) { return env.kernel->SysSleep(ms); }
+std::int64_t uuptime_ms(AppEnv& env) { return env.kernel->SysUptime(); }
+std::int64_t uexec(AppEnv& env, const std::string& path, const std::vector<std::string>& argv) {
+  return env.kernel->SysExec(path, argv);
+}
+std::int64_t uopen(AppEnv& env, const std::string& path, std::uint32_t flags) {
+  return env.kernel->SysOpen(path, flags);
+}
+std::int64_t uclose(AppEnv& env, int fd) { return env.kernel->SysClose(fd); }
+std::int64_t uread(AppEnv& env, int fd, void* buf, std::uint32_t n) {
+  return env.kernel->SysRead(fd, buf, n);
+}
+std::int64_t uwrite(AppEnv& env, int fd, const void* buf, std::uint32_t n) {
+  return env.kernel->SysWrite(fd, buf, n);
+}
+std::int64_t ulseek(AppEnv& env, int fd, std::int64_t off, int whence) {
+  return env.kernel->SysLseek(fd, off, whence);
+}
+std::int64_t udup(AppEnv& env, int fd) { return env.kernel->SysDup(fd); }
+std::int64_t upipe(AppEnv& env, int fds[2]) { return env.kernel->SysPipe(fds); }
+std::int64_t ufstat(AppEnv& env, int fd, Stat* st) { return env.kernel->SysFstat(fd, st); }
+std::int64_t uchdir(AppEnv& env, const std::string& path) { return env.kernel->SysChdir(path); }
+std::int64_t umkdir(AppEnv& env, const std::string& path) { return env.kernel->SysMkdir(path); }
+std::int64_t uunlink(AppEnv& env, const std::string& path) {
+  return env.kernel->SysUnlink(path);
+}
+std::int64_t ulink(AppEnv& env, const std::string& oldp, const std::string& newp) {
+  return env.kernel->SysLink(oldp, newp);
+}
+std::int64_t ummap_fb(AppEnv& env, std::uint32_t** pixels, std::uint32_t* w, std::uint32_t* h) {
+  return env.kernel->SysMmapFb(pixels, w, h);
+}
+std::int64_t ucacheflush(AppEnv& env, std::uint64_t off, std::uint64_t len) {
+  return env.kernel->SysCacheFlush(off, len);
+}
+std::int64_t uclone(AppEnv& env, std::function<int()> thread) {
+  return env.kernel->SysClone(std::move(thread));
+}
+std::int64_t usem_create(AppEnv& env, int initial) { return env.kernel->SysSemCreate(initial); }
+std::int64_t usem_wait(AppEnv& env, int id) { return env.kernel->SysSemWait(id); }
+std::int64_t usem_post(AppEnv& env, int id) { return env.kernel->SysSemPost(id); }
+std::int64_t uyield(AppEnv& env) { return env.kernel->SysYield(); }
+std::int64_t ureaddir(AppEnv& env, const std::string& path, std::vector<DirEntryInfo>* out) {
+  return env.kernel->SysReadDir(path, out);
+}
+
+std::int64_t uread_file(AppEnv& env, const std::string& path, std::vector<std::uint8_t>* out) {
+  std::int64_t fd = uopen(env, path, kORdonly);
+  if (fd < 0) {
+    return fd;
+  }
+  Stat st;
+  std::int64_t r = ufstat(env, static_cast<int>(fd), &st);
+  if (r < 0) {
+    uclose(env, static_cast<int>(fd));
+    return r;
+  }
+  out->resize(st.size);
+  std::int64_t total = 0;
+  while (total < st.size) {
+    std::int64_t n = uread(env, static_cast<int>(fd), out->data() + total,
+                           static_cast<std::uint32_t>(st.size - total));
+    if (n <= 0) {
+      break;
+    }
+    total += n;
+  }
+  uclose(env, static_cast<int>(fd));
+  out->resize(static_cast<std::size_t>(total));
+  return total;
+}
+
+void uensure_stdio(AppEnv& env) {
+  if (!env.task->fds.empty() || !env.kernel->config().HasFiles()) {
+    return;
+  }
+  for (int i = 0; i < 3; ++i) {
+    uopen(env, "/dev/console", i == 0 ? kORdonly : kOWronly);
+  }
+}
+
+UMutex::UMutex(AppEnv& env) : env_(env), sem_(static_cast<int>(usem_create(env, 1))) {}
+UMutex::~UMutex() = default;
+void UMutex::Lock() { usem_wait(env_, sem_); }
+void UMutex::Unlock() { usem_post(env_, sem_); }
+
+UCondVar::UCondVar(AppEnv& env) : env_(env), sem_(static_cast<int>(usem_create(env, 0))) {}
+UCondVar::~UCondVar() = default;
+
+void UCondVar::Wait(UMutex& m) {
+  ++waiters_;
+  m.Unlock();
+  usem_wait(env_, sem_);
+  m.Lock();
+}
+
+void UCondVar::Signal() {
+  if (waiters_ > 0) {
+    --waiters_;
+    usem_post(env_, sem_);
+  }
+}
+
+void UCondVar::Broadcast() {
+  while (waiters_ > 0) {
+    --waiters_;
+    usem_post(env_, sem_);
+  }
+}
+
+void USpinLock::Lock() {
+  while (held_) {
+    uyield(env_);  // WFE-style backoff
+  }
+  held_ = true;
+}
+
+void USpinLock::Unlock() { held_ = false; }
+
+}  // namespace vos

@@ -1,0 +1,124 @@
+#include "src/vos/prototypes.h"
+
+#include <vector>
+
+#include "src/apps/donut.h"
+#include "src/base/assert.h"
+
+namespace vos {
+
+SystemOptions OptionsForStage(Stage stage, Platform platform, OsProfile os) {
+  SystemOptions opt;
+  opt.stage = stage;
+  opt.platform = platform;
+  opt.os = os;
+  switch (stage) {
+    case Stage::kProto1:
+    case Stage::kProto2:
+      opt.cores = 1;
+      opt.usb_keyboard = false;
+      opt.dram_size = MiB(32);
+      break;
+    case Stage::kProto3:
+      opt.cores = 1;
+      opt.usb_keyboard = false;
+      opt.dram_size = MiB(32);
+      break;
+    case Stage::kProto4:
+      opt.cores = 1;
+      opt.dram_size = MiB(48);
+      break;
+    case Stage::kProto5:
+      opt.cores = 4;
+      break;
+  }
+  return opt;
+}
+
+int RunProto1DonutAppliance(System& sys, int frames, int fps) {
+  Kernel& k = sys.kernel();
+  Board& board = sys.board();
+  VOS_CHECK(board.fb().allocated());
+  std::uint32_t w = board.fb().width();
+  std::uint32_t h = board.fb().height();
+
+  // Everything runs at the same exception level, driven by a virtual timer:
+  // each frame renders inside the interrupt handler (§4.1).
+  auto donut = std::make_shared<DonutRenderer>(w, h);
+  auto rendered = std::make_shared<int>(0);
+  Cycles period = kCyclesPerSec / static_cast<Cycles>(fps);
+  k.vtimers().AddPeriodic(k.Now() + period, period, [&k, &board, donut, rendered, w, h] {
+    std::uint32_t* fb = board.fb().cpu_pixels();
+    std::fill(fb, fb + std::size_t(w) * h, 0xff000000u);
+    donut->RenderPixelFrame(fb, w, h, 0xffcc66);
+    board.fb().FlushAll();
+    // Rendering in the handler occupies the CPU (the Prototype-1 design).
+    k.machine().ChargeIrq(0, Cycles(DonutRenderer::FrameCost(w, h)));
+    ++*rendered;
+  });
+  // The "main" loop just WFIs; the machine idles between timer interrupts.
+  while (*rendered < frames) {
+    sys.Run(period);
+  }
+  return *rendered;
+}
+
+void RunProto2Donuts(System& sys, int count, Cycles dur) {
+  Kernel& k = sys.kernel();
+  Board& board = sys.board();
+  std::uint32_t w = board.fb().width();
+  std::uint32_t h = board.fb().height();
+  std::uint32_t cell = 160;
+  // Predefined tasks compiled into the kernel — apps are just functions
+  // (§4.2). Each sleeps at its own cadence, so spin rates differ visibly.
+  for (int i = 0; i < count; ++i) {
+    std::string name = "donut" + std::to_string(i);
+    std::uint32_t ox = (std::uint32_t(i) * cell) % (w - cell + 1);
+    std::uint32_t oy = ((std::uint32_t(i) * cell) / (w - cell + 1) * cell) % (h - cell + 1);
+    std::uint64_t period_ms = 20 + std::uint64_t(i) * 13;
+    std::uint32_t tint = 0xff8844 + std::uint32_t(i) * 0x204060;
+    k.CreateKernelTask(name, [&k, &board, ox, oy, cell, period_ms, tint, w] {
+      DonutRenderer donut(cell, cell);
+      donut.SetSpin(0.05 + 0.02 * (period_ms % 5), 0.02 + 0.01 * (period_ms % 3));
+      std::vector<std::uint32_t> local(std::size_t(cell) * cell);
+      Task* self = k.CurrentTask();
+      while (!self->killed) {
+        std::fill(local.begin(), local.end(), 0xff000000u);
+        donut.RenderPixelFrame(local.data(), cell, cell, tint);
+        self->fiber().Burn(Cycles(DonutRenderer::FrameCost(cell, cell)));
+        std::uint32_t* fb = board.fb().cpu_pixels();
+        for (std::uint32_t y = 0; y < cell; ++y) {
+          std::copy(local.begin() + std::size_t(y) * cell,
+                    local.begin() + std::size_t(y + 1) * cell,
+                    fb + std::size_t(oy + y) * w + ox);
+        }
+        board.fb().FlushRange(std::uint64_t(oy) * w * 4, std::uint64_t(cell) * w * 4);
+        k.KSleepMs(period_ms);
+      }
+    });
+  }
+  sys.Run(dur);
+}
+
+std::int64_t RunProto3Mario(System& sys, int frames) {
+  Task* t = sys.kernel().StartUserProgram(
+      "mario", {"mario", "--frames", std::to_string(frames)});
+  return sys.WaitProgram(t, Sec(600));
+}
+
+std::int64_t RunProto4MarioProc(System& sys, int frames) {
+  // Boot-time rc script through the shell first (shell & utilities are
+  // Prototype 4 Table-1 apps).
+  std::int64_t rc = sys.RunProgram("sh", {"/etc/rc"});
+  VOS_CHECK_MSG(rc == 0, "rc script failed");
+  return sys.RunProgram("mario-proc", {"--frames", std::to_string(frames)}, Sec(600));
+}
+
+void RunProto5Desktop(System& sys, Cycles dur) {
+  sys.Start("launcher", {"--frames", "100000"});
+  sys.Start("sysmon", {"100000"});
+  sys.Start("mario-sdl", {"--frames", "100000"});
+  sys.Run(dur);
+}
+
+}  // namespace vos

@@ -1,0 +1,43 @@
+// Prototype-stage scenarios: the "inverse engineering" deliverables (§1.3).
+// Each prototype's target-app experience from Table 1, runnable end to end —
+// how the construction journey is demonstrated, tested, and benchmarked.
+#ifndef VOS_SRC_VOS_PROTOTYPES_H_
+#define VOS_SRC_VOS_PROTOTYPES_H_
+
+#include <memory>
+#include <string>
+
+#include "src/vos/system.h"
+
+namespace vos {
+
+// Default options tuned per stage (cores, memory, peripherals).
+SystemOptions OptionsForStage(Stage stage, Platform platform = Platform::kPi3,
+                              OsProfile os = OsProfile::kOurs);
+
+// Prototype 1 "Baremetal IO": a single-app appliance. The donut renders in
+// the timer interrupt handler (§4.1) — no tasks, no scheduler. Runs `frames`
+// frames at `fps` and returns the count actually rendered.
+int RunProto1DonutAppliance(System& sys, int frames, int fps = 30);
+
+// Prototype 2 "Multitasking": `count` donut kernel tasks, each spinning at
+// its own pace with its own screen region, sleeping between frames; the idle
+// task WFIs (§4.2). Runs for `dur` of virtual time.
+void RunProto2Donuts(System& sys, int count, Cycles dur);
+
+// Prototype 3 "User vs. Kernel": exec of the input-less Mario from the
+// kernel-bundled blob (file-less exec); runs the title+autoplay loop for
+// `frames` frames. Returns the app's exit code.
+std::int64_t RunProto3Mario(System& sys, int frames);
+
+// Prototype 4 "Files": the rc script via the shell, then mario-proc with its
+// pipe-based event loop. Returns mario-proc's exit code.
+std::int64_t RunProto4MarioProc(System& sys, int frames);
+
+// Prototype 5 "Desktop": launcher + sysmon + mario-sdl under the window
+// manager, multicore. Returns after `dur` of virtual time.
+void RunProto5Desktop(System& sys, Cycles dur);
+
+}  // namespace vos
+
+#endif  // VOS_SRC_VOS_PROTOTYPES_H_

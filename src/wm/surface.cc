@@ -1,0 +1,71 @@
+#include "src/wm/surface.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/assert.h"
+
+namespace vos {
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  if (a.Empty()) {
+    return b;
+  }
+  if (b.Empty()) {
+    return a;
+  }
+  int x0 = std::min(a.x, b.x);
+  int y0 = std::min(a.y, b.y);
+  int x1 = std::max(a.Right(), b.Right());
+  int y1 = std::max(a.Bottom(), b.Bottom());
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+Rect Rect::Intersect(const Rect& a, const Rect& b) {
+  int x0 = std::max(a.x, b.x);
+  int y0 = std::max(a.y, b.y);
+  int x1 = std::min(a.Right(), b.Right());
+  int y1 = std::min(a.Bottom(), b.Bottom());
+  return Rect{x0, y0, std::max(0, x1 - x0), std::max(0, y1 - y0)};
+}
+
+void Surface::Configure(const SurfaceConfig& cfg) {
+  VOS_CHECK_MSG(cfg.width <= 4096 && cfg.height <= 4096, "surface too large");
+  cfg_ = cfg;
+  pixels_.assign(std::size_t(cfg.width) * cfg.height, 0xff000000);
+  MarkAllDirty();
+}
+
+void Surface::MoveTo(int x, int y) {
+  cfg_.x = x;
+  cfg_.y = y;
+  MarkAllDirty();
+}
+
+void Surface::WritePixels(std::uint64_t byte_off, const std::uint8_t* data, std::uint32_t len) {
+  if (!configured() || byte_off >= pixel_bytes()) {
+    return;
+  }
+  len = static_cast<std::uint32_t>(std::min<std::uint64_t>(len, pixel_bytes() - byte_off));
+  std::memcpy(reinterpret_cast<std::uint8_t*>(pixels_.data()) + byte_off, data, len);
+  // Dirty rows covered by this span (surface-local).
+  int row0 = static_cast<int>(byte_off / (cfg_.width * 4));
+  int row1 = static_cast<int>((byte_off + len - 1) / (cfg_.width * 4));
+  Rect span{0, row0, static_cast<int>(cfg_.width), row1 - row0 + 1};
+  dirty_ = Rect::Union(dirty_, span);
+}
+
+Rect Surface::TakeDirty() {
+  Rect local = dirty_;
+  dirty_ = Rect{};
+  if (local.Empty()) {
+    return local;
+  }
+  return Rect{cfg_.x + local.x, cfg_.y + local.y, local.w, local.h};
+}
+
+void Surface::MarkAllDirty() {
+  dirty_ = Rect{0, 0, static_cast<int>(cfg_.width), static_cast<int>(cfg_.height)};
+}
+
+}  // namespace vos

@@ -1,0 +1,100 @@
+// Surfaces: the off-screen buffers apps render into via /dev/surface (§4.5).
+// The window manager composites them onto the hardware framebuffer, tracking
+// per-surface dirty regions so composition only redraws what changed.
+#ifndef VOS_SRC_WM_SURFACE_H_
+#define VOS_SRC_WM_SURFACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/fs/devfs.h"
+
+namespace vos {
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  bool Empty() const { return w <= 0 || h <= 0; }
+  int Right() const { return x + w; }
+  int Bottom() const { return y + h; }
+
+  static Rect Union(const Rect& a, const Rect& b);
+  static Rect Intersect(const Rect& a, const Rect& b);
+  bool Contains(int px, int py) const {
+    return px >= x && py >= y && px < Right() && py < Bottom();
+  }
+};
+
+// The control block an app writes at offset 0 of /dev/surface to (re)shape
+// its window.
+#pragma pack(push, 1)
+struct SurfaceConfig {
+  std::uint32_t magic = 0x53524655;  // "UFRS"
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::uint8_t alpha = 255;          // 255 = opaque; sysmon floats translucent
+  std::uint8_t reserved[3] = {};
+  char title[24] = {};
+};
+#pragma pack(pop)
+
+// Writes at or beyond this offset carry pixel rows (byte offset into the
+// surface's pixel buffer + kSurfacePixelBase).
+constexpr std::uint64_t kSurfacePixelBase = 4096;
+
+class Surface {
+ public:
+  Surface(int id, int owner_pid) : id_(id), owner_pid_(owner_pid), events_(128) {}
+
+  int id() const { return id_; }
+  int owner_pid() const { return owner_pid_; }
+
+  bool configured() const { return cfg_.width > 0; }
+  const SurfaceConfig& config() const { return cfg_; }
+  void Configure(const SurfaceConfig& cfg);
+  void MoveTo(int x, int y);
+
+  std::uint32_t* pixels() { return pixels_.data(); }
+  const std::uint32_t* pixels() const { return pixels_.data(); }
+  std::uint64_t pixel_bytes() const { return pixels_.size() * 4; }
+
+  // Marks [byte_off, byte_off+len) of the pixel buffer dirty and copies data.
+  void WritePixels(std::uint64_t byte_off, const std::uint8_t* data, std::uint32_t len);
+
+  // Screen-space bounds.
+  Rect Bounds() const { return Rect{cfg_.x, cfg_.y, static_cast<int>(cfg_.width),
+                                    static_cast<int>(cfg_.height)}; }
+  // Screen-space dirty region accumulated since the last composition.
+  Rect TakeDirty();
+  bool dirty() const { return !dirty_.Empty(); }
+  void MarkAllDirty();
+
+  int z = 0;  // stacking order; larger = nearer the viewer
+  bool visible = true;
+
+  RingBuffer<KeyEvent>& events() { return events_; }
+  char* event_chan() { return &event_chan_; }
+
+ private:
+  int id_;
+  int owner_pid_;
+  SurfaceConfig cfg_;
+  std::vector<std::uint32_t> pixels_;
+  Rect dirty_;  // surface-local coordinates
+  RingBuffer<KeyEvent> events_;
+  char event_chan_ = 0;
+};
+
+using SurfacePtr = std::shared_ptr<Surface>;
+
+}  // namespace vos
+
+#endif  // VOS_SRC_WM_SURFACE_H_

@@ -1,0 +1,106 @@
+// The window manager (§4.5): a kernel thread (~simplicity over a user-space
+// compositor) that composites app surfaces onto the hardware framebuffer,
+// tracks z-order and focus, redraws only dirty regions, supports floating
+// semi-transparent windows (sysmon), intercepts ctrl+tab to switch focus and
+// ctrl+arrows to move windows, and dispatches input events to the focused
+// app via /dev/event1.
+#ifndef VOS_SRC_WM_WM_H_
+#define VOS_SRC_WM_WM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fs/devfs.h"
+#include "src/fs/vfs.h"
+#include "src/wm/surface.h"
+
+namespace vos {
+
+class Kernel;
+
+struct WmStats {
+  std::uint64_t compositions = 0;
+  std::uint64_t pixels_blended = 0;
+  std::uint64_t full_repaints = 0;
+  std::uint64_t focus_switches = 0;
+};
+
+class WindowManager : public DevNode {
+ public:
+  explicit WindowManager(Kernel& kernel);
+
+  // Spawns the WM kernel thread (composition loop at ~60 Hz).
+  void StartThread();
+
+  // --- /dev/surface: per-open surface creation, config + pixel writes ---
+  std::int64_t OnOpen(Task* t, File& f) override;
+  void OnClose(File& f) override;
+  std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool nonblock,
+                    Cycles* burn) override;
+  std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                     Cycles* burn) override;
+
+  // --- input routing (called by the kernel's input drivers) ---
+  // Returns true if the WM consumed the event (focus-switch chords).
+  bool RouteKey(const KeyEvent& ev);
+
+  // /dev/event1 read for the focused app (dispatched by owner pid).
+  std::int64_t ReadEventsFor(Task* t, std::uint8_t* buf, std::uint32_t n, bool nonblock,
+                             Cycles* burn);
+
+  // One composition round; returns virtual cost. Public for tests/benches.
+  Cycles ComposeOnce();
+
+  // The /dev/event1 node (per-focused-app event dispatch).
+  DevNode* event_node() { return &event_node_impl_; }
+
+  Surface* focused();
+  Surface* FindByOwner(int pid);
+  std::vector<SurfacePtr> surfaces() const { return surfaces_; }
+  const WmStats& stats() const { return stats_; }
+
+  // Composition period (60 Hz).
+  static constexpr Cycles kComposePeriod = kCyclesPerSec / 60;
+
+ private:
+  class EventNode : public DevNode {
+   public:
+    explicit EventNode(WindowManager& wm) : wm_(wm) {}
+    std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t, bool nonblock,
+                      Cycles* burn) override {
+      return wm_.ReadEventsFor(t, buf, n, nonblock, burn);
+    }
+    std::int64_t Write(Task*, const std::uint8_t*, std::uint32_t, std::uint64_t,
+                       Cycles*) override {
+      return -1;
+    }
+
+   private:
+    WindowManager& wm_;
+  };
+
+  void ThreadBody();
+  void FocusNext();
+  void RaiseToTop(Surface* s);
+
+  EventNode event_node_impl_{*this};
+  Kernel& kernel_;
+  std::vector<SurfacePtr> surfaces_;  // sorted by z ascending at composition
+  int next_surface_id_ = 1;
+  int focused_id_ = 0;
+  int next_z_ = 1;
+  WmStats stats_;
+  // Starts true: the desktop background must be painted once before
+  // dirty-rect deltas are meaningful — otherwise never-damaged regions keep
+  // whatever the framebuffer powered on with (the §4.3 stale-pixel lesson,
+  // WM edition).
+  bool full_repaint_pending_ = true;
+};
+
+// /dev/event1: thin DevNode forwarding to WindowManager::ReadEventsFor.
+// (Registered by the kernel; reads block on the focused surface's queue.)
+
+}  // namespace vos
+
+#endif  // VOS_SRC_WM_WM_H_

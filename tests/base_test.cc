@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/base/crc32.h"
+#include "src/base/deflate.h"
+#include "src/base/inflate.h"
+#include "src/base/intrusive_list.h"
+#include "src/base/md5.h"
+#include "src/base/random.h"
+#include "src/base/ring_buffer.h"
+#include "src/base/sha256.h"
+
+namespace vos {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+    std::int64_t v = r.NextRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RingBuffer, PushPopOrder) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(rb.Push(i));
+  }
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.Push(99));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*rb.Pop(), i);
+  }
+  EXPECT_FALSE(rb.Pop().has_value());
+}
+
+TEST(RingBuffer, OverwriteEvictsOldest) {
+  RingBuffer<int> rb(3);
+  rb.Push(1);
+  rb.Push(2);
+  rb.Push(3);
+  EXPECT_TRUE(rb.PushOverwrite(4));
+  EXPECT_EQ(*rb.Pop(), 2);
+  EXPECT_EQ(*rb.Pop(), 3);
+  EXPECT_EQ(*rb.Pop(), 4);
+}
+
+TEST(RingBuffer, PeekAndAt) {
+  RingBuffer<int> rb(8);
+  rb.Push(10);
+  rb.Push(20);
+  EXPECT_EQ(*rb.Peek(), 10);
+  EXPECT_EQ(rb.At(1), 20);
+  EXPECT_EQ(rb.size(), 2u);  // peeking does not consume
+}
+
+TEST(RingBuffer, BulkOps) {
+  RingBuffer<int> rb(5);
+  int in[7] = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(rb.PushMany(in, 7), 5u);
+  int out[8];
+  EXPECT_EQ(rb.PopMany(out, 8), 5u);
+  EXPECT_EQ(out[4], 5);
+}
+
+struct Node {
+  int value = 0;
+  ListNode hook;
+};
+
+TEST(IntrusiveList, FifoAndRemove) {
+  IntrusiveList<Node, &Node::hook> list;
+  Node a, b, c;
+  a.value = 1;
+  b.value = 2;
+  c.value = 3;
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  list.Remove(&b);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontAndIterate) {
+  IntrusiveList<Node, &Node::hook> list;
+  Node n[4];
+  for (int i = 0; i < 4; ++i) {
+    n[i].value = i;
+    list.PushFront(&n[i]);
+  }
+  int expect = 3;
+  for (Node* p : list) {
+    EXPECT_EQ(p->value, expect--);
+  }
+  EXPECT_TRUE(list.Contains(&n[2]));
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Streaming equals one-shot.
+  std::uint32_t c = Crc32Update(0, "1234", 4);
+  c = Crc32Update(c, "56789", 5);
+  EXPECT_EQ(c, 0xcbf43926u);
+}
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("", 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const char* two_blocks = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(two_blocks, 56)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::string data(1000, 'x');
+  Sha256 s;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    s.Update(data.data() + i, std::min<std::size_t>(7, data.size() - i));
+  }
+  EXPECT_EQ(Sha256::ToHex(s.Final()), Sha256::ToHex(Sha256::Hash(data.data(), data.size())));
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::ToHex(Md5::Hash("", 0)), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::ToHex(Md5::Hash("abc", 3)), "900150983cd24fb0d6963f7d28e17f72");
+  const char* alpha = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(Md5::ToHex(Md5::Hash(alpha, 26)), "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Deflate, RoundTripText) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog ";
+  }
+  auto compressed = Deflate(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  EXPECT_LT(compressed.size(), text.size() / 3);  // repetitive text compresses
+  auto out = Inflate(compressed.data(), compressed.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::string(out->begin(), out->end()), text);
+}
+
+TEST(Deflate, RoundTripRandomBinary) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> data(rng.NextBelow(5000) + 1);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.Next());
+    }
+    auto compressed = Deflate(data.data(), data.size());
+    auto out = Inflate(compressed.data(), compressed.size());
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+  }
+}
+
+TEST(Deflate, ZlibRoundTripVerifiesAdler) {
+  std::vector<std::uint8_t> data(1000, 42);
+  auto z = ZlibDeflate(data.data(), data.size());
+  auto out = ZlibInflate(z.data(), z.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+  // Corrupt the checksum: inflate must reject.
+  z[z.size() - 1] ^= 0xff;
+  EXPECT_FALSE(ZlibInflate(z.data(), z.size()).has_value());
+}
+
+TEST(Inflate, RejectsGarbage) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> junk(rng.NextBelow(200) + 4);
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.Next());
+    }
+    // Must not crash or hang; may occasionally decode garbage, never throw.
+    Inflate(junk.data(), junk.size(), 1 << 16);
+  }
+  SUCCEED();
+}
+
+TEST(Inflate, StoredBlocks) {
+  // Hand-built stored block: BFINAL=1, BTYPE=00, LEN=3.
+  std::vector<std::uint8_t> raw = {0x01, 0x03, 0x00, 0xfc, 0xff, 'a', 'b', 'c'};
+  auto out = Inflate(raw.data(), raw.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::string(out->begin(), out->end()), "abc");
+}
+
+TEST(Adler32, KnownValue) {
+  // Adler-32 of "Wikipedia" is 0x11E60398.
+  EXPECT_EQ(Adler32(reinterpret_cast<const std::uint8_t*>("Wikipedia"), 9), 0x11e60398u);
+}
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/random.h"
+#include "src/base/status.h"
+#include "src/fs/fat32.h"
+
+namespace vos {
+namespace {
+
+class Fat32Test : public ::testing::Test {
+ protected:
+  Fat32Test()
+      : disk_(FatVolume::Mkfs(MiB(8))), bc_(cfg_), fat_(bc_, bc_.AddDevice(&disk_), cfg_) {
+    Cycles burn = 0;
+    EXPECT_EQ(fat_.Mount(&burn), 0);
+  }
+
+  FatNode MustCreate(const std::string& path, bool is_dir = false) {
+    FatNode node;
+    Cycles burn = 0;
+    EXPECT_EQ(fat_.Create(path, is_dir, &node, &burn), 0) << path;
+    return node;
+  }
+
+  std::vector<std::uint8_t> ReadAll(const FatNode& f) {
+    std::vector<std::uint8_t> out(f.size);
+    Cycles burn = 0;
+    EXPECT_EQ(fat_.Read(f, out.data(), 0, f.size, &burn), static_cast<std::int64_t>(f.size));
+    return out;
+  }
+
+  KernelConfig cfg_;
+  RamDisk disk_;
+  Bcache bc_;
+  FatVolume fat_;
+};
+
+TEST_F(Fat32Test, MountParsesBpb) {
+  EXPECT_TRUE(fat_.mounted());
+  EXPECT_GT(fat_.total_clusters(), 1000u);
+  EXPECT_EQ(fat_.cluster_bytes(), 8u * 512);
+}
+
+TEST_F(Fat32Test, CreateWriteReadRoundTrip) {
+  FatNode f = MustCreate("/hello.txt");
+  std::string data = "fat32 says hi";
+  Cycles burn = 0;
+  EXPECT_EQ(fat_.Write(f, reinterpret_cast<const std::uint8_t*>(data.data()), 0,
+                       static_cast<std::uint32_t>(data.size()), &burn),
+            static_cast<std::int64_t>(data.size()));
+  auto got = ReadAll(f);
+  EXPECT_EQ(std::string(got.begin(), got.end()), data);
+  // Visible via lookup too.
+  auto found = fat_.Lookup("/hello.txt", &burn);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size, data.size());
+}
+
+TEST_F(Fat32Test, LongFileNamesStoredAndFound) {
+  const std::string name = "/A long name with spaces and MixedCase.tar.gz";
+  MustCreate(name);
+  Cycles burn = 0;
+  auto found = fat_.Lookup(name, &burn);
+  ASSERT_TRUE(found.has_value());
+  // Case-insensitive, as FAT is.
+  EXPECT_TRUE(fat_.Lookup("/a long NAME with spaces and mixedcase.TAR.GZ", &burn).has_value());
+  // The directory listing shows the long name.
+  auto entries = fat_.ReadDir(fat_.Root(), &burn);
+  bool seen = false;
+  for (const auto& e : entries) {
+    seen |= e.name == "A long name with spaces and MixedCase.tar.gz";
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(Fat32Test, ShortNamesStayShort) {
+  MustCreate("/README.TXT");
+  Cycles burn = 0;
+  auto entries = fat_.ReadDir(fat_.Root(), &burn);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "README.TXT");
+}
+
+TEST_F(Fat32Test, MultiClusterFilesAndChains) {
+  FatNode f = MustCreate("/big.bin");
+  std::vector<std::uint8_t> data(fat_.cluster_bytes() * 5 + 123);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  Cycles burn = 0;
+  EXPECT_EQ(fat_.Write(f, data.data(), 0, static_cast<std::uint32_t>(data.size()), &burn),
+            static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(ReadAll(f), data);
+  // Partial reads at arbitrary offsets.
+  std::vector<std::uint8_t> part(1000);
+  EXPECT_EQ(fat_.Read(f, part.data(), 8111, 1000, &burn), 1000);
+  EXPECT_TRUE(std::equal(part.begin(), part.end(), data.begin() + 8111));
+}
+
+TEST_F(Fat32Test, ExtendAndOverwrite) {
+  FatNode f = MustCreate("/grow");
+  Cycles burn = 0;
+  std::vector<std::uint8_t> a(100, 'a');
+  fat_.Write(f, a.data(), 0, 100, &burn);
+  std::vector<std::uint8_t> b(100, 'b');
+  fat_.Write(f, b.data(), 50, 100, &burn);  // overlaps and extends
+  EXPECT_EQ(f.size, 150u);
+  auto got = ReadAll(f);
+  EXPECT_EQ(got[49], 'a');
+  EXPECT_EQ(got[50], 'b');
+  EXPECT_EQ(got[149], 'b');
+  // Writes beyond EOF (holes) are refused.
+  EXPECT_EQ(fat_.Write(f, a.data(), 500, 10, &burn), kErrInval);
+}
+
+TEST_F(Fat32Test, SubdirectoriesNest) {
+  MustCreate("/photos", true);
+  MustCreate("/photos/2025", true);
+  MustCreate("/photos/2025/trip.bmp");
+  Cycles burn = 0;
+  EXPECT_TRUE(fat_.Lookup("/photos/2025/trip.bmp", &burn).has_value());
+  auto lst = fat_.ReadDir(*fat_.Lookup("/photos", &burn), &burn);
+  ASSERT_EQ(lst.size(), 1u);
+  EXPECT_TRUE(lst[0].is_dir);
+}
+
+TEST_F(Fat32Test, UnlinkFreesClusters) {
+  Cycles burn = 0;
+  std::uint32_t free_before = fat_.FreeClusters(&burn);
+  FatNode f = MustCreate("/temp.bin");
+  std::vector<std::uint8_t> data(fat_.cluster_bytes() * 3, 1);
+  fat_.Write(f, data.data(), 0, static_cast<std::uint32_t>(data.size()), &burn);
+  EXPECT_EQ(fat_.FreeClusters(&burn), free_before - 3);
+  EXPECT_EQ(fat_.Unlink("/temp.bin", &burn), 0);
+  EXPECT_EQ(fat_.FreeClusters(&burn), free_before);
+  EXPECT_FALSE(fat_.Lookup("/temp.bin", &burn).has_value());
+}
+
+TEST_F(Fat32Test, UnlinkReclaimsLfnSlots) {
+  Cycles burn = 0;
+  // Create and delete long-named files repeatedly; the directory must not
+  // leak entry slots (it stays within its first cluster).
+  for (int i = 0; i < 40; ++i) {
+    std::string name = "/a rather long temporary file name " + std::to_string(i) + ".dat";
+    MustCreate(name);
+    EXPECT_EQ(fat_.Unlink(name, &burn), 0);
+  }
+  auto entries = fat_.ReadDir(fat_.Root(), &burn);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(Fat32Test, TruncateResetsFile) {
+  FatNode f = MustCreate("/t.bin");
+  Cycles burn = 0;
+  std::vector<std::uint8_t> data(10000, 5);
+  fat_.Write(f, data.data(), 0, 10000, &burn);
+  std::uint32_t free_mid = fat_.FreeClusters(&burn);
+  EXPECT_EQ(fat_.Truncate(f, &burn), 0);
+  EXPECT_EQ(f.size, 0u);
+  EXPECT_GT(fat_.FreeClusters(&burn), free_mid);
+  // Write again after truncate.
+  EXPECT_EQ(fat_.Write(f, data.data(), 0, 100, &burn), 100);
+}
+
+TEST_F(Fat32Test, Alias83Generation) {
+  EXPECT_TRUE(FatNameFits83("README.TXT"));
+  EXPECT_FALSE(FatNameFits83("lowercase.txt"));
+  EXPECT_FALSE(FatNameFits83("a name with spaces.txt"));
+  EXPECT_FALSE(FatNameFits83("waytoolongbasename.txt"));
+  std::string alias = FatMake83("My Vacation Photos.jpeg", 1);
+  EXPECT_EQ(alias.size(), 11u);
+  EXPECT_EQ(alias.substr(8, 3), "JPE");
+  EXPECT_NE(alias.find('~'), std::string::npos);
+}
+
+TEST_F(Fat32Test, LfnChecksumMatchesSpecExample) {
+  // Checksum of "FOO     BAR" per the Microsoft algorithm.
+  const std::uint8_t name[11] = {'F', 'O', 'O', ' ', ' ', ' ', ' ', ' ', 'B', 'A', 'R'};
+  std::uint8_t sum = FatLfnChecksum(name);
+  // Self-consistency: same input, same checksum; different input differs.
+  const std::uint8_t other[11] = {'F', 'O', 'O', ' ', ' ', ' ', ' ', ' ', 'B', 'A', 'Z'};
+  EXPECT_EQ(sum, FatLfnChecksum(name));
+  EXPECT_NE(sum, FatLfnChecksum(other));
+}
+
+TEST_F(Fat32Test, DirectoryGrowsBeyondOneCluster) {
+  Cycles burn = 0;
+  // 8 sectors/cluster * 16 entries/sector = 128 slots; long names use ~4
+  // slots each, so 60 files force an extension.
+  for (int i = 0; i < 60; ++i) {
+    MustCreate("/some quite long file name number " + std::to_string(i) + ".txt");
+  }
+  auto entries = fat_.ReadDir(fat_.Root(), &burn);
+  EXPECT_EQ(entries.size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(fat_.Lookup("/some quite long file name number " + std::to_string(i) + ".txt",
+                            &burn)
+                    .has_value())
+        << i;
+  }
+}
+
+TEST_F(Fat32Test, RangeIoFasterThanBlockByBlock) {
+  FatNode f = MustCreate("/speed.bin");
+  std::vector<std::uint8_t> data(256 * 1024);
+  Cycles burn = 0;
+  fat_.Write(f, data.data(), 0, static_cast<std::uint32_t>(data.size()), &burn);
+  // Read with the bypass on vs off (the §5.2 ablation at fs level). The
+  // ramdisk has little per-command overhead, so compare via a config copy
+  // with bypass disabled: more bcache traffic, same data.
+  KernelConfig no_bypass = cfg_;
+  no_bypass.opt_bcache_bypass = false;
+  Bcache bc2(no_bypass);
+  RamDisk disk2(disk_.data());
+  FatVolume fat2(bc2, bc2.AddDevice(&disk2), no_bypass);
+  Cycles b2 = 0;
+  EXPECT_EQ(fat2.Mount(&b2), 0);
+  auto f2 = fat2.Lookup("/speed.bin", &b2);
+  ASSERT_TRUE(f2.has_value());
+  Cycles fast = 0, slow = 0;
+  std::vector<std::uint8_t> out(data.size());
+  EXPECT_GT(fat_.Read(f, out.data(), 0, static_cast<std::uint32_t>(out.size()), &fast), 0);
+  EXPECT_GT(fat2.Read(*f2, out.data(), 0, static_cast<std::uint32_t>(out.size()), &slow), 0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST_F(Fat32Test, RandomOpsMatchReferenceModel) {
+  Rng rng(7777);
+  std::map<std::string, std::vector<std::uint8_t>> model;
+  std::map<std::string, FatNode> nodes;
+  Cycles burn = 0;
+  for (int step = 0; step < 300; ++step) {
+    int op = static_cast<int>(rng.NextBelow(10));
+    std::string name = "/file with space " + std::to_string(rng.NextBelow(10)) + ".bin";
+    if (op < 4) {  // create/append-or-overwrite
+      if (!nodes.count(name)) {
+        FatNode node;
+        if (fat_.Create(name, false, &node, &burn) != 0) {
+          continue;
+        }
+        nodes[name] = node;
+        model[name] = {};
+      }
+      FatNode& node = nodes[name];
+      auto& ref = model[name];
+      std::uint32_t off = static_cast<std::uint32_t>(rng.NextBelow(ref.size() + 1));
+      std::vector<std::uint8_t> data(rng.NextBelow(9000) + 1);
+      for (auto& d : data) {
+        d = static_cast<std::uint8_t>(rng.Next());
+      }
+      std::int64_t w =
+          fat_.Write(node, data.data(), off, static_cast<std::uint32_t>(data.size()), &burn);
+      if (w > 0) {
+        if (ref.size() < off + static_cast<std::uint64_t>(w)) {
+          ref.resize(off + static_cast<std::uint64_t>(w));
+        }
+        std::copy(data.begin(), data.begin() + w, ref.begin() + off);
+      }
+    } else if (op < 5) {  // unlink
+      bool in_model = model.erase(name) == 1;
+      nodes.erase(name);
+      EXPECT_EQ(fat_.Unlink(name, &burn) == 0, in_model) << name;
+    } else {  // verify
+      auto it = model.find(name);
+      auto found = fat_.Lookup(name, &burn);
+      ASSERT_EQ(found.has_value(), it != model.end()) << name;
+      if (found) {
+        ASSERT_EQ(found->size, it->second.size()) << name;
+        std::vector<std::uint8_t> got(found->size);
+        fat_.Read(*found, got.data(), 0, found->size, &burn);
+        EXPECT_EQ(got, it->second) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/board.h"
+
+namespace vos {
+namespace {
+
+TEST(EventQueue, RunsInTimeThenSeqOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.Schedule(100, [&] { order.push_back(1); });
+  eq.Schedule(50, [&] { order.push_back(0); });
+  eq.Schedule(100, [&] { order.push_back(2); });  // same time: schedule order
+  eq.RunDue(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsRun) {
+  EventQueue eq;
+  int fired = 0;
+  EventId id = eq.Schedule(10, [&] { ++fired; });
+  eq.Schedule(20, [&] { ++fired; });
+  eq.Cancel(id);
+  EXPECT_EQ(eq.pending(), 1u);
+  eq.RunDue(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, HandlerMaySchedule) {
+  EventQueue eq;
+  int fired = 0;
+  eq.Schedule(10, [&] {
+    ++fired;
+    eq.Schedule(15, [&] { ++fired; });
+  });
+  eq.RunDue(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(eq.NextTime().has_value());
+}
+
+TEST(Intc, RoutingAndMasking) {
+  Intc intc(4);
+  intc.Raise(kIrqUsb);
+  EXPECT_FALSE(intc.PendingFor(0).has_value());  // not enabled yet
+  intc.Enable(kIrqUsb);
+  EXPECT_EQ(*intc.PendingFor(0), kIrqUsb);       // default route: core 0
+  EXPECT_FALSE(intc.PendingFor(1).has_value());
+  intc.RouteTo(kIrqUsb, 2);
+  EXPECT_EQ(*intc.PendingFor(2), kIrqUsb);
+  intc.Clear(kIrqUsb);
+  EXPECT_FALSE(intc.PendingFor(2).has_value());
+}
+
+TEST(Intc, PerCoreTimerLines) {
+  Intc intc(4);
+  for (unsigned c = 0; c < 4; ++c) {
+    intc.Enable(CoreTimerIrq(c));
+    intc.Raise(CoreTimerIrq(c));
+  }
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_EQ(*intc.PendingFor(c), CoreTimerIrq(c));
+  }
+}
+
+TEST(Intc, FiqRoundRobin) {
+  Intc intc(4);
+  intc.RaiseFiq();
+  EXPECT_EQ(intc.ConsumeFiq(), 0u);
+  intc.RaiseFiq();
+  EXPECT_EQ(intc.ConsumeFiq(), 1u);
+}
+
+TEST(PhysMem, ScrambleLeavesJunk) {
+  PhysMem mem(MiB(1));
+  mem.Scramble(1234);
+  // Real hardware: not all zeros.
+  std::uint64_t nonzero = 0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    nonzero += mem.Ptr(i, 1)[0] != 0;
+  }
+  EXPECT_GT(nonzero, 3000u);
+}
+
+TEST(PhysMem, TypedAccess) {
+  PhysMem mem(MiB(1));
+  mem.Store<std::uint32_t>(0x100, 0xdeadbeef);
+  EXPECT_EQ(mem.Load<std::uint32_t>(0x100), 0xdeadbeefu);
+  EXPECT_THROW(mem.Ptr(MiB(1), 1), FatalError);
+}
+
+TEST(SysTimer, CompareFiresAtMicrosecond) {
+  EventQueue eq;
+  Intc intc(1);
+  SysTimer st(eq, intc);
+  intc.Enable(kIrqSysTimerC1);
+  st.SetCompare(1, 500);  // 500 us
+  eq.RunDue(Us(499));
+  EXPECT_FALSE(intc.IsPending(kIrqSysTimerC1));
+  eq.RunDue(Us(500));
+  EXPECT_TRUE(intc.IsPending(kIrqSysTimerC1));
+  st.ClearMatch(1);
+  EXPECT_FALSE(intc.IsPending(kIrqSysTimerC1));
+}
+
+TEST(CoreTimer, ArmAndDisarm) {
+  EventQueue eq;
+  Intc intc(2);
+  CoreTimer ct(eq, intc, 1);
+  ct.Arm(0, Ms(1));
+  eq.RunDue(Ms(1));
+  EXPECT_TRUE(intc.IsPending(CoreTimerIrq(1)));
+  ct.ClearIrq();
+  ct.Arm(Ms(1), Ms(1));
+  ct.Disarm();
+  eq.RunDue(Ms(10));
+  EXPECT_FALSE(intc.IsPending(CoreTimerIrq(1)));
+}
+
+TEST(Uart, PolledTxTakesWireTime) {
+  EventQueue eq;
+  Intc intc(1);
+  Uart uart(eq, intc);
+  Cycles t = 0;
+  EXPECT_TRUE(uart.TxReady(t));
+  uart.TxWrite('A', t);
+  // One char at 115200 8N1 ~= 86.8 us.
+  EXPECT_FALSE(uart.TxReady(t + Us(80)));
+  EXPECT_TRUE(uart.TxReady(t + Us(90)));
+  EXPECT_EQ(uart.tx_log(), "A");
+}
+
+TEST(Uart, RxIrqAndOverrun) {
+  EventQueue eq;
+  Intc intc(1);
+  Uart uart(eq, intc);
+  intc.Enable(kIrqAux);
+  uart.EnableRxIrq(true);
+  uart.InjectRx("hi", 0);
+  EXPECT_TRUE(intc.IsPending(kIrqAux));
+  EXPECT_EQ(uart.RxRead(), 'h');
+  EXPECT_EQ(uart.RxRead(), 'i');
+  EXPECT_FALSE(intc.IsPending(kIrqAux));  // drained clears the line
+  uart.InjectRx(std::string(40, 'x'), 0);  // FIFO is 16 deep
+  EXPECT_GT(uart.rx_overruns(), 0u);
+}
+
+TEST(MailboxFb, PropertyProtocolAllocates) {
+  FramebufferHw fb;
+  Mailbox mb(fb, MiB(64));
+  std::vector<std::uint32_t> msg = {
+      0, kMailboxRequest,
+      kTagSetPhysicalSize, 8, 0, 320, 240,
+      kTagSetVirtualSize, 8, 0, 320, 240,
+      kTagSetDepth, 4, 0, 32,
+      kTagAllocateBuffer, 8, 0, 16, 0,
+      kTagGetPitch, 4, 0, 0,
+      kTagEnd};
+  msg[0] = static_cast<std::uint32_t>(msg.size() * 4);
+  Cycles c = mb.Call(msg);
+  EXPECT_GT(c, 0u);
+  EXPECT_EQ(msg[1], kMailboxResponseOk);
+  EXPECT_TRUE(fb.allocated());
+  EXPECT_EQ(fb.width(), 320u);
+  EXPECT_EQ(fb.pitch(), 320u * 4);
+  // The response carried the bus address and size.
+  EXPECT_EQ(msg[19], static_cast<std::uint32_t>(fb.bus_addr()));
+  EXPECT_EQ(msg[20], 320u * 240 * 4);
+  EXPECT_EQ(msg[24], 320u * 4);  // pitch
+}
+
+TEST(FramebufferCache, UnflushedWritesInvisible) {
+  FramebufferHw fb;
+  fb.Configure(64, 64);
+  fb.cpu_pixels()[0] = 0xffff0000;
+  // Scanout still shows the old pixel: the §4.3 stale-pixel artifact.
+  EXPECT_NE(fb.scanout_pixels()[0], 0xffff0000u);
+  EXPECT_FALSE(fb.Coherent());
+  fb.FlushRange(0, 4);
+  EXPECT_EQ(fb.scanout_pixels()[0], 0xffff0000u);
+}
+
+TEST(FramebufferCache, EvictionGraduallyHealsArtifacts) {
+  FramebufferHw fb;
+  fb.Configure(64, 64);
+  for (std::size_t i = 0; i < 64 * 64; ++i) {
+    fb.cpu_pixels()[i] = 0xff00ff00;
+  }
+  EXPECT_FALSE(fb.Coherent());
+  // Random write-back slowly converges ("artifacts gradually disappear").
+  for (int i = 0; i < 2000 && !fb.Coherent(); ++i) {
+    fb.EvictRandomLines(i, 8);
+  }
+  EXPECT_TRUE(fb.Coherent());
+}
+
+TEST(FramebufferCache, FlushRoundsToCacheLines) {
+  FramebufferHw fb;
+  fb.Configure(64, 64);
+  std::uint64_t flushed = fb.FlushRange(10, 4);
+  EXPECT_EQ(flushed % kCacheLineSize, 0u);
+  EXPECT_GE(flushed, kCacheLineSize);
+}
+
+TEST(SdCard, InitStateMachineEnforced) {
+  SdCard sd(MiB(1));
+  std::uint8_t buf[512];
+  EXPECT_THROW(sd.ReadBlocks(0, 1, buf, false), FatalError);  // before init
+  sd.CmdGoIdle();
+  sd.CmdSendIfCond(0x1aa);
+  while (!sd.ready()) {
+    if (sd.state() == SdCard::State::kIdle) {
+      sd.AcmdSendOpCond();
+    } else {
+      break;
+    }
+  }
+  sd.CmdAllSendCid();
+  std::uint16_t rca;
+  sd.CmdSendRelativeAddr(&rca);
+  sd.CmdSelectCard(rca);
+  EXPECT_TRUE(sd.ready());
+  EXPECT_NO_THROW(sd.ReadBlocks(0, 1, buf, false));
+}
+
+TEST(SdCard, RangeTransfersAmortizeCommandOverhead) {
+  SdCard sd(MiB(4));
+  sd.CmdGoIdle();
+  sd.CmdSendIfCond(0x1aa);
+  sd.AcmdSendOpCond();
+  sd.AcmdSendOpCond();
+  sd.AcmdSendOpCond();
+  sd.CmdAllSendCid();
+  std::uint16_t rca;
+  sd.CmdSendRelativeAddr(&rca);
+  sd.CmdSelectCard(rca);
+  std::vector<std::uint8_t> buf(64 * 512);
+  Cycles one_by_one = 0;
+  for (int i = 0; i < 64; ++i) {
+    one_by_one += sd.ReadBlocks(static_cast<std::uint64_t>(i), 1, buf.data(), false);
+  }
+  Cycles ranged = sd.ReadBlocks(0, 64, buf.data(), false);
+  // The paper's §5.2 observation: range I/O is 2-3x faster.
+  double speedup = double(one_by_one) / double(ranged);
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 4.5);
+  // DMA mode (production profile) is faster still.
+  Cycles dma = sd.ReadBlocks(0, 64, buf.data(), true);
+  EXPECT_LT(dma, ranged);
+}
+
+TEST(SdCard, DataIntegrity) {
+  SdCard sd(MiB(1));
+  sd.CmdGoIdle();
+  sd.CmdSendIfCond(0x1aa);
+  for (int i = 0; i < 3; ++i) {
+    sd.AcmdSendOpCond();
+  }
+  sd.CmdAllSendCid();
+  std::uint16_t rca;
+  sd.CmdSendRelativeAddr(&rca);
+  sd.CmdSelectCard(rca);
+  std::vector<std::uint8_t> wr(512 * 3);
+  for (std::size_t i = 0; i < wr.size(); ++i) {
+    wr[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  sd.WriteBlocks(5, 3, wr.data(), false);
+  std::vector<std::uint8_t> rd(512 * 3);
+  sd.ReadBlocks(5, 3, rd.data(), false);
+  EXPECT_EQ(wr, rd);
+}
+
+TEST(DmaAudio, ConsumesAtSampleRate) {
+  BoardConfig bc;
+  bc.dram_size = MiB(8);
+  Board board(bc);
+  board.audio().SetCapture(true);
+  board.intc().Enable(kIrqDma0);
+  // 1024 stereo frames at 44.1 kHz ~= 23.2 ms.
+  PhysAddr pa = MiB(1);
+  std::vector<std::int16_t> samples(1024 * 2, 1234);
+  board.mem().Write(pa, samples.data(), samples.size() * 2);
+  board.dma0().Submit(DmaControlBlock{pa, 1024 * 4}, 0);
+  EXPECT_TRUE(board.dma0().busy());
+  board.events().RunDue(Ms(22));
+  EXPECT_FALSE(board.intc().IsPending(kIrqDma0));
+  board.events().RunDue(Ms(24));
+  EXPECT_TRUE(board.intc().IsPending(kIrqDma0));
+  EXPECT_EQ(board.audio().frames_played(), 1024u);
+  EXPECT_EQ(board.audio().captured()[0], 1234);
+}
+
+TEST(Gpio, ButtonEdgeAndFiq) {
+  BoardConfig bc;
+  bc.dram_size = MiB(8);
+  Board board(bc);
+  Gpio& gpio = board.gpio();
+  gpio.SetEdgeDetect(kBtnA, Gpio::Edge::kBoth);
+  gpio.PressButton(kBtnA);
+  EXPECT_TRUE(gpio.EventDetected(kBtnA));
+  EXPECT_TRUE(board.intc().IsPending(kIrqGpio));
+  gpio.ClearEvent(kBtnA);
+  EXPECT_FALSE(board.intc().IsPending(kIrqGpio));
+  // Panic button goes to FIQ, not the normal line.
+  gpio.SetEdgeDetect(kBtnPanic, Gpio::Edge::kFalling);
+  gpio.RouteToFiq(kBtnPanic);
+  gpio.PressButton(kBtnPanic);
+  EXPECT_TRUE(board.intc().FiqPending());
+  EXPECT_FALSE(board.intc().IsPending(kIrqGpio));
+}
+
+TEST(UsbHw, EnumerationDescriptors) {
+  BoardConfig bc;
+  bc.dram_size = MiB(8);
+  Board board(bc);
+  UsbHostController& usb = board.usb();
+  usb.PowerOnPort();
+  usb.ResetPort();
+  Cycles d = 0;
+  auto dd = usb.ControlIn(0x80, kUsbGetDescriptor, kUsbDescDevice << 8, 0, 18, &d);
+  ASSERT_TRUE(dd.has_value());
+  EXPECT_EQ((*dd)[0], 18);
+  EXPECT_EQ((*dd)[1], kUsbDescDevice);
+  auto cfg = usb.ControlIn(0x80, kUsbGetDescriptor, kUsbDescConfiguration << 8, 0, 256, &d);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ((*cfg)[1], kUsbDescConfiguration);
+  EXPECT_EQ(cfg->size(), 34u);  // wTotalLength
+  EXPECT_TRUE(usb.ControlOut(0, kUsbSetAddress, 1, 0, &d));
+  EXPECT_TRUE(usb.ControlOut(0, kUsbSetConfiguration, 1, 0, &d));
+  EXPECT_TRUE(usb.configured());
+}
+
+TEST(UsbHw, InterruptPollingLatchesChangedReports) {
+  BoardConfig bc;
+  bc.dram_size = MiB(8);
+  Board board(bc);
+  UsbHostController& usb = board.usb();
+  board.intc().Enable(kIrqUsb);
+  Cycles d = 0;
+  usb.ControlOut(0, kUsbSetConfiguration, 1, 0, &d);
+  usb.StartInterruptPolling(0, 8);
+  board.events().RunDue(Ms(30));
+  EXPECT_FALSE(board.intc().IsPending(kIrqUsb));  // no key change yet
+  board.keyboard().KeyDown(kHidA);
+  board.events().RunDue(Ms(40));
+  EXPECT_TRUE(board.intc().IsPending(kIrqUsb));
+  auto rep = usb.ReadLatchedReport();
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->keys[0], kHidA);
+  EXPECT_FALSE(board.intc().IsPending(kIrqUsb));
+}
+
+TEST(UsbKeyboard, SixKeyRolloverAndModifiers) {
+  UsbKeyboard kbd;
+  kbd.KeyDown(kHidA, kModLeftShift);
+  kbd.KeyDown(kHidB);
+  EXPECT_EQ(kbd.current_report().keys[0], kHidA);
+  EXPECT_EQ(kbd.current_report().keys[1], kHidB);
+  EXPECT_EQ(kbd.current_report().modifiers, kModLeftShift);
+  kbd.KeyUp(kHidA);
+  EXPECT_EQ(kbd.current_report().keys[0], 0);
+  kbd.KeyUp(kHidB);
+  EXPECT_EQ(kbd.current_report().modifiers, 0);  // cleared with last key
+}
+
+TEST(PowerMeter, EnergyIntegration) {
+  PowerMeter pm;
+  pm.AddActive(PowerComponent::kSocBase, Sec(10));
+  pm.AddActive(PowerComponent::kHatDisplay, Sec(10));
+  double watts = pm.AverageWatts(Sec(10));
+  EXPECT_NEAR(watts, 1.12 + 0.95, 0.01);
+  EXPECT_GT(PowerMeter::BatteryHours(3.0), 3.5);
+  EXPECT_LT(PowerMeter::BatteryHours(4.2), 2.8);
+}
+
+}  // namespace
+}  // namespace vos

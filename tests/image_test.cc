@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/ulib/bmp.h"
+#include "src/ulib/pixel.h"
+#include "src/ulib/giflite.h"
+#include "src/ulib/pnglite.h"
+
+namespace vos {
+namespace {
+
+Image TestImage(std::uint32_t w, std::uint32_t h, std::uint64_t seed) {
+  Image img;
+  img.width = w;
+  img.height = h;
+  img.pixels.resize(std::size_t(w) * h);
+  Rng rng(seed);
+  for (auto& p : img.pixels) {
+    p = 0xff000000u | static_cast<std::uint32_t>(rng.Next() & 0x00ffffff);
+  }
+  return img;
+}
+
+TEST(Bmp, RoundTripExact) {
+  Image img = TestImage(33, 17, 3);  // odd width exercises row padding
+  auto bytes = BmpEncode(img);
+  auto back = BmpDecode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->width, 33u);
+  EXPECT_EQ(back->height, 17u);
+  EXPECT_EQ(back->pixels, img.pixels);
+}
+
+TEST(Bmp, RejectsTruncatedAndBogus) {
+  Image img = TestImage(8, 8, 4);
+  auto bytes = BmpEncode(img);
+  EXPECT_FALSE(BmpDecode(bytes.data(), 20).has_value());
+  bytes[0] = 'X';
+  EXPECT_FALSE(BmpDecode(bytes.data(), bytes.size()).has_value());
+}
+
+TEST(Png, RoundTripExact) {
+  Image img = TestImage(40, 25, 5);
+  auto bytes = PngEncode(img);
+  auto back = PngDecode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->width, 40u);
+  EXPECT_EQ(back->pixels, img.pixels);
+}
+
+TEST(Png, GradientCompressesWell) {
+  Image img;
+  img.width = 128;
+  img.height = 128;
+  img.pixels.resize(128 * 128);
+  for (std::uint32_t y = 0; y < 128; ++y) {
+    for (std::uint32_t x = 0; x < 128; ++x) {
+      img.pixels[y * 128 + x] = Rgb(static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y),
+                                    static_cast<std::uint8_t>(x));
+    }
+  }
+  auto bytes = PngEncode(img);
+  EXPECT_LT(bytes.size(), img.pixels.size() * 4 / 2);
+  auto back = PngDecode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->pixels, img.pixels);
+}
+
+TEST(Png, CrcCorruptionDetected) {
+  Image img = TestImage(16, 16, 6);
+  auto bytes = PngEncode(img);
+  bytes[40] ^= 0x01;  // flip a bit inside IDAT
+  EXPECT_FALSE(PngDecode(bytes.data(), bytes.size()).has_value());
+}
+
+TEST(Png, RejectsNonPng) {
+  std::vector<std::uint8_t> junk(200, 0x42);
+  EXPECT_FALSE(PngDecode(junk.data(), junk.size()).has_value());
+}
+
+TEST(Gif, LzwRoundTripProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> indices(rng.NextBelow(4000) + 1);
+    int bits = 2 + static_cast<int>(rng.NextBelow(7));  // min code size 2..8
+    int alphabet = 1 << bits;
+    for (auto& v : indices) {
+      v = static_cast<std::uint8_t>(rng.NextBelow(static_cast<std::uint64_t>(alphabet)));
+    }
+    auto lzw = GifLzwEncode(indices.data(), indices.size(), bits);
+    auto back = GifLzwDecode(lzw.data(), lzw.size(), bits, indices.size() + 16);
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    EXPECT_EQ(*back, indices) << "trial " << trial;
+  }
+}
+
+TEST(Gif, LzwRepetitiveDataCompresses) {
+  std::vector<std::uint8_t> indices(5000, 3);
+  auto lzw = GifLzwEncode(indices.data(), indices.size(), 8);
+  EXPECT_LT(lzw.size(), indices.size() / 10);
+}
+
+TEST(Gif, AnimationRoundTrip) {
+  std::vector<Image> frames;
+  for (int f = 0; f < 3; ++f) {
+    Image img;
+    img.width = 24;
+    img.height = 18;
+    img.pixels.assign(24 * 18, Rgb(static_cast<std::uint8_t>(f * 80), 64, 160));
+    frames.push_back(img);
+  }
+  auto bytes = GifEncode(frames, 70);
+  auto anim = GifDecode(bytes.data(), bytes.size());
+  ASSERT_TRUE(anim.has_value());
+  EXPECT_EQ(anim->width, 24u);
+  EXPECT_EQ(anim->frames.size(), 3u);
+  EXPECT_EQ(anim->delays_ms[0], 70u);
+  // 3:3:2 quantization: colors land within a quantization step.
+  for (int f = 0; f < 3; ++f) {
+    std::uint32_t got = anim->frames[static_cast<std::size_t>(f)].pixels[0];
+    int want_r = f * 80;
+    int got_r = static_cast<int>((got >> 16) & 0xff);
+    EXPECT_NEAR(got_r, want_r, 40) << "frame " << f;
+  }
+}
+
+TEST(Gif, RejectsGarbage) {
+  std::vector<std::uint8_t> junk(100, 0x11);
+  EXPECT_FALSE(GifDecode(junk.data(), junk.size()).has_value());
+}
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,216 @@
+// Unit tests for kernel subsystems not covered at the syscall level: the
+// buffer cache, virtual timers, klog wire timing, the semaphore table, and
+// pipe edge cases.
+#include <gtest/gtest.h>
+
+#include "src/base/status.h"
+#include "src/fs/bcache.h"
+#include "src/kernel/klog.h"
+#include "src/kernel/timer.h"
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+namespace {
+
+TEST(Bcache, HitsAvoidDeviceReads) {
+  KernelConfig cfg;
+  RamDisk disk(MiB(1));
+  Bcache bc(cfg);
+  int dev = bc.AddDevice(&disk);
+  Cycles c = 0;
+  Buf* b = bc.Read(dev, 5, &c);
+  b->data[0] = 0xaa;
+  Cycles w = 0;
+  bc.Write(b, &w);
+  bc.Release(b);
+  EXPECT_EQ(bc.misses(), 1u);
+  Buf* again = bc.Read(dev, 5, &c);
+  EXPECT_EQ(again->data[0], 0xaa);
+  EXPECT_EQ(bc.hits(), 1u);
+  bc.Release(again);
+}
+
+TEST(Bcache, LruRecyclesUnreferencedBuffers) {
+  KernelConfig cfg;
+  RamDisk disk(MiB(1));
+  Bcache bc(cfg);
+  int dev = bc.AddDevice(&disk);
+  Cycles c = 0;
+  // Touch more blocks than there are buffers; all released, so all recycle.
+  for (std::uint64_t lba = 0; lba < kNumBufs + 16; ++lba) {
+    Buf* b = bc.Read(dev, lba, &c);
+    bc.Release(b);
+  }
+  // Block 0 was evicted: reading it misses again.
+  std::uint64_t misses = bc.misses();
+  Buf* b = bc.Read(dev, 0, &c);
+  bc.Release(b);
+  EXPECT_EQ(bc.misses(), misses + 1);
+}
+
+TEST(Bcache, RangeWriteInvalidatesOverlaps) {
+  KernelConfig cfg;
+  cfg.opt_bcache_bypass = true;
+  RamDisk disk(MiB(1));
+  Bcache bc(cfg);
+  int dev = bc.AddDevice(&disk);
+  Cycles c = 0;
+  Buf* b = bc.Read(dev, 7, &c);
+  bc.Release(b);
+  std::vector<std::uint8_t> fresh(kBlockSize * 4, 0x77);
+  bc.WriteRange(dev, 6, 4, fresh.data());
+  // The cached copy of block 7 must not serve stale data.
+  Buf* again = bc.Read(dev, 7, &c);
+  EXPECT_EQ(again->data[0], 0x77);
+  bc.Release(again);
+}
+
+TEST(VirtualTimers, MultiplexManyOnOneCompare) {
+  EventQueue eq;
+  Intc intc(1);
+  SysTimer st(eq, intc);
+  VirtualTimers vt(st);
+  std::vector<int> fired;
+  vt.AddAt(Ms(5), [&] { fired.push_back(5); });
+  vt.AddAt(Ms(2), [&] { fired.push_back(2); });
+  vt.AddAt(Ms(8), [&] { fired.push_back(8); });
+  // Simulate the kernel's IRQ loop: run events, dispatch OnIrq at each fire.
+  for (int ms = 1; ms <= 10; ++ms) {
+    eq.RunDue(Ms(static_cast<std::uint64_t>(ms)));
+    if (intc.IsPending(kIrqSysTimerC1)) {
+      intc.Clear(kIrqSysTimerC1);
+      vt.OnIrq(Ms(static_cast<std::uint64_t>(ms)));
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 5, 8}));
+  EXPECT_EQ(vt.active(), 0u);
+}
+
+TEST(VirtualTimers, PeriodicAndCancel) {
+  EventQueue eq;
+  Intc intc(1);
+  SysTimer st(eq, intc);
+  VirtualTimers vt(st);
+  int ticks = 0;
+  auto id = vt.AddPeriodic(Ms(2), Ms(2), [&] { ++ticks; });
+  for (int ms = 1; ms <= 9; ++ms) {
+    eq.RunDue(Ms(static_cast<std::uint64_t>(ms)));
+    if (intc.IsPending(kIrqSysTimerC1)) {
+      intc.Clear(kIrqSysTimerC1);
+      vt.OnIrq(Ms(static_cast<std::uint64_t>(ms)));
+    }
+  }
+  EXPECT_EQ(ticks, 4);  // 2,4,6,8 ms
+  vt.Cancel(id);
+  for (int ms = 10; ms <= 14; ++ms) {
+    eq.RunDue(Ms(static_cast<std::uint64_t>(ms)));
+    if (intc.IsPending(kIrqSysTimerC1)) {
+      intc.Clear(kIrqSysTimerC1);
+      vt.OnIrq(Ms(static_cast<std::uint64_t>(ms)));
+    }
+  }
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(Klog, SynchronousTxCostsWireTime) {
+  EventQueue eq;
+  Intc intc(1);
+  Uart uart(eq, intc);
+  Klog klog(uart);
+  // 10 chars at 115200 8N1: ~868 us of polled waiting.
+  Cycles c = klog.Printf(0, "0123456789");
+  EXPECT_GT(ToUs(c), 800.0);
+  EXPECT_LT(ToUs(c), 1000.0);
+  EXPECT_EQ(uart.tx_log(), "0123456789");
+}
+
+TEST(SemTable, CreateDestroyAndErrors) {
+  System sys(OptionsForStage(Stage::kProto2));  // SemTable exists standalone
+  SemTable sems(sys.kernel().sched());
+  std::int64_t id = sems.Create(2);
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(sems.Value(static_cast<int>(id)), 2);
+  EXPECT_EQ(sems.Post(static_cast<int>(id)), 0);
+  EXPECT_EQ(sems.Value(static_cast<int>(id)), 3);
+  EXPECT_EQ(sems.Create(-1), kErrInval);
+  EXPECT_EQ(sems.Destroy(static_cast<int>(id)), 0);
+  EXPECT_EQ(sems.Post(static_cast<int>(id)), kErrInval);
+  EXPECT_EQ(sems.Wait(nullptr, 9999), kErrInval);
+}
+
+TEST(SemTable, ExhaustionReturnsNoSpace) {
+  System sys(OptionsForStage(Stage::kProto2));
+  SemTable sems(sys.kernel().sched());
+  std::vector<int> ids;
+  for (;;) {
+    std::int64_t id = sems.Create(0);
+    if (id < 0) {
+      EXPECT_EQ(id, kErrNoSpace);
+      break;
+    }
+    ids.push_back(static_cast<int>(id));
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kMaxSemaphores));
+  for (int id : ids) {
+    sems.Destroy(id);
+  }
+}
+
+TEST(PipeUnit, NonblockingReadOnEmpty) {
+  System sys(OptionsForStage(Stage::kProto5));
+  Kernel& k = sys.kernel();
+  bool checked = false;
+  k.CreateKernelTask("piper", [&] {
+    Pipe pipe(k.sched());
+    std::uint8_t buf[8];
+    // Non-blocking read of an empty pipe with a live writer: EWOULDBLOCK.
+    EXPECT_EQ(pipe.Read(k.CurrentTask(), buf, 8, /*nonblock=*/true), kErrWouldBlock);
+    pipe.CloseWrite();
+    // All writers gone: EOF.
+    EXPECT_EQ(pipe.Read(k.CurrentTask(), buf, 8, true), 0);
+    checked = true;
+  });
+  sys.Run(Ms(20));
+  EXPECT_TRUE(checked);
+}
+
+TEST(PipeUnit, WriteToClosedReaderIsEpipe) {
+  System sys(OptionsForStage(Stage::kProto5));
+  Kernel& k = sys.kernel();
+  bool checked = false;
+  k.CreateKernelTask("epipe", [&] {
+    Pipe pipe(k.sched());
+    pipe.CloseRead();
+    std::uint8_t b = 1;
+    EXPECT_EQ(pipe.Write(k.CurrentTask(), &b, 1), kErrPipe);
+    checked = true;
+  });
+  sys.Run(Ms(20));
+  EXPECT_TRUE(checked);
+}
+
+TEST(TaskFiberUnit, BudgetSlicingAcrossActivations) {
+  // A fiber burning more than its budget resumes exactly where it left off.
+  Cycles total = 0;
+  TaskFiber fiber([&] {
+    TaskFiber::Current()->Burn(Us(100));
+    total += Us(100);
+  });
+  Cycles consumed = 0;
+  int activations = 0;
+  while (consumed < Us(100)) {
+    auto rr = fiber.Run(Us(30), consumed);
+    consumed += rr.consumed;
+    ++activations;
+    if (rr.reason == TaskFiber::StopReason::kExited) {
+      break;
+    }
+  }
+  EXPECT_EQ(consumed, Us(100));
+  EXPECT_GE(activations, 4);  // 30+30+30+10
+  EXPECT_EQ(total, Us(100));
+}
+
+}  // namespace
+}  // namespace vos

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/random.h"
+#include "src/media/vmv.h"
+#include "src/media/vog.h"
+#include "src/media/wav.h"
+
+namespace vos {
+namespace {
+
+TEST(Dct, RoundTripIsNearIdentity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int16_t block[64];
+    for (auto& v : block) {
+      v = static_cast<std::int16_t>(rng.NextRange(-128, 127));
+    }
+    std::int32_t freq[64];
+    std::int16_t back[64];
+    Dct8x8(block, freq);
+    Idct8x8(freq, back);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(block[i], back[i], 2) << "coef " << i;
+    }
+  }
+}
+
+TEST(Dct, DcCoefficientIsBlockMean) {
+  std::int16_t block[64];
+  std::fill(block, block + 64, 100);
+  std::int32_t freq[64];
+  Dct8x8(block, freq);
+  EXPECT_NEAR(freq[0], 800, 1);  // 8 * mean for the orthonormal DCT
+  for (int i = 1; i < 64; ++i) {
+    EXPECT_EQ(freq[i], 0);
+  }
+}
+
+TEST(Vmv, IntraOnlyRoundTripQuality) {
+  VmvEncodeOptions opt;
+  opt.gop = 1;  // all I-frames
+  opt.quant = 4;
+  auto frames = SynthesizeScene(64, 48, 3);
+  VmvEncoder enc(64, 48, opt);
+  for (const auto& f : frames) {
+    enc.AddFrame(f);
+  }
+  auto bits = enc.Finish();
+  VmvDecoder dec;
+  ASSERT_TRUE(dec.Open(bits.data(), bits.size()));
+  EXPECT_EQ(dec.header().frame_count, 3u);
+  YuvFrame out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dec.DecodeFrame(&out));
+    double psnr = PsnrLuma(frames[static_cast<std::size_t>(i)], out);
+    EXPECT_GT(psnr, 30.0) << "frame " << i;
+  }
+  EXPECT_FALSE(dec.DecodeFrame(&out));  // end of stream
+}
+
+TEST(Vmv, InterFramesCompressAndTrackMotion) {
+  VmvEncodeOptions opt;
+  opt.gop = 30;
+  opt.quant = 6;
+  auto frames = SynthesizeScene(64, 48, 12);
+  VmvEncoder enc(64, 48, opt);
+  for (const auto& f : frames) {
+    enc.AddFrame(f);
+  }
+  auto bits = enc.Finish();
+  VmvDecoder dec;
+  ASSERT_TRUE(dec.Open(bits.data(), bits.size()));
+  YuvFrame out;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(dec.DecodeFrame(&out)) << i;
+    EXPECT_GT(PsnrLuma(frames[i], out), 26.0) << "frame " << i << " drifted";
+  }
+  EXPECT_GT(dec.stats().mbs_inter + dec.stats().mbs_skipped, 0u);
+  // P-frames make the stream smaller than intra-only.
+  VmvEncoder intra_enc(64, 48, VmvEncodeOptions{30, 6, 1, 7});
+  for (const auto& f : frames) {
+    intra_enc.AddFrame(f);
+  }
+  EXPECT_LT(bits.size(), intra_enc.Finish().size());
+}
+
+TEST(Vmv, RejectsCorruptStreams) {
+  auto frames = SynthesizeScene(32, 32, 2);
+  VmvEncoder enc(32, 32, {});
+  enc.AddFrame(frames[0]);
+  auto bits = enc.Finish();
+  VmvDecoder dec;
+  EXPECT_FALSE(dec.Open(bits.data(), 8));  // truncated header
+  bits[0] ^= 0xff;
+  EXPECT_FALSE(dec.Open(bits.data(), bits.size()));  // bad magic
+  // Truncated payload: Open succeeds, DecodeFrame fails gracefully.
+  auto frames2 = SynthesizeScene(32, 32, 1);
+  VmvEncoder enc2(32, 32, {});
+  enc2.AddFrame(frames2[0]);
+  auto bits2 = enc2.Finish();
+  VmvDecoder dec2;
+  ASSERT_TRUE(dec2.Open(bits2.data(), bits2.size() / 2));
+  YuvFrame out;
+  EXPECT_FALSE(dec2.DecodeFrame(&out));
+}
+
+TEST(Vmv, DecodeStatsDriveCostModel) {
+  auto frames = SynthesizeScene(64, 64, 2);
+  VmvEncoder enc(64, 64, VmvEncodeOptions{30, 8, 1, 7});
+  enc.AddFrame(frames[0]);
+  auto bits = enc.Finish();
+  VmvDecoder dec;
+  ASSERT_TRUE(dec.Open(bits.data(), bits.size()));
+  YuvFrame out;
+  ASSERT_TRUE(dec.DecodeFrame(&out));
+  // I-frame of 64x64: 64 luma + 2*16 chroma = 96 blocks.
+  EXPECT_EQ(dec.last_frame_blocks(), 96u);
+}
+
+TEST(ImaAdpcm, StepTableIsTheStandardOne) {
+  EXPECT_EQ(kImaStepTable[0], 7);
+  EXPECT_EQ(kImaStepTable[88], 32767);
+  EXPECT_EQ(kImaIndexTable[7], 8);
+  // Monotonic steps.
+  for (int i = 1; i < 89; ++i) {
+    EXPECT_GT(kImaStepTable[i], kImaStepTable[i - 1]);
+  }
+}
+
+TEST(Vog, RoundTripCloseToOriginal) {
+  WavData wav = SynthesizeMelody(22050, 22050, 2);
+  auto encoded = VogEncode(wav.samples.data(), wav.frames(), 2, 22050);
+  // 4 bits/sample: roughly 4x smaller than PCM16.
+  EXPECT_LT(encoded.size(), wav.samples.size() * 2 / 3);
+  VogDecoder dec;
+  ASSERT_TRUE(dec.Open(encoded.data(), encoded.size()));
+  EXPECT_EQ(dec.info().sample_rate, 22050u);
+  EXPECT_EQ(dec.info().channels, 2);
+  EXPECT_EQ(dec.info().total_frames, wav.frames());
+  std::vector<std::int16_t> out(wav.samples.size());
+  std::uint32_t got = 0;
+  while (got < wav.frames()) {
+    std::uint32_t n = dec.Decode(out.data() + std::size_t(got) * 2, 1000);
+    if (n == 0) {
+      break;
+    }
+    got += n;
+  }
+  EXPECT_EQ(got, wav.frames());
+  // ADPCM quality: signal-to-noise well above the noise floor.
+  double err = 0, sig = 0;
+  for (std::size_t i = 0; i < wav.samples.size(); ++i) {
+    double d = double(wav.samples[i]) - double(out[i]);
+    err += d * d;
+    sig += double(wav.samples[i]) * wav.samples[i];
+  }
+  double snr_db = 10.0 * std::log10(sig / (err + 1));
+  EXPECT_GT(snr_db, 18.0);
+}
+
+TEST(Vog, EmbeddedAlbumArtSurvives) {
+  WavData wav = SynthesizeMelody(8000, 4000, 1);
+  std::vector<std::uint8_t> art = {'P', 'N', 'G', '!', 1, 2, 3};
+  auto encoded = VogEncode(wav.samples.data(), wav.frames(), 1, 8000, art);
+  VogDecoder dec;
+  ASSERT_TRUE(dec.Open(encoded.data(), encoded.size()));
+  EXPECT_EQ(dec.Art(), art);
+}
+
+TEST(Vog, RejectsGarbage) {
+  std::vector<std::uint8_t> junk(64, 0xaa);
+  VogDecoder dec;
+  EXPECT_FALSE(dec.Open(junk.data(), junk.size()));
+  EXPECT_FALSE(dec.Open(junk.data(), 3));
+}
+
+TEST(Wav, EncodeDecodeRoundTrip) {
+  WavData wav = SynthesizeMelody(16000, 8000, 2);
+  auto bytes = WavEncode(wav);
+  auto back = WavDecode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sample_rate, 16000u);
+  EXPECT_EQ(back->channels, 2);
+  EXPECT_EQ(back->samples, wav.samples);
+}
+
+TEST(Wav, RejectsNonWav) {
+  std::vector<std::uint8_t> junk(100, 7);
+  EXPECT_FALSE(WavDecode(junk.data(), junk.size()).has_value());
+}
+
+}  // namespace
+}  // namespace vos

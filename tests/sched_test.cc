@@ -1,0 +1,214 @@
+// Scheduler + machine-loop tests: task execution, sleep/wakeup, round-robin
+// fairness, voluntary yield, multicore placement, WFI idle accounting.
+#include <gtest/gtest.h>
+
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+namespace {
+
+SystemOptions Proto2Opts() {
+  SystemOptions opt = OptionsForStage(Stage::kProto2);
+  return opt;
+}
+
+TEST(Sched, KernelTasksRunAndExit) {
+  System sys(Proto2Opts());
+  int ran = 0;
+  sys.kernel().CreateKernelTask("t1", [&] { ++ran; });
+  sys.kernel().CreateKernelTask("t2", [&] { ++ran; });
+  sys.Run(Ms(50));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Sched, SleepWakesAtTheRightTime) {
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  Cycles slept_from = 0, woke_at = 0;
+  k.CreateKernelTask("sleeper", [&] {
+    slept_from = k.Now();
+    k.KSleepMs(25);
+    woke_at = k.Now();
+  });
+  sys.Run(Ms(100));
+  ASSERT_GT(woke_at, 0u);
+  double ms = ToMs(woke_at - slept_from);
+  EXPECT_GE(ms, 25.0);
+  EXPECT_LT(ms, 28.0);  // wake + schedule slack
+}
+
+TEST(Sched, RoundRobinSharesTheCpuFairly) {
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  Cycles t1 = 0, t2 = 0;
+  auto spinner = [&k](Cycles* out) {
+    return [&k, out] {
+      Task* self = k.CurrentTask();
+      while (!self->killed) {
+        self->fiber().Burn(Ms(1));
+        *out += Ms(1);
+      }
+    };
+  };
+  k.CreateKernelTask("spin1", spinner(&t1));
+  k.CreateKernelTask("spin2", spinner(&t2));
+  sys.Run(Ms(400));
+  double ratio = double(t1) / double(t2);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+  EXPECT_GT(ToMs(t1 + t2), 350.0);  // the single core was ~fully used
+}
+
+TEST(Sched, SleepersDoNotBurnCpu) {
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  k.CreateKernelTask("idleish", [&] {
+    for (int i = 0; i < 5; ++i) {
+      k.KSleepMs(10);
+    }
+  });
+  Cycles busy_before = sys.kernel().machine().busy_time(0);
+  sys.Run(Ms(100));
+  Cycles busy = sys.kernel().machine().busy_time(0) - busy_before;
+  // Mostly idle: only wakeup/sleep transitions burn.
+  EXPECT_LT(ToMs(busy), 15.0);
+  EXPECT_GT(ToMs(sys.kernel().machine().idle_time(0)), 50.0);
+}
+
+TEST(Sched, WakeupChannelsAreSelective) {
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  char chan_a = 0, chan_b = 0;
+  bool woke_a = false, woke_b = false;
+  k.CreateKernelTask("wa", [&] {
+    k.sched().Sleep(k.CurrentTask(), &chan_a);
+    woke_a = true;
+  });
+  k.CreateKernelTask("wb", [&] {
+    k.sched().Sleep(k.CurrentTask(), &chan_b);
+    woke_b = true;
+  });
+  k.CreateKernelTask("waker", [&] {
+    k.KSleepMs(5);
+    k.sched().Wakeup(&chan_a);
+  });
+  sys.Run(Ms(50));
+  EXPECT_TRUE(woke_a);
+  EXPECT_FALSE(woke_b);
+}
+
+TEST(Sched, MulticoreDistributesTasks) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.with_media_assets = false;
+  System sys(opt);
+  Kernel& k = sys.kernel();
+  // Four CPU-bound kernel tasks on four cores: all should make ~full progress.
+  Cycles done[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    k.CreateKernelTask("spin" + std::to_string(i), [&k, &done, i] {
+      Task* self = k.CurrentTask();
+      while (!self->killed) {
+        self->fiber().Burn(Ms(1));
+        done[i] += Ms(1);
+      }
+    });
+  }
+  sys.Run(Ms(200));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(ToMs(done[i]), 150.0) << "task " << i << " starved";
+  }
+  // Utilization on all cores is high (the Fig 10 >95% check at steady state).
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_GT(sys.kernel().machine().Utilization(c), 0.5);
+  }
+}
+
+TEST(Sched, YieldRotatesImmediately) {
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  std::vector<int> order;
+  k.CreateKernelTask("y1", [&] {
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(1);
+      k.sched().Yield(k.CurrentTask());
+    }
+  });
+  k.CreateKernelTask("y2", [&] {
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(2);
+      k.sched().Yield(k.CurrentTask());
+    }
+  });
+  sys.Run(Ms(100));
+  ASSERT_EQ(order.size(), 6u);
+  // Strict alternation after the first rotation.
+  for (std::size_t i = 2; i < order.size(); ++i) {
+    EXPECT_NE(order[i], order[i - 1]);
+  }
+}
+
+TEST(Machine, IrqHandlerTimeDelaysTasks) {
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  // Charge heavy IRQ debt; a task's wall-clock progress slows accordingly.
+  k.vtimers().AddPeriodic(k.Now() + Ms(1), Ms(1), [&k] {
+    k.machine().ChargeIrq(0, Us(800));  // 80% of each tick in the handler
+  });
+  Cycles progressed = 0;
+  k.CreateKernelTask("victim", [&] {
+    Task* self = k.CurrentTask();
+    while (!self->killed) {
+      self->fiber().Burn(Us(100));
+      progressed += Us(100);
+    }
+  });
+  sys.Run(Ms(100));
+  // Of ~100ms, the handler stole ~80%.
+  EXPECT_LT(ToMs(progressed), 40.0);
+  EXPECT_GT(ToMs(progressed), 10.0);
+}
+
+TEST(Machine, UtilizationIdleWhenNothingRuns) {
+  System sys(Proto2Opts());
+  sys.Run(Ms(50));
+  EXPECT_LT(sys.kernel().machine().Utilization(0), 0.1);
+}
+
+TEST(Prototype1, DonutRendersInIrqHandler) {
+  SystemOptions opt = OptionsForStage(Stage::kProto1);
+  System sys(opt);
+  int frames = RunProto1DonutAppliance(sys, 10, 30);
+  EXPECT_GE(frames, 10);
+  // The screen shows the donut: scanout has non-background pixels.
+  Image shot = sys.Screenshot();
+  std::size_t lit = 0;
+  for (std::uint32_t px : shot.pixels) {
+    lit += (px & 0x00ffffff) != 0;
+  }
+  EXPECT_GT(lit, 500u);
+}
+
+TEST(Prototype2, ConcurrentDonutsSpinAtTheirOwnPace) {
+  SystemOptions opt = OptionsForStage(Stage::kProto2);
+  System sys(opt);
+  RunProto2Donuts(sys, 3, Ms(300));
+  // Three tasks exist beyond boot, all having consumed CPU.
+  int donuts = 0;
+  for (Task* t : sys.kernel().AllTasks()) {
+    if (t->name().rfind("donut", 0) == 0) {
+      ++donuts;
+      EXPECT_GT(t->cpu_time, 0u);
+    }
+  }
+  EXPECT_EQ(donuts, 3);
+  Image shot = sys.Screenshot();
+  std::size_t lit = 0;
+  for (std::uint32_t px : shot.pixels) {
+    lit += (px & 0x00ffffff) != 0;
+  }
+  EXPECT_GT(lit, 1000u);
+}
+
+}  // namespace
+}  // namespace vos

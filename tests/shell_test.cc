@@ -1,0 +1,105 @@
+// Shell edge cases: ';' sequencing, '#' comments, '&' background jobs, cd
+// state, exit mid-script, and error reporting for bad commands/paths.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+namespace {
+
+// Boots Prototype 5 with `script` installed at /etc/t.sh and runs it.
+struct ShellRun {
+  int rc;
+  std::string serial;
+};
+
+ShellRun RunScript(const std::string& script) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.extra_root.files.push_back(
+      FsEntry{"/etc/t.sh", std::vector<std::uint8_t>(script.begin(), script.end())});
+  System sys(opt);
+  int rc = static_cast<int>(sys.RunProgram("sh", {"/etc/t.sh"}));
+  return {rc, sys.SerialOutput()};
+}
+
+TEST(ShellTest, SemicolonSequencingPreservesOrder) {
+  ShellRun r = RunScript("echo alpha; echo beta; echo gamma\n");
+  EXPECT_EQ(r.rc, 0);
+  std::size_t a = r.serial.find("alpha");
+  std::size_t b = r.serial.find("beta");
+  std::size_t c = r.serial.find("gamma");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(ShellTest, CommentsAreStripped) {
+  ShellRun r = RunScript("echo visible # echo hidden\n# echo alsohidden\n");
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.serial.find("visible"), std::string::npos);
+  EXPECT_EQ(r.serial.find("hidden"), std::string::npos);
+}
+
+TEST(ShellTest, ExitStopsTheScript) {
+  ShellRun r = RunScript("echo first; exit; echo never\necho neither\n");
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.serial.find("first"), std::string::npos);
+  EXPECT_EQ(r.serial.find("never"), std::string::npos);
+  EXPECT_EQ(r.serial.find("neither"), std::string::npos);
+}
+
+TEST(ShellTest, BackgroundJobsDoNotBlockAndBothRun) {
+  ShellRun r = RunScript("echo bg > /bgout.txt &\necho fg\ncat /bgout.txt\n");
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.serial.find("fg"), std::string::npos);
+  // The background echo completed by the time cat ran (cat may race it on a
+  // pathological scheduler, but virtual time makes this deterministic).
+  EXPECT_NE(r.serial.find("bg"), std::string::npos);
+}
+
+TEST(ShellTest, CdChangesRelativeResolution) {
+  ShellRun r = RunScript(
+      "mkdir /box\n"
+      "cd /box\n"
+      "echo inside > here.txt\n"
+      "cat /box/here.txt\n"
+      "cd ..\n"
+      "cat box/here.txt\n");
+  EXPECT_EQ(r.rc, 0);
+  // Both cats printed the file: absolute and cwd-relative agree.
+  std::size_t first = r.serial.find("inside");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(r.serial.find("inside", first + 1), std::string::npos);
+}
+
+TEST(ShellTest, BadCommandAndBadCdAreReportedNotFatal) {
+  ShellRun r = RunScript("no-such-cmd\ncd /no/such/dir\necho still alive\n");
+  EXPECT_EQ(r.rc, 0);  // the script keeps going and the shell exits cleanly
+  EXPECT_NE(r.serial.find("exec no-such-cmd failed"), std::string::npos);
+  EXPECT_NE(r.serial.find("cannot cd"), std::string::npos);
+  EXPECT_NE(r.serial.find("still alive"), std::string::npos);
+}
+
+TEST(ShellTest, InputRedirectionFeedsStdin) {
+  ShellRun r = RunScript(
+      "echo one two three four > /in.txt\n"
+      "wc < /in.txt\n");
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.serial.find("1 4 19"), std::string::npos) << r.serial;
+}
+
+TEST(ShellTest, PipelineOfThreeStages) {
+  ShellRun r = RunScript(
+      "echo match here > /p.txt; echo miss there > /dev/null\n"
+      "cat /p.txt | grep match | wc\n");
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.serial.find("1 2 11"), std::string::npos) << r.serial;
+}
+
+}  // namespace
+}  // namespace vos

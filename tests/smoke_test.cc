@@ -1,0 +1,15 @@
+#include <gtest/gtest.h>
+
+#include "src/base/sha256.h"
+
+namespace vos {
+namespace {
+
+TEST(Smoke, Sha256Abc) {
+  Sha256Digest d = Sha256::Hash("abc", 3);
+  EXPECT_EQ(Sha256::ToHex(d),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace vos

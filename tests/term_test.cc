@@ -1,0 +1,71 @@
+// Graphical terminal: the shell in a WM window. Exercises the full stack in
+// one app — pipes as shell stdio, focused-key routing through /dev/event1,
+// the TextConsole widget, and clean shell reaping on exit.
+#include <gtest/gtest.h>
+
+#include "src/ulib/pixel.h"
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+namespace {
+
+constexpr std::uint32_t kTermFg = Rgb(140, 240, 150);
+
+int CountPixels(const Image& img, std::uint32_t color) {
+  int n = 0;
+  for (std::uint32_t px : img.pixels) {
+    if ((px & 0x00ffffffu) == (color & 0x00ffffffu)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(TermTest, ScriptedSessionRunsAndExits) {
+  System sys(OptionsForStage(Stage::kProto5));
+  EXPECT_EQ(sys.RunProgram("term", {"--type", "echo hello from vos\nexit\n"}), 0);
+}
+
+TEST(TermTest, RendersShellOutputToItsWindow) {
+  System sys(OptionsForStage(Stage::kProto5));
+  Task* t = sys.Start("term", {"--type", "echo greetings\n"});
+  ASSERT_NE(t, nullptr);
+  sys.Run(Sec(2));
+  // The window paints shell output in the terminal's green on dark blue.
+  EXPECT_GT(CountPixels(sys.Screenshot(), kTermFg), 40);
+  // Type "exit<enter>" at the (focused) terminal; the shell quits, the
+  // terminal reaps it and exits cleanly.
+  for (std::uint8_t k : {kHidE, kHidX, kHidI, kHidT, kHidEnter}) {
+    sys.TapKey(k);
+  }
+  EXPECT_EQ(sys.WaitProgram(t, Sec(20)), 0);
+}
+
+TEST(TermTest, PipelineOutputReachesTheWindow) {
+  System sys(OptionsForStage(Stage::kProto5));
+  Task* t = sys.Start("term", {"--type", "echo one two three | wc\nexit\n"});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(sys.WaitProgram(t, Sec(30)), 0);
+}
+
+TEST(TermTest, BackspaceEchoAndUnmappedKeysAreHarmless) {
+  System sys(OptionsForStage(Stage::kProto5));
+  Task* t = sys.Start("term");
+  ASSERT_NE(t, nullptr);
+  sys.Run(Ms(500));
+  sys.TapKey(kHidL);
+  sys.TapKey(kHidS);
+  sys.TapKey(kHidBackspace);
+  sys.TapKey(kHidBackspace);
+  sys.TapKey(kHidEsc);  // no mapping: dropped
+  sys.TapKey(kHidEnter);
+  sys.Run(Ms(300));
+  for (std::uint8_t k : {kHidE, kHidX, kHidI, kHidT, kHidEnter}) {
+    sys.TapKey(k);
+  }
+  EXPECT_EQ(sys.WaitProgram(t, Sec(20)), 0);
+}
+
+}  // namespace
+}  // namespace vos

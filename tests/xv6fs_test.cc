@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/random.h"
+#include "src/base/status.h"
+#include "src/fs/xv6fs.h"
+
+namespace vos {
+namespace {
+
+class Xv6FsTest : public ::testing::Test {
+ protected:
+  Xv6FsTest()
+      : disk_(Xv6Fs::Mkfs(2048, 128)), bc_(cfg_), fs_(bc_, bc_.AddDevice(&disk_), cfg_) {
+    Cycles burn = 0;
+    EXPECT_EQ(fs_.Mount(&burn), 0);
+  }
+
+  Xv6InodePtr MustCreate(const std::string& path, std::int16_t type = kXv6TFile) {
+    std::int64_t err = 0;
+    Cycles burn = 0;
+    auto ip = fs_.Create(path, type, 0, 0, &err, &burn);
+    EXPECT_NE(ip, nullptr) << path << ": " << ErrName(err);
+    return ip;
+  }
+
+  std::vector<std::uint8_t> ReadAll(Xv6Inode& ip) {
+    std::vector<std::uint8_t> out(ip.size);
+    Cycles burn = 0;
+    EXPECT_EQ(fs_.Readi(ip, out.data(), 0, ip.size, &burn),
+              static_cast<std::int64_t>(ip.size));
+    return out;
+  }
+
+  KernelConfig cfg_;
+  RamDisk disk_;
+  Bcache bc_;
+  Xv6Fs fs_;
+};
+
+TEST_F(Xv6FsTest, MkfsProducesValidSuperblock) {
+  EXPECT_EQ(fs_.sb().magic, kXv6Magic);
+  EXPECT_EQ(fs_.sb().size, 2048u);
+  EXPECT_EQ(fs_.sb().ninodes, 128u);
+  Cycles burn = 0;
+  auto root = fs_.GetInode(kRootInum, &burn);
+  EXPECT_EQ(root->type, kXv6TDir);
+  EXPECT_EQ(root->nlink, 2);
+}
+
+TEST_F(Xv6FsTest, CreateWriteReadBack) {
+  auto ip = MustCreate("/f.txt");
+  std::string data = "hello filesystem";
+  Cycles burn = 0;
+  EXPECT_EQ(fs_.Writei(*ip, reinterpret_cast<const std::uint8_t*>(data.data()), 0,
+                       static_cast<std::uint32_t>(data.size()), &burn),
+            static_cast<std::int64_t>(data.size()));
+  auto back = ReadAll(*ip);
+  EXPECT_EQ(std::string(back.begin(), back.end()), data);
+  // Data survives a fresh mount over the same image (on-disk format real).
+  Xv6Fs fs2(bc_, 0, cfg_);
+  EXPECT_EQ(fs2.Mount(&burn), 0);
+  auto ip2 = fs2.NameI("/f.txt", &burn);
+  ASSERT_NE(ip2, nullptr);
+  EXPECT_EQ(ip2->size, data.size());
+}
+
+TEST_F(Xv6FsTest, IndirectBlocksAndMaxFileSize) {
+  auto ip = MustCreate("/big");
+  std::vector<std::uint8_t> chunk(kFsBlockSize, 0x7e);
+  Cycles burn = 0;
+  // Write past the direct blocks into the indirect range.
+  for (std::uint32_t b = 0; b < kNDirect + 4; ++b) {
+    EXPECT_EQ(fs_.Writei(*ip, chunk.data(), b * kFsBlockSize, kFsBlockSize, &burn),
+              static_cast<std::int64_t>(kFsBlockSize));
+  }
+  EXPECT_EQ(ip->size, (kNDirect + 4) * kFsBlockSize);
+  EXPECT_NE(ip->addrs[kNDirect], 0u);  // the indirect block is in play
+  // The hard cap: the paper's ~270 KB limit (§4.5). Fill to the brim...
+  std::uint32_t max_bytes = kMaxFileBlocks * kFsBlockSize;
+  EXPECT_EQ(max_bytes, 268u * 1024);
+  for (std::uint32_t off = ip->size; off < max_bytes; off += kFsBlockSize) {
+    ASSERT_EQ(fs_.Writei(*ip, chunk.data(), off, kFsBlockSize, &burn),
+              static_cast<std::int64_t>(kFsBlockSize));
+  }
+  EXPECT_EQ(ip->size, max_bytes);
+  // ...then one more byte is EFBIG.
+  EXPECT_EQ(fs_.Writei(*ip, chunk.data(), max_bytes, 1, &burn), kErrFBig);
+}
+
+TEST_F(Xv6FsTest, SparseReadsReturnZeros) {
+  auto ip = MustCreate("/sparse");
+  Cycles burn = 0;
+  std::uint8_t b = 0xff;
+  // Extend size without backing all blocks: write at 0, then far out is not
+  // possible (no holes allowed: off > size is EINVAL).
+  EXPECT_EQ(fs_.Writei(*ip, &b, 1, 1, &burn), kErrInval);
+  EXPECT_EQ(fs_.Writei(*ip, &b, 0, 1, &burn), 1);
+}
+
+TEST_F(Xv6FsTest, DirectoriesAndNestedPaths) {
+  MustCreate("/a", kXv6TDir);
+  MustCreate("/a/b", kXv6TDir);
+  MustCreate("/a/b/c.txt");
+  Cycles burn = 0;
+  EXPECT_NE(fs_.NameI("/a/b/c.txt", &burn), nullptr);
+  EXPECT_EQ(fs_.NameI("/a/x/c.txt", &burn), nullptr);
+  auto a = fs_.NameI("/a", &burn);
+  auto entries = fs_.ReadDir(*a, &burn);
+  // ".", "..", "b"
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[2].name, "b");
+  EXPECT_EQ(entries[2].type, kXv6TDir);
+}
+
+TEST_F(Xv6FsTest, UnlinkFreesBlocks) {
+  Cycles burn = 0;
+  std::uint32_t free_before = fs_.FreeDataBlocks(&burn);
+  auto ip = MustCreate("/doomed");
+  std::vector<std::uint8_t> data(20 * kFsBlockSize, 1);
+  fs_.Writei(*ip, data.data(), 0, static_cast<std::uint32_t>(data.size()), &burn);
+  EXPECT_LT(fs_.FreeDataBlocks(&burn), free_before);
+  EXPECT_EQ(fs_.Unlink("/doomed", &burn), 0);
+  EXPECT_EQ(fs_.FreeDataBlocks(&burn), free_before);
+  EXPECT_EQ(fs_.NameI("/doomed", &burn), nullptr);
+}
+
+TEST_F(Xv6FsTest, HardLinksShareTheInode) {
+  auto ip = MustCreate("/orig");
+  Cycles burn = 0;
+  std::uint8_t b = 42;
+  fs_.Writei(*ip, &b, 0, 1, &burn);
+  EXPECT_EQ(fs_.Link("/orig", "/alias", &burn), 0);
+  auto alias = fs_.NameI("/alias", &burn);
+  ASSERT_NE(alias, nullptr);
+  EXPECT_EQ(alias->inum, ip->inum);
+  EXPECT_EQ(alias->nlink, 2);
+  // Unlink one name: the file lives on.
+  EXPECT_EQ(fs_.Unlink("/orig", &burn), 0);
+  EXPECT_NE(fs_.NameI("/alias", &burn), nullptr);
+  EXPECT_EQ(fs_.Unlink("/alias", &burn), 0);
+  EXPECT_EQ(fs_.NameI("/alias", &burn), nullptr);
+}
+
+TEST_F(Xv6FsTest, UnlinkNonEmptyDirRefused) {
+  MustCreate("/d", kXv6TDir);
+  MustCreate("/d/f");
+  Cycles burn = 0;
+  EXPECT_EQ(fs_.Unlink("/d", &burn), kErrNotEmpty);
+  EXPECT_EQ(fs_.Unlink("/d/f", &burn), 0);
+  EXPECT_EQ(fs_.Unlink("/d", &burn), 0);
+}
+
+TEST_F(Xv6FsTest, NameLengthLimit) {
+  std::int64_t err = 0;
+  Cycles burn = 0;
+  EXPECT_EQ(fs_.Create("/this-name-is-far-too-long", kXv6TFile, 0, 0, &err, &burn), nullptr);
+  EXPECT_EQ(err, kErrNoSpace);  // dirlink rejected it
+}
+
+TEST_F(Xv6FsTest, CreateOnExistingFileReturnsIt) {
+  auto a = MustCreate("/same");
+  auto b = MustCreate("/same");
+  EXPECT_EQ(a->inum, b->inum);
+}
+
+TEST_F(Xv6FsTest, DiskFullHandled) {
+  auto ip = MustCreate("/filler");
+  std::vector<std::uint8_t> chunk(kFsBlockSize, 9);
+  Cycles burn = 0;
+  std::int64_t total = 0;
+  // Keep appending files until the disk fills.
+  for (int f = 0; f < 64; ++f) {
+    auto fp = MustCreate("/fill" + std::to_string(f));
+    bool full = false;
+    for (std::uint32_t b = 0; b < 100; ++b) {
+      std::int64_t r = fs_.Writei(*fp, chunk.data(), b * kFsBlockSize, kFsBlockSize, &burn);
+      if (r != static_cast<std::int64_t>(kFsBlockSize)) {
+        full = true;
+        break;
+      }
+      total += r;
+    }
+    if (full) {
+      break;
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(fs_.FreeDataBlocks(&burn), 0u);
+  (void)ip;
+}
+
+// Property test: a random sequence of file operations matches an in-memory
+// reference model.
+TEST_F(Xv6FsTest, RandomOpsMatchReferenceModel) {
+  Rng rng(2024);
+  std::map<std::string, std::vector<std::uint8_t>> model;
+  Cycles burn = 0;
+  for (int step = 0; step < 400; ++step) {
+    int op = static_cast<int>(rng.NextBelow(10));
+    std::string name = "/p" + std::to_string(rng.NextBelow(12));
+    if (op < 4) {  // write (create + overwrite region)
+      std::int64_t err = 0;
+      auto ip = fs_.Create(name, kXv6TFile, 0, 0, &err, &burn);
+      if (ip == nullptr) {
+        continue;  // disk may be full
+      }
+      auto& ref = model[name];
+      if (ref.size() != ip->size) {
+        ref.resize(ip->size);
+      }
+      std::uint32_t off = static_cast<std::uint32_t>(
+          rng.NextBelow(std::min<std::uint64_t>(ip->size + 1, 40000)));
+      std::vector<std::uint8_t> data(rng.NextBelow(6000) + 1);
+      for (auto& d : data) {
+        d = static_cast<std::uint8_t>(rng.Next());
+      }
+      std::int64_t w = fs_.Writei(*ip, data.data(), off,
+                                  static_cast<std::uint32_t>(data.size()), &burn);
+      if (w > 0) {
+        if (ref.size() < off + static_cast<std::uint64_t>(w)) {
+          ref.resize(off + static_cast<std::uint64_t>(w));
+        }
+        std::copy(data.begin(), data.begin() + w, ref.begin() + off);
+      }
+    } else if (op < 6) {  // unlink
+      std::int64_t r = fs_.Unlink(name, &burn);
+      EXPECT_EQ(r == 0, model.erase(name) == 1) << name;
+    } else {  // verify full content
+      auto ip = fs_.NameI(name, &burn);
+      auto it = model.find(name);
+      ASSERT_EQ(ip != nullptr, it != model.end()) << name;
+      if (ip != nullptr) {
+        ASSERT_EQ(ip->size, it->second.size()) << name;
+        auto got = ReadAll(*ip);
+        EXPECT_EQ(got, it->second) << name;
+      }
+    }
+  }
+  // Final sweep: every model file matches.
+  for (auto& [name, ref] : model) {
+    auto ip = fs_.NameI(name, &burn);
+    ASSERT_NE(ip, nullptr);
+    EXPECT_EQ(ReadAll(*ip), ref) << name;
+  }
+}
+
+}  // namespace
+}  // namespace vos
