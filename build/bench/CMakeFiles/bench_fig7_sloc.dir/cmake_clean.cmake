@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sloc.dir/bench_fig7_sloc.cc.o"
+  "CMakeFiles/bench_fig7_sloc.dir/bench_fig7_sloc.cc.o.d"
+  "bench_fig7_sloc"
+  "bench_fig7_sloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_oscomp.dir/bench_fig9_oscomp.cc.o"
+  "CMakeFiles/bench_fig9_oscomp.dir/bench_fig9_oscomp.cc.o.d"
+  "bench_fig9_oscomp"
+  "bench_fig9_oscomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_oscomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fps.dir/bench_table4_fps.cc.o"
+  "CMakeFiles/bench_table4_fps.dir/bench_table4_fps.cc.o.d"
+  "bench_table4_fps"
+  "bench_table4_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_desktop.dir/desktop.cpp.o"
+  "CMakeFiles/example_desktop.dir/desktop.cpp.o.d"
+  "example_desktop"
+  "example_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

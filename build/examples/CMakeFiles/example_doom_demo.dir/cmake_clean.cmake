@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_doom_demo.dir/doom_demo.cpp.o"
+  "CMakeFiles/example_doom_demo.dir/doom_demo.cpp.o.d"
+  "example_doom_demo"
+  "example_doom_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_doom_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_journey.dir/journey.cpp.o"
+  "CMakeFiles/example_journey.dir/journey.cpp.o.d"
+  "example_journey"
+  "example_journey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_journey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

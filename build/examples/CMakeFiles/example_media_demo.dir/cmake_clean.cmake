@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_media_demo.dir/media_demo.cpp.o"
+  "CMakeFiles/example_media_demo.dir/media_demo.cpp.o.d"
+  "example_media_demo"
+  "example_media_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_media_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vos.
+# This may be replaced when dependencies are built.

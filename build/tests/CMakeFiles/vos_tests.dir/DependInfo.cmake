@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/vos_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/vos_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/cpu6502_test.cc" "tests/CMakeFiles/vos_tests.dir/cpu6502_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/cpu6502_test.cc.o.d"
+  "/root/repo/tests/debug_test.cc" "tests/CMakeFiles/vos_tests.dir/debug_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/debug_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/vos_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/fat32_test.cc" "tests/CMakeFiles/vos_tests.dir/fat32_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/fat32_test.cc.o.d"
+  "/root/repo/tests/fsck_test.cc" "tests/CMakeFiles/vos_tests.dir/fsck_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/fsck_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/vos_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/image_test.cc" "tests/CMakeFiles/vos_tests.dir/image_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/image_test.cc.o.d"
+  "/root/repo/tests/kernel_core_test.cc" "tests/CMakeFiles/vos_tests.dir/kernel_core_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/kernel_core_test.cc.o.d"
+  "/root/repo/tests/kernel_misc_test.cc" "tests/CMakeFiles/vos_tests.dir/kernel_misc_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/kernel_misc_test.cc.o.d"
+  "/root/repo/tests/media_test.cc" "tests/CMakeFiles/vos_tests.dir/media_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/media_test.cc.o.d"
+  "/root/repo/tests/sched_test.cc" "tests/CMakeFiles/vos_tests.dir/sched_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/sched_test.cc.o.d"
+  "/root/repo/tests/shell_test.cc" "tests/CMakeFiles/vos_tests.dir/shell_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/shell_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/vos_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/vos_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/syscall_test.cc" "tests/CMakeFiles/vos_tests.dir/syscall_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/syscall_test.cc.o.d"
+  "/root/repo/tests/term_test.cc" "tests/CMakeFiles/vos_tests.dir/term_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/term_test.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/vos_tests.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/test_main.cc.o.d"
+  "/root/repo/tests/ulib_test.cc" "tests/CMakeFiles/vos_tests.dir/ulib_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/ulib_test.cc.o.d"
+  "/root/repo/tests/usb_storage_test.cc" "tests/CMakeFiles/vos_tests.dir/usb_storage_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/usb_storage_test.cc.o.d"
+  "/root/repo/tests/vfs_test.cc" "tests/CMakeFiles/vos_tests.dir/vfs_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/vfs_test.cc.o.d"
+  "/root/repo/tests/wm_churn_test.cc" "tests/CMakeFiles/vos_tests.dir/wm_churn_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/wm_churn_test.cc.o.d"
+  "/root/repo/tests/wm_test.cc" "tests/CMakeFiles/vos_tests.dir/wm_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/wm_test.cc.o.d"
+  "/root/repo/tests/xv6fs_test.cc" "tests/CMakeFiles/vos_tests.dir/xv6fs_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/xv6fs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
