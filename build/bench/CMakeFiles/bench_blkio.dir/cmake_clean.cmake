@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blkio.dir/bench_blkio.cc.o"
+  "CMakeFiles/bench_blkio.dir/bench_blkio.cc.o.d"
+  "bench_blkio"
+  "bench_blkio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blkio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

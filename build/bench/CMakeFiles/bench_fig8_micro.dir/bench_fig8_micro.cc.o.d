@@ -255,14 +255,14 @@ bench/CMakeFiles/bench_fig8_micro.dir/bench_fig8_micro.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/fs/bcache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/fs/block_dev.h \
- /root/repo/src/kernel/kconfig.h /root/repo/src/fs/devfs.h \
- /root/repo/src/fs/vfs.h /root/repo/src/fs/fat32.h \
- /root/repo/src/fs/xv6fs.h /root/repo/src/kernel/pipe.h \
- /root/repo/src/kernel/sched.h /root/repo/src/base/intrusive_list.h \
- /root/repo/src/kernel/spinlock.h /root/repo/src/kernel/task.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/kernel/kconfig.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/fs/devfs.h /root/repo/src/fs/vfs.h \
+ /root/repo/src/fs/fat32.h /root/repo/src/fs/xv6fs.h \
+ /root/repo/src/kernel/pipe.h /root/repo/src/kernel/sched.h \
+ /root/repo/src/base/intrusive_list.h /root/repo/src/kernel/spinlock.h \
+ /root/repo/src/kernel/task.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -275,5 +275,5 @@ bench/CMakeFiles/bench_fig8_micro.dir/bench_fig8_micro.cc.o: \
  /usr/include/c++/12/cstdarg /root/repo/src/kernel/pmm.h \
  /root/repo/src/kernel/kmalloc.h /root/repo/src/kernel/machine.h \
  /root/repo/src/kernel/semaphore.h /root/repo/src/kernel/timer.h \
- /root/repo/src/kernel/trace.h /root/repo/src/kernel/velf.h \
- /root/repo/src/kernel/vm.h /root/repo/src/ulib/bmp.h
+ /root/repo/src/kernel/velf.h /root/repo/src/kernel/vm.h \
+ /root/repo/src/ulib/bmp.h

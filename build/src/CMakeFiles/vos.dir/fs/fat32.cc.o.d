@@ -144,13 +144,15 @@ src/CMakeFiles/vos.dir/fs/fat32.cc.o: /root/repo/src/fs/fat32.cc \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/fs/block_dev.h \
  /root/repo/src/hw/sd_card.h /root/repo/src/kernel/kconfig.h \
+ /root/repo/src/kernel/trace.h /root/repo/src/base/ring_buffer.h \
+ /usr/include/c++/12/cstddef /root/repo/src/base/assert.h \
+ /usr/include/c++/12/stdexcept /root/repo/src/hw/intc.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/base/assert.h /usr/include/c++/12/stdexcept \
  /root/repo/src/base/status.h /root/repo/src/fs/xv6fs.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

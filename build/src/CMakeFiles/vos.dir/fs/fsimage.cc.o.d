@@ -149,8 +149,10 @@ src/CMakeFiles/vos.dir/fs/fsimage.cc.o: /root/repo/src/fs/fsimage.cc \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/fs/block_dev.h \
- /root/repo/src/kernel/kconfig.h /root/repo/src/fs/fat32.h \
- /usr/include/c++/12/optional /root/repo/src/fs/xv6fs.h \
+ /root/repo/src/kernel/kconfig.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/base/ring_buffer.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/optional /root/repo/src/hw/intc.h \
+ /root/repo/src/fs/fat32.h /root/repo/src/fs/xv6fs.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

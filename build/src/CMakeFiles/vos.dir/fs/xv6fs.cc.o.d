@@ -205,8 +205,16 @@ src/CMakeFiles/vos.dir/fs/xv6fs.cc.o: /root/repo/src/fs/xv6fs.cc \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/units.h \
  /root/repo/src/fs/bcache.h /usr/include/c++/12/array \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/fs/block_dev.h \
- /root/repo/src/hw/sd_card.h /root/repo/src/kernel/kconfig.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/base/assert.h /root/repo/src/base/status.h
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/fs/block_dev.h /root/repo/src/hw/sd_card.h \
+ /root/repo/src/kernel/kconfig.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/base/ring_buffer.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/optional /root/repo/src/base/assert.h \
+ /root/repo/src/hw/intc.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/base/status.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/vos_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/apps_test.cc.o.d"
   "/root/repo/tests/base_test.cc" "tests/CMakeFiles/vos_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/bcache_test.cc" "tests/CMakeFiles/vos_tests.dir/bcache_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/bcache_test.cc.o.d"
   "/root/repo/tests/cpu6502_test.cc" "tests/CMakeFiles/vos_tests.dir/cpu6502_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/cpu6502_test.cc.o.d"
   "/root/repo/tests/debug_test.cc" "tests/CMakeFiles/vos_tests.dir/debug_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/debug_test.cc.o.d"
   "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/vos_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/vos_tests.dir/determinism_test.cc.o.d"

@@ -322,13 +322,13 @@ tests/CMakeFiles/vos_tests.dir/debug_test.cc.o: \
  /root/repo/src/fs/bcache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/fs/block_dev.h /root/repo/src/kernel/kconfig.h \
- /root/repo/src/fs/devfs.h /root/repo/src/fs/vfs.h \
- /root/repo/src/fs/fat32.h /root/repo/src/fs/xv6fs.h \
- /root/repo/src/kernel/pipe.h /root/repo/src/kernel/sched.h \
- /root/repo/src/kernel/spinlock.h /root/repo/src/kernel/debug_monitor.h \
- /root/repo/src/kernel/drivers.h /root/repo/src/kernel/klog.h \
- /usr/include/c++/12/cstdarg /root/repo/src/kernel/pmm.h \
- /root/repo/src/kernel/kmalloc.h /root/repo/src/kernel/machine.h \
- /root/repo/src/kernel/semaphore.h /root/repo/src/kernel/timer.h \
- /root/repo/src/kernel/trace.h /root/repo/src/kernel/velf.h \
+ /root/repo/src/kernel/trace.h /root/repo/src/fs/devfs.h \
+ /root/repo/src/fs/vfs.h /root/repo/src/fs/fat32.h \
+ /root/repo/src/fs/xv6fs.h /root/repo/src/kernel/pipe.h \
+ /root/repo/src/kernel/sched.h /root/repo/src/kernel/spinlock.h \
+ /root/repo/src/kernel/debug_monitor.h /root/repo/src/kernel/drivers.h \
+ /root/repo/src/kernel/klog.h /usr/include/c++/12/cstdarg \
+ /root/repo/src/kernel/pmm.h /root/repo/src/kernel/kmalloc.h \
+ /root/repo/src/kernel/machine.h /root/repo/src/kernel/semaphore.h \
+ /root/repo/src/kernel/timer.h /root/repo/src/kernel/velf.h \
  /root/repo/src/kernel/vm.h /root/repo/src/ulib/bmp.h

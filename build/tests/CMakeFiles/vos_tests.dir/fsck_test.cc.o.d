@@ -297,30 +297,30 @@ tests/CMakeFiles/vos_tests.dir/fsck_test.cc.o: \
  /root/repo/src/fs/bcache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/fs/block_dev.h /root/repo/src/hw/sd_card.h \
- /root/repo/src/kernel/kconfig.h /root/repo/src/vos/prototypes.h \
+ /root/repo/src/kernel/kconfig.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/base/ring_buffer.h /root/repo/src/base/assert.h \
+ /root/repo/src/hw/intc.h /root/repo/src/vos/prototypes.h \
  /root/repo/src/vos/system.h /root/repo/src/fs/fsimage.h \
  /root/repo/src/hw/board.h /root/repo/src/hw/audio_pwm.h \
  /root/repo/src/hw/dma.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/hw/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/hw/intc.h \
- /root/repo/src/base/assert.h /root/repo/src/hw/phys_mem.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/hw/phys_mem.h \
  /usr/include/c++/12/cstring /root/repo/src/hw/clock.h \
  /root/repo/src/hw/framebuffer_hw.h /root/repo/src/hw/cache_model.h \
  /root/repo/src/hw/gpio.h /root/repo/src/hw/mailbox.h \
  /root/repo/src/hw/power_meter.h /root/repo/src/hw/sys_timer.h \
- /root/repo/src/hw/uart.h /root/repo/src/base/ring_buffer.h \
- /root/repo/src/hw/usb_hw.h /root/repo/src/hw/usb_msc.h \
- /root/repo/src/kernel/kernel.h /root/repo/src/fs/devfs.h \
- /root/repo/src/fs/vfs.h /root/repo/src/fs/fat32.h \
- /root/repo/src/kernel/pipe.h /root/repo/src/kernel/sched.h \
- /root/repo/src/base/intrusive_list.h /root/repo/src/kernel/spinlock.h \
- /root/repo/src/kernel/task.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/hw/uart.h /root/repo/src/hw/usb_hw.h \
+ /root/repo/src/hw/usb_msc.h /root/repo/src/kernel/kernel.h \
+ /root/repo/src/fs/devfs.h /root/repo/src/fs/vfs.h \
+ /root/repo/src/fs/fat32.h /root/repo/src/kernel/pipe.h \
+ /root/repo/src/kernel/sched.h /root/repo/src/base/intrusive_list.h \
+ /root/repo/src/kernel/spinlock.h /root/repo/src/kernel/task.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -330,5 +330,5 @@ tests/CMakeFiles/vos_tests.dir/fsck_test.cc.o: \
  /usr/include/c++/12/cstdarg /root/repo/src/kernel/pmm.h \
  /root/repo/src/kernel/kmalloc.h /root/repo/src/kernel/machine.h \
  /root/repo/src/kernel/semaphore.h /root/repo/src/kernel/timer.h \
- /root/repo/src/kernel/trace.h /root/repo/src/kernel/velf.h \
- /root/repo/src/kernel/vm.h /root/repo/src/ulib/bmp.h
+ /root/repo/src/kernel/velf.h /root/repo/src/kernel/vm.h \
+ /root/repo/src/ulib/bmp.h

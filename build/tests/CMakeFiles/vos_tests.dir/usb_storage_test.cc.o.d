@@ -300,14 +300,15 @@ tests/CMakeFiles/vos_tests.dir/usb_storage_test.cc.o: \
  /root/repo/src/fs/bcache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/fs/block_dev.h /root/repo/src/hw/sd_card.h \
- /root/repo/src/kernel/kconfig.h /root/repo/src/fs/xv6fs.h \
+ /root/repo/src/kernel/kconfig.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/hw/intc.h /root/repo/src/fs/xv6fs.h \
  /root/repo/src/kernel/pipe.h /root/repo/src/kernel/sched.h \
- /root/repo/src/base/intrusive_list.h /root/repo/src/hw/intc.h \
- /root/repo/src/kernel/spinlock.h /root/repo/src/kernel/task.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/base/intrusive_list.h /root/repo/src/kernel/spinlock.h \
+ /root/repo/src/kernel/task.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -330,7 +331,6 @@ tests/CMakeFiles/vos_tests.dir/usb_storage_test.cc.o: \
  /root/repo/src/kernel/kernel.h /root/repo/src/kernel/debug_monitor.h \
  /root/repo/src/kernel/kmalloc.h /root/repo/src/kernel/machine.h \
  /root/repo/src/kernel/semaphore.h /root/repo/src/kernel/timer.h \
- /root/repo/src/kernel/trace.h /root/repo/src/kernel/vm.h \
- /root/repo/src/ulib/ustdio.h /root/repo/src/vos/prototypes.h \
- /root/repo/src/vos/system.h /root/repo/src/fs/fsimage.h \
- /root/repo/src/ulib/bmp.h
+ /root/repo/src/kernel/vm.h /root/repo/src/ulib/ustdio.h \
+ /root/repo/src/vos/prototypes.h /root/repo/src/vos/system.h \
+ /root/repo/src/fs/fsimage.h /root/repo/src/ulib/bmp.h

@@ -298,4 +298,6 @@ tests/CMakeFiles/vos_tests.dir/xv6fs_test.cc.o: \
  /root/repo/src/fs/bcache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/fs/block_dev.h /root/repo/src/hw/sd_card.h \
- /root/repo/src/kernel/kconfig.h
+ /root/repo/src/kernel/kconfig.h /root/repo/src/kernel/trace.h \
+ /root/repo/src/base/ring_buffer.h /root/repo/src/base/assert.h \
+ /root/repo/src/hw/intc.h

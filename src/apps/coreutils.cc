@@ -218,6 +218,14 @@ int KillMain(AppEnv& env) {
   return 0;
 }
 
+int SyncMain(AppEnv& env) {
+  if (usync(env) < 0) {
+    uprintf(env, "sync: failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 int PsMain(AppEnv& env) {
   std::vector<std::uint8_t> raw;
   if (uread_file(env, "/proc/tasks", &raw) < 0) {
@@ -321,6 +329,7 @@ AppRegistrar mkdir_app("mkdir", MkdirMain, 500, 64 << 10);
 AppRegistrar rm_app("rm", RmMain, 500, 64 << 10);
 AppRegistrar ln_app("ln", LnMain, 500, 64 << 10);
 AppRegistrar kill_app("kill", KillMain, 500, 64 << 10);
+AppRegistrar sync_app("sync", SyncMain, 500, 64 << 10);
 AppRegistrar ps_app("ps", PsMain, 900, 256 << 10);
 AppRegistrar free_app("free", FreeMain, 700, 256 << 10);
 AppRegistrar uptime_app("uptime", UptimeMain, 500, 64 << 10);

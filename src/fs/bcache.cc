@@ -6,9 +6,12 @@
 
 namespace vos {
 
-int Bcache::AddDevice(BlockDevice* dev) {
-  devs_.push_back(dev);
-  return static_cast<int>(devs_.size()) - 1;
+int Bcache::AddDevice(BlockDevice* dev, const std::string& name) {
+  queues_.emplace_back(dev);
+  BlockDevStats st;
+  st.name = name.empty() ? "dev" + std::to_string(queues_.size() - 1) : name;
+  stats_.push_back(std::move(st));
+  return static_cast<int>(queues_.size()) - 1;
 }
 
 void Bcache::Touch(Buf* b) {
@@ -16,22 +19,40 @@ void Bcache::Touch(Buf* b) {
   lru_.push_front(b);
 }
 
-Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba) {
+Cycles Bcache::FlushBufs(int dev, std::vector<Buf*>& bufs) {
+  if (bufs.empty()) {
+    return 0;
+  }
+  auto& q = queues_[static_cast<std::size_t>(dev)];
+  BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
+  std::vector<BlockRequest> reqs(bufs.size());
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    VOS_CHECK_MSG(bufs[i]->valid && bufs[i]->dirty && bufs[i]->dev == dev,
+                  "flushing a buffer that is not dirty on this device");
+    reqs[i].op = BlockOp::kWrite;
+    reqs[i].lba = bufs[i]->lba;
+    reqs[i].count = 1;
+    reqs[i].buf = bufs[i]->data.data();
+    q.Submit(&reqs[i]);
+  }
+  Cycles dev_time = q.CompleteAll();
+  for (Buf* b : bufs) {
+    b->dirty = false;
+    Trace(TraceEvent::kBlockFlush, b->lba, 1);
+  }
+  st.writebacks += bufs.size();
+  st.writes += bufs.size();
+  st.blocks_written += bufs.size();
+  return dev_time + Cycles(bufs.size()) * cfg_.cost.bcache_flush_work;
+}
+
+Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn) {
   for (Buf& b : bufs_) {
     if (b.valid && b.dev == dev && b.lba == lba) {
       return &b;
     }
   }
-  // Recycle: least-recently-used unreferenced buffer, else any unused slot.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    if ((*it)->refcnt == 0) {
-      Buf* b = *it;
-      b->valid = false;
-      b->dev = dev;
-      b->lba = lba;
-      return b;
-    }
-  }
+  // An unused slot first (never-cached buffers live outside the LRU list).
   for (Buf& b : bufs_) {
     if (b.refcnt == 0 && !b.valid) {
       b.dev = dev;
@@ -39,30 +60,92 @@ Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba) {
       return &b;
     }
   }
-  VOS_CHECK_MSG(false, "bcache: all buffers referenced");
-  return nullptr;
+  // Recycle, preferring a clean unreferenced buffer (LRU order) so hot dirty
+  // data survives; fall back to evicting the LRU dirty one, which must be
+  // written back first — a dirty buffer is never recycled without a flush.
+  Buf* victim = nullptr;
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if ((*it)->refcnt != 0) {
+      continue;
+    }
+    if (!(*it)->dirty) {
+      victim = *it;
+      break;
+    }
+    if (victim == nullptr) {
+      victim = *it;  // LRU-est dirty candidate, kept in case no clean one exists
+    }
+  }
+  VOS_CHECK_MSG(victim != nullptr, "bcache: all buffers referenced");
+  if (victim->dirty) {
+    std::vector<Buf*> one{victim};
+    *burn += FlushBufs(victim->dev, one);
+  }
+  VOS_CHECK_MSG(!victim->dirty, "recycling a dirty buffer without a flush");
+  victim->valid = false;
+  victim->dev = dev;
+  victim->lba = lba;
+  return victim;
 }
 
 Buf* Bcache::Read(int dev, std::uint64_t lba, Cycles* burn) {
   *burn = cfg_.cost.bcache_lookup;
-  Buf* b = FindOrRecycle(dev, lba);
+  Buf* b = FindOrRecycle(dev, lba, burn);
   ++b->refcnt;
   Touch(b);
+  BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
   if (b->valid) {
-    ++hits_;
+    ++st.hits;
     return b;
   }
-  ++misses_;
-  *burn += Device(dev)->Read(lba, 1, b->data.data());
+  ++st.misses;
+  BlockRequest req;
+  req.op = BlockOp::kRead;
+  req.lba = lba;
+  req.count = 1;
+  req.buf = b->data.data();
+  *burn += queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  ++st.reads;
+  ++st.blocks_read;
+  Trace(TraceEvent::kBlockRead, lba, 1);
   b->valid = true;
   b->dirty = false;
   return b;
 }
 
+Cycles Bcache::ThrottleIfNeeded(int dev) {
+  std::size_t dirty = DirtyCount(dev);
+  if (double(dirty) < cfg_.bcache_dirty_ratio * kNumBufs) {
+    return 0;
+  }
+  // Foreground throttling: the writer that pushed the pool over the dirty
+  // ratio pays for draining it (the Linux balance_dirty_pages idea).
+  return FlushDev(dev);
+}
+
 void Bcache::Write(Buf* b, Cycles* burn) {
   VOS_CHECK_MSG(b->refcnt > 0, "bwrite on unreferenced buffer");
-  *burn = Device(b->dev)->Write(b->lba, 1, b->data.data());
-  b->dirty = false;
+  BlockDevStats& st = stats_[static_cast<std::size_t>(b->dev)];
+  if (!cfg_.opt_writeback_cache) {
+    // xv6 semantics: synchronous write-through.
+    BlockRequest req;
+    req.op = BlockOp::kWrite;
+    req.lba = b->lba;
+    req.count = 1;
+    req.buf = b->data.data();
+    *burn = queues_[static_cast<std::size_t>(b->dev)].SubmitAndWait(&req);
+    ++st.writes;
+    ++st.blocks_written;
+    Trace(TraceEvent::kBlockWrite, b->lba, 1);
+    b->dirty = false;
+    return;
+  }
+  *burn = cfg_.cost.bcache_lookup;
+  if (!b->dirty) {
+    b->dirty = true;
+    b->dirtied_at = NowStamp();
+  }
+  *burn += ThrottleIfNeeded(b->dev);
 }
 
 void Bcache::Release(Buf* b) {
@@ -85,9 +168,28 @@ Cycles Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::u
     }
     return total;
   }
-  // Bypass: serve whatever is cached, then stream the rest directly.
-  // Cached copies of these blocks stay consistent because reads don't mutate.
-  return Device(dev)->Read(lba, count, out);
+  // Bypass: stream from the device. With write-back, the cache may hold data
+  // the device has not seen yet — flush overlapping dirty buffers first, or
+  // the range read silently returns stale bytes.
+  Cycles total = 0;
+  std::vector<Buf*> overlap;
+  for (Buf& b : bufs_) {
+    if (b.valid && b.dirty && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
+      overlap.push_back(&b);
+    }
+  }
+  total += FlushBufs(dev, overlap);
+  BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
+  BlockRequest req;
+  req.op = BlockOp::kRead;
+  req.lba = lba;
+  req.count = count;
+  req.buf = out;
+  total += queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  ++st.reads;
+  st.blocks_read += count;
+  Trace(TraceEvent::kBlockRead, lba, count);
+  return total;
 }
 
 Cycles Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
@@ -107,13 +209,90 @@ Cycles Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
     return total;
   }
   // Invalidate overlapping cached blocks so later cached reads see new data.
+  // Dirty overlaps are superseded wholesale by the incoming range, so they
+  // drop their dirty bit rather than flushing stale bytes over fresh ones.
   for (Buf& b : bufs_) {
     if (b.valid && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
       VOS_CHECK_MSG(b.refcnt == 0, "range write overlaps referenced buffer");
       b.valid = false;
+      b.dirty = false;
     }
   }
-  return Device(dev)->Write(lba, count, in);
+  BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
+  BlockRequest req;
+  req.op = BlockOp::kWrite;
+  req.lba = lba;
+  req.count = count;
+  req.buf = const_cast<std::uint8_t*>(in);
+  Cycles total = queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  ++st.writes;
+  st.blocks_written += count;
+  Trace(TraceEvent::kBlockWrite, lba, count);
+  return total;
+}
+
+Cycles Bcache::FlushAll() {
+  Cycles total = 0;
+  for (int dev = 0; dev < device_count(); ++dev) {
+    total += FlushDev(dev);
+  }
+  return total;
+}
+
+Cycles Bcache::FlushDev(int dev) {
+  std::vector<Buf*> dirty;
+  for (Buf& b : bufs_) {
+    if (b.valid && b.dirty && b.dev == dev) {
+      dirty.push_back(&b);
+    }
+  }
+  return FlushBufs(dev, dirty);
+}
+
+Cycles Bcache::FlushAged(Cycles now, Cycles min_age) {
+  Cycles total = 0;
+  for (int dev = 0; dev < device_count(); ++dev) {
+    std::vector<Buf*> aged;
+    for (Buf& b : bufs_) {
+      if (b.valid && b.dirty && b.dev == dev && now - b.dirtied_at >= min_age) {
+        aged.push_back(&b);
+      }
+    }
+    total += FlushBufs(dev, aged);
+  }
+  return total;
+}
+
+std::size_t Bcache::DirtyCount(int dev) const {
+  std::size_t n = 0;
+  for (const Buf& b : bufs_) {
+    n += (b.valid && b.dirty && (dev < 0 || b.dev == dev));
+  }
+  return n;
+}
+
+const BlockDevStats& Bcache::stats(int dev) {
+  BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
+  const auto& q = queues_[static_cast<std::size_t>(dev)];
+  st.merged = q.merged_requests();
+  st.queue_depth_hw = q.queue_depth_high_water();
+  return st;
+}
+
+std::uint64_t Bcache::hits() const {
+  std::uint64_t n = 0;
+  for (const BlockDevStats& st : stats_) {
+    n += st.hits;
+  }
+  return n;
+}
+
+std::uint64_t Bcache::misses() const {
+  std::uint64_t n = 0;
+  for (const BlockDevStats& st : stats_) {
+    n += st.misses;
+  }
+  return n;
 }
 
 }  // namespace vos

@@ -1,5 +1,6 @@
 #include "src/fs/block_dev.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/assert.h"
@@ -27,6 +28,87 @@ Cycles SdBlockDevice::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t*
 Cycles SdBlockDevice::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
   VOS_CHECK_MSG(lba + count <= count_, "sd partition write out of range");
   return card_.WriteBlocks(first_ + lba, count, in, use_dma_);
+}
+
+// --- BlockRequestQueue -------------------------------------------------------
+
+void BlockRequestQueue::Submit(BlockRequest* req) {
+  VOS_CHECK_MSG(req != nullptr && !req->done, "submitting a completed request");
+  VOS_CHECK_MSG(req->count > 0 && req->buf != nullptr, "malformed block request");
+  pending_.push_back(req);
+  depth_hw_ = std::max(depth_hw_, static_cast<std::uint32_t>(pending_.size()));
+}
+
+Cycles BlockRequestQueue::CompleteAll() {
+  if (pending_.empty()) {
+    return 0;
+  }
+  // Elevator order: one sweep across the platter/flash in ascending LBA.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const BlockRequest* a, const BlockRequest* b) { return a->lba < b->lba; });
+  Cycles total = 0;
+  std::size_t i = 0;
+  std::vector<std::uint8_t> staging;
+  while (i < pending_.size()) {
+    // Grow a run of adjacent same-direction requests.
+    std::size_t j = i + 1;
+    std::uint64_t end = pending_[i]->lba + pending_[i]->count;
+    std::uint32_t run_blocks = pending_[i]->count;
+    while (j < pending_.size() && pending_[j]->op == pending_[i]->op &&
+           pending_[j]->lba == end) {
+      end += pending_[j]->count;
+      run_blocks += pending_[j]->count;
+      ++j;
+    }
+    Cycles burst = 0;
+    if (j == i + 1) {
+      BlockRequest* r = pending_[i];
+      burst = r->op == BlockOp::kRead ? dev_->Read(r->lba, r->count, r->buf)
+                                      : dev_->Write(r->lba, r->count, r->buf);
+      r->service_time = burst;
+      r->done = true;
+    } else {
+      // Merged burst: one range transfer through a staging buffer, gathering
+      // write payloads / scattering read results per request.
+      staging.resize(std::size_t(run_blocks) * kBlockSize);
+      merged_ += j - i - 1;
+      if (pending_[i]->op == BlockOp::kWrite) {
+        std::size_t off = 0;
+        for (std::size_t k = i; k < j; ++k) {
+          std::memcpy(staging.data() + off, pending_[k]->buf,
+                      std::size_t(pending_[k]->count) * kBlockSize);
+          off += std::size_t(pending_[k]->count) * kBlockSize;
+        }
+        burst = dev_->Write(pending_[i]->lba, run_blocks, staging.data());
+      } else {
+        burst = dev_->Read(pending_[i]->lba, run_blocks, staging.data());
+        std::size_t off = 0;
+        for (std::size_t k = i; k < j; ++k) {
+          std::memcpy(pending_[k]->buf, staging.data() + off,
+                      std::size_t(pending_[k]->count) * kBlockSize);
+          off += std::size_t(pending_[k]->count) * kBlockSize;
+        }
+      }
+      // Attribute the burst cost pro rata by block count.
+      Cycles attributed = 0;
+      for (std::size_t k = i; k < j; ++k) {
+        BlockRequest* r = pending_[k];
+        r->service_time = k + 1 == j ? burst - attributed
+                                     : Cycles(double(burst) * r->count / run_blocks);
+        attributed += r->service_time;
+        r->done = true;
+      }
+    }
+    total += burst;
+    i = j;
+  }
+  pending_.clear();
+  return total;
+}
+
+Cycles BlockRequestQueue::SubmitAndWait(BlockRequest* req) {
+  Submit(req);
+  return CompleteAll();
 }
 
 }  // namespace vos

@@ -1,8 +1,17 @@
-// Block device abstraction under the filesystems. Two implementations:
-// the ramdisk holding the root xv6fs image (Prototype 4; "all block
-// reads/writes are synchronous ... in syscall contexts"), and the SD card
-// adapter FAT32 mounts (Prototype 5), which supports single-block and
-// block-range transfers (the distinction §5.2's bypass optimization exploits).
+// Block device abstraction under the filesystems, plus the request-based I/O
+// layer on top of it. Two device implementations: the ramdisk holding the
+// root xv6fs image (Prototype 4; "all block reads/writes are synchronous ...
+// in syscall contexts"), and the SD card adapter FAT32 mounts (Prototype 5),
+// which supports single-block and block-range transfers (the distinction
+// §5.2's bypass optimization exploits).
+//
+// The request layer (BlockRequest/BlockRequestQueue) converts the
+// one-block-at-a-time traffic of the xv6-style buffer cache into coalesced
+// range transfers: requests are submitted, sorted in LBA (elevator) order,
+// and adjacent same-direction requests merge into a single CMD18/25-style
+// burst before the device is touched. On the SD card, where per-command
+// overhead dominates single-block transfers, merging is where write-back
+// batching pays off.
 #ifndef VOS_SRC_FS_BLOCK_DEV_H_
 #define VOS_SRC_FS_BLOCK_DEV_H_
 
@@ -60,6 +69,52 @@ class SdBlockDevice : public BlockDevice {
   std::uint64_t first_;
   std::uint64_t count_;
   bool use_dma_;
+};
+
+// --- Request-based I/O -------------------------------------------------------
+
+enum class BlockOp : std::uint8_t { kRead, kWrite };
+
+// One block I/O request: a contiguous [lba, lba+count) transfer with
+// submit/complete semantics. `buf` points at count*kBlockSize bytes — the
+// destination for reads, the source for writes. On completion `done` is set
+// and `service_time` holds the slice of device time attributed to this
+// request (merged bursts split their cost pro rata by block count).
+struct BlockRequest {
+  BlockOp op = BlockOp::kRead;
+  std::uint64_t lba = 0;
+  std::uint32_t count = 0;
+  std::uint8_t* buf = nullptr;
+  bool done = false;
+  Cycles service_time = 0;
+};
+
+// Per-device request queue. Submit enqueues without touching the device;
+// CompleteAll services everything pending in LBA-sorted (elevator) order,
+// merging adjacent same-direction requests into single range transfers.
+class BlockRequestQueue {
+ public:
+  explicit BlockRequestQueue(BlockDevice* dev) : dev_(dev) {}
+
+  // Enqueues `req` (caller keeps ownership; must stay alive until done).
+  void Submit(BlockRequest* req);
+  // Services all pending requests; returns the total device time.
+  Cycles CompleteAll();
+  // Convenience: submit + complete a single request.
+  Cycles SubmitAndWait(BlockRequest* req);
+
+  BlockDevice* device() const { return dev_; }
+  std::size_t pending() const { return pending_.size(); }
+  // Requests that were absorbed into a neighboring burst instead of paying
+  // their own per-command overhead.
+  std::uint64_t merged_requests() const { return merged_; }
+  std::uint32_t queue_depth_high_water() const { return depth_hw_; }
+
+ private:
+  BlockDevice* dev_;
+  std::vector<BlockRequest*> pending_;
+  std::uint64_t merged_ = 0;
+  std::uint32_t depth_hw_ = 0;
 };
 
 }  // namespace vos

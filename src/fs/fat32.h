@@ -76,6 +76,8 @@ class FatVolume {
   std::uint32_t FreeClusters(Cycles* burn);
   std::uint32_t cluster_bytes() const { return spc_ * kBlockSize; }
   std::uint32_t total_clusters() const { return cluster_count_; }
+  Bcache& bcache() { return bc_; }
+  int dev() const { return dev_; }
 
   // Formats a FAT32 volume image of `total_bytes` (must fit >= 65525 clusters
   // per spec; we relax this for small test volumes but keep the layout).

@@ -82,6 +82,7 @@ std::vector<std::uint8_t> BuildRootImage(const FsSpec& extra, std::uint32_t fsbl
         fs.Writei(*ip, e.data.data(), 0, static_cast<std::uint32_t>(e.data.size()), &burn);
     VOS_CHECK_MSG(w == static_cast<std::int64_t>(e.data.size()), "mkfs: file write failed");
   }
+  bc.FlushAll();  // write-back cache: push dirty blocks into the image
   return disk.data();
 }
 
@@ -109,6 +110,7 @@ std::vector<std::uint8_t> BuildFatImage(std::uint64_t bytes, const FsSpec& spec)
         fat.Write(node, e.data.data(), 0, static_cast<std::uint32_t>(e.data.size()), &burn);
     VOS_CHECK_MSG(w == static_cast<std::int64_t>(e.data.size()), "mkfs: FAT write failed");
   }
+  bc.FlushAll();  // write-back cache: push dirty blocks into the image
   return disk.data();
 }
 

@@ -25,15 +25,33 @@ struct ProcTaskLine {
   std::uint64_t cpu_ms = 0;
 };
 
+// One /proc/blkstat row: per-device block-layer counters plus the current
+// dirty buffer count for that device.
+struct ProcBlkLine {
+  std::string name;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t queue_depth_hw = 0;
+  std::uint64_t dirty = 0;
+};
+
 std::string FormatCpuInfo(const std::vector<ProcCpuLine>& cores, std::uint64_t uptime_ms);
 std::string FormatMemInfo(std::uint64_t total_pages, std::uint64_t free_pages,
                           std::uint64_t kernel_reserved_bytes);
 std::string FormatUptime(std::uint64_t uptime_ms);
 std::string FormatTasks(const std::vector<ProcTaskLine>& tasks);
+std::string FormatBlkStat(const std::vector<ProcBlkLine>& devs);
 
 // Parsers used by sysmon (the other direction of the same format).
 bool ParseCpuUtilization(const std::string& cpuinfo, std::vector<double>* out);
 bool ParseMemFree(const std::string& meminfo, std::uint64_t* total_kb, std::uint64_t* free_kb);
+bool ParseBlkStat(const std::string& blkstat, std::vector<ProcBlkLine>* out);
 
 }  // namespace vos
 

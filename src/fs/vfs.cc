@@ -444,6 +444,33 @@ std::int64_t Vfs::Chdir(Task* t, const std::string& upath, Cycles* burn) {
   return 0;
 }
 
+std::int64_t Vfs::Sync(Cycles* burn) {
+  // All mounted filesystems share the one buffer cache, so a single
+  // FlushAll covers the ramdisk root, the SD FAT volume, and the USB drive.
+  *burn += root_.bcache().FlushAll();
+  return 0;
+}
+
+std::int64_t Vfs::Fsync(File& f, Cycles* burn) {
+  switch (f.kind) {
+    case FileKind::kXv6:
+      *burn += root_.bcache().FlushDev(root_.dev());
+      return 0;
+    case FileKind::kFat:
+      if (f.fat_vol != nullptr) {
+        *burn += f.fat_vol->bcache().FlushDev(f.fat_vol->dev());
+      }
+      return 0;
+    case FileKind::kDevice:
+    case FileKind::kPipe:
+    case FileKind::kProc:
+      return 0;  // nothing cached at the block layer
+    case FileKind::kNone:
+      break;
+  }
+  return kErrBadFd;
+}
+
 std::int64_t Vfs::ReadDir(Task* t, const std::string& upath, std::vector<DirEntryInfo>* out,
                           Cycles* burn) {
   std::string path = Resolve(t, upath);

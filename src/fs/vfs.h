@@ -125,6 +125,11 @@ class Vfs {
                      Cycles* burn);
   std::int64_t Chdir(Task* t, const std::string& path, Cycles* burn);
 
+  // Durability: Sync flushes every dirty buffer on every device; Fsync
+  // flushes the device backing one open file (no-op for pipes/devices/proc).
+  std::int64_t Sync(Cycles* burn);
+  std::int64_t Fsync(File& f, Cycles* burn);
+
   // Directory listing for shell utilities (ls).
   std::int64_t ReadDir(Task* t, const std::string& path, std::vector<DirEntryInfo>* out,
                        Cycles* burn);

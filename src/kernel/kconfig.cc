@@ -72,6 +72,7 @@ void ScaleCompute(CostModel& c, double s) {
   c.namei_per_component = Cycles(c.namei_per_component * s);
   c.inode_op = Cycles(c.inode_op * s);
   c.bcache_lookup = Cycles(c.bcache_lookup * s);
+  c.bcache_flush_work = Cycles(c.bcache_flush_work * s);
   c.fat_chain_step = Cycles(c.fat_chain_step * s);
   c.irq_entry = Cycles(c.irq_entry * s);
   c.timer_tick_work = Cycles(c.timer_tick_work * s);
@@ -97,6 +98,7 @@ KernelConfig MakeConfig(Stage stage, Platform platform, OsProfile os) {
       // qsort); simpler SD driver with higher per-block cost; no range path.
       k.cost.libc_compute_scale = 1.45;
       k.opt_bcache_bypass = false;
+      k.opt_writeback_cache = false;  // xv6 bwrite is synchronous write-through
       k.opt_asm_memcpy = false;
       k.opt_simd_pixel = false;
       break;

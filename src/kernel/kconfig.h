@@ -77,6 +77,7 @@ struct CostModel {
   Cycles namei_per_component = 900;
   Cycles inode_op = 1200;
   Cycles bcache_lookup = 700;
+  Cycles bcache_flush_work = 400;  // per-buffer bookkeeping when writing back
   Cycles fat_chain_step = 260;
   // App compute scale. Models the C-library difference the paper measures
   // (newlib vs musl vs glibc, §6.2): multiplies app/userlib compute burns.
@@ -104,7 +105,12 @@ struct KernelConfig {
   bool opt_asm_memcpy = true;        // ARMv8 assembly memory move
   bool opt_simd_pixel = true;        // SIMD YUV->RGB conversion
   bool opt_bcache_bypass = true;     // range I/O bypasses the buffer cache
+  bool opt_writeback_cache = true;   // write-back bcache (off = xv6 write-through)
   bool opt_wm_dirty_rects = true;    // WM redraws only dirty regions
+  // Write-back cache policy knobs (only meaningful with opt_writeback_cache).
+  std::uint32_t bcache_flush_interval_ms = 50;  // bflush thread wake period
+  std::uint32_t bcache_dirty_age_ms = 30;       // age before background flush
+  double bcache_dirty_ratio = 0.5;   // dirty fraction that throttles writers
   // Production-OS mechanisms (enabled by linux/freebsd profiles).
   bool cow_fork = false;
   bool dma_sd = false;

@@ -121,7 +121,13 @@ Kernel::BootReport Kernel::Boot() {
     VOS_CHECK_MSG(!ramdisk_image_.empty(), "proto4+ boot requires a ramdisk image");
     ramdisk_ = std::make_unique<RamDisk>(ramdisk_image_);
     bcache_ = std::make_unique<Bcache>(cfg_);
-    ramdisk_dev_ = bcache_->AddDevice(ramdisk_.get());
+    bcache_->SetNowFn([this] { return Now(); });
+    bcache_->SetTraceHook([this](TraceEvent ev, std::uint64_t a, std::uint64_t b) {
+      Task* cur = CurrentTask();
+      trace_.Emit(Now(), cur != nullptr ? cur->core : 0, ev,
+                  cur != nullptr ? cur->pid() : 0, a, b);
+    });
+    ramdisk_dev_ = bcache_->AddDevice(ramdisk_.get(), "ramdisk");
     rootfs_ = std::make_unique<Xv6Fs>(*bcache_, ramdisk_dev_, cfg_);
     std::int64_t mr = rootfs_->Mount(&fs_time);
     VOS_CHECK_MSG(mr == 0, "root filesystem mount failed");
@@ -181,6 +187,26 @@ Kernel::BootReport Kernel::Boot() {
       return std::to_string(fb_driver_->width()) + " " + std::to_string(fb_driver_->height()) +
              " " + std::to_string(fb_driver_->pitch()) + "\n";
     });
+    vfs_->RegisterProc("blkstat", [this] {
+      std::vector<ProcBlkLine> lines;
+      for (int d = 0; d < bcache_->device_count(); ++d) {
+        const BlockDevStats& st = bcache_->stats(d);
+        ProcBlkLine l;
+        l.name = st.name;
+        l.reads = st.reads;
+        l.writes = st.writes;
+        l.blocks_read = st.blocks_read;
+        l.blocks_written = st.blocks_written;
+        l.hits = st.hits;
+        l.misses = st.misses;
+        l.writebacks = st.writebacks;
+        l.merged = st.merged;
+        l.queue_depth_hw = st.queue_depth_hw;
+        l.dirty = bcache_->DirtyCount(d);
+        lines.push_back(std::move(l));
+      }
+      return FormatBlkStat(lines);
+    });
 
     // USB keyboard (the boot-time hog) and Game HAT buttons.
     usb_kbd_ = std::make_unique<UsbKbdDriver>(board_, machine_, *events_);
@@ -208,7 +234,7 @@ Kernel::BootReport Kernel::Boot() {
     if (sd_driver_->ReadPartition(1, &first, &count, &part_burn)) {
       fs_time += part_burn;
       sd_part_ = sd_driver_->OpenPartition(first, count);
-      sd_dev_ = bcache_->AddDevice(sd_part_.get());
+      sd_dev_ = bcache_->AddDevice(sd_part_.get(), "sd");
       fat_ = std::make_unique<FatVolume>(*bcache_, sd_dev_, cfg_);
       Cycles mount_burn = 0;
       if (fat_->Mount(&mount_burn) == 0) {
@@ -224,7 +250,7 @@ Kernel::BootReport Kernel::Boot() {
     Cycles msc_time = usb_storage_driver_->Init();
     usb_time += msc_time;
     if (usb_storage_driver_->ready()) {
-      usb_dev_ = bcache_->AddDevice(usb_storage_driver_.get());
+      usb_dev_ = bcache_->AddDevice(usb_storage_driver_.get(), "usb");
       usb_fat_ = std::make_unique<FatVolume>(*bcache_, usb_dev_, cfg_);
       Cycles mb = 0;
       if (usb_fat_->Mount(&mb) == 0) {
@@ -252,8 +278,25 @@ Kernel::BootReport Kernel::Boot() {
     wm_->StartThread();
   }
 
+  // The write-back flusher runs as a kernel thread too: wake periodically,
+  // write back buffers that have been dirty longer than the age threshold.
+  if (cfg_.HasFiles() && cfg_.HasMultitasking() && cfg_.opt_writeback_cache) {
+    CreateKernelTask("bflush", [this] { FlusherBody(); });
+  }
+
   booted_ = true;
   return r;
+}
+
+void Kernel::FlusherBody() {
+  for (;;) {
+    Task* cur = CurrentTask();
+    if (cur->killed) {
+      return;
+    }
+    ChargeCurrent(bcache_->FlushAged(Now(), Ms(cfg_.bcache_dirty_age_ms)));
+    KSleepMs(cfg_.bcache_flush_interval_ms);
+  }
 }
 
 // --- Tasks ---------------------------------------------------------------------

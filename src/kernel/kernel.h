@@ -1,6 +1,6 @@
 // The VOS kernel: a monolithic kernel in the xv6 mold (§3), assembled per
 // prototype stage. Owns the scheduler, memory management, filesystems,
-// drivers, tracing/debugging, and the 28-syscall interface; implements
+// drivers, tracing/debugging, and the 30-syscall interface; implements
 // MachineClient so the machine loop can ask it for scheduling decisions and
 // hand it interrupts.
 #ifndef VOS_SRC_KERNEL_KERNEL_H_
@@ -39,8 +39,8 @@ namespace vos {
 
 class WindowManager;
 
-// Syscall numbers (28 syscalls across task management, filesystem, and
-// threading/synchronization, §3).
+// Syscall numbers (30 syscalls across task management, filesystem,
+// threading/synchronization, and durability, §3).
 enum class Sys : int {
   kFork = 1,
   kExit = 2,
@@ -70,6 +70,8 @@ enum class Sys : int {
   kSemCreate = 26,
   kSemWait = 27,
   kSemPost = 28,
+  kSync = 29,
+  kFsync = 30,
 };
 
 class Kernel final : public MachineClient {
@@ -176,8 +178,12 @@ class Kernel final : public MachineClient {
   std::int64_t SysSemCreate(int initial);
   std::int64_t SysSemWait(int id);
   std::int64_t SysSemPost(int id);
+  // Durability (§5.2 write-back cache): sync flushes every dirty buffer on
+  // every device; fsync flushes the device backing one open file.
+  std::int64_t SysSync();
+  std::int64_t SysFsync(int fd);
   std::int64_t SysYield();
-  // Directory listing helper for the shell (not one of the 28; reads of
+  // Directory listing helper for the shell (not one of the 30; reads of
   // directory files also work for xv6fs, as in xv6's ls).
   std::int64_t SysReadDir(const std::string& path, std::vector<DirEntryInfo>* out);
 
@@ -210,6 +216,7 @@ class Kernel final : public MachineClient {
   // the task if a kill is pending.
   Task* SyscallEnter(Sys num);
   std::int64_t SyscallExit(Sys num, std::int64_t ret);
+  void FlusherBody();  // bflush kernel thread: periodic aged-dirty write-back
   void TickHandler(unsigned core, Cycles now);
   [[noreturn]] void RunExecImage(Task* cur, const VelfImage& img,
                                  const std::vector<std::string>& argv);

@@ -1,6 +1,7 @@
-// The 28-syscall interface (§3): task management, filesystem, and
+// The 30-syscall interface (§3): task management, filesystem, and
 // threading/synchronization, plus the mmap/cacheflush pair Prototype 3 needs
-// for direct rendering. Each entry charges the trap cost, enforces the
+// for direct rendering and the sync/fsync pair the write-back buffer cache
+// needs for durability. Each entry charges the trap cost, enforces the
 // prototype stage (earlier prototypes return ENOSYS, as their kernels simply
 // lack the code), and emits trace records Fig 11's breakdowns are built from.
 #include <cstring>
@@ -473,6 +474,30 @@ std::int64_t Kernel::SysMknod(const std::string& path, std::int16_t major, std::
   return SyscallExit(Sys::kMknod, r);
 }
 
+std::int64_t Kernel::SysSync() {
+  Task* cur = SyscallEnter(Sys::kSync);
+  if (!cfg_.HasFiles()) {
+    return SyscallExit(Sys::kSync, kErrNoSys);
+  }
+  cur->fiber().Burn(bcache_->FlushAll());
+  return SyscallExit(Sys::kSync, 0);
+}
+
+std::int64_t Kernel::SysFsync(int fd) {
+  Task* cur = SyscallEnter(Sys::kFsync);
+  if (!cfg_.HasFiles()) {
+    return SyscallExit(Sys::kFsync, kErrNoSys);
+  }
+  FilePtr f = GetFd(cur, fd);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kFsync, kErrBadFd);
+  }
+  Cycles burn = 0;
+  std::int64_t r = vfs_->Fsync(*f, &burn);
+  cur->fiber().Burn(burn);
+  return SyscallExit(Sys::kFsync, r);
+}
+
 std::int64_t Kernel::SysReadDir(const std::string& path, std::vector<DirEntryInfo>* out) {
   Task* cur = SyscallEnter(Sys::kOpen);  // accounted as an open-class call
   if (!cfg_.HasFiles()) {
@@ -588,6 +613,10 @@ std::int64_t Kernel::SyscallRaw(Sys num, std::uint64_t a0, std::uint64_t a1) {
       return SysSemPost(static_cast<int>(a0));
     case Sys::kCacheFlush:
       return SysCacheFlush(a0, a1);
+    case Sys::kSync:
+      return SysSync();
+    case Sys::kFsync:
+      return SysFsync(static_cast<int>(a0));
     default:
       return kErrNoSys;  // pointer-carrying syscalls need the typed interface
   }

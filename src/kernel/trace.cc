@@ -73,6 +73,12 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "wm_composite";
     case TraceEvent::kPageFault:
       return "page_fault";
+    case TraceEvent::kBlockRead:
+      return "block_read";
+    case TraceEvent::kBlockWrite:
+      return "block_write";
+    case TraceEvent::kBlockFlush:
+      return "block_flush";
   }
   return "?";
 }

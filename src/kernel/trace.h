@@ -26,6 +26,9 @@ enum class TraceEvent : std::uint16_t {
   kKeyEvent,     // input pipeline stamps
   kWmComposite,
   kPageFault,
+  kBlockRead,    // block layer: device read (a=lba, b=count)
+  kBlockWrite,   // block layer: device write (a=lba, b=count)
+  kBlockFlush,   // block layer: dirty write-back flushed (a=lba, b=count)
 };
 
 struct TraceRecord {

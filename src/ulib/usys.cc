@@ -86,6 +86,8 @@ std::int64_t uclone(AppEnv& env, std::function<int()> thread) {
 std::int64_t usem_create(AppEnv& env, int initial) { return env.kernel->SysSemCreate(initial); }
 std::int64_t usem_wait(AppEnv& env, int id) { return env.kernel->SysSemWait(id); }
 std::int64_t usem_post(AppEnv& env, int id) { return env.kernel->SysSemPost(id); }
+std::int64_t usync(AppEnv& env) { return env.kernel->SysSync(); }
+std::int64_t ufsync(AppEnv& env, int fd) { return env.kernel->SysFsync(fd); }
 std::int64_t uyield(AppEnv& env) { return env.kernel->SysYield(); }
 std::int64_t ureaddir(AppEnv& env, const std::string& path, std::vector<DirEntryInfo>* out) {
   return env.kernel->SysReadDir(path, out);

@@ -76,6 +76,8 @@ std::int64_t uclone(AppEnv& env, std::function<int()> thread);
 std::int64_t usem_create(AppEnv& env, int initial);
 std::int64_t usem_wait(AppEnv& env, int id);
 std::int64_t usem_post(AppEnv& env, int id);
+std::int64_t usync(AppEnv& env);
+std::int64_t ufsync(AppEnv& env, int fd);
 std::int64_t uyield(AppEnv& env);
 std::int64_t ureaddir(AppEnv& env, const std::string& path, std::vector<DirEntryInfo>* out);
 

@@ -212,6 +212,7 @@ TEST_F(Fat32Test, RangeIoFasterThanBlockByBlock) {
   // with bypass disabled: more bcache traffic, same data.
   KernelConfig no_bypass = cfg_;
   no_bypass.opt_bcache_bypass = false;
+  bc_.FlushAll();  // write-back cache: settle the image before copying it
   Bcache bc2(no_bypass);
   RamDisk disk2(disk_.data());
   FatVolume fat2(bc2, bc2.AddDevice(&disk2), no_bypass);

@@ -31,6 +31,8 @@ class FsckTest : public ::testing::Test {
     auto f2 = fs_.Create("/f2", kXv6TFile, 0, 0, &err, &burn);
     fs_.Writei(*f2, data.data(), 0, 100, &burn);
     fs_.Link("/f2", "/f2link", &burn);
+    // Write-back cache: settle the image before tests poke raw disk bytes.
+    bc_.FlushAll();
   }
 
   // Raw dinode access for corruption planting.
@@ -49,6 +51,7 @@ class FsckTest : public ::testing::Test {
 
   // Re-mounts from raw bytes so planted corruption bypasses the caches.
   FsckReport CheckFresh() {
+    bc_.FlushAll();  // no-op when a test already flushed before planting
     Bcache bc(cfg_);
     Xv6Fs fresh(bc, bc.AddDevice(&disk_), cfg_);
     Cycles burn = 0;

@@ -125,6 +125,11 @@ TEST(UsbStorageE2E, ThumbDriveMountsAtSlashU) {
     if (ureaddir(env, "/u", &entries) < 0 || entries.size() != 2) {
       return 6;
     }
+    // "Safe eject": flush the write-back cache so the host-side check below
+    // sees the write on the raw stick image.
+    if (usync(env) != 0) {
+      return 7;
+    }
     return 0;
   }, 1024, 4 << 20);
   sys.kernel().AddBootBlob(name, BuildVelf(name, 1024, {}, 4 << 20));
