@@ -7,6 +7,7 @@
 namespace vos {
 
 int Bcache::AddDevice(BlockDevice* dev, const std::string& name) {
+  SpinGuard g(lock_);
   queues_.emplace_back(dev);
   BlockDevStats st;
   st.name = name.empty() ? "dev" + std::to_string(queues_.size() - 1) : name;
@@ -89,6 +90,11 @@ Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn) {
 }
 
 Buf* Bcache::Read(int dev, std::uint64_t lba, Cycles* burn) {
+  SpinGuard g(lock_);
+  return ReadLocked(dev, lba, burn);
+}
+
+Buf* Bcache::ReadLocked(int dev, std::uint64_t lba, Cycles* burn) {
   *burn = cfg_.cost.bcache_lookup;
   Buf* b = FindOrRecycle(dev, lba, burn);
   ++b->refcnt;
@@ -120,10 +126,16 @@ Cycles Bcache::ThrottleIfNeeded(int dev) {
   }
   // Foreground throttling: the writer that pushed the pool over the dirty
   // ratio pays for draining it (the Linux balance_dirty_pages idea).
-  return FlushDev(dev);
+  // Callers already hold lock_ (this runs under WriteLocked).
+  return FlushDevLocked(dev);
 }
 
 void Bcache::Write(Buf* b, Cycles* burn) {
+  SpinGuard g(lock_);
+  WriteLocked(b, burn);
+}
+
+void Bcache::WriteLocked(Buf* b, Cycles* burn) {
   VOS_CHECK_MSG(b->refcnt > 0, "bwrite on unreferenced buffer");
   BlockDevStats& st = stats_[static_cast<std::size_t>(b->dev)];
   if (!cfg_.opt_writeback_cache) {
@@ -149,11 +161,17 @@ void Bcache::Write(Buf* b, Cycles* burn) {
 }
 
 void Bcache::Release(Buf* b) {
+  SpinGuard g(lock_);
+  ReleaseLocked(b);
+}
+
+void Bcache::ReleaseLocked(Buf* b) {
   VOS_CHECK_MSG(b->refcnt > 0, "brelse on unreferenced buffer");
   --b->refcnt;
 }
 
 Cycles Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+  SpinGuard g(lock_);
   if (!cfg_.opt_bcache_bypass) {
     // Un-optimized path: go through the single-block cache, block by block —
     // what xv6's layering forces, and what Fig 9's file benchmarks measure
@@ -161,9 +179,9 @@ Cycles Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::u
     Cycles total = 0;
     for (std::uint32_t i = 0; i < count; ++i) {
       Cycles c = 0;
-      Buf* b = Read(dev, lba + i, &c);
+      Buf* b = ReadLocked(dev, lba + i, &c);
       std::copy(b->data.begin(), b->data.end(), out + std::size_t(i) * kBlockSize);
-      Release(b);
+      ReleaseLocked(b);
       total += c;
     }
     return total;
@@ -194,16 +212,17 @@ Cycles Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::u
 
 Cycles Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
                           const std::uint8_t* in) {
+  SpinGuard g(lock_);
   if (!cfg_.opt_bcache_bypass) {
     Cycles total = 0;
     for (std::uint32_t i = 0; i < count; ++i) {
       Cycles c = 0;
-      Buf* b = Read(dev, lba + i, &c);
+      Buf* b = ReadLocked(dev, lba + i, &c);
       std::copy(in + std::size_t(i) * kBlockSize, in + std::size_t(i + 1) * kBlockSize,
                 b->data.begin());
       Cycles w = 0;
-      Write(b, &w);
-      Release(b);
+      WriteLocked(b, &w);
+      ReleaseLocked(b);
       total += c + w;
     }
     return total;
@@ -232,14 +251,20 @@ Cycles Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
 }
 
 Cycles Bcache::FlushAll() {
+  SpinGuard g(lock_);
   Cycles total = 0;
   for (int dev = 0; dev < device_count(); ++dev) {
-    total += FlushDev(dev);
+    total += FlushDevLocked(dev);
   }
   return total;
 }
 
 Cycles Bcache::FlushDev(int dev) {
+  SpinGuard g(lock_);
+  return FlushDevLocked(dev);
+}
+
+Cycles Bcache::FlushDevLocked(int dev) {
   std::vector<Buf*> dirty;
   for (Buf& b : bufs_) {
     if (b.valid && b.dirty && b.dev == dev) {
@@ -250,6 +275,7 @@ Cycles Bcache::FlushDev(int dev) {
 }
 
 Cycles Bcache::FlushAged(Cycles now, Cycles min_age) {
+  SpinGuard g(lock_);
   Cycles total = 0;
   for (int dev = 0; dev < device_count(); ++dev) {
     std::vector<Buf*> aged;
@@ -272,6 +298,7 @@ std::size_t Bcache::DirtyCount(int dev) const {
 }
 
 const BlockDevStats& Bcache::stats(int dev) {
+  SpinGuard g(lock_);
   BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
   const auto& q = queues_[static_cast<std::size_t>(dev)];
   st.merged = q.merged_requests();

@@ -21,6 +21,7 @@
 #include "src/base/units.h"
 #include "src/fs/block_dev.h"
 #include "src/kernel/kconfig.h"
+#include "src/kernel/spinlock.h"
 #include "src/kernel/trace.h"
 
 namespace vos {
@@ -97,6 +98,13 @@ class Bcache {
   const BlockDevStats& stats(int dev);
 
  private:
+  // Locked-side implementations; callers hold lock_. The public entry points
+  // are thin SpinGuard wrappers, so the pool, LRU list, and per-device stats
+  // mutate under one lock class ("bcache") in the lockdep graph.
+  Buf* ReadLocked(int dev, std::uint64_t lba, Cycles* burn);
+  void WriteLocked(Buf* b, Cycles* burn);
+  void ReleaseLocked(Buf* b);
+  Cycles FlushDevLocked(int dev);
   Buf* FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn);
   void Touch(Buf* b);
   // Writes back a set of dirty buffers through the request queue (elevator
@@ -111,6 +119,7 @@ class Bcache {
   }
 
   const KernelConfig& cfg_;
+  SpinLock lock_{"bcache"};
   std::vector<BlockRequestQueue> queues_;
   std::vector<BlockDevStats> stats_;
   std::array<Buf, kNumBufs> bufs_;

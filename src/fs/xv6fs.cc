@@ -1,5 +1,6 @@
 #include "src/fs/xv6fs.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/assert.h"
@@ -288,7 +289,9 @@ std::int64_t Xv6Fs::DirLink(Xv6Inode& dir, const std::string& name, std::uint32_
   }
   std::memset(&de, 0, sizeof(de));
   de.inum = static_cast<std::uint16_t>(inum);
-  std::strncpy(de.name, name.c_str(), kDirNameLen);
+  // xv6 dirent names fill all kDirNameLen bytes without a NUL when the name
+  // is max-length; the memset above zero-pads shorter names.
+  std::memcpy(de.name, name.data(), std::min<std::size_t>(name.size(), kDirNameLen));
   std::int64_t w = Writei(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
   if (w != sizeof(de)) {
     return kErrNoSpace;

@@ -116,6 +116,8 @@ struct KernelConfig {
   bool dma_sd = false;
 
   bool trace_enabled = true;         // ftrace-like ring (negligible overhead)
+  bool lockdep_enabled = true;       // lock-order/IRQ-safety validator (§7 of
+                                     // DESIGN.md); off = record nothing
 
   CostModel cost;
 

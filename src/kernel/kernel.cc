@@ -24,12 +24,21 @@ constexpr PhysAddr kKernelReservedEnd = MiB(8);
 Kernel::Kernel(Board& board, KernelConfig cfg)
     : board_(board),
       cfg_(cfg),
+      lockdep_session_(cfg.lockdep_enabled),
       machine_(board, this, cfg.EffectiveCores()),
       klog_(board.uart()),
       trace_(cfg.trace_enabled),
       sched_(cfg_) {
   VOS_CHECK_MSG(cfg_.EffectiveCores() <= board.config().cores,
                 "kernel configured for more cores than the board has");
+  // Violations report through the tasks' shadow call stacks; off a fiber
+  // (boot, IRQ dispatch on the machine thread) a synthetic frame marks it.
+  Lockdep::Instance().SetBacktraceProvider([]() -> std::vector<const char*> {
+    if (Task* t = g_current_task) {
+      return t->call_stack;
+    }
+    return {"<machine-loop>"};
+  });
 }
 
 Kernel::~Kernel() {
@@ -207,6 +216,7 @@ Kernel::BootReport Kernel::Boot() {
       }
       return FormatBlkStat(lines);
     });
+    vfs_->RegisterProc("lockdep", [] { return Lockdep::Instance().Report(); });
 
     // USB keyboard (the boot-time hog) and Game HAT buttons.
     usb_kbd_ = std::make_unique<UsbKbdDriver>(board_, machine_, *events_);

@@ -21,6 +21,7 @@
 #include "src/kernel/drivers.h"
 #include "src/kernel/kconfig.h"
 #include "src/kernel/klog.h"
+#include "src/kernel/lockdep.h"
 #include "src/kernel/kmalloc.h"
 #include "src/kernel/machine.h"
 #include "src/kernel/pipe.h"
@@ -226,6 +227,10 @@ class Kernel final : public MachineClient {
 
   Board& board_;
   KernelConfig cfg_;
+  // Must precede every member that constructs a SpinLock (trace_, sched_, …):
+  // it resets the lockdep session so their class registrations land in this
+  // kernel's fresh graph.
+  LockdepSession lockdep_session_;
   Machine machine_;
   Klog klog_;
   TraceRing trace_;

@@ -28,6 +28,7 @@ void Kmalloc::RefillClass(int cls) {
 
 PhysAddr Kmalloc::Alloc(std::uint64_t size) {
   VOS_CHECK(size > 0);
+  SpinGuard g(lock_);
   int cls = ClassFor(size);
   if (cls < 0) {
     std::uint64_t npages = (size + kPageSize - 1) / kPageSize;
@@ -53,6 +54,7 @@ PhysAddr Kmalloc::Alloc(std::uint64_t size) {
 }
 
 void Kmalloc::Free(PhysAddr pa) {
+  SpinGuard g(lock_);
   auto it = live_.find(pa);
   VOS_CHECK_MSG(it != live_.end(), "kfree of address not allocated (or double free)");
   allocated_bytes_ -= it->second.size;
@@ -67,6 +69,7 @@ void Kmalloc::Free(PhysAddr pa) {
 }
 
 std::uint8_t* Kmalloc::Ptr(PhysAddr pa) {
+  SpinGuard g(lock_);
   auto it = live_.find(pa);
   VOS_CHECK_MSG(it != live_.end(), "kmalloc Ptr on non-live allocation");
   return pmm_.mem().Ptr(pa, it->second.size);

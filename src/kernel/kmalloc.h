@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/kernel/pmm.h"
+#include "src/kernel/spinlock.h"
 
 namespace vos {
 
@@ -40,6 +41,9 @@ class Kmalloc {
   int ClassFor(std::uint64_t size) const;
   void RefillClass(int cls);
 
+  // Guards the free lists and the live-allocation map; kernel subsystems
+  // allocate from IRQ handlers and task context alike.
+  SpinLock lock_{"kmalloc"};
   Pmm& pmm_;
   std::array<PhysAddr, kNumClasses> free_heads_{};
   // Live allocations: pa -> {class or page count}. A real kernel would encode

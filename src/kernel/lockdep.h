@@ -1,0 +1,170 @@
+// Kernel lock-order and IRQ-safety validator ("lockdep"), in the spirit of
+// the paper's §4.1 spinlock evolution: the SpinLock itself catches
+// double-acquire and non-owner release, but nothing validated ordering
+// *between* locks, sleeping with a spinlock held, or IRQ-context safety.
+// Those are exactly the bugs that surface as downstream corruption once the
+// bflush thread and future multicore work add concurrent lock users; this
+// layer reports them at the faulting site instead.
+//
+// Model:
+//  - Lock *classes* are keyed by the SpinLock's name (two pipes share the
+//    "pipe" class), registered at SpinLock construction.
+//  - Each host context (the machine thread, or one task fiber — execution is
+//    token-serialized, so each holds its own thread_local stack) records the
+//    locks it currently holds, innermost last.
+//  - A global acquisition-order graph accumulates an edge A->B whenever B is
+//    acquired while A is held. At acquire time a transitive reachability
+//    check detects inversions: acquiring B while holding A after the graph
+//    already proves B ->* A is a potential deadlock, reported with both the
+//    current chain and the backtrace that established the opposing edge.
+//  - Sleep safety: the scheduler's sleep path calls OnSleep(); any spinlock
+//    still held there is a bug (SleepOn releases the condition lock first).
+//  - IRQ safety: the machine loop brackets interrupt dispatch with
+//    SetIrqContext(). A class ever acquired in IRQ context ("irq-used") must
+//    never be observed held at a point where the holder re-enables
+//    interrupts (PopOff reaching depth 0 with locks held) — on real hardware
+//    that is the window where the IRQ handler spins against its own core.
+//
+// Violations throw FatalError via VOS_CHECK_MSG with both offending chains
+// and shadow-stack backtraces (unwind.h-style frames). The whole checker is
+// a no-op when disabled (KernelConfig::lockdep_enabled, for benchmarks).
+#ifndef VOS_SRC_KERNEL_LOCKDEP_H_
+#define VOS_SRC_KERNEL_LOCKDEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vos {
+
+class SpinLock;
+
+// Per-class statistics exported through /proc/lockdep.
+struct LockClassInfo {
+  std::string name;
+  std::uint64_t acquisitions = 0;  // total acquires of locks in this class
+  int max_hold_depth = 0;          // deepest held-stack position at acquire
+  bool irq_used = false;           // ever acquired in IRQ context
+  bool held_irqs_on = false;       // ever held while IRQs were enabled
+};
+
+class Lockdep {
+ public:
+  static Lockdep& Instance();
+
+  // Wipes classes, the order graph, and per-context held stacks. Each Kernel
+  // construction starts a fresh session (tests boot many kernels).
+  void Reset();
+
+  void SetEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Class registration; called from the SpinLock constructor. Safe to call
+  // repeatedly with the same name (locks of one class share the entry).
+  int RegisterClass(const std::string& name);
+
+  // --- Hook points (wired in spinlock.cc / sched.cc / machine.cc) ---
+  // After the lock is successfully acquired. Performs the order-inversion
+  // and IRQ-safety checks; throws FatalError on violation (the caller backs
+  // out the acquisition so tests can continue past a detected bug).
+  void OnAcquire(const SpinLock* lock, const std::string& class_name);
+  // Before the lock is released. Tolerates locks acquired while disabled.
+  void OnRelease(const SpinLock* lock);
+  // The scheduler sleep path: no spinlock may be held when a task parks.
+  void OnSleep(const void* chan);
+  // PopOff brought this context's IRQ-off depth to zero: interrupts are
+  // deliverable again. Any lock still held is now "held with IRQs on"; if
+  // its class is also taken from IRQ context, that is a deadlock window.
+  void OnIrqEnable();
+
+  // IRQ-context bracket (machine loop dispatch; tests seed it directly).
+  void SetIrqContext(bool in_irq);
+  bool InIrqContext() const;
+
+  // Shadow-stack backtrace provider (the kernel installs one that walks the
+  // current task's call_stack; frames are static string literals).
+  using BacktraceFn = std::function<std::vector<const char*>()>;
+  void SetBacktraceProvider(BacktraceFn fn) { backtrace_ = std::move(fn); }
+
+  // --- Introspection (/proc/lockdep, tests) ---
+  std::size_t ClassCount() const { return classes_.size(); }
+  std::vector<LockClassInfo> Classes() const;
+  // Number of distinct order edges observed.
+  std::size_t EdgeCount() const;
+  // True if the graph has observed from -> ... -> to (transitively).
+  bool HasPath(const std::string& from, const std::string& to) const;
+  // Locks currently held by this context (class names, outermost first).
+  std::vector<std::string> HeldNames() const;
+  // The /proc/lockdep body: per-class stats plus the dependency graph.
+  std::string Report() const;
+
+ private:
+  Lockdep() = default;
+
+  struct Edge {
+    std::uint64_t count = 0;
+    std::vector<const char*> holder_bt;  // acquire site of the held lock
+    std::vector<const char*> taker_bt;   // site that acquired the new lock
+  };
+  struct Class {
+    std::string name;
+    std::uint64_t acquisitions = 0;
+    int max_hold_depth = 0;
+    bool irq_used = false;
+    bool held_irqs_on = false;
+    std::vector<const char*> irq_bt;  // first IRQ-context acquisition site
+    std::map<int, Edge> out;          // class id -> dependency edge
+  };
+  struct Held {
+    const SpinLock* lock;
+    int cls;
+    std::vector<const char*> bt;
+  };
+
+  std::vector<const char*> Backtrace() const;
+  // DFS over the order graph: is `to` reachable from `from`?
+  bool Reachable(int from, int to) const;
+  // Shortest observed path from -> to (class ids), for violation reports.
+  std::vector<int> Path(int from, int to) const;
+  static std::string FormatFrames(const std::vector<const char*>& bt);
+  std::string FormatChain(const std::vector<int>& path) const;
+  [[noreturn]] void Violation(const char* kind, const std::string& detail);
+
+  bool enabled_ = true;
+  std::map<std::string, int> ids_;
+  std::vector<Class> classes_;
+  BacktraceFn backtrace_;
+  std::uint64_t generation_ = 0;  // bumped by Reset to invalidate held stacks
+};
+
+// Per-kernel lockdep session: Reset + enable/disable on construction, so each
+// Kernel boot starts with an empty graph reflecting the config knob. Lives as
+// an early Kernel member (before any subsystem that constructs SpinLocks).
+class LockdepSession {
+ public:
+  explicit LockdepSession(bool enabled) {
+    Lockdep::Instance().Reset();
+    Lockdep::Instance().SetEnabled(enabled);
+  }
+  ~LockdepSession() {
+    Lockdep::Instance().SetBacktraceProvider(nullptr);
+    Lockdep::Instance().SetEnabled(true);
+  }
+  LockdepSession(const LockdepSession&) = delete;
+  LockdepSession& operator=(const LockdepSession&) = delete;
+};
+
+// RAII bracket for the machine loop's interrupt dispatch window.
+class LockdepIrqScope {
+ public:
+  LockdepIrqScope() { Lockdep::Instance().SetIrqContext(true); }
+  ~LockdepIrqScope() { Lockdep::Instance().SetIrqContext(false); }
+  LockdepIrqScope(const LockdepIrqScope&) = delete;
+  LockdepIrqScope& operator=(const LockdepIrqScope&) = delete;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_LOCKDEP_H_

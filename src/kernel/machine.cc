@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/assert.h"
+#include "src/kernel/lockdep.h"
 
 namespace vos {
 
@@ -20,6 +21,10 @@ Cycles Machine::Now() const {
 
 void Machine::DeliverInterrupts() {
   Intc& intc = board_.intc();
+  // Everything dispatched from here runs in interrupt context: lockdep marks
+  // every lock the handlers take as irq-used, which is what makes the
+  // held-with-IRQs-enabled check meaningful for those classes.
+  LockdepIrqScope irq_scope;
   if (intc.FiqPending()) {
     client_->OnFiq(intc.ConsumeFiq());
   }

@@ -17,7 +17,7 @@ constexpr std::size_t kPipeSize = 512;
 
 class Pipe {
  public:
-  explicit Pipe(Sched& sched) : sched_(sched), lock_("pipe"), ring_(kPipeSize) {}
+  explicit Pipe(Sched& sched) : sched_(sched), ring_(kPipeSize) {}
 
   // Blocking write of up to n bytes; returns bytes written, 0 if no readers
   // remain (EPIPE at the syscall layer), or stops early if the task is killed.
@@ -38,7 +38,7 @@ class Pipe {
 
  private:
   Sched& sched_;
-  SpinLock lock_;
+  SpinLock lock_{"pipe"};  // all pipes share one lock class
   RingBuffer<std::uint8_t> ring_;
   int readers_ = 1;
   int writers_ = 1;

@@ -1,10 +1,12 @@
 #include "src/kernel/sched.h"
 
 #include "src/base/assert.h"
+#include "src/kernel/lockdep.h"
 
 namespace vos {
 
 void Sched::AddNew(Task* t, int core_hint) {
+  SpinGuard g(lock_);
   if (core_hint >= 0 && static_cast<unsigned>(core_hint) < ncores_) {
     t->core = static_cast<unsigned>(core_hint);
   } else {
@@ -12,10 +14,15 @@ void Sched::AddNew(Task* t, int core_hint) {
     next_core_ = (next_core_ + 1) % ncores_;
   }
   t->state = TaskState::kRunnable;
-  Enqueue(t);
+  EnqueueLocked(t);
 }
 
 void Sched::Enqueue(Task* t) {
+  SpinGuard g(lock_);
+  EnqueueLocked(t);
+}
+
+void Sched::EnqueueLocked(Task* t) {
   VOS_CHECK(t->state == TaskState::kRunnable);
   VOS_CHECK(t->core < ncores_);
   runq_[t->core].PushBack(t);
@@ -23,6 +30,7 @@ void Sched::Enqueue(Task* t) {
 
 Task* Sched::PickNext(unsigned core) {
   VOS_CHECK(core < ncores_);
+  SpinGuard g(lock_);
   Task* t = runq_[core].PopFront();
   if (t != nullptr) {
     ++switches_;
@@ -32,10 +40,11 @@ Task* Sched::PickNext(unsigned core) {
 
 void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
   switch (r) {
-    case TaskFiber::StopReason::kBudget:
+    case TaskFiber::StopReason::kBudget: {
       // Still wants the CPU. Rotate to the tail when its slice is spent,
       // otherwise keep it at the head (it was merely interrupted by the
       // window boundary, not preempted).
+      SpinGuard g(lock_);
       t->state = TaskState::kRunnable;
       if (t->slice_used >= SliceLen()) {
         t->slice_used = 0;
@@ -44,6 +53,7 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
         runq_[core].PushFront(t);
       }
       break;
+    }
     case TaskFiber::StopReason::kBlocked:
       // The sleep path already moved it to the sleeping list (or it exited
       // the queue another way); nothing to do.
@@ -56,13 +66,22 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
 
 void Sched::Sleep(Task* cur, void* chan) {
   VOS_CHECK(chan != nullptr);
-  cur->sleep_chan = chan;
-  cur->state = TaskState::kSleeping;
-  sleeping_.PushBack(cur);
+  // Sleeping with a spinlock held deadlocks the next contender; lockdep
+  // reports the held chain at the faulting site. Condition locks must be
+  // released first (SleepOn does) — interrupts stay conceptually off only
+  // while inside a lock, never across a park.
+  Lockdep::Instance().OnSleep(chan);
+  {
+    SpinGuard g(lock_);
+    cur->sleep_chan = chan;
+    cur->state = TaskState::kSleeping;
+    sleeping_.PushBack(cur);
+  }
   try {
     cur->fiber().BlockAndSwitch();
   } catch (...) {
     // Dying fiber: leave the sleeping list consistent before unwinding on.
+    SpinGuard g(lock_);
     if (cur->run_hook.linked()) {
       sleeping_.Remove(cur);
     }
@@ -72,6 +91,7 @@ void Sched::Sleep(Task* cur, void* chan) {
   if (cur->state == TaskState::kSleeping) {
     // BlockAndSwitch returned without parking (kill-unwind in progress):
     // undo the sleep bookkeeping and let the caller's killed check run.
+    SpinGuard g(lock_);
     sleeping_.Remove(cur);
     cur->sleep_chan = nullptr;
     cur->state = TaskState::kRunning;
@@ -82,17 +102,18 @@ void Sched::Sleep(Task* cur, void* chan) {
 }
 
 void Sched::SleepOn(Task* cur, void* chan, SpinLock& lk) {
-  lk.Release();
+  lk.Release();  // lockdep: naked-ok (the xv6 sleep-lock dance)
   struct Reacquire {
     SpinLock& l;
-    ~Reacquire() { l.Acquire(); }
+    ~Reacquire() { l.Acquire(); }  // lockdep: naked-ok
   } reacquire{lk};
   Sleep(cur, chan);
 }
 
 std::size_t Sched::Wakeup(void* chan) {
+  SpinGuard g(lock_);
   std::size_t n = 0;
-  // Collect first: WakeTask mutates the sleeping list.
+  // Collect first: WakeTaskLocked mutates the sleeping list.
   Task* to_wake[64];
   for (Task* t : sleeping_) {
     if (t->sleep_chan == chan) {
@@ -101,19 +122,24 @@ std::size_t Sched::Wakeup(void* chan) {
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
-    WakeTask(to_wake[i]);
+    WakeTaskLocked(to_wake[i]);
   }
   return n;
 }
 
 void Sched::WakeTask(Task* t) {
+  SpinGuard g(lock_);
+  WakeTaskLocked(t);
+}
+
+void Sched::WakeTaskLocked(Task* t) {
   if (t->state != TaskState::kSleeping) {
     return;
   }
   sleeping_.Remove(t);
   t->sleep_chan = nullptr;
   t->state = TaskState::kRunnable;
-  Enqueue(t);
+  EnqueueLocked(t);
 }
 
 void Sched::Yield(Task* cur) {

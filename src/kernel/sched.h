@@ -1,5 +1,8 @@
 // The scheduler: per-core round-robin runqueues (a single queue until
 // Prototype 5 brings multicore), xv6-style sleep channels, and WFI idling.
+// Runqueue and sleep-list mutations take the "sched" spinlock — the lock a
+// real kernel needs here, and the anchor of the lockdep order graph (pipe
+// and semtable wakeups nest it, the timer tick takes it in IRQ context).
 //
 // Lost wakeups: xv6 needs the sleep-lock dance because another CPU can call
 // wakeup() between releasing the condition lock and sleeping. In the
@@ -22,7 +25,7 @@ namespace vos {
 class Sched {
  public:
   explicit Sched(const KernelConfig& cfg)
-      : cfg_(cfg), ncores_(cfg.EffectiveCores()), lock_("sched") {}
+      : cfg_(cfg), ncores_(cfg.EffectiveCores()) {}
 
   unsigned ncores() const { return ncores_; }
 
@@ -47,6 +50,8 @@ class Sched {
   // Pulls a sleeping task out for forced wake (kill path).
   void WakeTask(Task* t);
 
+  // Read-only queries (machine-thread / procfs); token serialization makes
+  // unlocked reads safe.
   bool HasRunnable() const;
   std::size_t runqueue_len(unsigned core) const;
 
@@ -54,10 +59,13 @@ class Sched {
 
  private:
   Cycles SliceLen() const { return cfg_.tick_interval * cfg_.slice_ticks; }
+  // Callers hold lock_.
+  void EnqueueLocked(Task* t);
+  void WakeTaskLocked(Task* t);
 
   const KernelConfig& cfg_;
   unsigned ncores_;
-  SpinLock lock_;
+  SpinLock lock_{"sched"};
   IntrusiveList<Task, &Task::run_hook> runq_[kMaxCores];
   IntrusiveList<Task, &Task::run_hook> sleeping_;
   unsigned next_core_ = 0;

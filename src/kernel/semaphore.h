@@ -17,7 +17,7 @@ constexpr int kMaxSemaphores = 128;
 
 class SemTable {
  public:
-  explicit SemTable(Sched& sched) : sched_(sched), lock_("semtable") {}
+  explicit SemTable(Sched& sched) : sched_(sched) {}
 
   // Returns a new semaphore id with initial value, or kErrNoSpace.
   std::int64_t Create(int initial);
@@ -40,7 +40,7 @@ class SemTable {
   bool ValidId(int id) const { return id >= 0 && id < kMaxSemaphores && sems_[id].used; }
 
   Sched& sched_;
-  SpinLock lock_;
+  SpinLock lock_{"semtable"};
   std::array<Sem, kMaxSemaphores> sems_{};
 };
 

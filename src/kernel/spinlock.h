@@ -6,6 +6,10 @@
 // The machine loop serializes host execution, so the lock never spins in host
 // time; it exists to enforce and *check* the kernel's locking discipline:
 // double-acquire, unlock-without-lock, and sleeping-with-lock are all caught.
+// Cross-lock discipline (ordering between classes, IRQ safety) is validated
+// by the lockdep layer (lockdep.h): the constructor registers the lock's
+// class by name, and Acquire/Release report to the per-context held stack
+// and the global acquisition-order graph.
 #ifndef VOS_SRC_KERNEL_SPINLOCK_H_
 #define VOS_SRC_KERNEL_SPINLOCK_H_
 
@@ -18,7 +22,9 @@ class Task;
 
 class SpinLock {
  public:
-  explicit SpinLock(std::string name) : name_(std::move(name)) {}
+  // `name` is the lock's lockdep class: locks sharing a name (every pipe's
+  // "pipe" lock) share ordering rules and statistics.
+  explicit SpinLock(std::string name);
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
@@ -37,11 +43,12 @@ class SpinLock {
   std::uint64_t acquisitions_ = 0;
 };
 
-// RAII guard.
+// RAII guard — the only sanctioned way to take a SpinLock outside the lock
+// implementation itself (tools/lint_locks.py enforces this).
 class SpinGuard {
  public:
-  explicit SpinGuard(SpinLock& l) : lock_(l) { lock_.Acquire(); }
-  ~SpinGuard() { lock_.Release(); }
+  explicit SpinGuard(SpinLock& l) : lock_(l) { lock_.Acquire(); }  // lockdep: naked-ok
+  ~SpinGuard() { lock_.Release(); }                               // lockdep: naked-ok
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 

@@ -15,11 +15,13 @@ void TraceRing::Emit(Cycles ts, unsigned core, TraceEvent ev, std::int32_t pid, 
   if (!enabled_ || core >= rings_.size()) {
     return;
   }
+  SpinGuard g(lock_);
   rings_[core].PushOverwrite(TraceRecord{ts, static_cast<std::uint16_t>(core), ev, pid, a, b});
   ++emitted_;
 }
 
 std::vector<TraceRecord> TraceRing::Dump() const {
+  SpinGuard g(lock_);
   std::vector<TraceRecord> out;
   for (const auto& r : rings_) {
     for (std::size_t i = 0; i < r.size(); ++i) {
@@ -43,6 +45,7 @@ std::vector<TraceRecord> TraceRing::DumpEvent(TraceEvent ev) const {
 }
 
 void TraceRing::Clear() {
+  SpinGuard g(lock_);
   for (auto& r : rings_) {
     r.Clear();
   }

@@ -11,6 +11,7 @@
 #include "src/base/ring_buffer.h"
 #include "src/base/units.h"
 #include "src/hw/intc.h"
+#include "src/kernel/spinlock.h"
 
 namespace vos {
 
@@ -61,6 +62,10 @@ class TraceRing {
 
  private:
   bool enabled_;
+  // Serializes ring mutation. Emit runs in IRQ context (the trace class is
+  // irq-used by design) and nests inside the bcache lock via the I/O trace
+  // hook, making it a leaf of the lockdep order graph.
+  mutable SpinLock lock_{"trace"};
   std::vector<RingBuffer<TraceRecord>> rings_;
   std::uint64_t emitted_ = 0;
 };

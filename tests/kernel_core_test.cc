@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "src/base/random.h"
 #include "src/kernel/kmalloc.h"
+#include "src/kernel/lockdep.h"
 #include "src/kernel/pmm.h"
 #include "src/kernel/spinlock.h"
 #include "src/kernel/velf.h"
@@ -168,6 +170,55 @@ TEST(SpinLockTest, IrqRefcountNests) {
   PopOff();
   PopOff();
   EXPECT_EQ(IrqOffDepth(), depth);
+}
+
+TEST(SpinLockTest, FailedAcquireLeavesIrqDepthBalanced) {
+  SpinLock l("balance");
+  int depth = IrqOffDepth();
+  l.Acquire();
+  EXPECT_THROW(l.Acquire(), FatalError);
+  EXPECT_EQ(IrqOffDepth(), depth + 1);  // only the successful acquire counts
+  l.Release();
+  EXPECT_EQ(IrqOffDepth(), depth);
+}
+
+TEST(SpinLockTest, NonOwnerReleaseCaught) {
+  SpinLock l("ownercheck");
+  l.Acquire();
+  // Another host context (its own ContextId) must not be able to release.
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      l.Release();
+    } catch (const FatalError&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(l.held());  // the failed release did not mutate the lock
+  l.Release();
+}
+
+TEST(SpinLockTest, PopOffUnderflowCaught) {
+  ASSERT_EQ(IrqOffDepth(), 0);
+  EXPECT_THROW(PopOff(), FatalError);
+  EXPECT_EQ(IrqOffDepth(), 0);
+}
+
+TEST(SpinLockTest, ReleaseOrdering) {
+  // Regression: Release must clear owner/held and pop the lockdep held stack
+  // *before* PopOff re-enables interrupt delivery. If the order flipped, the
+  // OnIrqEnable hook would see an irq-used lock still "held" at the boundary
+  // and report a spurious irq-unsafe hold here.
+  Lockdep::Instance().Reset();
+  SpinLock l("releaseordering");
+  Lockdep::Instance().SetIrqContext(true);
+  { SpinGuard g(l); }  // marks the class irq-used
+  Lockdep::Instance().SetIrqContext(false);
+  EXPECT_NO_THROW({ SpinGuard g(l); });
+  EXPECT_FALSE(l.held());
+  Lockdep::Instance().Reset();
 }
 
 class VmTest : public ::testing::Test {

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Locking-discipline lint for the vos kernel sources.
+
+Two rules, both mechanical:
+
+1. SpinGuard only: no naked `.Acquire()` / `->Acquire()` / `.Release()` /
+   `->Release()` calls in src/**. RAII scoping is what keeps the lockdep
+   held-stack, the IRQ-off refcount, and exception unwinding consistent.
+   Lines that genuinely need a naked call (the SpinLock implementation
+   itself, the xv6 sleep-lock dance) carry a `// lockdep: naked-ok` marker
+   explaining why. Only empty-argument calls match, so unrelated methods
+   like `Bcache::Release(buf)` are untouched.
+
+2. Every SpinLock declaration names its lock class with a string literal
+   (`SpinLock lock_{"bcache"};` or `SpinLock l("sched")`): the class name
+   keys the lockdep order graph, so an unnamed lock would be invisible to
+   the validator's reports.
+
+Exit status 0 = clean, 1 = findings (printed one per line, grep-style).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+NAKED_CALL = re.compile(r"(?:\.|->)(Acquire|Release)\(\s*\)")
+NAKED_OK = re.compile(r"//\s*lockdep:\s*naked-ok")
+# A SpinLock variable declaration (member or local), not a reference/pointer
+# parameter and not the class definition itself. The initializer must open
+# with a string literal: SpinLock x{"name"} / SpinLock x("name").
+SPINLOCK_DECL = re.compile(r"^\s*(?:mutable\s+)?SpinLock\s+(\w+)\s*(.*)$")
+NAMED_INIT = re.compile(r"^[({]\s*\"")
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    rel = path.relative_to(REPO)
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if NAKED_CALL.search(line) and not NAKED_OK.search(line):
+            findings.append(
+                f"{rel}:{lineno}: naked Acquire()/Release() — use SpinGuard, "
+                f"or justify with '// lockdep: naked-ok (<reason>)'"
+            )
+        decl = SPINLOCK_DECL.match(line)
+        if decl:
+            rest = decl.group(2).strip()
+            # `SpinLock& lk` parameters and forward uses don't declare a lock.
+            if decl.group(1) in ("lock", "l") and rest.startswith(")"):
+                continue
+            if not NAMED_INIT.match(rest):
+                findings.append(
+                    f"{rel}:{lineno}: SpinLock '{decl.group(1)}' has no string-literal "
+                    f"class name — lockdep cannot report it"
+                )
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix in (".h", ".cc"):
+            findings.extend(lint_file(path))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_locks: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_locks: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
