@@ -111,6 +111,9 @@ struct KernelConfig {
   std::uint32_t bcache_flush_interval_ms = 50;  // bflush thread wake period
   std::uint32_t bcache_dirty_age_ms = 30;       // age before background flush
   double bcache_dirty_ratio = 0.5;   // dirty fraction that throttles writers
+  // Per-core slab cache (magazine) capacity, in objects per size class per
+  // core. Larger = fewer depot-lock trips, more memory cached per core.
+  std::uint32_t slab_percore_cache_objs = 32;
   // Production-OS mechanisms (enabled by linux/freebsd profiles).
   bool cow_fork = false;
   bool dma_sd = false;

@@ -93,8 +93,21 @@ Kernel::BootReport Kernel::Boot() {
   // Kernel core: vectors, PMM over [8 MB, dram_end), timers, UART.
   Cycles core = 0;
   pmm_ = std::make_unique<Pmm>(board_.mem(), kKernelReservedEnd, board_.config().dram_size);
+  pmm_->SetTraceHook([this](TraceEvent ev, std::uint64_t a, std::uint64_t b) {
+    Task* cur = CurrentTask();
+    trace_.Emit(Now(), cur != nullptr ? cur->core : 0, ev, cur != nullptr ? cur->pid() : 0, a, b);
+  });
   if (cfg_.HasKmalloc()) {
-    kmalloc_ = std::make_unique<Kmalloc>(*pmm_);
+    kmalloc_ = std::make_unique<Kmalloc>(*pmm_, cfg_.slab_percore_cache_objs);
+    kmalloc_->SetCoreFn([this] {
+      Task* cur = CurrentTask();
+      return cur != nullptr ? cur->core : 0u;
+    });
+    kmalloc_->SetTraceHook([this](TraceEvent ev, std::uint64_t a, std::uint64_t b) {
+      Task* cur = CurrentTask();
+      trace_.Emit(Now(), cur != nullptr ? cur->core : 0, ev, cur != nullptr ? cur->pid() : 0, a,
+                  b);
+    });
   }
   vtimers_ = std::make_unique<VirtualTimers>(board_.sys_timer());
   sems_ = std::make_unique<SemTable>(sched_);
@@ -217,6 +230,40 @@ Kernel::BootReport Kernel::Boot() {
       return FormatBlkStat(lines);
     });
     vfs_->RegisterProc("lockdep", [] { return Lockdep::Instance().Report(); });
+    vfs_->RegisterProc("memstat", [this] {
+      ProcMemStat ms;
+      ms.total_pages = pmm_->total_pages();
+      ms.free_pages = pmm_->free_pages();
+      ms.largest_block_pages = pmm_->LargestFreeBlockPages();
+      ms.frag_pct = pmm_->FragmentationPct();
+      const Pmm::Stats& ps = pmm_->stats();
+      ms.page_allocs = ps.page_allocs;
+      ms.page_frees = ps.page_frees;
+      ms.range_allocs = ps.range_allocs;
+      ms.range_frees = ps.range_frees;
+      ms.splits = ps.splits;
+      ms.merges = ps.merges;
+      ms.oom_events = ps.oom_events;
+      for (int o = 0; o < pmm_->num_orders(); ++o) {
+        ms.free_blocks_by_order.push_back(pmm_->FreeBlocksOfOrder(o));
+      }
+      if (kmalloc_ != nullptr) {
+        ms.has_kmalloc = true;
+        for (int cls = 0; cls < Kmalloc::kNumClasses; ++cls) {
+          Kmalloc::ClassStats cs = kmalloc_->class_stats(cls);
+          ms.classes.push_back(ProcMemClassLine{cs.obj_size, cs.slab_pages, cs.slabs,
+                                                cs.total_objs, cs.live_objs, cs.refills});
+        }
+        for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+          const Kmalloc::CoreStats& cs = kmalloc_->core_stats(c);
+          ms.cores.push_back(
+              ProcMemCoreLine{c, cs.hits, cs.misses, cs.drains, kmalloc_->CachedObjects(c)});
+        }
+        ms.large_live = kmalloc_->large_live();
+        ms.large_allocs = kmalloc_->large_allocs();
+      }
+      return FormatMemStat(ms);
+    });
 
     // USB keyboard (the boot-time hog) and Game HAT buttons.
     usb_kbd_ = std::make_unique<UsbKbdDriver>(board_, machine_, *events_);
@@ -377,6 +424,11 @@ void Kernel::DoExitNoThrow(Task* cur, int code) {
   }
   cur->fds.clear();
   cur->mm.reset();
+  // Flush the exiting task's core's kmalloc magazines back to the depot so
+  // cached objects are not stranded on a core that may now go idle.
+  if (kmalloc_ != nullptr) {
+    kmalloc_->DrainCore(cur->core);
+  }
   // Reparent children to init (pid 1).
   Task* init = FindTask(1);
   for (auto& [pid, t] : tasks_) {

@@ -1,78 +1,356 @@
 #include "src/kernel/kmalloc.h"
 
+#include <algorithm>
+
 #include "src/base/assert.h"
 
 namespace vos {
 
-int Kmalloc::ClassFor(std::uint64_t size) const {
-  for (int s = kMinShift; s <= kMaxShift; ++s) {
-    if (size <= (1ull << s)) {
-      return s - kMinShift;
+Kmalloc::Kmalloc(Pmm& pmm, std::uint32_t percore_cache_objs)
+    : pmm_(pmm), mag_cap_(std::max<std::uint32_t>(2, percore_cache_objs)) {
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    Depot& d = depots_[static_cast<std::size_t>(cls)];
+    d.obj_size = ObjSize(cls);
+    // Grow the slab (1-4 pages) until header+packing waste is <= 1/8 of it:
+    // 1 KB objects get 2-page slabs, 2 KB objects 4-page slabs.
+    d.slab_pages = 1;
+    while (d.slab_pages < 4) {
+      std::uint64_t bytes = d.slab_pages * kPageSize;
+      std::uint64_t cap = (bytes - kHdrSize) / d.obj_size;
+      if (cap * d.obj_size * 8 >= bytes * 7) {
+        break;
+      }
+      d.slab_pages *= 2;
+    }
+    d.capacity = static_cast<std::uint32_t>((d.slab_pages * kPageSize - kHdrSize) / d.obj_size);
+    VOS_CHECK(d.capacity >= 1 && d.capacity <= kMaxObjsPerSlab);
+  }
+  frames_.resize(pmm_.total_pages());
+  for (auto& per_core : mags_) {
+    for (auto& mag : per_core) {
+      mag.reserve(mag_cap_);
     }
   }
-  return -1;
 }
 
-void Kmalloc::RefillClass(int cls) {
-  PhysAddr page = pmm_.AllocPage();
-  if (page == 0) {
-    return;
+int Kmalloc::ClassFor(std::uint64_t size) {
+  if (size > (1ull << kMaxShift)) {
+    return -1;
   }
-  std::uint64_t obj = 1ull << (cls + kMinShift);
-  for (std::uint64_t off = 0; off + obj <= kPageSize; off += obj) {
-    PhysAddr pa = page + off;
-    pmm_.mem().Store<std::uint64_t>(pa, free_heads_[cls]);
-    free_heads_[cls] = pa;
+  if (size <= (1ull << kMinShift)) {
+    return 0;
   }
+  return 64 - __builtin_clzll(size - 1) - kMinShift;
+}
+
+unsigned Kmalloc::CurCore() const {
+  if (!core_fn_) {
+    return 0;
+  }
+  return std::min(core_fn_(), kMaxCores - 1);
+}
+
+std::uint64_t Kmalloc::FrameIndex(PhysAddr pa) const {
+  VOS_CHECK_MSG(pa >= pmm_.start() && pa < pmm_.end(),
+                "kmalloc address outside the managed heap");
+  return (pa - pmm_.start()) / kPageSize;
+}
+
+PhysAddr Kmalloc::SlabBase(PhysAddr pa) const {
+  std::uint64_t f = (pa - pmm_.start()) / kPageSize;
+  return pmm_.start() + (f - frames_[f].head_delta) * kPageSize;
+}
+
+bool Kmalloc::TestBit(PhysAddr slab, std::uint32_t idx) const {
+  std::uint64_t w = pmm_.mem().Load<std::uint64_t>(slab + kOffBitmap + (idx / 64) * 8);
+  return (w >> (idx % 64)) & 1;
+}
+
+void Kmalloc::SetBit(PhysAddr slab, std::uint32_t idx, bool v) {
+  PhysAddr at = slab + kOffBitmap + (idx / 64) * 8;
+  std::uint64_t w = pmm_.mem().Load<std::uint64_t>(at);
+  if (v) {
+    w |= 1ull << (idx % 64);
+  } else {
+    w &= ~(1ull << (idx % 64));
+  }
+  pmm_.mem().Store<std::uint64_t>(at, w);
+}
+
+PhysAddr Kmalloc::NewSlab(int cls) {
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  PhysAddr base = pmm_.AllocRange(d.slab_pages);
+  if (base == 0) {
+    return 0;
+  }
+  pmm_.mem().Store<std::uint64_t>(base + kOffMagic, kHdrMagic | static_cast<std::uint64_t>(cls));
+  pmm_.mem().Store<std::uint32_t>(base + kOffFreeCount, d.capacity);
+  for (int w = 0; w < 4; ++w) {
+    pmm_.mem().Store<std::uint64_t>(base + kOffBitmap + 8u * static_cast<unsigned>(w), 0);
+  }
+  // Chain every object through its first 8 bytes, first object at the head.
+  for (std::uint32_t i = 0; i < d.capacity; ++i) {
+    PhysAddr obj = base + kHdrSize + std::uint64_t(i) * d.obj_size;
+    PhysAddr next = i + 1 < d.capacity ? obj + d.obj_size : 0;
+    pmm_.mem().Store<std::uint64_t>(obj, next);
+  }
+  pmm_.mem().Store<std::uint64_t>(base + kOffFreelist, base + kHdrSize);
+  std::uint64_t head = (base - pmm_.start()) / kPageSize;
+  for (std::uint32_t p = 0; p < d.slab_pages; ++p) {
+    frames_[head + p] = FrameDesc{FrameKind::kSlab, p, 0};
+  }
+  ++d.slabs;
+  PartialInsert(cls, base);
+  return base;
+}
+
+void Kmalloc::PartialInsert(int cls, PhysAddr slab) {
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  pmm_.mem().Store<std::uint64_t>(slab + kOffNext, d.partial_head);
+  pmm_.mem().Store<std::uint64_t>(slab + kOffPrev, 0);
+  if (d.partial_head != 0) {
+    pmm_.mem().Store<std::uint64_t>(d.partial_head + kOffPrev, slab);
+  }
+  d.partial_head = slab;
+}
+
+void Kmalloc::PartialUnlink(int cls, PhysAddr slab) {
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  std::uint64_t next = pmm_.mem().Load<std::uint64_t>(slab + kOffNext);
+  std::uint64_t prev = pmm_.mem().Load<std::uint64_t>(slab + kOffPrev);
+  if (prev == 0) {
+    d.partial_head = next;
+  } else {
+    pmm_.mem().Store<std::uint64_t>(prev + kOffNext, next);
+  }
+  if (next != 0) {
+    pmm_.mem().Store<std::uint64_t>(next + kOffPrev, prev);
+  }
+}
+
+void Kmalloc::Refill(unsigned core, int cls) {
+  SpinGuard g(depot_lock_);
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  auto& mag = mags_[core][static_cast<std::size_t>(cls)];
+  std::size_t want = std::max<std::size_t>(1, mag_cap_ / 2);
+  std::uint64_t moved = 0;
+  while (mag.size() < want) {
+    if (d.partial_head == 0 && NewSlab(cls) == 0) {
+      break;  // pmm exhausted; it emitted kPmmOom
+    }
+    PhysAddr slab = d.partial_head;
+    PhysAddr obj = pmm_.mem().Load<std::uint64_t>(slab + kOffFreelist);
+    pmm_.mem().Store<std::uint64_t>(slab + kOffFreelist, pmm_.mem().Load<std::uint64_t>(obj));
+    std::uint32_t fc = pmm_.mem().Load<std::uint32_t>(slab + kOffFreeCount) - 1;
+    pmm_.mem().Store<std::uint32_t>(slab + kOffFreeCount, fc);
+    if (fc == 0) {
+      PartialUnlink(cls, slab);
+    }
+    mag.push_back(obj);
+    ++moved;
+  }
+  if (moved > 0) {
+    ++d.refills;
+    if (trace_) {
+      trace_(TraceEvent::kSlabRefill, d.obj_size, moved);
+    }
+  }
+}
+
+void Kmalloc::ReturnToSlab(int cls, PhysAddr obj) {
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  PhysAddr base = SlabBase(obj);
+  pmm_.mem().Store<std::uint64_t>(obj, pmm_.mem().Load<std::uint64_t>(base + kOffFreelist));
+  pmm_.mem().Store<std::uint64_t>(base + kOffFreelist, obj);
+  std::uint32_t fc = pmm_.mem().Load<std::uint32_t>(base + kOffFreeCount) + 1;
+  pmm_.mem().Store<std::uint32_t>(base + kOffFreeCount, fc);
+  if (fc == 1) {
+    PartialInsert(cls, base);  // was full, has a free object again
+  }
+  if (fc == d.capacity) {
+    // Fully free: give the pages back to the buddy allocator.
+    PartialUnlink(cls, base);
+    std::uint64_t head = (base - pmm_.start()) / kPageSize;
+    for (std::uint32_t p = 0; p < d.slab_pages; ++p) {
+      frames_[head + p] = FrameDesc{};
+    }
+    pmm_.FreeRange(base, d.slab_pages);
+    --d.slabs;
+  }
+}
+
+void Kmalloc::DrainBatch(unsigned core, int cls, std::size_t n) {
+  auto& mag = mags_[core][static_cast<std::size_t>(cls)];
+  n = std::min(n, mag.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ReturnToSlab(cls, mag.back());
+    mag.pop_back();
+  }
+}
+
+void Kmalloc::DrainCore(unsigned core) {
+  VOS_CHECK(core < kMaxCores);
+  SpinGuard g(depot_lock_);
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (!mags_[core][static_cast<std::size_t>(cls)].empty()) {
+      DrainBatch(core, cls, mags_[core][static_cast<std::size_t>(cls)].size());
+      ++core_stats_[core].drains;
+    }
+  }
+}
+
+void Kmalloc::DrainAll() {
+  for (unsigned c = 0; c < kMaxCores; ++c) {
+    DrainCore(c);
+  }
+}
+
+PhysAddr Kmalloc::AllocLarge(std::uint64_t size) {
+  SpinGuard g(depot_lock_);
+  std::uint64_t npages = (size + kPageSize - 1) / kPageSize;
+  PhysAddr pa = pmm_.AllocRange(npages);
+  if (pa == 0) {
+    return 0;
+  }
+  std::uint64_t head = (pa - pmm_.start()) / kPageSize;
+  frames_[head] = FrameDesc{FrameKind::kLargeHead, 0, size};
+  for (std::uint64_t i = 1; i < npages; ++i) {
+    frames_[head + i] = FrameDesc{FrameKind::kLargeBody, static_cast<std::uint32_t>(i), 0};
+  }
+  allocated_bytes_ += size;
+  ++allocation_count_;
+  ++large_live_;
+  ++large_allocs_;
+  return pa;
+}
+
+void Kmalloc::FreeLarge(PhysAddr pa, std::uint64_t frame) {
+  SpinGuard g(depot_lock_);
+  std::uint64_t size = frames_[frame].size;
+  std::uint64_t npages = (size + kPageSize - 1) / kPageSize;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    frames_[frame + i] = FrameDesc{};
+  }
+  pmm_.FreeRange(pa, npages);
+  allocated_bytes_ -= size;
+  --allocation_count_;
+  --large_live_;
 }
 
 PhysAddr Kmalloc::Alloc(std::uint64_t size) {
   VOS_CHECK(size > 0);
-  SpinGuard g(lock_);
   int cls = ClassFor(size);
   if (cls < 0) {
-    std::uint64_t npages = (size + kPageSize - 1) / kPageSize;
-    PhysAddr pa = pmm_.AllocRange(npages);
-    if (pa == 0) {
+    return AllocLarge(size);
+  }
+  unsigned core = CurCore();
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  auto& mag = mags_[core][static_cast<std::size_t>(cls)];
+  if (mag.empty()) {
+    ++core_stats_[core].misses;
+    Refill(core, cls);
+    if (mag.empty()) {
       return 0;
     }
-    live_[pa] = Live{-1, npages, size};
-    allocated_bytes_ += size;
-    return pa;
+  } else {
+    ++core_stats_[core].hits;
   }
-  if (free_heads_[cls] == 0) {
-    RefillClass(cls);
-    if (free_heads_[cls] == 0) {
-      return 0;
-    }
-  }
-  PhysAddr pa = free_heads_[cls];
-  free_heads_[cls] = pmm_.mem().Load<std::uint64_t>(pa);
-  live_[pa] = Live{cls, 0, size};
-  allocated_bytes_ += size;
+  PhysAddr pa = mag.back();
+  mag.pop_back();
+  PhysAddr base = SlabBase(pa);
+  std::uint32_t idx = static_cast<std::uint32_t>((pa - base - kHdrSize) / d.obj_size);
+  VOS_CHECK(!TestBit(base, idx));
+  SetBit(base, idx, true);
+  ++d.live_objs;
+  allocated_bytes_ += d.obj_size;
+  ++allocation_count_;
   return pa;
 }
 
 void Kmalloc::Free(PhysAddr pa) {
-  SpinGuard g(lock_);
-  auto it = live_.find(pa);
-  VOS_CHECK_MSG(it != live_.end(), "kfree of address not allocated (or double free)");
-  allocated_bytes_ -= it->second.size;
-  if (it->second.cls < 0) {
-    pmm_.FreeRange(pa, it->second.npages);
-  } else {
-    int cls = it->second.cls;
-    pmm_.mem().Store<std::uint64_t>(pa, free_heads_[cls]);
-    free_heads_[cls] = pa;
+  std::uint64_t frame = FrameIndex(pa);
+  const FrameDesc& fd = frames_[frame];
+  if (fd.kind == FrameKind::kLargeHead) {
+    VOS_CHECK_MSG(pa % kPageSize == 0, "kfree of address not allocated (or double free)");
+    FreeLarge(pa, frame);
+    return;
   }
-  live_.erase(it);
+  VOS_CHECK_MSG(fd.kind == FrameKind::kSlab, "kfree of address not allocated (or double free)");
+  PhysAddr base = SlabBase(pa);
+  std::uint64_t magic = pmm_.mem().Load<std::uint64_t>(base + kOffMagic);
+  int cls = static_cast<int>(magic & 0xff);
+  VOS_CHECK_MSG((magic & ~0xffull) == kHdrMagic && cls < kNumClasses,
+                "kfree: corrupt slab header");
+  Depot& d = depots_[static_cast<std::size_t>(cls)];
+  VOS_CHECK_MSG(pa >= base + kHdrSize && (pa - base - kHdrSize) % d.obj_size == 0,
+                "kfree of address not allocated (or double free)");
+  std::uint32_t idx = static_cast<std::uint32_t>((pa - base - kHdrSize) / d.obj_size);
+  VOS_CHECK_MSG(idx < d.capacity && TestBit(base, idx),
+                "kfree of address not allocated (or double free)");
+  SetBit(base, idx, false);
+  --d.live_objs;
+  allocated_bytes_ -= d.obj_size;
+  --allocation_count_;
+  unsigned core = CurCore();
+  auto& mag = mags_[core][static_cast<std::size_t>(cls)];
+  if (mag.size() >= mag_cap_) {
+    SpinGuard g(depot_lock_);
+    DrainBatch(core, cls, mag_cap_ / 2);
+    ++core_stats_[core].drains;
+  }
+  mag.push_back(pa);
+  ++core_stats_[core].frees;
 }
 
 std::uint8_t* Kmalloc::Ptr(PhysAddr pa) {
-  SpinGuard g(lock_);
-  auto it = live_.find(pa);
-  VOS_CHECK_MSG(it != live_.end(), "kmalloc Ptr on non-live allocation");
-  return pmm_.mem().Ptr(pa, it->second.size);
+  // Lock-free: a pure address-range computation over the frame descriptor
+  // and the in-page slab header (the drivers' hot path).
+  std::uint64_t frame = FrameIndex(pa);
+  const FrameDesc& fd = frames_[frame];
+  if (fd.kind == FrameKind::kLargeHead) {
+    return pmm_.mem().Ptr(pa, fd.size);
+  }
+  VOS_CHECK_MSG(fd.kind == FrameKind::kSlab, "kmalloc Ptr on non-live allocation");
+  PhysAddr base = SlabBase(pa);
+  std::uint64_t magic = pmm_.mem().Load<std::uint64_t>(base + kOffMagic);
+  VOS_CHECK_MSG((magic & ~0xffull) == kHdrMagic &&
+                    (magic & 0xff) < static_cast<std::uint64_t>(kNumClasses),
+                "kmalloc Ptr: corrupt slab header");
+  const Depot& d = depots_[magic & 0xff];
+  VOS_CHECK_MSG(pa >= base + kHdrSize && (pa - base - kHdrSize) % d.obj_size == 0,
+                "kmalloc Ptr on non-live allocation");
+  std::uint32_t idx = static_cast<std::uint32_t>((pa - base - kHdrSize) / d.obj_size);
+  VOS_CHECK_MSG(idx < d.capacity && TestBit(base, idx), "kmalloc Ptr on non-live allocation");
+  return pmm_.mem().Ptr(pa, d.obj_size);
+}
+
+Kmalloc::ClassStats Kmalloc::class_stats(int cls) const {
+  const Depot& d = depots_[static_cast<std::size_t>(cls)];
+  ClassStats out;
+  out.obj_size = d.obj_size;
+  out.slab_pages = d.slab_pages;
+  out.slabs = d.slabs;
+  out.total_objs = d.slabs * d.capacity;
+  out.live_objs = d.live_objs;
+  out.refills = d.refills;
+  return out;
+}
+
+std::uint64_t Kmalloc::CachedObjects(unsigned core) const {
+  std::uint64_t n = 0;
+  for (const auto& mag : mags_[core]) {
+    n += mag.size();
+  }
+  return n;
+}
+
+double Kmalloc::HitRate() const {
+  std::uint64_t hits = 0, misses = 0;
+  for (const CoreStats& cs : core_stats_) {
+    hits += cs.hits;
+    misses += cs.misses;
+  }
+  return hits + misses == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(hits + misses);
 }
 
 }  // namespace vos

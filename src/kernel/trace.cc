@@ -82,6 +82,14 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "block_write";
     case TraceEvent::kBlockFlush:
       return "block_flush";
+    case TraceEvent::kPmmAlloc:
+      return "pmm_alloc";
+    case TraceEvent::kPmmFree:
+      return "pmm_free";
+    case TraceEvent::kPmmOom:
+      return "pmm_oom";
+    case TraceEvent::kSlabRefill:
+      return "slab_refill";
   }
   return "?";
 }

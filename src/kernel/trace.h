@@ -30,6 +30,10 @@ enum class TraceEvent : std::uint16_t {
   kBlockRead,    // block layer: device read (a=lba, b=count)
   kBlockWrite,   // block layer: device write (a=lba, b=count)
   kBlockFlush,   // block layer: dirty write-back flushed (a=lba, b=count)
+  kPmmAlloc,     // buddy allocator: pages handed out (a=pa, b=npages)
+  kPmmFree,      // buddy allocator: pages returned (a=pa, b=npages)
+  kPmmOom,       // allocation failed (a=npages requested, b=pages still free)
+  kSlabRefill,   // per-core cache refilled from the depot (a=class size, b=objs)
 };
 
 struct TraceRecord {

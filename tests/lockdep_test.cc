@@ -265,7 +265,7 @@ TEST(LockdepBootTest, ProcLockdepListsKernelClassesAfterBoot) {
   for (const LockClassInfo& c : dep.Classes()) {
     names.push_back(c.name);
   }
-  for (const char* expect : {"sched", "semtable", "trace", "bcache", "kmalloc", "pipe"}) {
+  for (const char* expect : {"sched", "semtable", "trace", "bcache", "pmm", "slab-depot", "pipe"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end())
         << "missing lock class " << expect;
   }

@@ -16,6 +16,12 @@ Two rules, both mechanical:
    keys the lockdep order graph, so an unnamed lock would be invisible to
    the validator's reports.
 
+3. The class name must come from the allowlist below, which mirrors the
+   lock-hierarchy table in DESIGN.md §7. A typo ("slab_depot" for
+   "slab-depot") would otherwise silently split a class in two and dodge
+   both the order graph and the /proc/lockdep report. Adding a lock class
+   is a DESIGN.md change first, then a lint change.
+
 Exit status 0 = clean, 1 = findings (printed one per line, grep-style).
 """
 
@@ -25,6 +31,17 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
+
+# Keep in sync with the DESIGN.md §7 hierarchy table.
+KNOWN_CLASSES = {
+    "sched",
+    "semtable",
+    "pipe",
+    "trace",
+    "bcache",
+    "pmm",
+    "slab-depot",
+}
 
 NAKED_CALL = re.compile(r"(?:\.|->)(Acquire|Release)\(\s*\)")
 NAKED_OK = re.compile(r"//\s*lockdep:\s*naked-ok")
@@ -54,6 +71,14 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 findings.append(
                     f"{rel}:{lineno}: SpinLock '{decl.group(1)}' has no string-literal "
                     f"class name — lockdep cannot report it"
+                )
+                continue
+            name = rest.split('"')[1]
+            if name not in KNOWN_CLASSES:
+                findings.append(
+                    f"{rel}:{lineno}: SpinLock class \"{name}\" is not in the "
+                    f"lint allowlist — add it to DESIGN.md §7 and "
+                    f"tools/lint_locks.py KNOWN_CLASSES together"
                 )
     return findings
 
