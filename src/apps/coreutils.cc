@@ -6,6 +6,7 @@
 
 #include "src/base/md5.h"
 #include "src/fs/fsck.h"
+#include "src/kernel/trace.h"
 #include "src/ulib/bmp.h"
 #include "src/ulib/ustdio.h"
 #include "src/ulib/usys.h"
@@ -300,6 +301,70 @@ int ScreenshotMain(AppEnv& env) {
   return 0;
 }
 
+// trace: export the kernel event ring. Default output is Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing); -r dumps the raw text form.
+// An optional file argument redirects the output to disk.
+int TraceMain(AppEnv& env) {
+  bool raw = false;
+  std::string out_path;
+  for (std::size_t i = 1; i < env.argv.size(); ++i) {
+    if (env.argv[i] == "-r") {
+      raw = true;
+    } else {
+      out_path = env.argv[i];
+    }
+  }
+  // Device nodes fstat as size 0, so uread_file() won't do: read until EOF.
+  std::int64_t dev = uopen(env, "/dev/trace", kORdonly);
+  if (dev < 0) {
+    uprintf(env, "trace: cannot open /dev/trace\n");
+    return 1;
+  }
+  std::string text;
+  char chunk[1024];
+  for (;;) {
+    std::int64_t n = uread(env, static_cast<int>(dev), chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;
+    }
+    text.append(chunk, static_cast<std::size_t>(n));
+  }
+  uclose(env, static_cast<int>(dev));
+  std::string out;
+  if (raw) {
+    out = std::move(text);
+  } else {
+    std::vector<TraceRecord> recs;
+    ParseTraceText(text, &recs);
+    UBurn(env, double(recs.size()) * 40.0);  // JSON encode
+    out = FormatChromeTrace(recs);
+    out += "\n";
+  }
+  if (out_path.empty()) {
+    uputs(env, out);
+    return 0;
+  }
+  std::int64_t fd = uopen(env, out_path, kOWronly | kOCreate | kOTrunc);
+  if (fd < 0) {
+    uprintf(env, "trace: cannot create %s\n", out_path.c_str());
+    return 1;
+  }
+  std::size_t off = 0;
+  while (off < out.size()) {
+    std::int64_t n = uwrite(env, static_cast<int>(fd), out.data() + off,
+                            static_cast<std::uint32_t>(out.size() - off));
+    if (n <= 0) {
+      uprintf(env, "trace: write failed\n");
+      uclose(env, static_cast<int>(fd));
+      return 1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  uclose(env, static_cast<int>(fd));
+  uprintf(env, "trace: %u bytes -> %s\n", static_cast<unsigned>(out.size()), out_path.c_str());
+  return 0;
+}
+
 int Md5sumMain(AppEnv& env) {
   if (env.argv.size() < 2) {
     uprintf(env, "usage: md5sum file...\n");
@@ -336,6 +401,7 @@ AppRegistrar uptime_app("uptime", UptimeMain, 500, 64 << 10);
 AppRegistrar md5sum_app("md5sum", Md5sumMain, 1300, 1 << 20);
 AppRegistrar fsck_app("fsck", FsckMain, 2100, 4 << 20);
 AppRegistrar screenshot_app("screenshot", ScreenshotMain, 1600, 8 << 20);
+AppRegistrar trace_app("trace", TraceMain, 1200, 1 << 20);
 
 }  // namespace
 }  // namespace vos

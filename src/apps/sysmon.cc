@@ -1,6 +1,9 @@
 // sysmon (Table 1): a floating, semi-transparent window visualizing realtime
 // CPU and memory usage, parsed from /proc/cpuinfo and /proc/meminfo — the
 // app that shows off the WM's alpha compositing (§4.5, Figure 1(m)).
+// PR 4 teaches it the observability files too: per-core context switches and
+// runqueue depth from /proc/schedstat, and the p99 syscall latency from
+// /proc/metrics.
 #include <vector>
 
 #include "src/fs/procfs.h"
@@ -15,7 +18,7 @@ namespace {
 int SysmonMain(AppEnv& env) {
   int iterations = env.argv.size() > 1 ? std::atoi(env.argv[1].c_str()) : 20;
   MiniSdl sdl(env);
-  constexpr std::uint32_t kW = 180, kH = 110;
+  constexpr std::uint32_t kW = 180, kH = 124;
   if (!sdl.InitVideo(kW, kH, MiniSdl::VideoMode::kSurface, "sysmon", /*alpha=*/170,
                      /*x=*/440, /*y=*/16)) {
     uprintf(env, "sysmon: no window manager\n");
@@ -23,13 +26,20 @@ int SysmonMain(AppEnv& env) {
   }
   PixelBuffer bb = sdl.backbuffer();
   for (int it = 0; it < iterations; ++it) {
-    std::vector<std::uint8_t> cpu_raw, mem_raw;
+    std::vector<std::uint8_t> cpu_raw, mem_raw, sched_raw, metrics_raw;
     uread_file(env, "/proc/cpuinfo", &cpu_raw);
     uread_file(env, "/proc/meminfo", &mem_raw);
+    uread_file(env, "/proc/schedstat", &sched_raw);
+    uread_file(env, "/proc/metrics", &metrics_raw);
     std::vector<double> utils;
     std::uint64_t total_kb = 1, free_kb = 0;
     ParseCpuUtilization(std::string(cpu_raw.begin(), cpu_raw.end()), &utils);
     ParseMemFree(std::string(mem_raw.begin(), mem_raw.end()), &total_kb, &free_kb);
+    std::vector<ProcSchedLine> sched;
+    ParseSchedStat(std::string(sched_raw.begin(), sched_raw.end()), &sched);
+    std::uint64_t p99_ns = 0;
+    ParseMetricValue(std::string(metrics_raw.begin(), metrics_raw.end()), "syscall.latency.p99",
+                     &p99_ns);
     UBurn(env, 25000);  // parsing + chart math
 
     FillRect(env, bb, 0, 0, kW, kH, Rgb(18, 22, 30));
@@ -42,6 +52,13 @@ int SysmonMain(AppEnv& env) {
       DrawText(env, bb, 6, 18 + static_cast<int>(c) * 14, label, Rgb(200, 200, 200), 1);
       FillRect(env, bb, 28, 18 + static_cast<int>(c) * 14, 120, 8, Rgb(40, 46, 60));
       FillRect(env, bb, 28, 18 + static_cast<int>(c) * 14, bar_w, 8, Rgb(90, 230, 120));
+      if (c < sched.size()) {
+        char sw[16];
+        std::snprintf(sw, sizeof(sw), "%lluq%llu",
+                      static_cast<unsigned long long>(sched[c].switches % 10000),
+                      static_cast<unsigned long long>(sched[c].runq));
+        DrawText(env, bb, 152, 18 + static_cast<int>(c) * 14, sw, Rgb(140, 150, 170), 1);
+      }
     }
     // Memory bar.
     double used = total_kb > 0 ? 1.0 - double(free_kb) / double(total_kb) : 0;
@@ -51,6 +68,11 @@ int SysmonMain(AppEnv& env) {
     char pct[24];
     std::snprintf(pct, sizeof(pct), "%d%%", static_cast<int>(used * 100));
     DrawText(env, bb, 6, 94, pct, Rgb(250, 170, 90), 1);
+    // p99 syscall latency, from the kernel metrics registry.
+    char lat[32];
+    std::snprintf(lat, sizeof(lat), "SYS P99 %lluus",
+                  static_cast<unsigned long long>(p99_ns / 1000));
+    DrawText(env, bb, 6, 108, lat, Rgb(130, 220, 255), 1);
     sdl.Present();
     sdl.Delay(250);
   }

@@ -1,0 +1,99 @@
+// Log2-bucketed latency histogram (HDR-style, one bucket per power of two).
+// Record() is wait-free — relaxed atomic adds only — so it is safe from any
+// context: inside spinlocks, in IRQ handlers, and from concurrently running
+// host threads under TSan. Percentiles are extracted by walking the bucket
+// counts and interpolating linearly inside the crossing bucket, so p50/p99
+// resolution is the bucket width (~2x) — plenty for "is the syscall path
+// microseconds or milliseconds" questions, at zero hot-path cost.
+#ifndef VOS_SRC_BASE_HISTOGRAM_H_
+#define VOS_SRC_BASE_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace vos {
+
+class Histogram {
+ public:
+  // Bucket i holds values v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+  // Bucket 0 is exactly {0}; 64 covers the top half of the u64 range.
+  static constexpr int kNumBuckets = 65;
+
+  void Record(std::uint64_t v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev && !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  // p in [0,100]. Returns an estimate of the p-th percentile value.
+  std::uint64_t Percentile(double p) const {
+    std::uint64_t n = count();
+    if (n == 0) {
+      return 0;
+    }
+    double target = p / 100.0 * static_cast<double>(n);
+    if (target < 1.0) {
+      target = 1.0;
+    }
+    double cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      double in_bucket = static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+      if (cum + in_bucket >= target) {
+        std::uint64_t lo = BucketLow(i);
+        std::uint64_t hi = BucketHigh(i);
+        double frac = in_bucket == 0 ? 0 : (target - cum) / in_bucket;
+        std::uint64_t est = lo + static_cast<std::uint64_t>(frac * static_cast<double>(hi - lo));
+        // The interpolated estimate can overshoot the largest observed value
+        // (the top of the crossing bucket may be empty); clamp to reality.
+        std::uint64_t mx = max();
+        return est < mx ? est : mx;
+      }
+      cum += in_bucket;
+    }
+    return max();
+  }
+
+  std::uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  static int BucketOf(std::uint64_t v) { return std::bit_width(v); }
+  static std::uint64_t BucketLow(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t BucketHigh(int i) {
+    return i == 0 ? 0 : i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_BASE_HISTOGRAM_H_

@@ -9,10 +9,24 @@ namespace vos {
 int Bcache::AddDevice(BlockDevice* dev, const std::string& name) {
   SpinGuard g(lock_);
   queues_.emplace_back(dev);
+  if (latency_hook_) {
+    auto hook = latency_hook_;
+    queues_.back().SetCompletionHook(
+        [hook](const BlockRequest&, Cycles lat) { hook(lat); });
+  }
   BlockDevStats st;
   st.name = name.empty() ? "dev" + std::to_string(queues_.size() - 1) : name;
   stats_.push_back(std::move(st));
   return static_cast<int>(queues_.size()) - 1;
+}
+
+void Bcache::SetLatencyHook(std::function<void(Cycles)> hook) {
+  SpinGuard g(lock_);
+  latency_hook_ = std::move(hook);
+  for (BlockRequestQueue& q : queues_) {
+    auto h = latency_hook_;
+    q.SetCompletionHook([h](const BlockRequest&, Cycles lat) { h(lat); });
+  }
 }
 
 void Bcache::Touch(Buf* b) {

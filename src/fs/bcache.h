@@ -68,6 +68,11 @@ class Bcache {
   void SetTraceHook(std::function<void(TraceEvent, std::uint64_t, std::uint64_t)> trace) {
     trace_ = std::move(trace);
   }
+  // Per-request queue→completion latency, fed to the block.req_latency
+  // histogram. Installed on every device queue, present and future. The
+  // callback fires under the bcache lock — it must be wait-free (it is:
+  // Histogram::Record).
+  void SetLatencyHook(std::function<void(Cycles)> hook);
 
   // bread: returns a referenced buffer containing the block. `burn` receives
   // the virtual time consumed (device time on miss, lookup cost always).
@@ -126,6 +131,7 @@ class Bcache {
   std::list<Buf*> lru_;  // front = most recent
   std::function<Cycles()> now_;
   std::function<void(TraceEvent, std::uint64_t, std::uint64_t)> trace_;
+  std::function<void(Cycles)> latency_hook_;
 };
 
 }  // namespace vos

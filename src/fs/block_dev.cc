@@ -67,6 +67,9 @@ Cycles BlockRequestQueue::CompleteAll() {
                                       : dev_->Write(r->lba, r->count, r->buf);
       r->service_time = burst;
       r->done = true;
+      if (on_complete_) {
+        on_complete_(*r, total + burst);
+      }
     } else {
       // Merged burst: one range transfer through a staging buffer, gathering
       // write payloads / scattering read results per request.
@@ -97,6 +100,9 @@ Cycles BlockRequestQueue::CompleteAll() {
                                      : Cycles(double(burst) * r->count / run_blocks);
         attributed += r->service_time;
         r->done = true;
+        if (on_complete_) {
+          on_complete_(*r, total + burst);
+        }
       }
     }
     total += burst;

@@ -16,6 +16,7 @@
 #define VOS_SRC_FS_BLOCK_DEV_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/base/units.h"
@@ -103,6 +104,13 @@ class BlockRequestQueue {
   // Convenience: submit + complete a single request.
   Cycles SubmitAndWait(BlockRequest* req);
 
+  // Called once per request as it completes, with the queue→completion
+  // latency: device time elapsed in this CompleteAll sweep up to and
+  // including the request's burst (elevator position included). Feeds the
+  // block.req_latency histogram.
+  using CompletionHook = std::function<void(const BlockRequest&, Cycles)>;
+  void SetCompletionHook(CompletionHook hook) { on_complete_ = std::move(hook); }
+
   BlockDevice* device() const { return dev_; }
   std::size_t pending() const { return pending_.size(); }
   // Requests that were absorbed into a neighboring burst instead of paying
@@ -115,6 +123,7 @@ class BlockRequestQueue {
   std::vector<BlockRequest*> pending_;
   std::uint64_t merged_ = 0;
   std::uint32_t depth_hw_ = 0;
+  CompletionHook on_complete_;
 };
 
 }  // namespace vos

@@ -1,5 +1,6 @@
 #include "src/fs/devfs.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/status.h"
@@ -39,6 +40,34 @@ std::int64_t KeyEventDev::Read(Task* t, std::uint8_t* buf, std::uint32_t n, std:
     ++done;
   }
   return static_cast<std::int64_t>(done * sizeof(KeyEvent));
+}
+
+std::int64_t TraceDev::Read(Task*, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool,
+                            Cycles* burn) {
+  if (off == 0) {
+    snapshot_ = FormatTraceText(ring_.Dump());
+  }
+  if (off >= snapshot_.size()) {
+    return 0;
+  }
+  std::uint32_t take = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(n, snapshot_.size() - off));
+  std::memcpy(buf, snapshot_.data() + off, take);
+  if (burn != nullptr) {
+    // Formatting cost is charged on the first chunk; copies thereafter.
+    *burn += (off == 0 ? Us(50) : 0) + Cycles(take);
+  }
+  return static_cast<std::int64_t>(take);
+}
+
+std::int64_t TraceDev::Write(Task*, const std::uint8_t* buf, std::uint32_t n, std::uint64_t,
+                             Cycles*) {
+  if (n >= 5 && std::memcmp(buf, "clear", 5) == 0) {
+    ring_.Clear();
+    snapshot_.clear();
+    return n;
+  }
+  return kErrInval;
 }
 
 std::int64_t KeyEventDev::Write(Task*, const std::uint8_t* buf, std::uint32_t n, std::uint64_t,

@@ -7,9 +7,12 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "src/base/ring_buffer.h"
 #include "src/fs/vfs.h"
 #include "src/kernel/sched.h"
+#include "src/kernel/trace.h"
 
 namespace vos {
 
@@ -77,6 +80,25 @@ class KeyEventDev : public DevNode {
   Tap tap_;
   char chan_ = 0;
   std::uint64_t dropped_ = 0;
+};
+
+// /dev/trace: the merged trace ring as text, one record per line
+// ("ts core event pid a b"). A read at offset 0 snapshots the ring (seqlock
+// dump — the snapshot never blocks producers); later offsets serve the same
+// snapshot so a sequential reader sees a consistent window. Writing "clear"
+// resets the ring. Debug device: one reader at a time is the contract.
+class TraceDev : public DevNode {
+ public:
+  explicit TraceDev(TraceRing& ring) : ring_(ring) {}
+
+  std::int64_t Read(Task* t, std::uint8_t* buf, std::uint32_t n, std::uint64_t off, bool nonblock,
+                    Cycles* burn) override;
+  std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
+                     Cycles* burn) override;
+
+ private:
+  TraceRing& ring_;
+  std::string snapshot_;
 };
 
 // /dev/null.

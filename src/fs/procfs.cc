@@ -165,4 +165,53 @@ bool ParseBlkStat(const std::string& blkstat, std::vector<ProcBlkLine>* out) {
   return !out->empty();
 }
 
+std::string FormatSchedStat(const std::vector<ProcSchedLine>& cores,
+                            const std::vector<ProcTaskLine>& tasks) {
+  std::ostringstream os;
+  for (const ProcSchedLine& c : cores) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "core %u switches %llu runq %llu idle %.1f%%\n", c.core,
+                  static_cast<unsigned long long>(c.switches),
+                  static_cast<unsigned long long>(c.runq), c.idle_pct);
+    os << buf;
+  }
+  for (const ProcTaskLine& t : tasks) {
+    os << "pid " << t.pid << " cpu_ms " << t.cpu_ms << " name " << t.name << "\n";
+  }
+  return os.str();
+}
+
+bool ParseSchedStat(const std::string& schedstat, std::vector<ProcSchedLine>* out) {
+  out->clear();
+  std::istringstream is(schedstat);
+  std::string line;
+  while (std::getline(is, line)) {
+    ProcSchedLine c;
+    unsigned long long sw, rq;
+    if (std::sscanf(line.c_str(), "core %u switches %llu runq %llu idle %lf%%", &c.core, &sw,
+                    &rq, &c.idle_pct) == 4) {
+      c.switches = sw;
+      c.runq = rq;
+      out->push_back(c);
+    }
+  }
+  return !out->empty();
+}
+
+bool ParseMetricValue(const std::string& metrics, const std::string& name, std::uint64_t* out) {
+  std::istringstream is(metrics);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.size() > name.size() && line.compare(0, name.size(), name) == 0 &&
+        line[name.size()] == ' ') {
+      unsigned long long v;
+      if (std::sscanf(line.c_str() + name.size() + 1, "%llu", &v) == 1) {
+        *out = v;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace vos

@@ -81,6 +81,15 @@ struct ProcMemStat {
   std::uint64_t large_allocs = 0;
 };
 
+// One /proc/schedstat core row: context switches, current runqueue depth,
+// and idle percentage since boot. Per-task CPU time rides along as ProcTaskLine.
+struct ProcSchedLine {
+  unsigned core = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t runq = 0;
+  double idle_pct = 0;
+};
+
 std::string FormatCpuInfo(const std::vector<ProcCpuLine>& cores, std::uint64_t uptime_ms);
 std::string FormatMemInfo(std::uint64_t total_pages, std::uint64_t free_pages,
                           std::uint64_t kernel_reserved_bytes);
@@ -88,11 +97,16 @@ std::string FormatUptime(std::uint64_t uptime_ms);
 std::string FormatTasks(const std::vector<ProcTaskLine>& tasks);
 std::string FormatBlkStat(const std::vector<ProcBlkLine>& devs);
 std::string FormatMemStat(const ProcMemStat& ms);
+std::string FormatSchedStat(const std::vector<ProcSchedLine>& cores,
+                            const std::vector<ProcTaskLine>& tasks);
 
 // Parsers used by sysmon (the other direction of the same format).
 bool ParseCpuUtilization(const std::string& cpuinfo, std::vector<double>* out);
 bool ParseMemFree(const std::string& meminfo, std::uint64_t* total_kb, std::uint64_t* free_kb);
 bool ParseBlkStat(const std::string& blkstat, std::vector<ProcBlkLine>* out);
+bool ParseSchedStat(const std::string& schedstat, std::vector<ProcSchedLine>* out);
+// Finds "name value" in a /proc/metrics body (exact name match).
+bool ParseMetricValue(const std::string& metrics, const std::string& name, std::uint64_t* out);
 
 }  // namespace vos
 

@@ -226,8 +226,15 @@ std::int64_t Vfs::Read(Task* t, File& f, std::uint8_t* dst, std::uint32_t n, Cyc
       }
       return r;
     }
-    case FileKind::kDevice:
-      return f.dev->Read(t, dst, n, f.off, f.nonblock, burn);
+    case FileKind::kDevice: {
+      std::int64_t r = f.dev->Read(t, dst, n, f.off, f.nonblock, burn);
+      // Advance the offset like a regular file: stream devices (console,
+      // events) ignore it, snapshot devices (/dev/trace) serve by it.
+      if (r > 0) {
+        f.off += static_cast<std::uint64_t>(r);
+      }
+      return r;
+    }
     case FileKind::kPipe:
       return f.pipe->Read(t, dst, n, f.nonblock);
     case FileKind::kProc: {

@@ -119,6 +119,8 @@ struct KernelConfig {
   bool dma_sd = false;
 
   bool trace_enabled = true;         // ftrace-like ring (negligible overhead)
+  std::uint32_t trace_ring_capacity = 16384;  // records per core (tests shrink
+                                              // it to exercise wrap/drop)
   bool lockdep_enabled = true;       // lock-order/IRQ-safety validator (§7 of
                                      // DESIGN.md); off = record nothing
 

@@ -21,13 +21,49 @@ thread_local Task* g_current_task = nullptr;
 constexpr PhysAddr kKernelReservedEnd = MiB(8);
 }  // namespace
 
+const char* SysName(Sys num) {
+  switch (num) {
+    case Sys::kFork: return "fork";
+    case Sys::kExit: return "exit";
+    case Sys::kWait: return "wait";
+    case Sys::kPipe: return "pipe";
+    case Sys::kRead: return "read";
+    case Sys::kKill: return "kill";
+    case Sys::kExec: return "exec";
+    case Sys::kFstat: return "fstat";
+    case Sys::kChdir: return "chdir";
+    case Sys::kDup: return "dup";
+    case Sys::kGetPid: return "getpid";
+    case Sys::kSbrk: return "sbrk";
+    case Sys::kSleep: return "sleep";
+    case Sys::kUptime: return "uptime";
+    case Sys::kOpen: return "open";
+    case Sys::kWrite: return "write";
+    case Sys::kMknod: return "mknod";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kLink: return "link";
+    case Sys::kMkdir: return "mkdir";
+    case Sys::kClose: return "close";
+    case Sys::kLseek: return "lseek";
+    case Sys::kMmap: return "mmap";
+    case Sys::kCacheFlush: return "cacheflush";
+    case Sys::kClone: return "clone";
+    case Sys::kSemCreate: return "semcreate";
+    case Sys::kSemWait: return "semwait";
+    case Sys::kSemPost: return "sempost";
+    case Sys::kSync: return "sync";
+    case Sys::kFsync: return "fsync";
+  }
+  return "?";
+}
+
 Kernel::Kernel(Board& board, KernelConfig cfg)
     : board_(board),
       cfg_(cfg),
       lockdep_session_(cfg.lockdep_enabled),
       machine_(board, this, cfg.EffectiveCores()),
       klog_(board.uart()),
-      trace_(cfg.trace_enabled),
+      trace_(cfg.trace_enabled, cfg.trace_ring_capacity),
       sched_(cfg_) {
   VOS_CHECK_MSG(cfg_.EffectiveCores() <= board.config().cores,
                 "kernel configured for more cores than the board has");
@@ -39,6 +75,30 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
     }
     return {"<machine-loop>"};
   });
+
+  // Observability: latency histograms and gauges live in the metrics
+  // registry from the start; subsystems cache the pointers and record
+  // wait-free on their hot paths.
+  syscall_lat_all_ = metrics_.Hist("syscall.latency");
+  for (int i = 1; i <= kNumSyscalls; ++i) {
+    syscall_lat_[i] = metrics_.Hist(std::string("syscall.") + SysName(static_cast<Sys>(i)) +
+                                    ".latency");
+  }
+  irq_lat_hist_ = metrics_.Hist("irq.duration");
+  irq_counter_ = metrics_.Counter("irq.count");
+  sched_.SetNowFn([this] { return Now(); });
+  sched_.SetLatencyHists(metrics_.Hist("sched.runq_wait"), metrics_.Hist("sched.slice_len"));
+  metrics_.Gauge("trace.emitted", [this] { return trace_.total_emitted(); });
+  metrics_.Gauge("trace.dropped", [this] { return trace_.total_dropped(); });
+  for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+    std::string pfx = "sched.core" + std::to_string(c) + ".";
+    metrics_.Gauge(pfx + "ctx_switches", [this, c] { return sched_.context_switches(c); });
+    metrics_.Gauge(pfx + "runq_depth",
+                   [this, c] { return static_cast<std::uint64_t>(sched_.runqueue_len(c)); });
+    metrics_.Gauge(pfx + "idle_pct", [this, c] {
+      return static_cast<std::uint64_t>((1.0 - machine_.Utilization(c)) * 100.0);
+    });
+  }
 }
 
 Kernel::~Kernel() {
@@ -97,6 +157,16 @@ Kernel::BootReport Kernel::Boot() {
     Task* cur = CurrentTask();
     trace_.Emit(Now(), cur != nullptr ? cur->core : 0, ev, cur != nullptr ? cur->pid() : 0, a, b);
   });
+  metrics_.Gauge("pmm.total_pages", [this] { return pmm_->total_pages(); });
+  metrics_.Gauge("pmm.free_pages", [this] { return pmm_->free_pages(); });
+  metrics_.Gauge("pmm.largest_block_pages", [this] { return pmm_->LargestFreeBlockPages(); });
+  metrics_.Gauge("pmm.page_allocs", [this] { return pmm_->stats().page_allocs; });
+  metrics_.Gauge("pmm.page_frees", [this] { return pmm_->stats().page_frees; });
+  metrics_.Gauge("pmm.range_allocs", [this] { return pmm_->stats().range_allocs; });
+  metrics_.Gauge("pmm.range_frees", [this] { return pmm_->stats().range_frees; });
+  metrics_.Gauge("pmm.splits", [this] { return pmm_->stats().splits; });
+  metrics_.Gauge("pmm.merges", [this] { return pmm_->stats().merges; });
+  metrics_.Gauge("pmm.oom_events", [this] { return pmm_->stats().oom_events; });
   if (cfg_.HasKmalloc()) {
     kmalloc_ = std::make_unique<Kmalloc>(*pmm_, cfg_.slab_percore_cache_objs);
     kmalloc_->SetCoreFn([this] {
@@ -108,6 +178,15 @@ Kernel::BootReport Kernel::Boot() {
       trace_.Emit(Now(), cur != nullptr ? cur->core : 0, ev, cur != nullptr ? cur->pid() : 0, a,
                   b);
     });
+    metrics_.Gauge("slab.large_live", [this] { return kmalloc_->large_live(); });
+    metrics_.Gauge("slab.large_allocs", [this] { return kmalloc_->large_allocs(); });
+    for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+      std::string pfx = "slab.core" + std::to_string(c) + ".";
+      metrics_.Gauge(pfx + "hits", [this, c] { return kmalloc_->core_stats(c).hits; });
+      metrics_.Gauge(pfx + "misses", [this, c] { return kmalloc_->core_stats(c).misses; });
+      metrics_.Gauge(pfx + "drains", [this, c] { return kmalloc_->core_stats(c).drains; });
+      metrics_.Gauge(pfx + "cached", [this, c] { return kmalloc_->CachedObjects(c); });
+    }
   }
   vtimers_ = std::make_unique<VirtualTimers>(board_.sys_timer());
   sems_ = std::make_unique<SemTable>(sched_);
@@ -149,7 +228,10 @@ Kernel::BootReport Kernel::Boot() {
       trace_.Emit(Now(), cur != nullptr ? cur->core : 0, ev,
                   cur != nullptr ? cur->pid() : 0, a, b);
     });
+    Histogram* blk_lat = metrics_.Hist("block.req_latency");
+    bcache_->SetLatencyHook([blk_lat](Cycles lat) { blk_lat->Record(lat); });
     ramdisk_dev_ = bcache_->AddDevice(ramdisk_.get(), "ramdisk");
+    RegisterBlockDevMetrics(ramdisk_dev_);
     rootfs_ = std::make_unique<Xv6Fs>(*bcache_, ramdisk_dev_, cfg_);
     std::int64_t mr = rootfs_->Mount(&fs_time);
     VOS_CHECK_MSG(mr == 0, "root filesystem mount failed");
@@ -209,41 +291,54 @@ Kernel::BootReport Kernel::Boot() {
       return std::to_string(fb_driver_->width()) + " " + std::to_string(fb_driver_->height()) +
              " " + std::to_string(fb_driver_->pitch()) + "\n";
     });
+    // /proc/blkstat is a formatted view over the metrics registry: every
+    // counter flows through the block.<dev>.* gauges /proc/metrics exports.
     vfs_->RegisterProc("blkstat", [this] {
       std::vector<ProcBlkLine> lines;
       for (int d = 0; d < bcache_->device_count(); ++d) {
-        const BlockDevStats& st = bcache_->stats(d);
+        std::string pfx = "block." + bcache_->stats(d).name + ".";
+        auto val = [&](const char* field) {
+          std::uint64_t v = 0;
+          metrics_.Value(pfx + field, &v);
+          return v;
+        };
         ProcBlkLine l;
-        l.name = st.name;
-        l.reads = st.reads;
-        l.writes = st.writes;
-        l.blocks_read = st.blocks_read;
-        l.blocks_written = st.blocks_written;
-        l.hits = st.hits;
-        l.misses = st.misses;
-        l.writebacks = st.writebacks;
-        l.merged = st.merged;
-        l.queue_depth_hw = st.queue_depth_hw;
-        l.dirty = bcache_->DirtyCount(d);
+        l.name = bcache_->stats(d).name;
+        l.reads = val("reads");
+        l.writes = val("writes");
+        l.blocks_read = val("blocks_read");
+        l.blocks_written = val("blocks_written");
+        l.hits = val("hits");
+        l.misses = val("misses");
+        l.writebacks = val("writebacks");
+        l.merged = val("merged");
+        l.queue_depth_hw = val("queue_depth_hw");
+        l.dirty = val("dirty");
         lines.push_back(std::move(l));
       }
       return FormatBlkStat(lines);
     });
     vfs_->RegisterProc("lockdep", [] { return Lockdep::Instance().Report(); });
+    // /proc/memstat scalars are a view over the registry's pmm.*/slab.*
+    // gauges; only distribution detail (per-order, per-class) is read direct.
     vfs_->RegisterProc("memstat", [this] {
+      auto val = [this](const std::string& name) {
+        std::uint64_t v = 0;
+        metrics_.Value(name, &v);
+        return v;
+      };
       ProcMemStat ms;
-      ms.total_pages = pmm_->total_pages();
-      ms.free_pages = pmm_->free_pages();
-      ms.largest_block_pages = pmm_->LargestFreeBlockPages();
+      ms.total_pages = val("pmm.total_pages");
+      ms.free_pages = val("pmm.free_pages");
+      ms.largest_block_pages = val("pmm.largest_block_pages");
       ms.frag_pct = pmm_->FragmentationPct();
-      const Pmm::Stats& ps = pmm_->stats();
-      ms.page_allocs = ps.page_allocs;
-      ms.page_frees = ps.page_frees;
-      ms.range_allocs = ps.range_allocs;
-      ms.range_frees = ps.range_frees;
-      ms.splits = ps.splits;
-      ms.merges = ps.merges;
-      ms.oom_events = ps.oom_events;
+      ms.page_allocs = val("pmm.page_allocs");
+      ms.page_frees = val("pmm.page_frees");
+      ms.range_allocs = val("pmm.range_allocs");
+      ms.range_frees = val("pmm.range_frees");
+      ms.splits = val("pmm.splits");
+      ms.merges = val("pmm.merges");
+      ms.oom_events = val("pmm.oom_events");
       for (int o = 0; o < pmm_->num_orders(); ++o) {
         ms.free_blocks_by_order.push_back(pmm_->FreeBlocksOfOrder(o));
       }
@@ -255,15 +350,31 @@ Kernel::BootReport Kernel::Boot() {
                                                 cs.total_objs, cs.live_objs, cs.refills});
         }
         for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
-          const Kmalloc::CoreStats& cs = kmalloc_->core_stats(c);
-          ms.cores.push_back(
-              ProcMemCoreLine{c, cs.hits, cs.misses, cs.drains, kmalloc_->CachedObjects(c)});
+          std::string pfx = "slab.core" + std::to_string(c) + ".";
+          ms.cores.push_back(ProcMemCoreLine{c, val(pfx + "hits"), val(pfx + "misses"),
+                                             val(pfx + "drains"), val(pfx + "cached")});
         }
-        ms.large_live = kmalloc_->large_live();
-        ms.large_allocs = kmalloc_->large_allocs();
+        ms.large_live = val("slab.large_live");
+        ms.large_allocs = val("slab.large_allocs");
       }
       return FormatMemStat(ms);
     });
+    vfs_->RegisterProc("metrics", [this] { return metrics_.ExportText(); });
+    vfs_->RegisterProc("schedstat", [this] {
+      std::vector<ProcSchedLine> cores;
+      for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+        cores.push_back(ProcSchedLine{c, sched_.context_switches(c), sched_.runqueue_len(c),
+                                      (1.0 - machine_.Utilization(c)) * 100.0});
+      }
+      std::vector<ProcTaskLine> tasks;
+      for (auto& [pid, t] : tasks_) {
+        tasks.push_back(ProcTaskLine{pid, t->name(), "",
+                                     static_cast<std::uint64_t>(ToMs(t->cpu_time))});
+      }
+      return FormatSchedStat(cores, tasks);
+    });
+    trace_dev_ = std::make_unique<TraceDev>(trace_);
+    vfs_->RegisterDevice("trace", trace_dev_.get());
 
     // USB keyboard (the boot-time hog) and Game HAT buttons.
     usb_kbd_ = std::make_unique<UsbKbdDriver>(board_, machine_, *events_);
@@ -292,6 +403,7 @@ Kernel::BootReport Kernel::Boot() {
       fs_time += part_burn;
       sd_part_ = sd_driver_->OpenPartition(first, count);
       sd_dev_ = bcache_->AddDevice(sd_part_.get(), "sd");
+      RegisterBlockDevMetrics(sd_dev_);
       fat_ = std::make_unique<FatVolume>(*bcache_, sd_dev_, cfg_);
       Cycles mount_burn = 0;
       if (fat_->Mount(&mount_burn) == 0) {
@@ -308,6 +420,7 @@ Kernel::BootReport Kernel::Boot() {
     usb_time += msc_time;
     if (usb_storage_driver_->ready()) {
       usb_dev_ = bcache_->AddDevice(usb_storage_driver_.get(), "usb");
+      RegisterBlockDevMetrics(usb_dev_);
       usb_fat_ = std::make_unique<FatVolume>(*bcache_, usb_dev_, cfg_);
       Cycles mb = 0;
       if (usb_fat_->Mount(&mb) == 0) {
@@ -343,6 +456,27 @@ Kernel::BootReport Kernel::Boot() {
 
   booted_ = true;
   return r;
+}
+
+void Kernel::RegisterBlockDevMetrics(int dev) {
+  std::string pfx = "block." + bcache_->stats(dev).name + ".";
+  // Gauges are sampled outside the metrics lock, so stats(dev) taking the
+  // bcache lock in the callback keeps "metrics" a lockdep leaf.
+  metrics_.Gauge(pfx + "reads", [this, dev] { return bcache_->stats(dev).reads; });
+  metrics_.Gauge(pfx + "writes", [this, dev] { return bcache_->stats(dev).writes; });
+  metrics_.Gauge(pfx + "blocks_read", [this, dev] { return bcache_->stats(dev).blocks_read; });
+  metrics_.Gauge(pfx + "blocks_written",
+                 [this, dev] { return bcache_->stats(dev).blocks_written; });
+  metrics_.Gauge(pfx + "hits", [this, dev] { return bcache_->stats(dev).hits; });
+  metrics_.Gauge(pfx + "misses", [this, dev] { return bcache_->stats(dev).misses; });
+  metrics_.Gauge(pfx + "writebacks", [this, dev] { return bcache_->stats(dev).writebacks; });
+  metrics_.Gauge(pfx + "merged", [this, dev] { return bcache_->stats(dev).merged; });
+  metrics_.Gauge(pfx + "queue_depth_hw",
+                 [this, dev] {
+                   return static_cast<std::uint64_t>(bcache_->stats(dev).queue_depth_hw);
+                 });
+  metrics_.Gauge(pfx + "dirty",
+                 [this, dev] { return static_cast<std::uint64_t>(bcache_->DirtyCount(dev)); });
 }
 
 void Kernel::FlusherBody() {
@@ -565,6 +699,8 @@ void Kernel::TickHandler(unsigned core, Cycles now) {
 
 void Kernel::OnIrq(unsigned core, unsigned irq) {
   trace_.Emit(board_.clock().now(), core, TraceEvent::kIrqEnter, 0, irq);
+  irq_counter_->Inc();
+  Cycles debt_before = machine_.irq_debt(core);
   Cycles now = board_.clock().now();
   if (irq >= kIrqCoreTimerBase && irq < kIrqCoreTimerBase + kMaxCores) {
     TickHandler(irq - kIrqCoreTimerBase, now);
@@ -594,6 +730,8 @@ void Kernel::OnIrq(unsigned core, unsigned irq) {
         VOS_CHECK_MSG(false, "unexpected IRQ");
     }
   }
+  // Handler duration == the cycles the handler charged to this core.
+  irq_lat_hist_->Record(machine_.irq_debt(core) - debt_before);
   trace_.Emit(board_.clock().now(), core, TraceEvent::kIrqExit, 0, irq);
 }
 

@@ -24,6 +24,7 @@
 #include "src/kernel/lockdep.h"
 #include "src/kernel/kmalloc.h"
 #include "src/kernel/machine.h"
+#include "src/kernel/metrics.h"
 #include "src/kernel/pipe.h"
 #include "src/kernel/pmm.h"
 #include "src/kernel/sched.h"
@@ -75,6 +76,11 @@ enum class Sys : int {
   kFsync = 30,
 };
 
+constexpr int kNumSyscalls = 30;
+
+// Lowercase syscall name for metric paths ("syscall.<name>.latency").
+const char* SysName(Sys num);
+
 class Kernel final : public MachineClient {
  public:
   Kernel(Board& board, KernelConfig cfg);
@@ -116,6 +122,7 @@ class Kernel final : public MachineClient {
   Xv6Fs& rootfs() { return *rootfs_; }
   Bcache& bcache() { return *bcache_; }
   TraceRing& trace() { return trace_; }
+  Metrics& metrics() { return metrics_; }
   DebugMonitor& debug() { return dbg_; }
   Klog& klog() { return klog_; }
   VirtualTimers& vtimers() { return *vtimers_; }
@@ -217,6 +224,8 @@ class Kernel final : public MachineClient {
   // the task if a kill is pending.
   Task* SyscallEnter(Sys num);
   std::int64_t SyscallExit(Sys num, std::int64_t ret);
+  // Registers the block.<name>.* gauges for a newly added bcache device.
+  void RegisterBlockDevMetrics(int dev);
   void FlusherBody();  // bflush kernel thread: periodic aged-dirty write-back
   void TickHandler(unsigned core, Cycles now);
   [[noreturn]] void RunExecImage(Task* cur, const VelfImage& img,
@@ -234,6 +243,7 @@ class Kernel final : public MachineClient {
   Machine machine_;
   Klog klog_;
   TraceRing trace_;
+  Metrics metrics_;
   DebugMonitor dbg_;
   Timekeeping timekeeping_;
   Sched sched_;
@@ -267,7 +277,15 @@ class Kernel final : public MachineClient {
   std::unique_ptr<FatVolume> usb_fat_;
   int usb_dev_ = -1;
   std::unique_ptr<NullDev> null_dev_;
+  std::unique_ptr<TraceDev> trace_dev_;
   std::unique_ptr<WindowManager> wm_;
+
+  // Latency histograms, registered with metrics_ at construction; the hot
+  // paths record through these cached pointers without touching the registry.
+  Histogram* syscall_lat_all_ = nullptr;
+  Histogram* syscall_lat_[kNumSyscalls + 1] = {};
+  Histogram* irq_lat_hist_ = nullptr;
+  MetricCounter* irq_counter_ = nullptr;
 
   std::vector<std::uint8_t> ramdisk_image_;
   std::map<std::string, std::vector<std::uint8_t>> boot_blobs_;

@@ -49,6 +49,10 @@ class Machine {
   // handler, so this matters).
   void ChargeIrq(unsigned core, Cycles c) { irq_debt_[core] += c; }
 
+  // Cumulative IRQ handler cost charged to `core`; the delta across a handler
+  // is that handler's duration (the IRQ-latency histogram reads it).
+  Cycles irq_debt(unsigned core) const { return irq_debt_[core]; }
+
   Cycles busy_time(unsigned core) const { return busy_[core]; }
   Cycles idle_time(unsigned core) const { return idle_[core]; }
   Task* running(unsigned core) const { return running_[core]; }

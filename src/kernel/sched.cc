@@ -25,6 +25,7 @@ void Sched::Enqueue(Task* t) {
 void Sched::EnqueueLocked(Task* t) {
   VOS_CHECK(t->state == TaskState::kRunnable);
   VOS_CHECK(t->core < ncores_);
+  t->runnable_since = NowStamp();
   runq_[t->core].PushBack(t);
 }
 
@@ -33,7 +34,11 @@ Task* Sched::PickNext(unsigned core) {
   SpinGuard g(lock_);
   Task* t = runq_[core].PopFront();
   if (t != nullptr) {
-    ++switches_;
+    ++switches_[core];
+    if (runq_wait_hist_ != nullptr && now_fn_) {
+      Cycles now = now_fn_();
+      runq_wait_hist_->Record(now > t->runnable_since ? now - t->runnable_since : 0);
+    }
   }
   return t;
 }
@@ -47,10 +52,15 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
       SpinGuard g(lock_);
       t->state = TaskState::kRunnable;
       if (t->slice_used >= SliceLen()) {
+        if (slice_hist_ != nullptr) {
+          slice_hist_->Record(t->slice_used);
+        }
         t->slice_used = 0;
         runq_[core].PushBack(t);
+        t->runnable_since = NowStamp();
       } else {
         runq_[core].PushFront(t);
+        t->runnable_since = NowStamp();
       }
       break;
     }

@@ -13,7 +13,9 @@
 #define VOS_SRC_KERNEL_SCHED_H_
 
 #include <cstdint>
+#include <functional>
 
+#include "src/base/histogram.h"
 #include "src/base/intrusive_list.h"
 #include "src/hw/intc.h"
 #include "src/kernel/kconfig.h"
@@ -55,10 +57,27 @@ class Sched {
   bool HasRunnable() const;
   std::size_t runqueue_len(unsigned core) const;
 
-  std::uint64_t context_switches() const { return switches_; }
+  std::uint64_t context_switches() const {
+    std::uint64_t t = 0;
+    for (unsigned c = 0; c < ncores_; ++c) {
+      t += switches_[c];
+    }
+    return t;
+  }
+  std::uint64_t context_switches(unsigned core) const { return switches_[core]; }
+
+  // Observability wiring (kernel boot): a clock for enqueue/dispatch stamps
+  // and histograms for runqueue wait (wakeup→dispatch) and slice length.
+  // Histogram::Record is wait-free, so recording under lock_ adds no edge.
+  void SetNowFn(std::function<Cycles()> fn) { now_fn_ = std::move(fn); }
+  void SetLatencyHists(Histogram* runq_wait, Histogram* slice) {
+    runq_wait_hist_ = runq_wait;
+    slice_hist_ = slice;
+  }
 
  private:
   Cycles SliceLen() const { return cfg_.tick_interval * cfg_.slice_ticks; }
+  Cycles NowStamp() const { return now_fn_ ? now_fn_() : 0; }
   // Callers hold lock_.
   void EnqueueLocked(Task* t);
   void WakeTaskLocked(Task* t);
@@ -69,7 +88,10 @@ class Sched {
   IntrusiveList<Task, &Task::run_hook> runq_[kMaxCores];
   IntrusiveList<Task, &Task::run_hook> sleeping_;
   unsigned next_core_ = 0;
-  std::uint64_t switches_ = 0;
+  std::uint64_t switches_[kMaxCores] = {};
+  std::function<Cycles()> now_fn_;
+  Histogram* runq_wait_hist_ = nullptr;
+  Histogram* slice_hist_ = nullptr;
 };
 
 }  // namespace vos

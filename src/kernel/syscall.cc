@@ -22,7 +22,8 @@ Task* Kernel::SyscallEnter(Sys num) {
   cur->saved_domain = cur->domain;
   cur->domain = TimeDomain::kKernel;
   cur->fiber().Burn(cfg_.cost.syscall_entry + cfg_.cost.syscall_body);
-  trace_.Emit(Now(), cur->core, TraceEvent::kSyscallEnter, cur->pid(),
+  cur->syscall_enter_ts = Now();
+  trace_.Emit(cur->syscall_enter_ts, cur->core, TraceEvent::kSyscallEnter, cur->pid(),
               static_cast<std::uint64_t>(num));
   return cur;
 }
@@ -30,7 +31,16 @@ Task* Kernel::SyscallEnter(Sys num) {
 std::int64_t Kernel::SyscallExit(Sys num, std::int64_t ret) {
   Task* cur = CurrentTask();
   cur->fiber().Burn(cfg_.cost.syscall_exit);
-  trace_.Emit(Now(), cur->core, TraceEvent::kSyscallExit, cur->pid(),
+  Cycles now = Now();
+  // Entry→exit latency, per syscall number and aggregate (Fig 11's
+  // distributions, now as histograms instead of raw event pairs).
+  Cycles lat = now > cur->syscall_enter_ts ? now - cur->syscall_enter_ts : 0;
+  syscall_lat_all_->Record(lat);
+  int n = static_cast<int>(num);
+  if (n >= 1 && n <= kNumSyscalls) {
+    syscall_lat_[n]->Record(lat);
+  }
+  trace_.Emit(now, cur->core, TraceEvent::kSyscallExit, cur->pid(),
               static_cast<std::uint64_t>(num), static_cast<std::uint64_t>(ret));
   cur->domain = cur->saved_domain;
   return ret;

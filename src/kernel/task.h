@@ -127,6 +127,8 @@ class Task {
   unsigned core = 0;            // runqueue the task lives on
   Cycles slice_used = 0;        // for round-robin rotation
   Cycles cpu_time = 0;          // total CPU consumed (for /proc and sysmon)
+  Cycles runnable_since = 0;    // enqueue stamp, for the runqueue-wait histogram
+  Cycles syscall_enter_ts = 0;  // entry stamp, for the syscall-latency histogram
   Cycles time_by_domain[3] = {0, 0, 0};
   TimeDomain domain = TimeDomain::kKernel;
   TimeDomain saved_domain = TimeDomain::kUser;  // domain to restore at syscall exit

@@ -1,31 +1,64 @@
 #include "src/kernel/trace.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
 
 namespace vos {
 
-TraceRing::TraceRing(bool enabled, std::size_t per_core_capacity) : enabled_(enabled) {
-  for (unsigned i = 0; i < kMaxCores; ++i) {
-    rings_.emplace_back(per_core_capacity);
+TraceRing::TraceRing(bool enabled, std::size_t per_core_capacity)
+    : enabled_(enabled), cap_(per_core_capacity == 0 ? 1 : per_core_capacity) {
+  for (auto& r : rings_) {
+    r.slots.resize(cap_);
   }
 }
 
 void TraceRing::Emit(Cycles ts, unsigned core, TraceEvent ev, std::int32_t pid, std::uint64_t a,
                      std::uint64_t b) {
-  if (!enabled_ || core >= rings_.size()) {
+  if (!enabled_ || core >= kMaxCores) {
     return;
   }
-  SpinGuard g(lock_);
-  rings_[core].PushOverwrite(TraceRecord{ts, static_cast<std::uint16_t>(core), ev, pid, a, b});
-  ++emitted_;
+  CoreRing& r = rings_[core];
+  // Seqlock write side: odd while the slot is torn. Single producer per core,
+  // so every cursor update is a plain load+store — no RMW, no CAS, no lock.
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  const std::uint64_t s = r.seq.load(std::memory_order_relaxed);
+  r.seq.store(s + 1, std::memory_order_relaxed);
+  // Store-store barrier: the odd seq must be visible before the slot is
+  // torn. Like the Linux seqlock's smp_wmb — a compiler barrier on TSO
+  // hosts, dmb ishst on ARM — it orders the plain slot stores too.
+  std::atomic_thread_fence(std::memory_order_release);
+  // next_slot tracks head % cap_ without the division (producer-only state).
+  r.slots[r.next_slot] = TraceRecord{ts, static_cast<std::uint16_t>(core), ev, pid, a, b};
+  r.next_slot = r.next_slot + 1 == cap_ ? 0 : r.next_slot + 1;
+  // Both release stores: the slot contents precede the new head and the
+  // even seq that publishes them.
+  r.head.store(h + 1, std::memory_order_release);
+  r.seq.store(s + 2, std::memory_order_release);
 }
 
 std::vector<TraceRecord> TraceRing::Dump() const {
-  SpinGuard g(lock_);
   std::vector<TraceRecord> out;
-  for (const auto& r : rings_) {
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      out.push_back(r.At(i));
+  std::vector<TraceRecord> tmp;
+  for (const CoreRing& r : rings_) {
+    for (;;) {
+      std::uint64_t s0 = r.seq.load(std::memory_order_acquire);
+      if (s0 & 1) {
+        continue;  // writer mid-record; retry
+      }
+      std::uint64_t h = r.head.load(std::memory_order_acquire);
+      std::uint64_t n = std::min<std::uint64_t>(h, cap_);
+      tmp.clear();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        tmp.push_back(r.slots[(h - n + i) % cap_]);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      // Unchanged seq == nothing was overwritten under us; keep the snapshot.
+      if (r.seq.load(std::memory_order_relaxed) == s0) {
+        out.insert(out.end(), tmp.begin(), tmp.end());
+        break;
+      }
     }
   }
   std::stable_sort(out.begin(), out.end(),
@@ -45,11 +78,36 @@ std::vector<TraceRecord> TraceRing::DumpEvent(TraceEvent ev) const {
 }
 
 void TraceRing::Clear() {
-  SpinGuard g(lock_);
   for (auto& r : rings_) {
-    r.Clear();
+    r.seq.fetch_add(1, std::memory_order_acq_rel);
+    r.head.store(0, std::memory_order_relaxed);
+    r.next_slot = 0;
+    r.seq.fetch_add(1, std::memory_order_release);
   }
-  emitted_ = 0;
+}
+
+std::uint64_t TraceRing::total_emitted() const {
+  std::uint64_t t = 0;
+  for (const CoreRing& r : rings_) {
+    t += r.head.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+std::uint64_t TraceRing::dropped(unsigned core) const {
+  if (core >= kMaxCores) {
+    return 0;
+  }
+  const std::uint64_t h = rings_[core].head.load(std::memory_order_relaxed);
+  return h > cap_ ? h - cap_ : 0;
+}
+
+std::uint64_t TraceRing::total_dropped() const {
+  std::uint64_t t = 0;
+  for (unsigned c = 0; c < kMaxCores; ++c) {
+    t += dropped(c);
+  }
+  return t;
 }
 
 std::string TraceRing::EventName(TraceEvent ev) {
@@ -92,6 +150,99 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "slab_refill";
   }
   return "?";
+}
+
+namespace {
+// Every enumerator, for name->event lookup. tools/lint_trace_events.py keeps
+// the enum, the EventName switch, and this table in lockstep.
+constexpr TraceEvent kAllTraceEvents[] = {
+    TraceEvent::kSyscallEnter, TraceEvent::kSyscallExit, TraceEvent::kCtxSwitch,
+    TraceEvent::kIrqEnter,     TraceEvent::kIrqExit,     TraceEvent::kSleep,
+    TraceEvent::kWakeup,       TraceEvent::kUserMark,    TraceEvent::kKeyEvent,
+    TraceEvent::kWmComposite,  TraceEvent::kPageFault,   TraceEvent::kBlockRead,
+    TraceEvent::kBlockWrite,   TraceEvent::kBlockFlush,  TraceEvent::kPmmAlloc,
+    TraceEvent::kPmmFree,      TraceEvent::kPmmOom,      TraceEvent::kSlabRefill,
+};
+}  // namespace
+
+bool TraceRing::EventFromName(const std::string& name, TraceEvent* out) {
+  for (TraceEvent ev : kAllTraceEvents) {
+    if (EventName(ev) == name) {
+      *out = ev;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FormatTraceText(const std::vector<TraceRecord>& recs) {
+  std::string out;
+  char line[160];
+  for (const TraceRecord& r : recs) {
+    std::snprintf(line, sizeof(line), "%" PRIu64 " %u %s %d %" PRIu64 " %" PRIu64 "\n",
+                  static_cast<std::uint64_t>(r.ts), r.core, TraceRing::EventName(r.event).c_str(),
+                  r.pid, r.a, r.b);
+    out += line;
+  }
+  return out;
+}
+
+bool ParseTraceText(const std::string& text, std::vector<TraceRecord>* out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string line = text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::uint64_t ts = 0, a = 0, b = 0;
+    unsigned core = 0;
+    int pid = 0;
+    char name[64] = {0};
+    if (std::sscanf(line.c_str(), "%" SCNu64 " %u %63s %d %" SCNu64 " %" SCNu64, &ts, &core, name,
+                    &pid, &a, &b) != 6) {
+      return false;
+    }
+    TraceEvent ev;
+    if (!TraceRing::EventFromName(name, &ev)) {
+      return false;
+    }
+    out->push_back(TraceRecord{ts, static_cast<std::uint16_t>(core), ev, pid, a, b});
+  }
+  return true;
+}
+
+std::string FormatChromeTrace(const std::vector<TraceRecord>& recs) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceRecord& r : recs) {
+    // Syscall and IRQ brackets become duration events so Perfetto renders
+    // spans; the rest are instant events. A wrapped ring can lose one half of
+    // a pair — viewers tolerate unmatched B/E, and the JSON stays valid.
+    std::string name;
+    char ph = 'I';
+    if (r.event == TraceEvent::kSyscallEnter || r.event == TraceEvent::kSyscallExit) {
+      name = "syscall_" + std::to_string(r.a);
+      ph = r.event == TraceEvent::kSyscallEnter ? 'B' : 'E';
+    } else if (r.event == TraceEvent::kIrqEnter || r.event == TraceEvent::kIrqExit) {
+      name = "irq_" + std::to_string(r.a);
+      ph = r.event == TraceEvent::kIrqEnter ? 'B' : 'E';
+    } else {
+      name = TraceRing::EventName(r.event);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"kernel\",\"ph\":\"%c\",\"ts\":%.3f,"
+                  "\"pid\":%d,\"tid\":%u%s,\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+                  first ? "" : ",", name.c_str(), ph,
+                  static_cast<double>(r.ts) / 1000.0, r.pid, r.core,
+                  ph == 'I' ? ",\"s\":\"t\"" : "", r.a, r.b);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace vos

@@ -1,17 +1,24 @@
 // Event tracing (§5.1): an ftrace-inspired per-core ring of timestamped
 // events with negligible overhead, dumped on demand. Fig 11's latency
 // breakdowns are computed from these records.
+//
+// Emit is lock-free: each core owns a single-producer ring (the simulator's
+// token serialization guarantees one producer per core; the bench drives one
+// host thread per core, which is the same contract). A per-core seqlock lets
+// Dump take a consistent snapshot without ever stalling a producer; when the
+// ring wraps, the overwritten records are counted in a per-core `dropped`
+// counter so readers know the window is partial.
 #ifndef VOS_SRC_KERNEL_TRACE_H_
 #define VOS_SRC_KERNEL_TRACE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "src/base/ring_buffer.h"
 #include "src/base/units.h"
 #include "src/hw/intc.h"
-#include "src/kernel/spinlock.h"
 
 namespace vos {
 
@@ -49,10 +56,12 @@ class TraceRing {
  public:
   explicit TraceRing(bool enabled, std::size_t per_core_capacity = 16384);
 
+  // Lock-free hot path: one producer per core (token-serialized in the
+  // simulator). Safe to call from IRQ context and inside any spinlock.
   void Emit(Cycles ts, unsigned core, TraceEvent ev, std::int32_t pid, std::uint64_t a = 0,
             std::uint64_t b = 0);
 
-  // Merged, time-ordered dump of all cores' rings.
+  // Merged, time-ordered dump of all cores' rings (seqlock snapshot).
   std::vector<TraceRecord> Dump() const;
 
   // Filtered dump.
@@ -60,19 +69,41 @@ class TraceRing {
 
   void Clear();
   bool enabled() const { return enabled_; }
-  std::uint64_t total_emitted() const { return emitted_; }
+  std::size_t capacity() const { return cap_; }
+  std::uint64_t total_emitted() const;
+  // Records overwritten by ring wrap since the last Clear().
+  std::uint64_t dropped(unsigned core) const;
+  std::uint64_t total_dropped() const;
 
   static std::string EventName(TraceEvent ev);
+  static bool EventFromName(const std::string& name, TraceEvent* out);
 
  private:
+  // One cache line of cursors per core so producers never share a line.
+  // The head cursor counts every record written since Clear, so the derived
+  // stats cost nothing on the hot path: emitted == head, and dropped ==
+  // max(0, head - capacity) — once the ring is full, every write evicts one.
+  struct alignas(64) CoreRing {
+    std::atomic<std::uint64_t> head{0};  // total records written since Clear
+    std::atomic<std::uint64_t> seq{0};   // seqlock: odd while a write is in flight
+    std::uint64_t next_slot = 0;         // producer-only: head % capacity
+    std::vector<TraceRecord> slots;
+  };
+
   bool enabled_;
-  // Serializes ring mutation. Emit runs in IRQ context (the trace class is
-  // irq-used by design) and nests inside the bcache lock via the I/O trace
-  // hook, making it a leaf of the lockdep order graph.
-  mutable SpinLock lock_{"trace"};
-  std::vector<RingBuffer<TraceRecord>> rings_;
-  std::uint64_t emitted_ = 0;
+  std::size_t cap_;
+  std::array<CoreRing, kMaxCores> rings_;
 };
+
+// Text dump format: one record per line, "ts core event pid a b" (event by
+// name). This is what /dev/trace serves and tools/trace2perfetto.py reads.
+std::string FormatTraceText(const std::vector<TraceRecord>& recs);
+bool ParseTraceText(const std::string& text, std::vector<TraceRecord>* out);
+
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing):
+// syscall and IRQ enter/exit pairs become duration (B/E) events, everything
+// else instant events; tid = core, ts in microseconds.
+std::string FormatChromeTrace(const std::vector<TraceRecord>& recs);
 
 }  // namespace vos
 

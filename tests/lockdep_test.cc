@@ -265,7 +265,7 @@ TEST(LockdepBootTest, ProcLockdepListsKernelClassesAfterBoot) {
   for (const LockClassInfo& c : dep.Classes()) {
     names.push_back(c.name);
   }
-  for (const char* expect : {"sched", "semtable", "trace", "bcache", "pmm", "slab-depot", "pipe"}) {
+  for (const char* expect : {"sched", "semtable", "metrics", "bcache", "pmm", "slab-depot", "pipe"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end())
         << "missing lock class " << expect;
   }
@@ -273,14 +273,19 @@ TEST(LockdepBootTest, ProcLockdepListsKernelClassesAfterBoot) {
   // SleepOn/Wakeup nest the sched lock inside the pipe and semaphore locks.
   EXPECT_TRUE(dep.HasPath("pipe", "sched"));
   EXPECT_TRUE(dep.HasPath("semtable", "sched"));
-  // The bcache trace hook emits while the bcache lock is held.
-  EXPECT_TRUE(dep.HasPath("bcache", "trace"));
-  // Timer wakeups and trace emits happen in IRQ context.
+  // The trace ring is lock-free (PR 4): no lock class exists for it, so the
+  // old bcache->trace edge is gone and emitting under bcache adds no edge.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "trace"), names.end())
+      << "trace ring grew a lock again";
+  // The metrics registry is a leaf: gauge callbacks that take subsystem locks
+  // run outside the metrics lock, so metrics never points at another class.
+  for (const char* below : {"sched", "bcache", "pmm", "slab-depot", "pipe", "semtable"}) {
+    EXPECT_FALSE(dep.HasPath("metrics", below)) << "metrics -> " << below;
+  }
+  // Timer wakeups happen in IRQ context.
   for (const LockClassInfo& c : dep.Classes()) {
-    if (c.name == "sched" || c.name == "trace") {
-      EXPECT_TRUE(c.irq_used) << c.name << " never acquired in IRQ context";
-    }
     if (c.name == "sched") {
+      EXPECT_TRUE(c.irq_used) << c.name << " never acquired in IRQ context";
       EXPECT_GT(c.acquisitions, 0u);
     }
   }

@@ -37,7 +37,7 @@ KNOWN_CLASSES = {
     "sched",
     "semtable",
     "pipe",
-    "trace",
+    "metrics",
     "bcache",
     "pmm",
     "slab-depot",

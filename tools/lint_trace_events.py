@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that every TraceEvent enumerator has a name, and vice versa.
+
+Three places must stay in lockstep:
+  1. the `enum class TraceEvent` members in src/kernel/trace.h,
+  2. the `case TraceEvent::kX:` labels in TraceRing::EventName (trace.cc),
+  3. the kAllTraceEvents table used by EventFromName (trace.cc).
+
+A new enumerator that misses (2) dumps as "?" and breaks the text round-trip;
+one that misses (3) makes ParseTraceText reject valid dumps. This lint fails
+CI on any drift. Run from anywhere: paths are resolved relative to this file.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRACE_H = os.path.join(ROOT, "src", "kernel", "trace.h")
+TRACE_CC = os.path.join(ROOT, "src", "kernel", "trace.cc")
+
+
+def enum_members(text):
+    m = re.search(r"enum class TraceEvent[^{]*\{(.*?)\};", text, re.S)
+    if not m:
+        sys.exit("lint_trace_events: cannot find `enum class TraceEvent` in trace.h")
+    members = []
+    for line in m.group(1).splitlines():
+        line = re.sub(r"//.*", "", line).strip()
+        mm = re.match(r"(k\w+)\s*(=\s*\d+)?\s*,?$", line)
+        if mm:
+            members.append(mm.group(1))
+    return members
+
+
+def case_labels(text):
+    body = re.search(r"std::string TraceRing::EventName\(TraceEvent ev\)\s*\{(.*?)\n\}", text, re.S)
+    if not body:
+        sys.exit("lint_trace_events: cannot find TraceRing::EventName in trace.cc")
+    return re.findall(r"case TraceEvent::(k\w+):", body.group(1))
+
+
+def table_entries(text):
+    m = re.search(r"kAllTraceEvents\[\]\s*=\s*\{(.*?)\};", text, re.S)
+    if not m:
+        sys.exit("lint_trace_events: cannot find kAllTraceEvents table in trace.cc")
+    return re.findall(r"TraceEvent::(k\w+)", m.group(1))
+
+
+def main():
+    enum = enum_members(open(TRACE_H).read())
+    cc = open(TRACE_CC).read()
+    cases = case_labels(cc)
+    table = table_entries(cc)
+
+    ok = True
+    for what, got in (("EventName case", cases), ("kAllTraceEvents entry", table)):
+        missing = [e for e in enum if e not in got]
+        stale = [e for e in got if e not in enum]
+        dupes = sorted({e for e in got if got.count(e) > 1})
+        for e in missing:
+            print(f"lint_trace_events: TraceEvent::{e} has no {what}")
+            ok = False
+        for e in stale:
+            print(f"lint_trace_events: {what} TraceEvent::{e} is not an enumerator")
+            ok = False
+        for e in dupes:
+            print(f"lint_trace_events: duplicate {what} TraceEvent::{e}")
+            ok = False
+
+    if ok:
+        print(f"lint_trace_events: OK ({len(enum)} events, names and table complete)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Convert a VOS text trace dump (/dev/trace format) to Chrome trace-event JSON.
+
+The input is the one-record-per-line text format emitted by /dev/trace and
+FormatTraceText():
+
+    <ts_ns> <core> <event_name> <pid> <a> <b>
+
+The output is a Chrome trace-event JSON object loadable in Perfetto
+(https://ui.perfetto.dev) or chrome://tracing. Syscall and IRQ enter/exit
+records become B/E duration events so the viewer renders spans; everything
+else becomes a thread-scoped instant event. This mirrors FormatChromeTrace()
+in src/kernel/trace.cc, for use on dumps pulled off a serial log or saved to
+the SD image without re-running the simulator.
+
+Usage:
+    tools/trace2perfetto.py [input.txt] [output.json]
+
+With no arguments, reads stdin and writes stdout.
+"""
+
+import json
+import sys
+
+
+def convert(text):
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 6:
+            raise ValueError(f"line {lineno}: expected 6 fields, got {len(parts)}: {line!r}")
+        ts, core, name, pid, a, b = parts
+        ts, core, pid, a, b = int(ts), int(core), int(pid), int(a), int(b)
+        ev = {
+            "cat": "kernel",
+            "ts": ts / 1000.0,  # trace-event ts is in microseconds
+            "pid": pid,
+            "tid": core,
+            "args": {"a": a, "b": b},
+        }
+        if name in ("syscall_enter", "syscall_exit"):
+            ev["name"] = f"syscall_{a}"
+            ev["ph"] = "B" if name == "syscall_enter" else "E"
+        elif name in ("irq_enter", "irq_exit"):
+            ev["name"] = f"irq_{a}"
+            ev["ph"] = "B" if name == "irq_enter" else "E"
+        else:
+            ev["name"] = name
+            ev["ph"] = "I"
+            ev["s"] = "t"
+        events.append(ev)
+    return {"displayTimeUnit": "ns", "traceEvents": events}
+
+
+def main(argv):
+    if len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    text = open(argv[1]).read() if len(argv) > 1 else sys.stdin.read()
+    try:
+        doc = convert(text)
+    except ValueError as e:
+        print(f"trace2perfetto: {e}", file=sys.stderr)
+        return 1
+    out = open(argv[2], "w") if len(argv) > 2 else sys.stdout
+    json.dump(doc, out)
+    out.write("\n")
+    if out is not sys.stdout:
+        out.close()
+        print(f"trace2perfetto: {len(doc['traceEvents'])} events -> {argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
