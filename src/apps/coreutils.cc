@@ -252,13 +252,20 @@ int UptimeMain(AppEnv& env) {
   return 0;
 }
 
-// fsck: checks the mounted root filesystem's consistency (read-only).
+// fsck: checks the mounted root filesystem's consistency (read-only by
+// default; "-r" repairs in place). Exit codes distinguish the outcomes:
+// 0 = clean, 1 = errors found and repaired, 2 = errors remain.
 int FsckMain(AppEnv& env) {
+  bool repair = env.argv.size() > 1 && env.argv[1] == "-r";
   Cycles burn = 0;
-  FsckReport report = FsckXv6(env.kernel->rootfs(), &burn);
+  FsckReport report = repair ? FsckRepairXv6(env.kernel->rootfs(), &burn)
+                             : FsckXv6(env.kernel->rootfs(), &burn);
   UBurn(env, double(burn));  // the scan's I/O time charges the caller
   uprintf(env, "fsck /: %s\n", report.Summary().c_str());
-  return report.clean ? 0 : 1;
+  if (report.unrecoverable > 0) {
+    return 2;
+  }
+  return report.repaired > 0 ? 1 : 0;
 }
 
 // screenshot: captures what the framebuffer scans out into a BMP on disk —

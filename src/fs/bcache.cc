@@ -3,12 +3,18 @@
 #include <algorithm>
 
 #include "src/base/assert.h"
+#include "src/base/status.h"
 
 namespace vos {
 
 int Bcache::AddDevice(BlockDevice* dev, const std::string& name) {
   SpinGuard g(lock_);
-  queues_.emplace_back(dev);
+  BlockRetryPolicy policy;
+  policy.max_retries = cfg_.blk_max_retries;
+  policy.backoff_base = Us(cfg_.blk_retry_backoff_us);
+  policy.timeout_budget = Ms(cfg_.blk_timeout_budget_ms);
+  queues_.emplace_back(dev, policy);
+  pending_error_.push_back(0);
   if (latency_hook_) {
     auto hook = latency_hook_;
     queues_.back().SetCompletionHook(
@@ -51,13 +57,28 @@ Cycles Bcache::FlushBufs(int dev, std::vector<Buf*>& bufs) {
     q.Submit(&reqs[i]);
   }
   Cycles dev_time = q.CompleteAll();
-  for (Buf* b : bufs) {
+  std::size_t flushed = 0;
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    Buf* b = bufs[i];
+    // Either way the buffer leaves the dirty set: a block the device refuses
+    // after retries must not be silently re-flushed forever. On failure the
+    // data is dropped, io_failed marks the buffer, and the error latches in
+    // the device's pending error so the next sync/fsync reports kErrIo.
     b->dirty = false;
-    Trace(TraceEvent::kBlockFlush, b->lba, 1);
+    if (reqs[i].status == BlockStatus::kOk) {
+      b->io_failed = false;
+      ++flushed;
+      Trace(TraceEvent::kBlockFlush, b->lba, 1);
+    } else {
+      b->io_failed = true;
+      pending_error_[static_cast<std::size_t>(dev)] = kErrIo;
+      Trace(TraceEvent::kBlockError, b->lba,
+            static_cast<std::uint64_t>(reqs[i].status));
+    }
   }
-  st.writebacks += bufs.size();
-  st.writes += bufs.size();
-  st.blocks_written += bufs.size();
+  st.writebacks += flushed;
+  st.writes += flushed;
+  st.blocks_written += flushed;
   return dev_time + Cycles(bufs.size()) * cfg_.cost.bcache_flush_work;
 }
 
@@ -91,13 +112,19 @@ Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn) {
       victim = *it;  // LRU-est dirty candidate, kept in case no clean one exists
     }
   }
-  VOS_CHECK_MSG(victim != nullptr, "bcache: all buffers referenced");
+  if (victim == nullptr) {
+    // Every buffer is referenced (pathological pin pressure). This used to
+    // be a kernel panic; now the caller sees a failed lookup and maps it to
+    // kErrIo / retries.
+    return nullptr;
+  }
   if (victim->dirty) {
     std::vector<Buf*> one{victim};
     *burn += FlushBufs(victim->dev, one);
   }
   VOS_CHECK_MSG(!victim->dirty, "recycling a dirty buffer without a flush");
   victim->valid = false;
+  victim->io_failed = false;
   victim->dev = dev;
   victim->lba = lba;
   return victim;
@@ -111,6 +138,9 @@ Buf* Bcache::Read(int dev, std::uint64_t lba, Cycles* burn) {
 Buf* Bcache::ReadLocked(int dev, std::uint64_t lba, Cycles* burn) {
   *burn = cfg_.cost.bcache_lookup;
   Buf* b = FindOrRecycle(dev, lba, burn);
+  if (b == nullptr) {
+    return nullptr;  // all buffers referenced
+  }
   ++b->refcnt;
   Touch(b);
   BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
@@ -125,11 +155,20 @@ Buf* Bcache::ReadLocked(int dev, std::uint64_t lba, Cycles* burn) {
   req.count = 1;
   req.buf = b->data.data();
   *burn += queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  if (req.status != BlockStatus::kOk) {
+    // Failed read: report synchronously (no sticky error — the caller gets
+    // kErrIo right now) and leave the slot recyclable.
+    --b->refcnt;
+    b->valid = false;
+    Trace(TraceEvent::kBlockError, lba, static_cast<std::uint64_t>(req.status));
+    return nullptr;
+  }
   ++st.reads;
   ++st.blocks_read;
   Trace(TraceEvent::kBlockRead, lba, 1);
   b->valid = true;
   b->dirty = false;
+  b->io_failed = false;
   return b;
 }
 
@@ -144,12 +183,12 @@ Cycles Bcache::ThrottleIfNeeded(int dev) {
   return FlushDevLocked(dev);
 }
 
-void Bcache::Write(Buf* b, Cycles* burn) {
+std::int64_t Bcache::Write(Buf* b, Cycles* burn) {
   SpinGuard g(lock_);
-  WriteLocked(b, burn);
+  return WriteLocked(b, burn);
 }
 
-void Bcache::WriteLocked(Buf* b, Cycles* burn) {
+std::int64_t Bcache::WriteLocked(Buf* b, Cycles* burn) {
   VOS_CHECK_MSG(b->refcnt > 0, "bwrite on unreferenced buffer");
   BlockDevStats& st = stats_[static_cast<std::size_t>(b->dev)];
   if (!cfg_.opt_writeback_cache) {
@@ -160,18 +199,28 @@ void Bcache::WriteLocked(Buf* b, Cycles* burn) {
     req.count = 1;
     req.buf = b->data.data();
     *burn = queues_[static_cast<std::size_t>(b->dev)].SubmitAndWait(&req);
+    if (req.status != BlockStatus::kOk) {
+      // Cache and device now disagree; drop the cached copy so nothing
+      // serves data the device never accepted.
+      b->valid = false;
+      b->dirty = false;
+      Trace(TraceEvent::kBlockError, b->lba, static_cast<std::uint64_t>(req.status));
+      return kErrIo;
+    }
     ++st.writes;
     ++st.blocks_written;
     Trace(TraceEvent::kBlockWrite, b->lba, 1);
     b->dirty = false;
-    return;
+    return 0;
   }
   *burn = cfg_.cost.bcache_lookup;
   if (!b->dirty) {
     b->dirty = true;
     b->dirtied_at = NowStamp();
   }
+  b->io_failed = false;  // fresh data supersedes an earlier failed write-back
   *burn += ThrottleIfNeeded(b->dev);
+  return 0;
 }
 
 void Bcache::Release(Buf* b) {
@@ -184,62 +233,79 @@ void Bcache::ReleaseLocked(Buf* b) {
   --b->refcnt;
 }
 
-Cycles Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+std::int64_t Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count,
+                               std::uint8_t* out, Cycles* burn) {
   SpinGuard g(lock_);
   if (!cfg_.opt_bcache_bypass) {
     // Un-optimized path: go through the single-block cache, block by block —
     // what xv6's layering forces, and what Fig 9's file benchmarks measure
     // for the xv6 profile.
-    Cycles total = 0;
     for (std::uint32_t i = 0; i < count; ++i) {
       Cycles c = 0;
       Buf* b = ReadLocked(dev, lba + i, &c);
+      *burn += c;
+      if (b == nullptr) {
+        return kErrIo;
+      }
       std::copy(b->data.begin(), b->data.end(), out + std::size_t(i) * kBlockSize);
       ReleaseLocked(b);
-      total += c;
     }
-    return total;
+    return 0;
   }
   // Bypass: stream from the device. With write-back, the cache may hold data
   // the device has not seen yet — flush overlapping dirty buffers first, or
   // the range read silently returns stale bytes.
-  Cycles total = 0;
   std::vector<Buf*> overlap;
   for (Buf& b : bufs_) {
     if (b.valid && b.dirty && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
       overlap.push_back(&b);
     }
   }
-  total += FlushBufs(dev, overlap);
+  *burn += FlushBufs(dev, overlap);
+  for (Buf* b : overlap) {
+    if (b->io_failed) {
+      return kErrIo;  // the device copy is not current; the range read lies
+    }
+  }
   BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
   BlockRequest req;
   req.op = BlockOp::kRead;
   req.lba = lba;
   req.count = count;
   req.buf = out;
-  total += queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  *burn += queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  if (req.status != BlockStatus::kOk) {
+    Trace(TraceEvent::kBlockError, lba, static_cast<std::uint64_t>(req.status));
+    return kErrIo;
+  }
   ++st.reads;
   st.blocks_read += count;
   Trace(TraceEvent::kBlockRead, lba, count);
-  return total;
+  return 0;
 }
 
-Cycles Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
-                          const std::uint8_t* in) {
+std::int64_t Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
+                                const std::uint8_t* in, Cycles* burn) {
   SpinGuard g(lock_);
   if (!cfg_.opt_bcache_bypass) {
-    Cycles total = 0;
     for (std::uint32_t i = 0; i < count; ++i) {
       Cycles c = 0;
       Buf* b = ReadLocked(dev, lba + i, &c);
+      *burn += c;
+      if (b == nullptr) {
+        return kErrIo;
+      }
       std::copy(in + std::size_t(i) * kBlockSize, in + std::size_t(i + 1) * kBlockSize,
                 b->data.begin());
       Cycles w = 0;
-      WriteLocked(b, &w);
+      std::int64_t err = WriteLocked(b, &w);
       ReleaseLocked(b);
-      total += c + w;
+      *burn += w;
+      if (err < 0) {
+        return err;
+      }
     }
-    return total;
+    return 0;
   }
   // Invalidate overlapping cached blocks so later cached reads see new data.
   // Dirty overlaps are superseded wholesale by the incoming range, so they
@@ -257,11 +323,15 @@ Cycles Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
   req.lba = lba;
   req.count = count;
   req.buf = const_cast<std::uint8_t*>(in);
-  Cycles total = queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  *burn += queues_[static_cast<std::size_t>(dev)].SubmitAndWait(&req);
+  if (req.status != BlockStatus::kOk) {
+    Trace(TraceEvent::kBlockError, lba, static_cast<std::uint64_t>(req.status));
+    return kErrIo;
+  }
   ++st.writes;
   st.blocks_written += count;
   Trace(TraceEvent::kBlockWrite, lba, count);
-  return total;
+  return 0;
 }
 
 Cycles Bcache::FlushAll() {
@@ -303,6 +373,25 @@ Cycles Bcache::FlushAged(Cycles now, Cycles min_age) {
   return total;
 }
 
+std::int64_t Bcache::TakeError(int dev) {
+  SpinGuard g(lock_);
+  std::int64_t e = pending_error_[static_cast<std::size_t>(dev)];
+  pending_error_[static_cast<std::size_t>(dev)] = 0;
+  return e;
+}
+
+std::int64_t Bcache::TakeAnyError() {
+  SpinGuard g(lock_);
+  std::int64_t e = 0;
+  for (std::int64_t& p : pending_error_) {
+    if (p != 0 && e == 0) {
+      e = p;
+    }
+    p = 0;
+  }
+  return e;
+}
+
 std::size_t Bcache::DirtyCount(int dev) const {
   std::size_t n = 0;
   for (const Buf& b : bufs_) {
@@ -317,6 +406,9 @@ const BlockDevStats& Bcache::stats(int dev) {
   const auto& q = queues_[static_cast<std::size_t>(dev)];
   st.merged = q.merged_requests();
   st.queue_depth_hw = q.queue_depth_high_water();
+  st.io_retries = q.io_retries();
+  st.io_errors = q.io_errors();
+  st.io_timeouts = q.io_timeouts();
   return st;
 }
 

@@ -34,6 +34,10 @@ struct Buf {
   std::uint64_t lba = 0;
   int refcnt = 0;
   bool dirty = false;
+  // The last write-back of this buffer failed after retries: the cached data
+  // was dropped from the dirty set (never silently re-flushed) and the error
+  // is latched in the device's pending error for sync/fsync to report.
+  bool io_failed = false;
   Cycles dirtied_at = 0;  // when the buffer last went clean->dirty
   std::array<std::uint8_t, kBlockSize> data{};
 };
@@ -50,6 +54,9 @@ struct BlockDevStats {
   std::uint64_t writebacks = 0;      // dirty buffers flushed to the device
   std::uint64_t merged = 0;          // requests absorbed into a neighbor burst
   std::uint32_t queue_depth_hw = 0;  // request queue high-water mark
+  std::uint64_t io_retries = 0;      // retried device commands
+  std::uint64_t io_errors = 0;       // requests failed after retries
+  std::uint64_t io_timeouts = 0;     // subset of io_errors: budget exhausted
 };
 
 class Bcache {
@@ -74,25 +81,40 @@ class Bcache {
   // Histogram::Record).
   void SetLatencyHook(std::function<void(Cycles)> hook);
 
-  // bread: returns a referenced buffer containing the block. `burn` receives
-  // the virtual time consumed (device time on miss, lookup cost always).
+  // bread: returns a referenced buffer containing the block, or nullptr when
+  // the device read failed after retries (the caller maps that to kErrIo) or
+  // when every buffer is referenced. `burn` receives the virtual time
+  // consumed (device time on miss, lookup cost always).
   Buf* Read(int dev, std::uint64_t lba, Cycles* burn);
   // bwrite: write-back (marks dirty; device write deferred) unless
   // opt_writeback_cache is off, in which case it writes through as xv6 does.
-  void Write(Buf* b, Cycles* burn);
+  // Returns 0 or kErrIo (write-through path only; write-back defers the
+  // device and reports flush failures through TakeError).
+  std::int64_t Write(Buf* b, Cycles* burn);
   // brelse.
   void Release(Buf* b);
 
   // Cache-bypassing range I/O (§5.2). Reads flush overlapping dirty buffers
   // first (the device copy must be current); writes invalidate overlaps.
-  Cycles ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::uint8_t* out);
-  Cycles WriteRange(int dev, std::uint64_t lba, std::uint32_t count, const std::uint8_t* in);
+  // Return 0 or kErrIo; `burn` receives the device time either way.
+  std::int64_t ReadRange(int dev, std::uint64_t lba, std::uint32_t count, std::uint8_t* out,
+                         Cycles* burn);
+  std::int64_t WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
+                          const std::uint8_t* in, Cycles* burn);
 
   // Write-back control. Each returns the device time consumed, which the
   // caller charges to whoever is paying (syscall, flusher thread, writer).
+  // Flush failures don't abort the sweep: the failed buffer leaves the dirty
+  // set with io_failed set and the error latches in the device's pending
+  // error until a TakeError call consumes it (the Linux errseq idea — the
+  // fsync that follows a failed write-back must see the failure).
   Cycles FlushAll();                          // every dirty buffer, all devices
   Cycles FlushDev(int dev);                   // every dirty buffer of one device
   Cycles FlushAged(Cycles now, Cycles min_age);  // buffers dirty longer than min_age
+
+  // Consumes and returns the device's latched write-back error (0 if none).
+  std::int64_t TakeError(int dev);
+  std::int64_t TakeAnyError();  // any device; clears all
 
   std::size_t DirtyCount(int dev = -1) const;  // -1 = all devices
 
@@ -107,7 +129,7 @@ class Bcache {
   // are thin SpinGuard wrappers, so the pool, LRU list, and per-device stats
   // mutate under one lock class ("bcache") in the lockdep graph.
   Buf* ReadLocked(int dev, std::uint64_t lba, Cycles* burn);
-  void WriteLocked(Buf* b, Cycles* burn);
+  std::int64_t WriteLocked(Buf* b, Cycles* burn);
   void ReleaseLocked(Buf* b);
   Cycles FlushDevLocked(int dev);
   Buf* FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn);
@@ -127,6 +149,7 @@ class Bcache {
   SpinLock lock_{"bcache"};
   std::vector<BlockRequestQueue> queues_;
   std::vector<BlockDevStats> stats_;
+  std::vector<std::int64_t> pending_error_;  // latched per-device kErrIo
   std::array<Buf, kNumBufs> bufs_;
   std::list<Buf*> lru_;  // front = most recent
   std::function<Cycles()> now_;

@@ -7,27 +7,41 @@
 
 namespace vos {
 
-Cycles RamDisk::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+const char* BlockStatusName(BlockStatus s) {
+  switch (s) {
+    case BlockStatus::kOk:
+      return "ok";
+    case BlockStatus::kTransient:
+      return "transient";
+    case BlockStatus::kMedia:
+      return "media";
+    case BlockStatus::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+BlockResult RamDisk::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
   VOS_CHECK_MSG((lba + count) * kBlockSize <= data_.size(), "ramdisk read out of range");
   std::memcpy(out, data_.data() + lba * kBlockSize, std::size_t(count) * kBlockSize);
   // DRAM-speed "disk": dominated by the memcpy.
-  return Us(2) + Cycles(count) * Us(1);
+  return {BlockStatus::kOk, Us(2) + Cycles(count) * Us(1)};
 }
 
-Cycles RamDisk::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
+BlockResult RamDisk::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
   VOS_CHECK_MSG((lba + count) * kBlockSize <= data_.size(), "ramdisk write out of range");
   std::memcpy(data_.data() + lba * kBlockSize, in, std::size_t(count) * kBlockSize);
-  return Us(2) + Cycles(count) * Us(1);
+  return {BlockStatus::kOk, Us(2) + Cycles(count) * Us(1)};
 }
 
-Cycles SdBlockDevice::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+BlockResult SdBlockDevice::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
   VOS_CHECK_MSG(lba + count <= count_, "sd partition read out of range");
-  return card_.ReadBlocks(first_ + lba, count, out, use_dma_);
+  return {BlockStatus::kOk, card_.ReadBlocks(first_ + lba, count, out, use_dma_)};
 }
 
-Cycles SdBlockDevice::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
+BlockResult SdBlockDevice::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
   VOS_CHECK_MSG(lba + count <= count_, "sd partition write out of range");
-  return card_.WriteBlocks(first_ + lba, count, in, use_dma_);
+  return {BlockStatus::kOk, card_.WriteBlocks(first_ + lba, count, in, use_dma_)};
 }
 
 // --- BlockRequestQueue -------------------------------------------------------
@@ -37,6 +51,43 @@ void BlockRequestQueue::Submit(BlockRequest* req) {
   VOS_CHECK_MSG(req->count > 0 && req->buf != nullptr, "malformed block request");
   pending_.push_back(req);
   depth_hw_ = std::max(depth_hw_, static_cast<std::uint32_t>(pending_.size()));
+}
+
+Cycles BlockRequestQueue::ServiceOne(BlockRequest* r) {
+  Cycles spent = 0;
+  Cycles backoff = policy_.backoff_base;
+  for (;;) {
+    BlockResult res = r->op == BlockOp::kRead ? dev_->Read(r->lba, r->count, r->buf)
+                                              : dev_->Write(r->lba, r->count, r->buf);
+    spent += res.cycles;
+    if (res.ok()) {
+      r->status = BlockStatus::kOk;
+      break;
+    }
+    if (res.status == BlockStatus::kMedia) {
+      r->status = BlockStatus::kMedia;
+      ++errors_;
+      break;
+    }
+    if (spent >= policy_.timeout_budget) {
+      r->status = BlockStatus::kTimeout;
+      ++errors_;
+      ++timeouts_;
+      break;
+    }
+    if (r->retries >= policy_.max_retries) {
+      r->status = res.status;
+      ++errors_;
+      break;
+    }
+    ++r->retries;
+    ++retries_;
+    spent += backoff;
+    backoff = std::min(backoff * 2, policy_.backoff_cap);
+  }
+  r->service_time = spent;
+  r->done = true;
+  return spent;
 }
 
 Cycles BlockRequestQueue::CompleteAll() {
@@ -63,10 +114,7 @@ Cycles BlockRequestQueue::CompleteAll() {
     Cycles burst = 0;
     if (j == i + 1) {
       BlockRequest* r = pending_[i];
-      burst = r->op == BlockOp::kRead ? dev_->Read(r->lba, r->count, r->buf)
-                                      : dev_->Write(r->lba, r->count, r->buf);
-      r->service_time = burst;
-      r->done = true;
+      burst = ServiceOne(r);
       if (on_complete_) {
         on_complete_(*r, total + burst);
       }
@@ -75,6 +123,7 @@ Cycles BlockRequestQueue::CompleteAll() {
       // write payloads / scattering read results per request.
       staging.resize(std::size_t(run_blocks) * kBlockSize);
       merged_ += j - i - 1;
+      BlockResult res;
       if (pending_[i]->op == BlockOp::kWrite) {
         std::size_t off = 0;
         for (std::size_t k = i; k < j; ++k) {
@@ -82,26 +131,45 @@ Cycles BlockRequestQueue::CompleteAll() {
                       std::size_t(pending_[k]->count) * kBlockSize);
           off += std::size_t(pending_[k]->count) * kBlockSize;
         }
-        burst = dev_->Write(pending_[i]->lba, run_blocks, staging.data());
+        res = dev_->Write(pending_[i]->lba, run_blocks, staging.data());
       } else {
-        burst = dev_->Read(pending_[i]->lba, run_blocks, staging.data());
-        std::size_t off = 0;
-        for (std::size_t k = i; k < j; ++k) {
-          std::memcpy(pending_[k]->buf, staging.data() + off,
-                      std::size_t(pending_[k]->count) * kBlockSize);
-          off += std::size_t(pending_[k]->count) * kBlockSize;
+        res = dev_->Read(pending_[i]->lba, run_blocks, staging.data());
+        if (res.ok()) {
+          std::size_t off = 0;
+          for (std::size_t k = i; k < j; ++k) {
+            std::memcpy(pending_[k]->buf, staging.data() + off,
+                        std::size_t(pending_[k]->count) * kBlockSize);
+            off += std::size_t(pending_[k]->count) * kBlockSize;
+          }
         }
       }
-      // Attribute the burst cost pro rata by block count.
-      Cycles attributed = 0;
-      for (std::size_t k = i; k < j; ++k) {
-        BlockRequest* r = pending_[k];
-        r->service_time = k + 1 == j ? burst - attributed
-                                     : Cycles(double(burst) * r->count / run_blocks);
-        attributed += r->service_time;
-        r->done = true;
-        if (on_complete_) {
-          on_complete_(*r, total + burst);
+      burst = res.cycles;
+      if (res.ok()) {
+        // Attribute the burst cost pro rata by block count.
+        Cycles attributed = 0;
+        for (std::size_t k = i; k < j; ++k) {
+          BlockRequest* r = pending_[k];
+          r->service_time = k + 1 == j ? burst - attributed
+                                       : Cycles(double(burst) * r->count / run_blocks);
+          attributed += r->service_time;
+          r->status = BlockStatus::kOk;
+          r->done = true;
+          if (on_complete_) {
+            on_complete_(*r, total + burst);
+          }
+        }
+      } else {
+        // The burst failed somewhere in the range. Demote: re-service each
+        // member individually so a single bad sector only fails the request
+        // that actually covers it, and each request gets its own retry
+        // budget. The failed burst attempt's cost is charged to the sweep
+        // but not to any one request.
+        for (std::size_t k = i; k < j; ++k) {
+          BlockRequest* r = pending_[k];
+          burst += ServiceOne(r);
+          if (on_complete_) {
+            on_complete_(*r, total + burst);
+          }
         }
       }
     }

@@ -26,14 +26,35 @@ namespace vos {
 
 constexpr std::uint32_t kBlockSize = 512;
 
+// Transfer outcome. Real media fail: a command can bounce once (transient
+// CRC error, bus glitch), stall past its deadline, or hit a genuinely bad
+// sector. The request layer retries transients and timeouts with backoff;
+// media errors are final.
+enum class BlockStatus : std::uint8_t {
+  kOk = 0,
+  kTransient,  // retryable: the same command may succeed next time
+  kMedia,      // hard error: the sector is gone, retrying cannot help
+  kTimeout,    // the command exceeded its deadline
+};
+
+const char* BlockStatusName(BlockStatus s);
+
+struct BlockResult {
+  BlockStatus status = BlockStatus::kOk;
+  // Virtual duration the caller burns (polling-driver model: the CPU spins
+  // until completion), charged whether or not the transfer succeeded.
+  Cycles cycles = 0;
+  bool ok() const { return status == BlockStatus::kOk; }
+};
+
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
   virtual std::uint64_t block_count() const = 0;
-  // Synchronous transfer; returns the virtual duration the caller burns
-  // (polling-driver model: the CPU spins until completion).
-  virtual Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) = 0;
-  virtual Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) = 0;
+  // Synchronous transfer. On failure the contents of `out` are unspecified;
+  // a failed write may have persisted any prefix of the range (torn write).
+  virtual BlockResult Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) = 0;
+  virtual BlockResult Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) = 0;
 };
 
 // DRAM-backed disk holding the root filesystem image.
@@ -43,8 +64,8 @@ class RamDisk : public BlockDevice {
   explicit RamDisk(std::vector<std::uint8_t> image) : data_(std::move(image)) {}
 
   std::uint64_t block_count() const override { return data_.size() / kBlockSize; }
-  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
-  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
+  BlockResult Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
+  BlockResult Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
 
   std::vector<std::uint8_t>& data() { return data_; }
   const std::vector<std::uint8_t>& data() const { return data_; }
@@ -62,8 +83,8 @@ class SdBlockDevice : public BlockDevice {
       : card_(card), first_(first_lba), count_(lba_count), use_dma_(use_dma) {}
 
   std::uint64_t block_count() const override { return count_; }
-  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
-  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
+  BlockResult Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
+  BlockResult Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
 
  private:
   SdCard& card_;
@@ -76,26 +97,45 @@ class SdBlockDevice : public BlockDevice {
 
 enum class BlockOp : std::uint8_t { kRead, kWrite };
 
+// Retry policy the queue applies per request. Transient and timeout failures
+// are retried with exponential backoff (the backoff burns virtual time — a
+// polling driver really does spin through it); media errors are final. A
+// request whose accumulated service time (attempts + backoff) exceeds the
+// budget fails with kTimeout even if retries remain.
+struct BlockRetryPolicy {
+  std::uint32_t max_retries = 4;   // attempts after the first, per request
+  Cycles backoff_base = Us(50);    // first backoff; doubles per retry
+  Cycles backoff_cap = Ms(5);
+  Cycles timeout_budget = Ms(50);  // per-request service-time ceiling
+};
+
 // One block I/O request: a contiguous [lba, lba+count) transfer with
 // submit/complete semantics. `buf` points at count*kBlockSize bytes — the
-// destination for reads, the source for writes. On completion `done` is set
-// and `service_time` holds the slice of device time attributed to this
-// request (merged bursts split their cost pro rata by block count).
+// destination for reads, the source for writes. On completion `done` is set,
+// `status` holds the final outcome (after retries), and `service_time` holds
+// the slice of device time attributed to this request (merged bursts split
+// their cost pro rata by block count).
 struct BlockRequest {
   BlockOp op = BlockOp::kRead;
   std::uint64_t lba = 0;
   std::uint32_t count = 0;
   std::uint8_t* buf = nullptr;
   bool done = false;
+  BlockStatus status = BlockStatus::kOk;
+  std::uint32_t retries = 0;  // attempts beyond the first this request took
   Cycles service_time = 0;
 };
 
 // Per-device request queue. Submit enqueues without touching the device;
 // CompleteAll services everything pending in LBA-sorted (elevator) order,
 // merging adjacent same-direction requests into single range transfers.
+// A merged burst that fails is demoted: each member request is re-serviced
+// individually with its own retry budget, so one bad sector only fails the
+// request that covers it.
 class BlockRequestQueue {
  public:
-  explicit BlockRequestQueue(BlockDevice* dev) : dev_(dev) {}
+  explicit BlockRequestQueue(BlockDevice* dev, BlockRetryPolicy policy = {})
+      : dev_(dev), policy_(policy) {}
 
   // Enqueues `req` (caller keeps ownership; must stay alive until done).
   void Submit(BlockRequest* req);
@@ -117,12 +157,27 @@ class BlockRequestQueue {
   // their own per-command overhead.
   std::uint64_t merged_requests() const { return merged_; }
   std::uint32_t queue_depth_high_water() const { return depth_hw_; }
+  const BlockRetryPolicy& policy() const { return policy_; }
+  // Retries issued (attempts beyond each request's first).
+  std::uint64_t io_retries() const { return retries_; }
+  // Requests that ultimately failed (all causes, timeouts included).
+  std::uint64_t io_errors() const { return errors_; }
+  // Subset of io_errors that failed by exhausting the timeout budget.
+  std::uint64_t io_timeouts() const { return timeouts_; }
 
  private:
+  // Services one request with the full retry/backoff/timeout discipline;
+  // returns the device+backoff time spent (also stored in r->service_time).
+  Cycles ServiceOne(BlockRequest* r);
+
   BlockDevice* dev_;
+  BlockRetryPolicy policy_;
   std::vector<BlockRequest*> pending_;
   std::uint64_t merged_ = 0;
   std::uint32_t depth_hw_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t timeouts_ = 0;
   CompletionHook on_complete_;
 };
 

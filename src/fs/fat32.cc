@@ -123,7 +123,11 @@ std::uint8_t FatLfnChecksum(const std::uint8_t* short_name11) {
 
 std::int64_t FatVolume::Mount(Cycles* burn) {
   std::uint8_t bpb[kBlockSize];
-  *burn += bc_.Device(dev_)->Read(0, 1, bpb);
+  BlockResult br = bc_.Device(dev_)->Read(0, 1, bpb);
+  *burn += br.cycles;
+  if (!br.ok()) {
+    return kErrIo;
+  }
   if (bpb[510] != 0x55 || bpb[511] != 0xaa) {
     return kErrIo;
   }
@@ -165,6 +169,11 @@ std::uint32_t FatVolume::ReadFatEntry(std::uint32_t cluster, Cycles* burn) {
   Cycles c = 0;
   Buf* b = bc_.Read(dev_, sector, &c);
   *burn += c;
+  if (b == nullptr) {
+    // Unreadable FAT sector: pretend end-of-chain so walkers stop cleanly
+    // instead of following garbage into a panic.
+    return kFatEoc;
+  }
   std::uint32_t v = Rd32(b->data.data() + off) & 0x0fffffff;
   bc_.Release(b);
   return v;
@@ -177,11 +186,15 @@ void FatVolume::WriteFatEntry(std::uint32_t cluster, std::uint32_t value, Cycles
     std::uint32_t off = (cluster * 4) % kBlockSize;
     Cycles c = 0;
     Buf* b = bc_.Read(dev_, sector, &c);
+    *burn += c;
+    if (b == nullptr) {
+      continue;  // this FAT mirror is unreadable; keep the others current
+    }
     Wr32(b->data.data() + off, value & 0x0fffffff);
     Cycles w = 0;
     bc_.Write(b, &w);
     bc_.Release(b);
-    *burn += c + w;
+    *burn += w;
   }
 }
 
@@ -193,7 +206,10 @@ std::uint32_t FatVolume::AllocCluster(Cycles* burn) {
       alloc_hint_ = c + 1;
       // Zero the cluster (fresh directory/file data).
       std::vector<std::uint8_t> zero(std::size_t(spc_) * kBlockSize, 0);
-      *burn += bc_.WriteRange(dev_, ClusterFirstSector(c), spc_, zero.data());
+      if (bc_.WriteRange(dev_, ClusterFirstSector(c), spc_, zero.data(), burn) < 0) {
+        WriteFatEntry(c, kFatFree, burn);  // hand it back rather than serve garbage
+        return 0;
+      }
       return c;
     }
   }
@@ -238,6 +254,9 @@ bool FatVolume::ForEachRawEntry(
       Cycles rc = 0;
       Buf* b = bc_.Read(dev_, sector, &rc);
       *burn += rc;
+      if (b == nullptr) {
+        return false;  // unreadable directory sector: stop the walk
+      }
       for (std::uint32_t off = 0; off < kBlockSize; off += 32) {
         RawEntry e;
         std::memcpy(e.bytes, b->data.data() + off, 32);
@@ -401,7 +420,9 @@ std::int64_t FatVolume::Read(const FatNode& f, std::uint8_t* out, std::uint32_t 
     std::uint64_t sec_hi = (coff + want + kBlockSize - 1) / kBlockSize;
     std::uint32_t nsec = static_cast<std::uint32_t>(sec_hi - sec_lo);
     temp.resize(std::size_t(nsec) * kBlockSize);
-    *burn += bc_.ReadRange(dev_, ClusterFirstSector(c) + sec_lo, nsec, temp.data());
+    if (bc_.ReadRange(dev_, ClusterFirstSector(c) + sec_lo, nsec, temp.data(), burn) < 0) {
+      return done > 0 ? done : kErrIo;
+    }
     std::memcpy(out + done, temp.data() + (coff - sec_lo * kBlockSize), want);
     done += static_cast<std::uint32_t>(want);
     coff = 0;
@@ -448,28 +469,44 @@ std::int64_t FatVolume::Write(FatNode& f, const std::uint8_t* in, std::uint32_t 
 
   // Write the data, sector by sector with whole-sector runs batched.
   std::uint32_t done = 0;
+  bool io_err = false;
   c = WalkChain(f.first_cluster, off / cb, burn);
   std::uint32_t coff = off % cb;
   while (done < n) {
-    VOS_CHECK(c >= 2 && c < kFatEoc);
+    if (!(c >= 2 && c < kFatEoc)) {
+      io_err = true;  // chain ended early (unreadable FAT sector)
+      break;
+    }
     std::uint64_t sector = ClusterFirstSector(c) + coff / kBlockSize;
     std::uint32_t soff = coff % kBlockSize;
     std::uint32_t take = std::min(n - done, kBlockSize - soff);
     if (soff == 0 && take == kBlockSize) {
       // Batch contiguous whole sectors within this cluster.
       std::uint32_t sectors_here = std::min((n - done) / kBlockSize, spc_ - coff / kBlockSize);
-      *burn += bc_.WriteRange(dev_, sector, sectors_here, in + done);
+      if (bc_.WriteRange(dev_, sector, sectors_here, in + done, burn) < 0) {
+        io_err = true;
+        break;
+      }
       done += sectors_here * kBlockSize;
       coff += sectors_here * kBlockSize;
     } else {
       // Read-modify-write a partial sector through the cache.
       Cycles rc = 0;
       Buf* b = bc_.Read(dev_, sector, &rc);
+      *burn += rc;
+      if (b == nullptr) {
+        io_err = true;
+        break;
+      }
       std::memcpy(b->data.data() + soff, in + done, take);
       Cycles wc = 0;
-      bc_.Write(b, &wc);
+      std::int64_t werr = bc_.Write(b, &wc);
       bc_.Release(b);
-      *burn += rc + wc;
+      *burn += wc;
+      if (werr < 0) {
+        io_err = true;
+        break;
+      }
       done += take;
       coff += take;
     }
@@ -478,11 +515,14 @@ std::int64_t FatVolume::Write(FatNode& f, const std::uint8_t* in, std::uint32_t 
       c = ReadFatEntry(c, burn);
     }
   }
-  if (off + n > f.size) {
-    f.size = off + n;
+  if (off + done > f.size) {
+    f.size = off + done;
     UpdateDirent(f, burn);
   }
-  return n;
+  if (io_err && done == 0) {
+    return kErrIo;
+  }
+  return done;
 }
 
 void FatVolume::UpdateDirent(const FatNode& f, Cycles* burn) {
@@ -491,6 +531,10 @@ void FatVolume::UpdateDirent(const FatNode& f, Cycles* burn) {
   }
   Cycles rc = 0;
   Buf* b = bc_.Read(dev_, f.dirent_sector, &rc);
+  *burn += rc;
+  if (b == nullptr) {
+    return;  // best-effort: the dirent keeps its stale size/cluster
+  }
   std::uint8_t* e = b->data.data() + f.dirent_offset;
   Wr16(e + 20, static_cast<std::uint16_t>(f.first_cluster >> 16));
   Wr16(e + 26, static_cast<std::uint16_t>(f.first_cluster & 0xffff));
@@ -498,7 +542,7 @@ void FatVolume::UpdateDirent(const FatNode& f, Cycles* burn) {
   Cycles wc = 0;
   bc_.Write(b, &wc);
   bc_.Release(b);
-  *burn += rc + wc;
+  *burn += wc;
 }
 
 std::int64_t FatVolume::AddDirEntry(FatNode& dir, const std::string& name, std::uint8_t attr,
@@ -567,14 +611,22 @@ std::int64_t FatVolume::AddDirEntry(FatNode& dir, const std::string& name, std::
 
   const auto* s11 = reinterpret_cast<const std::uint8_t*>(short11.data());
   std::uint8_t checksum = FatLfnChecksum(s11);
+  bool slot_err = false;
   auto write_slot = [&](std::size_t slot, const std::uint8_t* bytes) {
     Cycles rc = 0;
     Buf* b = bc_.Read(dev_, run[slot].first, &rc);
+    *burn += rc;
+    if (b == nullptr) {
+      slot_err = true;
+      return;
+    }
     std::memcpy(b->data.data() + run[slot].second, bytes, 32);
     Cycles wc = 0;
-    bc_.Write(b, &wc);
+    if (bc_.Write(b, &wc) < 0) {
+      slot_err = true;
+    }
     bc_.Release(b);
-    *burn += rc + wc;
+    *burn += wc;
   };
 
   // LFN entries, highest sequence first.
@@ -610,6 +662,9 @@ std::int64_t FatVolume::AddDirEntry(FatNode& dir, const std::string& name, std::
   Wr16(e + 26, static_cast<std::uint16_t>(first_cluster & 0xffff));
   Wr32(e + 28, (attr & kFatAttrDir) ? 0 : size);
   write_slot(lfn_entries, e);
+  if (slot_err) {
+    return kErrIo;
+  }
 
   if (out != nullptr) {
     out->first_cluster = first_cluster;
@@ -671,11 +726,15 @@ std::int64_t FatVolume::Unlink(const std::string& path, Cycles* burn) {
   auto mark_deleted = [&](std::uint64_t sector, std::uint32_t off) {
     Cycles rc = 0;
     Buf* b = bc_.Read(dev_, sector, &rc);
+    *burn += rc;
+    if (b == nullptr) {
+      return;  // the entry survives; nothing worse than a leaked chain
+    }
     b->data[off] = 0xe5;
     Cycles wc = 0;
     bc_.Write(b, &wc);
     bc_.Release(b);
-    *burn += rc + wc;
+    *burn += wc;
   };
   ForEachRawEntry(
       *parent,

@@ -8,6 +8,10 @@ namespace vos {
 
 namespace {
 
+bool ValidDataBlock(const Xv6Superblock& sb, std::uint32_t b) {
+  return b >= sb.size - sb.nblocks && b < sb.size;
+}
+
 struct Walker {
   Xv6Fs& fs;
   Cycles* burn;
@@ -21,12 +25,8 @@ struct Walker {
     report.errors.push_back(msg);
   }
 
-  bool ValidDataBlock(std::uint32_t b) const {
-    return b >= fs.sb().size - fs.sb().nblocks && b < fs.sb().size;
-  }
-
   void RefBlock(std::uint32_t inum, std::uint32_t b) {
-    if (!ValidDataBlock(b)) {
+    if (!ValidDataBlock(fs.sb(), b)) {
       Error("inode " + std::to_string(inum) + " points outside the data region (block " +
             std::to_string(b) + ")");
       return;
@@ -48,23 +48,17 @@ struct Walker {
     }
     if (ip.addrs[kNDirect] != 0) {
       RefBlock(ip.inum, ip.addrs[kNDirect]);
-      std::uint8_t blk[kFsBlockSize];
-      // Reuse the fs's block reader via Readi-style access: read the
-      // indirect block through the device path.
-      // (Xv6Fs exposes block reads only internally; go through Readi by
-      // faking: instead, read via bcache using the known layout.)
-      Cycles c = 0;
-      for (std::uint32_t half = 0; half < kDevPerFs; ++half) {
-        Buf* b = fs_bcache().Read(fs_dev(), std::uint64_t(ip.addrs[kNDirect]) * kDevPerFs + half,
-                                  &c);
-        std::memcpy(blk + half * kBlockSize, b->data.data(), kBlockSize);
-        fs_bcache().Release(b);
-      }
-      *burn += c;
-      const auto* entries = reinterpret_cast<const std::uint32_t*>(blk);
-      for (std::uint32_t i = 0; i < kNIndirect; ++i) {
-        if (entries[i] != 0) {
-          RefBlock(ip.inum, entries[i]);
+      if (ValidDataBlock(fs.sb(), ip.addrs[kNDirect])) {
+        std::uint8_t blk[kFsBlockSize];
+        if (fs.ReadFsBlock(ip.addrs[kNDirect], blk, burn) == 0) {
+          const auto* entries = reinterpret_cast<const std::uint32_t*>(blk);
+          for (std::uint32_t i = 0; i < kNIndirect; ++i) {
+            if (entries[i] != 0) {
+              RefBlock(ip.inum, entries[i]);
+            }
+          }
+        } else {
+          Error("inode " + std::to_string(ip.inum) + " indirect block unreadable");
         }
       }
     }
@@ -102,10 +96,6 @@ struct Walker {
       Error("directory " + std::to_string(dir.inum) + " missing '.' or '..'");
     }
   }
-
-  // The checker reads raw blocks through the same Bcache the fs uses.
-  Bcache& fs_bcache() { return fs.bcache(); }
-  int fs_dev() { return fs.dev(); }
 };
 
 }  // namespace
@@ -116,6 +106,7 @@ FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn) {
   if (sb.magic != kXv6Magic) {
     report.clean = false;
     report.errors.push_back("bad superblock magic");
+    report.errors_found = report.unrecoverable = 1;
     return report;
   }
   Walker w{fs, burn, report, std::vector<int>(sb.size, 0), {}, std::vector<bool>(sb.ninodes)};
@@ -124,6 +115,10 @@ FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn) {
   std::vector<std::uint32_t> dirs;
   for (std::uint32_t inum = 1; inum < sb.ninodes; ++inum) {
     auto ip = fs.GetInode(inum, burn);
+    if (ip == nullptr) {
+      w.Error("inode " + std::to_string(inum) + " unreadable");
+      continue;
+    }
     if (ip->type == 0) {
       continue;
     }
@@ -145,13 +140,18 @@ FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn) {
   // Pass 2: directory structure + name references.
   for (std::uint32_t inum : dirs) {
     auto ip = fs.GetInode(inum, burn);
-    w.WalkDirectory(*ip);
+    if (ip != nullptr) {
+      w.WalkDirectory(*ip);
+    }
   }
   // Pass 3: nlink cross-check. Files: nlink == name references. Directories:
   // nlink == 2 + number of subdirectories (".", parent entry, each child's
   // "..").
   for (std::uint32_t inum = 1; inum < sb.ninodes; ++inum) {
     auto ip = fs.GetInode(inum, burn);
+    if (ip == nullptr) {
+      continue;  // already reported in pass 1
+    }
     if (ip->type == kXv6TFile || ip->type == kXv6TDev) {
       int refs = w.dir_refs.count(inum) ? w.dir_refs[inum] : 0;
       if (refs != ip->nlink) {
@@ -199,6 +199,353 @@ FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn) {
                             " leaked block(s) (allocated but unreachable)");
     report.clean = report.clean && false;
   }
+  report.errors_found = static_cast<std::uint32_t>(report.errors.size());
+  report.unrecoverable = report.errors_found;
+  return report;
+}
+
+// --- Repair ------------------------------------------------------------------
+
+namespace {
+
+// One repair pass over the whole filesystem. Returns the number of fixes
+// applied; a pass with zero fixes means the repair has converged.
+struct Repairer {
+  Xv6Fs& fs;
+  Cycles* burn;
+  std::uint32_t fixes = 0;
+
+  const Xv6Superblock& sb() const { return fs.sb(); }
+
+  // Phase A: per-inode surgery. Invalid types are freed outright; block
+  // pointers outside the data region or claiming an already-owned block are
+  // cleared (keep-first policy for duplicates); impossible sizes are clamped.
+  void FixInodes() {
+    std::vector<std::uint32_t> owner(sb().size, 0);
+    for (std::uint32_t inum = 1; inum < sb().ninodes; ++inum) {
+      auto ip = fs.GetInode(inum, burn);
+      if (ip == nullptr || ip->type == 0) {
+        continue;
+      }
+      if (ip->type != kXv6TDir && ip->type != kXv6TFile && ip->type != kXv6TDev) {
+        FreeInode(*ip, /*truncate=*/false);  // pointers untrustworthy
+        continue;
+      }
+      bool changed = false;
+      auto claim = [&](std::uint32_t* slot) {
+        if (*slot == 0) {
+          return;
+        }
+        if (!ValidDataBlock(sb(), *slot) || owner[*slot] != 0) {
+          *slot = 0;
+          changed = true;
+          ++fixes;
+          return;
+        }
+        owner[*slot] = inum;
+      };
+      for (std::uint32_t i = 0; i < kNDirect; ++i) {
+        claim(&ip->addrs[i]);
+      }
+      claim(&ip->addrs[kNDirect]);
+      if (ip->addrs[kNDirect] != 0) {
+        std::uint8_t blk[kFsBlockSize];
+        if (fs.ReadFsBlock(ip->addrs[kNDirect], blk, burn) != 0) {
+          // Unreadable indirect block: drop the pointer, lose the tail.
+          owner[ip->addrs[kNDirect]] = 0;
+          ip->addrs[kNDirect] = 0;
+          changed = true;
+          ++fixes;
+        } else {
+          auto* entries = reinterpret_cast<std::uint32_t*>(blk);
+          bool blk_changed = false;
+          for (std::uint32_t i = 0; i < kNIndirect; ++i) {
+            std::uint32_t before = entries[i];
+            claim(&entries[i]);
+            blk_changed = blk_changed || entries[i] != before;
+          }
+          if (blk_changed) {
+            fs.WriteFsBlock(ip->addrs[kNDirect], blk, burn);
+          }
+        }
+      }
+      std::uint32_t max_size = kMaxFileBlocks * kFsBlockSize;
+      if (ip->size > max_size) {
+        ip->size = max_size;
+        changed = true;
+        ++fixes;
+      }
+      if (changed) {
+        fs.UpdateInode(*ip, burn);
+      }
+    }
+  }
+
+  // Raw dirent accessors (fs.ReadDir skips damage; repair must see it).
+  bool ReadEnt(Xv6Inode& dir, std::uint32_t off, Xv6Dirent* de) {
+    return fs.Readi(dir, reinterpret_cast<std::uint8_t*>(de), off, sizeof(*de), burn) ==
+           sizeof(*de);
+  }
+  void WriteEnt(Xv6Inode& dir, std::uint32_t off, const Xv6Dirent& de) {
+    if (fs.Writei(dir, reinterpret_cast<const std::uint8_t*>(&de), off, sizeof(de), burn) ==
+        sizeof(de)) {
+      ++fixes;
+    }
+  }
+  static Xv6Dirent MakeEnt(std::uint32_t inum, const char* name) {
+    Xv6Dirent de{};
+    de.inum = static_cast<std::uint16_t>(inum);
+    std::strncpy(de.name, name, kDirNameLen);
+    return de;
+  }
+
+  // True if `inum` names a live inode of any valid type.
+  bool LiveInode(std::uint32_t inum) {
+    if (inum == 0 || inum >= sb().ninodes) {
+      return false;
+    }
+    auto ip = fs.GetInode(inum, burn);
+    return ip != nullptr &&
+           (ip->type == kXv6TDir || ip->type == kXv6TFile || ip->type == kXv6TDev);
+  }
+
+  // Phase B: directory surgery. Clears dirents naming dead inodes, rewrites
+  // a wrong '.', drops duplicate names for the same directory (keep-first),
+  // then recreates missing '.'/'..' from the child->parent map. Produces the
+  // reference counts phase C reconciles nlink against.
+  std::map<std::uint32_t, int> dir_refs;
+  std::map<std::uint32_t, std::uint32_t> parent_of;  // dir inum -> parent dir
+
+  void FixDirents() {
+    dir_refs.clear();
+    parent_of.clear();
+    std::map<std::uint32_t, bool> needs_dot, needs_dotdot;
+    std::map<std::uint32_t, std::uint32_t> dir_named_by;  // child dir -> naming dir
+    for (std::uint32_t inum = 1; inum < sb().ninodes; ++inum) {
+      auto dir = fs.GetInode(inum, burn);
+      if (dir == nullptr || dir->type != kXv6TDir) {
+        continue;
+      }
+      bool has_dot = false, has_dotdot = false;
+      for (std::uint32_t off = 0; off + sizeof(Xv6Dirent) <= dir->size;
+           off += sizeof(Xv6Dirent)) {
+        Xv6Dirent de{};
+        if (!ReadEnt(*dir, off, &de)) {
+          break;  // unreadable tail; verify will flag anything left behind
+        }
+        if (de.inum == 0) {
+          continue;
+        }
+        std::string name(de.name, strnlen(de.name, kDirNameLen));
+        if (name == ".") {
+          has_dot = true;
+          if (de.inum != inum) {
+            WriteEnt(*dir, off, MakeEnt(inum, "."));
+          }
+          continue;
+        }
+        if (name == "..") {
+          has_dotdot = true;
+          continue;  // target fixed below, once parents are known
+        }
+        if (!LiveInode(de.inum)) {
+          WriteEnt(*dir, off, Xv6Dirent{});  // stale dirent from a torn write
+          continue;
+        }
+        auto child = fs.GetInode(de.inum, burn);
+        if (child != nullptr && child->type == kXv6TDir) {
+          // Directories are named exactly once; duplicates (stale dirents
+          // resurfacing after a crash) keep the first name seen.
+          auto [it, fresh] = dir_named_by.emplace(de.inum, inum);
+          if (!fresh) {
+            WriteEnt(*dir, off, Xv6Dirent{});
+            continue;
+          }
+          parent_of[de.inum] = inum;
+        }
+        ++dir_refs[de.inum];
+      }
+      if (!has_dot) {
+        needs_dot[inum] = true;
+      }
+      if (!has_dotdot) {
+        needs_dotdot[inum] = true;
+      }
+    }
+    // Recreate or rewire '.'/'..' now that every directory's parent is known.
+    for (std::uint32_t inum = 1; inum < sb().ninodes; ++inum) {
+      auto dir = fs.GetInode(inum, burn);
+      if (dir == nullptr || dir->type != kXv6TDir) {
+        continue;
+      }
+      std::uint32_t parent =
+          inum == kRootInum ? kRootInum
+                            : (parent_of.count(inum) ? parent_of[inum] : kRootInum);
+      if (needs_dot.count(inum)) {
+        PlaceEnt(*dir, MakeEnt(inum, "."));
+      }
+      if (needs_dotdot.count(inum)) {
+        PlaceEnt(*dir, MakeEnt(parent, ".."));
+      } else {
+        // '..' exists; make sure it points at the real parent.
+        for (std::uint32_t off = 0; off + sizeof(Xv6Dirent) <= dir->size;
+             off += sizeof(Xv6Dirent)) {
+          Xv6Dirent de{};
+          if (!ReadEnt(*dir, off, &de)) {
+            break;
+          }
+          if (de.inum != 0 && std::string(de.name, strnlen(de.name, kDirNameLen)) == "..") {
+            if (de.inum != parent) {
+              WriteEnt(*dir, off, MakeEnt(parent, ".."));
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Writes `de` into the first free slot (or appends).
+  void PlaceEnt(Xv6Inode& dir, const Xv6Dirent& de) {
+    for (std::uint32_t off = 0; off + sizeof(Xv6Dirent) <= dir.size;
+         off += sizeof(Xv6Dirent)) {
+      Xv6Dirent cur{};
+      if (!ReadEnt(dir, off, &cur)) {
+        break;
+      }
+      if (cur.inum == 0) {
+        WriteEnt(dir, off, de);
+        return;
+      }
+    }
+    WriteEnt(dir, (dir.size + sizeof(Xv6Dirent) - 1) / sizeof(Xv6Dirent) * sizeof(Xv6Dirent),
+             de);
+  }
+
+  void FreeInode(Xv6Inode& ip, bool truncate) {
+    if (truncate) {
+      fs.Truncate(ip, burn);
+    }
+    ip.type = 0;
+    ip.nlink = 0;
+    ip.size = 0;
+    std::memset(ip.addrs, 0, sizeof(ip.addrs));
+    fs.UpdateInode(ip, burn);
+    fs.EvictInode(ip.inum);
+    ++fixes;
+  }
+
+  // Phase C: orphans and nlink. Unreferenced inodes are freed (their blocks
+  // return to the bitmap); referenced ones get nlink set to what the
+  // directory graph actually says.
+  void FixLinks() {
+    for (std::uint32_t inum = 1; inum < sb().ninodes; ++inum) {
+      auto ip = fs.GetInode(inum, burn);
+      if (ip == nullptr || ip->type == 0) {
+        continue;
+      }
+      int refs = dir_refs.count(inum) ? dir_refs[inum] : 0;
+      if (ip->type == kXv6TFile || ip->type == kXv6TDev) {
+        if (refs == 0) {
+          FreeInode(*ip, /*truncate=*/true);
+        } else if (ip->nlink != refs) {
+          ip->nlink = static_cast<std::int16_t>(refs);
+          fs.UpdateInode(*ip, burn);
+          ++fixes;
+        }
+      } else if (ip->type == kXv6TDir) {
+        if (inum != kRootInum && refs == 0) {
+          // Orphan directory: free it; its children lose their last name and
+          // are collected on the next pass.
+          FreeInode(*ip, /*truncate=*/true);
+          continue;
+        }
+        int subdirs = 0;
+        for (const auto& e : fs.ReadDir(*ip, burn)) {
+          if (e.name != "." && e.name != ".." && e.type == kXv6TDir) {
+            ++subdirs;
+          }
+        }
+        int expect = 2 + subdirs;
+        if (ip->nlink != expect) {
+          ip->nlink = static_cast<std::int16_t>(expect);
+          fs.UpdateInode(*ip, burn);
+          ++fixes;
+        }
+      }
+    }
+  }
+
+  // Phase D: bitmap vs reality. Re-walks the (now repaired) inodes and flips
+  // bitmap bits to match: referenced or metadata -> used, otherwise free
+  // (this is where blocks leaked by a crashed BAlloc come back).
+  void FixBitmap() {
+    std::vector<bool> referenced(sb().size, false);
+    std::uint32_t nmeta = sb().size - sb().nblocks;
+    for (std::uint32_t b = 0; b < nmeta && b < sb().size; ++b) {
+      referenced[b] = true;
+    }
+    for (std::uint32_t inum = 1; inum < sb().ninodes; ++inum) {
+      auto ip = fs.GetInode(inum, burn);
+      if (ip == nullptr || ip->type == 0) {
+        continue;
+      }
+      auto mark = [&](std::uint32_t b) {
+        if (b != 0 && b < sb().size) {
+          referenced[b] = true;
+        }
+      };
+      for (std::uint32_t i = 0; i < kNDirect; ++i) {
+        mark(ip->addrs[i]);
+      }
+      if (ip->addrs[kNDirect] != 0) {
+        mark(ip->addrs[kNDirect]);
+        std::uint8_t blk[kFsBlockSize];
+        if (fs.ReadFsBlock(ip->addrs[kNDirect], blk, burn) == 0) {
+          const auto* entries = reinterpret_cast<const std::uint32_t*>(blk);
+          for (std::uint32_t i = 0; i < kNIndirect; ++i) {
+            mark(entries[i]);
+          }
+        }
+      }
+    }
+    for (std::uint32_t b = 0; b < sb().size; ++b) {
+      if (fs.BlockInUse(b, burn) != referenced[b]) {
+        if (fs.SetBlockInUse(b, referenced[b], burn) == 0) {
+          ++fixes;
+        }
+      }
+    }
+  }
+
+  std::uint32_t RunPass() {
+    fixes = 0;
+    FixInodes();
+    FixDirents();
+    FixLinks();
+    FixBitmap();
+    return fixes;
+  }
+};
+
+}  // namespace
+
+FsckReport FsckRepairXv6(Xv6Fs& fs, Cycles* burn, int max_passes) {
+  std::uint32_t total = 0;
+  if (fs.sb().magic == kXv6Magic) {
+    Repairer r{fs, burn};
+    for (int p = 0; p < max_passes; ++p) {
+      std::uint32_t f = r.RunPass();
+      total += f;
+      if (f == 0) {
+        break;
+      }
+    }
+  }
+  FsckReport report = FsckXv6(fs, burn);
+  report.repaired = total;
+  report.errors_found = total + static_cast<std::uint32_t>(report.errors.size());
+  report.unrecoverable = static_cast<std::uint32_t>(report.errors.size());
   return report;
 }
 
@@ -206,6 +553,9 @@ std::string FsckReport::Summary() const {
   std::ostringstream os;
   os << (clean ? "CLEAN" : "DIRTY") << ": " << inodes_checked << " inodes, "
      << blocks_referenced << " blocks referenced, " << leaked_blocks << " leaked";
+  if (repaired > 0 || unrecoverable > 0) {
+    os << "; " << repaired << " repaired, " << unrecoverable << " unrecoverable";
+  }
   for (const std::string& e : errors) {
     os << "\n  " << e;
   }

@@ -6,7 +6,9 @@
 //   3. directory structure is sound ("."/".." wiring, parent links) and
 //      nlink counts match the number of directory references.
 // (The paper excludes crash *recovery* — journaling — by design (§5.4);
-// checking is the complementary teaching tool.)
+// checking plus offline repair is the complementary teaching tool: after a
+// torn write-back, FsckRepairXv6 brings the metadata back to a state FsckXv6
+// accepts, which is what tests/crash_torture_test.cc proves.)
 #ifndef VOS_SRC_FS_FSCK_H_
 #define VOS_SRC_FS_FSCK_H_
 
@@ -24,11 +26,28 @@ struct FsckReport {
   std::uint32_t blocks_referenced = 0;
   std::uint32_t leaked_blocks = 0;  // marked used but unreachable
 
+  // Structured outcome: how many problems were seen in total, how many were
+  // fixed (repair mode only), and how many remain after the final verify.
+  // Check mode: errors_found == unrecoverable == errors.size(), repaired == 0.
+  std::uint32_t errors_found = 0;
+  std::uint32_t repaired = 0;
+  std::uint32_t unrecoverable = 0;
+
   std::string Summary() const;
 };
 
 // Checks the filesystem behind `fs` (already mounted). Read-only.
 FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn);
+
+// Repairs the filesystem in place: clears bad/duplicate block pointers,
+// deletes dirents naming free or out-of-range inodes, rewires '.'/'..',
+// reconciles nlink with the directory graph, frees orphan inodes, and syncs
+// the free bitmap with reachability. Runs up to `max_passes` passes (each
+// fix can expose follow-on work, e.g. freeing an orphan dir orphans its
+// children), then verifies read-only. The returned report is the final
+// verify, with `repaired` = total fixes applied and `unrecoverable` = errors
+// the repair could not remove.
+FsckReport FsckRepairXv6(Xv6Fs& fs, Cycles* burn, int max_passes = 5);
 
 }  // namespace vos
 

@@ -39,6 +39,9 @@ struct ProcBlkLine {
   std::uint64_t merged = 0;
   std::uint64_t queue_depth_hw = 0;
   std::uint64_t dirty = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_errors = 0;
+  std::uint64_t io_timeouts = 0;
 };
 
 // /proc/memstat: the memory path end to end — buddy PMM state (free blocks

@@ -284,8 +284,19 @@ std::int64_t Vfs::Write(Task* t, File& f, const std::uint8_t* src, std::uint32_t
       return f.dev->Write(t, src, n, f.off, burn);
     case FileKind::kPipe:
       return f.pipe->Write(t, src, n);
-    case FileKind::kProc:
-      return kErrPerm;
+    case FileKind::kProc: {
+      // Control files (/proc/faultinject) accept writes through a registered
+      // writer; everything else stays read-only.
+      std::string rest;
+      RealmOf(f.path, &rest);
+      auto it = proc_writers_.find(rest);
+      if (it == proc_writers_.end()) {
+        return kErrPerm;
+      }
+      *burn += cfg_.cost.syscall_body;
+      std::int64_t r = it->second(std::string(reinterpret_cast<const char*>(src), n));
+      return r < 0 ? r : n;
+    }
     case FileKind::kNone:
       break;
   }
@@ -306,7 +317,9 @@ std::int64_t Vfs::Lseek(File& f, std::int64_t offset, int whence, Cycles* burn) 
       size = f.proc_snapshot.size();
       break;
     case FileKind::kDevice:
-      size = 0;
+      // Stream devices report 0; framebuffer-like devices expose their
+      // extent so SEEK_END is meaningful (the seed hardcoded 0 for all).
+      size = f.dev != nullptr ? f.dev->SeekEndSize() : 0;
       break;
     default:
       return kErrPipe;  // pipes are not seekable
@@ -454,18 +467,21 @@ std::int64_t Vfs::Chdir(Task* t, const std::string& upath, Cycles* burn) {
 std::int64_t Vfs::Sync(Cycles* burn) {
   // All mounted filesystems share the one buffer cache, so a single
   // FlushAll covers the ramdisk root, the SD FAT volume, and the USB drive.
+  // Any flush that exhausted its retries latched an error on its device;
+  // consume every latch so the caller learns the data didn't all make it.
   *burn += root_.bcache().FlushAll();
-  return 0;
+  return root_.bcache().TakeAnyError();
 }
 
 std::int64_t Vfs::Fsync(File& f, Cycles* burn) {
   switch (f.kind) {
     case FileKind::kXv6:
       *burn += root_.bcache().FlushDev(root_.dev());
-      return 0;
+      return root_.bcache().TakeError(root_.dev());
     case FileKind::kFat:
       if (f.fat_vol != nullptr) {
         *burn += f.fat_vol->bcache().FlushDev(f.fat_vol->dev());
+        return f.fat_vol->bcache().TakeError(f.fat_vol->dev());
       }
       return 0;
     case FileKind::kDevice:

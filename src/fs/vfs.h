@@ -58,6 +58,10 @@ class DevNode {
   // Per-open hook; may attach per-open state to the File (e.g. a WM surface).
   virtual std::int64_t OnOpen(Task* t, class File& f) { return 0; }
   virtual void OnClose(class File& f) {}
+  // Size reported to lseek(SEEK_END). Stream devices (console, events) have
+  // no meaningful end and keep the default 0; seekable devices with a fixed
+  // extent (/dev/fb) override it so SEEK_END lands past the last byte.
+  virtual std::uint64_t SeekEndSize() const { return 0; }
 };
 
 // An open file description. Shared across dup()/fork() (offset shared too).
@@ -106,6 +110,13 @@ class Vfs {
   void RegisterProc(const std::string& name, std::function<std::string()> gen) {
     proc_[name] = std::move(gen);
   }
+  // Writable /proc entries (e.g. /proc/faultinject): the writer receives the
+  // full write payload and returns 0 or a negative Err. Entries without a
+  // registered writer reject writes with kErrPerm.
+  void RegisterProcWriter(const std::string& name,
+                          std::function<std::int64_t(const std::string&)> fn) {
+    proc_writers_[name] = std::move(fn);
+  }
 
   // Resolves `path` against the task's cwd and normalizes '.'/'..'.
   std::string Resolve(Task* t, const std::string& path) const;
@@ -127,6 +138,8 @@ class Vfs {
 
   // Durability: Sync flushes every dirty buffer on every device; Fsync
   // flushes the device backing one open file (no-op for pipes/devices/proc).
+  // Both consume latched write-back errors (errseq semantics): a flush that
+  // exhausted its retries surfaces here as kErrIo, exactly once.
   std::int64_t Sync(Cycles* burn);
   std::int64_t Fsync(File& f, Cycles* burn);
 
@@ -148,6 +161,7 @@ class Vfs {
   FatVolume* usb_fat_ = nullptr;
   std::map<std::string, DevNode*> devices_;
   std::map<std::string, std::function<std::string()>> proc_;
+  std::map<std::string, std::function<std::int64_t(const std::string&)>> proc_writers_;
 };
 
 }  // namespace vos

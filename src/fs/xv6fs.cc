@@ -26,31 +26,45 @@ std::vector<std::string> SplitPath(const std::string& path) {
   return parts;
 }
 
-void Xv6Fs::ReadFsBlock(std::uint32_t fsb, std::uint8_t* out, Cycles* burn) {
+std::int64_t Xv6Fs::ReadFsBlock(std::uint32_t fsb, std::uint8_t* out, Cycles* burn) {
   for (std::uint32_t i = 0; i < kDevPerFs; ++i) {
     Cycles c = 0;
     Buf* b = bc_.Read(dev_, std::uint64_t(fsb) * kDevPerFs + i, &c);
+    *burn += c;
+    if (b == nullptr) {
+      return kErrIo;
+    }
     std::memcpy(out + i * kBlockSize, b->data.data(), kBlockSize);
     bc_.Release(b);
-    *burn += c;
   }
+  return 0;
 }
 
-void Xv6Fs::WriteFsBlock(std::uint32_t fsb, const std::uint8_t* in, Cycles* burn) {
+std::int64_t Xv6Fs::WriteFsBlock(std::uint32_t fsb, const std::uint8_t* in, Cycles* burn) {
   for (std::uint32_t i = 0; i < kDevPerFs; ++i) {
     Cycles c = 0;
     Buf* b = bc_.Read(dev_, std::uint64_t(fsb) * kDevPerFs + i, &c);
+    *burn += c;
+    if (b == nullptr) {
+      return kErrIo;
+    }
     std::memcpy(b->data.data(), in + i * kBlockSize, kBlockSize);
     Cycles w = 0;
-    bc_.Write(b, &w);
+    std::int64_t err = bc_.Write(b, &w);
     bc_.Release(b);
-    *burn += c + w;
+    *burn += w;
+    if (err < 0) {
+      return err;
+    }
   }
+  return 0;
 }
 
 std::int64_t Xv6Fs::Mount(Cycles* burn) {
   std::uint8_t blk[kFsBlockSize];
-  ReadFsBlock(1, blk, burn);
+  if (ReadFsBlock(1, blk, burn) < 0) {
+    return kErrIo;
+  }
   std::memcpy(&sb_, blk, sizeof(sb_));
   if (sb_.magic != kXv6Magic) {
     return kErrIo;
@@ -64,10 +78,14 @@ Xv6InodePtr Xv6Fs::GetInode(std::uint32_t inum, Cycles* burn) {
   if (it != icache_.end()) {
     return it->second;
   }
-  VOS_CHECK_MSG(inum >= 1 && inum < sb_.ninodes, "inode number out of range");
+  if (inum < 1 || inum >= sb_.ninodes) {
+    return nullptr;  // garbage dirent on a damaged filesystem
+  }
   std::uint8_t blk[kFsBlockSize];
   std::uint32_t fsb = sb_.inodestart + inum / kInodesPerBlock;
-  ReadFsBlock(fsb, blk, burn);
+  if (ReadFsBlock(fsb, blk, burn) < 0) {
+    return nullptr;
+  }
   Xv6Dinode d;
   std::memcpy(&d, blk + (inum % kInodesPerBlock) * sizeof(Xv6Dinode), sizeof(d));
   auto ip = std::make_shared<Xv6Inode>();
@@ -82,11 +100,13 @@ Xv6InodePtr Xv6Fs::GetInode(std::uint32_t inum, Cycles* burn) {
   return ip;
 }
 
-void Xv6Fs::UpdateInode(const Xv6Inode& ip, Cycles* burn) {
+std::int64_t Xv6Fs::UpdateInode(const Xv6Inode& ip, Cycles* burn) {
   *burn += cfg_.cost.inode_op;
   std::uint8_t blk[kFsBlockSize];
   std::uint32_t fsb = sb_.inodestart + ip.inum / kInodesPerBlock;
-  ReadFsBlock(fsb, blk, burn);
+  if (ReadFsBlock(fsb, blk, burn) < 0) {
+    return kErrIo;
+  }
   Xv6Dinode d;
   d.type = ip.type;
   d.major = ip.major;
@@ -95,79 +115,121 @@ void Xv6Fs::UpdateInode(const Xv6Inode& ip, Cycles* burn) {
   d.size = ip.size;
   std::memcpy(d.addrs, ip.addrs, sizeof(d.addrs));
   std::memcpy(blk + (ip.inum % kInodesPerBlock) * sizeof(Xv6Dinode), &d, sizeof(d));
-  WriteFsBlock(fsb, blk, burn);
+  return WriteFsBlock(fsb, blk, burn);
 }
 
-std::uint32_t Xv6Fs::BAlloc(Cycles* burn) {
+std::int64_t Xv6Fs::BAlloc(std::uint32_t* out, Cycles* burn) {
+  *out = 0;
   std::uint8_t blk[kFsBlockSize];
   for (std::uint32_t b = 0; b < sb_.size; b += kFsBlockSize * 8) {
     std::uint32_t bmb = sb_.bmapstart + b / (kFsBlockSize * 8);
-    ReadFsBlock(bmb, blk, burn);
+    if (ReadFsBlock(bmb, blk, burn) < 0) {
+      return kErrIo;
+    }
     for (std::uint32_t bi = 0; bi < kFsBlockSize * 8 && b + bi < sb_.size; ++bi) {
       std::uint8_t mask = static_cast<std::uint8_t>(1 << (bi % 8));
       if ((blk[bi / 8] & mask) == 0) {
         blk[bi / 8] |= mask;
-        WriteFsBlock(bmb, blk, burn);
-        // Zero the fresh block (bzero in xv6).
+        if (WriteFsBlock(bmb, blk, burn) < 0) {
+          return kErrIo;
+        }
+        // Zero the fresh block (bzero in xv6). If this fails the bit stays
+        // set — a leaked block, which fsck reclaims.
         std::uint8_t zero[kFsBlockSize] = {};
-        WriteFsBlock(b + bi, zero, burn);
-        return b + bi;
+        if (WriteFsBlock(b + bi, zero, burn) < 0) {
+          return kErrIo;
+        }
+        *out = b + bi;
+        return 0;
       }
     }
   }
-  return 0;
+  return kErrNoSpace;
 }
 
 void Xv6Fs::BFree(std::uint32_t b, Cycles* burn) {
   std::uint8_t blk[kFsBlockSize];
+  if (b >= sb_.size) {
+    return;  // bad pointer on a damaged filesystem; fsck clears these
+  }
   std::uint32_t bmb = sb_.bmapstart + b / (kFsBlockSize * 8);
-  ReadFsBlock(bmb, blk, burn);
+  if (ReadFsBlock(bmb, blk, burn) < 0) {
+    return;  // best-effort: a leaked block, reclaimed by fsck
+  }
   std::uint32_t bi = b % (kFsBlockSize * 8);
   std::uint8_t mask = static_cast<std::uint8_t>(1 << (bi % 8));
-  VOS_CHECK_MSG(blk[bi / 8] & mask, "freeing a free block");
+  if ((blk[bi / 8] & mask) == 0) {
+    // Already free. The seed panicked here; with torn writes and dropped
+    // cache buffers a stale bitmap can legitimately resurface, so tolerate
+    // the double-free and let fsck settle the bitmap.
+    return;
+  }
   blk[bi / 8] &= static_cast<std::uint8_t>(~mask);
   WriteFsBlock(bmb, blk, burn);
 }
 
-std::uint32_t Xv6Fs::BMap(Xv6Inode& ip, std::uint32_t bn, bool alloc, Cycles* burn) {
+std::int64_t Xv6Fs::BMap(Xv6Inode& ip, std::uint32_t bn, bool alloc, std::uint32_t* out,
+                         Cycles* burn) {
+  *out = 0;
   if (bn < kNDirect) {
     if (ip.addrs[bn] == 0) {
       if (!alloc) {
         return 0;
       }
-      ip.addrs[bn] = BAlloc(burn);
-      if (ip.addrs[bn] != 0) {
-        UpdateInode(ip, burn);
+      std::int64_t r = BAlloc(&ip.addrs[bn], burn);
+      if (r == kErrIo) {
+        return r;
+      }
+      if (ip.addrs[bn] != 0 && UpdateInode(ip, burn) < 0) {
+        return kErrIo;
       }
     }
-    return ip.addrs[bn];
+    *out = ip.addrs[bn];
+    return 0;
   }
   bn -= kNDirect;
-  VOS_CHECK_MSG(bn < kNIndirect, "file block index beyond max file size");
+  if (bn >= kNIndirect) {
+    // Beyond the maximum file size: impossible through Writei's cap, but a
+    // damaged inode's size can imply it. Reads see a hole; writes refuse.
+    return alloc ? kErrFBig : 0;
+  }
   if (ip.addrs[kNDirect] == 0) {
     if (!alloc) {
       return 0;
     }
-    ip.addrs[kNDirect] = BAlloc(burn);
-    if (ip.addrs[kNDirect] == 0) {
-      return 0;
+    std::int64_t r = BAlloc(&ip.addrs[kNDirect], burn);
+    if (r == kErrIo) {
+      return r;
     }
-    UpdateInode(ip, burn);
+    if (ip.addrs[kNDirect] == 0) {
+      return 0;  // disk full
+    }
+    if (UpdateInode(ip, burn) < 0) {
+      return kErrIo;
+    }
   }
   std::uint8_t blk[kFsBlockSize];
-  ReadFsBlock(ip.addrs[kNDirect], blk, burn);
+  if (ReadFsBlock(ip.addrs[kNDirect], blk, burn) < 0) {
+    return kErrIo;
+  }
   auto* entries = reinterpret_cast<std::uint32_t*>(blk);
   if (entries[bn] == 0) {
     if (!alloc) {
       return 0;
     }
-    entries[bn] = BAlloc(burn);
-    if (entries[bn] == 0) {
-      return 0;
+    std::int64_t r = BAlloc(&entries[bn], burn);
+    if (r == kErrIo) {
+      return r;
     }
-    WriteFsBlock(ip.addrs[kNDirect], blk, burn);
+    if (entries[bn] == 0) {
+      return 0;  // disk full
+    }
+    if (WriteFsBlock(ip.addrs[kNDirect], blk, burn) < 0) {
+      return kErrIo;
+    }
   }
-  return entries[bn];
+  *out = entries[bn];
+  return 0;
 }
 
 std::int64_t Xv6Fs::Readi(Xv6Inode& ip, std::uint8_t* dst, std::uint32_t off, std::uint32_t n,
@@ -181,13 +243,18 @@ std::int64_t Xv6Fs::Readi(Xv6Inode& ip, std::uint8_t* dst, std::uint32_t off, st
   std::uint32_t done = 0;
   std::uint8_t blk[kFsBlockSize];
   while (done < n) {
-    std::uint32_t b = BMap(ip, (off + done) / kFsBlockSize, false, burn);
+    std::uint32_t b = 0;
+    if (BMap(ip, (off + done) / kFsBlockSize, false, &b, burn) < 0) {
+      return done > 0 ? done : kErrIo;
+    }
     std::uint32_t boff = (off + done) % kFsBlockSize;
     std::uint32_t take = std::min(n - done, kFsBlockSize - boff);
     if (b == 0) {
       std::memset(dst + done, 0, take);  // sparse hole
     } else {
-      ReadFsBlock(b, blk, burn);
+      if (ReadFsBlock(b, blk, burn) < 0) {
+        return done > 0 ? done : kErrIo;
+      }
       std::memcpy(dst + done, blk + boff, take);
     }
     done += take;
@@ -204,48 +271,69 @@ std::int64_t Xv6Fs::Writei(Xv6Inode& ip, const std::uint8_t* src, std::uint32_t 
     return kErrFBig;  // the 270 KB cap in action
   }
   std::uint32_t done = 0;
+  bool io_err = false;
   std::uint8_t blk[kFsBlockSize];
   while (done < n) {
-    std::uint32_t b = BMap(ip, (off + done) / kFsBlockSize, true, burn);
+    std::uint32_t b = 0;
+    if (BMap(ip, (off + done) / kFsBlockSize, true, &b, burn) < 0) {
+      io_err = true;
+      break;
+    }
     if (b == 0) {
       break;  // disk full
     }
     std::uint32_t boff = (off + done) % kFsBlockSize;
     std::uint32_t take = std::min(n - done, kFsBlockSize - boff);
     if (take != kFsBlockSize) {
-      ReadFsBlock(b, blk, burn);  // read-modify-write
+      if (ReadFsBlock(b, blk, burn) < 0) {  // read-modify-write
+        io_err = true;
+        break;
+      }
     }
     std::memcpy(blk + boff, src + done, take);
-    WriteFsBlock(b, blk, burn);
+    if (WriteFsBlock(b, blk, burn) < 0) {
+      io_err = true;
+      break;
+    }
     done += take;
   }
   if (off + done > ip.size) {
     ip.size = off + done;
+    // Best-effort: the data landed; a failed inode write latches in the
+    // device error and the next sync/fsync reports it.
     UpdateInode(ip, burn);
   }
   if (done == 0 && n > 0) {
-    return kErrNoSpace;
+    return io_err ? kErrIo : kErrNoSpace;
   }
   return done;
 }
 
-std::uint32_t Xv6Fs::IAlloc(std::int16_t type, Cycles* burn) {
+std::uint32_t Xv6Fs::IAlloc(std::int16_t type, std::int64_t* err, Cycles* burn) {
+  *err = 0;
   std::uint8_t blk[kFsBlockSize];
   for (std::uint32_t inum = 1; inum < sb_.ninodes; ++inum) {
     std::uint32_t fsb = sb_.inodestart + inum / kInodesPerBlock;
-    ReadFsBlock(fsb, blk, burn);
+    if (ReadFsBlock(fsb, blk, burn) < 0) {
+      *err = kErrIo;
+      return 0;
+    }
     auto* d = reinterpret_cast<Xv6Dinode*>(blk + (inum % kInodesPerBlock) * sizeof(Xv6Dinode));
     if (d->type == 0) {
       std::memset(d, 0, sizeof(*d));
       d->type = type;
       d->nlink = 0;
-      WriteFsBlock(fsb, blk, burn);
+      if (WriteFsBlock(fsb, blk, burn) < 0) {
+        *err = kErrIo;
+        return 0;
+      }
       // Drop any cached copy of the previously-free inode (a full-disk scan
       // like fsck may have pulled it in); callers must see the fresh one.
       icache_.erase(inum);
       return inum;
     }
   }
+  *err = kErrNoSpace;
   return 0;
 }
 
@@ -259,7 +347,9 @@ std::int64_t Xv6Fs::DirLookup(Xv6Inode& dir, const std::string& name, Cycles* bu
   Xv6Dirent de;
   for (std::uint32_t off = 0; off < dir.size; off += sizeof(de)) {
     std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
-    VOS_CHECK(r == sizeof(de));
+    if (r != sizeof(de)) {
+      return r < 0 ? r : kErrIo;
+    }
     if (de.inum == 0) {
       continue;
     }
@@ -275,14 +365,20 @@ std::int64_t Xv6Fs::DirLink(Xv6Inode& dir, const std::string& name, std::uint32_
   if (name.size() > kDirNameLen) {
     return kErrNameTooLong;
   }
-  if (DirLookup(dir, name, burn) >= 0) {
+  std::int64_t lr = DirLookup(dir, name, burn);
+  if (lr >= 0) {
     return kErrExist;
+  }
+  if (lr == kErrIo) {
+    return kErrIo;
   }
   Xv6Dirent de;
   std::uint32_t off;
   for (off = 0; off < dir.size; off += sizeof(de)) {
     std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
-    VOS_CHECK(r == sizeof(de));
+    if (r != sizeof(de)) {
+      return r < 0 ? r : kErrIo;
+    }
     if (de.inum == 0) {
       break;
     }
@@ -303,7 +399,7 @@ Xv6InodePtr Xv6Fs::NameI(const std::string& path, Cycles* burn) {
   Xv6InodePtr ip = GetInode(kRootInum, burn);
   for (const std::string& part : SplitPath(path)) {
     *burn += cfg_.cost.namei_per_component;
-    if (ip->type != kXv6TDir) {
+    if (ip == nullptr || ip->type != kXv6TDir) {
       return nullptr;
     }
     std::int64_t inum = DirLookup(*ip, part, burn);
@@ -324,7 +420,7 @@ Xv6InodePtr Xv6Fs::NameIParent(const std::string& path, std::string* last, Cycle
   Xv6InodePtr ip = GetInode(kRootInum, burn);
   for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
     *burn += cfg_.cost.namei_per_component;
-    if (ip->type != kXv6TDir) {
+    if (ip == nullptr || ip->type != kXv6TDir) {
       return nullptr;
     }
     std::int64_t inum = DirLookup(*ip, parts[i], burn);
@@ -333,7 +429,7 @@ Xv6InodePtr Xv6Fs::NameIParent(const std::string& path, std::string* last, Cycle
     }
     ip = GetInode(static_cast<std::uint32_t>(inum), burn);
   }
-  return ip->type == kXv6TDir ? ip : nullptr;
+  return ip != nullptr && ip->type == kXv6TDir ? ip : nullptr;
 }
 
 Xv6InodePtr Xv6Fs::Create(const std::string& path, std::int16_t type, std::int16_t major,
@@ -347,18 +443,31 @@ Xv6InodePtr Xv6Fs::Create(const std::string& path, std::int16_t type, std::int16
   std::int64_t existing = DirLookup(*dir, name, burn);
   if (existing >= 0) {
     Xv6InodePtr ip = GetInode(static_cast<std::uint32_t>(existing), burn);
+    if (ip == nullptr) {
+      *err = kErrIo;
+      return nullptr;
+    }
     if (type == kXv6TFile && ip->type == kXv6TFile) {
       return ip;  // open(O_CREATE) on existing file
     }
     *err = kErrExist;
     return nullptr;
   }
-  std::uint32_t inum = IAlloc(type, burn);
+  if (existing == kErrIo) {
+    *err = kErrIo;
+    return nullptr;
+  }
+  std::int64_t ierr = 0;
+  std::uint32_t inum = IAlloc(type, &ierr, burn);
   if (inum == 0) {
-    *err = kErrNoSpace;
+    *err = ierr != 0 ? ierr : kErrNoSpace;
     return nullptr;
   }
   auto ip = GetInode(inum, burn);
+  if (ip == nullptr) {
+    *err = kErrIo;
+    return nullptr;
+  }
   ip->major = major;
   ip->minor = minor;
   // Classic Unix counts: a file starts with its one name; a directory starts
@@ -391,13 +500,15 @@ void Xv6Fs::Truncate(Xv6Inode& ip, Cycles* burn) {
   }
   if (ip.addrs[kNDirect] != 0) {
     std::uint8_t blk[kFsBlockSize];
-    ReadFsBlock(ip.addrs[kNDirect], blk, burn);
-    auto* entries = reinterpret_cast<std::uint32_t*>(blk);
-    for (std::uint32_t i = 0; i < kNIndirect; ++i) {
-      if (entries[i] != 0) {
-        BFree(entries[i], burn);
+    if (ReadFsBlock(ip.addrs[kNDirect], blk, burn) == 0) {
+      auto* entries = reinterpret_cast<std::uint32_t*>(blk);
+      for (std::uint32_t i = 0; i < kNIndirect; ++i) {
+        if (entries[i] != 0) {
+          BFree(entries[i], burn);
+        }
       }
     }
+    // Unreadable indirect block: its children leak; fsck reclaims them.
     BFree(ip.addrs[kNDirect], burn);
     ip.addrs[kNDirect] = 0;
   }
@@ -409,7 +520,9 @@ bool Xv6Fs::DirIsEmpty(Xv6Inode& dir, Cycles* burn) {
   Xv6Dirent de;
   for (std::uint32_t off = 2 * sizeof(de); off < dir.size; off += sizeof(de)) {
     std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
-    VOS_CHECK(r == sizeof(de));
+    if (r != sizeof(de)) {
+      return false;  // unreadable: conservatively treat as non-empty
+    }
     if (de.inum != 0) {
       return false;
     }
@@ -431,6 +544,9 @@ std::int64_t Xv6Fs::Unlink(const std::string& path, Cycles* burn) {
     return kErrNoEnt;
   }
   Xv6InodePtr ip = GetInode(static_cast<std::uint32_t>(inum), burn);
+  if (ip == nullptr) {
+    return kErrIo;
+  }
   if (ip->type == kXv6TDir && !DirIsEmpty(*ip, burn)) {
     return kErrNotEmpty;
   }
@@ -438,7 +554,9 @@ std::int64_t Xv6Fs::Unlink(const std::string& path, Cycles* burn) {
   Xv6Dirent de;
   for (std::uint32_t off = 0; off < dir->size; off += sizeof(de)) {
     std::int64_t r = Readi(*dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
-    VOS_CHECK(r == sizeof(de));
+    if (r != sizeof(de)) {
+      return r < 0 ? r : kErrIo;
+    }
     if (de.inum == static_cast<std::uint16_t>(inum) &&
         std::strncmp(de.name, name.c_str(), kDirNameLen) == 0) {
       std::memset(&de, 0, sizeof(de));
@@ -494,13 +612,18 @@ std::vector<Xv6DirEntryInfo> Xv6Fs::ReadDir(Xv6Inode& dir, Cycles* burn) {
   Xv6Dirent de;
   for (std::uint32_t off = 0; off < dir.size; off += sizeof(de)) {
     std::int64_t r = Readi(dir, reinterpret_cast<std::uint8_t*>(&de), off, sizeof(de), burn);
-    VOS_CHECK(r == sizeof(de));
+    if (r != sizeof(de)) {
+      break;  // unreadable tail: return what we have
+    }
     if (de.inum == 0) {
       continue;
     }
     char namebuf[kDirNameLen + 1] = {};
     std::memcpy(namebuf, de.name, kDirNameLen);
     auto ip = GetInode(de.inum, burn);
+    if (ip == nullptr) {
+      continue;  // dangling entry on a damaged filesystem
+    }
     out.push_back(Xv6DirEntryInfo{namebuf, de.inum, ip->type, ip->size});
   }
   return out;
@@ -508,16 +631,36 @@ std::vector<Xv6DirEntryInfo> Xv6Fs::ReadDir(Xv6Inode& dir, Cycles* burn) {
 
 bool Xv6Fs::BlockInUse(std::uint32_t b, Cycles* burn) {
   std::uint8_t blk[kFsBlockSize];
-  ReadFsBlock(sb_.bmapstart + b / (kFsBlockSize * 8), blk, burn);
+  if (ReadFsBlock(sb_.bmapstart + b / (kFsBlockSize * 8), blk, burn) < 0) {
+    return true;  // unreadable bitmap: conservatively claim in-use
+  }
   std::uint32_t bi = b % (kFsBlockSize * 8);
   return (blk[bi / 8] >> (bi % 8)) & 1;
+}
+
+std::int64_t Xv6Fs::SetBlockInUse(std::uint32_t b, bool used, Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  std::uint32_t bmb = sb_.bmapstart + b / (kFsBlockSize * 8);
+  if (ReadFsBlock(bmb, blk, burn) < 0) {
+    return kErrIo;
+  }
+  std::uint32_t bi = b % (kFsBlockSize * 8);
+  std::uint8_t mask = static_cast<std::uint8_t>(1 << (bi % 8));
+  if (used) {
+    blk[bi / 8] |= mask;
+  } else {
+    blk[bi / 8] &= static_cast<std::uint8_t>(~mask);
+  }
+  return WriteFsBlock(bmb, blk, burn);
 }
 
 std::uint32_t Xv6Fs::FreeDataBlocks(Cycles* burn) {
   std::uint8_t blk[kFsBlockSize];
   std::uint32_t free = 0;
   for (std::uint32_t b = 0; b < sb_.size; b += kFsBlockSize * 8) {
-    ReadFsBlock(sb_.bmapstart + b / (kFsBlockSize * 8), blk, burn);
+    if (ReadFsBlock(sb_.bmapstart + b / (kFsBlockSize * 8), blk, burn) < 0) {
+      continue;
+    }
     for (std::uint32_t bi = 0; bi < kFsBlockSize * 8 && b + bi < sb_.size; ++bi) {
       if ((blk[bi / 8] & (1 << (bi % 8))) == 0) {
         ++free;

@@ -6,7 +6,12 @@
 //
 // Inodes have 12 direct + 1 singly-indirect block pointers, capping files at
 // (12+256) KB ~ 268 KB — the "270 KB" limit the paper cites as a Prototype 5
-// motivation for FAT32. No journal: crash consistency is out of scope (§5.4).
+// motivation for FAT32. There is no journal; instead of declaring crash
+// consistency out of scope (the seed's stance, after §5.4), this layer
+// propagates kErrIo from the error-aware block layer and relies on
+// FsckRepairXv6 (fsck.h) to bring the metadata back to a consistent state
+// after a crash or torn write — the discipline the torture harness
+// (tests/crash_torture_test.cc) enforces.
 #ifndef VOS_SRC_FS_XV6FS_H_
 #define VOS_SRC_FS_XV6FS_H_
 
@@ -95,8 +100,10 @@ class Xv6Fs {
   const Xv6Superblock& sb() const { return sb_; }
 
   // Inode access (iget semantics; the cache write-backs on Update).
+  // GetInode returns nullptr on an unreadable inode block or an out-of-range
+  // inum (possible on damaged filesystems).
   Xv6InodePtr GetInode(std::uint32_t inum, Cycles* burn);
-  void UpdateInode(const Xv6Inode& ip, Cycles* burn);  // iupdate
+  std::int64_t UpdateInode(const Xv6Inode& ip, Cycles* burn);  // iupdate; 0 or kErrIo
 
   // Path resolution; absolute paths only (the VFS resolves cwd).
   Xv6InodePtr NameI(const std::string& path, Cycles* burn);
@@ -121,9 +128,14 @@ class Xv6Fs {
 
   std::uint32_t FreeDataBlocks(Cycles* burn);
 
-  // Introspection for fsck: bitmap state of one fs block, and the underlying
-  // cache/device handles so the checker reads through the same path.
+  // Introspection/repair hooks for fsck: bitmap state of one fs block, raw
+  // fs-block I/O through the same cache path, bitmap bit surgery, and inode
+  // cache eviction (fsck rewrites inodes on disk behind the cache's back).
   bool BlockInUse(std::uint32_t b, Cycles* burn);
+  std::int64_t SetBlockInUse(std::uint32_t b, bool used, Cycles* burn);  // 0 or kErrIo
+  std::int64_t ReadFsBlock(std::uint32_t fsb, std::uint8_t* out, Cycles* burn);
+  std::int64_t WriteFsBlock(std::uint32_t fsb, const std::uint8_t* in, Cycles* burn);
+  void EvictInode(std::uint32_t inum) { icache_.erase(inum); }
   Bcache& bcache() { return bc_; }
   int dev() const { return dev_; }
 
@@ -132,13 +144,15 @@ class Xv6Fs {
   static std::vector<std::uint8_t> Mkfs(std::uint32_t fsblocks, std::uint32_t ninodes);
 
  private:
-  void ReadFsBlock(std::uint32_t fsb, std::uint8_t* out, Cycles* burn);
-  void WriteFsBlock(std::uint32_t fsb, const std::uint8_t* in, Cycles* burn);
-  std::uint32_t BAlloc(Cycles* burn);  // 0 on disk full
-  void BFree(std::uint32_t b, Cycles* burn);
-  // Maps file block index -> disk block, allocating when `alloc`.
-  std::uint32_t BMap(Xv6Inode& ip, std::uint32_t bn, bool alloc, Cycles* burn);
-  std::uint32_t IAlloc(std::int16_t type, Cycles* burn);  // 0 on exhaustion
+  // 0 with *out = fresh zeroed block, kErrNoSpace on disk full, kErrIo.
+  std::int64_t BAlloc(std::uint32_t* out, Cycles* burn);
+  void BFree(std::uint32_t b, Cycles* burn);  // best-effort, tolerant of damage
+  // Maps file block index -> disk block, allocating when `alloc`. Returns 0
+  // with *out = block (0 = hole when !alloc, disk full when alloc), or kErrIo.
+  std::int64_t BMap(Xv6Inode& ip, std::uint32_t bn, bool alloc, std::uint32_t* out,
+                    Cycles* burn);
+  // Returns the new inum, or 0 with *err = kErrNoSpace/kErrIo.
+  std::uint32_t IAlloc(std::int16_t type, std::int64_t* err, Cycles* burn);
   std::int64_t DirLookup(Xv6Inode& dir, const std::string& name, Cycles* burn);  // inum or err
   std::int64_t DirLink(Xv6Inode& dir, const std::string& name, std::uint32_t inum, Cycles* burn);
   bool DirIsEmpty(Xv6Inode& dir, Cycles* burn);

@@ -433,28 +433,30 @@ Csw UsbStorageDriver::Bot(std::uint8_t opcode, std::uint32_t lba, std::uint16_t 
   return csw;
 }
 
-Cycles UsbStorageDriver::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
+BlockResult UsbStorageDriver::Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) {
   VOS_CHECK_MSG(ready_, "USB storage read before init");
-  Cycles total = 0;
   std::vector<std::uint8_t> data;
   Cycles d = 0;
   Csw csw = Bot(kScsiRead10, static_cast<std::uint32_t>(lba),
                 static_cast<std::uint16_t>(count), true, data, &d);
-  total += d;
-  VOS_CHECK_MSG(csw.status == 0 && data.size() == std::size_t(count) * 512,
-                "USB storage read failed");
+  if (csw.status != 0 || data.size() != std::size_t(count) * 512) {
+    return {BlockStatus::kMedia, d};
+  }
   std::memcpy(out, data.data(), data.size());
-  return total;
+  return {BlockStatus::kOk, d};
 }
 
-Cycles UsbStorageDriver::Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) {
+BlockResult UsbStorageDriver::Write(std::uint64_t lba, std::uint32_t count,
+                                    const std::uint8_t* in) {
   VOS_CHECK_MSG(ready_, "USB storage write before init");
   std::vector<std::uint8_t> data(in, in + std::size_t(count) * 512);
   Cycles d = 0;
   Csw csw = Bot(kScsiWrite10, static_cast<std::uint32_t>(lba),
                 static_cast<std::uint16_t>(count), false, data, &d);
-  VOS_CHECK_MSG(csw.status == 0, "USB storage write failed");
-  return d;
+  if (csw.status != 0) {
+    return {BlockStatus::kMedia, d};
+  }
+  return {BlockStatus::kOk, d};
 }
 
 // --- SdDriver ---------------------------------------------------------------

@@ -48,6 +48,10 @@ class FbDriver : public DevNode {
                     Cycles* burn) override;
   std::int64_t Write(Task* t, const std::uint8_t* buf, std::uint32_t n, std::uint64_t off,
                      Cycles* burn) override;
+  // The fb is a fixed extent, so lseek(SEEK_END) lands past the last pixel.
+  std::uint64_t SeekEndSize() const override {
+    return ready() ? std::uint64_t(pitch()) * height() : 0;
+  }
 
  private:
   Board& board_;
@@ -182,10 +186,11 @@ class UsbStorageDriver : public BlockDevice {
   bool ready() const { return ready_; }
   const std::string& product() const { return product_; }
 
-  // BlockDevice: synchronous bulk transfers.
+  // BlockDevice: synchronous bulk transfers. A failed CSW reports kMedia
+  // (the seed panicked here; a flaky cable must not take down the kernel).
   std::uint64_t block_count() const override { return blocks_; }
-  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
-  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
+  BlockResult Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override;
+  BlockResult Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override;
 
  private:
   Csw Bot(std::uint8_t opcode, std::uint32_t lba, std::uint16_t blocks, bool to_host,

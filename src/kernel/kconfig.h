@@ -118,6 +118,20 @@ struct KernelConfig {
   bool cow_fork = false;
   bool dma_sd = false;
 
+  // Block-layer fault handling (§6 of DESIGN.md). Every block device is
+  // wrapped in a FaultInjectingBlockDevice; with fault_inject_enabled off the
+  // decorator is a zero-fault pass-through. Runtime control: /proc/faultinject.
+  bool fault_inject_enabled = false;
+  std::uint64_t fault_seed = 1;
+  double fault_transient_rate = 0.0;      // per-transfer P(transient error)
+  double fault_timeout_rate = 0.0;        // per-transfer P(command stall)
+  double fault_latency_spike_rate = 0.0;  // per-transfer P(latency spike)
+  double fault_latency_spike_mult = 20.0; // spike = mult × Us(100)
+  // Retry discipline BlockRequestQueue applies per request.
+  std::uint32_t blk_max_retries = 4;
+  std::uint32_t blk_retry_backoff_us = 50;   // first backoff; doubles per retry
+  std::uint32_t blk_timeout_budget_ms = 50;  // per-request service-time ceiling
+
   bool trace_enabled = true;         // ftrace-like ring (negligible overhead)
   std::uint32_t trace_ring_capacity = 16384;  // records per core (tests shrink
                                               // it to exercise wrap/drop)

@@ -218,6 +218,14 @@ Kernel::BootReport Kernel::Boot() {
   // Files (Prototype 4): ramdisk root filesystem + devfs/procfs + input/audio.
   Cycles fs_time = 0;
   Cycles usb_time = 0;
+  fault_ = std::make_unique<FaultInjector>(cfg_);
+  // Every block device goes through a fault-injection decorator, tagged with
+  // the bcache device id it is about to be registered under.
+  auto wrap_fault = [this](BlockDevice* raw) -> BlockDevice* {
+    fault_devs_.push_back(std::make_unique<FaultInjectingBlockDevice>(
+        raw, fault_.get(), bcache_->device_count()));
+    return fault_devs_.back().get();
+  };
   if (cfg_.HasFiles()) {
     VOS_CHECK_MSG(!ramdisk_image_.empty(), "proto4+ boot requires a ramdisk image");
     ramdisk_ = std::make_unique<RamDisk>(ramdisk_image_);
@@ -230,7 +238,7 @@ Kernel::BootReport Kernel::Boot() {
     });
     Histogram* blk_lat = metrics_.Hist("block.req_latency");
     bcache_->SetLatencyHook([blk_lat](Cycles lat) { blk_lat->Record(lat); });
-    ramdisk_dev_ = bcache_->AddDevice(ramdisk_.get(), "ramdisk");
+    ramdisk_dev_ = bcache_->AddDevice(wrap_fault(ramdisk_.get()), "ramdisk");
     RegisterBlockDevMetrics(ramdisk_dev_);
     rootfs_ = std::make_unique<Xv6Fs>(*bcache_, ramdisk_dev_, cfg_);
     std::int64_t mr = rootfs_->Mount(&fs_time);
@@ -314,10 +322,18 @@ Kernel::BootReport Kernel::Boot() {
         l.merged = val("merged");
         l.queue_depth_hw = val("queue_depth_hw");
         l.dirty = val("dirty");
+        l.io_retries = val("io_retries");
+        l.io_errors = val("io_errors");
+        l.io_timeouts = val("io_timeouts");
         lines.push_back(std::move(l));
       }
       return FormatBlkStat(lines);
     });
+    // /proc/faultinject: read shows injector state and fault counters; write
+    // accepts the command language (see FaultInjector::Command).
+    vfs_->RegisterProc("faultinject", [this] { return fault_->StatusText(); });
+    vfs_->RegisterProcWriter("faultinject",
+                             [this](const std::string& text) { return fault_->Command(text); });
     vfs_->RegisterProc("lockdep", [] { return Lockdep::Instance().Report(); });
     // /proc/memstat scalars are a view over the registry's pmm.*/slab.*
     // gauges; only distribution detail (per-order, per-class) is read direct.
@@ -402,7 +418,7 @@ Kernel::BootReport Kernel::Boot() {
     if (sd_driver_->ReadPartition(1, &first, &count, &part_burn)) {
       fs_time += part_burn;
       sd_part_ = sd_driver_->OpenPartition(first, count);
-      sd_dev_ = bcache_->AddDevice(sd_part_.get(), "sd");
+      sd_dev_ = bcache_->AddDevice(wrap_fault(sd_part_.get()), "sd");
       RegisterBlockDevMetrics(sd_dev_);
       fat_ = std::make_unique<FatVolume>(*bcache_, sd_dev_, cfg_);
       Cycles mount_burn = 0;
@@ -419,7 +435,7 @@ Kernel::BootReport Kernel::Boot() {
     Cycles msc_time = usb_storage_driver_->Init();
     usb_time += msc_time;
     if (usb_storage_driver_->ready()) {
-      usb_dev_ = bcache_->AddDevice(usb_storage_driver_.get(), "usb");
+      usb_dev_ = bcache_->AddDevice(wrap_fault(usb_storage_driver_.get()), "usb");
       RegisterBlockDevMetrics(usb_dev_);
       usb_fat_ = std::make_unique<FatVolume>(*bcache_, usb_dev_, cfg_);
       Cycles mb = 0;
@@ -477,6 +493,9 @@ void Kernel::RegisterBlockDevMetrics(int dev) {
                  });
   metrics_.Gauge(pfx + "dirty",
                  [this, dev] { return static_cast<std::uint64_t>(bcache_->DirtyCount(dev)); });
+  metrics_.Gauge(pfx + "io_retries", [this, dev] { return bcache_->stats(dev).io_retries; });
+  metrics_.Gauge(pfx + "io_errors", [this, dev] { return bcache_->stats(dev).io_errors; });
+  metrics_.Gauge(pfx + "io_timeouts", [this, dev] { return bcache_->stats(dev).io_timeouts; });
 }
 
 void Kernel::FlusherBody() {

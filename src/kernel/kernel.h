@@ -14,6 +14,7 @@
 
 #include "src/fs/bcache.h"
 #include "src/fs/devfs.h"
+#include "src/fs/fault_inject.h"
 #include "src/fs/vfs.h"
 #include "src/fs/xv6fs.h"
 #include "src/hw/board.h"
@@ -121,6 +122,7 @@ class Kernel final : public MachineClient {
   Vfs& vfs() { return *vfs_; }
   Xv6Fs& rootfs() { return *rootfs_; }
   Bcache& bcache() { return *bcache_; }
+  FaultInjector* fault_injector() { return fault_.get(); }
   TraceRing& trace() { return trace_; }
   Metrics& metrics() { return metrics_; }
   DebugMonitor& debug() { return dbg_; }
@@ -254,7 +256,11 @@ class Kernel final : public MachineClient {
   std::unique_ptr<VirtualTimers> vtimers_;
   std::unique_ptr<SemTable> sems_;
 
-  // Filesystems.
+  // Filesystems. Every BlockDevice is wrapped in a FaultInjectingBlockDevice
+  // before it reaches the bcache, so /proc/faultinject can inject errors on
+  // any of them; with injection off the wrappers are pass-through.
+  std::unique_ptr<FaultInjector> fault_;
+  std::vector<std::unique_ptr<FaultInjectingBlockDevice>> fault_devs_;
   std::unique_ptr<RamDisk> ramdisk_;
   std::unique_ptr<Bcache> bcache_;
   std::unique_ptr<Xv6Fs> rootfs_;

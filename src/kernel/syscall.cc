@@ -490,7 +490,10 @@ std::int64_t Kernel::SysSync() {
     return SyscallExit(Sys::kSync, kErrNoSys);
   }
   cur->fiber().Burn(bcache_->FlushAll());
-  return SyscallExit(Sys::kSync, 0);
+  // A flush that exhausted its retries latched kErrIo on the device; sync is
+  // the durability point, so the caller learns about it here (errseq-style,
+  // consumed exactly once).
+  return SyscallExit(Sys::kSync, bcache_->TakeAnyError());
 }
 
 std::int64_t Kernel::SysFsync(int fd) {

@@ -148,6 +148,8 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "pmm_oom";
     case TraceEvent::kSlabRefill:
       return "slab_refill";
+    case TraceEvent::kBlockError:
+      return "block_error";
   }
   return "?";
 }
@@ -162,6 +164,7 @@ constexpr TraceEvent kAllTraceEvents[] = {
     TraceEvent::kWmComposite,  TraceEvent::kPageFault,   TraceEvent::kBlockRead,
     TraceEvent::kBlockWrite,   TraceEvent::kBlockFlush,  TraceEvent::kPmmAlloc,
     TraceEvent::kPmmFree,      TraceEvent::kPmmOom,      TraceEvent::kSlabRefill,
+    TraceEvent::kBlockError,
 };
 }  // namespace
 

@@ -41,6 +41,7 @@ enum class TraceEvent : std::uint16_t {
   kPmmFree,      // buddy allocator: pages returned (a=pa, b=npages)
   kPmmOom,       // allocation failed (a=npages requested, b=pages still free)
   kSlabRefill,   // per-core cache refilled from the depot (a=class size, b=objs)
+  kBlockError,   // block layer: request failed after retries (a=lba, b=status)
 };
 
 struct TraceRecord {

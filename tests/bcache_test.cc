@@ -9,6 +9,7 @@
 
 #include "src/base/status.h"
 #include "src/fs/bcache.h"
+#include "src/fs/fault_inject.h"
 #include "src/fs/fsck.h"
 #include "src/fs/procfs.h"
 #include "src/fs/xv6fs.h"
@@ -32,11 +33,11 @@ class RecordingDevice : public BlockDevice {
 
   explicit RecordingDevice(BlockDevice* inner) : inner_(inner) {}
   std::uint64_t block_count() const override { return inner_->block_count(); }
-  Cycles Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override {
+  BlockResult Read(std::uint64_t lba, std::uint32_t count, std::uint8_t* out) override {
     log.push_back(Entry{BlockOp::kRead, lba, count});
     return inner_->Read(lba, count, out);
   }
-  Cycles Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override {
+  BlockResult Write(std::uint64_t lba, std::uint32_t count, const std::uint8_t* in) override {
     log.push_back(Entry{BlockOp::kWrite, lba, count});
     return inner_->Write(lba, count, in);
   }
@@ -215,7 +216,8 @@ TEST_F(BcacheTest, ReadRangeFlushesOverlappingDirtyBuffers) {
   // read used to be ignored, returning stale device bytes.
   DirtyBlock(17, 0x77);
   std::vector<std::uint8_t> out(8 * kBlockSize, 0);
-  bc_.ReadRange(dev_, 16, 8, out.data());
+  Cycles c = 0;
+  ASSERT_EQ(bc_.ReadRange(dev_, 16, 8, out.data(), &c), 0);
   EXPECT_EQ(out[kBlockSize], 0x77) << "range read returned stale pre-flush data";
   EXPECT_EQ(bc_.DirtyCount(dev_), 0u);
   EXPECT_EQ(RawByte(17), 0x77);
@@ -224,7 +226,8 @@ TEST_F(BcacheTest, ReadRangeFlushesOverlappingDirtyBuffers) {
 TEST_F(BcacheTest, WriteRangeSupersedesDirtyOverlaps) {
   DirtyBlock(30, 0x11);
   std::vector<std::uint8_t> in(4 * kBlockSize, 0x99);
-  bc_.WriteRange(dev_, 28, 4, in.data());
+  Cycles c2 = 0;
+  ASSERT_EQ(bc_.WriteRange(dev_, 28, 4, in.data(), &c2), 0);
   EXPECT_EQ(RawByte(30), 0x99);
   // The superseded dirty buffer must not be flushed over the new data later.
   bc_.FlushAll();
@@ -281,6 +284,154 @@ TEST_F(BcacheTest, TraceHookSeesFlushes) {
   }
   EXPECT_TRUE(saw_read);
   EXPECT_TRUE(saw_flush);
+}
+
+TEST_F(BcacheTest, BufferExhaustionReturnsNullInsteadOfPanic) {
+  // The seed panicked ("bcache: out of buffers") when every buffer was
+  // pinned. Now Read reports the condition and recovers once refs drop.
+  Cycles c = 0;
+  std::vector<Buf*> pinned;
+  for (std::uint64_t lba = 0; lba < std::uint64_t(kNumBufs); ++lba) {
+    Buf* b = bc_.Read(dev_, lba, &c);
+    ASSERT_NE(b, nullptr) << lba;
+    pinned.push_back(b);
+  }
+  EXPECT_EQ(bc_.Read(dev_, 200, &c), nullptr) << "expected exhaustion, not a buffer";
+  for (Buf* b : pinned) {
+    bc_.Release(b);
+  }
+  Buf* b = bc_.Read(dev_, 200, &c);
+  ASSERT_NE(b, nullptr) << "cache did not recover after releases";
+  bc_.Release(b);
+}
+
+// --- Error paths: fault injection, retries, latched EIO ----------------------
+
+class BcacheFaultTest : public ::testing::Test {
+ protected:
+  BcacheFaultTest() : disk_(256 * kBlockSize), fdev_(&disk_, &fi_, 0), bc_(cfg_) {
+    dev_ = bc_.AddDevice(&fdev_, "faulty");
+  }
+
+  void DirtyBlock(std::uint64_t lba, std::uint8_t fill) {
+    Cycles c = 0;
+    Buf* b = bc_.Read(dev_, lba, &c);
+    ASSERT_NE(b, nullptr);
+    b->data.fill(fill);
+    bc_.Write(b, &c);
+    bc_.Release(b);
+  }
+
+  std::uint8_t RawByte(std::uint64_t lba) { return disk_.data()[lba * kBlockSize]; }
+
+  KernelConfig cfg_;
+  RamDisk disk_;
+  FaultInjector fi_{cfg_};
+  FaultInjectingBlockDevice fdev_;
+  Bcache bc_;
+  int dev_ = -1;
+};
+
+TEST_F(BcacheFaultTest, FlushFailureLatchesErrorUntilTaken) {
+  DirtyBlock(41, 0xcc);
+  ASSERT_EQ(fi_.Command("stuck 0 40 4\n"), 0);
+  bc_.FlushAll();
+  // The failed buffer leaves the dirty set (never silently re-flushed) and
+  // the device never saw the data.
+  EXPECT_EQ(bc_.DirtyCount(dev_), 0u);
+  EXPECT_EQ(RawByte(41), 0x00);
+  EXPECT_GE(bc_.stats(dev_).io_errors, 1u);
+  // errseq semantics: consumed exactly once.
+  EXPECT_EQ(bc_.TakeError(dev_), kErrIo);
+  EXPECT_EQ(bc_.TakeError(dev_), 0);
+}
+
+TEST_F(BcacheFaultTest, TransientErrorsRetryUntilTheWriteLands) {
+  DirtyBlock(10, 0x5a);
+  // Two bounces, fewer than blk_max_retries: the retry loop must absorb them.
+  ASSERT_EQ(fi_.Command("transient 0 10 1 2\n"), 0);
+  bc_.FlushAll();
+  EXPECT_EQ(RawByte(10), 0x5a) << "retries did not recover the transient fault";
+  EXPECT_GE(bc_.stats(dev_).io_retries, 2u);
+  EXPECT_EQ(bc_.stats(dev_).io_errors, 0u);
+  EXPECT_EQ(bc_.TakeError(dev_), 0);
+}
+
+TEST_F(BcacheFaultTest, MediaErrorIsNotRetried) {
+  DirtyBlock(20, 0x77);
+  ASSERT_EQ(fi_.Command("stuck 0 20 1\n"), 0);
+  std::uint64_t writes_before = fi_.counters().writes;
+  bc_.FlushAll();
+  // kMedia is permanent: exactly one device attempt, no backoff spinning.
+  EXPECT_EQ(fi_.counters().writes, writes_before + 1);
+  EXPECT_EQ(bc_.stats(dev_).io_retries, 0u);
+  EXPECT_EQ(bc_.TakeError(dev_), kErrIo);
+}
+
+TEST_F(BcacheFaultTest, ReadFailureReturnsNullAndCountsAnError) {
+  ASSERT_EQ(fi_.Command("stuck 0 77 1\n"), 0);
+  Cycles c = 0;
+  EXPECT_EQ(bc_.Read(dev_, 77, &c), nullptr);
+  EXPECT_GE(bc_.stats(dev_).io_errors, 1u);
+  // Read errors report synchronously; nothing latches for fsync.
+  EXPECT_EQ(bc_.TakeError(dev_), 0);
+}
+
+TEST_F(BcacheFaultTest, WriteThroughFailureReturnsErrIoSynchronously) {
+  KernelConfig xv6 = cfg_;
+  xv6.opt_writeback_cache = false;
+  Bcache bc(xv6);
+  int dev = bc.AddDevice(&fdev_, "wt");
+  Cycles c = 0;
+  Buf* b = bc.Read(dev, 12, &c);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(fi_.Command("stuck 0 12 1\n"), 0);
+  b->data.fill(0x3f);
+  EXPECT_EQ(bc.Write(b, &c), kErrIo);
+  bc.Release(b);
+}
+
+TEST_F(BcacheFaultTest, ExhaustedRetriesWithinBudgetClassifyAsTimeout) {
+  KernelConfig cfg = cfg_;
+  cfg.fault_inject_enabled = true;
+  cfg.fault_timeout_rate = 1.0;  // every command stalls for the whole budget
+  FaultInjector fi(cfg);
+  FaultInjectingBlockDevice fdev(&disk_, &fi, 0);
+  Bcache bc(cfg_);
+  int dev = bc.AddDevice(&fdev, "slow");
+  Cycles c = 0;
+  EXPECT_EQ(bc.Read(dev, 5, &c), nullptr);
+  const BlockDevStats& st = bc.stats(dev);
+  EXPECT_GE(st.io_timeouts, 1u);
+  EXPECT_GE(st.io_errors, st.io_timeouts) << "timeouts must be a subset of errors";
+}
+
+TEST_F(BcacheFaultTest, ThrottledWriterSurvivesAFailingDevice) {
+  // Satellite regression: with the dirty-ratio throttle active and the device
+  // erroring, the writer must not deadlock — failed flushes drain the dirty
+  // set (io_failed) and the error latches for sync to find.
+  KernelConfig cfg = cfg_;
+  cfg.bcache_dirty_ratio = 0.1;
+  Bcache bc(cfg);
+  int dev = bc.AddDevice(&fdev_, "throttled");
+  // Warm the cache while the device is healthy so later writes are pure hits.
+  Cycles c = 0;
+  for (std::uint64_t lba = 100; lba < 120; ++lba) {
+    Buf* b = bc.Read(dev, lba, &c);
+    ASSERT_NE(b, nullptr);
+    bc.Release(b);
+  }
+  ASSERT_EQ(fi_.Command("stuck 0 100 20\n"), 0);
+  for (std::uint64_t lba = 100; lba < 120; ++lba) {
+    Buf* b = bc.Read(dev, lba, &c);  // cache hit; device not touched
+    ASSERT_NE(b, nullptr) << lba;
+    b->data.fill(0x42);
+    bc.Write(b, &c);
+    bc.Release(b);
+  }
+  EXPECT_GE(bc.stats(dev).io_errors, 1u);
+  EXPECT_EQ(bc.TakeError(dev), kErrIo);
+  EXPECT_LE(bc.DirtyCount(dev), std::size_t(0.1 * kNumBufs) + 1);
 }
 
 // --- Durability at the filesystem level --------------------------------------
@@ -381,6 +532,51 @@ TEST(BcacheOsTest, FsyncAndSyncSyscallsDrainDirtyBuffers) {
   });
   EXPECT_EQ(rc, 0);
   EXPECT_FALSE(sys.kernel().trace().DumpEvent(TraceEvent::kBlockFlush).empty());
+}
+
+TEST(BcacheOsTest, FsyncReportsLatchedWriteErrorsToUserspace) {
+  System sys(OptionsForStage(Stage::kProto5));
+  int rc = RunInOs(sys, "eio", [](AppEnv& env) -> int {
+    // Dirty a file while the disk is healthy, then wedge the whole device
+    // through the control file: the flush inside fsync must fail and the
+    // syscall must return kErrIo exactly once.
+    std::int64_t fd = uopen(env, "/eio.txt", kOCreate | kOWronly);
+    if (fd < 0) {
+      return 1;
+    }
+    const char msg[] = "doomed bytes";
+    if (uwrite(env, static_cast<int>(fd), msg, sizeof(msg)) != sizeof(msg)) {
+      return 2;
+    }
+    std::int64_t cf = uopen(env, "/proc/faultinject", kOWronly);
+    if (cf < 0) {
+      return 3;
+    }
+    const char wedge[] = "stuck 0 0 999999999\n";
+    if (uwrite(env, static_cast<int>(cf), wedge, sizeof(wedge) - 1) !=
+        static_cast<std::int64_t>(sizeof(wedge) - 1)) {
+      return 4;
+    }
+    uclose(env, static_cast<int>(cf));
+    if (ufsync(env, static_cast<int>(fd)) != kErrIo) {
+      return 5;
+    }
+    // Heal the device. The failed buffer was dropped from the dirty set and
+    // the error was consumed, so the next fsync reports a healthy (empty)
+    // flush rather than replaying the stale failure.
+    cf = uopen(env, "/proc/faultinject", kOWronly);
+    const char heal[] = "clear_ranges\n";
+    uwrite(env, static_cast<int>(cf), heal, sizeof(heal) - 1);
+    uclose(env, static_cast<int>(cf));
+    if (ufsync(env, static_cast<int>(fd)) != 0) {
+      return 6;
+    }
+    uclose(env, static_cast<int>(fd));
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_FALSE(sys.kernel().trace().DumpEvent(TraceEvent::kBlockError).empty())
+      << "failed write-back left no kBlockError trace";
 }
 
 TEST(BcacheOsTest, SyncIsEnosysBeforeFiles) {

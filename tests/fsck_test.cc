@@ -172,9 +172,134 @@ TEST_F(FsckTest, DetectsBadBlockPointer) {
   EXPECT_TRUE(found) << r.Summary();
 }
 
+TEST_F(FsckTest, CheckModeReportsStructuredCounts) {
+  Populate();
+  Cycles burn = 0;
+  auto f2 = fs_.NameI("/f2", &burn);
+  Xv6Dinode d = ReadDinode(f2->inum);
+  d.nlink = 7;
+  WriteDinode(f2->inum, d);
+  FsckReport r = CheckFresh();
+  ASSERT_FALSE(r.clean);
+  // Read-only mode: everything found is "unrecoverable" by definition.
+  EXPECT_EQ(r.errors_found, r.errors.size());
+  EXPECT_EQ(r.unrecoverable, r.errors.size());
+  EXPECT_EQ(r.repaired, 0u);
+}
+
+// --- Repair mode -------------------------------------------------------------
+
+class FsckRepairTest : public FsckTest {
+ protected:
+  // Remounts fresh, repairs, flushes the repairs to the raw disk, and returns
+  // the repair report (whose embedded verify already ran).
+  FsckReport RepairFresh() {
+    bc_.FlushAll();
+    Bcache bc(cfg_);
+    Xv6Fs fresh(bc, bc.AddDevice(&disk_), cfg_);
+    Cycles burn = 0;
+    EXPECT_EQ(fresh.Mount(&burn), 0);
+    FsckReport r = FsckRepairXv6(fresh, &burn);
+    bc.FlushAll();
+    return r;
+  }
+};
+
+TEST_F(FsckRepairTest, RepairsDoublyReferencedBlock) {
+  Populate();
+  Cycles burn = 0;
+  auto f1 = fs_.NameI("/a/f1", &burn);
+  auto f2 = fs_.NameI("/f2", &burn);
+  Xv6Dinode d2 = ReadDinode(f2->inum);
+  d2.addrs[0] = f1->addrs[0];
+  WriteDinode(f2->inum, d2);
+  FsckReport r = RepairFresh();
+  EXPECT_GT(r.repaired, 0u);
+  EXPECT_EQ(r.unrecoverable, 0u) << r.Summary();
+  // The keep-first rule: the original owner keeps the block, the duplicate
+  // claim is severed, and the image checks clean afterwards.
+  FsckReport verify = CheckFresh();
+  EXPECT_TRUE(verify.clean) << verify.Summary();
+  Bcache bc(cfg_);
+  Xv6Fs fresh(bc, bc.AddDevice(&disk_), cfg_);
+  ASSERT_EQ(fresh.Mount(&burn), 0);
+  auto kept = fresh.NameI("/a/f1", &burn);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->addrs[0], f1->addrs[0]);
+}
+
+TEST_F(FsckRepairTest, RepairsWrongNlink) {
+  Populate();
+  Cycles burn = 0;
+  auto f2 = fs_.NameI("/f2", &burn);
+  Xv6Dinode d = ReadDinode(f2->inum);
+  d.nlink = 7;  // really 2: /f2 and /f2link
+  WriteDinode(f2->inum, d);
+  FsckReport r = RepairFresh();
+  EXPECT_GT(r.repaired, 0u);
+  EXPECT_EQ(r.unrecoverable, 0u) << r.Summary();
+  EXPECT_EQ(ReadDinode(f2->inum).nlink, 2);
+  EXPECT_TRUE(CheckFresh().clean);
+}
+
+TEST_F(FsckRepairTest, RepairsDirentsNamingAFreedInode) {
+  Populate();
+  Cycles burn = 0;
+  auto f2 = fs_.NameI("/f2", &burn);
+  std::uint32_t inum = f2->inum;
+  // Zap the inode behind the filesystem's back: /f2 and /f2link now dangle,
+  // and the file's data blocks leak in the bitmap.
+  Xv6Dinode d = ReadDinode(inum);
+  d.type = 0;
+  WriteDinode(inum, d);
+  FsckReport r = RepairFresh();
+  EXPECT_GT(r.repaired, 0u);
+  EXPECT_EQ(r.unrecoverable, 0u) << r.Summary();
+  EXPECT_TRUE(CheckFresh().clean);
+  Bcache bc(cfg_);
+  Xv6Fs fresh(bc, bc.AddDevice(&disk_), cfg_);
+  ASSERT_EQ(fresh.Mount(&burn), 0);
+  EXPECT_EQ(fresh.NameI("/f2", &burn), nullptr);
+  EXPECT_EQ(fresh.NameI("/f2link", &burn), nullptr);
+  EXPECT_NE(fresh.NameI("/a/f1", &burn), nullptr) << "repair damaged a healthy file";
+}
+
+TEST_F(FsckRepairTest, RepairsBadPointerAndLeakedBlocks) {
+  Populate();
+  Cycles burn = 0;
+  auto f2 = fs_.NameI("/f2", &burn);
+  Xv6Dinode d = ReadDinode(f2->inum);
+  d.addrs[1] = fs_.sb().size + 100;  // beyond the device
+  WriteDinode(f2->inum, d);
+  std::uint32_t leak = fs_.sb().size - 2;
+  std::size_t bm_off = std::size_t(fs_.sb().bmapstart) * kFsBlockSize + leak / 8;
+  disk_.data()[bm_off] |= static_cast<std::uint8_t>(1u << (leak % 8));
+  FsckReport r = RepairFresh();
+  EXPECT_GT(r.repaired, 0u);
+  EXPECT_EQ(r.unrecoverable, 0u) << r.Summary();
+  FsckReport verify = CheckFresh();
+  EXPECT_TRUE(verify.clean) << verify.Summary();
+  EXPECT_EQ(verify.leaked_blocks, 0u);
+}
+
+TEST_F(FsckRepairTest, RepairOnACleanImageIsANoOp) {
+  Populate();
+  FsckReport r = RepairFresh();
+  EXPECT_EQ(r.repaired, 0u);
+  EXPECT_EQ(r.unrecoverable, 0u);
+  EXPECT_TRUE(r.clean) << r.Summary();
+}
+
 TEST(FsckUtility, RunsInsideTheOs) {
   System sys(OptionsForStage(Stage::kProto5));
   EXPECT_EQ(sys.RunProgram("fsck"), 0);
+  EXPECT_NE(sys.SerialOutput().find("fsck /: CLEAN"), std::string::npos);
+}
+
+TEST(FsckUtility, RepairFlagOnACleanRootExitsZero) {
+  // Exit-code contract: 0 clean, 1 repaired something, 2 unrecoverable.
+  System sys(OptionsForStage(Stage::kProto5));
+  EXPECT_EQ(sys.RunProgram("fsck", {"-r"}), 0);
   EXPECT_NE(sys.SerialOutput().find("fsck /: CLEAN"), std::string::npos);
 }
 

@@ -59,7 +59,7 @@ TEST(Bcache, RangeWriteInvalidatesOverlaps) {
   Buf* b = bc.Read(dev, 7, &c);
   bc.Release(b);
   std::vector<std::uint8_t> fresh(kBlockSize * 4, 0x77);
-  bc.WriteRange(dev, 6, 4, fresh.data());
+  EXPECT_EQ(bc.WriteRange(dev, 6, 4, fresh.data(), &c), 0);
   // The cached copy of block 7 must not serve stale data.
   Buf* again = bc.Read(dev, 7, &c);
   EXPECT_EQ(again->data[0], 0x77);

@@ -268,6 +268,64 @@ TEST_F(Proto5Test, DupAndLseekAndFstat) {
   EXPECT_EQ(rc, 0);
 }
 
+TEST_F(Proto5Test, LseekEdgeCases) {
+  Kernel* k = &sys_.kernel();
+  int rc = RunInOs(sys_, "seeker", [k](AppEnv& env) -> int {
+    // SEEK_END on a regular file lands at its size.
+    std::int64_t fd = uopen(env, "/roms/world1.lvl", kORdonly);
+    if (fd < 0) {
+      return 1;
+    }
+    Stat st;
+    ufstat(env, static_cast<int>(fd), &st);
+    if (ulseek(env, static_cast<int>(fd), 0, /*SEEK_END=*/2) != st.size) {
+      return 2;
+    }
+    // Seeking before the start of the file is rejected and leaves the
+    // offset where it was.
+    if (ulseek(env, static_cast<int>(fd), -std::int64_t(st.size) - 1, 2) !=
+        kErrInval) {
+      return 3;
+    }
+    if (ulseek(env, static_cast<int>(fd), -5, /*SEEK_SET=*/0) != kErrInval) {
+      return 4;
+    }
+    if (ulseek(env, static_cast<int>(fd), 0, /*SEEK_CUR=*/1) != st.size) {
+      return 5;
+    }
+    // Bad whence.
+    if (ulseek(env, static_cast<int>(fd), 0, 9) != kErrInval) {
+      return 6;
+    }
+    uclose(env, static_cast<int>(fd));
+    // SEEK_END on the framebuffer reports its mapped extent (the seed
+    // hardcoded 0 for every device, making SEEK_END useless there).
+    std::int64_t fb = uopen(env, "/dev/fb", kORdwr);
+    if (fb < 0) {
+      return 7;
+    }
+    std::int64_t end = ulseek(env, static_cast<int>(fb), 0, 2);
+    if (end <= 0) {
+      return 8;
+    }
+    uclose(env, static_cast<int>(fb));
+    // Stream devices stay at 0: SEEK_END is a no-op position there.
+    std::int64_t nul = uopen(env, "/dev/null", kORdwr);
+    if (nul < 0) {
+      return 9;
+    }
+    if (ulseek(env, static_cast<int>(nul), 0, 2) != 0) {
+      return 10;
+    }
+    uclose(env, static_cast<int>(nul));
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+  // The fb extent seen from userspace matches pitch * height.
+  const FbDriver& fb = sys_.kernel().fb_driver();
+  EXPECT_EQ(fb.SeekEndSize(), std::uint64_t(fb.pitch()) * fb.height());
+}
+
 TEST_F(Proto5Test, MmapFbAndCacheFlushPath) {
   int rc = RunInOs(sys_, "fbuser", [](AppEnv& env) -> int {
     std::uint32_t* fb = nullptr;

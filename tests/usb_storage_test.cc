@@ -84,8 +84,8 @@ TEST(UsbStorageDriverTest, EnumeratesAndTransfersBlocks) {
   EXPECT_EQ(drv.block_count(), MiB(2) / 512);
   EXPECT_NE(drv.product().find("USB THUMB"), std::string::npos);
   std::vector<std::uint8_t> wr(512 * 4, 0x3e), rd(512 * 4);
-  drv.Write(100, 4, wr.data());
-  drv.Read(100, 4, rd.data());
+  EXPECT_TRUE(drv.Write(100, 4, wr.data()).ok());
+  EXPECT_TRUE(drv.Read(100, 4, rd.data()).ok());
   EXPECT_EQ(wr, rd);
 }
 

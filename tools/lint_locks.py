@@ -41,6 +41,7 @@ KNOWN_CLASSES = {
     "bcache",
     "pmm",
     "slab-depot",
+    "faultinject",
 }
 
 NAKED_CALL = re.compile(r"(?:\.|->)(Acquire|Release)\(\s*\)")
