@@ -53,10 +53,12 @@ int SysmonMain(AppEnv& env) {
       FillRect(env, bb, 28, 18 + static_cast<int>(c) * 14, 120, 8, Rgb(40, 46, 60));
       FillRect(env, bb, 28, 18 + static_cast<int>(c) * 14, bar_w, 8, Rgb(90, 230, 120));
       if (c < sched.size()) {
-        char sw[16];
-        std::snprintf(sw, sizeof(sw), "%lluq%llu",
+        // switches, runqueue depth, and steal ops pulled in by this core.
+        char sw[24];
+        std::snprintf(sw, sizeof(sw), "%lluq%llus%llu",
                       static_cast<unsigned long long>(sched[c].switches % 10000),
-                      static_cast<unsigned long long>(sched[c].runq));
+                      static_cast<unsigned long long>(sched[c].runq),
+                      static_cast<unsigned long long>(sched[c].steals % 1000));
         DrawText(env, bb, 152, 18 + static_cast<int>(c) * 14, sw, Rgb(140, 150, 170), 1);
       }
     }

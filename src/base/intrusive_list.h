@@ -43,12 +43,24 @@ class IntrusiveList {
   void PushFront(T* t) { InsertBefore(sentinel_.next, NodeOf(t)); }
 
   T* Front() { return empty() ? nullptr : OwnerOf(sentinel_.next); }
+  T* Back() { return empty() ? nullptr : OwnerOf(sentinel_.prev); }
 
   T* PopFront() {
     if (empty()) {
       return nullptr;
     }
     ListNode* n = sentinel_.next;
+    Unlink(n);
+    return OwnerOf(n);
+  }
+
+  // Removes and returns the newest element (work stealing takes from the
+  // tail so the victim's next-to-run head stays put).
+  T* PopBack() {
+    if (empty()) {
+      return nullptr;
+    }
+    ListNode* n = sentinel_.prev;
     Unlink(n);
     return OwnerOf(n);
   }

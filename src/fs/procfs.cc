@@ -176,14 +176,18 @@ std::string FormatSchedStat(const std::vector<ProcSchedLine>& cores,
                             const std::vector<ProcTaskLine>& tasks) {
   std::ostringstream os;
   for (const ProcSchedLine& c : cores) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "core %u switches %llu runq %llu idle %.1f%%\n", c.core,
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "core %u switches %llu runq %llu steals %llu migr %llu idle %.1f%%\n", c.core,
                   static_cast<unsigned long long>(c.switches),
-                  static_cast<unsigned long long>(c.runq), c.idle_pct);
+                  static_cast<unsigned long long>(c.runq),
+                  static_cast<unsigned long long>(c.steals),
+                  static_cast<unsigned long long>(c.migrations), c.idle_pct);
     os << buf;
   }
   for (const ProcTaskLine& t : tasks) {
-    os << "pid " << t.pid << " cpu_ms " << t.cpu_ms << " name " << t.name << "\n";
+    os << "pid " << t.pid << " cpu_ms " << t.cpu_ms << " level " << t.level << " name "
+       << t.name << "\n";
   }
   return os.str();
 }
@@ -194,11 +198,13 @@ bool ParseSchedStat(const std::string& schedstat, std::vector<ProcSchedLine>* ou
   std::string line;
   while (std::getline(is, line)) {
     ProcSchedLine c;
-    unsigned long long sw, rq;
-    if (std::sscanf(line.c_str(), "core %u switches %llu runq %llu idle %lf%%", &c.core, &sw,
-                    &rq, &c.idle_pct) == 4) {
+    unsigned long long sw, rq, st, mg;
+    if (std::sscanf(line.c_str(), "core %u switches %llu runq %llu steals %llu migr %llu idle %lf%%",
+                    &c.core, &sw, &rq, &st, &mg, &c.idle_pct) == 6) {
       c.switches = sw;
       c.runq = rq;
+      c.steals = st;
+      c.migrations = mg;
       out->push_back(c);
     }
   }

@@ -23,6 +23,7 @@ struct ProcTaskLine {
   std::string name;
   std::string state;
   std::uint64_t cpu_ms = 0;
+  int level = 0;  // MLFQ level (always 0 under the rr policy)
 };
 
 // One /proc/blkstat row: per-device block-layer counters plus the current
@@ -85,11 +86,15 @@ struct ProcMemStat {
 };
 
 // One /proc/schedstat core row: context switches, current runqueue depth,
-// and idle percentage since boot. Per-task CPU time rides along as ProcTaskLine.
+// work-stealing traffic (steal operations performed / tasks migrated away),
+// and idle percentage since boot. Per-task CPU time and MLFQ level ride
+// along as ProcTaskLine.
 struct ProcSchedLine {
   unsigned core = 0;
   std::uint64_t switches = 0;
   std::uint64_t runq = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t migrations = 0;
   double idle_pct = 0;
 };
 

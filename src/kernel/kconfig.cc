@@ -64,6 +64,9 @@ void ScaleCompute(CostModel& c, double s) {
   c.mmap_base = Cycles(c.mmap_base * s);
   c.pipe_op = Cycles(c.pipe_op * s);
   c.pipe_per_byte *= s;
+  c.ipc_create = Cycles(c.ipc_create * s);
+  c.ipc_map = Cycles(c.ipc_map * s);
+  c.ipc_ring_op = Cycles(c.ipc_ring_op * s);
   c.memcpy_per_byte *= s;
   c.memcpy_naive_per_byte *= s;
   c.blit_per_byte *= s;

@@ -43,6 +43,15 @@ const char* StageName(Stage s);
 const char* PlatformName(Platform p);
 const char* OsProfileName(OsProfile p);
 
+// Scheduling policy for the per-core runqueues. kRr reproduces the seed
+// behaviour exactly (one level, rotate on slice expiry); kMlfq enables the
+// 3-level multi-level feedback queue (demote on full-slice burn, periodic
+// priority boost) — see DESIGN.md "Scheduling & IPC".
+enum class SchedPolicy : int {
+  kRr = 0,
+  kMlfq = 1,
+};
+
 // All compute costs are cycles of the 1 GHz virtual clock (== ns).
 struct CostModel {
   // Syscall path.
@@ -66,6 +75,9 @@ struct CostModel {
   // IPC.
   Cycles pipe_op = 7200;         // lock, ring manipulation, wakeup partner
   double pipe_per_byte = 1.2;
+  Cycles ipc_create = 5200;      // futex channel: table slot + ring allocation
+  Cycles ipc_map = 2600;         // map the shared ring into the caller
+  Cycles ipc_ring_op = 120;      // user-side ring index math + fences per op
   // Bulk data movement (per byte).
   double memcpy_per_byte = 0.45;      // ARMv8 assembly memmove (§5.2)
   double memcpy_naive_per_byte = 4.0; // C byte-at-a-time loop (ablation)
@@ -97,6 +109,15 @@ struct KernelConfig {
   unsigned cores = 4;             // used cores (proto5 only; earlier stages use 1)
   Cycles tick_interval = Ms(1);   // per-core scheduler tick
   unsigned slice_ticks = 10;      // round-robin slice = 10 ms
+
+  // Scheduler policy knobs. The defaults keep seed behaviour: single-level
+  // round robin with work stealing across the per-core runqueues.
+  SchedPolicy sched_policy = SchedPolicy::kRr;
+  bool sched_steal = true;              // steal-half when a core's queue is empty
+  std::uint32_t mlfq_boost_ms = 100;    // periodic boost interval (kMlfq only)
+
+  // Default byte capacity of a futex IPC ring (SysIpcCreate(0) uses this).
+  std::uint32_t ipc_ring_bytes = 65536;
 
   std::uint32_t fb_width = 640;
   std::uint32_t fb_height = 480;

@@ -53,6 +53,10 @@ const char* SysName(Sys num) {
     case Sys::kSemPost: return "sempost";
     case Sys::kSync: return "sync";
     case Sys::kFsync: return "fsync";
+    case Sys::kIpcCreate: return "ipccreate";
+    case Sys::kIpcWait: return "ipcwait";
+    case Sys::kIpcWake: return "ipcwake";
+    case Sys::kIpcMap: return "ipcmap";
   }
   return "?";
 }
@@ -98,6 +102,9 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
     metrics_.Gauge(pfx + "idle_pct", [this, c] {
       return static_cast<std::uint64_t>((1.0 - machine_.Utilization(c)) * 100.0);
     });
+    metrics_.Gauge(pfx + "steals", [this, c] { return sched_.steals(c); });
+    metrics_.Gauge(pfx + "stolen_tasks", [this, c] { return sched_.stolen_tasks(c); });
+    metrics_.Gauge(pfx + "migrations", [this, c] { return sched_.migrations(c); });
   }
 }
 
@@ -190,6 +197,11 @@ Kernel::BootReport Kernel::Boot() {
   }
   vtimers_ = std::make_unique<VirtualTimers>(board_.sys_timer());
   sems_ = std::make_unique<SemTable>(sched_);
+  ipcs_ = std::make_unique<IpcTable>(sched_, cfg_);
+  metrics_.Gauge("ipc.waits_slept", [this] { return ipcs_->waits_slept(); });
+  metrics_.Gauge("ipc.waits_immediate", [this] { return ipcs_->waits_immediate(); });
+  metrics_.Gauge("ipc.wakes", [this] { return ipcs_->wakes(); });
+  metrics_.Gauge("ipc.woken_tasks", [this] { return ipcs_->woken_tasks(); });
   core += Ms(3);  // vector tables, EL1 setup, MMU enable (1 MB kernel blocks)
   if (cfg_.HasVm()) {
     core += Ms(2);  // kernel page tables
@@ -380,12 +392,14 @@ Kernel::BootReport Kernel::Boot() {
       std::vector<ProcSchedLine> cores;
       for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
         cores.push_back(ProcSchedLine{c, sched_.context_switches(c), sched_.runqueue_len(c),
+                                      sched_.steals(c), sched_.migrations(c),
                                       (1.0 - machine_.Utilization(c)) * 100.0});
       }
       std::vector<ProcTaskLine> tasks;
       for (auto& [pid, t] : tasks_) {
         tasks.push_back(ProcTaskLine{pid, t->name(), "",
-                                     static_cast<std::uint64_t>(ToMs(t->cpu_time))});
+                                     static_cast<std::uint64_t>(ToMs(t->cpu_time)),
+                                     t->mlfq_level});
       }
       return FormatSchedStat(cores, tasks);
     });
@@ -519,7 +533,8 @@ Task* Kernel::NewTask(const std::string& name, bool kernel_task) {
   return raw;
 }
 
-Task* Kernel::CreateKernelTask(const std::string& name, std::function<void()> body) {
+Task* Kernel::CreateKernelTask(const std::string& name, std::function<void()> body,
+                               int core_hint) {
   Task* t = NewTask(name, /*kernel_task=*/true);
   t->AttachFiber(std::make_unique<TaskFiber>([this, t, body = std::move(body)] {
     g_current_task = t;
@@ -533,7 +548,7 @@ Task* Kernel::CreateKernelTask(const std::string& name, std::function<void()> bo
       }
     }
   }));
-  sched_.AddNew(t);
+  sched_.AddNew(t, core_hint);
   return t;
 }
 
@@ -711,6 +726,9 @@ void Kernel::TickHandler(unsigned core, Cycles now) {
   board_.core_timer(core).ClearIrq();
   board_.core_timer(core).Arm(now, cfg_.tick_interval);
   machine_.ChargeIrq(core, cfg_.cost.irq_entry + cfg_.cost.timer_tick_work);
+  // MLFQ periodic boost runs off each core's own tick, against its own
+  // runqueue lock only.
+  sched_.OnTick(core, now);
   if (core == 0) {
     timekeeping_.Tick();
   }

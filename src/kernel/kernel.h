@@ -20,6 +20,7 @@
 #include "src/hw/board.h"
 #include "src/kernel/debug_monitor.h"
 #include "src/kernel/drivers.h"
+#include "src/kernel/ipc.h"
 #include "src/kernel/kconfig.h"
 #include "src/kernel/klog.h"
 #include "src/kernel/lockdep.h"
@@ -42,8 +43,9 @@ namespace vos {
 
 class WindowManager;
 
-// Syscall numbers (30 syscalls across task management, filesystem,
-// threading/synchronization, and durability, §3).
+// Syscall numbers: the paper's 30 syscalls across task management,
+// filesystem, threading/synchronization, and durability (§3), plus the four
+// futex-IPC calls the "Scheduling & IPC" refactor adds.
 enum class Sys : int {
   kFork = 1,
   kExit = 2,
@@ -75,9 +77,13 @@ enum class Sys : int {
   kSemPost = 28,
   kSync = 29,
   kFsync = 30,
+  kIpcCreate = 31,
+  kIpcWait = 32,
+  kIpcWake = 33,
+  kIpcMap = 34,
 };
 
-constexpr int kNumSyscalls = 30;
+constexpr int kNumSyscalls = 34;
 
 // Lowercase syscall name for metric paths ("syscall.<name>.latency").
 const char* SysName(Sys num);
@@ -129,6 +135,7 @@ class Kernel final : public MachineClient {
   Klog& klog() { return klog_; }
   VirtualTimers& vtimers() { return *vtimers_; }
   SemTable& sems() { return *sems_; }
+  IpcTable& ipcs() { return *ipcs_; }
   FbDriver& fb_driver() { return *fb_driver_; }
   AudioDriver& audio_driver() { return *audio_driver_; }
   KeyEventDev& events_dev() { return *events_; }
@@ -139,7 +146,10 @@ class Kernel final : public MachineClient {
   const std::string& last_panic_dump() const { return last_panic_dump_; }
 
   // --- Tasks ---
-  Task* CreateKernelTask(const std::string& name, std::function<void()> body);
+  // `core_hint` >= 0 pins the new task's home runqueue (tests and benches
+  // use it to build skewed loads that exercise the work-stealing balancer).
+  Task* CreateKernelTask(const std::string& name, std::function<void()> body,
+                         int core_hint = -1);
   // Creates a user task that execs `path` with `argv` when first scheduled.
   Task* StartUserProgram(const std::string& path, const std::vector<std::string>& argv);
   Task* CurrentTask() const;
@@ -188,6 +198,12 @@ class Kernel final : public MachineClient {
   std::int64_t SysSemCreate(int initial);
   std::int64_t SysSemWait(int id);
   std::int64_t SysSemPost(int id);
+  // Futex IPC (ipc.h): create a shared ring, map it into the caller, and
+  // park/unpark on its version words. The data path never enters the kernel.
+  std::int64_t SysIpcCreate(std::uint64_t bytes);
+  std::int64_t SysIpcMap(int id, IpcRing** out);
+  std::int64_t SysIpcWait(int id, int side, std::uint64_t expected);
+  std::int64_t SysIpcWake(int id, int side);
   // Durability (§5.2 write-back cache): sync flushes every dirty buffer on
   // every device; fsync flushes the device backing one open file.
   std::int64_t SysSync();
@@ -255,6 +271,7 @@ class Kernel final : public MachineClient {
   std::unique_ptr<Kmalloc> kmalloc_;
   std::unique_ptr<VirtualTimers> vtimers_;
   std::unique_ptr<SemTable> sems_;
+  std::unique_ptr<IpcTable> ipcs_;
 
   // Filesystems. Every BlockDevice is wrapped in a FaultInjectingBlockDevice
   // before it reaches the bcache, so /proc/faultinject can inject errors on

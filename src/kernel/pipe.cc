@@ -7,16 +7,27 @@ namespace vos {
 std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
   SpinGuard g(lock_);
   std::size_t done = 0;
+  std::size_t since_wake = 0;  // bytes staged for the next reader wakeup
   while (done < n) {
     if (readers_ == 0 || cur->killed) {
       break;
     }
     if (ring_.full()) {
+      if (bytes_per_wake_hist_ != nullptr && since_wake > 0) {
+        bytes_per_wake_hist_->Record(since_wake);
+      }
+      since_wake = 0;
       sched_.Wakeup(&read_chan_);
       sched_.SleepOn(cur, &write_chan_, lock_);
       continue;
     }
-    ring_.Push(buf[done++]);
+    // Bulk-copy as much as fits in one go instead of a byte per iteration.
+    std::size_t pushed = ring_.PushMany(buf + done, n - done);
+    done += pushed;
+    since_wake += pushed;
+  }
+  if (bytes_per_wake_hist_ != nullptr && since_wake > 0) {
+    bytes_per_wake_hist_->Record(since_wake);
   }
   sched_.Wakeup(&read_chan_);
   if (done == 0 && readers_ == 0) {

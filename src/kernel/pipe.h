@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "src/base/histogram.h"
 #include "src/base/ring_buffer.h"
 #include "src/kernel/sched.h"
 #include "src/kernel/spinlock.h"
@@ -36,6 +37,10 @@ class Pipe {
   int writers() const { return writers_; }
   std::size_t buffered() const { return ring_.size(); }
 
+  // Optional batching observability: how many bytes each reader wakeup had
+  // waiting for it (Record is wait-free, safe under lock_).
+  void SetBytesPerWakeupHist(Histogram* h) { bytes_per_wake_hist_ = h; }
+
  private:
   Sched& sched_;
   SpinLock lock_{"pipe"};  // all pipes share one lock class
@@ -45,6 +50,7 @@ class Pipe {
   // Distinct sleep channels for the two directions, as in xv6.
   char read_chan_ = 0;
   char write_chan_ = 0;
+  Histogram* bytes_per_wake_hist_ = nullptr;
 };
 
 }  // namespace vos

@@ -1,46 +1,129 @@
 #include "src/kernel/sched.h"
 
+#include <algorithm>
+
 #include "src/base/assert.h"
 #include "src/kernel/lockdep.h"
 
 namespace vos {
 
+Sched::Sched(const KernelConfig& cfg) : cfg_(cfg), ncores_(cfg.EffectiveCores()) {
+  for (unsigned c = 0; c < ncores_; ++c) {
+    cores_[c] = std::make_unique<CoreRq>(c);
+  }
+}
+
 void Sched::AddNew(Task* t, int core_hint) {
-  SpinGuard g(lock_);
-  if (core_hint >= 0 && static_cast<unsigned>(core_hint) < ncores_) {
-    t->core = static_cast<unsigned>(core_hint);
-  } else {
-    t->core = next_core_;
-    next_core_ = (next_core_ + 1) % ncores_;
+  {
+    SpinGuard g(lock_);
+    if (core_hint >= 0 && static_cast<unsigned>(core_hint) < ncores_) {
+      t->core = static_cast<unsigned>(core_hint);
+    } else {
+      t->core = next_core_;
+      next_core_ = (next_core_ + 1) % ncores_;
+    }
   }
   t->state = TaskState::kRunnable;
-  EnqueueLocked(t);
+  t->mlfq_level = 0;  // new tasks start at the highest priority
+  EnqueueCore(t);
 }
 
-void Sched::Enqueue(Task* t) {
-  SpinGuard g(lock_);
-  EnqueueLocked(t);
-}
+void Sched::Enqueue(Task* t) { EnqueueCore(t); }
 
-void Sched::EnqueueLocked(Task* t) {
+void Sched::EnqueueCore(Task* t) {
   VOS_CHECK(t->state == TaskState::kRunnable);
   VOS_CHECK(t->core < ncores_);
+  CoreRq& rq = *cores_[t->core];
+  SpinGuard g(rq.lock);
   t->runnable_since = NowStamp();
-  runq_[t->core].PushBack(t);
+  rq.q[LevelOf(t)].PushBack(t);
+}
+
+Task* Sched::PopLocked(CoreRq& rq) {
+  for (int l = 0; l < kMlfqLevels; ++l) {
+    Task* t = rq.q[l].PopFront();
+    if (t != nullptr) {
+      ++rq.switches;
+      if (runq_wait_hist_ != nullptr && now_fn_) {
+        Cycles now = now_fn_();
+        runq_wait_hist_->Record(now > t->runnable_since ? now - t->runnable_since : 0);
+      }
+      return t;
+    }
+  }
+  return nullptr;
 }
 
 Task* Sched::PickNext(unsigned core) {
   VOS_CHECK(core < ncores_);
-  SpinGuard g(lock_);
-  Task* t = runq_[core].PopFront();
-  if (t != nullptr) {
-    ++switches_[core];
-    if (runq_wait_hist_ != nullptr && now_fn_) {
-      Cycles now = now_fn_();
-      runq_wait_hist_->Record(now > t->runnable_since ? now - t->runnable_since : 0);
+  {
+    SpinGuard g(cores_[core]->lock);
+    Task* t = PopLocked(*cores_[core]);
+    if (t != nullptr) {
+      return t;
     }
   }
-  return t;
+  if (cfg_.sched_steal && ncores_ > 1 && StealInto(core)) {
+    SpinGuard g(cores_[core]->lock);
+    return PopLocked(*cores_[core]);
+  }
+  return nullptr;
+}
+
+bool Sched::StealInto(unsigned thief) {
+  // Victim selection scans queue lengths unlocked: token serialization makes
+  // the read a snapshot, and a stale length only costs a wasted lock trip.
+  // A queue of one is not worth splitting (it is probably the victim's only
+  // work), so the threshold is two.
+  unsigned victim = thief;
+  std::size_t best = 1;
+  for (unsigned v = 0; v < ncores_; ++v) {
+    if (v == thief) {
+      continue;
+    }
+    std::size_t len = cores_[v]->Len();
+    if (len > best) {
+      best = len;
+      victim = v;
+    }
+  }
+  if (victim == thief) {
+    return false;
+  }
+  // Ordering rule: always lock the lower core index first. Every nesting of
+  // two sched-core locks therefore produces an i→j edge with i < j, and the
+  // lockdep order graph between the per-core classes stays acyclic.
+  unsigned lo = std::min(thief, victim);
+  unsigned hi = std::max(thief, victim);
+  SpinGuard g_lo(cores_[lo]->lock);
+  SpinGuard g_hi(cores_[hi]->lock);
+  CoreRq& src = *cores_[victim];
+  CoreRq& dst = *cores_[thief];
+  std::size_t take = src.Len() / 2;
+  std::size_t moved = 0;
+  // Steal-half from the tail, lowest priority level first: the newest,
+  // least-urgent arrivals would wait longest behind the victim's backlog, so
+  // moving them helps tail latency most, and the victim's next-to-run head
+  // (warm state) stays put. runnable_since is preserved — the wait continues
+  // on the thief's queue and the runq_wait histogram sees the true latency.
+  for (int l = kMlfqLevels - 1; l >= 0 && moved < take; --l) {
+    while (moved < take) {
+      Task* t = src.q[l].PopBack();
+      if (t == nullptr) {
+        break;
+      }
+      t->core = thief;
+      dst.q[l].PushBack(t);
+      ++moved;
+    }
+  }
+  if (moved == 0) {
+    return false;
+  }
+  ++dst.steals;
+  dst.stolen_in += moved;
+  src.migrated_out += moved;
+  return true;
 }
 
 void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
@@ -49,19 +132,29 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
       // Still wants the CPU. Rotate to the tail when its slice is spent,
       // otherwise keep it at the head (it was merely interrupted by the
       // window boundary, not preempted).
-      SpinGuard g(lock_);
+      CoreRq& rq = *cores_[core];
+      SpinGuard g(rq.lock);
       t->state = TaskState::kRunnable;
-      if (t->slice_used >= SliceLen()) {
+      t->core = core;
+      int lv = LevelOf(t);
+      if (t->slice_used >= SliceLenAt(lv)) {
         if (slice_hist_ != nullptr) {
           slice_hist_->Record(t->slice_used);
         }
         t->slice_used = 0;
-        runq_[core].PushBack(t);
-        t->runnable_since = NowStamp();
+        // MLFQ rule: burning the whole slice marks the task CPU-bound and
+        // demotes it one level. A voluntary yield burns the slice for
+        // rotation purposes but is not a demotion signal.
+        if (Mlfq() && !t->yielded && lv < kMlfqLevels - 1) {
+          t->mlfq_level = lv + 1;
+          lv = t->mlfq_level;
+        }
+        rq.q[lv].PushBack(t);
       } else {
-        runq_[core].PushFront(t);
-        t->runnable_since = NowStamp();
+        rq.q[lv].PushFront(t);
       }
+      t->yielded = false;
+      t->runnable_since = NowStamp();
       break;
     }
     case TaskFiber::StopReason::kBlocked:
@@ -71,6 +164,34 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
     case TaskFiber::StopReason::kExited:
       // Zombie; the exit path handled bookkeeping.
       break;
+  }
+}
+
+void Sched::OnTick(unsigned core, Cycles now) {
+  if (!Mlfq() || core >= ncores_) {
+    return;
+  }
+  CoreRq& rq = *cores_[core];
+  Cycles period = Ms(cfg_.mlfq_boost_ms);
+  if (now < rq.last_boost + period) {
+    return;
+  }
+  // Periodic boost (starvation guard): everything queued below level 0 moves
+  // back to the top with a fresh slice. Sleeping tasks are untouched — they
+  // re-enter at their old level when woken and catch the next boost.
+  SpinGuard g(rq.lock);
+  rq.last_boost = now;
+  bool promoted = false;
+  for (int l = 1; l < kMlfqLevels; ++l) {
+    while (Task* t = rq.q[l].PopFront()) {
+      t->mlfq_level = 0;
+      t->slice_used = 0;
+      rq.q[0].PushBack(t);
+      promoted = true;
+    }
+  }
+  if (promoted) {
+    ++rq.boost_rounds;
   }
 }
 
@@ -85,6 +206,9 @@ void Sched::Sleep(Task* cur, void* chan) {
     SpinGuard g(lock_);
     cur->sleep_chan = chan;
     cur->state = TaskState::kSleeping;
+    // Blocking ends the slice: an I/O-bound task wakes with a fresh budget,
+    // so MLFQ never mistakes many short on-CPU bursts for one long burn.
+    cur->slice_used = 0;
     sleeping_.PushBack(cur);
   }
   try {
@@ -121,20 +245,33 @@ void Sched::SleepOn(Task* cur, void* chan, SpinLock& lk) {
 }
 
 std::size_t Sched::Wakeup(void* chan) {
-  SpinGuard g(lock_);
-  std::size_t n = 0;
-  // Collect first: WakeTaskLocked mutates the sleeping list.
-  Task* to_wake[64];
-  for (Task* t : sleeping_) {
-    if (t->sleep_chan == chan) {
-      VOS_CHECK_MSG(n < 64, "too many sleepers on one channel");
-      to_wake[n++] = t;
+  // Broadcast wake, drained in bounded chunks: collect up to a batch of
+  // matches under the lock, wake them (each wake unlinks the task from the
+  // sleeping list), then rescan. The loop terminates because every pass
+  // strictly shrinks the match set — a channel with any number of sleepers
+  // (10k-task broadcast) wakes them all without a fixed-size-array panic.
+  constexpr std::size_t kBatch = 64;
+  std::size_t total = 0;
+  for (;;) {
+    Task* batch[kBatch];
+    std::size_t n = 0;
+    SpinGuard g(lock_);
+    for (Task* t : sleeping_) {
+      if (t->sleep_chan == chan) {
+        batch[n++] = t;
+        if (n == kBatch) {
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      WakeTaskLocked(batch[i]);
+    }
+    total += n;
+    if (n < kBatch) {
+      return total;
     }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    WakeTaskLocked(to_wake[i]);
-  }
-  return n;
 }
 
 void Sched::WakeTask(Task* t) {
@@ -149,12 +286,16 @@ void Sched::WakeTaskLocked(Task* t) {
   sleeping_.Remove(t);
   t->sleep_chan = nullptr;
   t->state = TaskState::kRunnable;
-  EnqueueLocked(t);
+  // Nests "sched" → "sched-core<home>": the documented hierarchy edge.
+  EnqueueCore(t);
 }
 
 void Sched::Yield(Task* cur) {
   // Voluntary yield: burn the rest of the slice accounting-wise and rotate.
-  cur->slice_used = SliceLen();
+  // The `yielded` flag tells OnTaskStopped this was cooperative, so MLFQ
+  // does not read it as a full-slice burn and demote.
+  cur->yielded = true;
+  cur->slice_used = SliceLenAt(LevelOf(cur));
   cur->fiber().Burn(cfg_.cost.context_switch);
   // Force a trip through the machine loop so others run.
   cur->fiber().YieldToMachine();
@@ -162,13 +303,13 @@ void Sched::Yield(Task* cur) {
 
 bool Sched::HasRunnable() const {
   for (unsigned c = 0; c < ncores_; ++c) {
-    if (!runq_[c].empty()) {
+    if (cores_[c]->Len() > 0) {
       return true;
     }
   }
   return false;
 }
 
-std::size_t Sched::runqueue_len(unsigned core) const { return runq_[core].size(); }
+std::size_t Sched::runqueue_len(unsigned core) const { return cores_[core]->Len(); }
 
 }  // namespace vos

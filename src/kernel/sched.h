@@ -1,8 +1,16 @@
-// The scheduler: per-core round-robin runqueues (a single queue until
-// Prototype 5 brings multicore), xv6-style sleep channels, and WFI idling.
-// Runqueue and sleep-list mutations take the "sched" spinlock — the lock a
-// real kernel needs here, and the anchor of the lockdep order graph (pipe
-// and semtable wakeups nest it, the timer tick takes it in IRQ context).
+// The scheduler, sharded per core (Prototype 5 brings multicore): each core
+// owns a runqueue guarded by its own lock class ("sched-core<i>"), so
+// PickNext/Enqueue on different cores never contend. A work-stealing
+// balancer moves half of the longest queue to a core that runs dry, and the
+// queue itself is a 3-level MLFQ when `sched_policy=mlfq` (the default `rr`
+// collapses to the seed's single-level round robin).
+//
+// Locking (DESIGN.md §7): the "sched" lock still guards the sleep list and
+// round-robin placement counter; it nests the per-core locks (wakeups hold
+// "sched" while enqueueing to a home core). The steal path is the only place
+// two "sched-core" locks nest, and it always locks the lower core index
+// first — the order graph can only ever contain sched-core[i] → sched-core[j]
+// edges with i < j, so no inversion between instances is expressible.
 //
 // Lost wakeups: xv6 needs the sleep-lock dance because another CPU can call
 // wakeup() between releasing the condition lock and sleeping. In the
@@ -14,6 +22,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 
 #include "src/base/histogram.h"
 #include "src/base/intrusive_list.h"
@@ -24,24 +34,29 @@
 
 namespace vos {
 
+// MLFQ depth. Level 0 is the highest priority; slices double per level.
+constexpr int kMlfqLevels = 3;
+
 class Sched {
  public:
-  explicit Sched(const KernelConfig& cfg)
-      : cfg_(cfg), ncores_(cfg.EffectiveCores()) {}
+  explicit Sched(const KernelConfig& cfg);
 
   unsigned ncores() const { return ncores_; }
 
-  // Places a new or woken task on a runqueue. New tasks round-robin across
-  // cores; woken tasks return to their home core.
+  // Places a woken task back on its home core's runqueue.
   void Enqueue(Task* t);
   // Assigns a home core then enqueues: round-robin by default, or a fixed
   // core when `core_hint` >= 0 (fork keeps children on the parent's core for
   // cache affinity; clone spreads threads for parallelism).
   void AddNew(Task* t, int core_hint = -1);
 
-  // Machine-loop side.
+  // Machine-loop side. PickNext serves the core's own queue first; when that
+  // is empty (and stealing is enabled) it steals half of the longest other
+  // queue before giving up and idling the core.
   Task* PickNext(unsigned core);
   void OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r);
+  // Per-core timer tick: drives the periodic MLFQ priority boost.
+  void OnTick(unsigned core, Cycles now);
 
   // Fiber side (current task).
   void Sleep(Task* cur, void* chan);
@@ -60,15 +75,22 @@ class Sched {
   std::uint64_t context_switches() const {
     std::uint64_t t = 0;
     for (unsigned c = 0; c < ncores_; ++c) {
-      t += switches_[c];
+      t += cores_[c]->switches;
     }
     return t;
   }
-  std::uint64_t context_switches(unsigned core) const { return switches_[core]; }
+  std::uint64_t context_switches(unsigned core) const { return cores_[core]->switches; }
+  // Steal operations performed by `core` (thief side) and tasks it pulled in.
+  std::uint64_t steals(unsigned core) const { return cores_[core]->steals; }
+  std::uint64_t stolen_tasks(unsigned core) const { return cores_[core]->stolen_in; }
+  // Tasks that migrated away from `core` (victim side).
+  std::uint64_t migrations(unsigned core) const { return cores_[core]->migrated_out; }
+  // MLFQ boost rounds on `core` that actually re-promoted something.
+  std::uint64_t boosts(unsigned core) const { return cores_[core]->boost_rounds; }
 
   // Observability wiring (kernel boot): a clock for enqueue/dispatch stamps
   // and histograms for runqueue wait (wakeup→dispatch) and slice length.
-  // Histogram::Record is wait-free, so recording under lock_ adds no edge.
+  // Histogram::Record is wait-free, so recording under a lock adds no edge.
   void SetNowFn(std::function<Cycles()> fn) { now_fn_ = std::move(fn); }
   void SetLatencyHists(Histogram* runq_wait, Histogram* slice) {
     runq_wait_hist_ = runq_wait;
@@ -76,19 +98,57 @@ class Sched {
   }
 
  private:
-  Cycles SliceLen() const { return cfg_.tick_interval * cfg_.slice_ticks; }
+  // One per-core shard: its own lock class plus the MLFQ level queues.
+  // With sched_policy=rr only q[0] is ever populated.
+  struct CoreRq {
+    explicit CoreRq(unsigned i)
+        : lock("sched-core" + std::to_string(i)) {}
+    SpinLock lock;  // lockdep: class sched-core (per-core name built at runtime)
+    IntrusiveList<Task, &Task::run_hook> q[kMlfqLevels];
+    std::uint64_t switches = 0;
+    std::uint64_t steals = 0;        // successful steal operations (thief side)
+    std::uint64_t stolen_in = 0;     // tasks pulled in by stealing
+    std::uint64_t migrated_out = 0;  // tasks other cores stole from here
+    std::uint64_t boost_rounds = 0;  // boost ticks that promoted something
+    Cycles last_boost = 0;
+
+    std::size_t Len() const {
+      std::size_t n = 0;
+      for (const auto& l : q) {
+        n += l.size();
+      }
+      return n;
+    }
+  };
+
+  bool Mlfq() const { return cfg_.sched_policy == SchedPolicy::kMlfq; }
+  // Which level queue `t` belongs on under the active policy.
+  int LevelOf(const Task* t) const { return Mlfq() ? t->mlfq_level : 0; }
+  // Slice budget at `level`: doubles per level so demoted CPU hogs run in
+  // longer, less frequent bursts (the classic MLFQ shape).
+  Cycles SliceLenAt(int level) const {
+    return (cfg_.tick_interval * cfg_.slice_ticks) << (Mlfq() ? level : 0);
+  }
   Cycles NowStamp() const { return now_fn_ ? now_fn_() : 0; }
-  // Callers hold lock_.
-  void EnqueueLocked(Task* t);
+  // Pops the highest-priority task of `rq` and accounts the dispatch.
+  // Caller holds rq.lock.
+  Task* PopLocked(CoreRq& rq);
+  // Steals half of the longest other queue into `thief`'s queue. Returns
+  // true if anything moved.
+  bool StealInto(unsigned thief);
+  // Pushes a runnable task onto its home core's queue (takes the core lock).
+  void EnqueueCore(Task* t);
+  // Caller holds lock_.
   void WakeTaskLocked(Task* t);
 
   const KernelConfig& cfg_;
   unsigned ncores_;
+  // Guards the sleep list and the round-robin placement cursor; per-core
+  // runqueues have their own locks (see CoreRq).
   SpinLock lock_{"sched"};
-  IntrusiveList<Task, &Task::run_hook> runq_[kMaxCores];
+  std::unique_ptr<CoreRq> cores_[kMaxCores];
   IntrusiveList<Task, &Task::run_hook> sleeping_;
   unsigned next_core_ = 0;
-  std::uint64_t switches_[kMaxCores] = {};
   std::function<Cycles()> now_fn_;
   Histogram* runq_wait_hist_ = nullptr;
   Histogram* slice_hist_ = nullptr;

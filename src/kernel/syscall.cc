@@ -393,6 +393,7 @@ std::int64_t Kernel::SysPipe(int fds[2]) {
     return SyscallExit(Sys::kPipe, kErrNoSys);
   }
   auto pipe = std::make_shared<Pipe>(sched_);
+  pipe->SetBytesPerWakeupHist(metrics_.Hist("pipe.bytes_per_wakeup"));
   auto rf = std::make_shared<File>();
   rf->kind = FileKind::kPipe;
   rf->readable = true;
@@ -596,6 +597,57 @@ std::int64_t Kernel::SysSemPost(int id) {
   return SyscallExit(Sys::kSemPost, sems_->Post(id));
 }
 
+// --- Futex IPC --------------------------------------------------------------------
+
+std::int64_t Kernel::SysIpcCreate(std::uint64_t bytes) {
+  Task* cur = SyscallEnter(Sys::kIpcCreate);
+  if (!cfg_.HasThreads()) {
+    return SyscallExit(Sys::kIpcCreate, kErrNoSys);
+  }
+  cur->fiber().Burn(cfg_.cost.ipc_create);
+  return SyscallExit(Sys::kIpcCreate, ipcs_->Create(static_cast<std::size_t>(bytes)));
+}
+
+std::int64_t Kernel::SysIpcMap(int id, IpcRing** out) {
+  Task* cur = SyscallEnter(Sys::kIpcMap);
+  if (!cfg_.HasThreads()) {
+    return SyscallExit(Sys::kIpcMap, kErrNoSys);
+  }
+  IpcRing* r = ipcs_->Ring(id);
+  if (r == nullptr) {
+    return SyscallExit(Sys::kIpcMap, kErrInval);
+  }
+  // Maps the ring into the caller (page-table work); afterwards the task
+  // pushes/pops the shared memory directly, without kernel entries.
+  cur->fiber().Burn(cfg_.cost.ipc_map);
+  *out = r;
+  return SyscallExit(Sys::kIpcMap, 0);
+}
+
+std::int64_t Kernel::SysIpcWait(int id, int side, std::uint64_t expected) {
+  Task* cur = SyscallEnter(Sys::kIpcWait);
+  if (!cfg_.HasThreads()) {
+    return SyscallExit(Sys::kIpcWait, kErrNoSys);
+  }
+  if (side != 0 && side != 1) {
+    return SyscallExit(Sys::kIpcWait, kErrInval);
+  }
+  return SyscallExit(Sys::kIpcWait,
+                     ipcs_->Wait(cur, id, static_cast<IpcSide>(side), expected));
+}
+
+std::int64_t Kernel::SysIpcWake(int id, int side) {
+  Task* cur = SyscallEnter(Sys::kIpcWake);
+  if (!cfg_.HasThreads()) {
+    return SyscallExit(Sys::kIpcWake, kErrNoSys);
+  }
+  if (side != 0 && side != 1) {
+    return SyscallExit(Sys::kIpcWake, kErrInval);
+  }
+  cur->fiber().Burn(cfg_.cost.wakeup);
+  return SyscallExit(Sys::kIpcWake, ipcs_->Wake(id, static_cast<IpcSide>(side)));
+}
+
 std::int64_t Kernel::SysYield() {
   Task* cur = SyscallEnter(Sys::kSleep);
   sched_.Yield(cur);
@@ -624,6 +676,10 @@ std::int64_t Kernel::SyscallRaw(Sys num, std::uint64_t a0, std::uint64_t a1) {
       return SysSemWait(static_cast<int>(a0));
     case Sys::kSemPost:
       return SysSemPost(static_cast<int>(a0));
+    case Sys::kIpcCreate:
+      return SysIpcCreate(a0);
+    case Sys::kIpcWake:
+      return SysIpcWake(static_cast<int>(a0), static_cast<int>(a1));
     case Sys::kCacheFlush:
       return SysCacheFlush(a0, a1);
     case Sys::kSync:

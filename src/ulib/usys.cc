@@ -93,6 +93,76 @@ std::int64_t ureaddir(AppEnv& env, const std::string& path, std::vector<DirEntry
   return env.kernel->SysReadDir(path, out);
 }
 
+std::int64_t uipc_create(AppEnv& env, std::uint64_t bytes) {
+  return env.kernel->SysIpcCreate(bytes);
+}
+std::int64_t uipc_map(AppEnv& env, int id, IpcRing** out) {
+  return env.kernel->SysIpcMap(id, out);
+}
+std::int64_t uipc_wait(AppEnv& env, int id, int side, std::uint64_t expected) {
+  return env.kernel->SysIpcWait(id, side, expected);
+}
+std::int64_t uipc_wake(AppEnv& env, int id, int side) {
+  return env.kernel->SysIpcWake(id, side);
+}
+
+std::int64_t uipc_send(AppEnv& env, int id, IpcRing* ring, const void* buf, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(buf);
+  const CostModel& cost = env.kernel->config().cost;
+  std::size_t done = 0;
+  while (done < n) {
+    // Futex discipline: sample the space word BEFORE probing the ring. If a
+    // consumer frees space between the failed probe and ipc_wait, the word
+    // no longer matches and the wait returns immediately — no lost wakeup
+    // even though the burn below may deschedule us.
+    std::uint64_t space_word = ring->popped();
+    std::size_t pushed = ring->TryPush(p + done, n - done);
+    if (pushed > 0) {
+      // The only copy on the whole path: caller buffer -> shared ring.
+      LBurn(env, double(cost.ipc_ring_op) + double(pushed) * cost.memcpy_per_byte);
+      done += pushed;
+      if (ring->waiters(IpcSide::kData) > 0) {
+        std::int64_t r = uipc_wake(env, id, static_cast<int>(IpcSide::kData));
+        if (r < 0) {
+          return r;
+        }
+      }
+      continue;
+    }
+    LBurn(env, double(cost.ipc_ring_op));
+    std::int64_t r = uipc_wait(env, id, static_cast<int>(IpcSide::kSpace), space_word);
+    if (r < 0) {
+      return r;
+    }
+  }
+  return static_cast<std::int64_t>(done);
+}
+
+std::int64_t uipc_recv(AppEnv& env, int id, IpcRing* ring, void* buf, std::size_t n) {
+  std::uint8_t* p = static_cast<std::uint8_t*>(buf);
+  const CostModel& cost = env.kernel->config().cost;
+  while (n > 0) {
+    std::uint64_t data_word = ring->pushed();  // sampled before the probe, as above
+    std::size_t popped = ring->TryPop(p, n);
+    if (popped > 0) {
+      LBurn(env, double(cost.ipc_ring_op) + double(popped) * cost.memcpy_per_byte);
+      if (ring->waiters(IpcSide::kSpace) > 0) {
+        std::int64_t r = uipc_wake(env, id, static_cast<int>(IpcSide::kSpace));
+        if (r < 0) {
+          return r;
+        }
+      }
+      return static_cast<std::int64_t>(popped);
+    }
+    LBurn(env, double(cost.ipc_ring_op));
+    std::int64_t r = uipc_wait(env, id, static_cast<int>(IpcSide::kData), data_word);
+    if (r < 0) {
+      return r;
+    }
+  }
+  return 0;
+}
+
 std::int64_t uread_file(AppEnv& env, const std::string& path, std::vector<std::uint8_t>* out) {
   std::int64_t fd = uopen(env, path, kORdonly);
   if (fd < 0) {

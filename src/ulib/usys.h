@@ -81,6 +81,22 @@ std::int64_t ufsync(AppEnv& env, int fd);
 std::int64_t uyield(AppEnv& env);
 std::int64_t ureaddir(AppEnv& env, const std::string& path, std::vector<DirEntryInfo>* out);
 
+// --- Futex IPC (zero-copy shared ring, ipc.h) --------------------------------
+
+std::int64_t uipc_create(AppEnv& env, std::uint64_t bytes);  // 0 = config default
+std::int64_t uipc_map(AppEnv& env, int id, IpcRing** out);
+std::int64_t uipc_wait(AppEnv& env, int id, int side, std::uint64_t expected);
+std::int64_t uipc_wake(AppEnv& env, int id, int side);
+
+// Blocking send/recv over a mapped ring: push/pop the shared memory directly
+// (one user-side copy, charged here; the kernel never touches the payload),
+// park with uipc_wait only when the ring is full/empty, and wake the peer
+// only when someone is actually parked — the futex uncontended fast path.
+// Send moves all n bytes (or returns kErrPerm mid-stream on kill/destroy);
+// recv returns as soon as >= 1 byte arrived, streaming up to n.
+std::int64_t uipc_send(AppEnv& env, int id, IpcRing* ring, const void* buf, std::size_t n);
+std::int64_t uipc_recv(AppEnv& env, int id, IpcRing* ring, void* buf, std::size_t n);
+
 // Reads a whole file into memory; negative Err on failure.
 std::int64_t uread_file(AppEnv& env, const std::string& path, std::vector<std::uint8_t>* out);
 

@@ -1,0 +1,249 @@
+// Futex IPC tests: channel lifecycle, wake-before-wait safety, blocking
+// send/recv through the shared ring, multi-producer integrity, and EINTR
+// semantics, all run as real user programs on a booted Prototype-5 system.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/kernel/velf.h"
+#include "src/ulib/usys.h"
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+namespace {
+
+// Registers a one-off test program and runs it to completion (the
+// syscall_test harness pattern).
+int RunInOs(System& sys, const char* name, AppMain main_fn) {
+  static int counter = 0;
+  std::string unique = std::string(name) + std::to_string(counter++);
+  AppRegistry::Instance().Register(unique, std::move(main_fn), 1024, 4 << 20);
+  sys.kernel().AddBootBlob(unique, BuildVelf(unique, 1024, {}, 4 << 20));
+  Task* t = sys.kernel().StartUserProgram(unique, {unique});
+  return static_cast<int>(sys.WaitProgram(t));
+}
+
+class IpcTest : public ::testing::Test {
+ protected:
+  IpcTest() : sys_(OptionsForStage(Stage::kProto5)) {}
+  System sys_;
+};
+
+TEST_F(IpcTest, CreateMapRoundTrip) {
+  int rc = RunInOs(sys_, "ipc-roundtrip", [](AppEnv& env) -> int {
+    std::int64_t id = uipc_create(env, 4096);
+    if (id < 0) {
+      return 1;
+    }
+    IpcRing* ring = nullptr;
+    if (uipc_map(env, static_cast<int>(id), &ring) < 0 || ring == nullptr) {
+      return 2;
+    }
+    if (ring->capacity() != 4096 || !ring->empty()) {
+      return 3;
+    }
+    const char msg[] = "hello over shared memory";
+    if (uipc_send(env, static_cast<int>(id), ring, msg, sizeof(msg)) !=
+        static_cast<std::int64_t>(sizeof(msg))) {
+      return 4;
+    }
+    char got[64] = {};
+    std::int64_t n = uipc_recv(env, static_cast<int>(id), ring, got, sizeof(got));
+    if (n != static_cast<std::int64_t>(sizeof(msg)) || std::string(got) != msg) {
+      return 5;
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST_F(IpcTest, BadIdsAreRejected) {
+  int rc = RunInOs(sys_, "ipc-badid", [](AppEnv& env) -> int {
+    IpcRing* ring = nullptr;
+    if (uipc_map(env, 7, &ring) != kErrInval) {
+      return 1;  // never created
+    }
+    if (uipc_wait(env, -1, 0, 0) != kErrInval) {
+      return 2;
+    }
+    if (uipc_wake(env, kMaxIpcChannels + 3, 0) != kErrInval) {
+      return 3;
+    }
+    std::int64_t id = uipc_create(env, 0);  // 0 = config default size
+    if (id < 0) {
+      return 4;
+    }
+    if (uipc_wait(env, static_cast<int>(id), 2, 0) != kErrInval) {
+      return 5;  // side must be 0 or 1
+    }
+    if (uipc_create(env, kMaxIpcRingBytes * 2) != kErrInval) {
+      return 6;  // over the sanity ceiling
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST_F(IpcTest, WakeBeforeWaitDoesNotStrand) {
+  // The futex property: if the version word moved since the caller sampled
+  // it, wait returns immediately instead of sleeping forever on a wake that
+  // already happened.
+  int rc = RunInOs(sys_, "ipc-stale", [](AppEnv& env) -> int {
+    std::int64_t id = uipc_create(env, 256);
+    IpcRing* ring = nullptr;
+    uipc_map(env, static_cast<int>(id), &ring);
+    std::uint64_t before = ring->pushed();  // == 0
+    std::uint8_t b = 42;
+    ring->TryPush(&b, 1);  // the "missed" wakeup: word moves, nobody parked
+    // A single-threaded program would deadlock here if this slept.
+    if (uipc_wait(env, static_cast<int>(id), 0, before) != 0) {
+      return 1;
+    }
+    // With a *current* expected word and no producer, the syscall would
+    // sleep; confirm the immediate-return path was the word check by taking
+    // the other side, whose word also already moved... after a pop.
+    std::uint8_t got = 0;
+    std::uint64_t space_before = ring->popped();
+    ring->TryPop(&got, 1);
+    if (uipc_wait(env, static_cast<int>(id), 1, space_before) != 0) {
+      return 2;
+    }
+    return got == 42 ? 0 : 3;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST_F(IpcTest, ManyProducersOneConsumerConservesBytes) {
+  // Three clone'd producer threads blast distinct byte values through one
+  // small ring; the consumer tallies per-value counts. Exercises blocking on
+  // kSpace (ring is far smaller than the payload), broadcast wakeups, and
+  // byte-exact delivery under interleaving.
+  Kernel* k = &sys_.kernel();
+  int rc = RunInOs(sys_, "ipc-mpsc", [k](AppEnv& env) -> int {
+    constexpr int kProducers = 3;
+    constexpr int kPerProducer = 20000;
+    std::int64_t id = uipc_create(env, 512);
+    IpcRing* ring = nullptr;
+    if (id < 0 || uipc_map(env, static_cast<int>(id), &ring) < 0) {
+      return 1;
+    }
+    for (int p = 0; p < kProducers; ++p) {
+      uclone(env, [k, id, ring, p]() -> int {
+        AppEnv me = ChildEnv(k);
+        std::array<std::uint8_t, 1000> chunk;
+        chunk.fill(static_cast<std::uint8_t>('A' + p));
+        int sent = 0;
+        while (sent < kPerProducer) {
+          int n = static_cast<int>(std::min<std::size_t>(chunk.size(), kPerProducer - sent));
+          if (uipc_send(me, static_cast<int>(id), ring, chunk.data(), n) != n) {
+            return 1;
+          }
+          sent += n;
+        }
+        return 0;
+      });
+    }
+    std::array<std::int64_t, kProducers> per_value{};
+    std::int64_t total = 0;
+    std::uint8_t buf[700];
+    while (total < kProducers * kPerProducer) {
+      std::int64_t n = uipc_recv(env, static_cast<int>(id), ring, buf, sizeof(buf));
+      if (n <= 0) {
+        return 2;
+      }
+      for (std::int64_t i = 0; i < n; ++i) {
+        int p = buf[i] - 'A';
+        if (p < 0 || p >= kProducers) {
+          return 3;  // corrupted byte
+        }
+        ++per_value[p];
+      }
+      total += n;
+    }
+    for (int p = 0; p < kProducers; ++p) {
+      if (per_value[p] != kPerProducer) {
+        return 4;
+      }
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST_F(IpcTest, KillInterruptsWaiter) {
+  // A child parked in ipc_wait must come back with kErrPerm (EINTR) when
+  // killed, not hang or die inside the kernel.
+  Kernel* k = &sys_.kernel();
+  int rc = RunInOs(sys_, "ipc-eintr", [k](AppEnv& env) -> int {
+    std::int64_t id = uipc_create(env, 256);
+    if (id < 0) {
+      return 1;
+    }
+    std::int64_t observed = -1000;
+    std::int64_t pid = ufork(env, [k, id, &observed]() -> int {
+      AppEnv me = ChildEnv(k);
+      IpcRing* ring = nullptr;
+      if (uipc_map(me, static_cast<int>(id), &ring) < 0) {
+        return 10;
+      }
+      // Ring is empty and stays empty: this parks until the kill. The
+      // observed value is stashed before the next trap exits the task.
+      observed = uipc_wait(me, static_cast<int>(id), 0, ring->pushed());
+      return 0;
+    });
+    if (pid < 0) {
+      return 2;
+    }
+    usleep_ms(env, 10);  // let the child park
+    ukill(env, static_cast<int>(pid));
+    int status = 0;
+    if (uwait(env, &status) != pid) {
+      return 3;
+    }
+    return observed == kErrPerm ? 0 : 4;
+  });
+  EXPECT_EQ(rc, 0);
+  // The parked waiter was accounted, and the wake path ran for the kill.
+  EXPECT_GT(sys_.kernel().ipcs().waits_slept(), 0u);
+}
+
+TEST_F(IpcTest, DestroyUnblocksWaiters) {
+  Kernel* k = &sys_.kernel();
+  int rc = RunInOs(sys_, "ipc-destroy", [k](AppEnv& env) -> int {
+    std::int64_t id = uipc_create(env, 256);
+    IpcRing* ring = nullptr;
+    if (id < 0 || uipc_map(env, static_cast<int>(id), &ring) < 0) {
+      return 1;
+    }
+    std::int64_t observed = -1000;
+    uclone(env, [k, id, ring, &observed]() -> int {
+      AppEnv me = ChildEnv(k);
+      observed = uipc_wait(me, static_cast<int>(id), 0, ring->pushed());
+      return 0;
+    });
+    usleep_ms(env, 5);  // waiter parks
+    if (k->ipcs().Destroy(static_cast<int>(id)) != 0) {
+      return 2;
+    }
+    usleep_ms(env, 5);  // waiter observes the dead slot
+    return observed == kErrInval ? 0 : 3;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(IpcGating, EarlierPrototypesReturnNoSys) {
+  // Futex IPC arrives with threads (Prototype 5); earlier stages must gate.
+  SystemOptions opt = OptionsForStage(Stage::kProto2);
+  System sys(opt);
+  Kernel& k = sys.kernel();
+  std::int64_t rc = 0;
+  k.CreateKernelTask("gate-probe", [&] { rc = k.SysIpcCreate(0); });
+  sys.Run(Ms(20));
+  EXPECT_EQ(rc, kErrNoSys);
+}
+
+}  // namespace
+}  // namespace vos

@@ -2,6 +2,9 @@
 // fairness, voluntary yield, multicore placement, WFI idle accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/vos/prototypes.h"
 #include "src/vos/system.h"
 
@@ -122,6 +125,188 @@ TEST(Sched, MulticoreDistributesTasks) {
   for (unsigned c = 0; c < 4; ++c) {
     EXPECT_GT(sys.kernel().machine().Utilization(c), 0.5);
   }
+}
+
+TEST(Sched, WakeupCrossesCores) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.with_media_assets = false;
+  // Stealing off: a woken task must land back on its *home* core, and with
+  // the balancer disabled nothing may move it afterwards.
+  opt.config_hook = [](KernelConfig& cfg) { cfg.sched_steal = false; };
+  System sys(opt);
+  Kernel& k = sys.kernel();
+  char chan = 0;
+  bool woke = false;
+  // Sleeper lives on core 1; the waker runs on core 0. The wakeup must take
+  // the sched → sched-core1 path and land the sleeper back on its home core.
+  Task* sleeper = k.CreateKernelTask(
+      "xcore-sleeper",
+      [&] {
+        k.sched().Sleep(k.CurrentTask(), &chan);
+        woke = true;
+      },
+      /*core_hint=*/1);
+  k.CreateKernelTask(
+      "xcore-waker",
+      [&] {
+        k.KSleepMs(5);
+        k.sched().Wakeup(&chan);
+      },
+      /*core_hint=*/0);
+  sys.Run(Ms(50));
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(sleeper->core, 1u);
+}
+
+TEST(Sched, BroadcastWakeupHandlesManySleepers) {
+  // Regression: the seed collected sleepers into a fixed Task*[64] and
+  // panicked past 64; the chunked drain must wake any number.
+  System sys(Proto2Opts());
+  Kernel& k = sys.kernel();
+  char chan = 0;
+  constexpr int kSleepers = 100;
+  int woken = 0;
+  for (int i = 0; i < kSleepers; ++i) {
+    k.CreateKernelTask("s" + std::to_string(i), [&] {
+      k.sched().Sleep(k.CurrentTask(), &chan);
+      ++woken;
+    });
+  }
+  std::size_t wake_count = 0;
+  k.CreateKernelTask("broadcaster", [&] {
+    k.KSleepMs(5);
+    wake_count = k.sched().Wakeup(&chan);
+  });
+  sys.Run(Ms(100));
+  EXPECT_EQ(wake_count, static_cast<std::size_t>(kSleepers));
+  EXPECT_EQ(woken, kSleepers);
+}
+
+// Runs 8 CPU hogs all pinned to core 0 of a 4-core system and reports the
+// per-core steal counters plus each task's progress.
+struct SkewResult {
+  std::vector<std::uint64_t> counters;  // steals, stolen, migrations per core
+  double min_progress_ms = 0;
+};
+
+SkewResult RunSkewedLoad() {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.with_media_assets = false;
+  System sys(opt);
+  Kernel& k = sys.kernel();
+  constexpr int kTasks = 8;
+  Cycles done[kTasks] = {};
+  for (int i = 0; i < kTasks; ++i) {
+    k.CreateKernelTask(
+        "skew" + std::to_string(i),
+        [&k, &done, i] {
+          Task* self = k.CurrentTask();
+          while (!self->killed) {
+            self->fiber().Burn(Us(500));
+            done[i] += Us(500);
+          }
+        },
+        /*core_hint=*/0);
+  }
+  sys.Run(Ms(200));
+  SkewResult r;
+  for (unsigned c = 0; c < 4; ++c) {
+    r.counters.push_back(k.sched().steals(c));
+    r.counters.push_back(k.sched().stolen_tasks(c));
+    r.counters.push_back(k.sched().migrations(c));
+  }
+  r.min_progress_ms = ToMs(done[0]);
+  for (int i = 1; i < kTasks; ++i) {
+    r.min_progress_ms = std::min(r.min_progress_ms, ToMs(done[i]));
+  }
+  return r;
+}
+
+TEST(Sched, WorkStealingSpreadsSkewedLoad) {
+  SkewResult r = RunSkewedLoad();
+  // Cores 1-3 started empty, so they must have stolen from core 0.
+  std::uint64_t total_steals = r.counters[3] + r.counters[6] + r.counters[9];
+  std::uint64_t migrated_from_0 = r.counters[2];
+  EXPECT_GT(total_steals, 0u);
+  EXPECT_GT(migrated_from_0, 0u);
+  // With the load spread over 4 cores, 8 tasks × 200ms ≥ ~75ms each; a
+  // global-lock-free but steal-less scheduler would cap each at ~25ms.
+  EXPECT_GT(r.min_progress_ms, 60.0);
+}
+
+TEST(Sched, WorkStealingIsDeterministic) {
+  // Victim selection has no randomness: two identical runs must produce
+  // identical steal/migration counters on every core.
+  SkewResult a = RunSkewedLoad();
+  SkewResult b = RunSkewedLoad();
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(Sched, MlfqDemotesHogsNotSleepers) {
+  SystemOptions opt = Proto2Opts();
+  opt.config_hook = [](KernelConfig& cfg) {
+    cfg.sched_policy = SchedPolicy::kMlfq;
+    cfg.mlfq_boost_ms = 1000000;  // boost never fires during this run
+  };
+  System sys(opt);
+  Kernel& k = sys.kernel();
+  int hog_level = 0, sleeper_level = 0;
+  k.CreateKernelTask("hog", [&] {
+    Task* self = k.CurrentTask();
+    while (!self->killed) {
+      self->fiber().Burn(Ms(1));
+      hog_level = std::max(hog_level, self->mlfq_level);
+    }
+  });
+  k.CreateKernelTask("interactive", [&] {
+    Task* self = k.CurrentTask();
+    for (int i = 0; i < 30; ++i) {
+      self->fiber().Burn(Us(100));
+      sleeper_level = std::max(sleeper_level, self->mlfq_level);
+      k.KSleepMs(2);
+    }
+  });
+  sys.Run(Ms(300));
+  // The spinner burned full slices and sank to the bottom level; the
+  // sleep-heavy task never finished a slice and stayed on top.
+  EXPECT_EQ(hog_level, kMlfqLevels - 1);
+  EXPECT_EQ(sleeper_level, 0);
+}
+
+TEST(Sched, MlfqBoostResetsDemotedTasks) {
+  SystemOptions opt = Proto2Opts();
+  opt.config_hook = [](KernelConfig& cfg) {
+    cfg.sched_policy = SchedPolicy::kMlfq;
+    cfg.mlfq_boost_ms = 20;
+  };
+  System sys(opt);
+  Kernel& k = sys.kernel();
+  // Two hogs so one is always queued (demoted) when the boost tick lands.
+  for (int i = 0; i < 2; ++i) {
+    k.CreateKernelTask("hog" + std::to_string(i), [&k] {
+      Task* self = k.CurrentTask();
+      while (!self->killed) {
+        self->fiber().Burn(Ms(1));
+      }
+    });
+  }
+  sys.Run(Ms(200));
+  EXPECT_GT(k.sched().boosts(0), 0u);
+}
+
+TEST(Sched, RrPolicyNeverDemotes) {
+  System sys(Proto2Opts());  // default sched_policy = rr
+  Kernel& k = sys.kernel();
+  int level = 0;
+  k.CreateKernelTask("hog", [&] {
+    Task* self = k.CurrentTask();
+    while (!self->killed) {
+      self->fiber().Burn(Ms(1));
+      level = std::max(level, self->mlfq_level);
+    }
+  });
+  sys.Run(Ms(100));
+  EXPECT_EQ(level, 0);
 }
 
 TEST(Sched, YieldRotatesImmediately) {

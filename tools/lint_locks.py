@@ -35,8 +35,10 @@ SRC = REPO / "src"
 # Keep in sync with the DESIGN.md §7 hierarchy table.
 KNOWN_CLASSES = {
     "sched",
+    "sched-core",
     "semtable",
     "pipe",
+    "ipc",
     "metrics",
     "bcache",
     "pmm",
@@ -46,6 +48,11 @@ KNOWN_CLASSES = {
 
 NAKED_CALL = re.compile(r"(?:\.|->)(Acquire|Release)\(\s*\)")
 NAKED_OK = re.compile(r"//\s*lockdep:\s*naked-ok")
+# Locks whose class name is built at runtime (per-core instances like
+# "sched-core0".."sched-core3" share one class stem) can't open their
+# initializer with a string literal; they declare the class explicitly:
+#   SpinLock lock;  // lockdep: class sched-core
+CLASS_MARKER = re.compile(r"//\s*lockdep:\s*class\s+([\w-]+)")
 # A SpinLock variable declaration (member or local), not a reference/pointer
 # parameter and not the class definition itself. The initializer must open
 # with a string literal: SpinLock x{"name"} / SpinLock x("name").
@@ -68,10 +75,21 @@ def lint_file(path: pathlib.Path) -> list[str]:
             # `SpinLock& lk` parameters and forward uses don't declare a lock.
             if decl.group(1) in ("lock", "l") and rest.startswith(")"):
                 continue
+            marker = CLASS_MARKER.search(line)
             if not NAMED_INIT.match(rest):
+                if marker:
+                    name = marker.group(1)
+                    if name not in KNOWN_CLASSES:
+                        findings.append(
+                            f"{rel}:{lineno}: lockdep class marker \"{name}\" is not "
+                            f"in the lint allowlist — add it to DESIGN.md §7 and "
+                            f"tools/lint_locks.py KNOWN_CLASSES together"
+                        )
+                    continue
                 findings.append(
                     f"{rel}:{lineno}: SpinLock '{decl.group(1)}' has no string-literal "
-                    f"class name — lockdep cannot report it"
+                    f"class name — lockdep cannot report it (runtime-built names may "
+                    f"use '// lockdep: class <name>')"
                 )
                 continue
             name = rest.split('"')[1]
