@@ -22,6 +22,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "bench/bench_out.h"
 #include "bench/bench_util.h"
 #include "src/kernel/kmalloc.h"
 #include "src/kernel/lockdep.h"
@@ -426,7 +427,7 @@ void Run() {
     std::printf("memchurn FAILED\n");
   }
 
-  std::ofstream json("BENCH_mem.json");
+  std::ofstream json(BenchOutPath("BENCH_mem.json"));
   json << "{\n"
        << "  \"frames\": " << kFrames << ",\n"
        << "  \"throughput_ops_per_sec\": " << b98.ops_per_sec << ",\n"
@@ -454,7 +455,7 @@ void Run() {
        << "    \"range_allocs\": " << os.range_allocs << "\n"
        << "  }\n"
        << "}\n";
-  std::printf("\nwrote BENCH_mem.json\n");
+  std::printf("\nwrote bench/out/BENCH_mem.json\n");
 }
 
 AppRegistrar memchurn_app("memchurn", MemchurnApp, 1100, 4ull << 20);

@@ -1,0 +1,24 @@
+// Where bench result JSONs go: bench/out/ relative to the working directory
+// (gitignored). CI runs the benches from the repo root, uploads bench/out/*
+// uniformly as artifacts, and bench/baseline/ keeps one checked-in snapshot
+// per bench for eyeballing drift.
+#ifndef VOS_BENCH_BENCH_OUT_H_
+#define VOS_BENCH_BENCH_OUT_H_
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace vos {
+
+inline std::string BenchOutPath(const char* file) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  // On failure (read-only cwd) fall back to the bare name so the bench still
+  // produces its JSON somewhere rather than silently dropping it.
+  return ec ? std::string(file) : std::string("bench/out/") + file;
+}
+
+}  // namespace vos
+
+#endif  // VOS_BENCH_BENCH_OUT_H_

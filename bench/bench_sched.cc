@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_out.h"
 #include "bench/bench_util.h"
 #include "src/base/histogram.h"
 #include "src/kernel/kernel.h"
@@ -313,7 +314,7 @@ void Run() {
   std::printf("  futex %8.2f MB/s\n", ipc_mbps);
   std::printf("  speedup %.2fx\n", ipc_speedup);
 
-  std::ofstream json("BENCH_sched.json");
+  std::ofstream json(BenchOutPath("BENCH_sched.json"));
   json << "{\n"
        << "  \"fanout_tasks\": " << kTasks << ",\n"
        << "  \"cores\": " << kCores << ",\n"
@@ -331,7 +332,7 @@ void Run() {
        << "    \"futex_mb_per_s\": " << ipc_mbps << ",\n"
        << "    \"speedup\": " << ipc_speedup << "\n"
        << "  }\n}\n";
-  std::printf("\nwrote BENCH_sched.json\n");
+  std::printf("\nwrote bench/out/BENCH_sched.json\n");
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_out.h"
 #include "src/base/ring_buffer.h"
 #include "src/kernel/lockdep.h"
 #include "src/kernel/spinlock.h"
@@ -151,7 +152,7 @@ void Run() {
     std::printf("%-8d %16.0f %16.0f\n", t, lockfree_eps[t - 1], mutex_eps[t - 1]);
   }
 
-  std::ofstream json("BENCH_trace.json");
+  std::ofstream json(BenchOutPath("BENCH_trace.json"));
   json << "{\n"
        << "  \"emits\": " << kEmitsPerThread << ",\n"
        << "  \"locked_ns_per_event\": " << locked_rate.ns_per_event << ",\n"
@@ -166,7 +167,7 @@ void Run() {
          << "\n";
   }
   json << "  }\n}\n";
-  std::printf("\nwrote BENCH_trace.json\n");
+  std::printf("\nwrote bench/out/BENCH_trace.json\n");
 }
 
 }  // namespace

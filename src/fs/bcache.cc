@@ -4,6 +4,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/status.h"
+#include "src/kernel/racedet.h"
 
 namespace vos {
 
@@ -41,6 +42,7 @@ void Bcache::Touch(Buf* b) {
 }
 
 Cycles Bcache::FlushBufs(int dev, std::vector<Buf*>& bufs) {
+  RD_ASSERT_HELD(lock_);
   if (bufs.empty()) {
     return 0;
   }
@@ -48,7 +50,7 @@ Cycles Bcache::FlushBufs(int dev, std::vector<Buf*>& bufs) {
   BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
   std::vector<BlockRequest> reqs(bufs.size());
   for (std::size_t i = 0; i < bufs.size(); ++i) {
-    VOS_CHECK_MSG(bufs[i]->valid && bufs[i]->dirty && bufs[i]->dev == dev,
+    VOS_CHECK_MSG(bufs[i]->valid && RD_READ(bufs[i]->dirty) && bufs[i]->dev == dev,
                   "flushing a buffer that is not dirty on this device");
     reqs[i].op = BlockOp::kWrite;
     reqs[i].lba = bufs[i]->lba;
@@ -64,7 +66,7 @@ Cycles Bcache::FlushBufs(int dev, std::vector<Buf*>& bufs) {
     // after retries must not be silently re-flushed forever. On failure the
     // data is dropped, io_failed marks the buffer, and the error latches in
     // the device's pending error so the next sync/fsync reports kErrIo.
-    b->dirty = false;
+    RD_WRITE(b->dirty) = false;
     if (reqs[i].status == BlockStatus::kOk) {
       b->io_failed = false;
       ++flushed;
@@ -104,7 +106,7 @@ Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn) {
     if ((*it)->refcnt != 0) {
       continue;
     }
-    if (!(*it)->dirty) {
+    if (!RD_READ((*it)->dirty)) {
       victim = *it;
       break;
     }
@@ -118,11 +120,11 @@ Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn) {
     // kErrIo / retries.
     return nullptr;
   }
-  if (victim->dirty) {
+  if (RD_READ(victim->dirty)) {
     std::vector<Buf*> one{victim};
     *burn += FlushBufs(victim->dev, one);
   }
-  VOS_CHECK_MSG(!victim->dirty, "recycling a dirty buffer without a flush");
+  VOS_CHECK_MSG(!RD_READ(victim->dirty), "recycling a dirty buffer without a flush");
   victim->valid = false;
   victim->io_failed = false;
   victim->dev = dev;
@@ -136,6 +138,7 @@ Buf* Bcache::Read(int dev, std::uint64_t lba, Cycles* burn) {
 }
 
 Buf* Bcache::ReadLocked(int dev, std::uint64_t lba, Cycles* burn) {
+  RD_ASSERT_HELD(lock_);
   *burn = cfg_.cost.bcache_lookup;
   Buf* b = FindOrRecycle(dev, lba, burn);
   if (b == nullptr) {
@@ -167,14 +170,14 @@ Buf* Bcache::ReadLocked(int dev, std::uint64_t lba, Cycles* burn) {
   ++st.blocks_read;
   Trace(TraceEvent::kBlockRead, lba, 1);
   b->valid = true;
-  b->dirty = false;
+  RD_WRITE(b->dirty) = false;
   b->io_failed = false;
   return b;
 }
 
 Cycles Bcache::ThrottleIfNeeded(int dev) {
-  std::size_t dirty = DirtyCount(dev);
-  if (double(dirty) < cfg_.bcache_dirty_ratio * kNumBufs) {
+  std::size_t dirty_count = DirtyCount(dev);
+  if (double(dirty_count) < cfg_.bcache_dirty_ratio * kNumBufs) {
     return 0;
   }
   // Foreground throttling: the writer that pushed the pool over the dirty
@@ -189,6 +192,7 @@ std::int64_t Bcache::Write(Buf* b, Cycles* burn) {
 }
 
 std::int64_t Bcache::WriteLocked(Buf* b, Cycles* burn) {
+  RD_ASSERT_HELD(lock_);
   VOS_CHECK_MSG(b->refcnt > 0, "bwrite on unreferenced buffer");
   BlockDevStats& st = stats_[static_cast<std::size_t>(b->dev)];
   if (!cfg_.opt_writeback_cache) {
@@ -203,20 +207,20 @@ std::int64_t Bcache::WriteLocked(Buf* b, Cycles* burn) {
       // Cache and device now disagree; drop the cached copy so nothing
       // serves data the device never accepted.
       b->valid = false;
-      b->dirty = false;
+      RD_WRITE(b->dirty) = false;
       Trace(TraceEvent::kBlockError, b->lba, static_cast<std::uint64_t>(req.status));
       return kErrIo;
     }
     ++st.writes;
     ++st.blocks_written;
     Trace(TraceEvent::kBlockWrite, b->lba, 1);
-    b->dirty = false;
+    RD_WRITE(b->dirty) = false;
     return 0;
   }
   *burn = cfg_.cost.bcache_lookup;
-  if (!b->dirty) {
-    b->dirty = true;
-    b->dirtied_at = NowStamp();
+  if (!RD_READ(b->dirty)) {
+    RD_WRITE(b->dirty) = true;
+    RD_WRITE(b->dirtied_at) = NowStamp();
   }
   b->io_failed = false;  // fresh data supersedes an earlier failed write-back
   *burn += ThrottleIfNeeded(b->dev);
@@ -229,6 +233,7 @@ void Bcache::Release(Buf* b) {
 }
 
 void Bcache::ReleaseLocked(Buf* b) {
+  RD_ASSERT_HELD(lock_);
   VOS_CHECK_MSG(b->refcnt > 0, "brelse on unreferenced buffer");
   --b->refcnt;
 }
@@ -257,7 +262,7 @@ std::int64_t Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count,
   // the range read silently returns stale bytes.
   std::vector<Buf*> overlap;
   for (Buf& b : bufs_) {
-    if (b.valid && b.dirty && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
+    if (b.valid && RD_READ(b.dirty) && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
       overlap.push_back(&b);
     }
   }
@@ -314,7 +319,7 @@ std::int64_t Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
     if (b.valid && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
       VOS_CHECK_MSG(b.refcnt == 0, "range write overlaps referenced buffer");
       b.valid = false;
-      b.dirty = false;
+      RD_WRITE(b.dirty) = false;
     }
   }
   BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
@@ -349,13 +354,14 @@ Cycles Bcache::FlushDev(int dev) {
 }
 
 Cycles Bcache::FlushDevLocked(int dev) {
-  std::vector<Buf*> dirty;
+  RD_ASSERT_HELD(lock_);
+  std::vector<Buf*> dirty_bufs;
   for (Buf& b : bufs_) {
-    if (b.valid && b.dirty && b.dev == dev) {
-      dirty.push_back(&b);
+    if (b.valid && RD_READ(b.dirty) && b.dev == dev) {
+      dirty_bufs.push_back(&b);
     }
   }
-  return FlushBufs(dev, dirty);
+  return FlushBufs(dev, dirty_bufs);
 }
 
 Cycles Bcache::FlushAged(Cycles now, Cycles min_age) {
@@ -364,7 +370,7 @@ Cycles Bcache::FlushAged(Cycles now, Cycles min_age) {
   for (int dev = 0; dev < device_count(); ++dev) {
     std::vector<Buf*> aged;
     for (Buf& b : bufs_) {
-      if (b.valid && b.dirty && b.dev == dev && now - b.dirtied_at >= min_age) {
+      if (b.valid && RD_READ(b.dirty) && b.dev == dev && now - RD_READ(b.dirtied_at) >= min_age) {
         aged.push_back(&b);
       }
     }
@@ -393,9 +399,11 @@ std::int64_t Bcache::TakeAnyError() {
 }
 
 std::size_t Bcache::DirtyCount(int dev) const {
+  // Callable without lock_ (procfs gauges, tests): a stale count only skews
+  // a gauge or the throttle heuristic, never correctness.
   std::size_t n = 0;
   for (const Buf& b : bufs_) {
-    n += (b.valid && b.dirty && (dev < 0 || b.dev == dev));
+    n += (b.valid && b.dirty && (dev < 0 || b.dev == dev));  // racedet: ok (token-serialized gauge snapshot)
   }
   return n;
 }

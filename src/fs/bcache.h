@@ -33,12 +33,15 @@ struct Buf {
   int dev = -1;
   std::uint64_t lba = 0;
   int refcnt = 0;
-  bool dirty = false;
+  // The dirty set is what the bflush thread, sync/fsync, eviction, and the
+  // throttle path all race over — the highest-value bits for the lockset
+  // checker to watch in this subsystem.
+  bool dirty = false;  // racedet: shared (guarded by Bcache lock_)
   // The last write-back of this buffer failed after retries: the cached data
   // was dropped from the dirty set (never silently re-flushed) and the error
   // is latched in the device's pending error for sync/fsync to report.
   bool io_failed = false;
-  Cycles dirtied_at = 0;  // when the buffer last went clean->dirty
+  Cycles dirtied_at = 0;  // racedet: shared (guarded by Bcache lock_)
   std::array<std::uint8_t, kBlockSize> data{};
 };
 

@@ -8,6 +8,9 @@
 namespace vos {
 
 std::size_t IpcRing::TryPush(const std::uint8_t* src, std::size_t n) {
+  // Zero-copy user-context fast path: no lock on purpose (the futex version
+  // words in Wait() resolve producer/consumer races; see the header).
+  RD_EXCLUDE_SCOPE("zero-copy fast path; futex version words handle races");
   std::size_t can = std::min(n, buf_.size() - count_);
   if (can == 0) {
     return 0;
@@ -24,6 +27,7 @@ std::size_t IpcRing::TryPush(const std::uint8_t* src, std::size_t n) {
 }
 
 std::size_t IpcRing::TryPop(std::uint8_t* dst, std::size_t n) {
+  RD_EXCLUDE_SCOPE("zero-copy fast path; futex version words handle races");
   std::size_t can = std::min(n, count_);
   if (can == 0) {
     return 0;
@@ -90,22 +94,22 @@ std::int64_t IpcTable::Wait(Task* cur, int id, IpcSide side, std::uint64_t expec
     // The state the caller sampled already changed: the wake it would have
     // waited for (or raced with) has happened. Futex semantics — return
     // without sleeping, the caller re-examines the ring.
-    ++waits_immediate_;
+    ++RD_WRITE(waits_immediate_);
     return 0;
   }
   if (cur->killed) {
     return kErrPerm;
   }
   int s = static_cast<int>(side);
-  ++waits_slept_;
+  ++RD_WRITE(waits_slept_);
   // Balance the waiter count even on kill-unwind (the fiber unwinds through
   // here with the ipc lock held by the reacquire dance, so this is safe).
   struct WaiterScope {
     IpcRing& ring;
     int side;
-    ~WaiterScope() { --ring.waiters_[side]; }
+    ~WaiterScope() { --RD_WRITE(ring.waiters_[side]); }
   } scope{r, s};
-  ++r.waiters_[s];
+  ++RD_WRITE(r.waiters_[s]);
   sched_.SleepOn(cur, &r.chan_[s], lock_);
   if (!slots_[id].used) {
     return kErrInval;  // destroyed while waiting
@@ -122,9 +126,9 @@ std::int64_t IpcTable::Wake(int id, IpcSide side) {
     return kErrInval;
   }
   IpcRing& r = *slots_[id].ring;
-  ++wakes_;
+  ++RD_WRITE(wakes_);
   std::size_t n = sched_.Wakeup(&r.chan_[static_cast<int>(side)]);
-  woken_tasks_ += n;
+  RD_WRITE(woken_tasks_) += n;
   return static_cast<std::int64_t>(n);
 }
 

@@ -158,6 +158,10 @@ struct KernelConfig {
                                               // it to exercise wrap/drop)
   bool lockdep_enabled = true;       // lock-order/IRQ-safety validator (§7 of
                                      // DESIGN.md); off = record nothing
+  bool racedet_enabled = true;       // Eraser lockset data-race detector; needs
+                                     // lockdep (its held stacks are the lockset)
+  std::uint32_t racedet_cells = 4096;  // shadow-cell hash capacity (rounded up
+                                       // to a power of two)
 
   CostModel cost;
 

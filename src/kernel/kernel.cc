@@ -65,6 +65,7 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
     : board_(board),
       cfg_(cfg),
       lockdep_session_(cfg.lockdep_enabled),
+      racedet_session_(cfg.racedet_enabled && cfg.lockdep_enabled, cfg.racedet_cells),
       machine_(board, this, cfg.EffectiveCores()),
       klog_(board.uart()),
       trace_(cfg.trace_enabled, cfg.trace_ring_capacity),
@@ -78,6 +79,20 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
       return t->call_stack;
     }
     return {"<machine-loop>"};
+  });
+  // Racedet reporting rides the same infrastructure: contexts are named by
+  // the running task, and a lockset-empty detection emits a trace event next
+  // to the report text /proc/racedet serves.
+  Racedet::Instance().SetContextNameFn([]() -> std::string {
+    if (Task* t = g_current_task) {
+      return t->name();
+    }
+    return "<machine-loop>";
+  });
+  Racedet::Instance().SetTraceHook([this](std::uintptr_t addr, std::size_t index) {
+    Task* t = g_current_task;
+    trace_.Emit(Now(), t != nullptr ? t->core : 0, TraceEvent::kRaceReport,
+                t != nullptr ? static_cast<std::int32_t>(t->pid()) : 0, addr, index);
   });
 
   // Observability: latency histograms and gauges live in the metrics
@@ -94,6 +109,14 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
   sched_.SetLatencyHists(metrics_.Hist("sched.runq_wait"), metrics_.Hist("sched.slice_len"));
   metrics_.Gauge("trace.emitted", [this] { return trace_.total_emitted(); });
   metrics_.Gauge("trace.dropped", [this] { return trace_.total_dropped(); });
+  metrics_.Gauge("trace.dump_retries", [this] { return trace_.dump_retries(); });
+  metrics_.Gauge("racedet.checks", [] { return Racedet::Instance().checks(); });
+  metrics_.Gauge("racedet.reports", [] { return Racedet::Instance().total_reports(); });
+  metrics_.Gauge("racedet.excluded", [] { return Racedet::Instance().excluded_accesses(); });
+  metrics_.Gauge("racedet.shrinks", [] { return Racedet::Instance().lockset_shrinks(); });
+  metrics_.Gauge("racedet.cells_used",
+                 [] { return static_cast<std::uint64_t>(Racedet::Instance().CellsUsed()); });
+  metrics_.Gauge("racedet.dropped", [] { return Racedet::Instance().dropped_locations(); });
   for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
     std::string pfx = "sched.core" + std::to_string(c) + ".";
     metrics_.Gauge(pfx + "ctx_switches", [this, c] { return sched_.context_switches(c); });
@@ -128,6 +151,23 @@ void Kernel::AddBootBlob(const std::string& name, std::vector<std::uint8_t> velf
 }
 
 Task* Kernel::CurrentTask() const { return g_current_task; }
+
+void Kernel::DebugSharedInc(bool locked) {
+  if (locked) {
+    SpinGuard g(dbg_race_lock_);
+    ++RD_WRITE(dbg_shared_counter_);
+  } else {
+    // Deliberately unlocked: the racedet self-test's seeded race. The
+    // detector must flag exactly this access once a second context has made
+    // the counter shared.
+    ++RD_WRITE(dbg_shared_counter_);
+  }
+}
+
+std::uint64_t Kernel::debug_shared_counter() {
+  SpinGuard g(dbg_race_lock_);
+  return RD_READ(dbg_shared_counter_);
+}
 
 void Kernel::ChargeCurrent(Cycles c) {
   if (TaskFiber* f = TaskFiber::Current()) {
@@ -347,6 +387,7 @@ Kernel::BootReport Kernel::Boot() {
     vfs_->RegisterProcWriter("faultinject",
                              [this](const std::string& text) { return fault_->Command(text); });
     vfs_->RegisterProc("lockdep", [] { return Lockdep::Instance().Report(); });
+    vfs_->RegisterProc("racedet", [] { return Racedet::Instance().Report(); });
     // /proc/memstat scalars are a view over the registry's pmm.*/slab.*
     // gauges; only distribution detail (per-order, per-class) is read direct.
     vfs_->RegisterProc("memstat", [this] {

@@ -29,6 +29,7 @@
 #include "src/kernel/metrics.h"
 #include "src/kernel/pipe.h"
 #include "src/kernel/pmm.h"
+#include "src/kernel/racedet.h"
 #include "src/kernel/sched.h"
 #include "src/kernel/semaphore.h"
 #include "src/kernel/spinlock.h"
@@ -145,6 +146,12 @@ class Kernel final : public MachineClient {
   Timekeeping& timekeeping() { return timekeeping_; }
   const std::string& last_panic_dump() const { return last_panic_dump_; }
 
+  // Test-only seeded-race hook: increments a racedet-annotated counter with
+  // or without its lock. The racedet self-test uses the unlocked flavor to
+  // prove the detector fires; nothing in the kernel proper calls this.
+  void DebugSharedInc(bool locked);
+  std::uint64_t debug_shared_counter();
+
   // --- Tasks ---
   // `core_hint` >= 0 pins the new task's home runqueue (tests and benches
   // use it to build skewed loads that exercise the work-stealing balancer).
@@ -258,6 +265,9 @@ class Kernel final : public MachineClient {
   // it resets the lockdep session so their class registrations land in this
   // kernel's fresh graph.
   LockdepSession lockdep_session_;
+  // Right after lockdep (its held stacks are racedet's lockset source) and
+  // before every member whose construction touches annotated state.
+  RacedetSession racedet_session_;
   Machine machine_;
   Klog klog_;
   TraceRing trace_;
@@ -312,6 +322,10 @@ class Kernel final : public MachineClient {
 
   std::vector<std::uint8_t> ramdisk_image_;
   std::map<std::string, std::vector<std::uint8_t>> boot_blobs_;
+
+  // Seeded-race self-test state (DebugSharedInc).
+  SpinLock dbg_race_lock_{"racedet-self"};
+  std::uint64_t dbg_shared_counter_ = 0;  // racedet: shared (guarded by dbg_race_lock_)
 
   std::map<Pid, std::unique_ptr<Task>> tasks_;
   Pid next_pid_ = 1;

@@ -25,6 +25,7 @@
 
 #include "src/hw/intc.h"
 #include "src/kernel/pmm.h"
+#include "src/kernel/racedet.h"
 #include "src/kernel/spinlock.h"
 #include "src/kernel/trace.h"
 
@@ -54,8 +55,12 @@ class Kmalloc {
   void DrainCore(unsigned core);
   void DrainAll();
 
-  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
-  std::uint64_t allocation_count() const { return allocation_count_; }
+  std::uint64_t allocated_bytes() const {
+    return allocated_bytes_;  // racedet: ok (token-serialized gauge snapshot)
+  }
+  std::uint64_t allocation_count() const {
+    return allocation_count_;  // racedet: ok (token-serialized gauge snapshot)
+  }
 
   // Current core provider for the magazine selection; the kernel wires the
   // scheduler's notion of the running core. Unset = core 0 (single-core
@@ -89,8 +94,12 @@ class Kmalloc {
   std::uint64_t CachedObjects(unsigned core) const;
   // Aggregate magazine hit rate across cores, in [0,1]; 1.0 when idle.
   double HitRate() const;
-  std::uint64_t large_live() const { return large_live_; }
-  std::uint64_t large_allocs() const { return large_allocs_; }
+  std::uint64_t large_live() const {
+    return large_live_;  // racedet: ok (token-serialized gauge snapshot)
+  }
+  std::uint64_t large_allocs() const {
+    return large_allocs_;  // racedet: ok (token-serialized gauge snapshot)
+  }
 
  private:
   // In-page slab header layout (offsets into the slab's first page).
@@ -144,24 +153,33 @@ class Kmalloc {
   TraceHook trace_;
 
   struct Depot {
-    PhysAddr partial_head = 0;  // slabs with a nonempty freelist
+    // Mutable depot state (the partial list and its counters) only moves
+    // under depot_lock_; obj_size/slab_pages/capacity are ctor-immutable.
+    PhysAddr partial_head = 0;        // racedet: shared (guarded by depot_lock_)
     std::uint32_t obj_size = 0;
     std::uint32_t slab_pages = 0;
     std::uint32_t capacity = 0;  // objects per slab
-    std::uint64_t slabs = 0;
-    std::uint64_t live_objs = 0;
-    std::uint64_t refills = 0;
+    std::uint64_t live_slabs = 0;     // racedet: shared (guarded by depot_lock_)
+    std::uint64_t outstanding_objs = 0;  // racedet: shared (guarded by depot_lock_)
+    std::uint64_t refill_count = 0;   // racedet: shared (guarded by depot_lock_)
   };
   std::array<Depot, kNumClasses> depots_;
   // mags_[core][cls]: LIFO stack of free object addresses.
+  // racedet: percore — one core equals one execution context, so the
+  // magazines (and their stats) never see a second context; nothing for a
+  // lockset to check. Kept out of the shared set on purpose.
   std::array<std::array<std::vector<PhysAddr>, kNumClasses>, kMaxCores> mags_;
   std::array<CoreStats, kMaxCores> core_stats_{};
   std::vector<FrameDesc> frames_;
 
-  std::uint64_t allocated_bytes_ = 0;
-  std::uint64_t allocation_count_ = 0;
-  std::uint64_t large_live_ = 0;
-  std::uint64_t large_allocs_ = 0;
+  // Global tallies. The slab fast path bumps them outside depot_lock_ (on
+  // real hardware these are percpu counters summed at read time); those
+  // sites sit in a documented RD_EXCLUDE_SCOPE. The large path mutates them
+  // under depot_lock_ and is checked.
+  std::uint64_t allocated_bytes_ = 0;   // racedet: shared (guarded by depot_lock_)
+  std::uint64_t allocation_count_ = 0;  // racedet: shared (guarded by depot_lock_)
+  std::uint64_t large_live_ = 0;        // racedet: shared (guarded by depot_lock_)
+  std::uint64_t large_allocs_ = 0;      // racedet: shared (guarded by depot_lock_)
 };
 
 }  // namespace vos

@@ -276,6 +276,30 @@ void Lockdep::OnIrqEnable() {
   }
 }
 
+std::vector<const SpinLock*> Lockdep::HeldLockPtrs() const {
+  std::vector<const SpinLock*> out;
+  if (!enabled_ || g_held_generation != generation_) {
+    return out;
+  }
+  out.reserve(g_held.size());
+  for (const HeldEntry& h : g_held) {
+    out.push_back(static_cast<const SpinLock*>(h.lock));
+  }
+  return out;
+}
+
+bool Lockdep::IsHeldByCurrent(const SpinLock* lock) const {
+  if (!enabled_ || g_held_generation != generation_) {
+    return false;
+  }
+  for (const HeldEntry& h : g_held) {
+    if (h.lock == static_cast<const void*>(lock)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Lockdep::SetIrqContext(bool in_irq) { g_in_irq = in_irq; }
 
 bool Lockdep::InIrqContext() const { return g_in_irq; }

@@ -88,6 +88,17 @@ class Lockdep {
   using BacktraceFn = std::function<std::vector<const char*>()>;
   void SetBacktraceProvider(BacktraceFn fn) { backtrace_ = std::move(fn); }
 
+  // --- Racedet support (racedet.h) ---
+  // Lock *instances* currently held by this context, outermost first. The
+  // lockset algorithm intersects instances, not classes: two "sched-core"
+  // locks guard different runqueues and must refine independently.
+  std::vector<const SpinLock*> HeldLockPtrs() const;
+  // True if this context holds `lock` right now (backs RD_ASSERT_HELD).
+  bool IsHeldByCurrent(const SpinLock* lock) const;
+  // The current context's shadow-stack backtrace via the installed provider
+  // (racedet reports reuse lockdep's view of "where am I").
+  std::vector<const char*> CurrentBacktrace() const { return Backtrace(); }
+
   // --- Introspection (/proc/lockdep, tests) ---
   std::size_t ClassCount() const { return classes_.size(); }
   std::vector<LockClassInfo> Classes() const;

@@ -4,11 +4,13 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/kernel/racedet.h"
+
 namespace vos {
 
 MetricCounter* Metrics::Counter(const std::string& name) {
   SpinGuard g(lock_);
-  auto& slot = counters_[name];
+  auto& slot = RD_WRITE(counters_)[name];
   if (slot == nullptr) {
     slot = std::make_unique<MetricCounter>();
   }
@@ -17,7 +19,7 @@ MetricCounter* Metrics::Counter(const std::string& name) {
 
 Histogram* Metrics::Hist(const std::string& name) {
   SpinGuard g(lock_);
-  auto& slot = hists_[name];
+  auto& slot = RD_WRITE(hists_)[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
   }
@@ -26,20 +28,20 @@ Histogram* Metrics::Hist(const std::string& name) {
 
 void Metrics::Gauge(const std::string& name, GaugeFn fn) {
   SpinGuard g(lock_);
-  gauges_[name] = std::move(fn);
+  RD_WRITE(gauges_)[name] = std::move(fn);
 }
 
 bool Metrics::Value(const std::string& name, std::uint64_t* out) const {
   GaugeFn fn;
   {
     SpinGuard g(lock_);
-    auto c = counters_.find(name);
-    if (c != counters_.end()) {
+    auto c = RD_READ(counters_).find(name);
+    if (c != RD_READ(counters_).end()) {
       *out = c->second->value();
       return true;
     }
-    auto gi = gauges_.find(name);
-    if (gi == gauges_.end()) {
+    auto gi = RD_READ(gauges_).find(name);
+    if (gi == RD_READ(gauges_).end()) {
       return false;
     }
     fn = gi->second;
@@ -51,8 +53,8 @@ bool Metrics::Value(const std::string& name, std::uint64_t* out) const {
 
 const Histogram* Metrics::FindHist(const std::string& name) const {
   SpinGuard g(lock_);
-  auto it = hists_.find(name);
-  return it == hists_.end() ? nullptr : it->second.get();
+  auto it = RD_READ(hists_).find(name);
+  return it == RD_READ(hists_).end() ? nullptr : it->second.get();
 }
 
 std::string Metrics::ExportText() const {
@@ -63,13 +65,13 @@ std::string Metrics::ExportText() const {
   std::vector<std::pair<std::string, GaugeFn>> gauges;
   {
     SpinGuard g(lock_);
-    for (const auto& [name, c] : counters_) {
+    for (const auto& [name, c] : RD_READ(counters_)) {
       counters.emplace_back(name, c.get());
     }
-    for (const auto& [name, h] : hists_) {
+    for (const auto& [name, h] : RD_READ(hists_)) {
       hists.emplace_back(name, h.get());
     }
-    for (const auto& [name, fn] : gauges_) {
+    for (const auto& [name, fn] : RD_READ(gauges_)) {
       gauges.emplace_back(name, fn);
     }
   }

@@ -62,9 +62,9 @@ class Metrics {
 
  private:
   mutable SpinLock lock_{"metrics"};
-  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> hists_;
-  std::map<std::string, GaugeFn> gauges_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;  // racedet: shared (guarded by lock_)
+  std::map<std::string, std::unique_ptr<Histogram>> hists_;         // racedet: shared (guarded by lock_)
+  std::map<std::string, GaugeFn> gauges_;                           // racedet: shared (guarded by lock_)
 };
 
 }  // namespace vos

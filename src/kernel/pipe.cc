@@ -9,10 +9,10 @@ std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
   std::size_t done = 0;
   std::size_t since_wake = 0;  // bytes staged for the next reader wakeup
   while (done < n) {
-    if (readers_ == 0 || cur->killed) {
+    if (RD_READ(readers_) == 0 || cur->killed) {
       break;
     }
-    if (ring_.full()) {
+    if (RD_READ(ring_).full()) {
       if (bytes_per_wake_hist_ != nullptr && since_wake > 0) {
         bytes_per_wake_hist_->Record(since_wake);
       }
@@ -22,7 +22,7 @@ std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
       continue;
     }
     // Bulk-copy as much as fits in one go instead of a byte per iteration.
-    std::size_t pushed = ring_.PushMany(buf + done, n - done);
+    std::size_t pushed = RD_WRITE(ring_).PushMany(buf + done, n - done);
     done += pushed;
     since_wake += pushed;
   }
@@ -30,7 +30,7 @@ std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
     bytes_per_wake_hist_->Record(since_wake);
   }
   sched_.Wakeup(&read_chan_);
-  if (done == 0 && readers_ == 0) {
+  if (done == 0 && RD_READ(readers_) == 0) {
     return kErrPipe;
   }
   return static_cast<std::int64_t>(done);
@@ -38,7 +38,7 @@ std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
 
 std::int64_t Pipe::Read(Task* cur, std::uint8_t* buf, std::size_t n, bool nonblock) {
   SpinGuard g(lock_);
-  while (ring_.empty() && writers_ > 0) {
+  while (RD_READ(ring_).empty() && RD_READ(writers_) > 0) {
     if (cur->killed) {
       return kErrPerm;
     }
@@ -47,20 +47,20 @@ std::int64_t Pipe::Read(Task* cur, std::uint8_t* buf, std::size_t n, bool nonblo
     }
     sched_.SleepOn(cur, &read_chan_, lock_);
   }
-  std::size_t done = ring_.PopMany(buf, n);
+  std::size_t done = RD_WRITE(ring_).PopMany(buf, n);
   sched_.Wakeup(&write_chan_);
   return static_cast<std::int64_t>(done);
 }
 
 void Pipe::CloseRead() {
   SpinGuard g(lock_);
-  --readers_;
+  --RD_WRITE(readers_);
   sched_.Wakeup(&write_chan_);
 }
 
 void Pipe::CloseWrite() {
   SpinGuard g(lock_);
-  --writers_;
+  --RD_WRITE(writers_);
   sched_.Wakeup(&read_chan_);
 }
 

@@ -9,6 +9,7 @@
 
 #include "src/base/histogram.h"
 #include "src/base/ring_buffer.h"
+#include "src/kernel/racedet.h"
 #include "src/kernel/sched.h"
 #include "src/kernel/spinlock.h"
 
@@ -18,7 +19,12 @@ constexpr std::size_t kPipeSize = 512;
 
 class Pipe {
  public:
-  explicit Pipe(Sched& sched) : sched_(sched), ring_(kPipeSize) {}
+  explicit Pipe(Sched& sched) : sched_(sched), ring_(kPipeSize) {}  // racedet: ok (constructor init)
+  // Pipes are heap-allocated and die when both ends close; drop their shadow
+  // cells so a reused allocation cannot inherit a stale lockset.
+  ~Pipe() { Racedet::Instance().ForgetRange(this, sizeof(Pipe)); }
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
 
   // Blocking write of up to n bytes; returns bytes written, 0 if no readers
   // remain (EPIPE at the syscall layer), or stops early if the task is killed.
@@ -30,12 +36,23 @@ class Pipe {
 
   void CloseRead();
   void CloseWrite();
-  void AddReader() { ++readers_; }
-  void AddWriter() { ++writers_; }
+  // Refcount bumps take the lock like the close paths do. The original
+  // unlocked `++readers_` here is exactly the shape the racedet annotations
+  // exist to catch: a bare increment racing CloseRead's locked decrement.
+  void AddReader() {
+    SpinGuard g(lock_);
+    ++RD_WRITE(readers_);
+  }
+  void AddWriter() {
+    SpinGuard g(lock_);
+    ++RD_WRITE(writers_);
+  }
 
-  int readers() const { return readers_; }
-  int writers() const { return writers_; }
-  std::size_t buffered() const { return ring_.size(); }
+  int readers() const { return readers_; }  // racedet: ok (token-serialized snapshot)
+  int writers() const { return writers_; }  // racedet: ok (token-serialized snapshot)
+  std::size_t buffered() const {
+    return ring_.size();  // racedet: ok (token-serialized snapshot)
+  }
 
   // Optional batching observability: how many bytes each reader wakeup had
   // waiting for it (Record is wait-free, safe under lock_).
@@ -44,9 +61,9 @@ class Pipe {
  private:
   Sched& sched_;
   SpinLock lock_{"pipe"};  // all pipes share one lock class
-  RingBuffer<std::uint8_t> ring_;
-  int readers_ = 1;
-  int writers_ = 1;
+  RingBuffer<std::uint8_t> ring_;  // racedet: shared (guarded by lock_)
+  int readers_ = 1;                // racedet: shared (guarded by lock_)
+  int writers_ = 1;                // racedet: shared (guarded by lock_)
   // Distinct sleep channels for the two directions, as in xv6.
   char read_chan_ = 0;
   char write_chan_ = 0;

@@ -19,8 +19,8 @@ void Sched::AddNew(Task* t, int core_hint) {
     if (core_hint >= 0 && static_cast<unsigned>(core_hint) < ncores_) {
       t->core = static_cast<unsigned>(core_hint);
     } else {
-      t->core = next_core_;
-      next_core_ = (next_core_ + 1) % ncores_;
+      t->core = RD_READ(next_core_);
+      RD_WRITE(next_core_) = (t->core + 1) % ncores_;
     }
   }
   t->state = TaskState::kRunnable;
@@ -36,14 +36,14 @@ void Sched::EnqueueCore(Task* t) {
   CoreRq& rq = *cores_[t->core];
   SpinGuard g(rq.lock);
   t->runnable_since = NowStamp();
-  rq.q[LevelOf(t)].PushBack(t);
+  RD_WRITE(rq.q[LevelOf(t)]).PushBack(t);
 }
 
 Task* Sched::PopLocked(CoreRq& rq) {
   for (int l = 0; l < kMlfqLevels; ++l) {
-    Task* t = rq.q[l].PopFront();
+    Task* t = RD_WRITE(rq.q[l]).PopFront();
     if (t != nullptr) {
-      ++rq.switches;
+      ++RD_WRITE(rq.switches);
       if (runq_wait_hist_ != nullptr && now_fn_) {
         Cycles now = now_fn_();
         runq_wait_hist_->Record(now > t->runnable_since ? now - t->runnable_since : 0);
@@ -108,21 +108,21 @@ bool Sched::StealInto(unsigned thief) {
   // on the thief's queue and the runq_wait histogram sees the true latency.
   for (int l = kMlfqLevels - 1; l >= 0 && moved < take; --l) {
     while (moved < take) {
-      Task* t = src.q[l].PopBack();
+      Task* t = RD_WRITE(src.q[l]).PopBack();
       if (t == nullptr) {
         break;
       }
       t->core = thief;
-      dst.q[l].PushBack(t);
+      RD_WRITE(dst.q[l]).PushBack(t);
       ++moved;
     }
   }
   if (moved == 0) {
     return false;
   }
-  ++dst.steals;
-  dst.stolen_in += moved;
-  src.migrated_out += moved;
+  ++RD_WRITE(dst.steal_ops);
+  RD_WRITE(dst.stolen_in) += moved;
+  RD_WRITE(src.migrated_out) += moved;
   return true;
 }
 
@@ -149,9 +149,9 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
           t->mlfq_level = lv + 1;
           lv = t->mlfq_level;
         }
-        rq.q[lv].PushBack(t);
+        RD_WRITE(rq.q[lv]).PushBack(t);
       } else {
-        rq.q[lv].PushFront(t);
+        RD_WRITE(rq.q[lv]).PushFront(t);
       }
       t->yielded = false;
       t->runnable_since = NowStamp();
@@ -173,25 +173,27 @@ void Sched::OnTick(unsigned core, Cycles now) {
   }
   CoreRq& rq = *cores_[core];
   Cycles period = Ms(cfg_.mlfq_boost_ms);
-  if (now < rq.last_boost + period) {
+  // Pre-lock staleness check: reading last_boost unlocked can at worst skip
+  // one boost period; the write below is under the lock.
+  if (now < RD_READ(rq.last_boost) + period) {
     return;
   }
   // Periodic boost (starvation guard): everything queued below level 0 moves
   // back to the top with a fresh slice. Sleeping tasks are untouched — they
   // re-enter at their old level when woken and catch the next boost.
   SpinGuard g(rq.lock);
-  rq.last_boost = now;
+  RD_WRITE(rq.last_boost) = now;
   bool promoted = false;
   for (int l = 1; l < kMlfqLevels; ++l) {
-    while (Task* t = rq.q[l].PopFront()) {
+    while (Task* t = RD_WRITE(rq.q[l]).PopFront()) {
       t->mlfq_level = 0;
       t->slice_used = 0;
-      rq.q[0].PushBack(t);
+      RD_WRITE(rq.q[0]).PushBack(t);
       promoted = true;
     }
   }
   if (promoted) {
-    ++rq.boost_rounds;
+    ++RD_WRITE(rq.boost_rounds);
   }
 }
 
@@ -209,7 +211,7 @@ void Sched::Sleep(Task* cur, void* chan) {
     // Blocking ends the slice: an I/O-bound task wakes with a fresh budget,
     // so MLFQ never mistakes many short on-CPU bursts for one long burn.
     cur->slice_used = 0;
-    sleeping_.PushBack(cur);
+    RD_WRITE(sleeping_).PushBack(cur);
   }
   try {
     cur->fiber().BlockAndSwitch();
@@ -217,7 +219,7 @@ void Sched::Sleep(Task* cur, void* chan) {
     // Dying fiber: leave the sleeping list consistent before unwinding on.
     SpinGuard g(lock_);
     if (cur->run_hook.linked()) {
-      sleeping_.Remove(cur);
+      RD_WRITE(sleeping_).Remove(cur);
     }
     cur->sleep_chan = nullptr;
     throw;
@@ -226,7 +228,7 @@ void Sched::Sleep(Task* cur, void* chan) {
     // BlockAndSwitch returned without parking (kill-unwind in progress):
     // undo the sleep bookkeeping and let the caller's killed check run.
     SpinGuard g(lock_);
-    sleeping_.Remove(cur);
+    RD_WRITE(sleeping_).Remove(cur);
     cur->sleep_chan = nullptr;
     cur->state = TaskState::kRunning;
     return;
@@ -256,7 +258,7 @@ std::size_t Sched::Wakeup(void* chan) {
     Task* batch[kBatch];
     std::size_t n = 0;
     SpinGuard g(lock_);
-    for (Task* t : sleeping_) {
+    for (Task* t : RD_READ(sleeping_)) {
       if (t->sleep_chan == chan) {
         batch[n++] = t;
         if (n == kBatch) {
@@ -283,7 +285,7 @@ void Sched::WakeTaskLocked(Task* t) {
   if (t->state != TaskState::kSleeping) {
     return;
   }
-  sleeping_.Remove(t);
+  RD_WRITE(sleeping_).Remove(t);
   t->sleep_chan = nullptr;
   t->state = TaskState::kRunnable;
   // Nests "sched" → "sched-core<home>": the documented hierarchy edge.

@@ -29,6 +29,7 @@
 #include "src/base/intrusive_list.h"
 #include "src/hw/intc.h"
 #include "src/kernel/kconfig.h"
+#include "src/kernel/racedet.h"
 #include "src/kernel/spinlock.h"
 #include "src/kernel/task.h"
 
@@ -72,21 +73,35 @@ class Sched {
   bool HasRunnable() const;
   std::size_t runqueue_len(unsigned core) const;
 
+  // The stat accessors below read runqueue counters unlocked: token
+  // serialization makes each read a consistent snapshot, and a stale gauge
+  // value is harmless. They carry per-line racedet escapes rather than RD
+  // wrappers so the gauges stay wait-free.
   std::uint64_t context_switches() const {
     std::uint64_t t = 0;
     for (unsigned c = 0; c < ncores_; ++c) {
-      t += cores_[c]->switches;
+      t += cores_[c]->switches;  // racedet: ok (token-serialized gauge snapshot)
     }
     return t;
   }
-  std::uint64_t context_switches(unsigned core) const { return cores_[core]->switches; }
+  std::uint64_t context_switches(unsigned core) const {
+    return cores_[core]->switches;  // racedet: ok (token-serialized gauge snapshot)
+  }
   // Steal operations performed by `core` (thief side) and tasks it pulled in.
-  std::uint64_t steals(unsigned core) const { return cores_[core]->steals; }
-  std::uint64_t stolen_tasks(unsigned core) const { return cores_[core]->stolen_in; }
+  std::uint64_t steals(unsigned core) const {
+    return cores_[core]->steal_ops;  // racedet: ok (token-serialized gauge snapshot)
+  }
+  std::uint64_t stolen_tasks(unsigned core) const {
+    return cores_[core]->stolen_in;  // racedet: ok (token-serialized gauge snapshot)
+  }
   // Tasks that migrated away from `core` (victim side).
-  std::uint64_t migrations(unsigned core) const { return cores_[core]->migrated_out; }
+  std::uint64_t migrations(unsigned core) const {
+    return cores_[core]->migrated_out;  // racedet: ok (token-serialized gauge snapshot)
+  }
   // MLFQ boost rounds on `core` that actually re-promoted something.
-  std::uint64_t boosts(unsigned core) const { return cores_[core]->boost_rounds; }
+  std::uint64_t boosts(unsigned core) const {
+    return cores_[core]->boost_rounds;  // racedet: ok (token-serialized gauge snapshot)
+  }
 
   // Observability wiring (kernel boot): a clock for enqueue/dispatch stamps
   // and histograms for runqueue wait (wakeup→dispatch) and slice length.
@@ -104,15 +119,18 @@ class Sched {
     explicit CoreRq(unsigned i)
         : lock("sched-core" + std::to_string(i)) {}
     SpinLock lock;  // lockdep: class sched-core (per-core name built at runtime)
-    IntrusiveList<Task, &Task::run_hook> q[kMlfqLevels];
-    std::uint64_t switches = 0;
-    std::uint64_t steals = 0;        // successful steal operations (thief side)
-    std::uint64_t stolen_in = 0;     // tasks pulled in by stealing
-    std::uint64_t migrated_out = 0;  // tasks other cores stole from here
-    std::uint64_t boost_rounds = 0;  // boost ticks that promoted something
-    Cycles last_boost = 0;
+    IntrusiveList<Task, &Task::run_hook> q[kMlfqLevels];  // racedet: shared (guarded by lock)
+    std::uint64_t switches = 0;      // racedet: shared (guarded by lock)
+    std::uint64_t steal_ops = 0;     // racedet: shared (guarded by lock; thief side)
+    std::uint64_t stolen_in = 0;     // racedet: shared (guarded by lock)
+    std::uint64_t migrated_out = 0;  // racedet: shared (guarded by lock)
+    std::uint64_t boost_rounds = 0;  // racedet: shared (guarded by lock)
+    Cycles last_boost = 0;           // racedet: shared (guarded by lock)
 
     std::size_t Len() const {
+      // Unlocked by design: the steal victim scan and procfs read lengths as
+      // token-serialized snapshots; a stale value only wastes a lock trip.
+      RD_EXCLUDE_SCOPE("token-serialized length snapshot (victim scan, procfs)");
       std::size_t n = 0;
       for (const auto& l : q) {
         n += l.size();
@@ -147,8 +165,8 @@ class Sched {
   // runqueues have their own locks (see CoreRq).
   SpinLock lock_{"sched"};
   std::unique_ptr<CoreRq> cores_[kMaxCores];
-  IntrusiveList<Task, &Task::run_hook> sleeping_;
-  unsigned next_core_ = 0;
+  IntrusiveList<Task, &Task::run_hook> sleeping_;  // racedet: shared (guarded by lock_)
+  unsigned next_core_ = 0;                         // racedet: shared (guarded by lock_)
   std::function<Cycles()> now_fn_;
   Histogram* runq_wait_hist_ = nullptr;
   Histogram* slice_hist_ = nullptr;

@@ -45,6 +45,7 @@ std::vector<TraceRecord> TraceRing::Dump() const {
     for (;;) {
       std::uint64_t s0 = r.seq.load(std::memory_order_acquire);
       if (s0 & 1) {
+        dump_retries_.fetch_add(1, std::memory_order_relaxed);
         continue;  // writer mid-record; retry
       }
       std::uint64_t h = r.head.load(std::memory_order_acquire);
@@ -59,6 +60,7 @@ std::vector<TraceRecord> TraceRing::Dump() const {
         out.insert(out.end(), tmp.begin(), tmp.end());
         break;
       }
+      dump_retries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   std::stable_sort(out.begin(), out.end(),
@@ -150,6 +152,8 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "slab_refill";
     case TraceEvent::kBlockError:
       return "block_error";
+    case TraceEvent::kRaceReport:
+      return "race_report";
   }
   return "?";
 }
@@ -164,7 +168,7 @@ constexpr TraceEvent kAllTraceEvents[] = {
     TraceEvent::kWmComposite,  TraceEvent::kPageFault,   TraceEvent::kBlockRead,
     TraceEvent::kBlockWrite,   TraceEvent::kBlockFlush,  TraceEvent::kPmmAlloc,
     TraceEvent::kPmmFree,      TraceEvent::kPmmOom,      TraceEvent::kSlabRefill,
-    TraceEvent::kBlockError,
+    TraceEvent::kBlockError,   TraceEvent::kRaceReport,
 };
 }  // namespace
 

@@ -42,6 +42,7 @@ enum class TraceEvent : std::uint16_t {
   kPmmOom,       // allocation failed (a=npages requested, b=pages still free)
   kSlabRefill,   // per-core cache refilled from the depot (a=class size, b=objs)
   kBlockError,   // block layer: request failed after retries (a=lba, b=status)
+  kRaceReport,   // racedet: lockset went empty (a=shadow addr, b=report index)
 };
 
 struct TraceRecord {
@@ -75,6 +76,12 @@ class TraceRing {
   // Records overwritten by ring wrap since the last Clear().
   std::uint64_t dropped(unsigned core) const;
   std::uint64_t total_dropped() const;
+  // Seqlock snapshot retries Dump() has performed (reader observed a torn or
+  // superseded window and re-read). The seqlock torture test asserts this
+  // goes positive while a writer races the reader.
+  std::uint64_t dump_retries() const {
+    return dump_retries_.load(std::memory_order_relaxed);
+  }
 
   static std::string EventName(TraceEvent ev);
   static bool EventFromName(const std::string& name, TraceEvent* out);
@@ -84,6 +91,13 @@ class TraceRing {
   // The head cursor counts every record written since Clear, so the derived
   // stats cost nothing on the hot path: emitted == head, and dropped ==
   // max(0, head - capacity) — once the ring is full, every write evicts one.
+  //
+  // racedet policy: these fields are deliberately NOT in the shared set. The
+  // ring is the canonical intentionally-lock-free structure (seqlock writer,
+  // wrapping reader); a lockset checker has nothing true to say about it, and
+  // RD_* calls on the Emit hot path would also recurse through the racedet
+  // trace hook. The seqlock torture test covers it dynamically, and the TSan
+  // CI leg carries a matching suppression (tools/tsan.supp).
   struct alignas(64) CoreRing {
     std::atomic<std::uint64_t> head{0};  // total records written since Clear
     std::atomic<std::uint64_t> seq{0};   // seqlock: odd while a write is in flight
@@ -93,6 +107,8 @@ class TraceRing {
 
   bool enabled_;
   std::size_t cap_;
+  // Dump() is logically const; retry accounting is observability metadata.
+  mutable std::atomic<std::uint64_t> dump_retries_{0};
   std::array<CoreRing, kMaxCores> rings_;
 };
 

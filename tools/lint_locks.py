@@ -1,89 +1,82 @@
 #!/usr/bin/env python3
 """Locking-discipline lint for the vos kernel sources.
 
-Two rules, both mechanical:
+Rules, all mechanical (marker language lives in lint_markers.py):
 
 1. SpinGuard only: no naked `.Acquire()` / `->Acquire()` / `.Release()` /
    `->Release()` calls in src/**. RAII scoping is what keeps the lockdep
    held-stack, the IRQ-off refcount, and exception unwinding consistent.
-   Lines that genuinely need a naked call (the SpinLock implementation
-   itself, the xv6 sleep-lock dance) carry a `// lockdep: naked-ok` marker
-   explaining why. Only empty-argument calls match, so unrelated methods
-   like `Bcache::Release(buf)` are untouched.
+   Lines that genuinely need a naked call carry a `// lockdep: naked-ok`
+   marker explaining why — but the marker is only honored in the files
+   allowed to play that game (the SpinLock implementation itself and the
+   scheduler's xv6 sleep-lock dance). Anywhere else, even a justified-looking
+   naked call is a finding: move the code or use SpinGuard. Only
+   empty-argument calls match, so unrelated methods like
+   `Bcache::Release(buf)` are untouched.
 
 2. Every SpinLock declaration names its lock class with a string literal
    (`SpinLock lock_{"bcache"};` or `SpinLock l("sched")`): the class name
    keys the lockdep order graph, so an unnamed lock would be invisible to
    the validator's reports.
 
-3. The class name must come from the allowlist below, which mirrors the
-   lock-hierarchy table in DESIGN.md §7. A typo ("slab_depot" for
+3. The class name must come from lint_markers.KNOWN_CLASSES, which mirrors
+   the lock-hierarchy table in DESIGN.md §7. A typo ("slab_depot" for
    "slab-depot") would otherwise silently split a class in two and dodge
    both the order graph and the /proc/lockdep report. Adding a lock class
-   is a DESIGN.md change first, then a lint change.
+   is a DESIGN.md change first, then a lint_markers.py change.
+
+4. The allowlist itself must stay alphabetically sorted (checked here), so
+   additions stay one-line diffs.
 
 Exit status 0 = clean, 1 = findings (printed one per line, grep-style).
 """
 
 import pathlib
-import re
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import lint_markers as m
 
-# Keep in sync with the DESIGN.md §7 hierarchy table.
-KNOWN_CLASSES = {
-    "sched",
-    "sched-core",
-    "semtable",
-    "pipe",
-    "ipc",
-    "metrics",
-    "bcache",
-    "pmm",
-    "slab-depot",
-    "faultinject",
+# The only files where `// lockdep: naked-ok` is honored: the SpinLock
+# implementation (it *is* the Acquire/Release definition site) and the
+# scheduler's SleepOn release-park-reacquire dance.
+NAKED_OK_FILES = {
+    "src/kernel/sched.cc",
+    "src/kernel/spinlock.cc",
+    "src/kernel/spinlock.h",
 }
-
-NAKED_CALL = re.compile(r"(?:\.|->)(Acquire|Release)\(\s*\)")
-NAKED_OK = re.compile(r"//\s*lockdep:\s*naked-ok")
-# Locks whose class name is built at runtime (per-core instances like
-# "sched-core0".."sched-core3" share one class stem) can't open their
-# initializer with a string literal; they declare the class explicitly:
-#   SpinLock lock;  // lockdep: class sched-core
-CLASS_MARKER = re.compile(r"//\s*lockdep:\s*class\s+([\w-]+)")
-# A SpinLock variable declaration (member or local), not a reference/pointer
-# parameter and not the class definition itself. The initializer must open
-# with a string literal: SpinLock x{"name"} / SpinLock x("name").
-SPINLOCK_DECL = re.compile(r"^\s*(?:mutable\s+)?SpinLock\s+(\w+)\s*(.*)$")
-NAMED_INIT = re.compile(r"^[({]\s*\"")
 
 
 def lint_file(path: pathlib.Path) -> list[str]:
     findings = []
-    rel = path.relative_to(REPO)
+    rel = path.relative_to(m.REPO)
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-        if NAKED_CALL.search(line) and not NAKED_OK.search(line):
-            findings.append(
-                f"{rel}:{lineno}: naked Acquire()/Release() — use SpinGuard, "
-                f"or justify with '// lockdep: naked-ok (<reason>)'"
-            )
-        decl = SPINLOCK_DECL.match(line)
+        if m.NAKED_CALL.search(line):
+            if not m.NAKED_OK.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: naked Acquire()/Release() — use SpinGuard, "
+                    f"or justify with '// lockdep: naked-ok (<reason>)'"
+                )
+            elif str(rel) not in NAKED_OK_FILES:
+                findings.append(
+                    f"{rel}:{lineno}: '// lockdep: naked-ok' is only honored in "
+                    f"{', '.join(sorted(NAKED_OK_FILES))} — use SpinGuard here"
+                )
+        decl = m.SPINLOCK_DECL.match(line)
         if decl:
             rest = decl.group(2).strip()
             # `SpinLock& lk` parameters and forward uses don't declare a lock.
             if decl.group(1) in ("lock", "l") and rest.startswith(")"):
                 continue
-            marker = CLASS_MARKER.search(line)
-            if not NAMED_INIT.match(rest):
+            marker = m.CLASS_MARKER.search(line)
+            if not m.NAMED_INIT.match(rest):
                 if marker:
                     name = marker.group(1)
-                    if name not in KNOWN_CLASSES:
+                    if name not in m.KNOWN_CLASSES:
                         findings.append(
-                            f"{rel}:{lineno}: lockdep class marker \"{name}\" is not "
+                            f'{rel}:{lineno}: lockdep class marker "{name}" is not '
                             f"in the lint allowlist — add it to DESIGN.md §7 and "
-                            f"tools/lint_locks.py KNOWN_CLASSES together"
+                            f"tools/lint_markers.py KNOWN_CLASSES together"
                         )
                     continue
                 findings.append(
@@ -93,20 +86,19 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 )
                 continue
             name = rest.split('"')[1]
-            if name not in KNOWN_CLASSES:
+            if name not in m.KNOWN_CLASSES:
                 findings.append(
-                    f"{rel}:{lineno}: SpinLock class \"{name}\" is not in the "
+                    f'{rel}:{lineno}: SpinLock class "{name}" is not in the '
                     f"lint allowlist — add it to DESIGN.md §7 and "
-                    f"tools/lint_locks.py KNOWN_CLASSES together"
+                    f"tools/lint_markers.py KNOWN_CLASSES together"
                 )
     return findings
 
 
 def main() -> int:
-    findings = []
-    for path in sorted(SRC.rglob("*")):
-        if path.suffix in (".h", ".cc"):
-            findings.extend(lint_file(path))
+    findings = m.check_classes_sorted()
+    for path in m.source_files():
+        findings.extend(lint_file(path))
     for f in findings:
         print(f)
     if findings:

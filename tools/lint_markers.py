@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Shared marker parser for the concurrency-discipline lint suite.
+
+Both lint_locks.py (lockdep discipline) and lint_shared_state.py (racedet
+annotation discipline) consume the same comment-marker language from the C++
+sources. This module is the single place that language is defined:
+
+  // lockdep: naked-ok (<reason>)     justify a naked Acquire()/Release()
+  // lockdep: class <name>            class of a runtime-named SpinLock
+  // racedet: shared (<guard>)        field must be accessed via RD_* macros
+  // racedet: ok (<reason>)           one-line escape for a shared field
+  // racedet: percore (<reason>)      reviewed: per-core by construction
+
+plus the lock-class allowlist mirroring the DESIGN.md §7 hierarchy table.
+"""
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Keep in sync with the DESIGN.md §7 hierarchy table. The tuple MUST stay
+# alphabetically sorted — check_classes_sorted() fails the lint otherwise, so
+# diffs stay one-line and merge conflicts stay trivial.
+KNOWN_CLASSES = (
+    "bcache",
+    "faultinject",
+    "ipc",
+    "metrics",
+    "pipe",
+    "pmm",
+    "racedet-self",
+    "sched",
+    "sched-core",
+    "semtable",
+    "slab-depot",
+)
+
+NAKED_CALL = re.compile(r"(?:\.|->)(Acquire|Release)\(\s*\)")
+NAKED_OK = re.compile(r"//\s*lockdep:\s*naked-ok")
+CLASS_MARKER = re.compile(r"//\s*lockdep:\s*class\s+([\w-]+)")
+RACEDET_SHARED = re.compile(r"//\s*racedet:\s*shared\b")
+RACEDET_OK = re.compile(r"//\s*racedet:\s*ok\b")
+RACEDET_PERCORE = re.compile(r"//\s*racedet:\s*percore\b")
+# A SpinLock variable declaration (member or local), not a reference/pointer
+# parameter and not the class definition itself. The initializer must open
+# with a string literal: SpinLock x{"name"} / SpinLock x("name").
+SPINLOCK_DECL = re.compile(r"^\s*(?:mutable\s+)?SpinLock\s+(\w+)\s*(.*)$")
+NAMED_INIT = re.compile(r'^[({]\s*"')
+
+
+def check_classes_sorted():
+    """Returns a list of findings (empty = the allowlist is sorted+unique)."""
+    findings = []
+    if list(KNOWN_CLASSES) != sorted(KNOWN_CLASSES):
+        findings.append(
+            "tools/lint_markers.py: KNOWN_CLASSES is not alphabetically "
+            "sorted — keep the allowlist ordered"
+        )
+    if len(set(KNOWN_CLASSES)) != len(KNOWN_CLASSES):
+        findings.append("tools/lint_markers.py: KNOWN_CLASSES has duplicates")
+    return findings
+
+
+def source_files():
+    """All C++ sources the lints scan, in deterministic order."""
+    return [p for p in sorted(SRC.rglob("*")) if p.suffix in (".h", ".cc")]
+
+
+def strip_comment(line: str) -> str:
+    """Code portion of a line ('//...' removed; markers live in the comment)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def declared_field(line: str):
+    """Field name from a member-declaration line, or None.
+
+    Handles `type name;`, `type name = init;`, `type name{init};`, and
+    `type name[extent];` — the name is the last identifier before the
+    array extent / initializer / semicolon.
+    """
+    code = strip_comment(line)
+    m = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=[^;]*|\{[^;]*\})?;\s*$", code)
+    return m.group(1) if m else None
