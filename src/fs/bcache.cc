@@ -52,6 +52,8 @@ Cycles Bcache::FlushBufs(int dev, std::vector<Buf*>& bufs) {
   for (std::size_t i = 0; i < bufs.size(); ++i) {
     VOS_CHECK_MSG(bufs[i]->valid && RD_READ(bufs[i]->dirty) && bufs[i]->dev == dev,
                   "flushing a buffer that is not dirty on this device");
+    VOS_CHECK_MSG(!RD_READ(bufs[i]->jpinned),
+                  "flushing a journal-pinned buffer bypasses the log ordering");
     reqs[i].op = BlockOp::kWrite;
     reqs[i].lba = bufs[i]->lba;
     reqs[i].count = 1;
@@ -101,9 +103,11 @@ Buf* Bcache::FindOrRecycle(int dev, std::uint64_t lba, Cycles* burn) {
   // Recycle, preferring a clean unreferenced buffer (LRU order) so hot dirty
   // data survives; fall back to evicting the LRU dirty one, which must be
   // written back first — a dirty buffer is never recycled without a flush.
+  // Journal-pinned buffers are not candidates at all: recycling one would
+  // resurrect stale home contents on the next read.
   Buf* victim = nullptr;
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    if ((*it)->refcnt != 0) {
+    if ((*it)->refcnt != 0 || RD_READ((*it)->jpinned)) {
       continue;
     }
     if (!RD_READ((*it)->dirty)) {
@@ -218,6 +222,14 @@ std::int64_t Bcache::WriteLocked(Buf* b, Cycles* burn) {
     return 0;
   }
   *burn = cfg_.cost.bcache_lookup;
+  if (RD_READ(b->jpinned)) {
+    // Direct write to a journal-pinned buffer: ownership transfers back to
+    // the normal dirty set, and the pending checkpoint will skip this block
+    // (the unpinned, newer copy supersedes the committed image). Unreachable
+    // from xv6fs, whose writes all route through the journal; kept so a
+    // foreign writer cannot wedge a pin forever.
+    RD_WRITE(b->jpinned) = false;
+  }
   if (!RD_READ(b->dirty)) {
     RD_WRITE(b->dirty) = true;
     RD_WRITE(b->dirtied_at) = NowStamp();
@@ -260,9 +272,15 @@ std::int64_t Bcache::ReadRange(int dev, std::uint64_t lba, std::uint32_t count,
   // Bypass: stream from the device. With write-back, the cache may hold data
   // the device has not seen yet — flush overlapping dirty buffers first, or
   // the range read silently returns stale bytes.
+  // Journal-pinned overlaps are excluded: flushing one would write
+  // possibly-uncommitted data over its home block. No caller range-reads a
+  // journaled region (the log region is never pinned and xv6fs does
+  // single-block I/O), so the device copy the pinned buffer shadows is
+  // stale-but-committed, which is the correct pre-checkpoint disk state.
   std::vector<Buf*> overlap;
   for (Buf& b : bufs_) {
-    if (b.valid && RD_READ(b.dirty) && b.dev == dev && b.lba >= lba && b.lba < lba + count) {
+    if (b.valid && RD_READ(b.dirty) && !RD_READ(b.jpinned) && b.dev == dev && b.lba >= lba &&
+        b.lba < lba + count) {
       overlap.push_back(&b);
     }
   }
@@ -320,6 +338,9 @@ std::int64_t Bcache::WriteRange(int dev, std::uint64_t lba, std::uint32_t count,
       VOS_CHECK_MSG(b.refcnt == 0, "range write overlaps referenced buffer");
       b.valid = false;
       RD_WRITE(b.dirty) = false;
+      // The incoming range supersedes a pinned image too (recovery replay is
+      // the one caller that writes ranges over journaled home blocks).
+      RD_WRITE(b.jpinned) = false;
     }
   }
   BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
@@ -357,7 +378,7 @@ Cycles Bcache::FlushDevLocked(int dev) {
   RD_ASSERT_HELD(lock_);
   std::vector<Buf*> dirty_bufs;
   for (Buf& b : bufs_) {
-    if (b.valid && RD_READ(b.dirty) && b.dev == dev) {
+    if (b.valid && RD_READ(b.dirty) && !RD_READ(b.jpinned) && b.dev == dev) {
       dirty_bufs.push_back(&b);
     }
   }
@@ -370,7 +391,8 @@ Cycles Bcache::FlushAged(Cycles now, Cycles min_age) {
   for (int dev = 0; dev < device_count(); ++dev) {
     std::vector<Buf*> aged;
     for (Buf& b : bufs_) {
-      if (b.valid && RD_READ(b.dirty) && b.dev == dev && now - RD_READ(b.dirtied_at) >= min_age) {
+      if (b.valid && RD_READ(b.dirty) && !RD_READ(b.jpinned) && b.dev == dev &&
+          now - RD_READ(b.dirtied_at) >= min_age) {
         aged.push_back(&b);
       }
     }
@@ -403,9 +425,109 @@ std::size_t Bcache::DirtyCount(int dev) const {
   // a gauge or the throttle heuristic, never correctness.
   std::size_t n = 0;
   for (const Buf& b : bufs_) {
-    n += (b.valid && b.dirty && (dev < 0 || b.dev == dev));  // racedet: ok (token-serialized gauge snapshot)
+    n += (b.valid && b.dirty && !b.jpinned && (dev < 0 || b.dev == dev));  // racedet: ok (token-serialized gauge snapshot)
   }
   return n;
+}
+
+std::size_t Bcache::PinnedCount(int dev) const {
+  // Same contract as DirtyCount: lock-free snapshot for gauges and the
+  // journal's backpressure heuristic; staleness never breaks correctness.
+  std::size_t n = 0;
+  for (const Buf& b : bufs_) {
+    n += (b.valid && b.jpinned && (dev < 0 || b.dev == dev));  // racedet: ok (token-serialized gauge snapshot)
+  }
+  return n;
+}
+
+void Bcache::MarkJournaled(Buf* b, std::uint64_t seq) {
+  SpinGuard g(lock_);
+  VOS_CHECK_MSG(b->refcnt > 0, "MarkJournaled on unreferenced buffer");
+  if (!RD_READ(b->dirty)) {
+    RD_WRITE(b->dirty) = true;
+    RD_WRITE(b->dirtied_at) = NowStamp();
+  }
+  RD_WRITE(b->jpinned) = true;
+  RD_WRITE(b->jseq) = seq;
+  b->io_failed = false;
+}
+
+Cycles Bcache::CheckpointBlocks(int dev, const std::vector<CheckpointWrite>& writes,
+                                std::int64_t* err) {
+  SpinGuard g(lock_);
+  *err = 0;
+  if (writes.empty()) {
+    return 0;
+  }
+  auto& q = queues_[static_cast<std::size_t>(dev)];
+  BlockDevStats& st = stats_[static_cast<std::size_t>(dev)];
+  // Select the blocks this pass owns. An *unpinned* cached buffer means
+  // ownership was transferred back to the normal dirty set (direct write or
+  // range invalidate) and its copy is at least as new as the committed
+  // image; an uncached block can only mean the same transfer followed by
+  // eviction — pins block recycling. Skip those. A buffer pinned by a
+  // *later* batch still gets this pass's home write (the committed image
+  // must land before the head advances past its record — the newer image
+  // may never commit), but keeps its pin for the later pass.
+  std::vector<const CheckpointWrite*> sel;
+  std::vector<Buf*> pinned;
+  sel.reserve(writes.size());
+  pinned.reserve(writes.size());
+  for (const CheckpointWrite& w : writes) {
+    Buf* cached = nullptr;
+    for (Buf& b : bufs_) {
+      if (b.valid && b.dev == dev && b.lba == w.lba) {
+        cached = &b;
+        break;
+      }
+    }
+    if (cached == nullptr || !RD_READ(cached->jpinned)) {
+      continue;
+    }
+    sel.push_back(&w);
+    pinned.push_back(cached);
+  }
+  if (sel.empty()) {
+    return 0;
+  }
+  std::vector<BlockRequest> reqs(sel.size());
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    reqs[i].op = BlockOp::kWrite;
+    reqs[i].lba = sel[i]->lba;
+    reqs[i].count = 1;
+    reqs[i].buf = const_cast<std::uint8_t*>(sel[i]->data);
+    q.Submit(&reqs[i]);
+  }
+  Cycles dev_time = q.CompleteAll();
+  std::size_t flushed = 0;
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    Buf* b = pinned[i];
+    if (reqs[i].status == BlockStatus::kOk) {
+      // Home now holds this pass's committed image: the deferred write-back
+      // promised at LogWrite time has happened, so it counts (and traces) as
+      // one. Unpin only if no later batch re-logged the block meanwhile.
+      if (RD_READ(b->jseq) <= sel[i]->seq) {
+        RD_WRITE(b->jpinned) = false;
+        RD_WRITE(b->dirty) = false;
+        b->io_failed = false;
+      }
+      ++flushed;
+      Trace(TraceEvent::kBlockFlush, b->lba, 1);
+    } else {
+      // Keep the pin: the record stays live in the log and a retry (or
+      // recovery after a crash) still has the committed image. The latched
+      // error makes the failure visible at the next sync point.
+      b->io_failed = true;
+      pending_error_[static_cast<std::size_t>(dev)] = kErrIo;
+      *err = kErrIo;
+      Trace(TraceEvent::kBlockError, b->lba,
+            static_cast<std::uint64_t>(reqs[i].status));
+    }
+  }
+  st.writebacks += flushed;
+  st.writes += flushed;
+  st.blocks_written += flushed;
+  return dev_time + Cycles(sel.size()) * cfg_.cost.bcache_flush_work;
 }
 
 const BlockDevStats& Bcache::stats(int dev) {

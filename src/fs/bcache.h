@@ -42,6 +42,14 @@ struct Buf {
   // is latched in the device's pending error for sync/fsync to report.
   bool io_failed = false;
   Cycles dirtied_at = 0;  // racedet: shared (guarded by Bcache lock_)
+  // Journal pin (write-ahead logging, src/fs/journal.h): the block's latest
+  // image is in the log but not yet at its home location. A pinned buffer is
+  // the read-your-writes source of truth — it must not be flushed to home by
+  // any sweep (that would bypass the log ordering) nor recycled (a re-read
+  // would resurrect stale home contents). Only CheckpointBlocks, which writes
+  // the committed image home, clears the pin.
+  bool jpinned = false;        // racedet: shared (guarded by Bcache lock_)
+  std::uint64_t jseq = 0;      // racedet: shared (guarded by Bcache lock_)
   std::array<std::uint8_t, kBlockSize> data{};
 };
 
@@ -115,10 +123,33 @@ class Bcache {
   Cycles FlushDev(int dev);                   // every dirty buffer of one device
   Cycles FlushAged(Cycles now, Cycles min_age);  // buffers dirty longer than min_age
 
+  // --- Journal support (src/fs/journal.h) -------------------------------
+  // Marks a referenced buffer as journaled at `seq`: dirty (its content is
+  // not at home) and pinned (exempt from every flush sweep and from
+  // recycling until the checkpoint drains it).
+  void MarkJournaled(Buf* b, std::uint64_t seq);
+  // One checkpoint pass: writes committed block images to their home LBAs
+  // through the request queue (elevator order + merging), then unpins cached
+  // buffers whose pin sequence the pass covers. A buffer pinned by a *later*
+  // batch than `seq` is skipped entirely — its newer image supersedes this
+  // one and a later pass owns it. Per-block failures latch the device error
+  // and leave the pin in place; *err receives kErrIo if any write failed.
+  struct CheckpointWrite {
+    std::uint64_t lba = 0;
+    const std::uint8_t* data = nullptr;
+    std::uint64_t seq = 0;
+  };
+  Cycles CheckpointBlocks(int dev, const std::vector<CheckpointWrite>& writes,
+                          std::int64_t* err);
+  std::size_t PinnedCount(int dev = -1) const;  // -1 = all devices
+
   // Consumes and returns the device's latched write-back error (0 if none).
   std::int64_t TakeError(int dev);
   std::int64_t TakeAnyError();  // any device; clears all
 
+  // Dirty buffers eligible for write-back. Journal-pinned buffers are
+  // excluded: their durability is the log's responsibility, so a post-fsync
+  // "everything drained" check sees zero even with a checkpoint backlog.
   std::size_t DirtyCount(int dev = -1) const;  // -1 = all devices
 
   std::uint64_t hits() const;    // aggregate over devices

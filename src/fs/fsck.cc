@@ -4,12 +4,35 @@
 #include <map>
 #include <sstream>
 
+#include "src/fs/journal.h"
+
 namespace vos {
 
 namespace {
 
 bool ValidDataBlock(const Xv6Superblock& sb, std::uint32_t b) {
   return b >= sb.size - sb.nblocks && b < sb.size;
+}
+
+// Does the superblock advertise a journal whose region fits the image?
+bool HasLogRegion(const Xv6Superblock& sb) {
+  return sb.nlog >= kJrnlMinLogBlocks && sb.logstart >= 2 &&
+         std::uint64_t(sb.logstart) + sb.nlog <= sb.size;
+}
+
+// Journal-superblock validation. The log's *contents* are not fsck's
+// business (recovery replays or discards them before fsck ever runs); what
+// fsck checks is that the jsb itself is well-formed, so a future mount's
+// recovery scan starts from sane cursors.
+bool JsbValid(Xv6Fs& fs, Cycles* burn) {
+  std::uint8_t blk[kFsBlockSize];
+  if (fs.ReadFsBlock(fs.sb().logstart, blk, burn) != 0) {
+    return false;
+  }
+  JrnlSuperblock jsb;
+  std::memcpy(&jsb, blk, sizeof(jsb));
+  return jsb.magic == kJrnlMagic && jsb.capacity == fs.sb().nlog - 1 &&
+         jsb.head_off < jsb.capacity;
 }
 
 struct Walker {
@@ -108,6 +131,15 @@ FsckReport FsckXv6(Xv6Fs& fs, Cycles* burn) {
     report.errors.push_back("bad superblock magic");
     report.errors_found = report.unrecoverable = 1;
     return report;
+  }
+  if (sb.nlog != 0 && !HasLogRegion(sb)) {
+    report.clean = false;
+    report.errors.push_back("journal region out of bounds (logstart " +
+                            std::to_string(sb.logstart) + ", nlog " +
+                            std::to_string(sb.nlog) + ")");
+  } else if (HasLogRegion(sb) && !JsbValid(fs, burn)) {
+    report.clean = false;
+    report.errors.push_back("journal superblock corrupt");
   }
   Walker w{fs, burn, report, std::vector<int>(sb.size, 0), {}, std::vector<bool>(sb.ninodes)};
 
@@ -533,6 +565,17 @@ struct Repairer {
 FsckReport FsckRepairXv6(Xv6Fs& fs, Cycles* burn, int max_passes) {
   std::uint32_t total = 0;
   if (fs.sb().magic == kXv6Magic) {
+    // Journal superblock first: a corrupt jsb is repaired by resetting to an
+    // empty ring (any committed-but-unreplayed records are already lost —
+    // that is exactly the metadata damage the passes below then fix).
+    if (HasLogRegion(fs.sb()) && !JsbValid(fs, burn)) {
+      JrnlSuperblock jsb{kJrnlMagic, fs.sb().nlog - 1, 0, 1};
+      std::uint8_t blk[kFsBlockSize] = {};
+      std::memcpy(blk, &jsb, sizeof(jsb));
+      if (fs.WriteFsBlock(fs.sb().logstart, blk, burn) == 0) {
+        ++total;
+      }
+    }
     Repairer r{fs, burn};
     for (int p = 0; p < max_passes; ++p) {
       std::uint32_t f = r.RunPass();

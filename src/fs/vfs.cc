@@ -465,19 +465,32 @@ std::int64_t Vfs::Chdir(Task* t, const std::string& upath, Cycles* burn) {
 }
 
 std::int64_t Vfs::Sync(Cycles* burn) {
+  // Journal first: commit the open batch AND drain every committed batch to
+  // home (sync is the full-durability point, unlike fsync's commit-only
+  // contract). This unpins the journaled buffers, so the FlushAll below sees
+  // only ordinary dirty data.
+  std::int64_t jerr = root_.DrainJournal(burn);
   // All mounted filesystems share the one buffer cache, so a single
   // FlushAll covers the ramdisk root, the SD FAT volume, and the USB drive.
   // Any flush that exhausted its retries latched an error on its device;
   // consume every latch so the caller learns the data didn't all make it.
   *burn += root_.bcache().FlushAll();
-  return root_.bcache().TakeAnyError();
+  std::int64_t ferr = root_.bcache().TakeAnyError();
+  return jerr < 0 ? jerr : ferr;
 }
 
 std::int64_t Vfs::Fsync(File& f, Cycles* burn) {
   switch (f.kind) {
-    case FileKind::kXv6:
+    case FileKind::kXv6: {
+      // Commit the open journal batch — durability comes from the log, so
+      // fsync does NOT wait for the checkpoint pipeline. The FlushDev below
+      // covers non-journaled dirty buffers (and is the whole story on
+      // unjournaled images); journal-pinned buffers are excluded from it.
+      std::int64_t jerr = root_.SyncJournal(burn);
       *burn += root_.bcache().FlushDev(root_.dev());
-      return root_.bcache().TakeError(root_.dev());
+      std::int64_t ferr = root_.bcache().TakeError(root_.dev());
+      return jerr < 0 ? jerr : ferr;
+    }
     case FileKind::kFat:
       if (f.fat_vol != nullptr) {
         *burn += f.fat_vol->bcache().FlushDev(f.fat_vol->dev());

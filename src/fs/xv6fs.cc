@@ -5,8 +5,41 @@
 
 #include "src/base/assert.h"
 #include "src/base/status.h"
+#include "src/fs/journal.h"
 
 namespace vos {
+
+namespace {
+
+// Transaction scope for one filesystem operation. Nestable (Truncate inside
+// Unlink, DirLink's Writei inside Create); only the outermost scope delimits
+// the all-or-nothing unit. No-op when the filesystem runs unjournaled. The
+// destructor's CommitTx may group-commit; a commit error there is deferred
+// by design — it stays in the open batch and surfaces at the next
+// fsync/sync, which retries the commit and reports honestly.
+class TxScope {
+ public:
+  TxScope(Journal* j, Cycles* burn) : j_(j), burn_(burn) {
+    if (j_ != nullptr && j_->active()) {
+      j_->BeginTx(burn_);
+    } else {
+      j_ = nullptr;
+    }
+  }
+  ~TxScope() {
+    if (j_ != nullptr) {
+      j_->CommitTx(burn_);
+    }
+  }
+  TxScope(const TxScope&) = delete;
+  TxScope& operator=(const TxScope&) = delete;
+
+ private:
+  Journal* j_;
+  Cycles* burn_;
+};
+
+}  // namespace
 
 std::vector<std::string> SplitPath(const std::string& path) {
   std::vector<std::string> parts;
@@ -41,6 +74,14 @@ std::int64_t Xv6Fs::ReadFsBlock(std::uint32_t fsb, std::uint8_t* out, Cycles* bu
 }
 
 std::int64_t Xv6Fs::WriteFsBlock(std::uint32_t fsb, const std::uint8_t* in, Cycles* burn) {
+  if (jrnl_ != nullptr && jrnl_->active()) {
+    // Every write funnels through the log — including fsck's repair surgery
+    // (ReadFsBlock/WriteFsBlock/SetBlockInUse), which makes repair itself
+    // crash-safe. A write outside any op-level scope becomes its own
+    // single-block transaction.
+    TxScope tx(jrnl_, burn);
+    return jrnl_->LogWrite(fsb, in, burn);
+  }
   for (std::uint32_t i = 0; i < kDevPerFs; ++i) {
     Cycles c = 0;
     Buf* b = bc_.Read(dev_, std::uint64_t(fsb) * kDevPerFs + i, &c);
@@ -69,7 +110,39 @@ std::int64_t Xv6Fs::Mount(Cycles* burn) {
   if (sb_.magic != kXv6Magic) {
     return kErrIo;
   }
+  recovered_records_ = 0;
+  recovered_blocks_ = 0;
+  // Recovery-by-replay, before any other write touches the image. Runs with
+  // or without a Journal attached (the crash-torture harness remounts bare
+  // Xv6Fs instances and must recover exactly like a kernel boot). The sanity
+  // bounds keep a damaged superblock (fsck's department) from sending the
+  // scan off the device.
+  if (sb_.nlog >= kJrnlMinLogBlocks && sb_.logstart >= 2 &&
+      std::uint64_t(sb_.logstart) + sb_.nlog <= sb_.size) {
+    Journal::RecoveryResult rr;
+    if (Journal::Recover(bc_, dev_, sb_, &rr, burn) < 0) {
+      return kErrIo;
+    }
+    recovered_records_ = rr.records_replayed;
+    recovered_blocks_ = rr.blocks_replayed;
+  }
   return 0;
+}
+
+std::int64_t Xv6Fs::SyncJournal(Cycles* burn) {
+  if (jrnl_ == nullptr || !jrnl_->active()) {
+    return 0;
+  }
+  return jrnl_->CommitNow(burn);
+}
+
+std::int64_t Xv6Fs::DrainJournal(Cycles* burn) {
+  if (jrnl_ == nullptr || !jrnl_->active()) {
+    return 0;
+  }
+  std::int64_t cerr = jrnl_->CommitNow(burn);
+  std::int64_t kerr = jrnl_->CheckpointAll(burn);
+  return cerr != 0 ? cerr : kerr;
 }
 
 Xv6InodePtr Xv6Fs::GetInode(std::uint32_t inum, Cycles* burn) {
@@ -270,7 +343,9 @@ std::int64_t Xv6Fs::Writei(Xv6Inode& ip, const std::uint8_t* src, std::uint32_t 
   if (std::uint64_t(off) + n > std::uint64_t(kMaxFileBlocks) * kFsBlockSize) {
     return kErrFBig;  // the 270 KB cap in action
   }
+  TxScope tx(jrnl_, burn);
   std::uint32_t done = 0;
+  std::uint32_t tx_blocks = 0;
   bool io_err = false;
   std::uint8_t blk[kFsBlockSize];
   while (done < n) {
@@ -296,6 +371,14 @@ std::int64_t Xv6Fs::Writei(Xv6Inode& ip, const std::uint8_t* src, std::uint32_t 
       break;
     }
     done += take;
+    // One huge write must not demand more log slots than the ring has:
+    // offer a commit-eligibility point between chunks. Atomicity degrades
+    // to per-chunk for multi-chunk writes — the POSIX contract for write()
+    // makes no stronger promise.
+    if (jrnl_ != nullptr && ++tx_blocks >= cfg_.jrnl_max_tx_blocks / 2) {
+      tx_blocks = 0;
+      jrnl_->TxBarrier(burn);
+    }
   }
   if (off + done > ip.size) {
     ip.size = off + done;
@@ -434,6 +517,9 @@ Xv6InodePtr Xv6Fs::NameIParent(const std::string& path, std::string* last, Cycle
 
 Xv6InodePtr Xv6Fs::Create(const std::string& path, std::int16_t type, std::int16_t major,
                           std::int16_t minor, std::int64_t* err, Cycles* burn) {
+  // One transaction: inode allocation, bitmap updates, the new directory
+  // data, and both inode rewrites commit together or not at all.
+  TxScope tx(jrnl_, burn);
   std::string name;
   Xv6InodePtr dir = NameIParent(path, &name, burn);
   if (dir == nullptr) {
@@ -492,6 +578,7 @@ Xv6InodePtr Xv6Fs::Create(const std::string& path, std::int16_t type, std::int16
 }
 
 void Xv6Fs::Truncate(Xv6Inode& ip, Cycles* burn) {
+  TxScope tx(jrnl_, burn);
   for (std::uint32_t i = 0; i < kNDirect; ++i) {
     if (ip.addrs[i] != 0) {
       BFree(ip.addrs[i], burn);
@@ -531,6 +618,10 @@ bool Xv6Fs::DirIsEmpty(Xv6Inode& dir, Cycles* burn) {
 }
 
 std::int64_t Xv6Fs::Unlink(const std::string& path, Cycles* burn) {
+  // Dirent clear, link counts, freed bitmap bits, and the inode zap are one
+  // atomic unit — the classic "unlink leaves an orphan inode" crash shape
+  // cannot happen under the log.
+  TxScope tx(jrnl_, burn);
   std::string name;
   Xv6InodePtr dir = NameIParent(path, &name, burn);
   if (dir == nullptr) {
@@ -583,6 +674,7 @@ std::int64_t Xv6Fs::Unlink(const std::string& path, Cycles* burn) {
 }
 
 std::int64_t Xv6Fs::Link(const std::string& oldp, const std::string& newp, Cycles* burn) {
+  TxScope tx(jrnl_, burn);
   Xv6InodePtr ip = NameI(oldp, burn);
   if (ip == nullptr) {
     return kErrNoEnt;
@@ -670,10 +762,13 @@ std::uint32_t Xv6Fs::FreeDataBlocks(Cycles* burn) {
   return free;
 }
 
-std::vector<std::uint8_t> Xv6Fs::Mkfs(std::uint32_t fsblocks, std::uint32_t ninodes) {
+std::vector<std::uint8_t> Xv6Fs::Mkfs(std::uint32_t fsblocks, std::uint32_t ninodes,
+                                      std::uint32_t nlog) {
+  VOS_CHECK_MSG(nlog == 0 || nlog >= kJrnlMinLogBlocks,
+                "journal needs jsb + descriptor + data (or 0 for none)");
   std::uint32_t ninodeblocks = ninodes / kInodesPerBlock + 1;
   std::uint32_t nbitmap = fsblocks / (kFsBlockSize * 8) + 1;
-  std::uint32_t nmeta = 2 + ninodeblocks + nbitmap;
+  std::uint32_t nmeta = 2 + ninodeblocks + nbitmap + nlog;
   VOS_CHECK_MSG(nmeta < fsblocks, "filesystem too small for metadata");
 
   std::vector<std::uint8_t> img(std::size_t(fsblocks) * kFsBlockSize, 0);
@@ -684,7 +779,14 @@ std::vector<std::uint8_t> Xv6Fs::Mkfs(std::uint32_t fsblocks, std::uint32_t nino
   sb.ninodes = ninodes;
   sb.inodestart = 2;
   sb.bmapstart = 2 + ninodeblocks;
+  sb.logstart = 2 + ninodeblocks + nbitmap;
+  sb.nlog = nlog;
   std::memcpy(img.data() + kFsBlockSize, &sb, sizeof(sb));
+
+  if (nlog >= kJrnlMinLogBlocks) {
+    JrnlSuperblock jsb{kJrnlMagic, nlog - 1, 0, 1};
+    std::memcpy(img.data() + std::size_t(sb.logstart) * kFsBlockSize, &jsb, sizeof(jsb));
+  }
 
   // Mark the metadata blocks used in the bitmap.
   auto set_used = [&](std::uint32_t b) {

@@ -41,6 +41,10 @@ constexpr std::int16_t kXv6TDev = 3;
 
 constexpr std::uint32_t kRootInum = 1;
 
+// Default journal size Mkfs reserves (journal superblock + 31 record slots);
+// the protocol constants live in src/fs/journal.h.
+constexpr std::uint32_t kJrnlDefaultLogBlocks = 32;
+
 #pragma pack(push, 1)
 struct Xv6Superblock {
   std::uint32_t magic;
@@ -49,6 +53,13 @@ struct Xv6Superblock {
   std::uint32_t ninodes;
   std::uint32_t inodestart;  // first inode block
   std::uint32_t bmapstart;   // first bitmap block
+  // Write-ahead log region (src/fs/journal.h): nlog fs blocks starting at
+  // logstart (journal superblock + record slots). nlog == 0 means an
+  // unjournaled image. The log lives inside the metadata area (nmeta =
+  // size - nblocks covers it), so fsck's data-block accounting needs no
+  // special cases for it.
+  std::uint32_t logstart;
+  std::uint32_t nlog;
 };
 
 struct Xv6Dinode {
@@ -89,6 +100,8 @@ struct Xv6DirEntryInfo {
   std::int16_t type;
   std::uint32_t size;
 };
+
+class Journal;
 
 class Xv6Fs {
  public:
@@ -139,9 +152,27 @@ class Xv6Fs {
   Bcache& bcache() { return bc_; }
   int dev() const { return dev_; }
 
-  // Formats an image: fs of `fsblocks` 1 KB blocks with `ninodes` inodes,
-  // containing only the root directory. Image size = fsblocks KB.
-  static std::vector<std::uint8_t> Mkfs(std::uint32_t fsblocks, std::uint32_t ninodes);
+  // Write-ahead journaling (src/fs/journal.h). When attached, every
+  // metadata/data write funnels through the journal as a transaction;
+  // detached (or an unjournaled image), writes go straight to the write-back
+  // cache as before. Mount() runs recovery-by-replay either way when the
+  // image carries a log.
+  void AttachJournal(Journal* j) { jrnl_ = j; }
+  Journal* journal() const { return jrnl_; }
+  // fsync semantics: make everything logged so far durable (group commit of
+  // the open batch). Does NOT wait for the checkpoint pipeline.
+  std::int64_t SyncJournal(Cycles* burn);
+  // sync semantics: commit, then drain every committed batch to home.
+  std::int64_t DrainJournal(Cycles* burn);
+  // Mount-time recovery outcome (zeroed when the image has no log).
+  std::uint32_t recovered_records() const { return recovered_records_; }
+  std::uint32_t recovered_blocks() const { return recovered_blocks_; }
+
+  // Formats an image: fs of `fsblocks` 1 KB blocks with `ninodes` inodes and
+  // an `nlog`-block journal region (0 = unjournaled), containing only the
+  // root directory. Image size = fsblocks KB.
+  static std::vector<std::uint8_t> Mkfs(std::uint32_t fsblocks, std::uint32_t ninodes,
+                                        std::uint32_t nlog = kJrnlDefaultLogBlocks);
 
  private:
   // 0 with *out = fresh zeroed block, kErrNoSpace on disk full, kErrIo.
@@ -161,6 +192,9 @@ class Xv6Fs {
   int dev_;
   const KernelConfig& cfg_;
   Xv6Superblock sb_{};
+  Journal* jrnl_ = nullptr;
+  std::uint32_t recovered_records_ = 0;
+  std::uint32_t recovered_blocks_ = 0;
   std::unordered_map<std::uint32_t, Xv6InodePtr> icache_;
 };
 

@@ -132,6 +132,15 @@ struct KernelConfig {
   std::uint32_t bcache_flush_interval_ms = 50;  // bflush thread wake period
   std::uint32_t bcache_dirty_age_ms = 30;       // age before background flush
   double bcache_dirty_ratio = 0.5;   // dirty fraction that throttles writers
+  // Write-ahead journal for the xv6 root filesystem (src/fs/journal.h).
+  // Active only when the image carries a log region (sb.nlog > 0).
+  bool jrnl_enabled = true;
+  bool jrnl_group_commit = true;   // off = one commit record per transaction
+  std::uint32_t jrnl_commit_blocks = 12;       // size trigger: seal the open batch
+  std::uint32_t jrnl_commit_interval_ms = 20;  // time trigger (flusher-driven)
+  std::uint32_t jrnl_max_tx_blocks = 12;       // Writei splits its tx at this many blocks
+  std::uint32_t jrnl_checkpoint_batch = 16;    // fs blocks drained per flusher tick
+  std::uint32_t jrnl_pin_max = 32;             // pinned device bufs forcing a sync checkpoint
   // Per-core slab cache (magazine) capacity, in objects per size class per
   // core. Larger = fewer depot-lock trips, more memory cached per core.
   std::uint32_t slab_percore_cache_objs = 32;

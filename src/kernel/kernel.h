@@ -15,6 +15,7 @@
 #include "src/fs/bcache.h"
 #include "src/fs/devfs.h"
 #include "src/fs/fault_inject.h"
+#include "src/fs/journal.h"
 #include "src/fs/vfs.h"
 #include "src/fs/xv6fs.h"
 #include "src/hw/board.h"
@@ -129,6 +130,7 @@ class Kernel final : public MachineClient {
   Vfs& vfs() { return *vfs_; }
   Xv6Fs& rootfs() { return *rootfs_; }
   Bcache& bcache() { return *bcache_; }
+  Journal* journal() { return journal_.get(); }
   FaultInjector* fault_injector() { return fault_.get(); }
   TraceRing& trace() { return trace_; }
   Metrics& metrics() { return metrics_; }
@@ -291,6 +293,7 @@ class Kernel final : public MachineClient {
   std::unique_ptr<RamDisk> ramdisk_;
   std::unique_ptr<Bcache> bcache_;
   std::unique_ptr<Xv6Fs> rootfs_;
+  std::unique_ptr<Journal> journal_;
   std::unique_ptr<SdBlockDevice> sd_part_;
   std::unique_ptr<FatVolume> fat_;
   std::unique_ptr<Vfs> vfs_;

@@ -490,11 +490,14 @@ std::int64_t Kernel::SysSync() {
   if (!cfg_.HasFiles()) {
     return SyscallExit(Sys::kSync, kErrNoSys);
   }
-  cur->fiber().Burn(bcache_->FlushAll());
-  // A flush that exhausted its retries latched kErrIo on the device; sync is
-  // the durability point, so the caller learns about it here (errseq-style,
-  // consumed exactly once).
-  return SyscallExit(Sys::kSync, bcache_->TakeAnyError());
+  // Vfs::Sync drains the journal (commit + checkpoint everything) before the
+  // cache-wide flush; any flush that exhausted its retries latched kErrIo on
+  // the device, and sync is the durability point where the caller learns
+  // about it (errseq-style, consumed exactly once).
+  Cycles burn = 0;
+  std::int64_t r = vfs_->Sync(&burn);
+  cur->fiber().Burn(burn);
+  return SyscallExit(Sys::kSync, r);
 }
 
 std::int64_t Kernel::SysFsync(int fd) {

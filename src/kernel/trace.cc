@@ -154,6 +154,10 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "block_error";
     case TraceEvent::kRaceReport:
       return "race_report";
+    case TraceEvent::kJrnlCommit:
+      return "jrnl_commit";
+    case TraceEvent::kJrnlCheckpoint:
+      return "jrnl_checkpoint";
   }
   return "?";
 }
@@ -168,7 +172,8 @@ constexpr TraceEvent kAllTraceEvents[] = {
     TraceEvent::kWmComposite,  TraceEvent::kPageFault,   TraceEvent::kBlockRead,
     TraceEvent::kBlockWrite,   TraceEvent::kBlockFlush,  TraceEvent::kPmmAlloc,
     TraceEvent::kPmmFree,      TraceEvent::kPmmOom,      TraceEvent::kSlabRefill,
-    TraceEvent::kBlockError,   TraceEvent::kRaceReport,
+    TraceEvent::kBlockError,   TraceEvent::kRaceReport,  TraceEvent::kJrnlCommit,
+    TraceEvent::kJrnlCheckpoint,
 };
 }  // namespace
 

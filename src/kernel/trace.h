@@ -43,6 +43,8 @@ enum class TraceEvent : std::uint16_t {
   kSlabRefill,   // per-core cache refilled from the depot (a=class size, b=objs)
   kBlockError,   // block layer: request failed after retries (a=lba, b=status)
   kRaceReport,   // racedet: lockset went empty (a=shadow addr, b=report index)
+  kJrnlCommit,     // journal: commit record durable (a=seq, b=data blocks)
+  kJrnlCheckpoint, // journal: batches drained to home (a=first seq, b=blocks)
 };
 
 struct TraceRecord {

@@ -24,6 +24,7 @@
 #include "src/fs/bcache.h"
 #include "src/fs/fault_inject.h"
 #include "src/fs/fsck.h"
+#include "src/fs/journal.h"
 #include "src/fs/xv6fs.h"
 
 namespace vos {
@@ -325,6 +326,206 @@ TEST(FaultWorkloadTest, TenThousandOpsUnderTransientFaultsNoSilentCorruption) {
   }
   FsckReport rep = FsckXv6(fs2, &burn);
   EXPECT_TRUE(rep.clean) << rep.Summary();
+}
+
+// --- Journaled torture -------------------------------------------------------
+//
+// Same power-cut sweep, but with the write-ahead journal attached. The bar is
+// categorically higher than the fsck-repair torture above: after recovery-by-
+// replay the filesystem must be consistent with ZERO repairs (the journal, not
+// fsck, is the recovery mechanism), and every file whose last write was
+// covered by a successful fsync must survive with its exact content — the
+// durability contract group commit is not allowed to weaken.
+
+struct JournaledOutcome {
+  std::uint64_t seed = 0;
+  int crash_point = 0;
+  std::uint64_t cut_budget = 0;
+  bool mounted = false;
+  std::uint32_t records_replayed = 0;
+  std::uint32_t repaired = 0;
+  std::uint32_t unrecoverable = 0;
+  bool clean = false;
+  std::uint32_t durable_checked = 0;  // fsynced files verified byte-for-byte
+  std::uint32_t durable_lost = 0;     // fsynced files missing or corrupt
+};
+
+JournaledOutcome RunJournaledCrashPoint(std::uint64_t seed, int crash_point) {
+  JournaledOutcome out;
+  out.seed = seed;
+  out.crash_point = crash_point;
+
+  KernelConfig cfg;
+  RamDisk disk(Xv6Fs::Mkfs(kFsBlocks, kNInodes));
+  FaultInjector fi(cfg);
+  FaultInjectingBlockDevice fdev(&disk, &fi, 0);
+  Bcache bc(cfg);
+  int dev = bc.AddDevice(&fdev, "jtorture");
+  Xv6Fs fs(bc, dev, cfg);
+  Journal jrnl(bc, dev, cfg);
+  Cycles burn = 0;
+  EXPECT_EQ(fs.Mount(&burn), 0);
+  EXPECT_EQ(jrnl.Init(fs.sb(), &burn), 0);
+  EXPECT_TRUE(jrnl.active());
+  fs.AttachJournal(&jrnl);
+
+  Rng rng(seed * 7777777ull + std::uint64_t(crash_point) + 1);
+  out.cut_budget = std::uint64_t(crash_point) * 29 + rng.NextBelow(29);
+  fi.CutPowerAfter(out.cut_budget);
+
+  // Shadow model. `latest` is the content of every successfully whole-file-
+  // written path; on a successful fsync it is snapshotted into `durable` and
+  // `touched` clears. After the crash, a durable file not touched since the
+  // snapshot must exist byte-for-byte; anything else is allowed to vanish
+  // (never fsynced) but never to be half-applied (that's fsck's zero-repair
+  // assertion).
+  std::map<std::string, std::string> latest;
+  std::map<std::string, std::string> durable;
+  std::map<std::string, bool> touched;
+  std::vector<std::string> dirs = {""};
+  int name = 0;
+  for (int op = 0; op < 48; ++op) {
+    switch (rng.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2: {  // create + whole-file write
+        std::string dir = dirs[rng.NextBelow(dirs.size())];
+        std::string path = dir + "/j" + std::to_string(name++);
+        std::int64_t err = 0;
+        auto ip = fs.Create(path, kXv6TFile, 0, 0, &err, &burn);
+        if (ip == nullptr) {
+          break;  // the cut fired mid-op: kErrIo, by design
+        }
+        std::string data(64 + rng.NextBelow(3000), char('a' + name % 26));
+        if (fs.Writei(*ip, reinterpret_cast<const std::uint8_t*>(data.data()), 0,
+                      std::uint32_t(data.size()), &burn) ==
+            std::int64_t(data.size())) {
+          latest[path] = data;
+        }
+        touched[path] = true;
+        break;
+      }
+      case 3: {  // whole-file overwrite
+        if (latest.empty()) break;
+        auto it = latest.begin();
+        std::advance(it, std::ptrdiff_t(rng.NextBelow(latest.size())));
+        std::string path = it->first;
+        touched[path] = true;
+        auto ip = fs.NameI(path, &burn);
+        if (ip == nullptr) break;
+        std::string data(64 + rng.NextBelow(2000), char('A' + name++ % 26));
+        if (fs.Writei(*ip, reinterpret_cast<const std::uint8_t*>(data.data()), 0,
+                      std::uint32_t(data.size()), &burn) ==
+                std::int64_t(data.size()) &&
+            data.size() >= it->second.size()) {
+          it->second = data;  // fully covers the old bytes
+        } else {
+          latest.erase(path);  // partial/short state: stop tracking it
+        }
+        break;
+      }
+      case 4: {  // unlink
+        if (latest.empty()) break;
+        auto it = latest.begin();
+        std::advance(it, std::ptrdiff_t(rng.NextBelow(latest.size())));
+        std::string path = it->first;
+        if (fs.Unlink(path, &burn) == 0) {
+          latest.erase(path);
+        }
+        touched[path] = true;
+        break;
+      }
+      case 5: {  // mkdir
+        std::string dir = dirs[rng.NextBelow(dirs.size())];
+        std::string path = dir + "/jd" + std::to_string(name++);
+        std::int64_t err = 0;
+        if (fs.Create(path, kXv6TDir, 0, 0, &err, &burn)) {
+          dirs.push_back(path);
+        }
+        break;
+      }
+      default: {  // fsync point: commit, snapshot the durable shadow
+        if (fs.SyncJournal(&burn) == 0 && !fi.power_cut()) {
+          durable = latest;
+          touched.clear();
+        }
+        break;
+      }
+    }
+  }
+  // Crash: the cache dies with the power; the device image is the truth.
+  RamDisk recovered(disk.data());
+  Bcache bc2(cfg);
+  Xv6Fs fs2(bc2, bc2.AddDevice(&recovered, "recovered"), cfg);
+  burn = 0;
+  if (fs2.Mount(&burn) != 0) {
+    return out;
+  }
+  out.mounted = true;
+  out.records_replayed = fs2.recovered_records();
+  FsckReport rep = FsckRepairXv6(fs2, &burn);
+  out.repaired = rep.repaired;
+  out.unrecoverable = rep.unrecoverable;
+  out.clean = rep.clean;
+  for (const auto& [path, data] : durable) {
+    auto t = touched.find(path);
+    if (t != touched.end() && t->second) {
+      continue;  // mutated after the last successful fsync: no contract
+    }
+    ++out.durable_checked;
+    auto ip = fs2.NameI(path, &burn);
+    if (ip == nullptr || ip->size != data.size()) {
+      ++out.durable_lost;
+      continue;
+    }
+    std::string got(ip->size, '\0');
+    if (fs2.Readi(*ip, reinterpret_cast<std::uint8_t*>(got.data()), 0, ip->size,
+                  &burn) != std::int64_t(ip->size) ||
+        got != data) {
+      ++out.durable_lost;
+    }
+  }
+  return out;
+}
+
+TEST(JournaledCrashTortureTest, RecoveryNeedsZeroRepairsAtEveryCrashPoint) {
+  const char* report_path = std::getenv("TORTURE_REPORT");
+  std::ofstream report(report_path ? report_path : "journaled_torture_report.txt");
+  report << "seed\tcrash_point\tcut_budget\tmounted\treplayed\trepaired"
+         << "\tunrecoverable\tclean\tdurable_checked\tdurable_lost\n";
+  std::uint64_t base = 1;
+  if (const char* e = std::getenv("TORTURE_SEED_BASE")) {
+    base = std::strtoull(e, nullptr, 10);
+  }
+  for (std::uint64_t seed = base; seed < base + 10; ++seed) {
+    for (int point = 0; point < 10; ++point) {
+      JournaledOutcome o = RunJournaledCrashPoint(seed, point);
+      report << o.seed << "\t" << o.crash_point << "\t" << o.cut_budget << "\t"
+             << o.mounted << "\t" << o.records_replayed << "\t" << o.repaired
+             << "\t" << o.unrecoverable << "\t" << o.clean << "\t"
+             << o.durable_checked << "\t" << o.durable_lost << "\n";
+      EXPECT_TRUE(o.mounted) << "seed " << seed << " point " << point;
+      // THE journaling guarantee: replay alone restores consistency. The
+      // repair pass must find absolutely nothing to fix.
+      EXPECT_EQ(o.repaired, 0u) << "seed " << seed << " point " << point
+                                << ": journal recovery left damage for fsck";
+      EXPECT_EQ(o.unrecoverable, 0u) << "seed " << seed << " point " << point;
+      EXPECT_TRUE(o.clean) << "seed " << seed << " point " << point;
+      EXPECT_EQ(o.durable_lost, 0u)
+          << "seed " << seed << " point " << point
+          << ": an fsynced file was lost or corrupted";
+    }
+  }
+}
+
+TEST(JournaledCrashTortureTest, JournaledCrashPointsReplayDeterministically) {
+  JournaledOutcome a = RunJournaledCrashPoint(7, 4);
+  JournaledOutcome b = RunJournaledCrashPoint(7, 4);
+  EXPECT_EQ(a.cut_budget, b.cut_budget);
+  EXPECT_EQ(a.records_replayed, b.records_replayed);
+  EXPECT_EQ(a.repaired, b.repaired);
+  EXPECT_EQ(a.durable_checked, b.durable_checked);
+  EXPECT_EQ(a.durable_lost, b.durable_lost);
 }
 
 }  // namespace

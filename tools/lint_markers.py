@@ -27,6 +27,7 @@ KNOWN_CLASSES = (
     "bcache",
     "faultinject",
     "ipc",
+    "journal",
     "metrics",
     "pipe",
     "pmm",
