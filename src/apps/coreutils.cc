@@ -1,6 +1,7 @@
 // Console utilities ported from xv6 (§3): ls, cat, echo, wc, grep, mkdir,
 // rm, ln, kill, plus the /proc-backed ps, free and uptime.
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -372,6 +373,92 @@ int TraceMain(AppEnv& env) {
   return 0;
 }
 
+// prof: drive the kernel sampling profiler via /proc/profile.
+//   prof start|stop|reset          control sampling
+//   prof dump [file]               folded-stack dump to stdout or a file
+//   prof run <prog> [args...]      profile one program: start, exec, wait,
+//                                  stop, dump (the flamegraph workflow)
+// The dump is flamegraph-collapsed-adjacent: pipe through prof2flame.py.
+int ProfMain(AppEnv& env) {
+  auto command = [&env](const char* cmd) -> bool {
+    std::int64_t fd = uopen(env, "/proc/profile", kOWronly);
+    if (fd < 0) {
+      return false;
+    }
+    std::int64_t len = static_cast<std::int64_t>(std::strlen(cmd));
+    std::int64_t n = uwrite(env, static_cast<int>(fd), cmd, static_cast<std::uint32_t>(len));
+    uclose(env, static_cast<int>(fd));
+    return n == len;
+  };
+  auto dump = [&env](const std::string& out_path) -> int {
+    std::vector<std::uint8_t> raw;
+    if (uread_file(env, "/proc/profile", &raw) < 0) {
+      uprintf(env, "prof: cannot read /proc/profile\n");
+      return 1;
+    }
+    std::string out(raw.begin(), raw.end());
+    if (out_path.empty()) {
+      uputs(env, out);
+      return 0;
+    }
+    std::int64_t fd = uopen(env, out_path, kOWronly | kOCreate | kOTrunc);
+    if (fd < 0) {
+      uprintf(env, "prof: cannot create %s\n", out_path.c_str());
+      return 1;
+    }
+    std::size_t off = 0;
+    while (off < out.size()) {
+      std::int64_t n = uwrite(env, static_cast<int>(fd), out.data() + off,
+                              static_cast<std::uint32_t>(out.size() - off));
+      if (n <= 0) {
+        uprintf(env, "prof: write failed\n");
+        uclose(env, static_cast<int>(fd));
+        return 1;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    uclose(env, static_cast<int>(fd));
+    uprintf(env, "prof: %u bytes -> %s\n", static_cast<unsigned>(out.size()), out_path.c_str());
+    return 0;
+  };
+  std::string verb = env.argv.size() > 1 ? env.argv[1] : "dump";
+  if (verb == "start" || verb == "stop" || verb == "reset") {
+    if (!command(verb.c_str())) {
+      uprintf(env, "prof: %s failed\n", verb.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (verb == "dump") {
+    return dump(env.argv.size() > 2 ? env.argv[2] : "");
+  }
+  if (verb == "run") {
+    if (env.argv.size() < 3) {
+      uprintf(env, "usage: prof run <prog> [args...]\n");
+      return 1;
+    }
+    std::vector<std::string> child_argv(env.argv.begin() + 2, env.argv.end());
+    if (!command("reset") || !command("start")) {
+      uprintf(env, "prof: cannot start profiler\n");
+      return 1;
+    }
+    std::int64_t pid = ufork(env, [&env, child_argv]() -> int {
+      return static_cast<int>(uexec(env, child_argv[0], child_argv));
+    });
+    if (pid < 0) {
+      command("stop");
+      uprintf(env, "prof: fork failed\n");
+      return 1;
+    }
+    int status = 0;
+    uwait(env, &status);
+    command("stop");
+    return dump("");
+  }
+  uprintf(env, "usage: prof [start|stop|reset|dump [file]|run prog args...]\n");
+  return 1;
+}
+
 int Md5sumMain(AppEnv& env) {
   if (env.argv.size() < 2) {
     uprintf(env, "usage: md5sum file...\n");
@@ -409,6 +496,7 @@ AppRegistrar md5sum_app("md5sum", Md5sumMain, 1300, 1 << 20);
 AppRegistrar fsck_app("fsck", FsckMain, 2100, 4 << 20);
 AppRegistrar screenshot_app("screenshot", ScreenshotMain, 1600, 8 << 20);
 AppRegistrar trace_app("trace", TraceMain, 1200, 1 << 20);
+AppRegistrar prof_app("prof", ProfMain, 1400, 1 << 20);
 
 }  // namespace
 }  // namespace vos

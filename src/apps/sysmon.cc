@@ -3,7 +3,10 @@
 // app that shows off the WM's alpha compositing (§4.5, Figure 1(m)).
 // PR 4 teaches it the observability files too: per-core context switches and
 // runqueue depth from /proc/schedstat, and the p99 syscall latency from
-// /proc/metrics.
+// /proc/metrics. The profiler PR adds a TOP-style header (uptime, load,
+// per-core idle%) and a task table sorted by CPU share, fed by the per-task
+// accounting rows of /proc/schedstat.
+#include <algorithm>
 #include <vector>
 
 #include "src/fs/procfs.h"
@@ -18,7 +21,7 @@ namespace {
 int SysmonMain(AppEnv& env) {
   int iterations = env.argv.size() > 1 ? std::atoi(env.argv[1].c_str()) : 20;
   MiniSdl sdl(env);
-  constexpr std::uint32_t kW = 180, kH = 124;
+  constexpr std::uint32_t kW = 180, kH = 196;
   if (!sdl.InitVideo(kW, kH, MiniSdl::VideoMode::kSurface, "sysmon", /*alpha=*/170,
                      /*x=*/440, /*y=*/16)) {
     uprintf(env, "sysmon: no window manager\n");
@@ -33,17 +36,33 @@ int SysmonMain(AppEnv& env) {
     uread_file(env, "/proc/metrics", &metrics_raw);
     std::vector<double> utils;
     std::uint64_t total_kb = 1, free_kb = 0;
-    ParseCpuUtilization(std::string(cpu_raw.begin(), cpu_raw.end()), &utils);
+    std::string cpu_str(cpu_raw.begin(), cpu_raw.end());
+    ParseCpuUtilization(cpu_str, &utils);
     ParseMemFree(std::string(mem_raw.begin(), mem_raw.end()), &total_kb, &free_kb);
+    std::string sched_str(sched_raw.begin(), sched_raw.end());
     std::vector<ProcSchedLine> sched;
-    ParseSchedStat(std::string(sched_raw.begin(), sched_raw.end()), &sched);
+    ParseSchedStat(sched_str, &sched);
+    std::vector<ProcTaskLine> ptasks;
+    ParseSchedTasks(sched_str, &ptasks);
     std::uint64_t p99_ns = 0;
     ParseMetricValue(std::string(metrics_raw.begin(), metrics_raw.end()), "syscall.latency.p99",
                      &p99_ns);
+    // TOP header inputs: uptime from cpuinfo, load = total runnable backlog.
+    unsigned long long uptime_ms = 0;
+    (void)std::sscanf(cpu_str.c_str(), "uptime_ms: %llu", &uptime_ms);
+    std::uint64_t load = 0;
+    for (const ProcSchedLine& c : sched) {
+      load += c.runq;
+    }
     UBurn(env, 25000);  // parsing + chart math
 
     FillRect(env, bb, 0, 0, kW, kH, Rgb(18, 22, 30));
     DrawText(env, bb, 6, 4, "SYSMON", Rgb(130, 220, 255), 1);
+    char hdr[40];
+    std::snprintf(hdr, sizeof(hdr), "UP %llus LOAD %llu",
+                  static_cast<unsigned long long>(uptime_ms / 1000),
+                  static_cast<unsigned long long>(load));
+    DrawText(env, bb, 64, 4, hdr, Rgb(170, 180, 200), 1);
     // Per-core utilization bars.
     for (std::size_t c = 0; c < utils.size() && c < 4; ++c) {
       int bar_w = static_cast<int>(utils[c] * 120);
@@ -53,12 +72,10 @@ int SysmonMain(AppEnv& env) {
       FillRect(env, bb, 28, 18 + static_cast<int>(c) * 14, 120, 8, Rgb(40, 46, 60));
       FillRect(env, bb, 28, 18 + static_cast<int>(c) * 14, bar_w, 8, Rgb(90, 230, 120));
       if (c < sched.size()) {
-        // switches, runqueue depth, and steal ops pulled in by this core.
+        // idle% since boot plus the runqueue depth for this core.
         char sw[24];
-        std::snprintf(sw, sizeof(sw), "%lluq%llus%llu",
-                      static_cast<unsigned long long>(sched[c].switches % 10000),
-                      static_cast<unsigned long long>(sched[c].runq),
-                      static_cast<unsigned long long>(sched[c].steals % 1000));
+        std::snprintf(sw, sizeof(sw), "i%d q%llu", static_cast<int>(sched[c].idle_pct),
+                      static_cast<unsigned long long>(sched[c].runq));
         DrawText(env, bb, 152, 18 + static_cast<int>(c) * 14, sw, Rgb(140, 150, 170), 1);
       }
     }
@@ -75,6 +92,26 @@ int SysmonMain(AppEnv& env) {
     std::snprintf(lat, sizeof(lat), "SYS P99 %lluus",
                   static_cast<unsigned long long>(p99_ns / 1000));
     DrawText(env, bb, 6, 108, lat, Rgb(130, 220, 255), 1);
+    // TOP-style task table: biggest CPU consumers first, share of total
+    // accounted CPU time. utime vs stime split rides in the second column.
+    std::stable_sort(ptasks.begin(), ptasks.end(), [](const ProcTaskLine& a,
+                                                      const ProcTaskLine& b) {
+      return a.cpu_ms > b.cpu_ms;
+    });
+    std::uint64_t total_cpu = 0;
+    for (const ProcTaskLine& t : ptasks) {
+      total_cpu += t.cpu_ms;
+    }
+    DrawText(env, bb, 6, 122, "PID CPU% U/S NAME", Rgb(130, 220, 255), 1);
+    for (std::size_t i = 0; i < ptasks.size() && i < 5; ++i) {
+      const ProcTaskLine& t = ptasks[i];
+      int share = total_cpu > 0 ? static_cast<int>(t.cpu_ms * 100 / total_cpu) : 0;
+      char row[40];
+      std::snprintf(row, sizeof(row), "%-3d %2d%% %llu/%llu %.7s", t.pid, share,
+                    static_cast<unsigned long long>(t.utime_ms),
+                    static_cast<unsigned long long>(t.stime_ms), t.name.c_str());
+      DrawText(env, bb, 6, 134 + static_cast<int>(i) * 12, row, Rgb(200, 200, 200), 1);
+    }
     sdl.Present();
     sdl.Delay(250);
   }

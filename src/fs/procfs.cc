@@ -186,10 +186,35 @@ std::string FormatSchedStat(const std::vector<ProcSchedLine>& cores,
     os << buf;
   }
   for (const ProcTaskLine& t : tasks) {
-    os << "pid " << t.pid << " cpu_ms " << t.cpu_ms << " level " << t.level << " name "
-       << t.name << "\n";
+    os << "pid " << t.pid << " cpu_ms " << t.cpu_ms << " utime_ms " << t.utime_ms
+       << " stime_ms " << t.stime_ms << " sys " << t.syscalls << " blocked_ms " << t.blocked_ms
+       << " level " << t.level << " name " << t.name << "\n";
   }
   return os.str();
+}
+
+bool ParseSchedTasks(const std::string& schedstat, std::vector<ProcTaskLine>* out) {
+  out->clear();
+  std::istringstream is(schedstat);
+  std::string line;
+  while (std::getline(is, line)) {
+    ProcTaskLine t;
+    unsigned long long cpu, ut, st, sys, bl;
+    char name[64];
+    if (std::sscanf(line.c_str(),
+                    "pid %d cpu_ms %llu utime_ms %llu stime_ms %llu sys %llu blocked_ms %llu "
+                    "level %d name %63s",
+                    &t.pid, &cpu, &ut, &st, &sys, &bl, &t.level, name) == 8) {
+      t.cpu_ms = cpu;
+      t.utime_ms = ut;
+      t.stime_ms = st;
+      t.syscalls = sys;
+      t.blocked_ms = bl;
+      t.name = name;
+      out->push_back(t);
+    }
+  }
+  return !out->empty();
 }
 
 bool ParseSchedStat(const std::string& schedstat, std::vector<ProcSchedLine>* out) {

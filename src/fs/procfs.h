@@ -24,6 +24,12 @@ struct ProcTaskLine {
   std::string state;
   std::uint64_t cpu_ms = 0;
   int level = 0;  // MLFQ level (always 0 under the rr policy)
+  // Per-task accounting (profiler PR): kernel/user split of cpu_ms, syscall
+  // count, and cumulative blocked (sleep->wakeup) time.
+  std::uint64_t utime_ms = 0;
+  std::uint64_t stime_ms = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t blocked_ms = 0;
 };
 
 // One /proc/blkstat row: per-device block-layer counters plus the current
@@ -113,6 +119,8 @@ bool ParseCpuUtilization(const std::string& cpuinfo, std::vector<double>* out);
 bool ParseMemFree(const std::string& meminfo, std::uint64_t* total_kb, std::uint64_t* free_kb);
 bool ParseBlkStat(const std::string& blkstat, std::vector<ProcBlkLine>* out);
 bool ParseSchedStat(const std::string& schedstat, std::vector<ProcSchedLine>* out);
+// The per-task rows of the same file (sysmon's TOP-style table).
+bool ParseSchedTasks(const std::string& schedstat, std::vector<ProcTaskLine>* out);
 // Finds "name value" in a /proc/metrics body (exact name match).
 bool ParseMetricValue(const std::string& metrics, const std::string& name, std::uint64_t* out);
 

@@ -97,6 +97,10 @@ struct CostModel {
   // Trap/IRQ.
   Cycles irq_entry = 900;
   Cycles timer_tick_work = 1400;
+  // Profiler: cost of capturing one stack sample (walk the shadow stack,
+  // hash frames, publish a ring record). Charged as IRQ debt per sample so
+  // profiling overhead is real in virtual time (bench_prof measures it).
+  Cycles prof_sample_capture = 2200;
   // Per-frame baseline poll work in SDL-style event loops.
   Cycles event_poll = 2500;
 };
@@ -171,6 +175,24 @@ struct KernelConfig {
                                      // lockdep (its held stacks are the lockset)
   std::uint32_t racedet_cells = 4096;  // shadow-cell hash capacity (rounded up
                                        // to a power of two)
+
+  // Sampling profiler (src/kernel/profiler.h). Off by default; /proc/profile
+  // (or the `prof` coreutil) starts/stops it at runtime. prof_hz is virtual-
+  // time sampling frequency; with the 1 GHz clock, 100 Hz = one sample per
+  // 10 ms of virtual time per core.
+  bool prof_enabled = false;          // start sampling at boot
+  std::uint32_t prof_hz = 100;        // samples per virtual second per core
+  std::uint32_t prof_ring_capacity = 8192;  // sample records per core
+  std::uint32_t prof_max_frames = 24; // frames kept per sample (deepest first)
+  bool prof_offcpu = true;            // attribute blocked-time to sleep stacks
+
+  // Hung-task / softlockup watchdog (kernel thread, proto2+). Barks via klog
+  // + kWatchdogBark when a runnable task sits unscheduled — or a core stops
+  // servicing its timer tick — for watchdog_thresh_ms of virtual time.
+  // Non-fatal: one bark per offender, reset when it runs again.
+  bool watchdog_enabled = true;
+  std::uint32_t watchdog_thresh_ms = 10000;  // generous: stress tests queue deep
+  std::uint32_t watchdog_poll_ms = 1000;     // watchdog thread wake period
 
   CostModel cost;
 

@@ -69,7 +69,8 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
       machine_(board, this, cfg.EffectiveCores()),
       klog_(board.uart()),
       trace_(cfg.trace_enabled, cfg.trace_ring_capacity),
-      sched_(cfg_) {
+      sched_(cfg_),
+      profiler_(cfg_, &trace_) {
   VOS_CHECK_MSG(cfg_.EffectiveCores() <= board.config().cores,
                 "kernel configured for more cores than the board has");
   // Violations report through the tasks' shadow call stacks; off a fiber
@@ -107,6 +108,22 @@ Kernel::Kernel(Board& board, KernelConfig cfg)
   irq_counter_ = metrics_.Counter("irq.count");
   sched_.SetNowFn([this] { return Now(); });
   sched_.SetLatencyHists(metrics_.Hist("sched.runq_wait"), metrics_.Hist("sched.slice_len"));
+  // Profiler wiring: the machine reports every execution span; each captured
+  // sample charges its capture cost to the sampled core as IRQ debt, so
+  // profiling overhead is real virtual time (bench_prof's ≤5% contract).
+  machine_.SetSpanHook([this](unsigned c, Task* t, Cycles t0, Cycles t1) {
+    unsigned n = profiler_.OnSpan(c, t, t0, t1);
+    if (n > 0) {
+      machine_.ChargeIrq(c, Cycles(n) * cfg_.cost.prof_sample_capture);
+    }
+  });
+  sched_.SetProfHooks([this](Task* t) { profiler_.OnSleep(t); },
+                      [this](Task* t, Cycles blocked) { profiler_.OnWake(t, blocked); });
+  metrics_.Gauge("prof.samples", [this] { return profiler_.samples(); });
+  metrics_.Gauge("prof.offcpu_samples", [this] { return profiler_.offcpu_samples(); });
+  metrics_.Gauge("prof.symbolized", [this] { return profiler_.symbolized(); });
+  metrics_.Gauge("prof.dropped", [this] { return profiler_.dropped(); });
+  watchdog_bark_counter_ = metrics_.Counter("watchdog.barks");
   metrics_.Gauge("trace.emitted", [this] { return trace_.total_emitted(); });
   metrics_.Gauge("trace.dropped", [this] { return trace_.total_dropped(); });
   metrics_.Gauge("trace.dump_retries", [this] { return trace_.dump_retries(); });
@@ -423,6 +440,11 @@ Kernel::BootReport Kernel::Boot() {
     vfs_->RegisterProc("faultinject", [this] { return fault_->StatusText(); });
     vfs_->RegisterProcWriter("faultinject",
                              [this](const std::string& text) { return fault_->Command(text); });
+    // /proc/profile: read dumps the folded-stack aggregation (header + one
+    // line per unique stack); write accepts start/stop/reset.
+    vfs_->RegisterProc("profile", [this] { return profiler_.ExportText(); });
+    vfs_->RegisterProcWriter(
+        "profile", [this](const std::string& text) { return profiler_.Command(text, Now()); });
     vfs_->RegisterProc("lockdep", [] { return Lockdep::Instance().Report(); });
     vfs_->RegisterProc("racedet", [] { return Racedet::Instance().Report(); });
     // /proc/jrnl: journal state and counters; "active 0" when the image is
@@ -477,6 +499,10 @@ Kernel::BootReport Kernel::Boot() {
       return FormatMemStat(ms);
     });
     vfs_->RegisterProc("metrics", [this] { return metrics_.ExportText(); });
+    // Write "buckets on|off" to toggle raw histogram bucket export (the
+    // percentile summary stays the default view).
+    vfs_->RegisterProcWriter("metrics",
+                             [this](const std::string& text) { return metrics_.Command(text); });
     vfs_->RegisterProc("schedstat", [this] {
       std::vector<ProcSchedLine> cores;
       for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
@@ -486,9 +512,19 @@ Kernel::BootReport Kernel::Boot() {
       }
       std::vector<ProcTaskLine> tasks;
       for (auto& [pid, t] : tasks_) {
-        tasks.push_back(ProcTaskLine{pid, t->name(), "",
-                                     static_cast<std::uint64_t>(ToMs(t->cpu_time)),
-                                     t->mlfq_level});
+        ProcTaskLine l;
+        l.pid = pid;
+        l.name = t->name();
+        l.cpu_ms = ToMs(t->cpu_time);
+        l.level = t->mlfq_level;
+        // stime = kernel domain; utime = user + user-lib (the split Machine
+        // charges per activation).
+        l.stime_ms = ToMs(t->time_by_domain[static_cast<int>(TimeDomain::kKernel)]);
+        l.utime_ms = ToMs(t->time_by_domain[static_cast<int>(TimeDomain::kUser)] +
+                          t->time_by_domain[static_cast<int>(TimeDomain::kUserLib)]);
+        l.syscalls = t->syscall_count;
+        l.blocked_ms = ToMs(t->blocked_time);
+        tasks.push_back(std::move(l));
       }
       return FormatSchedStat(cores, tasks);
     });
@@ -573,6 +609,19 @@ Kernel::BootReport Kernel::Boot() {
     CreateKernelTask("bflush", [this] { FlusherBody(); });
   }
 
+  // Hung-task watchdog: seed every core's tick stamp with boot-end time (a
+  // zero stamp means "never ticked" and is skipped), then start the scanner
+  // thread on core 0 so a wedge elsewhere cannot starve the scanner itself.
+  for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+    wd_last_tick_[c] = board_.clock().now();
+  }
+  if (cfg_.watchdog_enabled && cfg_.HasMultitasking()) {
+    CreateKernelTask("watchdog", [this] { WatchdogBody(); }, /*core_hint=*/0);
+  }
+  if (cfg_.prof_enabled) {
+    profiler_.Start(board_.clock().now());
+  }
+
   booted_ = true;
   return r;
 }
@@ -632,6 +681,9 @@ Task* Kernel::CreateKernelTask(const std::string& name, std::function<void()> bo
   Task* t = NewTask(name, /*kernel_task=*/true);
   t->AttachFiber(std::make_unique<TaskFiber>([this, t, body = std::move(body)] {
     g_current_task = t;
+    // Root frame for the profiler: every kernel-thread sample symbolizes at
+    // least to here.
+    StackFrame root(t, "kthread_main");
     try {
       body();
       DoExit(t, 0);
@@ -649,6 +701,8 @@ Task* Kernel::CreateKernelTask(const std::string& name, std::function<void()> bo
 void Kernel::AttachUserEntry(Task* t, std::function<int()> body) {
   t->AttachFiber(std::make_unique<TaskFiber>([this, t, body = std::move(body)] {
     g_current_task = t;
+    // Root frame for the profiler (see CreateKernelTask).
+    StackFrame root(t, "user_main");
     try {
       int rc = body();
       DoExit(t, rc);
@@ -813,12 +867,91 @@ std::int64_t Kernel::LoadVelf(const std::string& path, std::vector<std::uint8_t>
 Task* Kernel::PickNext(unsigned core) { return sched_.PickNext(core); }
 
 void Kernel::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
+  // Watchdog bookkeeping: the task just ran, so it is not hung; remember it
+  // as the core's last occupant (the prime suspect if the core stalls).
+  t->last_scheduled = board_.clock().now();
+  t->watchdog_barked = false;
+  if (core < kMaxCores) {
+    wd_last_dispatched_[core] = t->pid();
+  }
   sched_.OnTaskStopped(core, t, r);
+}
+
+void Kernel::DebugWedgeCore(unsigned core, bool wedged) {
+  if (core >= cfg_.EffectiveCores()) {
+    return;
+  }
+  wedged_core_[core] = wedged;
+  sched_.SetCoreWedged(core, wedged);
+  if (!wedged) {
+    // Recovery: freshen the stamp so the just-ended stall is not barked at
+    // again before the next real tick lands.
+    wd_last_tick_[core] = board_.clock().now();
+  }
+}
+
+void Kernel::WatchdogBark(Task* offender, unsigned core, Cycles stalled, const char* what) {
+  watchdog_bark_counter_->Inc();
+  trace_.Emit(Now(), core, TraceEvent::kWatchdogBark,
+              offender != nullptr ? offender->pid() : -1, stalled, core);
+  std::string bt = offender != nullptr ? UnwindTask(*offender) : "<no task to blame>\n";
+  Printk("watchdog: BUG: %s on core %u (stalled %llu ms)\n%s", what, core,
+         static_cast<unsigned long long>(ToMs(stalled)), bt.c_str());
+}
+
+void Kernel::WatchdogBody() {
+  const Cycles thresh = Ms(cfg_.watchdog_thresh_ms);
+  for (;;) {
+    Task* cur = CurrentTask();
+    if (cur->killed) {
+      return;
+    }
+    Cycles now = Now();
+    // Core-level softlockup check: a core whose timer tick went stale is
+    // wedged (IRQs masked or the machine loop starving it). One bark per
+    // stall; the latch clears when ticks flow again.
+    bool stale[kMaxCores] = {};
+    for (unsigned c = 0; c < cfg_.EffectiveCores(); ++c) {
+      if (wd_last_tick_[c] != 0 && now > wd_last_tick_[c] + thresh) {
+        stale[c] = true;
+        if (!wd_core_barked_[c]) {
+          wd_core_barked_[c] = true;
+          WatchdogBark(FindTask(wd_last_dispatched_[c]), c, now - wd_last_tick_[c],
+                       "soft lockup - core tick stalled");
+        }
+      } else {
+        wd_core_barked_[c] = false;
+      }
+    }
+    // Hung-task check: runnable but not dispatched within the threshold.
+    // Tasks homed on a stale core are the same incident as the core bark —
+    // exactly one bark per root cause.
+    for (Task* t : AllTasks()) {
+      if (t == cur || t->state != TaskState::kRunnable || t->watchdog_barked) {
+        continue;
+      }
+      if (t->core < kMaxCores && stale[t->core]) {
+        continue;
+      }
+      if (t->runnable_since != 0 && now > t->runnable_since + thresh) {
+        t->watchdog_barked = true;
+        WatchdogBark(t, t->core, now - t->runnable_since, "hung task - runnable but starved");
+      }
+    }
+    KSleepMs(cfg_.watchdog_poll_ms);
+  }
 }
 
 void Kernel::TickHandler(unsigned core, Cycles now) {
   board_.core_timer(core).ClearIrq();
   board_.core_timer(core).Arm(now, cfg_.tick_interval);
+  if (wedged_core_[core]) {
+    // Debug wedge: the core runs with IRQs "masked" — the tick is acked and
+    // re-armed (the hardware keeps firing) but not serviced, so the watchdog
+    // sees the stamp go stale. No work, no charge.
+    return;
+  }
+  wd_last_tick_[core] = now;
   machine_.ChargeIrq(core, cfg_.cost.irq_entry + cfg_.cost.timer_tick_work);
   // MLFQ periodic boost runs off each core's own tick, against its own
   // runqueue lock only.

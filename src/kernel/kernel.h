@@ -30,6 +30,7 @@
 #include "src/kernel/metrics.h"
 #include "src/kernel/pipe.h"
 #include "src/kernel/pmm.h"
+#include "src/kernel/profiler.h"
 #include "src/kernel/racedet.h"
 #include "src/kernel/sched.h"
 #include "src/kernel/semaphore.h"
@@ -134,6 +135,7 @@ class Kernel final : public MachineClient {
   FaultInjector* fault_injector() { return fault_.get(); }
   TraceRing& trace() { return trace_; }
   Metrics& metrics() { return metrics_; }
+  Profiler& profiler() { return profiler_; }
   DebugMonitor& debug() { return dbg_; }
   Klog& klog() { return klog_; }
   VirtualTimers& vtimers() { return *vtimers_; }
@@ -153,6 +155,13 @@ class Kernel final : public MachineClient {
   // prove the detector fires; nothing in the kernel proper calls this.
   void DebugSharedInc(bool locked);
   std::uint64_t debug_shared_counter();
+
+  // Test-only wedge hook (watchdog torture): models a task spinning with
+  // IRQs masked on `core` — the core's timer tick is acked but not serviced
+  // (no last-tick stamp, no sched OnTick) and the scheduler stops preempting
+  // there. Un-wedging restores both and freshens the tick stamp so recovery
+  // does not double-bark.
+  void DebugWedgeCore(unsigned core, bool wedged);
 
   // --- Tasks ---
   // `core_hint` >= 0 pins the new task's home runqueue (tests and benches
@@ -254,6 +263,10 @@ class Kernel final : public MachineClient {
   // Registers the block.<name>.* gauges for a newly added bcache device.
   void RegisterBlockDevMetrics(int dev);
   void FlusherBody();  // bflush kernel thread: periodic aged-dirty write-back
+  void WatchdogBody();  // hung-task/softlockup watchdog kernel thread
+  // One watchdog bark: klog backtrace + kWatchdogBark + counter. `offender`
+  // may be null (stalled core with no known last task).
+  void WatchdogBark(Task* offender, unsigned core, Cycles stalled, const char* what);
   void TickHandler(unsigned core, Cycles now);
   [[noreturn]] void RunExecImage(Task* cur, const VelfImage& img,
                                  const std::vector<std::string>& argv);
@@ -278,6 +291,7 @@ class Kernel final : public MachineClient {
   Timekeeping timekeeping_;
   Sched sched_;
   FrameRefs frame_refs_;
+  Profiler profiler_;
 
   std::unique_ptr<Pmm> pmm_;
   std::unique_ptr<Kmalloc> kmalloc_;
@@ -322,6 +336,15 @@ class Kernel final : public MachineClient {
   Histogram* syscall_lat_[kNumSyscalls + 1] = {};
   Histogram* irq_lat_hist_ = nullptr;
   MetricCounter* irq_counter_ = nullptr;
+  MetricCounter* watchdog_bark_counter_ = nullptr;
+
+  // Watchdog state. All token-serialized: the tick stamps are written in IRQ
+  // context on the machine thread, everything else on the watchdog fiber or
+  // from host-side test hooks while no fiber runs.
+  Cycles wd_last_tick_[kMaxCores] = {};     // last serviced timer tick per core
+  bool wd_core_barked_[kMaxCores] = {};     // bark-once latch per stalled core
+  Pid wd_last_dispatched_[kMaxCores] = {};  // last task to run on each core
+  bool wedged_core_[kMaxCores] = {};        // DebugWedgeCore state
 
   std::vector<std::uint8_t> ramdisk_image_;
   std::map<std::string, std::vector<std::uint8_t>> boot_blobs_;

@@ -107,6 +107,9 @@ void Machine::Run(Cycles until) {
           task->slice_used += rr.consumed;
           any_ran = true;
           progress = true;
+          if (span_hook_ && rr.consumed > 0) {
+            span_hook_(c, task, t[c] - rr.consumed, t[c]);
+          }
           client_->OnTaskStopped(c, task, rr.reason);
           if (rr.consumed == 0) {
             VOS_CHECK_MSG(++zero_progress_guard < 100000,
@@ -121,6 +124,9 @@ void Machine::Run(Cycles until) {
       if (t[c] < wend) {
         idle_[c] += wend - t[c];
         power.AddActive(PowerComponent::kSocCoreIdle, wend - t[c]);
+        if (span_hook_) {
+          span_hook_(c, nullptr, t[c], wend);
+        }
       }
     }
 

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/base/status.h"
 #include "src/kernel/racedet.h"
 
 namespace vos {
@@ -92,6 +93,15 @@ std::string Metrics::ExportText() const {
     lines.emplace_back(name + ".p95", h->Percentile(95));
     lines.emplace_back(name + ".p99", h->Percentile(99));
     lines.emplace_back(name + ".max", h->max());
+    if (buckets_.load(std::memory_order_relaxed)) {
+      // Sparse raw buckets: only occupied ones, so the file stays readable.
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        std::uint64_t n = h->BucketCount(i);
+        if (n != 0) {
+          lines.emplace_back(name + ".bucket" + std::to_string(i), n);
+        }
+      }
+    }
   }
   std::sort(lines.begin(), lines.end());
   std::string out;
@@ -101,6 +111,23 @@ std::string Metrics::ExportText() const {
     out += buf;
   }
   return out;
+}
+
+std::int64_t Metrics::Command(const std::string& text) {
+  // Strip trailing whitespace/newline from echo-style writers.
+  std::string cmd = text;
+  while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == ' ')) {
+    cmd.pop_back();
+  }
+  if (cmd == "buckets on") {
+    buckets_.store(true, std::memory_order_relaxed);
+    return 0;
+  }
+  if (cmd == "buckets off") {
+    buckets_.store(false, std::memory_order_relaxed);
+    return 0;
+  }
+  return kErrInval;
 }
 
 }  // namespace vos

@@ -57,10 +57,19 @@ class Metrics {
   const Histogram* FindHist(const std::string& name) const;
 
   // The /proc/metrics body: "name value\n", sorted by name. Histograms with
-  // zero samples are omitted.
+  // zero samples are omitted. With bucket export enabled (write "buckets on"
+  // to /proc/metrics), each histogram additionally emits sparse
+  // "name.bucket<i> count" lines — the raw log2 buckets, so offline tooling
+  // can recompute any percentile instead of trusting the baked p50/p95/p99.
   std::string ExportText() const;
 
+  // The /proc/metrics command language: "buckets on" / "buckets off".
+  // Returns 0 or a negative errno-style code.
+  std::int64_t Command(const std::string& text);
+  bool buckets_enabled() const { return buckets_.load(std::memory_order_relaxed); }
+
  private:
+  std::atomic<bool> buckets_{false};
   mutable SpinLock lock_{"metrics"};
   std::map<std::string, std::unique_ptr<MetricCounter>> counters_;  // racedet: shared (guarded by lock_)
   std::map<std::string, std::unique_ptr<Histogram>> hists_;         // racedet: shared (guarded by lock_)

@@ -137,6 +137,13 @@ void Sched::OnTaskStopped(unsigned core, Task* t, TaskFiber::StopReason r) {
       t->state = TaskState::kRunnable;
       t->core = core;
       int lv = LevelOf(t);
+      if (wedged_[core]) {  // racedet: ok (test-only flag, token-serialized)
+        // Wedged core (watchdog torture): preemption is off, the interrupted
+        // task goes straight back to the head with its slice intact — nothing
+        // else on this core can run until the wedge lifts.
+        RD_WRITE(rq.q[lv]).PushFront(t);
+        break;
+      }
       if (t->slice_used >= SliceLenAt(lv)) {
         if (slice_hist_ != nullptr) {
           slice_hist_->Record(t->slice_used);
@@ -204,6 +211,14 @@ void Sched::Sleep(Task* cur, void* chan) {
   // released first (SleepOn does) — interrupts stay conceptually off only
   // while inside a lock, never across a park.
   Lockdep::Instance().OnSleep(chan);
+  // Blocked-time accounting starts here; the profiler hook snapshots the
+  // call stack (including this frame) so off-CPU samples attribute the wait
+  // to the code path that parked, not to the waker.
+  StackFrame sleep_frame(cur, "Sched::Sleep");
+  cur->sleep_since = NowStamp();
+  if (prof_sleep_hook_) {
+    prof_sleep_hook_(cur);
+  }
   {
     SpinGuard g(lock_);
     cur->sleep_chan = chan;
@@ -231,6 +246,8 @@ void Sched::Sleep(Task* cur, void* chan) {
     RD_WRITE(sleeping_).Remove(cur);
     cur->sleep_chan = nullptr;
     cur->state = TaskState::kRunning;
+    cur->sleep_since = 0;
+    cur->sleep_stack.clear();
     return;
   }
   // Woken (Wakeup cleared the channel and re-enqueued us).
@@ -288,6 +305,16 @@ void Sched::WakeTaskLocked(Task* t) {
   RD_WRITE(sleeping_).Remove(t);
   t->sleep_chan = nullptr;
   t->state = TaskState::kRunnable;
+  // Blocked-time accounting (always on): sleep→wakeup wall time, surfaced in
+  // /proc/schedstat. The profiler hook turns the same interval into an
+  // off-CPU sample against the stack captured at Sleep.
+  Cycles now = NowStamp();
+  Cycles blocked = t->sleep_since != 0 && now > t->sleep_since ? now - t->sleep_since : 0;
+  t->blocked_time += blocked;
+  if (prof_wake_hook_) {
+    prof_wake_hook_(t, blocked);
+  }
+  t->sleep_since = 0;
   // Nests "sched" → "sched-core<home>": the documented hierarchy edge.
   EnqueueCore(t);
 }

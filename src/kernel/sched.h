@@ -111,6 +111,24 @@ class Sched {
     runq_wait_hist_ = runq_wait;
     slice_hist_ = slice;
   }
+  // Profiler off-CPU hooks: `on_sleep` runs on the parking task's fiber just
+  // before BlockAndSwitch (stack capture); `on_wake` runs under lock_ with
+  // the blocked duration already added to Task::blocked_time.
+  void SetProfHooks(std::function<void(Task*)> on_sleep,
+                    std::function<void(Task*, Cycles)> on_wake) {
+    prof_sleep_hook_ = std::move(on_sleep);
+    prof_wake_hook_ = std::move(on_wake);
+  }
+
+  // Debug wedge (watchdog torture test): with a core wedged, its timer tick
+  // is suppressed (kernel side) and slice rotation stops here — the task at
+  // the head of the wedged core's queue is never preempted, exactly what a
+  // spin with IRQs masked does to a real core.
+  void SetCoreWedged(unsigned core, bool wedged) {
+    if (core < ncores_) {
+      wedged_[core] = wedged;  // racedet: ok (test-only flag, token-serialized)
+    }
+  }
 
  private:
   // One per-core shard: its own lock class plus the MLFQ level queues.
@@ -170,6 +188,9 @@ class Sched {
   std::function<Cycles()> now_fn_;
   Histogram* runq_wait_hist_ = nullptr;
   Histogram* slice_hist_ = nullptr;
+  std::function<void(Task*)> prof_sleep_hook_;
+  std::function<void(Task*, Cycles)> prof_wake_hook_;
+  bool wedged_[kMaxCores] = {};  // racedet: ok (test-only flag, token-serialized)
 };
 
 }  // namespace vos

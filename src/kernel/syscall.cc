@@ -21,6 +21,12 @@ Task* Kernel::SyscallEnter(Sys num) {
   }
   cur->saved_domain = cur->domain;
   cur->domain = TimeDomain::kKernel;
+  ++cur->syscall_count;
+  // Shadow-stack frame for the syscall body, popped by SyscallExit. Manual
+  // push/pop instead of RAII because entry and exit are separate calls; a
+  // kill/exit unwind leaves the frame behind, but the task is a zombie then
+  // and its stack is never sampled again.
+  cur->call_stack.push_back(SysName(num));
   cur->fiber().Burn(cfg_.cost.syscall_entry + cfg_.cost.syscall_body);
   cur->syscall_enter_ts = Now();
   trace_.Emit(cur->syscall_enter_ts, cur->core, TraceEvent::kSyscallEnter, cur->pid(),
@@ -42,6 +48,9 @@ std::int64_t Kernel::SyscallExit(Sys num, std::int64_t ret) {
   }
   trace_.Emit(now, cur->core, TraceEvent::kSyscallExit, cur->pid(),
               static_cast<std::uint64_t>(num), static_cast<std::uint64_t>(ret));
+  if (!cur->call_stack.empty()) {
+    cur->call_stack.pop_back();
+  }
   cur->domain = cur->saved_domain;
   return ret;
 }

@@ -135,6 +135,17 @@ class Task {
   TimeDomain domain = TimeDomain::kKernel;
   TimeDomain saved_domain = TimeDomain::kUser;  // domain to restore at syscall exit
 
+  // Per-task accounting (profiler PR): syscall count, total blocked time, and
+  // the stack captured at Sched::Sleep for off-CPU attribution at wakeup.
+  // All token-serialized (written on the task's own fiber or under the sched
+  // lock while the task is parked).
+  std::uint64_t syscall_count = 0;
+  Cycles blocked_time = 0;      // cumulative sleep->wakeup time
+  Cycles sleep_since = 0;       // stamp at Sched::Sleep (0 = not sleeping)
+  std::vector<const char*> sleep_stack;  // call_stack snapshot at Sleep
+  Cycles last_scheduled = 0;    // last dispatch stamp (watchdog starvation check)
+  bool watchdog_barked = false; // bark-once latch; reset when scheduled again
+
   // Address space; shared between CLONE_VM threads.
   std::shared_ptr<AddressSpace> mm;
   bool is_thread = false;  // clone(CLONE_VM) child

@@ -158,6 +158,10 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "jrnl_commit";
     case TraceEvent::kJrnlCheckpoint:
       return "jrnl_checkpoint";
+    case TraceEvent::kProfSample:
+      return "prof_sample";
+    case TraceEvent::kWatchdogBark:
+      return "watchdog_bark";
   }
   return "?";
 }
@@ -173,7 +177,7 @@ constexpr TraceEvent kAllTraceEvents[] = {
     TraceEvent::kBlockWrite,   TraceEvent::kBlockFlush,  TraceEvent::kPmmAlloc,
     TraceEvent::kPmmFree,      TraceEvent::kPmmOom,      TraceEvent::kSlabRefill,
     TraceEvent::kBlockError,   TraceEvent::kRaceReport,  TraceEvent::kJrnlCommit,
-    TraceEvent::kJrnlCheckpoint,
+    TraceEvent::kJrnlCheckpoint, TraceEvent::kProfSample, TraceEvent::kWatchdogBark,
 };
 }  // namespace
 

@@ -45,6 +45,9 @@ enum class TraceEvent : std::uint16_t {
   kRaceReport,   // racedet: lockset went empty (a=shadow addr, b=report index)
   kJrnlCommit,     // journal: commit record durable (a=seq, b=data blocks)
   kJrnlCheckpoint, // journal: batches drained to home (a=first seq, b=blocks)
+  kProfSample,     // profiler: stack sample folded (a=stack hash, b=weight)
+  kWatchdogBark,   // watchdog: hung task / stalled core (a=stalled-for cycles,
+                   // b=core) — pid is the offender (-1 = core-level stall)
 };
 
 struct TraceRecord {

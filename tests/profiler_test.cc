@@ -1,0 +1,449 @@
+// Profiler & watchdog tests: span-hook sampling math (unit level), the
+// /proc/profile control plane and folded dump, off-CPU attribution via the
+// sched sleep/wake hooks, per-task accounting in /proc/schedstat, unwinder
+// edge cases (mid-syscall, freshly-forked, idle), raw histogram bucket
+// export, the prof2flame.py converter, and the hung-task watchdog's
+// exactly-one-bark contract under a wedged core.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_registry.h"
+#include "src/base/status.h"
+#include "src/fs/procfs.h"
+#include "src/kernel/metrics.h"
+#include "src/kernel/profiler.h"
+#include "src/kernel/trace.h"
+#include "src/kernel/velf.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+#include "src/vos/prototypes.h"
+#include "src/vos/system.h"
+
+namespace vos {
+namespace {
+
+// --- Unit level: sampling math against synthetic spans ----------------------
+
+TEST(ProfilerUnitTest, IdleSpansSampleAtConfiguredRate) {
+  KernelConfig cfg;
+  cfg.prof_hz = 1000;  // 1 ms period
+  TraceRing ring(true, 1024);
+  Profiler prof(cfg, &ring);
+  prof.Start(0);
+  ASSERT_TRUE(prof.running());
+
+  // A 10 ms idle span crosses ten 1 ms boundaries: one capture, weight 10.
+  EXPECT_EQ(prof.OnSpan(0, nullptr, 0, Ms(10)), 1u);
+  EXPECT_EQ(prof.samples(), 1u);
+  std::vector<ProfSample> samples = prof.DumpSamples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].weight, 10u);
+  EXPECT_EQ(samples[0].pid, 0);
+  ASSERT_EQ(samples[0].nframes, 1u);
+  EXPECT_STREQ(samples[0].frames[0], "<idle>");
+
+  // A span that crosses no boundary takes no sample.
+  EXPECT_EQ(prof.OnSpan(0, nullptr, Ms(10), Ms(10) + Us(100)), 0u);
+  EXPECT_EQ(prof.samples(), 1u);
+
+  // The missed fraction carries into the next span (coalesced-tick model):
+  // 900 µs + 1.1 ms crosses the 11 ms boundary once.
+  EXPECT_EQ(prof.OnSpan(0, nullptr, Ms(10) + Us(100), Ms(11) + Us(200)), 1u);
+  EXPECT_EQ(prof.samples(), 2u);
+
+  // The folded dump aggregates both captures under the idle pseudo-task.
+  std::string text = prof.ExportText();
+  EXPECT_NE(text.find("# prof running 1 hz 1000"), std::string::npos) << text;
+  EXPECT_NE(text.find("oncpu;idle;<idle> 11"), std::string::npos) << text;
+}
+
+TEST(ProfilerUnitTest, CommandLanguageMatchesFaultinjectIdiom) {
+  KernelConfig cfg;
+  TraceRing ring(true, 64);
+  Profiler prof(cfg, &ring);
+  EXPECT_FALSE(prof.running());
+  EXPECT_EQ(prof.Command("start\n", 0), 0);
+  EXPECT_TRUE(prof.running());
+  EXPECT_EQ(prof.Command("stop", 0), 0);
+  EXPECT_FALSE(prof.running());
+  EXPECT_EQ(prof.Command("reset", 0), 0);
+  EXPECT_EQ(prof.Command("bogus", 0), kErrInval);
+  EXPECT_EQ(prof.Command("", 0), kErrInval);
+}
+
+TEST(ProfilerUnitTest, ResetClearsSamplesAndFolds) {
+  KernelConfig cfg;
+  cfg.prof_hz = 1000;
+  TraceRing ring(true, 64);
+  Profiler prof(cfg, &ring);
+  prof.Start(0);
+  EXPECT_EQ(prof.OnSpan(1, nullptr, 0, Ms(5)), 1u);
+  EXPECT_GT(prof.samples(), 0u);
+  prof.Reset();
+  EXPECT_EQ(prof.samples(), 0u);
+  EXPECT_TRUE(prof.DumpSamples().empty());
+  EXPECT_EQ(prof.ExportText().find("oncpu;"), std::string::npos);
+  // Still running after a reset; sampling resumes.
+  EXPECT_TRUE(prof.running());
+  EXPECT_EQ(prof.OnSpan(1, nullptr, Ms(5), Ms(10)), 1u);
+  EXPECT_EQ(prof.samples(), 1u);
+}
+
+// --- Boot-level helpers ------------------------------------------------------
+
+int RunInOs(System& sys, const char* name, AppMain main_fn) {
+  static int counter = 0;
+  std::string unique = std::string(name) + std::to_string(counter++);
+  AppRegistry::Instance().Register(unique, std::move(main_fn), 1024, 4 << 20);
+  sys.kernel().AddBootBlob(unique, BuildVelf(unique, 1024, {}, 4 << 20));
+  Task* t = sys.kernel().StartUserProgram(unique, {unique});
+  return static_cast<int>(sys.WaitProgram(t));
+}
+
+std::string RunAndCapture(System& sys, const std::string& prog,
+                          const std::vector<std::string>& args) {
+  const std::size_t before = sys.SerialOutput().size();
+  EXPECT_EQ(sys.RunProgram(prog, args), 0) << prog;
+  return sys.SerialOutput().substr(before);
+}
+
+bool HavePython3() { return std::system("python3 --version > /dev/null 2>&1") == 0; }
+
+// --- /proc/profile control plane and the prof coreutil -----------------------
+
+TEST(ProfilerBootTest, ProcProfileStartStopDumpViaProfCoreutil) {
+  System sys(OptionsForStage(Stage::kProto5));
+  EXPECT_EQ(sys.RunProgram("prof", {"start"}), 0);
+  EXPECT_TRUE(sys.kernel().profiler().running());
+  // A CPU-heavy workload so on-CPU samples accumulate while sampling is on.
+  EXPECT_EQ(RunInOs(sys, "prof_burn", [](AppEnv& env) -> int {
+              for (int i = 0; i < 40; ++i) {
+                UBurn(env, 500000.0);  // 0.5 ms bursts
+              }
+              return 0;
+            }),
+            0);
+  EXPECT_EQ(sys.RunProgram("prof", {"stop"}), 0);
+  EXPECT_FALSE(sys.kernel().profiler().running());
+  const std::string dump = RunAndCapture(sys, "prof", {"dump"});
+  EXPECT_NE(dump.find("# prof running 0"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("oncpu;"), std::string::npos) << dump;
+  EXPECT_GT(sys.kernel().profiler().samples(), 0u);
+
+  // reset wipes the aggregation; the next dump has the header but no stacks.
+  EXPECT_EQ(sys.RunProgram("prof", {"reset"}), 0);
+  EXPECT_EQ(sys.kernel().profiler().samples(), 0u);
+  const std::string empty = RunAndCapture(sys, "cat", {"/proc/profile"});
+  EXPECT_NE(empty.find("# prof"), std::string::npos);
+  EXPECT_EQ(empty.find("oncpu;"), std::string::npos) << empty;
+}
+
+TEST(ProfilerBootTest, OnCpuSamplesAreOverwhelminglySymbolized) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.config_hook = [](KernelConfig& cfg) {
+    cfg.prof_enabled = true;  // sample from boot
+    cfg.prof_hz = 2000;       // dense sampling for statistical teeth
+  };
+  System sys(opt);
+  // Fan-out workload in the bench_sched mold: forked children burning CPU
+  // and making syscalls.
+  EXPECT_EQ(RunInOs(sys, "prof_fan", [](AppEnv& env) -> int {
+              for (int c = 0; c < 4; ++c) {
+                ufork(env, [&env]() -> int {
+                  for (int i = 0; i < 20; ++i) {
+                    UBurn(env, 200000.0);
+                    usleep_ms(env, 1);
+                  }
+                  return 0;
+                });
+              }
+              for (int c = 0; c < 4; ++c) {
+                uwait(env, nullptr);
+              }
+              return 0;
+            }),
+            0);
+  const Profiler& prof = sys.kernel().profiler();
+  ASSERT_GT(prof.samples(), 50u);
+  // The acceptance bar: ≥90% of samples symbolize to at least one frame.
+  EXPECT_GE(double(prof.symbolized()), 0.9 * double(prof.samples()))
+      << prof.symbolized() << " of " << prof.samples();
+  // Root frames from the task trampolines actually show up in the dump.
+  const std::string dump = sys.kernel().profiler().ExportText();
+  EXPECT_NE(dump.find("user_main"), std::string::npos) << dump;
+}
+
+TEST(ProfilerBootTest, OffCpuSamplesBlameTheSleepingStack) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.config_hook = [](KernelConfig& cfg) { cfg.prof_enabled = true; };
+  System sys(opt);
+  EXPECT_EQ(RunInOs(sys, "prof_sleepy", [](AppEnv& env) -> int {
+              usleep_ms(env, 50);
+              return 0;
+            }),
+            0);
+  const Profiler& prof = sys.kernel().profiler();
+  EXPECT_GT(prof.offcpu_samples(), 0u);
+  // The folded dump must attribute blocked time to a stack that ends in
+  // Sched::Sleep under the sleep syscall, weighted in µs (a 50 ms sleep is
+  // tens of thousands of µs, dwarfing any on-CPU weight).
+  const std::string dump = prof.ExportText();
+  const std::size_t line = dump.find("offcpu;");
+  ASSERT_NE(line, std::string::npos) << dump;
+  EXPECT_NE(dump.find("Sched::Sleep"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("sleep"), std::string::npos) << dump;
+}
+
+// --- Per-task accounting in /proc/schedstat ---------------------------------
+
+TEST(ProfilerBootTest, SchedstatCarriesPerTaskAccounting) {
+  System sys(OptionsForStage(Stage::kProto5));
+  // The workload reads its own schedstat line while still alive: burn enough
+  // user time and kernel time (syscall storm) that the millisecond-granular
+  // fields all move, then dump /proc/schedstat to serial.
+  const std::size_t before = sys.SerialOutput().size();
+  EXPECT_EQ(RunInOs(sys, "acct_mix", [](AppEnv& env) -> int {
+              for (int i = 0; i < 5; ++i) {
+                UBurn(env, 3000000.0);  // 3 ms user bursts
+                usleep_ms(env, 10);     // blocked time
+              }
+              for (int i = 0; i < 600; ++i) {
+                ugetpid(env);  // kernel time, one syscall at a time
+              }
+              std::vector<std::uint8_t> raw;
+              if (uread_file(env, "/proc/schedstat", &raw) < 0) {
+                return 1;
+              }
+              uputs(env, std::string(raw.begin(), raw.end()));
+              return 0;
+            }),
+            0);
+  const std::string out = sys.SerialOutput().substr(before);
+  std::vector<ProcTaskLine> tasks;
+  ASSERT_TRUE(ParseSchedTasks(out, &tasks)) << out;
+  // The workload's own row shows every accounting dimension moving.
+  bool found = false;
+  for (const ProcTaskLine& t : tasks) {
+    if (t.name.rfind("acct_mix", 0) != 0) {
+      continue;
+    }
+    found = true;
+    EXPECT_GT(t.syscalls, 600u) << out;
+    EXPECT_GT(t.blocked_ms, 30u) << out;
+    EXPECT_GT(t.utime_ms, 10u) << out;
+    EXPECT_GT(t.stime_ms, 0u) << out;
+    EXPECT_GE(t.cpu_ms, t.utime_ms) << out;
+  }
+  EXPECT_TRUE(found) << out;
+}
+
+// --- Unwinder edge cases (satellite): mid-syscall, fresh fork, idle ---------
+
+TEST(ProfilerEdgeTest, MidSyscallFreshForkAndIdleSamplesAreValid) {
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.config_hook = [](KernelConfig& cfg) {
+    cfg.prof_enabled = true;
+    cfg.prof_hz = 5000;  // aggressive: boundaries land mid-syscall for sure
+    cfg.prof_max_frames = 4;  // force truncation; truncated must stay valid
+  };
+  System sys(opt);
+  EXPECT_EQ(RunInOs(sys, "edge_mix", [](AppEnv& env) -> int {
+              // Fork storm: children sampled moments after their first
+              // dispatch, when the shadow stack is at its shallowest.
+              for (int c = 0; c < 6; ++c) {
+                ufork(env, [&env]() -> int {
+                  usleep_ms(env, 2);  // mid-syscall samples
+                  return 0;
+                });
+              }
+              for (int c = 0; c < 6; ++c) {
+                uwait(env, nullptr);
+              }
+              // Then go quiet so idle spans get sampled too.
+              usleep_ms(env, 30);
+              return 0;
+            }),
+            0);
+  const std::vector<ProfSample> samples = sys.kernel().profiler().DumpSamples();
+  ASSERT_FALSE(samples.empty());
+  bool saw_idle = false, saw_task = false, saw_syscall_frame = false;
+  for (const ProfSample& s : samples) {
+    // Truncated-but-valid: within the configured cap, every frame non-null.
+    ASSERT_LE(s.nframes, 4u);
+    for (unsigned i = 0; i < s.nframes; ++i) {
+      ASSERT_NE(s.frames[i], nullptr);
+      ASSERT_NE(s.frames[i][0], '\0');
+    }
+    if (s.pid == 0) {
+      saw_idle = true;
+      EXPECT_STREQ(s.frames[0], "<idle>");
+    } else {
+      saw_task = true;
+      // Task samples always symbolize at least to the trampoline root.
+      EXPECT_GE(s.nframes, 1u);
+      for (unsigned i = 0; i < s.nframes; ++i) {
+        if (std::string(s.frames[i]) == "sleep") {
+          saw_syscall_frame = true;  // sampled mid-syscall
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_idle);
+  EXPECT_TRUE(saw_task);
+  EXPECT_TRUE(saw_syscall_frame);
+}
+
+// --- Raw histogram bucket export (satellite) --------------------------------
+
+TEST(MetricsBucketTest, CommandTogglesRawBucketLines) {
+  Metrics m;
+  Histogram* h = m.Hist("test.lat");
+  h->Record(100);
+  h->Record(100);
+  h->Record(5000);
+  // Default export: percentiles only, no raw buckets.
+  std::string text = m.ExportText();
+  EXPECT_NE(text.find("test.lat.p50"), std::string::npos);
+  EXPECT_EQ(text.find(".bucket"), std::string::npos);
+  // "buckets on": sparse per-bucket counts appear alongside.
+  EXPECT_EQ(m.Command("buckets on\n"), 0);
+  text = m.ExportText();
+  std::string b100 = "test.lat.bucket" + std::to_string(Histogram::BucketOf(100));
+  std::string b5000 = "test.lat.bucket" + std::to_string(Histogram::BucketOf(5000));
+  EXPECT_NE(text.find(b100 + " 2"), std::string::npos) << text;
+  EXPECT_NE(text.find(b5000 + " 1"), std::string::npos) << text;
+  EXPECT_EQ(m.Command("buckets off"), 0);
+  EXPECT_EQ(m.ExportText().find(".bucket"), std::string::npos);
+  EXPECT_EQ(m.Command("nonsense"), kErrInval);
+}
+
+TEST(MetricsBucketTest, ProcMetricsWriterTogglesBuckets) {
+  System sys(OptionsForStage(Stage::kProto5));
+  EXPECT_EQ(RunInOs(sys, "bkt_toggle", [](AppEnv& env) -> int {
+              std::int64_t fd = uopen(env, "/proc/metrics", kOWronly);
+              if (fd < 0) {
+                return 1;
+              }
+              const char cmd[] = "buckets on";
+              if (uwrite(env, static_cast<int>(fd), cmd, sizeof(cmd) - 1) !=
+                  static_cast<std::int64_t>(sizeof(cmd) - 1)) {
+                return 2;
+              }
+              uclose(env, static_cast<int>(fd));
+              return 0;
+            }),
+            0);
+  const std::string with = RunAndCapture(sys, "cat", {"/proc/metrics"});
+  EXPECT_NE(with.find(".bucket"), std::string::npos);
+  // Percentile summary is still there — buckets are additive, not a mode.
+  EXPECT_NE(with.find("syscall.latency.p99"), std::string::npos);
+}
+
+// --- prof2flame.py (python tooling) -----------------------------------------
+
+TEST(ProfilerToolTest, Prof2FlameProducesCollapsedStacks) {
+  if (!HavePython3()) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  const std::filesystem::path tmp = ::testing::TempDir();
+  const std::filesystem::path in = tmp / "vos_prof_folded.txt";
+  const std::filesystem::path out = tmp / "vos_prof_flame.txt";
+  std::ofstream(in) << "# prof running 0 hz 100 samples 7 offcpu 1 dropped 0 "
+                       "symbolized_pct 100.0\n"
+                       "oncpu;sh;user_main;read 4\n"
+                       "oncpu;sh;user_main;read 2\n"
+                       "oncpu;idle;<idle> 1\n"
+                       "offcpu;sh;user_main;sleep;Sched::Sleep 5000\n";
+  const std::filesystem::path tool =
+      std::filesystem::path(__FILE__).parent_path().parent_path() / "tools" / "prof2flame.py";
+  ASSERT_EQ(std::system(("python3 " + tool.string() + " " + in.string() + " " + out.string() +
+                         " > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream f(out);
+  std::string body((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  // Identical stacks merged (4+2=6), offcpu filtered out, mode prefix gone.
+  EXPECT_NE(body.find("sh;user_main;read 6"), std::string::npos) << body;
+  EXPECT_EQ(body.find("offcpu"), std::string::npos) << body;
+  EXPECT_EQ(body.find("Sched::Sleep"), std::string::npos) << body;
+  // --mode offcpu selects the blocked-time graph instead.
+  ASSERT_EQ(std::system(("python3 " + tool.string() + " --mode offcpu " + in.string() + " " +
+                         out.string() + " > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream f2(out);
+  std::string body2((std::istreambuf_iterator<char>(f2)), std::istreambuf_iterator<char>());
+  EXPECT_NE(body2.find("sh;user_main;sleep;Sched::Sleep 5000"), std::string::npos) << body2;
+  EXPECT_EQ(body2.find("read"), std::string::npos) << body2;
+}
+
+// --- Watchdog: wedged core barks exactly once with a usable backtrace -------
+
+TEST(WatchdogTortureTest, WedgedCoreBarksOnceThenRecovers) {
+  const char* seed_env = std::getenv("TORTURE_SEED_BASE");
+  const unsigned seed = seed_env != nullptr ? std::atoi(seed_env) : 1;
+  SystemOptions opt = OptionsForStage(Stage::kProto5);
+  opt.cores = 2;
+  opt.config_hook = [](KernelConfig& cfg) {
+    cfg.watchdog_thresh_ms = 200;
+    cfg.watchdog_poll_ms = 50;
+    cfg.sched_steal = false;  // keep the spinner pinned to the wedged core
+  };
+  System sys(opt);
+  Kernel& k = sys.kernel();
+
+  // The victim: a kernel thread pinned to core 1, spinning with a
+  // seed-varied burn quantum. Wedging core 1 masks its timer tick, so the
+  // spinner is never preempted — the classic softlockup.
+  Task* spinner = k.CreateKernelTask(
+      "wd_spinner",
+      [&k, seed] {
+        const Cycles quantum = Us(50 + seed % 97);
+        while (!k.CurrentTask()->killed) {
+          k.ChargeCurrent(quantum);
+        }
+      },
+      /*core_hint=*/1);
+  k.DebugWedgeCore(1, true);
+
+  // Drive virtual time from core 0 (watchdog home) well past the threshold.
+  EXPECT_EQ(RunInOs(sys, "wd_waiter", [](AppEnv& env) -> int {
+              usleep_ms(env, 1000);
+              return 0;
+            }),
+            0);
+
+  // Exactly one bark, blaming the spinner on core 1.
+  std::vector<TraceRecord> barks = k.trace().DumpEvent(TraceEvent::kWatchdogBark);
+  ASSERT_EQ(barks.size(), 1u) << "expected exactly one bark";
+  EXPECT_EQ(barks[0].pid, spinner->pid());
+  EXPECT_EQ(barks[0].b, 1u);  // the wedged core
+  std::uint64_t bark_count = 0;
+  ASSERT_TRUE(k.metrics().Value("watchdog.barks", &bark_count));
+  EXPECT_EQ(bark_count, 1u);
+  // The klog line carries a usable backtrace: the bark banner plus the
+  // spinner's shadow-stack root.
+  const std::string serial = sys.SerialOutput();
+  EXPECT_NE(serial.find("watchdog: BUG"), std::string::npos);
+  EXPECT_NE(serial.find("kthread_main"), std::string::npos);
+
+  // Recovery: unwedge, let time pass — no second bark, and the spinner can
+  // be killed and reaped normally (the machine is healthy again).
+  k.DebugWedgeCore(1, false);
+  k.KillFromHost(spinner->pid());
+  EXPECT_EQ(RunInOs(sys, "wd_after", [](AppEnv& env) -> int {
+              usleep_ms(env, 500);
+              return 0;
+            }),
+            0);
+  EXPECT_EQ(k.trace().DumpEvent(TraceEvent::kWatchdogBark).size(), 1u)
+      << "watchdog barked again after recovery";
+}
+
+}  // namespace
+}  // namespace vos

@@ -31,6 +31,7 @@ KNOWN_CLASSES = (
     "metrics",
     "pipe",
     "pmm",
+    "profiler",
     "racedet-self",
     "sched",
     "sched-core",

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Check that every TraceEvent enumerator has a name, and vice versa.
 
-Three places must stay in lockstep:
+Four places must stay in lockstep:
   1. the `enum class TraceEvent` members in src/kernel/trace.h,
   2. the `case TraceEvent::kX:` labels in TraceRing::EventName (trace.cc),
-  3. the kAllTraceEvents table used by EventFromName (trace.cc).
+  3. the kAllTraceEvents table used by EventFromName (trace.cc),
+  4. the event names special-cased by tools/trace2perfetto.py.
 
 A new enumerator that misses (2) dumps as "?" and breaks the text round-trip;
-one that misses (3) makes ParseTraceText reject valid dumps. This lint fails
-CI on any drift. Run from anywhere: paths are resolved relative to this file.
+one that misses (3) makes ParseTraceText reject valid dumps; a renamed event
+that (4) still special-cases silently falls back to a generic instant in the
+Perfetto converter. This lint fails CI on any drift. Run from anywhere: paths
+are resolved relative to this file.
 """
 
 import os
@@ -18,6 +21,7 @@ import sys
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TRACE_H = os.path.join(ROOT, "src", "kernel", "trace.h")
 TRACE_CC = os.path.join(ROOT, "src", "kernel", "trace.cc")
+PERFETTO_PY = os.path.join(ROOT, "tools", "trace2perfetto.py")
 
 
 def enum_members(text):
@@ -47,6 +51,22 @@ def table_entries(text):
     return re.findall(r"TraceEvent::(k\w+)", m.group(1))
 
 
+def event_name_strings(text):
+    body = re.search(r"std::string TraceRing::EventName\(TraceEvent ev\)\s*\{(.*?)\n\}", text, re.S)
+    if not body:
+        sys.exit("lint_trace_events: cannot find TraceRing::EventName in trace.cc")
+    return re.findall(r'return\s+"([a-z0-9_]+)"', body.group(1))
+
+
+def perfetto_special_cases(text):
+    # Names the converter compares `name` against: `name == "x"` and
+    # `name in ("x", "y")` forms.
+    names = set(re.findall(r'name\s*==\s*"([a-z0-9_]+)"', text))
+    for group in re.findall(r'name\s+in\s*\(([^)]*)\)', text):
+        names.update(re.findall(r'"([a-z0-9_]+)"', group))
+    return names
+
+
 def main():
     enum = enum_members(open(TRACE_H).read())
     cc = open(TRACE_CC).read()
@@ -66,6 +86,14 @@ def main():
             ok = False
         for e in dupes:
             print(f"lint_trace_events: duplicate {what} TraceEvent::{e}")
+            ok = False
+
+    # (4) trace2perfetto.py may only special-case names EventName can emit.
+    emitted = set(event_name_strings(cc))
+    for name in sorted(perfetto_special_cases(open(PERFETTO_PY).read())):
+        if name not in emitted:
+            print(f"lint_trace_events: trace2perfetto.py special-cases {name!r}, "
+                  "which EventName never emits")
             ok = False
 
     if ok:

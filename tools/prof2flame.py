@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Convert a /proc/profile folded-stack dump to flamegraph collapsed format.
+
+The input is the text /proc/profile emits (and `prof dump` saves): '#'-prefixed
+header lines, then one line per unique stack:
+
+    <mode>;<task>;<frame>;...;<frame> <weight>
+
+where <mode> is "oncpu" (weight = sample periods) or "offcpu" (weight = µs
+blocked). The output is the semicolon-collapsed format flamegraph.pl and
+speedscope consume: the mode prefix is stripped, the task name stays as the
+stack root, and weights for identical stacks are summed.
+
+Usage:
+    tools/prof2flame.py [--mode oncpu|offcpu|all] [input.txt] [output.txt]
+
+With no file arguments, reads stdin and writes stdout. Default mode is oncpu
+(the classic CPU flamegraph); --mode offcpu selects the blocked-time graph.
+"""
+
+import sys
+from collections import defaultdict
+
+
+def convert(text, mode="oncpu"):
+    stacks = defaultdict(int)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, sep, weight = line.rpartition(" ")
+        if not sep or not weight.isdigit():
+            raise ValueError(f"line {lineno}: expected '<stack> <weight>': {line!r}")
+        parts = head.split(";")
+        if len(parts) < 2 or parts[0] not in ("oncpu", "offcpu"):
+            raise ValueError(f"line {lineno}: expected 'oncpu;...' or 'offcpu;...': {line!r}")
+        if mode != "all" and parts[0] != mode:
+            continue
+        stacks[";".join(parts[1:])] += int(weight)
+    return stacks
+
+
+def main(argv):
+    mode = "oncpu"
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--mode":
+            if i + 1 >= len(argv) or argv[i + 1] not in ("oncpu", "offcpu", "all"):
+                print(__doc__, file=sys.stderr)
+                return 2
+            mode = argv[i + 1]
+            i += 2
+        else:
+            args.append(argv[i])
+            i += 1
+    if len(args) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    text = open(args[0]).read() if args else sys.stdin.read()
+    try:
+        stacks = convert(text, mode)
+    except ValueError as e:
+        print(f"prof2flame: {e}", file=sys.stderr)
+        return 1
+    out = open(args[1], "w") if len(args) > 1 else sys.stdout
+    for stack in sorted(stacks):
+        out.write(f"{stack} {stacks[stack]}\n")
+    if out is not sys.stdout:
+        out.close()
+        print(f"prof2flame: {len(stacks)} stacks ({mode}) -> {args[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,10 +8,13 @@ FormatTraceText():
 
 The output is a Chrome trace-event JSON object loadable in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing. Syscall and IRQ enter/exit
-records become B/E duration events so the viewer renders spans; everything
-else becomes a thread-scoped instant event. This mirrors FormatChromeTrace()
-in src/kernel/trace.cc, for use on dumps pulled off a serial log or saved to
-the SD image without re-running the simulator.
+records become B/E duration events so the viewer renders spans; profiler
+sample records (prof_sample) become per-core counter tracks so sampling
+cadence and weight are visible as a graph; watchdog barks render as named
+instants carrying the offender pid. Everything else becomes a thread-scoped
+instant event. This mirrors FormatChromeTrace() in src/kernel/trace.cc, for
+use on dumps pulled off a serial log or saved to the SD image without
+re-running the simulator.
 
 Usage:
     tools/trace2perfetto.py [input.txt] [output.json]
@@ -47,6 +50,17 @@ def convert(text):
         elif name in ("irq_enter", "irq_exit"):
             ev["name"] = f"irq_{a}"
             ev["ph"] = "B" if name == "irq_enter" else "E"
+        elif name == "prof_sample":
+            # Counter track per core: sample weight over time. a is the stack
+            # hash (kept in args), b is the weight.
+            ev["name"] = f"prof_samples_core{core}"
+            ev["ph"] = "C"
+            ev["args"] = {"weight": b, "stack_hash": a}
+        elif name == "watchdog_bark":
+            ev["name"] = f"watchdog_bark_core{b}"
+            ev["ph"] = "I"
+            ev["s"] = "g"  # global scope: a bark is a machine-wide incident
+            ev["args"] = {"offender_pid": pid, "stalled_cycles": a, "core": b}
         else:
             ev["name"] = name
             ev["ph"] = "I"
