@@ -1,0 +1,161 @@
+// kvserver: the in-kernel KV/HTTP server the networking prototype serves its
+// benchmark load with (§4.5 future-work class). A listener plus N worker
+// threads (uclone, shared fd table) accept connections and speak a one-line
+// HTTP/1.0 subset:
+//
+//   GET /key            -> 200 + value, or 404
+//   PUT /key value      -> 200 OK (stores value)
+//   anything else       -> 200 + the request echoed back
+//
+// Connections are one-shot (HTTP/1.0 connection-close semantics): read one
+// CRLF-terminated request line, write the response, FIN, close.
+//
+// usage: kvserver [port] [workers] [max_conns]
+//   max_conns > 0 stops the server after that many connections (benchmarks
+//   and tests); 0 serves forever.
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/ulib/ustdio.h"
+#include "src/ulib/usys.h"
+
+namespace vos {
+namespace {
+
+struct KvState {
+  std::unique_ptr<UMutex> mu;  // guards store + served
+  std::map<std::string, std::string> store;
+  int served = 0;
+  int max_conns = 0;
+  int listen_fd = -1;
+};
+
+// Serves one connection on `cfd`: parse request line, respond, close.
+void ServeConn(AppEnv& env, KvState& st, int cfd) {
+  char buf[512];
+  std::string req;
+  // Read until the end of the request line; peers may send byte-by-byte.
+  while (req.find('\n') == std::string::npos && req.size() < 4096) {
+    std::int64_t n = urecv(env, cfd, buf, sizeof(buf));
+    if (n == kErrIntr) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // peer reset/FIN before a full request
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  std::size_t eol = req.find('\n');
+  std::string line = eol == std::string::npos ? req : req.substr(0, eol);
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.pop_back();
+  }
+
+  std::string status = "200 OK";
+  std::string body;
+  if (line.compare(0, 5, "GET /") == 0) {
+    std::string key = line.substr(5);
+    std::size_t sp = key.find(' ');
+    if (sp != std::string::npos) {
+      key.resize(sp);  // tolerate a trailing " HTTP/1.0"
+    }
+    st.mu->Lock();
+    auto it = st.store.find(key);
+    bool found = it != st.store.end();
+    if (found) {
+      body = it->second;
+    }
+    st.mu->Unlock();
+    if (!found) {
+      status = "404 Not Found";
+      body = "no such key\n";
+    }
+  } else if (line.compare(0, 5, "PUT /") == 0) {
+    std::string rest = line.substr(5);
+    std::size_t sp = rest.find(' ');
+    std::string key = sp == std::string::npos ? rest : rest.substr(0, sp);
+    std::string val = sp == std::string::npos ? "" : rest.substr(sp + 1);
+    st.mu->Lock();
+    st.store[key] = val;
+    st.mu->Unlock();
+    body = "stored\n";
+  } else {
+    body = line + "\n";  // echo
+  }
+
+  char hdr[128];
+  std::snprintf(hdr, sizeof(hdr), "HTTP/1.0 %s\r\nContent-Length: %zu\r\n\r\n", status.c_str(),
+                body.size());
+  std::string resp = std::string(hdr) + body;
+  usend_all(env, cfd, resp.data(), static_cast<std::uint32_t>(resp.size()));
+  ushutdown(env, cfd, 1);  // FIN after the response
+  uclose(env, cfd);
+}
+
+// Worker loop: accept until the listener is shut down or the quota is hit.
+int WorkerLoop(AppEnv& env, KvState& st) {
+  for (;;) {
+    std::int64_t cfd = uaccept(env, st.listen_fd);
+    if (cfd == kErrIntr) {
+      continue;
+    }
+    if (cfd < 0) {
+      return 0;  // listener shut down (kErrInval) or gone (kErrBadFd)
+    }
+    ServeConn(env, st, static_cast<int>(cfd));
+    if (st.max_conns > 0) {
+      st.mu->Lock();
+      bool done = ++st.served >= st.max_conns;
+      st.mu->Unlock();
+      if (done) {
+        // Wake every worker parked in accept(); they observe !listening.
+        ushutdown(env, st.listen_fd, 2);
+        return 0;
+      }
+    }
+  }
+}
+
+int KvServerMain(AppEnv& env) {
+  int port = env.argv.size() > 1 ? std::atoi(env.argv[1].c_str()) : 80;
+  int workers = env.argv.size() > 2 ? std::atoi(env.argv[2].c_str()) : 4;
+  int max_conns = env.argv.size() > 3 ? std::atoi(env.argv[3].c_str()) : 0;
+  if (port <= 0 || port > 65535 || workers < 1 || workers > 64) {
+    uprintf(env, "kvserver: bad args\n");
+    return 1;
+  }
+
+  std::int64_t fd = usocket(env, /*type=*/0);
+  if (fd < 0 || ubind(env, static_cast<int>(fd), static_cast<std::uint16_t>(port)) < 0 ||
+      ulisten(env, static_cast<int>(fd), 128) < 0) {
+    uprintf(env, "kvserver: cannot listen on %d\n", port);
+    return 1;
+  }
+
+  KvState st;
+  st.mu = std::make_unique<UMutex>(env);
+  st.max_conns = max_conns;
+  st.listen_fd = static_cast<int>(fd);
+
+  for (int i = 1; i < workers; ++i) {
+    uclone(env, [&env, &st] { return WorkerLoop(env, st); });
+  }
+  WorkerLoop(env, st);  // the main thread is worker 0
+  for (int i = 1; i < workers; ++i) {
+    uwait(env, nullptr);
+  }
+  uclose(env, static_cast<int>(fd));
+  st.mu->Lock();
+  int served = st.served;
+  st.mu->Unlock();
+  uprintf(env, "kvserver: served %d connections\n", served);
+  return 0;
+}
+
+AppRegistrar kvserver_app("kvserver", KvServerMain, 6200, 1 << 20);
+
+}  // namespace
+}  // namespace vos

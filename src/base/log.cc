@@ -43,6 +43,8 @@ const char* ErrName(std::int64_t e) {
       return "EPERM";
     case kErrNoEnt:
       return "ENOENT";
+    case kErrIntr:
+      return "EINTR";
     case kErrIo:
       return "EIO";
     case kErrBadFd:
@@ -73,14 +75,12 @@ const char* ErrName(std::int64_t e) {
       return "ENAMETOOLONG";
     case kErrNotEmpty:
       return "ENOTEMPTY";
-    case kErrWouldBlock:
-      return "EWOULDBLOCK";
+    case kErrWouldBlock:  // == kErrAgain, as on Linux
+      return "EAGAIN";
     case kErrNoSys:
       return "ENOSYS";
     case kErrChild:
       return "ECHILD";
-    case kErrAgain:
-      return "EAGAIN";
     case kErrXDev:
       return "EXDEV";
     case kErrRange:

@@ -11,6 +11,7 @@ namespace vos {
 enum Err : std::int64_t {
   kErrPerm = -1,       // operation not permitted
   kErrNoEnt = -2,      // no such file or directory
+  kErrIntr = -4,       // interrupted while blocked (a kill took effect)
   kErrIo = -5,         // I/O error
   kErrBadFd = -9,      // bad file descriptor
   kErrNoMem = -12,     // out of memory
@@ -29,7 +30,9 @@ enum Err : std::int64_t {
   kErrWouldBlock = -11,
   kErrNoSys = -38,     // syscall not implemented in this prototype stage
   kErrChild = -10,     // no child processes
-  kErrAgain = -35,     // resource temporarily unavailable
+  // Same value as kErrWouldBlock, exactly as EAGAIN == EWOULDBLOCK on Linux:
+  // nonblocking pipes, sockets, and devices all report "try again" as -11.
+  kErrAgain = kErrWouldBlock,
   kErrXDev = -18,      // cross-device link
   kErrRange = -34,
 };

@@ -201,6 +201,11 @@ void Vfs::Close(Task* t, const FilePtr& f) {
         f->dev->OnClose(*f);
       }
       break;
+    case FileKind::kSocket:
+      if (socket_closer_ && f->sock != nullptr) {
+        socket_closer_(f->sock);
+      }
+      break;
     default:
       break;
   }
@@ -280,10 +285,17 @@ std::int64_t Vfs::Write(Task* t, File& f, const std::uint8_t* src, std::uint32_t
       }
       return r;
     }
-    case FileKind::kDevice:
-      return f.dev->Write(t, src, n, f.off, burn);
+    case FileKind::kDevice: {
+      std::int64_t r = f.dev->Write(t, src, n, f.off, burn);
+      // Advance the offset on success, mirroring the device read path above:
+      // stream devices ignore it, offset-addressed ones depend on it.
+      if (r > 0) {
+        f.off += static_cast<std::uint64_t>(r);
+      }
+      return r;
+    }
     case FileKind::kPipe:
-      return f.pipe->Write(t, src, n);
+      return f.pipe->Write(t, src, n, f.nonblock);
     case FileKind::kProc: {
       // Control files (/proc/faultinject) accept writes through a registered
       // writer; everything else stays read-only.

@@ -23,6 +23,7 @@
 namespace vos {
 
 class Task;
+class Socket;
 
 // open() flags.
 enum OpenFlags : std::uint32_t {
@@ -35,7 +36,7 @@ enum OpenFlags : std::uint32_t {
   kOAppend = 0x1000,
 };
 
-enum class FileKind { kNone, kXv6, kFat, kDevice, kPipe, kProc };
+enum class FileKind { kNone, kXv6, kFat, kDevice, kPipe, kProc, kSocket };
 
 // Stat as returned by fstat().
 struct Stat {
@@ -83,6 +84,7 @@ class File {
   bool pipe_write_end = false;
   std::string proc_snapshot;         // kProc: captured at open
   std::shared_ptr<void> dev_state;   // opaque per-open driver state
+  std::shared_ptr<Socket> sock;      // kSocket (src/kernel/net/net.h)
 };
 
 using FilePtr = std::shared_ptr<File>;
@@ -116,6 +118,12 @@ class Vfs {
   void RegisterProcWriter(const std::string& name,
                           std::function<std::int64_t(const std::string&)> fn) {
     proc_writers_[name] = std::move(fn);
+  }
+
+  // The net stack's socket teardown, installed at boot when networking is
+  // up; Close() calls it for kSocket files on their last reference.
+  void SetSocketCloser(std::function<void(const std::shared_ptr<Socket>&)> fn) {
+    socket_closer_ = std::move(fn);
   }
 
   // Resolves `path` against the task's cwd and normalizes '.'/'..'.
@@ -162,6 +170,7 @@ class Vfs {
   std::map<std::string, DevNode*> devices_;
   std::map<std::string, std::function<std::string()>> proc_;
   std::map<std::string, std::function<std::int64_t(const std::string&)>> proc_writers_;
+  std::function<void(const std::shared_ptr<Socket>&)> socket_closer_;
 };
 
 }  // namespace vos

@@ -14,6 +14,7 @@
 #include "src/hw/gpio.h"
 #include "src/hw/intc.h"
 #include "src/hw/mailbox.h"
+#include "src/hw/nic.h"
 #include "src/hw/phys_mem.h"
 #include "src/hw/power_meter.h"
 #include "src/hw/sd_card.h"
@@ -36,6 +37,10 @@ struct BoardConfig {
   bool game_hat_present = true;             // HAT display/buttons/speaker
   std::uint64_t scramble_seed = 0xb0a7d00d;
   SdTimings sd_timings{};
+  bool nic_present = true;                  // ethernet MAC with DMA rings
+  NicTimings nic_timings{};
+  std::size_t nic_tx_ring = 256;
+  std::size_t nic_rx_ring = 256;
 };
 
 class Board {
@@ -60,6 +65,7 @@ class Board {
   UsbHostController& usb() { return *usb_; }
   UsbKeyboard& keyboard() { return *keyboard_; }
   UsbMassStorage* usb_storage() { return usb_storage_.get(); }
+  Nic* nic() { return nic_.get(); }
   PowerMeter& power() { return *power_; }
 
  private:
@@ -80,6 +86,7 @@ class Board {
   std::unique_ptr<UsbKeyboard> keyboard_;
   std::unique_ptr<UsbHostController> usb_;
   std::unique_ptr<UsbMassStorage> usb_storage_;
+  std::unique_ptr<Nic> nic_;
   std::unique_ptr<PowerMeter> power_;
 };
 

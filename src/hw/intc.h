@@ -21,6 +21,7 @@ enum Irq : unsigned {
   kIrqDma0 = 16,        // DMA channel 0 (audio)
   kIrqAux = 29,         // mini UART RX
   kIrqGpio = 49,        // GPIO edge detect (Game HAT buttons)
+  kIrqEth = 50,         // ethernet NIC (RX coalesced interrupts)
   kIrqSd = 62,          // SD host (unused: our driver polls)
   // Per-core ARM generic timer private lines.
   kIrqCoreTimerBase = 64,  // +core index

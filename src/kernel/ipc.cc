@@ -98,7 +98,7 @@ std::int64_t IpcTable::Wait(Task* cur, int id, IpcSide side, std::uint64_t expec
     return 0;
   }
   if (cur->killed) {
-    return kErrPerm;
+    return kErrIntr;
   }
   int s = static_cast<int>(side);
   ++RD_WRITE(waits_slept_);
@@ -115,7 +115,7 @@ std::int64_t IpcTable::Wait(Task* cur, int id, IpcSide side, std::uint64_t expec
     return kErrInval;  // destroyed while waiting
   }
   if (cur->killed) {
-    return kErrPerm;  // EINTR: the kill took effect while parked
+    return kErrIntr;  // the kill took effect while parked
   }
   return 0;
 }

@@ -117,7 +117,7 @@ class IpcTable {
   // Futex wait: sleeps until `side`'s word differs from `expected` or a wake
   // arrives (spurious wakeups allowed; callers loop). Returns 0 on wake or
   // when the word already moved, kErrInval if the id is bad or the channel
-  // is destroyed while waiting, kErrPerm when the task is killed (EINTR).
+  // is destroyed while waiting, kErrIntr when the task is killed (EINTR).
   std::int64_t Wait(Task* cur, int id, IpcSide side, std::uint64_t expected);
   // Wakes every task parked on `side`. Returns the count woken.
   std::int64_t Wake(int id, IpcSide side);

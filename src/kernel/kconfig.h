@@ -78,6 +78,10 @@ struct CostModel {
   Cycles ipc_create = 5200;      // futex channel: table slot + ring allocation
   Cycles ipc_map = 2600;         // map the shared ring into the caller
   Cycles ipc_ring_op = 120;      // user-side ring index math + fences per op
+  // Networking (per-operation CPU costs; wire time comes from the NIC model).
+  Cycles sock_op = 1800;         // socket table lookup, state checks, wakeups
+  Cycles net_proto_per_seg = 950;  // header build/parse + checksum per segment
+  double net_copy_per_byte = 0.5;  // socket buffer <-> user copy
   // Bulk data movement (per byte).
   double memcpy_per_byte = 0.45;      // ARMv8 assembly memmove (§5.2)
   double memcpy_naive_per_byte = 4.0; // C byte-at-a-time loop (ablation)
@@ -194,6 +198,26 @@ struct KernelConfig {
   std::uint32_t watchdog_thresh_ms = 10000;  // generous: stress tests queue deep
   std::uint32_t watchdog_poll_ms = 1000;     // watchdog thread wake period
 
+  // Network stack (src/kernel/net/, proto5-gated via HasNet()). The NIC link
+  // is the FaultInjector-style wire model in src/hw/nic.h; loss/latency are
+  // runtime-tunable through /proc/netstat writes as well.
+  bool net_enabled = true;
+  std::uint32_t net_ip = 0x0A000002;        // 10.0.0.2 (loopback wire peer too)
+  std::uint32_t net_mtu = 1500;             // ethernet payload bytes per frame
+  std::uint32_t net_rx_ring = 256;          // NIC descriptor ring entries
+  std::uint32_t net_tx_ring = 256;
+  std::uint32_t net_irq_coalesce_frames = 8;   // RX IRQ after this many frames…
+  std::uint32_t net_irq_coalesce_us = 50;      // …or this window, whichever first
+  std::uint32_t net_link_latency_us = 20;      // one-way wire propagation
+  std::uint32_t net_link_loss_ppm = 0;         // deterministic seeded frame loss
+  std::uint64_t net_link_seed = 1;
+  std::uint32_t net_rto_ms = 50;            // TCP retransmit timeout (doubles)
+  std::uint32_t net_max_retries = 8;        // RTO expiries before reset
+  std::uint32_t net_sndbuf = 32768;         // per-socket send buffer bytes
+  std::uint32_t net_rcvbuf = 32768;         // per-socket receive buffer bytes
+  std::uint32_t net_time_wait_ms = 5;       // short TIME_WAIT (virtual time)
+  std::uint32_t net_somaxconn = 512;        // listen backlog hard cap
+
   CostModel cost;
 
   // Effective number of cores for this stage (multicore arrives in proto5).
@@ -214,6 +238,7 @@ struct KernelConfig {
   bool HasFat32() const { return stage >= Stage::kProto5; }
   bool HasWm() const { return stage >= Stage::kProto5; }
   bool HasKmalloc() const { return stage >= Stage::kProto4; }
+  bool HasNet() const { return net_enabled && stage >= Stage::kProto5; }
 };
 
 // Returns a config with platform/profile-dependent costs applied:

@@ -57,6 +57,14 @@ const char* SysName(Sys num) {
     case Sys::kIpcWait: return "ipcwait";
     case Sys::kIpcWake: return "ipcwake";
     case Sys::kIpcMap: return "ipcmap";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kConnect: return "connect";
+    case Sys::kSend: return "send";
+    case Sys::kRecv: return "recv";
+    case Sys::kShutdown: return "shutdown";
   }
   return "?";
 }
@@ -592,6 +600,18 @@ Kernel::BootReport Kernel::Boot() {
     vfs_->RegisterDevice("event1", wm_->event_node());
   }
 
+  // Network stack (proto5): the NIC driver + TCP/IP over the simulated MAC.
+  if (cfg_.HasNet() && board_.nic() != nullptr) {
+    net_ = std::make_unique<NetStack>(cfg_, sched_, board_.clock(), board_.events(), trace_,
+                                      metrics_, *board_.nic());
+    net_->Init();
+    board_.intc().Enable(kIrqEth);
+    vfs_->SetSocketCloser([this](const std::shared_ptr<Socket>& s) { net_->CloseSocket(s); });
+    vfs_->RegisterProc("netstat", [this] { return net_->NetstatText(); });
+    vfs_->RegisterProcWriter("netstat",
+                             [this](const std::string& text) { return net_->Control(text); });
+  }
+
   r.core = core;
   r.fs = fs_time;
   r.usb = usb_time;
@@ -989,6 +1009,9 @@ void Kernel::OnIrq(unsigned core, unsigned irq) {
       case kIrqGpio:
         machine_.ChargeIrq(core, cfg_.cost.irq_entry);
         gpio_buttons_->OnIrq(now);
+        break;
+      case kIrqEth:
+        machine_.ChargeIrq(core, cfg_.cost.irq_entry + net_->OnNicIrq(now));
         break;
       default:
         VOS_CHECK_MSG(false, "unexpected IRQ");

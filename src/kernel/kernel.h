@@ -28,6 +28,7 @@
 #include "src/kernel/kmalloc.h"
 #include "src/kernel/machine.h"
 #include "src/kernel/metrics.h"
+#include "src/kernel/net/net.h"
 #include "src/kernel/pipe.h"
 #include "src/kernel/pmm.h"
 #include "src/kernel/profiler.h"
@@ -84,9 +85,18 @@ enum class Sys : int {
   kIpcWait = 32,
   kIpcWake = 33,
   kIpcMap = 34,
+  // Sockets (proto5, HasNet()): src/kernel/net/.
+  kSocket = 35,
+  kBind = 36,
+  kListen = 37,
+  kAccept = 38,
+  kConnect = 39,
+  kSend = 40,
+  kRecv = 41,
+  kShutdown = 42,
 };
 
-constexpr int kNumSyscalls = 34;
+constexpr int kNumSyscalls = 42;
 
 // Lowercase syscall name for metric paths ("syscall.<name>.latency").
 const char* SysName(Sys num);
@@ -146,6 +156,7 @@ class Kernel final : public MachineClient {
   KeyEventDev& events_dev() { return *events_; }
   KeyEventDev& event1_dev() { return *event1_; }
   WindowManager* wm() { return wm_.get(); }
+  NetStack* net() { return net_.get(); }
   UsbStorageDriver* usb_storage_driver() { return usb_storage_driver_.get(); }
   Timekeeping& timekeeping() { return timekeeping_; }
   const std::string& last_panic_dump() const { return last_panic_dump_; }
@@ -222,6 +233,18 @@ class Kernel final : public MachineClient {
   std::int64_t SysIpcMap(int id, IpcRing** out);
   std::int64_t SysIpcWait(int id, int side, std::uint64_t expected);
   std::int64_t SysIpcWake(int id, int side);
+  // Sockets (src/kernel/net/). type: 0 = TCP, 1 = UDP; flags bit 0 makes the
+  // new fd nonblocking. SysAccept's flags bit 0 sets nonblock on the
+  // *accepted* fd. Addresses are (ipv4 host-order u32, port u16).
+  std::int64_t SysSocket(int type, std::uint32_t flags);
+  std::int64_t SysBind(int fd, std::uint16_t port);
+  std::int64_t SysListen(int fd, std::uint32_t backlog);
+  std::int64_t SysAccept(int fd, std::uint32_t* peer_ip, std::uint16_t* peer_port,
+                         std::uint32_t flags);
+  std::int64_t SysConnect(int fd, std::uint32_t ip, std::uint16_t port);
+  std::int64_t SysSend(int fd, const void* buf, std::uint32_t n);
+  std::int64_t SysRecv(int fd, void* buf, std::uint32_t n);
+  std::int64_t SysShutdown(int fd, int how);
   // Durability (§5.2 write-back cache): sync flushes every dirty buffer on
   // every device; fsync flushes the device backing one open file.
   std::int64_t SysSync();
@@ -256,6 +279,8 @@ class Kernel final : public MachineClient {
   void ReapTask(Pid pid);
   std::int64_t InstallFd(Task* cur, FilePtr f);
   FilePtr GetFd(Task* cur, int fd);
+  // GetFd plus a kind check; on nullptr *err holds kErrBadFd or kErrInval.
+  FilePtr GetSockFd(Task* cur, int fd, std::int64_t* err);
   // Syscall prologue: returns the current task, charging entry costs; kills
   // the task if a kill is pending.
   Task* SyscallEnter(Sys num);
@@ -329,6 +354,7 @@ class Kernel final : public MachineClient {
   std::unique_ptr<NullDev> null_dev_;
   std::unique_ptr<TraceDev> trace_dev_;
   std::unique_ptr<WindowManager> wm_;
+  std::unique_ptr<NetStack> net_;
 
   // Latency histograms, registered with metrics_ at construction; the hot
   // paths record through these cached pointers without touching the registry.

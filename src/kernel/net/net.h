@@ -1,0 +1,363 @@
+// The network stack (proto5): ethernet/ARP/IPv4 framing, UDP, and a small
+// TCP (3-way handshake, cumulative ACK, go-back-N retransmission, listen/
+// accept backlog) layered over the simulated NIC in src/hw/nic.h.
+//
+// Structure, following the paper's driver methodology: the hardware model
+// owns timing, the stack owns protocol state. All protocol and socket state
+// is guarded by one "net" spinlock (the stack is a monitor, like xv6's
+// single-lock subsystems); the NIC descriptor rings are touched under a
+// separate leaf "nic" lock so the TX path's net->nic nesting gives lockdep a
+// real hierarchy edge to check. Blocking socket ops sleep on channels inside
+// the tcb/socket with the net lock held (SleepOn releases it), exactly like
+// Pipe; kills surface as kErrIntr, nonblock as kErrAgain.
+//
+// Everything — including connections from this kernel to itself, which is
+// what bench_net drives by the hundred thousand — goes out through the NIC's
+// TX DMA ring, crosses the virtual link (latency + seeded loss), and comes
+// back through RX descriptors and a coalesced IRQ. There is no loopback
+// shortcut; ARP resolution, DMA costs and retransmissions are all real.
+#ifndef VOS_SRC_KERNEL_NET_NET_H_
+#define VOS_SRC_KERNEL_NET_NET_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/clock.h"
+#include "src/hw/event_queue.h"
+#include "src/hw/nic.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/metrics.h"
+#include "src/kernel/racedet.h"
+#include "src/kernel/sched.h"
+#include "src/kernel/spinlock.h"
+#include "src/kernel/trace.h"
+
+namespace vos {
+
+// --- Wire constants ---------------------------------------------------------
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+constexpr std::uint16_t kEthTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEthTypeArp = 0x0806;
+constexpr std::uint8_t kIpProtoTcp = 6;
+constexpr std::uint8_t kIpProtoUdp = 17;
+constexpr std::size_t kEthHdrLen = 14;
+constexpr std::size_t kIpHdrLen = 20;
+constexpr std::size_t kTcpHdrLen = 20;
+constexpr std::size_t kUdpHdrLen = 8;
+
+// TCP header flags.
+constexpr std::uint8_t kTcpFin = 0x01;
+constexpr std::uint8_t kTcpSyn = 0x02;
+constexpr std::uint8_t kTcpRst = 0x04;
+constexpr std::uint8_t kTcpPsh = 0x08;
+constexpr std::uint8_t kTcpAck = 0x10;
+
+// Sequence-space comparison with wraparound (RFC 793 arithmetic).
+inline bool SeqLt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool SeqLe(std::uint32_t a, std::uint32_t b) { return a == b || SeqLt(a, b); }
+
+// Big-endian (network order) field access.
+inline void Put16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void Put32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline std::uint16_t Get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t Get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+// Ones'-complement internet checksum over `len` bytes plus an optional seed
+// (used for the TCP/UDP pseudo-header). Exposed for tests.
+std::uint16_t InetChecksum(const std::uint8_t* data, std::size_t len, std::uint32_t seed = 0);
+
+// --- Connection state -------------------------------------------------------
+
+enum class TcpState : int {
+  kClosed = 0,
+  kListen,     // only on listening sockets, never on a tcb
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kClosing,
+  kTimeWait,
+};
+
+const char* TcpStateName(TcpState s);
+
+class Socket;
+
+// One TCP connection endpoint. All fields are guarded by the stack's "net"
+// lock; tcbs live in NetStack::tcbs_ keyed by (remote ip, remote port, local
+// port) and are shared with the owning Socket (accept embryos have no socket
+// yet, closed sockets may leave an orphan tcb finishing its teardown).
+struct Tcb {
+  std::uint32_t local_ip = 0;
+  std::uint32_t remote_ip = 0;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+  TcpState state = TcpState::kClosed;
+
+  // Send side. sndq holds bytes [sndq_seq, sndq_seq + size): unacked and
+  // unsent data together — go-back-N retransmission replays from snd_una.
+  std::uint32_t iss = 0;
+  std::uint32_t snd_una = 0;
+  std::uint32_t snd_nxt = 0;
+  std::uint32_t snd_wnd = 0;      // peer's advertised window
+  std::uint32_t sndq_seq = 0;     // sequence number of sndq.front()
+  std::deque<std::uint8_t> sndq;
+  bool fin_queued = false;        // close()/shutdown(WR) requested
+  bool fin_sent = false;          // FIN occupies fin_seq in seq space
+  std::uint32_t fin_seq = 0;
+
+  // Receive side (in-order only; out-of-order segments are dropped and the
+  // sender's go-back-N recovers them).
+  std::uint32_t irs = 0;
+  std::uint32_t rcv_nxt = 0;
+  std::deque<std::uint8_t> rcvq;
+  bool peer_fin = false;          // FIN received and sequenced
+  bool rcv_shutdown = false;      // shutdown(RD): drop further payload
+
+  // Retransmission.
+  bool rto_armed = false;
+  EventId rto_event = 0;
+  std::uint32_t retries = 0;
+
+  // Lifecycle.
+  Socket* listener = nullptr;     // embryo: the listening socket that owns us
+  bool sock_attached = false;     // a Socket currently references this tcb
+  std::int64_t error = 0;         // sticky error (RST, too many retries)
+  EventId time_wait_event = 0;
+
+  // Sleep channels (monitor condition variables, as in Pipe).
+  char rcv_chan = 0;
+  char snd_chan = 0;
+};
+
+struct UdpDatagram {
+  std::uint32_t src_ip = 0;
+  std::uint16_t src_port = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+// The object a FileKind::kSocket File points at. Guarded by the "net" lock.
+class Socket {
+ public:
+  enum class Type : int { kTcp = 0, kUdp = 1 };
+
+  explicit Socket(Type t) : type(t) {}
+
+  Type type;
+  bool bound = false;
+  std::uint16_t local_port = 0;
+
+  // TCP.
+  std::shared_ptr<Tcb> tcb;                    // connected/accepted endpoint
+  bool listening = false;
+  std::uint32_t backlog = 0;
+  std::uint32_t embryos = 0;                   // half-open, not yet accept_q
+  std::deque<std::shared_ptr<Tcb>> accept_q;   // established, awaiting accept
+  char accept_chan = 0;
+
+  // UDP.
+  bool udp_connected = false;
+  std::uint32_t udp_peer_ip = 0;
+  std::uint16_t udp_peer_port = 0;
+  std::deque<UdpDatagram> udpq;
+  std::size_t udpq_bytes = 0;
+  char udp_chan = 0;
+};
+
+// Counters exported through net.* gauges and /proc/netstat. Written under
+// the net lock; gauge callbacks snapshot them token-serialized, like Pipe's
+// readers()/writers() accessors.
+struct NetStats {
+  std::uint64_t ip_tx = 0;
+  std::uint64_t ip_rx = 0;
+  std::uint64_t ip_drop = 0;        // not for us / malformed / bad proto
+  std::uint64_t csum_drop = 0;
+  std::uint64_t arp_tx = 0;
+  std::uint64_t arp_rx = 0;
+  std::uint64_t udp_tx = 0;
+  std::uint64_t udp_rx = 0;
+  std::uint64_t udp_drop = 0;       // no socket / queue overflow
+  std::uint64_t tcp_seg_tx = 0;
+  std::uint64_t tcp_seg_rx = 0;
+  std::uint64_t tcp_retransmit = 0;
+  std::uint64_t tcp_active_open = 0;
+  std::uint64_t tcp_passive_open = 0;
+  std::uint64_t tcp_established = 0;  // monotonic: handshakes completed
+  std::uint64_t tcp_rst_tx = 0;
+  std::uint64_t tcp_rst_rx = 0;
+  std::uint64_t tcp_accept_drop = 0;  // SYN dropped: backlog full
+  std::uint64_t tcp_ooo_drop = 0;     // out-of-order/overflow payload dropped
+  std::uint64_t tx_drop = 0;          // NIC TX ring full
+};
+
+// --- The stack --------------------------------------------------------------
+
+class NetStack {
+ public:
+  NetStack(const KernelConfig& cfg, Sched& sched, VirtualClock& clock, EventQueue& events,
+           TraceRing& trace, Metrics& metrics, Nic& nic);
+
+  // Applies cfg knobs to the NIC (coalescing, link faults) and registers the
+  // net.* gauges. Call once from Kernel::Boot.
+  void Init();
+
+  // --- Socket layer (syscall context; `cur` is the calling task) ---
+  std::shared_ptr<Socket> CreateSocket(Socket::Type type);
+  std::int64_t Bind(Socket& s, std::uint16_t port);
+  std::int64_t Listen(Socket& s, std::uint32_t backlog);
+  // On success fills *out (new connected socket) + peer address.
+  std::int64_t Accept(Task* cur, Socket& s, bool nonblock, std::shared_ptr<Socket>* out,
+                      std::uint32_t* peer_ip, std::uint16_t* peer_port, Cycles* burn);
+  std::int64_t Connect(Task* cur, Socket& s, std::uint32_t ip, std::uint16_t port, bool nonblock,
+                       Cycles* burn);
+  std::int64_t Send(Task* cur, Socket& s, const std::uint8_t* buf, std::size_t n, bool nonblock,
+                    Cycles* burn);
+  std::int64_t Recv(Task* cur, Socket& s, std::uint8_t* buf, std::size_t n, bool nonblock,
+                    Cycles* burn);
+  // how: 0 = read side, 1 = write side (sends FIN), 2 = both.
+  std::int64_t Shutdown(Task* cur, Socket& s, int how, Cycles* burn);
+  // File-close hook (Vfs::Close): full teardown; the tcb may outlive the
+  // socket as an orphan until its FIN handshake finishes.
+  void CloseSocket(const std::shared_ptr<Socket>& s);
+
+  // --- IRQ half: ack + drain the NIC RX ring, run the protocol input path.
+  // Returns the cycles to charge the interrupted core.
+  Cycles OnNicIrq(Cycles now);
+
+  // --- /proc/netstat ---
+  std::string NetstatText() const;
+  // Command language: "loss <ppm>" | "latency_us <n>" | "seed <n>" |
+  // "coalesce <frames> <us>". Returns 0 or a negative errno.
+  std::int64_t Control(const std::string& text);
+
+  const NetStats& stats() const { return stats_; }  // racedet: ok (token-serialized snapshot)
+  std::size_t tcb_count() const { return tcbs_.size(); }  // racedet: ok (token-serialized snapshot)
+  std::uint32_t ip() const { return cfg_.net_ip; }
+
+ private:
+  friend class NetTestPeer;
+
+  // 4-tuple demux key; local_ip is fixed so (remote ip, remote port, local
+  // port) identifies a connection.
+  static std::uint64_t TcbKey(std::uint32_t rip, std::uint16_t rport, std::uint16_t lport) {
+    return (static_cast<std::uint64_t>(rip) << 32) |
+           (static_cast<std::uint64_t>(rport) << 16) | lport;
+  }
+  static std::uint64_t KeyOf(const Tcb& t) {
+    return TcbKey(t.remote_ip, t.remote_port, t.local_port);
+  }
+
+  // Frame/packet output (net lock held; takes the nic lock: the net->nic
+  // lockdep edge). `burn` may be nullptr in timer context.
+  void TxFrame(const std::uint8_t* frame, std::size_t len, Cycles* burn);
+  void SendIp(std::uint32_t dst_ip, std::uint8_t proto, const std::uint8_t* payload,
+              std::size_t len, Cycles* burn);
+  void SendArpRequest(std::uint32_t ip, Cycles* burn);
+
+  // Input path (net lock held).
+  void HandleFrame(const NicFrame& f, Cycles* burn);
+  void HandleArp(const std::uint8_t* p, std::size_t len, Cycles* burn);
+  void HandleIp(const std::uint8_t* p, std::size_t len, Cycles* burn);
+  void HandleUdp(std::uint32_t src_ip, const std::uint8_t* p, std::size_t len, Cycles* burn);
+  void HandleTcp(std::uint32_t src_ip, const std::uint8_t* p, std::size_t len, Cycles* burn);
+
+  // TCP machinery (tcp.cc; net lock held).
+  struct TcpSeg {
+    std::uint32_t src_ip = 0;
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t wnd = 0;
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+  };
+  void TcpInput(const std::shared_ptr<Tcb>& t, const TcpSeg& seg, Cycles* burn);
+  void TcpPassiveOpen(Socket* listener, const TcpSeg& seg, Cycles* burn);
+  void TcpSendSeg(Tcb& t, std::uint8_t flags, std::uint32_t seq, const std::uint8_t* data,
+                  std::size_t len, Cycles* burn);
+  void TcpSendRstFor(const TcpSeg& seg, Cycles* burn);
+  // Sends whatever the window allows from sndq (plus a queued FIN).
+  void TcpPushSend(Tcb& t, Cycles* burn);
+  void TcpArmRto(const std::shared_ptr<Tcb>& t);
+  void TcpDisarmRto(Tcb& t);
+  void TcpOnRto(const std::shared_ptr<Tcb>& t);
+  void TcpEnterTimeWait(const std::shared_ptr<Tcb>& t);
+  // RST/failure teardown: sticky error, wake all waiters, drop from table.
+  void TcpKill(const std::shared_ptr<Tcb>& t, std::int64_t err);
+  void RemoveTcb(const std::shared_ptr<Tcb>& t);
+  void CloseTcbHalf(const std::shared_ptr<Tcb>& t, Cycles* burn);  // shutdown(WR) logic
+
+  std::uint16_t AllocEphemeralPort(std::uint32_t rip, std::uint16_t rport);
+  bool PortBound(std::uint16_t port) const;
+  void ApplyLinkFaultsLocked();  // net lock held; takes the nic lock
+  void Charge(Cycles* burn, Cycles c) {
+    if (burn != nullptr) {
+      *burn += c;
+    }
+  }
+
+  const KernelConfig& cfg_;
+  Sched& sched_;
+  VirtualClock& clock_;
+  EventQueue& events_;
+  TraceRing& trace_;
+  Metrics& metrics_;
+  Nic& nic_;
+
+  MacAddr mac_{};
+
+  mutable SpinLock lock_{"net"};      // the stack monitor
+  mutable SpinLock nic_lock_{"nic"};  // leaf: NIC descriptor rings only
+
+  // ARP: resolved neighbours plus packets parked awaiting resolution.
+  std::unordered_map<std::uint32_t, MacAddr> arp_cache_;       // racedet: shared (guarded by lock_)
+  std::unordered_map<std::uint32_t, std::deque<std::vector<std::uint8_t>>>
+      arp_pending_;                                            // racedet: shared (guarded by lock_)
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<Tcb>> tcbs_;  // racedet: shared (guarded by lock_)
+  std::unordered_map<std::uint16_t, Socket*> listeners_;          // racedet: shared (guarded by lock_)
+  std::unordered_map<std::uint16_t, Socket*> udp_binds_;          // racedet: shared (guarded by lock_)
+  std::uint32_t next_ephemeral_ = 32768;                          // racedet: shared (guarded by lock_)
+  std::uint32_t next_iss_ = 1;                                    // racedet: shared (guarded by lock_)
+
+  NetStats stats_;  // racedet: ok (aggregate; members written under lock_, gauges snapshot)
+  std::uint64_t sockets_live_ = 0;  // racedet: shared (guarded by lock_)
+
+  // Runtime link-fault state (/proc/netstat command language), seeded from
+  // the cfg knobs at Init.
+  std::uint32_t loss_ppm_override_ = 0;
+  std::uint32_t latency_us_override_ = 0;
+  std::uint64_t seed_override_ = 1;
+};
+
+}  // namespace vos
+
+#endif  // VOS_SRC_KERNEL_NET_NET_H_

@@ -1,0 +1,354 @@
+// Socket layer: the blocking/nonblocking operations the syscalls call. Every
+// op takes the net lock; blocking paths SleepOn channels inside the tcb or
+// socket (releasing the lock while parked), return kErrIntr when the task is
+// killed, and kErrAgain in nonblock mode — the Pipe discipline, exactly.
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/status.h"
+#include "src/kernel/net/net.h"
+#include "src/kernel/task.h"
+
+namespace vos {
+
+std::shared_ptr<Socket> NetStack::CreateSocket(Socket::Type type) {
+  SpinGuard g(lock_);
+  ++RD_WRITE(sockets_live_);
+  return std::make_shared<Socket>(type);
+}
+
+std::int64_t NetStack::Bind(Socket& s, std::uint16_t port) {
+  SpinGuard g(lock_);
+  if (port == 0 || s.bound) {
+    return kErrInval;
+  }
+  if (PortBound(port)) {
+    return kErrExist;
+  }
+  s.bound = true;
+  s.local_port = port;
+  if (s.type == Socket::Type::kUdp) {
+    RD_WRITE(udp_binds_)[port] = &s;
+  }
+  return 0;
+}
+
+std::int64_t NetStack::Listen(Socket& s, std::uint32_t backlog) {
+  SpinGuard g(lock_);
+  if (s.type != Socket::Type::kTcp || !s.bound || s.tcb != nullptr) {
+    return kErrInval;
+  }
+  if (s.listening) {
+    s.backlog = std::min(std::max<std::uint32_t>(backlog, 1), cfg_.net_somaxconn);
+    return 0;
+  }
+  s.listening = true;
+  s.backlog = std::min(std::max<std::uint32_t>(backlog, 1), cfg_.net_somaxconn);
+  RD_WRITE(listeners_)[s.local_port] = &s;
+  return 0;
+}
+
+std::int64_t NetStack::Accept(Task* cur, Socket& s, bool nonblock, std::shared_ptr<Socket>* out,
+                              std::uint32_t* peer_ip, std::uint16_t* peer_port, Cycles* burn) {
+  Charge(burn, cfg_.cost.sock_op);
+  SpinGuard g(lock_);
+  if (!s.listening) {
+    return kErrInval;
+  }
+  while (s.accept_q.empty()) {
+    if (cur->killed) {
+      return kErrIntr;
+    }
+    if (nonblock) {
+      return kErrAgain;
+    }
+    sched_.SleepOn(cur, &s.accept_chan, lock_);
+    if (!s.listening) {
+      return kErrInval;  // the listener was closed under us
+    }
+  }
+  std::shared_ptr<Tcb> t = s.accept_q.front();
+  s.accept_q.pop_front();
+  t->listener = nullptr;
+  auto ns = std::make_shared<Socket>(Socket::Type::kTcp);
+  ns->bound = true;
+  ns->local_port = t->local_port;
+  ns->tcb = t;
+  t->sock_attached = true;
+  ++RD_WRITE(sockets_live_);
+  *out = std::move(ns);
+  if (peer_ip != nullptr) {
+    *peer_ip = t->remote_ip;
+  }
+  if (peer_port != nullptr) {
+    *peer_port = t->remote_port;
+  }
+  return 0;
+}
+
+std::int64_t NetStack::Connect(Task* cur, Socket& s, std::uint32_t ip, std::uint16_t port,
+                               bool nonblock, Cycles* burn) {
+  Charge(burn, cfg_.cost.sock_op);
+  SpinGuard g(lock_);
+  if (port == 0) {
+    return kErrInval;
+  }
+  if (s.type == Socket::Type::kUdp) {
+    // Datagram connect just fixes the default destination.
+    s.udp_connected = true;
+    s.udp_peer_ip = ip;
+    s.udp_peer_port = port;
+    if (!s.bound) {
+      std::uint16_t lp = AllocEphemeralPort(ip, port);
+      if (lp == 0) {
+        return kErrAgain;
+      }
+      s.bound = true;
+      s.local_port = lp;
+      RD_WRITE(udp_binds_)[lp] = &s;
+    }
+    return 0;
+  }
+  if (s.listening) {
+    return kErrInval;
+  }
+  if (s.tcb == nullptr) {
+    // First call: allocate the endpoint and fire the SYN.
+    std::uint16_t lp = s.bound ? s.local_port : AllocEphemeralPort(ip, port);
+    if (lp == 0) {
+      return kErrAgain;
+    }
+    if (RD_READ(tcbs_).count(TcbKey(ip, port, lp)) != 0) {
+      return kErrExist;
+    }
+    auto t = std::make_shared<Tcb>();
+    t->local_ip = cfg_.net_ip;
+    t->remote_ip = ip;
+    t->local_port = lp;
+    t->remote_port = port;
+    t->state = TcpState::kSynSent;
+    t->iss = RD_READ(next_iss_);
+    RD_WRITE(next_iss_) = RD_READ(next_iss_) + 64000;
+    t->snd_una = t->iss;
+    t->snd_nxt = t->iss + 1;
+    t->sndq_seq = t->iss + 1;
+    t->sock_attached = true;
+    RD_WRITE(tcbs_)[KeyOf(*t)] = t;
+    s.bound = true;
+    s.local_port = lp;
+    s.tcb = t;
+    ++stats_.tcp_active_open;
+    TcpSendSeg(*t, kTcpSyn, t->iss, nullptr, 0, burn);
+    TcpArmRto(t);
+  }
+  std::shared_ptr<Tcb> t = s.tcb;
+  while (t->state == TcpState::kSynSent) {
+    if (cur->killed) {
+      return kErrIntr;  // the handshake continues in the background
+    }
+    if (nonblock) {
+      return kErrAgain;  // retry connect() to harvest the result
+    }
+    sched_.SleepOn(cur, &t->rcv_chan, lock_);
+  }
+  if (t->state == TcpState::kClosed && t->error != 0) {
+    return t->error;
+  }
+  return 0;
+}
+
+std::int64_t NetStack::Send(Task* cur, Socket& s, const std::uint8_t* buf, std::size_t n,
+                            bool nonblock, Cycles* burn) {
+  Charge(burn, cfg_.cost.sock_op);
+  SpinGuard g(lock_);
+  if (s.type == Socket::Type::kUdp) {
+    if (!s.udp_connected) {
+      return kErrInval;
+    }
+    std::size_t mtu_payload = cfg_.net_mtu - kIpHdrLen - kUdpHdrLen;
+    std::size_t take = std::min(n, mtu_payload);
+    std::vector<std::uint8_t> dgram(kUdpHdrLen + take);
+    Put16(dgram.data() + 0, s.local_port);
+    Put16(dgram.data() + 2, s.udp_peer_port);
+    Put16(dgram.data() + 4, static_cast<std::uint16_t>(dgram.size()));
+    Put16(dgram.data() + 6, 0);  // checksum optional in IPv4 UDP
+    std::memcpy(dgram.data() + kUdpHdrLen, buf, take);
+    ++stats_.udp_tx;
+    Charge(burn, static_cast<Cycles>(static_cast<double>(take) * cfg_.cost.net_copy_per_byte));
+    SendIp(s.udp_peer_ip, kIpProtoUdp, dgram.data(), dgram.size(), burn);
+    return static_cast<std::int64_t>(take);
+  }
+
+  std::shared_ptr<Tcb> t = s.tcb;
+  if (t == nullptr) {
+    return kErrInval;  // never connected
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    if (t->state == TcpState::kClosed) {
+      return done > 0 ? static_cast<std::int64_t>(done)
+                      : (t->error != 0 ? t->error : kErrPipe);
+    }
+    if (t->fin_queued || t->state == TcpState::kFinWait1 || t->state == TcpState::kFinWait2 ||
+        t->state == TcpState::kLastAck || t->state == TcpState::kClosing ||
+        t->state == TcpState::kTimeWait) {
+      // We already shut down our write side.
+      return done > 0 ? static_cast<std::int64_t>(done) : kErrPipe;
+    }
+    if (t->state == TcpState::kSynSent) {
+      // connect() has not finished; block until it does (or fail fast).
+      if (cur->killed) {
+        return done > 0 ? static_cast<std::int64_t>(done) : kErrIntr;
+      }
+      if (nonblock) {
+        return done > 0 ? static_cast<std::int64_t>(done) : kErrAgain;
+      }
+      sched_.SleepOn(cur, &t->rcv_chan, lock_);
+      continue;
+    }
+    if (t->sndq.size() >= cfg_.net_sndbuf) {
+      if (cur->killed) {
+        return done > 0 ? static_cast<std::int64_t>(done) : kErrIntr;
+      }
+      if (nonblock) {
+        return done > 0 ? static_cast<std::int64_t>(done) : kErrAgain;
+      }
+      sched_.SleepOn(cur, &t->snd_chan, lock_);
+      continue;
+    }
+    std::size_t room = cfg_.net_sndbuf - t->sndq.size();
+    std::size_t take = std::min(room, n - done);
+    t->sndq.insert(t->sndq.end(), buf + done, buf + done + take);
+    done += take;
+    Charge(burn, static_cast<Cycles>(static_cast<double>(take) * cfg_.cost.net_copy_per_byte));
+    TcpPushSend(*t, burn);
+  }
+  return static_cast<std::int64_t>(done);
+}
+
+std::int64_t NetStack::Recv(Task* cur, Socket& s, std::uint8_t* buf, std::size_t n, bool nonblock,
+                            Cycles* burn) {
+  Charge(burn, cfg_.cost.sock_op);
+  SpinGuard g(lock_);
+  if (s.type == Socket::Type::kUdp) {
+    while (s.udpq.empty()) {
+      if (cur->killed) {
+        return kErrIntr;
+      }
+      if (nonblock) {
+        return kErrAgain;
+      }
+      sched_.SleepOn(cur, &s.udp_chan, lock_);
+    }
+    UdpDatagram d = std::move(s.udpq.front());
+    s.udpq.pop_front();
+    s.udpq_bytes -= d.bytes.size();
+    std::size_t take = std::min(n, d.bytes.size());
+    std::memcpy(buf, d.bytes.data(), take);
+    Charge(burn, static_cast<Cycles>(static_cast<double>(take) * cfg_.cost.net_copy_per_byte));
+    return static_cast<std::int64_t>(take);  // excess datagram bytes are dropped
+  }
+
+  std::shared_ptr<Tcb> t = s.tcb;
+  if (t == nullptr) {
+    return kErrInval;
+  }
+  while (t->rcvq.empty()) {
+    if (t->rcv_shutdown || t->peer_fin) {
+      return 0;  // orderly EOF
+    }
+    if (t->state == TcpState::kClosed) {
+      return t->error != 0 ? t->error : 0;
+    }
+    if (cur->killed) {
+      return kErrIntr;
+    }
+    if (nonblock) {
+      return kErrAgain;
+    }
+    sched_.SleepOn(cur, &t->rcv_chan, lock_);
+  }
+  std::size_t take = std::min(n, t->rcvq.size());
+  std::copy(t->rcvq.begin(), t->rcvq.begin() + static_cast<std::ptrdiff_t>(take), buf);
+  t->rcvq.erase(t->rcvq.begin(), t->rcvq.begin() + static_cast<std::ptrdiff_t>(take));
+  Charge(burn, static_cast<Cycles>(static_cast<double>(take) * cfg_.cost.net_copy_per_byte));
+  return static_cast<std::int64_t>(take);
+}
+
+std::int64_t NetStack::Shutdown(Task* cur, Socket& s, int how, Cycles* burn) {
+  (void)cur;
+  Charge(burn, cfg_.cost.sock_op);
+  SpinGuard g(lock_);
+  if (how < 0 || how > 2) {
+    return kErrInval;
+  }
+  if (s.listening) {
+    // shutdown() on a listener stops accepting: parked accept() callers wake
+    // and observe !listening -> kErrInval. Embryos/queued connections are torn
+    // down by the eventual close().
+    RD_WRITE(listeners_).erase(s.local_port);
+    s.listening = false;
+    sched_.Wakeup(&s.accept_chan);
+    return 0;
+  }
+  if (s.type == Socket::Type::kUdp || s.tcb == nullptr) {
+    return s.type == Socket::Type::kUdp ? 0 : kErrInval;
+  }
+  std::shared_ptr<Tcb> t = s.tcb;
+  if (how == 0 || how == 2) {
+    t->rcv_shutdown = true;
+    t->rcvq.clear();
+    sched_.Wakeup(&t->rcv_chan);
+  }
+  if (how == 1 || how == 2) {
+    CloseTcbHalf(t, burn);
+  }
+  return 0;
+}
+
+void NetStack::CloseSocket(const std::shared_ptr<Socket>& s) {
+  SpinGuard g(lock_);
+  --RD_WRITE(sockets_live_);
+  if (s->type == Socket::Type::kUdp) {
+    if (s->bound) {
+      RD_WRITE(udp_binds_).erase(s->local_port);
+    }
+    return;
+  }
+  if (s->tcb == nullptr) {
+    // A listener (current or shutdown()-stopped) or a never-connected socket.
+    // Reset every connection this listener still owns — both established
+    // ones waiting in accept_q and half-open embryos in the tcb table — so no
+    // tcb is left pointing at the freed Socket.
+    if (s->listening) {
+      RD_WRITE(listeners_).erase(s->local_port);
+      s->listening = false;
+    }
+    std::vector<std::shared_ptr<Tcb>> orphans;
+    for (const auto& [key, t] : RD_READ(tcbs_)) {
+      (void)key;
+      if (t->listener == s.get()) {
+        orphans.push_back(t);
+      }
+    }
+    for (const auto& t : orphans) {
+      ++stats_.tcp_rst_tx;
+      ++stats_.tcp_seg_tx;
+      TcpSendSeg(*t, kTcpRst | kTcpAck, t->snd_nxt, nullptr, 0, nullptr);
+      TcpKill(t, kErrIo);
+    }
+    sched_.Wakeup(&s->accept_chan);
+    return;
+  }
+  if (s->tcb != nullptr) {
+    std::shared_ptr<Tcb> t = s->tcb;
+    t->sock_attached = false;
+    // POSIX close: no more reads, send FIN after buffered data. The tcb
+    // lingers as an orphan in the table until its handshake finishes.
+    t->rcv_shutdown = true;
+    t->rcvq.clear();
+    CloseTcbHalf(t, nullptr);
+  }
+}
+
+}  // namespace vos

@@ -4,7 +4,7 @@
 
 namespace vos {
 
-std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
+std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n, bool nonblock) {
   SpinGuard g(lock_);
   std::size_t done = 0;
   std::size_t since_wake = 0;  // bytes staged for the next reader wakeup
@@ -18,6 +18,9 @@ std::int64_t Pipe::Write(Task* cur, const std::uint8_t* buf, std::size_t n) {
       }
       since_wake = 0;
       sched_.Wakeup(&read_chan_);
+      if (nonblock) {
+        return done > 0 ? static_cast<std::int64_t>(done) : kErrAgain;
+      }
       sched_.SleepOn(cur, &write_chan_, lock_);
       continue;
     }
@@ -40,10 +43,10 @@ std::int64_t Pipe::Read(Task* cur, std::uint8_t* buf, std::size_t n, bool nonblo
   SpinGuard g(lock_);
   while (RD_READ(ring_).empty() && RD_READ(writers_) > 0) {
     if (cur->killed) {
-      return kErrPerm;
+      return kErrIntr;
     }
     if (nonblock) {
-      return kErrWouldBlock;
+      return kErrAgain;
     }
     sched_.SleepOn(cur, &read_chan_, lock_);
   }

@@ -26,12 +26,14 @@ class Pipe {
   Pipe(const Pipe&) = delete;
   Pipe& operator=(const Pipe&) = delete;
 
-  // Blocking write of up to n bytes; returns bytes written, 0 if no readers
-  // remain (EPIPE at the syscall layer), or stops early if the task is killed.
-  std::int64_t Write(Task* cur, const std::uint8_t* buf, std::size_t n);
+  // Write of up to n bytes; returns bytes written, kErrPipe if no readers
+  // remain, or stops early if the task is killed. Nonblock mode returns
+  // kErrAgain instead of sleeping on a full ring (a short count if some
+  // bytes already went in).
+  std::int64_t Write(Task* cur, const std::uint8_t* buf, std::size_t n, bool nonblock);
 
   // Blocking read: waits until data or all writers closed. Nonblock mode
-  // returns kErrWouldBlock instead of sleeping.
+  // returns kErrAgain instead of sleeping.
   std::int64_t Read(Task* cur, std::uint8_t* buf, std::size_t n, bool nonblock);
 
   void CloseRead();

@@ -37,7 +37,7 @@ std::int64_t SemTable::Wait(Task* cur, int id) {
   }
   while (sems_[id].value == 0) {
     if (cur->killed) {
-      return kErrPerm;
+      return kErrIntr;
     }
     sched_.SleepOn(cur, &sems_[id].chan, lock_);
     if (!sems_[id].used) {

@@ -332,7 +332,9 @@ std::int64_t Kernel::SysRead(int fd, void* buf, std::uint32_t n) {
   }
   Cycles burn = 0;
   std::int64_t r;
-  if (f->kind == FileKind::kPipe) {
+  if (f->kind == FileKind::kSocket) {
+    r = net_->Recv(cur, *f->sock, static_cast<std::uint8_t*>(buf), n, f->nonblock, &burn);
+  } else if (f->kind == FileKind::kPipe) {
     r = f->pipe->Read(cur, static_cast<std::uint8_t*>(buf), n, f->nonblock);
     burn += cfg_.cost.pipe_op + Cycles((r > 0 ? r : 0) * cfg_.cost.pipe_per_byte);
   } else {
@@ -359,8 +361,10 @@ std::int64_t Kernel::SysWrite(int fd, const void* buf, std::uint32_t n) {
   }
   Cycles burn = 0;
   std::int64_t r;
-  if (f->kind == FileKind::kPipe) {
-    r = f->pipe->Write(cur, static_cast<const std::uint8_t*>(buf), n);
+  if (f->kind == FileKind::kSocket) {
+    r = net_->Send(cur, *f->sock, static_cast<const std::uint8_t*>(buf), n, f->nonblock, &burn);
+  } else if (f->kind == FileKind::kPipe) {
+    r = f->pipe->Write(cur, static_cast<const std::uint8_t*>(buf), n, f->nonblock);
     burn += cfg_.cost.pipe_op + Cycles((r > 0 ? r : 0) * cfg_.cost.pipe_per_byte);
   } else {
     r = vfs_->Write(cur, *f, static_cast<const std::uint8_t*>(buf), n, &burn);
@@ -664,6 +668,167 @@ std::int64_t Kernel::SysYield() {
   Task* cur = SyscallEnter(Sys::kSleep);
   sched_.Yield(cur);
   return SyscallExit(Sys::kSleep, 0);
+}
+
+// --- Socket syscalls (Prototype 5 networking). Every entry point is gated on
+// HasNet(): pre-proto5 stages and nic-less boards report kErrNoSys, exactly
+// like the other staged feature families.
+
+std::int64_t Kernel::SysSocket(int type, std::uint32_t flags) {
+  Task* cur = SyscallEnter(Sys::kSocket);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kSocket, kErrNoSys);
+  }
+  if (type != 0 && type != 1) {
+    return SyscallExit(Sys::kSocket, kErrInval);
+  }
+  auto f = std::make_shared<File>();
+  f->kind = FileKind::kSocket;
+  f->readable = true;
+  f->writable = true;
+  f->nonblock = (flags & 1u) != 0;
+  f->sock = net_->CreateSocket(type == 0 ? Socket::Type::kTcp : Socket::Type::kUdp);
+  cur->fiber().Burn(cfg_.cost.sock_op);
+  std::int64_t fd = InstallFd(cur, std::move(f));
+  return SyscallExit(Sys::kSocket, fd < 0 ? kErrMFile : fd);
+}
+
+FilePtr Kernel::GetSockFd(Task* cur, int fd, std::int64_t* err) {
+  FilePtr f = GetFd(cur, fd);
+  if (f == nullptr) {
+    *err = kErrBadFd;
+    return nullptr;
+  }
+  if (f->kind != FileKind::kSocket) {
+    *err = kErrInval;
+    return nullptr;
+  }
+  return f;
+}
+
+std::int64_t Kernel::SysBind(int fd, std::uint16_t port) {
+  Task* cur = SyscallEnter(Sys::kBind);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kBind, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kBind, err);
+  }
+  cur->fiber().Burn(cfg_.cost.sock_op);
+  return SyscallExit(Sys::kBind, net_->Bind(*f->sock, port));
+}
+
+std::int64_t Kernel::SysListen(int fd, std::uint32_t backlog) {
+  Task* cur = SyscallEnter(Sys::kListen);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kListen, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kListen, err);
+  }
+  cur->fiber().Burn(cfg_.cost.sock_op);
+  return SyscallExit(Sys::kListen, net_->Listen(*f->sock, backlog));
+}
+
+std::int64_t Kernel::SysAccept(int fd, std::uint32_t* peer_ip, std::uint16_t* peer_port,
+                               std::uint32_t flags) {
+  Task* cur = SyscallEnter(Sys::kAccept);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kAccept, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kAccept, err);
+  }
+  std::shared_ptr<Socket> conn;
+  Cycles burn = 0;
+  std::int64_t r = net_->Accept(cur, *f->sock, f->nonblock, &conn, peer_ip, peer_port, &burn);
+  cur->fiber().Burn(burn);
+  if (r < 0) {
+    return SyscallExit(Sys::kAccept, r);
+  }
+  auto nf = std::make_shared<File>();
+  nf->kind = FileKind::kSocket;
+  nf->readable = true;
+  nf->writable = true;
+  nf->nonblock = (flags & 1u) != 0;
+  nf->sock = std::move(conn);
+  std::int64_t nfd = InstallFd(cur, nf);
+  if (nfd < 0) {
+    vfs_->Close(cur, nf);  // tear the accepted connection down
+    return SyscallExit(Sys::kAccept, kErrMFile);
+  }
+  return SyscallExit(Sys::kAccept, nfd);
+}
+
+std::int64_t Kernel::SysConnect(int fd, std::uint32_t ip, std::uint16_t port) {
+  Task* cur = SyscallEnter(Sys::kConnect);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kConnect, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kConnect, err);
+  }
+  Cycles burn = 0;
+  std::int64_t r = net_->Connect(cur, *f->sock, ip, port, f->nonblock, &burn);
+  cur->fiber().Burn(burn);
+  return SyscallExit(Sys::kConnect, r);
+}
+
+std::int64_t Kernel::SysSend(int fd, const void* buf, std::uint32_t n) {
+  Task* cur = SyscallEnter(Sys::kSend);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kSend, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kSend, err);
+  }
+  Cycles burn = 0;
+  std::int64_t r =
+      net_->Send(cur, *f->sock, static_cast<const std::uint8_t*>(buf), n, f->nonblock, &burn);
+  cur->fiber().Burn(burn);
+  return SyscallExit(Sys::kSend, r);
+}
+
+std::int64_t Kernel::SysRecv(int fd, void* buf, std::uint32_t n) {
+  Task* cur = SyscallEnter(Sys::kRecv);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kRecv, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kRecv, err);
+  }
+  Cycles burn = 0;
+  std::int64_t r = net_->Recv(cur, *f->sock, static_cast<std::uint8_t*>(buf), n, f->nonblock, &burn);
+  cur->fiber().Burn(burn);
+  return SyscallExit(Sys::kRecv, r);
+}
+
+std::int64_t Kernel::SysShutdown(int fd, int how) {
+  Task* cur = SyscallEnter(Sys::kShutdown);
+  if (!cfg_.HasNet() || net_ == nullptr) {
+    return SyscallExit(Sys::kShutdown, kErrNoSys);
+  }
+  std::int64_t err = 0;
+  FilePtr f = GetSockFd(cur, fd, &err);
+  if (f == nullptr) {
+    return SyscallExit(Sys::kShutdown, err);
+  }
+  Cycles burn = 0;
+  std::int64_t r = net_->Shutdown(cur, *f->sock, how, &burn);
+  cur->fiber().Burn(burn);
+  return SyscallExit(Sys::kShutdown, r);
 }
 
 std::int64_t Kernel::SyscallRaw(Sys num, std::uint64_t a0, std::uint64_t a1) {

@@ -162,6 +162,10 @@ std::string TraceRing::EventName(TraceEvent ev) {
       return "prof_sample";
     case TraceEvent::kWatchdogBark:
       return "watchdog_bark";
+    case TraceEvent::kNetRx:
+      return "net_rx";
+    case TraceEvent::kNetTx:
+      return "net_tx";
   }
   return "?";
 }
@@ -178,6 +182,7 @@ constexpr TraceEvent kAllTraceEvents[] = {
     TraceEvent::kPmmFree,      TraceEvent::kPmmOom,      TraceEvent::kSlabRefill,
     TraceEvent::kBlockError,   TraceEvent::kRaceReport,  TraceEvent::kJrnlCommit,
     TraceEvent::kJrnlCheckpoint, TraceEvent::kProfSample, TraceEvent::kWatchdogBark,
+    TraceEvent::kNetRx,        TraceEvent::kNetTx,
 };
 }  // namespace
 

@@ -48,6 +48,8 @@ enum class TraceEvent : std::uint16_t {
   kProfSample,     // profiler: stack sample folded (a=stack hash, b=weight)
   kWatchdogBark,   // watchdog: hung task / stalled core (a=stalled-for cycles,
                    // b=core) — pid is the offender (-1 = core-level stall)
+  kNetRx,          // net: frame drained from the NIC RX ring (a=frame bytes)
+  kNetTx,          // net: frame posted to the NIC TX ring (a=frame bytes)
 };
 
 struct TraceRecord {

@@ -88,6 +88,55 @@ std::int64_t usem_wait(AppEnv& env, int id) { return env.kernel->SysSemWait(id);
 std::int64_t usem_post(AppEnv& env, int id) { return env.kernel->SysSemPost(id); }
 std::int64_t usync(AppEnv& env) { return env.kernel->SysSync(); }
 std::int64_t ufsync(AppEnv& env, int fd) { return env.kernel->SysFsync(fd); }
+std::int64_t usocket(AppEnv& env, int type, std::uint32_t flags) {
+  return env.kernel->SysSocket(type, flags);
+}
+std::int64_t ubind(AppEnv& env, int fd, std::uint16_t port) {
+  return env.kernel->SysBind(fd, port);
+}
+std::int64_t ulisten(AppEnv& env, int fd, std::uint32_t backlog) {
+  return env.kernel->SysListen(fd, backlog);
+}
+std::int64_t uaccept(AppEnv& env, int fd, std::uint32_t* peer_ip, std::uint16_t* peer_port,
+                     std::uint32_t accept_flags) {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  std::int64_t r = env.kernel->SysAccept(fd, &ip, &port, accept_flags);
+  if (peer_ip != nullptr) {
+    *peer_ip = ip;
+  }
+  if (peer_port != nullptr) {
+    *peer_port = port;
+  }
+  return r;
+}
+std::int64_t uconnect(AppEnv& env, int fd, std::uint32_t ip, std::uint16_t port) {
+  return env.kernel->SysConnect(fd, ip, port);
+}
+std::int64_t usend(AppEnv& env, int fd, const void* buf, std::uint32_t n) {
+  return env.kernel->SysSend(fd, buf, n);
+}
+std::int64_t urecv(AppEnv& env, int fd, void* buf, std::uint32_t n) {
+  return env.kernel->SysRecv(fd, buf, n);
+}
+std::int64_t ushutdown(AppEnv& env, int fd, int how) {
+  return env.kernel->SysShutdown(fd, how);
+}
+std::int64_t usend_all(AppEnv& env, int fd, const void* buf, std::uint32_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::uint32_t sent = 0;
+  while (sent < n) {
+    std::int64_t r = env.kernel->SysSend(fd, p + sent, n - sent);
+    if (r == kErrIntr) {
+      continue;  // interrupted before any bytes moved; the stream is intact
+    }
+    if (r < 0) {
+      return r;
+    }
+    sent += static_cast<std::uint32_t>(r);
+  }
+  return n;
+}
 std::int64_t uyield(AppEnv& env) { return env.kernel->SysYield(); }
 std::int64_t ureaddir(AppEnv& env, const std::string& path, std::vector<DirEntryInfo>* out) {
   return env.kernel->SysReadDir(path, out);
@@ -131,6 +180,11 @@ std::int64_t uipc_send(AppEnv& env, int id, IpcRing* ring, const void* buf, std:
     }
     LBurn(env, double(cost.ipc_ring_op));
     std::int64_t r = uipc_wait(env, id, static_cast<int>(IpcSide::kSpace), space_word);
+    if (r == kErrIntr) {
+      // Interrupted while parked (kill in flight): report the short count if
+      // anything went in, POSIX-style, else surface EINTR — never EPERM.
+      return done > 0 ? static_cast<std::int64_t>(done) : r;
+    }
     if (r < 0) {
       return r;
     }
@@ -157,6 +211,8 @@ std::int64_t uipc_recv(AppEnv& env, int id, IpcRing* ring, void* buf, std::size_
     LBurn(env, double(cost.ipc_ring_op));
     std::int64_t r = uipc_wait(env, id, static_cast<int>(IpcSide::kData), data_word);
     if (r < 0) {
+      // kErrIntr (kill while parked) and real failures both end the read;
+      // the caller can tell them apart now that EINTR is its own errno.
       return r;
     }
   }

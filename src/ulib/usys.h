@@ -97,6 +97,22 @@ std::int64_t uipc_wake(AppEnv& env, int id, int side);
 std::int64_t uipc_send(AppEnv& env, int id, IpcRing* ring, const void* buf, std::size_t n);
 std::int64_t uipc_recv(AppEnv& env, int id, IpcRing* ring, void* buf, std::size_t n);
 
+// --- Sockets (Prototype 5 networking) ---------------------------------------
+// type: 0 = TCP stream, 1 = UDP datagram. flags bit0 = nonblocking fd.
+std::int64_t usocket(AppEnv& env, int type, std::uint32_t flags = 0);
+std::int64_t ubind(AppEnv& env, int fd, std::uint16_t port);
+std::int64_t ulisten(AppEnv& env, int fd, std::uint32_t backlog);
+// accept_flags bit0 = make the accepted fd nonblocking.
+std::int64_t uaccept(AppEnv& env, int fd, std::uint32_t* peer_ip = nullptr,
+                     std::uint16_t* peer_port = nullptr, std::uint32_t accept_flags = 0);
+std::int64_t uconnect(AppEnv& env, int fd, std::uint32_t ip, std::uint16_t port);
+std::int64_t usend(AppEnv& env, int fd, const void* buf, std::uint32_t n);
+std::int64_t urecv(AppEnv& env, int fd, void* buf, std::uint32_t n);
+std::int64_t ushutdown(AppEnv& env, int fd, int how);
+// Loops until all n bytes are queued, retrying short sends and EINTR;
+// returns n, or the first hard error (kErrPipe once the peer is gone).
+std::int64_t usend_all(AppEnv& env, int fd, const void* buf, std::uint32_t n);
+
 // Reads a whole file into memory; negative Err on failure.
 std::int64_t uread_file(AppEnv& env, const std::string& path, std::vector<std::uint8_t>* out);
 

@@ -174,8 +174,8 @@ TEST_F(IpcTest, ManyProducersOneConsumerConservesBytes) {
 }
 
 TEST_F(IpcTest, KillInterruptsWaiter) {
-  // A child parked in ipc_wait must come back with kErrPerm (EINTR) when
-  // killed, not hang or die inside the kernel.
+  // A child parked in ipc_wait must come back with kErrIntr (EINTR) when
+  // killed — not EPERM, and not hang or die inside the kernel.
   Kernel* k = &sys_.kernel();
   int rc = RunInOs(sys_, "ipc-eintr", [k](AppEnv& env) -> int {
     std::int64_t id = uipc_create(env, 256);
@@ -203,7 +203,7 @@ TEST_F(IpcTest, KillInterruptsWaiter) {
     if (uwait(env, &status) != pid) {
       return 3;
     }
-    return observed == kErrPerm ? 0 : 4;
+    return observed == kErrIntr ? 0 : 4;
   });
   EXPECT_EQ(rc, 0);
   // The parked waiter was accounted, and the wake path ran for the kill.

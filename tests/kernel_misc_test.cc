@@ -183,7 +183,7 @@ TEST(PipeUnit, WriteToClosedReaderIsEpipe) {
     Pipe pipe(k.sched());
     pipe.CloseRead();
     std::uint8_t b = 1;
-    EXPECT_EQ(pipe.Write(k.CurrentTask(), &b, 1), kErrPipe);
+    EXPECT_EQ(pipe.Write(k.CurrentTask(), &b, 1, /*nonblock=*/false), kErrPipe);
     checked = true;
   });
   sys.Run(Ms(20));

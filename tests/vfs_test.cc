@@ -343,5 +343,45 @@ TEST_P(PathSpellingTest, EquivalentSpellingsResolveIdentically) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PathSpellingTest, ::testing::Values(1u, 2u, 3u));
 
+// Regression: device-node writes must advance the file offset like reads do.
+// Two back-to-back writes to /dev/fb (offset-addressed) used to land on the
+// same bytes because Vfs::Write returned without bumping f.off.
+TEST_F(VfsTest, DeviceWriteAdvancesOffset) {
+  int rc = RunProgram(sys_, "devoff", [](AppEnv& env) -> int {
+    std::int64_t fd = uopen(env, "/dev/fb", kORdwr);
+    if (fd < 0) {
+      return 1;
+    }
+    const std::uint8_t first[4] = {0x11, 0x22, 0x33, 0x44};
+    const std::uint8_t second[4] = {0x55, 0x66, 0x77, 0x88};
+    if (uwrite(env, static_cast<int>(fd), first, 4) != 4) {
+      return 2;
+    }
+    if (uwrite(env, static_cast<int>(fd), second, 4) != 4) {
+      return 3;
+    }
+    // The offset moved past both writes...
+    if (ulseek(env, static_cast<int>(fd), 0, /*SEEK_CUR=*/1) != 8) {
+      return 4;
+    }
+    // ...and the second write landed after the first, not on top of it.
+    if (ulseek(env, static_cast<int>(fd), 0, /*SEEK_SET=*/0) != 0) {
+      return 5;
+    }
+    std::uint8_t got[8] = {};
+    if (uread(env, static_cast<int>(fd), got, 8) != 8) {
+      return 6;
+    }
+    uclose(env, static_cast<int>(fd));
+    for (int i = 0; i < 4; ++i) {
+      if (got[i] != first[i] || got[4 + i] != second[i]) {
+        return 7;
+      }
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
 }  // namespace
 }  // namespace vos

@@ -29,6 +29,8 @@ KNOWN_CLASSES = (
     "ipc",
     "journal",
     "metrics",
+    "net",
+    "nic",
     "pipe",
     "pmm",
     "profiler",
